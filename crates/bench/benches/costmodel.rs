@@ -1,0 +1,92 @@
+//! Cost-model microbenches: Eq. 2-4 evaluation latency over deep lineages
+//! and CostLineage maintenance throughput.
+//!
+//! The paper reports that both costs "can be computed within milliseconds"
+//! (§5.4); the memoized recursion here should be far below that even for
+//! hundred-iteration lineages.
+
+use blaze_common::ids::BlockId;
+use blaze_common::{ByteSize, SimDuration};
+use blaze_core::{CostLineage, CostModel};
+use blaze_dataflow::{runner::LocalRunner, Context, Dataset};
+use blaze_engine::HardwareModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds an iterative lineage of `iters` chained map+shuffle rounds with
+/// recorded metrics on every partition.
+fn lineage_of(iters: usize) -> (CostLineage, BlockId) {
+    let ctx = Context::new(LocalRunner::new());
+    let mut cur: Dataset<(u64, u64)> =
+        ctx.parallelize((0..64u64).map(|i| (i % 8, i)).collect::<Vec<_>>(), 4);
+    for _ in 0..iters {
+        cur = cur.reduce_by_key(4, |a, b| a + b).map_values(|v| v + 1);
+    }
+    let mut cl = CostLineage::new();
+    cl.merge_plan(&ctx.plan().read());
+    let last = cur.id();
+    for node in 0..=last.raw() {
+        for p in 0..4u32 {
+            cl.record_metrics(
+                BlockId::new(node.into(), p),
+                ByteSize::from_kib(64),
+                SimDuration::from_micros(500),
+            );
+        }
+    }
+    (cl, BlockId::new(last, 0))
+}
+
+fn bench_cost_eval(c: &mut Criterion) {
+    let hw = HardwareModel::default();
+    let mut g = c.benchmark_group("cost_eq2_eq4");
+    for iters in [10usize, 50, 100] {
+        let (cl, target) = lineage_of(iters);
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &cl, |b, cl| {
+            b.iter(|| {
+                // Fresh model per iteration: measures the un-memoized path.
+                let mut model = CostModel::new(std::hint::black_box(cl), &hw, None);
+                (model.cost_d(target), model.cost_r(target), model.cost(target))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lineage_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("costlineage_merge");
+    for iters in [50usize, 200] {
+        let ctx = Context::new(LocalRunner::new());
+        let mut cur: Dataset<(u64, u64)> =
+            ctx.parallelize((0..8u64).map(|i| (i, i)).collect::<Vec<_>>(), 4);
+        for _ in 0..iters {
+            cur = cur.map_values(|v| v + 1);
+        }
+        let plan_lock = ctx.plan().clone();
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &plan_lock, |b, plan| {
+            b.iter(|| {
+                let mut cl = CostLineage::new();
+                cl.merge_plan(&plan.read());
+                std::hint::black_box(cl.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_metric_updates(c: &mut Criterion) {
+    let (mut cl, _) = lineage_of(50);
+    c.bench_function("record_metrics_1k", |b| {
+        b.iter(|| {
+            for i in 0..1000u32 {
+                cl.record_metrics(
+                    BlockId::new((i % 100).into(), i % 4),
+                    ByteSize::from_kib(64),
+                    SimDuration::from_micros(400),
+                );
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_cost_eval, bench_lineage_merge, bench_metric_updates);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! End-to-end engine microbenches: small iterative applications under
+//! different controllers (wall-clock cost of simulating one run).
+
+use blaze_core::{BlazeConfig, BlazeController};
+use blaze_dataflow::Context;
+use blaze_engine::{Cluster, ClusterConfig, NoCacheController};
+use blaze_policies::{EvictMode, LruController};
+use blaze_common::ByteSize;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn small_iterative(ctx: &Context, iters: usize) {
+    let mut cur = ctx.parallelize((0..2_000u64).map(|i| (i % 32, i)).collect::<Vec<_>>(), 4);
+    for _ in 0..iters {
+        cur = cur.reduce_by_key(4, |a, b| a + b).map_values(|v| v + 1);
+        cur.cache();
+        cur.count().unwrap();
+    }
+}
+
+fn config() -> ClusterConfig {
+    ClusterConfig {
+        executors: 2,
+        slots_per_executor: 2,
+        memory_capacity: ByteSize::from_kib(128),
+        ..Default::default()
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_small_app");
+    g.sample_size(20);
+    g.bench_function("no_cache", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(config(), Box::new(NoCacheController)).unwrap();
+            small_iterative(&Context::new(cluster.clone()), 6);
+            std::hint::black_box(cluster.metrics().completion_time)
+        })
+    });
+    g.bench_function("lru_mem_disk", |b| {
+        b.iter(|| {
+            let cluster =
+                Cluster::new(config(), Box::new(LruController::new(EvictMode::MemDisk))).unwrap();
+            small_iterative(&Context::new(cluster.clone()), 6);
+            std::hint::black_box(cluster.metrics().completion_time)
+        })
+    });
+    g.bench_function("blaze_no_profile", |b| {
+        b.iter(|| {
+            let controller = BlazeController::new(BlazeConfig::full(), None);
+            let cluster = Cluster::new(config(), Box::new(controller)).unwrap();
+            small_iterative(&Context::new(cluster.clone()), 6);
+            std::hint::black_box(cluster.metrics().completion_time)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

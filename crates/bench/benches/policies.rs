@@ -1,0 +1,89 @@
+//! Policy microbenches: per-operation overhead of the baseline eviction
+//! policies with large resident sets (the decision-layer hot path).
+
+use blaze_common::ids::{BlockId, ExecutorId, RddId};
+use blaze_common::{ByteSize, SimTime};
+use blaze_engine::{BlockInfo, CacheController, CtrlCtx, HardwareModel};
+use blaze_policies::{EvictMode, LfuController, LruController, TinyLfuController};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ctx() -> CtrlCtx {
+    CtrlCtx {
+        now: SimTime::ZERO,
+        hardware: HardwareModel::default(),
+        memory_capacity: ByteSize::from_mib(64),
+        disk_capacity: ByteSize::from_gib(1),
+        executors: 4,
+    }
+}
+
+fn resident(n: usize) -> Vec<BlockInfo> {
+    (0..n)
+        .map(|i| BlockInfo {
+            id: BlockId::new(RddId((i / 8) as u32), (i % 8) as u32),
+            bytes: ByteSize::from_kib(64 + (i as u64 * 37) % 512),
+            ser_factor: 1.0,
+            executor: ExecutorId(0),
+        })
+        .collect()
+}
+
+fn bench_policy<C: CacheController>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    mut ctl: C,
+    blocks: &[BlockInfo],
+) {
+    let c = ctx();
+    for b in blocks {
+        ctl.on_inserted(&c, b, false);
+        ctl.on_access(&c, b.id);
+    }
+    let incoming = BlockInfo {
+        id: BlockId::new(RddId(9999), 0),
+        bytes: ByteSize::from_kib(512),
+        ser_factor: 1.0,
+        executor: ExecutorId(0),
+    };
+    g.bench_with_input(BenchmarkId::new(name, blocks.len()), blocks, |bch, blocks| {
+        bch.iter(|| {
+            ctl.choose_victims(
+                &c,
+                ExecutorId(0),
+                ByteSize::from_kib(512),
+                std::hint::black_box(&incoming),
+                blocks,
+            )
+        })
+    });
+}
+
+fn bench_choose_victims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("choose_victims");
+    for n in [64usize, 512, 2048] {
+        let blocks = resident(n);
+        bench_policy(&mut g, "lru", LruController::new(EvictMode::MemDisk), &blocks);
+        bench_policy(&mut g, "lfu", LfuController::new(EvictMode::MemDisk), &blocks);
+        bench_policy(&mut g, "tinylfu", TinyLfuController::new(EvictMode::MemDisk), &blocks);
+    }
+    g.finish();
+}
+
+fn bench_access_path(c: &mut Criterion) {
+    let blocks = resident(1024);
+    let cctx = ctx();
+    let mut lru = LruController::new(EvictMode::MemDisk);
+    for b in &blocks {
+        lru.on_inserted(&cctx, b, false);
+    }
+    c.bench_function("lru_on_access_1k", |b| {
+        b.iter(|| {
+            for blk in &blocks {
+                lru.on_access(&cctx, std::hint::black_box(blk.id));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_choose_victims, bench_access_path);
+criterion_main!(benches);

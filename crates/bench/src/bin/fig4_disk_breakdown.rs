@@ -1,0 +1,40 @@
+//! Fig. 4: accumulated task execution time of the six applications on
+//! MEM+DISK Spark, split into "Disk I/O for Caching" vs
+//! "Computation+Shuffle" (data (de)serialization counts as disk I/O).
+
+use blaze_bench::harness::{breakdown_secs, run_matrix};
+use blaze_bench::paper;
+use blaze_bench::table::{percent, secs, Table};
+use blaze_workloads::SystemKind;
+
+fn main() {
+    println!("== Fig. 4: accumulated task time breakdown (Spark MEM+DISK) ==\n");
+    let outcomes =
+        run_matrix(&paper::APP_ORDER, &[SystemKind::SparkMemDisk]).expect("runs failed");
+
+    let mut t = Table::new([
+        "app",
+        "disk I/O (cache)",
+        "comp+shuffle",
+        "disk share",
+        "paper disk share",
+    ]);
+    for app in paper::APP_ORDER {
+        let out = &outcomes[&(app.label(), "Spark (MEM+DISK)")];
+        let (disk, ext, comp) = breakdown_secs(&out.metrics);
+        let disk_all = disk + ext;
+        let share = disk_all / (disk_all + comp);
+        t.row([
+            app.label().to_string(),
+            secs(disk_all),
+            secs(comp),
+            percent(share),
+            percent(paper::disk_io_share_mem_disk(app)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: disk I/O dominates PR (>70%) and is significant everywhere \
+         except LR (~3%); the same ordering should hold above."
+    );
+}

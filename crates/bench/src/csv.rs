@@ -1,0 +1,104 @@
+//! Minimal CSV emission for figure data (plotting-friendly output).
+//!
+//! Each figure harness can dump its series as CSV next to the table output
+//! (`--csv <path>` or the `BLAZE_CSV_DIR` environment variable), so the
+//! figures can be re-plotted with any external tool. Kept dependency-free:
+//! the values we emit are numbers and simple labels.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A CSV document with a fixed header.
+#[derive(Debug, Default)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a document with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the document as CSV text (quoting cells that need it).
+    pub fn render(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render().as_bytes())
+    }
+}
+
+/// Writes `csv` to `$BLAZE_CSV_DIR/<name>.csv` when the environment
+/// variable is set; otherwise does nothing. Used by the figure harnesses.
+pub fn maybe_write(name: &str, csv: &Csv) {
+    if let Ok(dir) = std::env::var("BLAZE_CSV_DIR") {
+        let path = Path::new(&dir).join(format!("{name}.csv"));
+        match csv.write_to(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut c = Csv::new(["app", "act_s"]);
+        c.row(["PR", "1.25"]);
+        c.row(["KMeans", "0.10"]);
+        assert_eq!(c.render(), "app,act_s\nPR,1.25\nKMeans,0.10\n");
+    }
+
+    #[test]
+    fn quotes_cells_with_commas_and_quotes() {
+        let mut c = Csv::new(["label"]);
+        c.row(["a,b"]);
+        c.row(["say \"hi\""]);
+        assert_eq!(c.render(), "label\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("blaze_csv_test");
+        let path = dir.join("out.csv");
+        let mut c = Csv::new(["x"]);
+        c.row(["1"]);
+        c.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n1\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

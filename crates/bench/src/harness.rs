@@ -1,0 +1,55 @@
+//! Run helpers shared by the figure binaries.
+
+use blaze_common::error::Result;
+use blaze_engine::Metrics;
+use blaze_workloads::{run_app, App, RunOutcome, SystemKind};
+use std::collections::BTreeMap;
+
+/// Runs every (app, system) pair and returns outcomes keyed by both.
+pub fn run_matrix(
+    apps: &[App],
+    systems: &[SystemKind],
+) -> Result<BTreeMap<(&'static str, &'static str), RunOutcome>> {
+    let mut out = BTreeMap::new();
+    for &app in apps {
+        for &system in systems {
+            eprintln!("running {} under {} ...", app.label(), system.label());
+            let outcome = run_app(app, system)?;
+            out.insert((app.label(), system.label()), outcome);
+        }
+    }
+    Ok(out)
+}
+
+/// ACT in seconds from a run outcome.
+pub fn act_secs(outcome: &RunOutcome) -> f64 {
+    outcome.metrics.completion_time.as_secs_f64()
+}
+
+/// The paper's Fig. 4/10 accumulated-task-time breakdown, in seconds:
+/// (disk I/O for caching, external-store I/O, computation+shuffle).
+pub fn breakdown_secs(m: &Metrics) -> (f64, f64, f64) {
+    (
+        m.accumulated.disk_io_for_caching().as_secs_f64(),
+        m.accumulated.external_store_io.as_secs_f64(),
+        m.accumulated.computation_and_shuffle().as_secs_f64(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_and_keys_by_labels() {
+        let out =
+            run_matrix(&[App::KMeans], &[SystemKind::SparkMemOnly, SystemKind::Blaze]).unwrap();
+        assert_eq!(out.len(), 2);
+        let mem = &out[&("KMeans", "Spark (MEM)")];
+        let blaze = &out[&("KMeans", "Blaze")];
+        assert!(act_secs(mem) > 0.0);
+        assert!(act_secs(blaze) > 0.0);
+        let (d, e, c) = breakdown_secs(&mem.metrics);
+        assert!(d >= 0.0 && e >= 0.0 && c > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Byte-size accounting.
+//!
+//! Memory- and disk-store capacities, partition sizes and eviction volumes
+//! are all tracked as [`ByteSize`] values. The type is a thin wrapper over
+//! `u64` with saturating arithmetic (capacity accounting must never panic on
+//! transient underflow) and a human-readable display.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A number of bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size from a raw byte count.
+    pub const fn from_bytes(b: u64) -> Self {
+        Self(b)
+    }
+
+    /// Creates a size from binary kilobytes (KiB).
+    pub const fn from_kib(k: u64) -> Self {
+        Self(k * 1024)
+    }
+
+    /// Creates a size from binary megabytes (MiB).
+    pub const fn from_mib(m: u64) -> Self {
+        Self(m * 1024 * 1024)
+    }
+
+    /// Creates a size from binary gigabytes (GiB).
+    pub const fn from_gib(g: u64) -> Self {
+        Self(g * 1024 * 1024 * 1024)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the size in MiB as a float (for reporting).
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Returns true if this size is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies by a non-negative float factor, saturating at zero.
+    pub fn scale(self, factor: f64) -> Self {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Self::ZERO;
+        }
+        Self((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: f64 = 1024.0;
+        let b = self.0 as f64;
+        if b >= KIB * KIB * KIB {
+            write!(f, "{:.2}GiB", b / (KIB * KIB * KIB))
+        } else if b >= KIB * KIB {
+            write!(f, "{:.2}MiB", b / (KIB * KIB))
+        } else if b >= KIB {
+            write!(f, "{:.2}KiB", b / KIB)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(ByteSize::from_kib(1).as_bytes(), 1024);
+        assert_eq!(ByteSize::from_mib(1).as_bytes(), 1024 * 1024);
+        assert_eq!(ByteSize::from_gib(1).as_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = ByteSize::from_bytes(10);
+        let b = ByteSize::from_bytes(25);
+        assert_eq!(a - b, ByteSize::ZERO);
+        assert_eq!(b - a, ByteSize::from_bytes(15));
+        assert_eq!(ByteSize::from_bytes(u64::MAX) + b, ByteSize::from_bytes(u64::MAX));
+    }
+
+    #[test]
+    fn scale_handles_degenerate_factors() {
+        let a = ByteSize::from_mib(10);
+        assert_eq!(a.scale(0.5), ByteSize::from_mib(5));
+        assert_eq!(a.scale(-1.0), ByteSize::ZERO);
+        assert_eq!(a.scale(f64::NAN), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(ByteSize::from_bytes(512).to_string(), "512B");
+        assert_eq!(ByteSize::from_kib(2).to_string(), "2.00KiB");
+        assert_eq!(ByteSize::from_mib(3).to_string(), "3.00MiB");
+        assert_eq!(ByteSize::from_gib(4).to_string(), "4.00GiB");
+    }
+
+    #[test]
+    fn sums() {
+        let total: ByteSize = (1..=3).map(ByteSize::from_kib).sum();
+        assert_eq!(total, ByteSize::from_kib(6));
+    }
+}

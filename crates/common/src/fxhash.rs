@@ -1,0 +1,127 @@
+//! A fixed-state, fast hasher for deterministic data placement.
+//!
+//! Shuffle bucketing, map-side combining and every internal hash map in the
+//! dataflow operators must behave identically across runs for experiments to
+//! be reproducible. `std::collections::HashMap`'s default `RandomState` is
+//! seeded per process, so we use a Fowler–Noll–Vo-style multiply-xor hasher
+//! (the FxHash construction used by rustc) with a fixed initial state.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A deterministic, fast, non-cryptographic hasher.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with deterministic hashing.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with deterministic hashing.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with the deterministic hasher.
+pub fn hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
+    }
+
+    #[test]
+    fn different_values_usually_differ() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&"a"), hash_one(&"b"));
+    }
+
+    #[test]
+    fn map_iteration_order_is_stable_for_same_insertions() {
+        let build = || {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for i in 0..100 {
+                m.insert(i * 7 % 101, i);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn spread_over_buckets_is_reasonable() {
+        // 10k sequential keys into 16 buckets should not collapse into few.
+        let mut counts = [0usize; 16];
+        for i in 0..10_000u64 {
+            counts[(hash_one(&i) % 16) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 300, "bucket underfull: {counts:?}");
+        assert!(max < 1300, "bucket overfull: {counts:?}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic random-number helpers.
+//!
+//! All synthetic data generation in the reproduction is seeded, so two runs
+//! of any experiment produce identical datasets, identical partition sizes
+//! and therefore identical simulated timelines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a deterministic RNG from a `u64` seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Used to give each partition generator its own independent stream while
+/// keeping the whole dataset a pure function of the top-level seed
+/// (SplitMix64 finalizer; good avalanche behaviour for sequential indices).
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a: Vec<u64> = seeded(7).sample_iter(rand::distributions::Standard).take(5).collect();
+        let b: Vec<u64> = seeded(7).sample_iter(rand::distributions::Standard).take(5).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = seeded(1).gen();
+        let b: u64 = seeded(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_per_stream() {
+        let s0 = derive_seed(42, 0);
+        let s1 = derive_seed(42, 1);
+        let s2 = derive_seed(42, 2);
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s2);
+        assert_ne!(s0, s2);
+        // And stable.
+        assert_eq!(derive_seed(42, 1), s1);
+    }
+
+    #[test]
+    fn derived_seeds_depend_on_parent() {
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the arithmetic of the foundational types:
+//! capacity accounting and time composition must never panic, never go
+//! negative, and obey the usual algebraic laws.
+
+use blaze_common::{ByteSize, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bytesize_addition_is_commutative_and_monotone(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let (x, y) = (ByteSize::from_bytes(a), ByteSize::from_bytes(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!(x + y >= x);
+        prop_assert!(x + y >= y);
+    }
+
+    #[test]
+    fn bytesize_subtraction_saturates(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let (x, y) = (ByteSize::from_bytes(a), ByteSize::from_bytes(b));
+        let d = x - y;
+        prop_assert!(d <= x);
+        if a >= b {
+            prop_assert_eq!(d.as_bytes(), a - b);
+        } else {
+            prop_assert_eq!(d, ByteSize::ZERO);
+        }
+        // add-then-subtract round-trips when no saturation happened.
+        prop_assert_eq!((x + y) - y, x);
+    }
+
+    #[test]
+    fn bytesize_scale_is_monotone_in_factor(a in 1u64..1 << 30, f1 in 0.0f64..4.0, f2 in 0.0f64..4.0) {
+        let x = ByteSize::from_bytes(a);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(x.scale(lo) <= x.scale(hi));
+    }
+
+    #[test]
+    fn duration_sum_matches_fold(parts in prop::collection::vec(0u64..1 << 30, 0..12)) {
+        let total: SimDuration = parts.iter().map(|&n| SimDuration::from_nanos(n)).sum();
+        let folded = parts
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &n| acc + SimDuration::from_nanos(n));
+        prop_assert_eq!(total, folded);
+        prop_assert_eq!(total.as_nanos(), parts.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn time_advance_then_since_round_trips(start in 0u64..1 << 40, d in 0u64..1 << 40) {
+        let t0 = SimTime::from_nanos(start);
+        let dur = SimDuration::from_nanos(d);
+        let t1 = t0 + dur;
+        prop_assert_eq!(t1.since(t0), dur);
+        prop_assert_eq!(t0.since(t1), SimDuration::ZERO);
+        prop_assert_eq!(t1.max(t0), t1);
+    }
+
+    #[test]
+    fn duration_display_never_panics(n in 0u64..u64::MAX / 2) {
+        let _ = SimDuration::from_nanos(n).to_string();
+        let _ = ByteSize::from_bytes(n).to_string();
+        let _ = SimTime::from_nanos(n).to_string();
+    }
+
+    #[test]
+    fn seconds_round_trip_within_precision(s in 0.0f64..1e6) {
+        let d = SimDuration::from_secs_f64(s);
+        prop_assert!((d.as_secs_f64() - s).abs() < 1e-9 * s.max(1.0));
+    }
+}

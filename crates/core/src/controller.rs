@@ -1,0 +1,703 @@
+//! The Blaze cache controller: the unified decision layer (§5.6, §4).
+//!
+//! One implementation covers the full system and the paper's §7.3 ablation
+//! points by switching features:
+//!
+//! - [`BlazeConfig::auto_cache_only`] — **+AutoCache**: automatic caching
+//!   and unpersisting of partitions by future references, on top of
+//!   MEM+DISK behaviour with cost-agnostic (LRU) eviction;
+//! - [`BlazeConfig::cost_aware`] — **+CostAware**: additionally selects
+//!   eviction victims by their potential disk cost (smallest first), always
+//!   spilling them to disk (no recompute option, no ILP);
+//! - [`BlazeConfig::full`] — **Blaze**: the unified decision layer with the
+//!   admission comparison of §4.1, per-victim m→d vs m→u state choice of
+//!   §4.2, and the ILP re-optimization of §5.5 at every job submission;
+//! - [`BlazeConfig::full_mem_only`] — Blaze restricted to memory states
+//!   (the Fig. 12 configuration).
+
+use crate::cost::CostModel;
+use crate::costlineage::{CostLineage, PartitionState};
+use crate::optimize::{optimize_states, OptimizerConfig};
+use crate::pattern::{detect, IterationPattern};
+use crate::profiler::ProfileResult;
+use crate::refs::JobRefs;
+use blaze_common::fxhash::FxHashMap;
+use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::ByteSize;
+use blaze_dataflow::{JobPlan, Plan};
+use blaze_engine::{
+    Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, VictimAction,
+};
+
+/// Feature switches of the Blaze controller.
+#[derive(Debug, Clone, Copy)]
+pub struct BlazeConfig {
+    /// Automatic caching / unpersisting by future references (§5.6).
+    pub auto_cache: bool,
+    /// Cost-aware victim selection (§4.2).
+    pub cost_aware: bool,
+    /// The full unified decision layer: admission comparison, per-victim
+    /// state choice, ILP at job submission (§4.1, §5.5).
+    pub unified: bool,
+    /// Whether disk states are allowed at all (false = Fig. 12 mode).
+    pub use_disk: bool,
+    /// ILP configuration.
+    pub optimizer: OptimizerConfig,
+    /// How many future jobs to induce when running without profiling.
+    pub induce_horizon: usize,
+}
+
+impl BlazeConfig {
+    /// Full Blaze.
+    pub fn full() -> Self {
+        Self {
+            auto_cache: true,
+            cost_aware: true,
+            unified: true,
+            use_disk: true,
+            optimizer: OptimizerConfig::default(),
+            induce_horizon: 4,
+        }
+    }
+
+    /// Full Blaze without disk support (the Fig. 12 configuration).
+    pub fn full_mem_only() -> Self {
+        Self { use_disk: false, ..Self::full() }
+    }
+
+    /// The +AutoCache ablation (§7.3).
+    pub fn auto_cache_only() -> Self {
+        Self { cost_aware: false, unified: false, ..Self::full() }
+    }
+
+    /// The +CostAware ablation (§7.3).
+    pub fn cost_aware() -> Self {
+        Self { unified: false, ..Self::full() }
+    }
+}
+
+/// The Blaze cache controller.
+pub struct BlazeController {
+    cfg: BlazeConfig,
+    lineage: CostLineage,
+    refs: JobRefs,
+    pattern: Option<IterationPattern>,
+    /// True while the profiled structure is trusted (no divergence).
+    profiled: bool,
+    /// Index of the currently running job in the job sequence.
+    current_idx: usize,
+    /// Remaining (unconsumed) references per RDD within the current job;
+    /// decremented as stages complete, the way the paper's anticipated
+    /// future references shrink during execution (§5.6).
+    remaining: FxHashMap<RddId, i64>,
+    /// Stage output -> RDDs whose in-job references that stage consumes.
+    consumed_by_stage: FxHashMap<RddId, Vec<RddId>>,
+    /// LRU clock for cost-agnostic eviction and tie-breaking.
+    tick: u64,
+    recency: FxHashMap<BlockId, u64>,
+}
+
+impl BlazeController {
+    /// Creates a controller, optionally seeded by a dependency-extraction
+    /// run ([`crate::profiler::extract_dependencies`]).
+    pub fn new(cfg: BlazeConfig, profile: Option<ProfileResult>) -> Self {
+        match profile {
+            Some(p) => Self {
+                cfg,
+                lineage: p.lineage,
+                refs: p.refs,
+                pattern: p.pattern,
+                profiled: true,
+                current_idx: 0,
+                remaining: FxHashMap::default(),
+                consumed_by_stage: FxHashMap::default(),
+                tick: 0,
+                recency: FxHashMap::default(),
+            },
+            None => Self {
+                cfg,
+                lineage: CostLineage::new(),
+                refs: JobRefs::default(),
+                pattern: None,
+                profiled: false,
+                current_idx: 0,
+                remaining: FxHashMap::default(),
+                consumed_by_stage: FxHashMap::default(),
+                tick: 0,
+                recency: FxHashMap::default(),
+            },
+        }
+    }
+
+    /// Read access to the lineage (used by reports and tests).
+    pub fn lineage(&self) -> &CostLineage {
+        &self.lineage
+    }
+
+    fn touch(&mut self, id: BlockId) {
+        self.tick += 1;
+        self.recency.insert(id, self.tick);
+    }
+
+    /// References still ahead of us: the unconsumed references of the
+    /// current job plus everything from future jobs.
+    fn effective_future_refs(&self, rdd: RddId) -> i64 {
+        let in_job = self.remaining.get(&rdd).copied().unwrap_or(0).max(0);
+        in_job + self.cross_job_refs(rdd) as i64
+    }
+
+    /// References from jobs after the current one. This is what makes a
+    /// partition worth *caching*: consumption within the producing job
+    /// happens inside the same task pipelines (and shuffle reads come from
+    /// the shuffle store), so only cross-job references produce cache hits.
+    fn cross_job_refs(&self, rdd: RddId) -> u32 {
+        self.refs.future_refs(rdd, self.current_idx + 1)
+    }
+
+    /// The weight of a block in admission/eviction comparisons: full value
+    /// for data future jobs will read, reduced value for data only pending
+    /// stages of the current job still traverse, zero otherwise.
+    ///
+    /// When the block under valuation is a lineage ancestor of the incoming
+    /// block, its pending in-job reference has just been satisfied by the
+    /// very pipeline producing the incoming partition, so only cross-job
+    /// references keep it valuable.
+    fn value_weight(&self, rdd: RddId, incoming: Option<RddId>) -> f64 {
+        if self.cross_job_refs(rdd) > 0 {
+            1.0
+        } else if self.remaining.get(&rdd).copied().unwrap_or(0) > 0 {
+            match incoming {
+                Some(desc) if self.is_ancestor_of(rdd, desc) => 0.0,
+                _ => 0.5,
+            }
+        } else {
+            0.0
+        }
+    }
+
+    /// True if `anc` is a lineage ancestor of `desc` (bounded walk).
+    fn is_ancestor_of(&self, anc: RddId, desc: RddId) -> bool {
+        let mut stack = vec![desc];
+        let mut seen = 0;
+        while let Some(cur) = stack.pop() {
+            seen += 1;
+            if seen > 1024 {
+                return false;
+            }
+            let Some(node) = self.lineage.node(cur) else { continue };
+            for &p in &node.parents {
+                if p == anc {
+                    return true;
+                }
+                stack.push(p);
+            }
+        }
+        false
+    }
+
+    /// Rebuilds references from the runtime plan and induces future jobs
+    /// from the detected pattern (the no-profiling path of Fig. 13).
+    fn relearn_refs(&mut self, plan: &Plan) {
+        let targets = self.lineage.job_targets().to_vec();
+        self.pattern = detect(&targets);
+        let mut refs = JobRefs::build(plan, &targets);
+        if let Some(p) = self.pattern {
+            refs.extend_induced(p, self.cfg.induce_horizon);
+        }
+        self.refs = refs;
+    }
+}
+
+impl CacheController for BlazeController {
+    fn name(&self) -> String {
+        match (self.cfg.unified, self.cfg.cost_aware, self.cfg.auto_cache) {
+            (true, _, _) if !self.cfg.use_disk => "Blaze (MEM_ONLY)".into(),
+            (true, _, _) => "Blaze".into(),
+            (false, true, _) => "+CostAware".into(),
+            (false, false, true) => "+AutoCache".into(),
+            _ => "Blaze (disabled)".into(),
+        }
+    }
+
+    fn on_job_submit(
+        &mut self,
+        ctx: &CtrlCtx,
+        job: JobId,
+        job_plan: &JobPlan,
+        plan: &Plan,
+    ) -> Vec<StateCommand> {
+        self.lineage.merge_plan(plan);
+        self.current_idx = self.lineage.observe_job(job, job_plan.target);
+        if self.profiled && self.lineage.diverged() {
+            self.profiled = false;
+        }
+        if !self.profiled {
+            self.relearn_refs(plan);
+        }
+        // Reference budget of this job: every dependency edge of every stage
+        // counts once and is consumed when its stage completes.
+        self.remaining.clear();
+        self.consumed_by_stage.clear();
+        for stage in &job_plan.stages {
+            for &rdd in &stage.rdds {
+                if let Ok(node) = plan.node(rdd) {
+                    for dep in &node.deps {
+                        *self.remaining.entry(dep.parent()).or_insert(0) += 1;
+                        self.consumed_by_stage
+                            .entry(stage.output)
+                            .or_default()
+                            .push(dep.parent());
+                    }
+                }
+            }
+        }
+        if !self.cfg.unified {
+            return Vec::new();
+        }
+        // The ILP trigger (§5.6): restate cached partitions for the window.
+        let mut commands = optimize_states(
+            &self.lineage,
+            &self.refs,
+            self.pattern,
+            &ctx.hardware,
+            ctx.memory_capacity,
+            self.current_idx,
+            &self.cfg.optimizer,
+        );
+        if !self.cfg.use_disk {
+            // Memory-only Blaze: spills degrade to unpersists.
+            for cmd in &mut commands {
+                if let StateCommand::SpillToDisk(id) = *cmd {
+                    *cmd = StateCommand::UnpersistBlock(id);
+                }
+            }
+            commands.retain(|c| !matches!(c, StateCommand::PromoteToMemory(_)));
+        }
+        commands
+    }
+
+    fn on_stage_complete(
+        &mut self,
+        _ctx: &CtrlCtx,
+        stage_output: RddId,
+        _job: JobId,
+        _plan: &Plan,
+    ) -> Vec<StateCommand> {
+        // Consume the references this stage satisfied.
+        if let Some(parents) = self.consumed_by_stage.remove(&stage_output) {
+            for p in parents {
+                if let Some(r) = self.remaining.get_mut(&p) {
+                    *r -= 1;
+                }
+            }
+        }
+        if !self.cfg.auto_cache {
+            return Vec::new();
+        }
+        // Auto-unpersist: drop cached data without future references, to
+        // "quickly acquire free space after each stage execution" (§5.6).
+        let mut rdds: Vec<RddId> = self
+            .lineage
+            .blocks_in_memory()
+            .into_iter()
+            .chain(self.lineage.blocks_on_disk())
+            .map(|(id, _)| id.rdd)
+            .collect();
+        rdds.sort();
+        rdds.dedup();
+        rdds.into_iter()
+            .filter(|&rdd| self.effective_future_refs(rdd) == 0)
+            .map(StateCommand::UnpersistRdd)
+            .collect()
+    }
+
+    fn should_cache(&mut self, _ctx: &CtrlCtx, block: &BlockInfo, annotated: bool) -> bool {
+        if !self.cfg.auto_cache {
+            return annotated;
+        }
+        // Automatic caching: only partitions that future jobs will read
+        // (§5.6); same-job consumption happens inside the producing task
+        // pipelines and cannot hit the cache.
+        self.cross_job_refs(block.id.rdd) > 0
+    }
+
+    fn choose_victims(
+        &mut self,
+        ctx: &CtrlCtx,
+        _exec: ExecutorId,
+        needed: ByteSize,
+        incoming: &BlockInfo,
+        resident: &[BlockInfo],
+    ) -> Vec<(BlockId, VictimAction)> {
+        if !self.cfg.cost_aware {
+            // +AutoCache: cost-agnostic LRU eviction.
+            let mut candidates: Vec<(u64, BlockId, ByteSize)> = resident
+                .iter()
+                .map(|b| (self.recency.get(&b.id).copied().unwrap_or(0), b.id, b.bytes))
+                .collect();
+            candidates.sort_by_key(|&(t, id, _)| (t, id));
+            let action =
+                if self.cfg.use_disk { VictimAction::ToDisk } else { VictimAction::Discard };
+            return take_until(needed, candidates.into_iter().map(|(_, id, b)| (id, b)))
+                .into_iter()
+                .map(|(id, _)| (id, action))
+                .collect();
+        }
+
+        let hw = ctx.hardware;
+        let mut model = CostModel::new(&self.lineage, &hw, self.pattern);
+        if !self.cfg.unified {
+            // +CostAware: sort by potential disk cost (smallest disk I/O
+            // evicted first), always spilling (§7.3).
+            let mut candidates: Vec<(u64, BlockId, ByteSize)> = resident
+                .iter()
+                .map(|b| (model.cost_d(b.id).as_nanos(), b.id, b.bytes))
+                .collect();
+            candidates.sort_by_key(|&(c, id, _)| (c, id));
+            return take_until(needed, candidates.into_iter().map(|(_, id, b)| (id, b)))
+                .into_iter()
+                .map(|(id, _)| (id, VictimAction::ToDisk))
+                .collect();
+        }
+
+        // Full Blaze (§4.1/§4.2): victims ordered by effective potential
+        // recovery cost (zero for unreferenced data); caching proceeds only
+        // if the incoming partition saves more than the victims lose.
+        let mut candidates: Vec<(f64, BlockId, ByteSize)> = resident
+            .iter()
+            .map(|b| {
+                let w = self.value_weight(b.id.rdd, Some(incoming.id.rdd));
+                let v = if w > 0.0 { model.cost(b.id).as_secs_f64() * w } else { 0.0 };
+                (v, b.id, b.bytes)
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        });
+        let picked = take_until(needed, candidates.iter().map(|&(_, id, b)| (id, b)));
+        let victims_value: f64 = candidates
+            .iter()
+            .take(picked.len())
+            .map(|&(v, _, _)| v)
+            .sum();
+        let iw = self.value_weight(incoming.id.rdd, None);
+        let incoming_value =
+            if iw > 0.0 { model.cost(incoming.id).as_secs_f64() * iw } else { 0.0 };
+        if victims_value >= incoming_value {
+            // Caching the incoming block would evict more valuable data:
+            // decline (the engine falls back to on_admission_failure).
+            return Vec::new();
+        }
+        picked
+            .into_iter()
+            .map(|(id, _)| {
+                let action = if self.cfg.use_disk && model.prefers_disk(id) {
+                    VictimAction::ToDisk
+                } else {
+                    VictimAction::Discard
+                };
+                (id, action)
+            })
+            .collect()
+    }
+
+    fn on_admission_failure(&mut self, ctx: &CtrlCtx, block: &BlockInfo) -> Admission {
+        if !self.cfg.use_disk {
+            return Admission::Skip;
+        }
+        if !self.cfg.unified {
+            // +AutoCache / +CostAware run on MEM+DISK behaviour.
+            return Admission::Disk;
+        }
+        let hw = ctx.hardware;
+        let mut model = CostModel::new(&self.lineage, &hw, self.pattern);
+        if model.prefers_disk(block.id) {
+            Admission::Disk
+        } else {
+            Admission::Skip
+        }
+    }
+
+    fn readmit_after_disk_read(&mut self, _ctx: &CtrlCtx, block: &BlockInfo) -> Admission {
+        if self.cfg.unified && self.cross_job_refs(block.id.rdd) > 0 {
+            Admission::Memory
+        } else {
+            Admission::Disk
+        }
+    }
+
+    fn on_access(&mut self, _ctx: &CtrlCtx, id: BlockId) {
+        self.touch(id);
+    }
+
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
+        let state = if to_disk {
+            PartitionState::Disk(info.executor)
+        } else {
+            self.touch(info.id);
+            PartitionState::Memory(info.executor)
+        };
+        self.lineage.set_state(info.id, state);
+    }
+
+    fn on_evicted(&mut self, _ctx: &CtrlCtx, id: BlockId) {
+        self.recency.remove(&id);
+        // The block left memory; if it is being spilled, the follow-up
+        // on_inserted(to_disk = true) will set the disk state.
+        self.lineage.set_state(id, PartitionState::None);
+    }
+
+    fn on_partition_computed(&mut self, _ctx: &CtrlCtx, event: &PartitionEvent) {
+        // The profiling feed (§5.3): sizes and edge-compute times.
+        self.lineage.record_metrics(event.info.id, event.info.bytes, event.edge_compute);
+    }
+}
+
+/// Picks prefix items until `needed` bytes are covered.
+fn take_until(
+    needed: ByteSize,
+    ordered: impl IntoIterator<Item = (BlockId, ByteSize)>,
+) -> Vec<(BlockId, ByteSize)> {
+    let mut freed = ByteSize::ZERO;
+    let mut out = Vec::new();
+    for (id, bytes) in ordered {
+        if freed >= needed {
+            break;
+        }
+        freed += bytes;
+        out.push((id, bytes));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_common::{SimDuration, SimTime};
+    use blaze_engine::HardwareModel;
+
+    fn ctrl_ctx() -> CtrlCtx {
+        CtrlCtx {
+            now: SimTime::ZERO,
+            hardware: HardwareModel::default(),
+            memory_capacity: ByteSize::from_mib(4),
+            disk_capacity: ByteSize::from_gib(1),
+            executors: 2,
+        }
+    }
+
+    fn info(rdd: u32, part: u32, kib: u64) -> BlockInfo {
+        BlockInfo {
+            id: BlockId::new(RddId(rdd), part),
+            bytes: ByteSize::from_kib(kib),
+            ser_factor: 1.0,
+            executor: ExecutorId(0),
+        }
+    }
+
+    #[test]
+    fn names_reflect_ablation_levels() {
+        assert_eq!(BlazeController::new(BlazeConfig::full(), None).name(), "Blaze");
+        assert_eq!(
+            BlazeController::new(BlazeConfig::full_mem_only(), None).name(),
+            "Blaze (MEM_ONLY)"
+        );
+        assert_eq!(
+            BlazeController::new(BlazeConfig::auto_cache_only(), None).name(),
+            "+AutoCache"
+        );
+        assert_eq!(BlazeController::new(BlazeConfig::cost_aware(), None).name(), "+CostAware");
+    }
+
+    #[test]
+    fn should_cache_follows_future_references() {
+        use blaze_dataflow::{runner::LocalRunner, Context};
+        // Two jobs: job 0 materializes c = f(b); job 1 materializes d = g(b).
+        // During job 0, b has a cross-job reference (cache it) while c has
+        // none (do not cache it).
+        let dctx = Context::new(LocalRunner::new());
+        let a = dctx.parallelize((0..64u64).map(|i| (i % 4, i)).collect::<Vec<_>>(), 2);
+        let b = a.reduce_by_key(2, |x, y| x + y);
+        let c = b.map_values(|v| v + 1);
+        let d = b.map_values(|v| v + 2);
+
+        let mut ctl = BlazeController::new(BlazeConfig::full(), None);
+        let ctx = ctrl_ctx();
+        let plan_lock = dctx.plan();
+        let plan = plan_lock.read();
+        // Seed the profiled structure: both job targets are known.
+        ctl.lineage.merge_plan(&plan);
+        ctl.lineage.seed_job_targets(vec![c.id(), d.id()]);
+        ctl.refs = crate::refs::JobRefs::build(&plan, &[c.id(), d.id()]);
+        ctl.profiled = true;
+
+        let jp = blaze_dataflow::planner::plan_job(&plan, c.id()).unwrap();
+        ctl.on_job_submit(&ctx, JobId(0), &jp, &plan);
+        assert!(ctl.should_cache(&ctx, &info(b.id().raw(), 0, 1), false));
+        assert!(!ctl.should_cache(&ctx, &info(c.id().raw(), 0, 1), false));
+    }
+
+    #[test]
+    fn annotations_rule_when_auto_cache_is_off() {
+        let mut cfg = BlazeConfig::full();
+        cfg.auto_cache = false;
+        let mut ctl = BlazeController::new(cfg, None);
+        let ctx = ctrl_ctx();
+        assert!(ctl.should_cache(&ctx, &info(1, 0, 1), true));
+        assert!(!ctl.should_cache(&ctx, &info(1, 0, 1), false));
+    }
+
+    #[test]
+    fn unified_admission_declines_cheap_over_expensive() {
+        use blaze_dataflow::{runner::LocalRunner, Context};
+        // Two datasets both referenced in the future; the resident one has
+        // a much higher recovery cost than the incoming one.
+        let dctx = Context::new(LocalRunner::new());
+        let exp = dctx.parallelize((0..64u64).collect::<Vec<_>>(), 1); // rdd 0
+        let cheap = dctx.parallelize((0..64u64).collect::<Vec<_>>(), 1); // rdd 1
+        let m1 = exp.map(|x| x + 1); // rdd 2
+        let m2 = cheap.map(|x| x + 1); // rdd 3
+        let joined = m1.zip_partitions(&m2, |a, b| {
+            a.iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>()
+        }); // rdd 4
+
+        let mut ctl = BlazeController::new(BlazeConfig::full(), None);
+        let ctx = ctrl_ctx();
+        let plan_lock = dctx.plan();
+        let plan = plan_lock.read();
+        let jp = blaze_dataflow::planner::plan_job(&plan, joined.id()).unwrap();
+        ctl.on_job_submit(&ctx, JobId(0), &jp, &plan);
+
+        // Resident: exp's partition with huge compute time; incoming:
+        // cheap's partition with tiny compute time. Sizes equal.
+        let resident = info(exp.id().raw(), 0, 64);
+        ctl.on_partition_computed(
+            &ctx,
+            &PartitionEvent {
+                info: resident,
+                edge_compute: SimDuration::from_secs(30),
+                job: JobId(0),
+                recomputed: false,
+            },
+        );
+        ctl.on_inserted(&ctx, &resident, false);
+        let incoming = info(cheap.id().raw(), 0, 64);
+        ctl.on_partition_computed(
+            &ctx,
+            &PartitionEvent {
+                info: incoming,
+                edge_compute: SimDuration::from_micros(1),
+                job: JobId(0),
+                recomputed: false,
+            },
+        );
+        let victims =
+            ctl.choose_victims(&ctx, ExecutorId(0), ByteSize::from_kib(64), &incoming, &[resident]);
+        assert!(victims.is_empty(), "cheap data must not displace expensive data");
+
+        // And the reverse direction must evict.
+        let victims =
+            ctl.choose_victims(&ctx, ExecutorId(0), ByteSize::from_kib(64), &resident, &[incoming]);
+        assert!(!victims.is_empty(), "expensive data should displace cheap data");
+    }
+
+    #[test]
+    fn auto_unpersist_drops_unreferenced_rdds() {
+        use blaze_dataflow::{runner::LocalRunner, Context};
+        let dctx = Context::new(LocalRunner::new());
+        let a = dctx.parallelize((0..8u64).collect::<Vec<_>>(), 1); // rdd 0
+        let b = a.map(|x| x + 1); // rdd 1 (the target: no future refs)
+
+        let mut ctl = BlazeController::new(BlazeConfig::full(), None);
+        let ctx = ctrl_ctx();
+        let plan_lock = dctx.plan();
+        let plan = plan_lock.read();
+        let jp = blaze_dataflow::planner::plan_job(&plan, b.id()).unwrap();
+        ctl.on_job_submit(&ctx, JobId(0), &jp, &plan);
+        // Pretend b got cached.
+        let binfo = info(b.id().raw(), 0, 4);
+        ctl.on_partition_computed(
+            &ctx,
+            &PartitionEvent {
+                info: binfo,
+                edge_compute: SimDuration::from_millis(1),
+                job: JobId(0),
+                recomputed: false,
+            },
+        );
+        ctl.on_inserted(&ctx, &binfo, false);
+        let cmds = ctl.on_stage_complete(&ctx, b.id(), JobId(0), &plan);
+        assert!(
+            cmds.contains(&StateCommand::UnpersistRdd(b.id())),
+            "b has no future refs and must be auto-unpersisted, got {cmds:?}"
+        );
+    }
+
+    #[test]
+    fn diverging_from_the_profile_falls_back_to_relearning() {
+        use blaze_dataflow::{runner::LocalRunner, Context};
+        let dctx = Context::new(LocalRunner::new());
+        let a = dctx.parallelize((0..16u64).collect::<Vec<_>>(), 1);
+        let b = a.map(|x| x + 1);
+        let c = a.map(|x| x + 2);
+
+        let mut ctl = BlazeController::new(BlazeConfig::full(), None);
+        // Seed a profile that predicts jobs [b, b] — the runtime will run
+        // [b, c] instead.
+        ctl.lineage.merge_plan(&dctx.plan().read());
+        ctl.lineage.seed_job_targets(vec![b.id(), b.id()]);
+        ctl.refs = crate::refs::JobRefs::build(&dctx.plan().read(), &[b.id(), b.id()]);
+        ctl.profiled = true;
+
+        let ctx = ctrl_ctx();
+        let plan_lock = dctx.plan();
+        let plan = plan_lock.read();
+        let jp_b = blaze_dataflow::planner::plan_job(&plan, b.id()).unwrap();
+        ctl.on_job_submit(&ctx, JobId(0), &jp_b, &plan);
+        assert!(ctl.profiled, "first job matches the profile");
+
+        let jp_c = blaze_dataflow::planner::plan_job(&plan, c.id()).unwrap();
+        ctl.on_job_submit(&ctx, JobId(1), &jp_c, &plan);
+        assert!(!ctl.profiled, "divergence must drop the profiled structure");
+        // Refs were relearned from the runtime plan: the observed sequence
+        // is now [b, c].
+        assert_eq!(ctl.lineage.job_targets(), &[b.id(), c.id()]);
+    }
+
+    #[test]
+    fn pending_in_job_blocks_get_half_weight_protection() {
+        use blaze_dataflow::{runner::LocalRunner, Context};
+        let dctx = Context::new(LocalRunner::new());
+        let a = dctx.parallelize((0..16u64).collect::<Vec<_>>(), 1);
+        let b = a.map(|x| x + 1);
+        // An unrelated dataset consumed by a *later* stage of the same job.
+        let pairs = dctx.parallelize((0..16u64).map(|i| (i % 2, i)).collect::<Vec<_>>(), 1);
+        let reduced = pairs.reduce_by_key(1, |x, y| x + y);
+        let joined = b
+            .map(|x| (x % 2, *x))
+            .zip_partitions(&reduced.partition_by(1), |l, _r| l.to_vec());
+
+        let mut ctl = BlazeController::new(BlazeConfig::full(), None);
+        let ctx = ctrl_ctx();
+        let plan_lock = dctx.plan();
+        let plan = plan_lock.read();
+        let jp = blaze_dataflow::planner::plan_job(&plan, joined.id()).unwrap();
+        ctl.on_job_submit(&ctx, JobId(0), &jp, &plan);
+        // `pairs` is consumed by the reduce shuffle's map stage, which has
+        // not completed: weight 0.5. After that stage completes, 0.0.
+        assert!(ctl.value_weight(pairs.id(), None) > 0.0);
+        // Complete every stage.
+        let outputs: Vec<_> = jp.stages.iter().map(|s| s.output).collect();
+        for out in outputs {
+            ctl.on_stage_complete(&ctx, out, JobId(0), &plan);
+        }
+        assert_eq!(ctl.value_weight(pairs.id(), None), 0.0);
+    }
+
+    #[test]
+    fn mem_only_mode_never_touches_disk() {
+        let mut ctl = BlazeController::new(BlazeConfig::full_mem_only(), None);
+        let ctx = ctrl_ctx();
+        assert_eq!(ctl.on_admission_failure(&ctx, &info(1, 0, 1)), Admission::Skip);
+    }
+}

@@ -1,0 +1,298 @@
+//! Potential recovery cost estimation (paper §5.4, Eq. 2–4).
+//!
+//! For a partition `p_i` not resident in memory at access time:
+//!
+//! - the **disk cost** `cost_d(p_i, t)` is the time to move the partition
+//!   through the disk: serialization + write + read + deserialization.
+//!   Eq. 3 writes this as `size / throughput_disk`; Fig. 4 clarifies that
+//!   "data (de)serialization is included in the disk I/O time", so we charge
+//!   the full spill + fetch path from the hardware model;
+//! - the **recomputation cost** `cost_r(p_i, t)` (Eq. 4) recurses through
+//!   the lineage: the most expensive uncached ancestor chain, where a
+//!   memory-resident ancestor terminates the recursion (`(1 - m_k)` term)
+//!   and a shuffle boundary terminates it too, because shuffle outputs
+//!   persist like Spark shuffle files (re-fetch, not re-execute);
+//! - the **potential recovery cost** (Eq. 2) is the minimum of the two,
+//!   assuming abundant disk, since Blaze will pick the cheaper recovery.
+//!
+//! Unobserved metrics are inducted ([`crate::induct`]); both costs are pure
+//! functions of the CostLineage snapshot and evaluate in microseconds (the
+//! paper reports milliseconds on cluster-sized lineages, §5.4).
+
+use crate::costlineage::CostLineage;
+use crate::induct::{induct_edge_compute, induct_size};
+use crate::pattern::IterationPattern;
+use blaze_common::fxhash::FxHashMap;
+use blaze_common::ids::BlockId;
+use blaze_common::{ByteSize, SimDuration};
+use blaze_engine::HardwareModel;
+
+/// The potential-recovery-cost estimator.
+pub struct CostModel<'a> {
+    lineage: &'a CostLineage,
+    hardware: &'a HardwareModel,
+    pattern: Option<IterationPattern>,
+    /// Memoized Eq. 2 values for the current snapshot.
+    memo: FxHashMap<BlockId, SimDuration>,
+}
+
+/// Recursion guard: lineage chains longer than this are priced as already
+/// maximal (they only occur on degenerate unbounded lineages).
+const MAX_DEPTH: usize = 512;
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model over a lineage snapshot.
+    pub fn new(
+        lineage: &'a CostLineage,
+        hardware: &'a HardwareModel,
+        pattern: Option<IterationPattern>,
+    ) -> Self {
+        Self { lineage, hardware, pattern, memo: FxHashMap::default() }
+    }
+
+    /// Estimated size of a partition (observed or inducted).
+    pub fn size(&self, id: BlockId) -> ByteSize {
+        induct_size(self.lineage, self.pattern, id).unwrap_or(ByteSize::ZERO)
+    }
+
+    /// Estimated single-edge compute time of a partition.
+    pub fn edge_compute(&self, id: BlockId) -> SimDuration {
+        induct_edge_compute(self.lineage, self.pattern, id).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Eq. 3: the potential disk access cost of `p_i`.
+    pub fn cost_d(&self, id: BlockId) -> SimDuration {
+        let size = self.size(id);
+        let ser = self.lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0);
+        self.hardware.spill_time(size, ser) + self.hardware.fetch_from_disk_time(size, ser)
+    }
+
+    /// Eq. 4: the potential recomputation cost of `p_i`.
+    pub fn cost_r(&mut self, id: BlockId) -> SimDuration {
+        self.cost_r_inner(id, 0)
+    }
+
+    fn cost_r_inner(&mut self, id: BlockId, depth: usize) -> SimDuration {
+        let Some(node) = self.lineage.node(id.rdd) else {
+            return SimDuration::ZERO;
+        };
+        if depth > MAX_DEPTH {
+            return SimDuration::from_secs(3600);
+        }
+        let edge = self.edge_compute(id);
+        if node.is_shuffle {
+            // Shuffle outputs persist: recomputation re-fetches them over
+            // the network (plus deserialization) and re-runs only the
+            // aggregation edge.
+            let parent_ser =
+                node.parents.first().and_then(|p| self.lineage.node(*p)).map(|n| n.ser_factor);
+            let size = self.size(id);
+            let fetch = self.hardware.network_time(size)
+                + self.hardware.deser_time(size, parent_ser.unwrap_or(1.0));
+            return edge + fetch;
+        }
+        // Eq. 4 takes the max over ancestor chains (parallel recovery); our
+        // engine recovers the inputs of one task serially, so the faithful
+        // prediction here is the *sum* over parents (documented deviation).
+        let parents = node.parents.clone();
+        let mut total = SimDuration::ZERO;
+        for parent in parents {
+            let pid = BlockId::new(parent, id.partition);
+            total += self.recovery_inner(pid, depth + 1);
+        }
+        total + edge
+    }
+
+    /// The cost of using a partition right now, given its *current* state
+    /// (the `(1 - m_k) · cost(p_k, t)` term of Eq. 4): free from memory, a
+    /// disk read when spilled, a recursive recomputation otherwise.
+    fn recovery_inner(&mut self, id: BlockId, depth: usize) -> SimDuration {
+        if let Some(&c) = self.memo.get(&id) {
+            return c;
+        }
+        let c = match self.lineage.state(id) {
+            crate::costlineage::PartitionState::Memory(_) => SimDuration::ZERO,
+            crate::costlineage::PartitionState::Disk(_) => {
+                let size = self.size(id);
+                let ser = self.lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0);
+                self.hardware.fetch_from_disk_time(size, ser)
+            }
+            crate::costlineage::PartitionState::None => self.cost_r_inner(id, depth),
+        };
+        self.memo.insert(id, c);
+        c
+    }
+
+    /// Eq. 2: the potential recovery cost of `p_i` if it is not kept in
+    /// memory. For an already-spilled partition only the read remains; for
+    /// anything else Blaze is free to pick the cheaper of disk and
+    /// recomputation.
+    pub fn cost(&mut self, id: BlockId) -> SimDuration {
+        if self.lineage.state(id).on_disk() {
+            let size = self.size(id);
+            let ser = self.lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0);
+            return self.hardware.fetch_from_disk_time(size, ser);
+        }
+        self.cost_d(id).min(self.cost_r(id))
+    }
+
+    /// The recovery state Blaze would pick for an out-of-memory partition:
+    /// true = keep on disk (`d_i`), false = discard (`u_i`) (§4.2).
+    pub fn prefers_disk(&mut self, id: BlockId) -> bool {
+        self.cost_d(id) < self.cost_r(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costlineage::PartitionState;
+    use blaze_common::ids::{ExecutorId, RddId};
+    use blaze_dataflow::{runner::LocalRunner, Context};
+
+    /// chain: src(0) -> m1(1) -> m2(2) -> m3(3), 1 partition each.
+    fn chain_lineage() -> CostLineage {
+        let ctx = Context::new(LocalRunner::new());
+        let src = ctx.parallelize(vec![0u64; 16], 1);
+        let m1 = src.map(|x| x + 1);
+        let m2 = m1.map(|x| x + 1);
+        let _m3 = m2.map(|x| x + 1);
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        cl
+    }
+
+    fn record(cl: &mut CostLineage, rdd: u32, kib: u64, ms: u64) {
+        cl.record_metrics(
+            BlockId::new(RddId(rdd), 0),
+            ByteSize::from_kib(kib),
+            SimDuration::from_millis(ms),
+        );
+    }
+
+    #[test]
+    fn disk_cost_scales_with_size_and_ser_factor() {
+        let mut cl = chain_lineage();
+        record(&mut cl, 1, 1024, 10);
+        record(&mut cl, 2, 2048, 10);
+        let hw = HardwareModel::default();
+        let m = CostModel::new(&cl, &hw, None);
+        let small = m.cost_d(BlockId::new(RddId(1), 0));
+        let large = m.cost_d(BlockId::new(RddId(2), 0));
+        assert!(large > small);
+        assert!(large.as_secs_f64() / small.as_secs_f64() > 1.9);
+    }
+
+    #[test]
+    fn recompute_cost_accumulates_down_uncached_chains() {
+        let mut cl = chain_lineage();
+        for rdd in 0..4 {
+            record(&mut cl, rdd, 1, 10); // Tiny data: recompute beats disk.
+        }
+        let hw = HardwareModel::default();
+        let mut m = CostModel::new(&cl, &hw, None);
+        // Nothing cached: recomputing m3 re-runs src, m1, m2, m3 = 40 ms.
+        let c3 = m.cost_r(BlockId::new(RddId(3), 0));
+        assert!((c3.as_millis_f64() - 40.0).abs() < 1.0, "got {c3}");
+    }
+
+    #[test]
+    fn memory_resident_ancestor_cuts_the_recursion() {
+        let mut cl = chain_lineage();
+        for rdd in 0..4 {
+            record(&mut cl, rdd, 1, 10);
+        }
+        cl.set_state(BlockId::new(RddId(2), 0), PartitionState::Memory(ExecutorId(0)));
+        let hw = HardwareModel::default();
+        let mut m = CostModel::new(&cl, &hw, None);
+        // m2 cached: recomputing m3 costs only its own edge (10 ms).
+        let c3 = m.cost_r(BlockId::new(RddId(3), 0));
+        assert!((c3.as_millis_f64() - 10.0).abs() < 1.0, "got {c3}");
+    }
+
+    #[test]
+    fn disk_resident_ancestor_costs_a_disk_read() {
+        let mut cl = chain_lineage();
+        for rdd in 0..4 {
+            record(&mut cl, rdd, 10_000, 1); // Large data, cheap compute.
+        }
+        cl.set_state(BlockId::new(RddId(2), 0), PartitionState::Disk(ExecutorId(0)));
+        let hw = HardwareModel::default();
+        let mut m = CostModel::new(&cl, &hw, None);
+        let c2 = m.cost(BlockId::new(RddId(2), 0));
+        // On disk: recovery = read + deser only.
+        let expected = hw.fetch_from_disk_time(ByteSize::from_kib(10_000), 1.0);
+        assert_eq!(c2, expected);
+    }
+
+    #[test]
+    fn eq2_picks_the_cheaper_recovery() {
+        let mut cl = chain_lineage();
+        // Big partition, cheap compute: recompute wins.
+        for rdd in 0..4 {
+            record(&mut cl, rdd, 100_000, 1);
+        }
+        let hw = HardwareModel::default();
+        let mut m = CostModel::new(&cl, &hw, None);
+        let id = BlockId::new(RddId(3), 0);
+        assert!(!m.prefers_disk(id));
+        assert_eq!(m.cost(id), m.cost_r(id));
+
+        // Small partition, expensive compute: disk wins.
+        let mut cl2 = chain_lineage();
+        for rdd in 0..4 {
+            record(&mut cl2, rdd, 1, 2_000);
+        }
+        let mut m2 = CostModel::new(&cl2, &hw, None);
+        let id = BlockId::new(RddId(3), 0);
+        assert!(m2.prefers_disk(id));
+        assert_eq!(m2.cost(id), m2.cost_d(id));
+    }
+
+    #[test]
+    fn shuffle_nodes_stop_recursion_at_the_boundary() {
+        let ctx = Context::new(LocalRunner::new());
+        let src = ctx.parallelize((0..64u64).map(|i| (i % 4, i)).collect::<Vec<_>>(), 2);
+        let red = src.reduce_by_key(2, |a, b| a + b);
+        let mapped = red.map_values(|v| v + 1);
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        // Expensive source; the shuffle must hide it.
+        cl.record_metrics(
+            BlockId::new(src.id(), 0),
+            ByteSize::from_kib(1),
+            SimDuration::from_secs(100),
+        );
+        cl.record_metrics(
+            BlockId::new(red.id(), 0),
+            ByteSize::from_kib(1),
+            SimDuration::from_millis(5),
+        );
+        cl.record_metrics(
+            BlockId::new(mapped.id(), 0),
+            ByteSize::from_kib(1),
+            SimDuration::from_millis(5),
+        );
+        let hw = HardwareModel::default();
+        let mut m = CostModel::new(&cl, &hw, None);
+        let c = m.cost_r(BlockId::new(mapped.id(), 0));
+        // Recomputation = re-fetch shuffle + red edge + mapped edge,
+        // nowhere near the 100 s source.
+        assert!(c < SimDuration::from_secs(1), "got {c}");
+        assert!(c >= SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn memoization_is_consistent() {
+        let mut cl = chain_lineage();
+        for rdd in 0..4 {
+            record(&mut cl, rdd, 64, 10);
+        }
+        let hw = HardwareModel::default();
+        let mut m = CostModel::new(&cl, &hw, None);
+        let id = BlockId::new(RddId(3), 0);
+        let a = m.cost(id);
+        let b = m.cost(id);
+        assert_eq!(a, b);
+    }
+}

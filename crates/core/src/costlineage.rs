@@ -1,0 +1,332 @@
+//! The CostLineage: the paper's central data structure (§5.3).
+//!
+//! A CostLineage mirrors the workload's lineage DAG with per-partition cost
+//! metrics attached: the partition's size, the time to compute it from its
+//! direct inputs (`cost_{k->i}` of Eq. 4), and its current state (memory,
+//! disk, or nowhere). It is seeded by the dependency-extraction phase and
+//! continuously updated with runtime observations; metrics for partitions
+//! not yet observed are filled in by inductive regression over congruent
+//! partitions of earlier iterations ([`crate::induct`]).
+//!
+//! On duplicate-RDD merging: in Spark, each iteration's job re-submits
+//! overlapping RDD graphs and CostLineage merges duplicate datasets by id
+//! (paper Fig. 8). Our dataflow layer allocates one node per logical RDD in
+//! a single shared plan, so merging is inherent; the "merge" step here is
+//! the incremental absorption of newly appended plan nodes at each job
+//! submission. Because RDD ids are assigned in program order, a profiling
+//! run that executes the same driver code path yields the *same ids*, which
+//! is what lets profiled metrics align with the runtime plan.
+
+use blaze_common::fxhash::FxHashMap;
+use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::{ByteSize, SimDuration};
+use blaze_dataflow::Plan;
+
+/// Where a partition currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionState {
+    /// Not materialized anywhere persistent (recompute on access).
+    #[default]
+    None,
+    /// Cached in an executor's memory store.
+    Memory(ExecutorId),
+    /// Spilled to an executor's disk store.
+    Disk(ExecutorId),
+}
+
+impl PartitionState {
+    /// True if the partition is in a memory store (the `m_i = 1` state).
+    pub fn in_memory(self) -> bool {
+        matches!(self, PartitionState::Memory(_))
+    }
+
+    /// True if the partition is on disk (the `d_i = 1` state).
+    pub fn on_disk(self) -> bool {
+        matches!(self, PartitionState::Disk(_))
+    }
+
+    /// The executor holding the partition, if any.
+    pub fn executor(self) -> Option<ExecutorId> {
+        match self {
+            PartitionState::None => None,
+            PartitionState::Memory(e) | PartitionState::Disk(e) => Some(e),
+        }
+    }
+}
+
+/// Observed (or inducted) metrics of one partition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionMetrics {
+    /// Materialized size, if ever observed.
+    pub size: Option<ByteSize>,
+    /// Time to compute from direct inputs (one lineage edge), if observed.
+    pub edge_compute: Option<SimDuration>,
+    /// Current state.
+    pub state: PartitionState,
+}
+
+/// One dataset node in the CostLineage.
+#[derive(Debug, Clone)]
+pub struct LineageNode {
+    /// The mirrored RDD.
+    pub rdd: RddId,
+    /// Operator name (for reports).
+    pub name: String,
+    /// Direct parents.
+    pub parents: Vec<RddId>,
+    /// True if this node reads a shuffle (recomputation re-fetches shuffle
+    /// outputs instead of re-running the upstream stage).
+    pub is_shuffle: bool,
+    /// Serialization factor of the element type.
+    pub ser_factor: f64,
+    /// Per-partition metrics.
+    pub parts: Vec<PartitionMetrics>,
+}
+
+/// The cost-annotated lineage of the whole application.
+#[derive(Debug, Default)]
+pub struct CostLineage {
+    nodes: FxHashMap<RddId, LineageNode>,
+    /// Submitted job targets, in order (profiled first, then observed).
+    job_targets: Vec<RddId>,
+    /// Index of the currently running job within `job_targets`.
+    current_job: usize,
+    /// True once the runtime diverged from a profiled job sequence.
+    diverged: bool,
+}
+
+impl CostLineage {
+    /// Creates an empty CostLineage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs every node of `plan` not yet mirrored (duplicate merging is
+    /// by-id: already-known nodes keep their accumulated metrics).
+    pub fn merge_plan(&mut self, plan: &Plan) {
+        for node in plan.iter() {
+            self.nodes.entry(node.id).or_insert_with(|| LineageNode {
+                rdd: node.id,
+                name: node.name.clone(),
+                parents: node.deps.iter().map(|d| d.parent()).collect(),
+                is_shuffle: node.is_shuffle(),
+                ser_factor: node.ser_factor,
+                parts: vec![PartitionMetrics::default(); node.num_partitions],
+            });
+        }
+    }
+
+    /// Records a submitted job target; returns its index in the sequence.
+    ///
+    /// If the target was already known from profiling (same id at the next
+    /// position), the position simply advances.
+    pub fn observe_job(&mut self, _job: JobId, target: RddId) -> usize {
+        if self.current_job < self.job_targets.len()
+            && self.job_targets[self.current_job] == target
+        {
+            let idx = self.current_job;
+            self.current_job += 1;
+            return idx;
+        }
+        // Diverged from (or ran past) the profiled sequence: truncate and
+        // append the observed target.
+        if self.current_job < self.job_targets.len() {
+            self.diverged = true;
+        }
+        self.job_targets.truncate(self.current_job);
+        self.job_targets.push(target);
+        self.current_job += 1;
+        self.current_job - 1
+    }
+
+    /// Seeds the job sequence from a dependency-extraction run (§5.1 ①).
+    pub fn seed_job_targets(&mut self, targets: Vec<RddId>) {
+        self.job_targets = targets;
+        self.current_job = 0;
+        self.diverged = false;
+    }
+
+    /// True once the runtime diverged from a profiled job sequence.
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    /// The recorded/predicted job-target sequence.
+    pub fn job_targets(&self) -> &[RddId] {
+        &self.job_targets
+    }
+
+    /// Index of the current job within the sequence (jobs completed so far).
+    pub fn current_job_index(&self) -> usize {
+        self.current_job
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, rdd: RddId) -> Option<&LineageNode> {
+        self.nodes.get(&rdd)
+    }
+
+    /// Number of mirrored datasets.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no datasets are mirrored.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = &LineageNode> {
+        self.nodes.values()
+    }
+
+    fn part_mut(&mut self, id: BlockId) -> Option<&mut PartitionMetrics> {
+        self.nodes.get_mut(&id.rdd)?.parts.get_mut(id.partition as usize)
+    }
+
+    /// Records an observed partition size and edge-compute time.
+    pub fn record_metrics(&mut self, id: BlockId, size: ByteSize, edge_compute: SimDuration) {
+        if let Some(p) = self.part_mut(id) {
+            p.size = Some(size);
+            p.edge_compute = Some(edge_compute);
+        }
+    }
+
+    /// Updates a partition's state.
+    pub fn set_state(&mut self, id: BlockId, state: PartitionState) {
+        if let Some(p) = self.part_mut(id) {
+            p.state = state;
+        }
+    }
+
+    /// Returns a partition's metrics, if the node is known.
+    pub fn metrics(&self, id: BlockId) -> Option<&PartitionMetrics> {
+        self.nodes.get(&id.rdd)?.parts.get(id.partition as usize)
+    }
+
+    /// Returns a partition's current state (`None` when unknown).
+    pub fn state(&self, id: BlockId) -> PartitionState {
+        self.metrics(id).map(|m| m.state).unwrap_or_default()
+    }
+
+    /// Observed size of a partition, if any.
+    pub fn observed_size(&self, id: BlockId) -> Option<ByteSize> {
+        self.metrics(id).and_then(|m| m.size)
+    }
+
+    /// Observed edge-compute time of a partition, if any.
+    pub fn observed_edge_compute(&self, id: BlockId) -> Option<SimDuration> {
+        self.metrics(id).and_then(|m| m.edge_compute)
+    }
+
+    /// All blocks currently believed to be in the given state class.
+    pub fn blocks_in_memory(&self) -> Vec<(BlockId, ByteSize)> {
+        let mut v: Vec<(BlockId, ByteSize)> = self
+            .nodes
+            .values()
+            .flat_map(|n| {
+                n.parts.iter().enumerate().filter(|(_, p)| p.state.in_memory()).map(
+                    move |(i, p)| {
+                        (BlockId::new(n.rdd, i as u32), p.size.unwrap_or(ByteSize::ZERO))
+                    },
+                )
+            })
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// All blocks currently believed to be on disk.
+    pub fn blocks_on_disk(&self) -> Vec<(BlockId, ByteSize)> {
+        let mut v: Vec<(BlockId, ByteSize)> = self
+            .nodes
+            .values()
+            .flat_map(|n| {
+                n.parts.iter().enumerate().filter(|(_, p)| p.state.on_disk()).map(
+                    move |(i, p)| {
+                        (BlockId::new(n.rdd, i as u32), p.size.unwrap_or(ByteSize::ZERO))
+                    },
+                )
+            })
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_dataflow::{runner::LocalRunner, Context};
+
+    fn small_plan() -> (Context, RddId, RddId) {
+        let ctx = Context::new(LocalRunner::new());
+        let a = ctx.parallelize((0..10u64).map(|i| (i % 2, i)).collect::<Vec<_>>(), 2);
+        let b = a.reduce_by_key(2, |x, y| x + y);
+        (ctx, a.id(), b.id())
+    }
+
+    #[test]
+    fn merge_mirrors_plan_structure() {
+        let (ctx, a, b) = small_plan();
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        assert_eq!(cl.len(), 2);
+        let nb = cl.node(b).unwrap();
+        assert_eq!(nb.parents, vec![a]);
+        assert!(nb.is_shuffle);
+        assert!(!cl.node(a).unwrap().is_shuffle);
+        assert_eq!(cl.node(a).unwrap().parts.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_preserves_metrics() {
+        let (ctx, a, _b) = small_plan();
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        let id = BlockId::new(a, 0);
+        cl.record_metrics(id, ByteSize::from_kib(3), SimDuration::from_millis(5));
+        cl.merge_plan(&ctx.plan().read());
+        assert_eq!(cl.observed_size(id), Some(ByteSize::from_kib(3)));
+        assert_eq!(cl.observed_edge_compute(id), Some(SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn state_transitions_are_tracked() {
+        let (ctx, a, _b) = small_plan();
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        let id = BlockId::new(a, 1);
+        assert_eq!(cl.state(id), PartitionState::None);
+        cl.set_state(id, PartitionState::Memory(ExecutorId(2)));
+        assert!(cl.state(id).in_memory());
+        assert_eq!(cl.state(id).executor(), Some(ExecutorId(2)));
+        cl.set_state(id, PartitionState::Disk(ExecutorId(2)));
+        assert!(cl.state(id).on_disk());
+        cl.record_metrics(id, ByteSize::from_kib(1), SimDuration::ZERO);
+        assert_eq!(cl.blocks_on_disk(), vec![(id, ByteSize::from_kib(1))]);
+        assert!(cl.blocks_in_memory().is_empty());
+    }
+
+    #[test]
+    fn job_sequence_follows_profile_then_diverges() {
+        let mut cl = CostLineage::new();
+        cl.seed_job_targets(vec![RddId(5), RddId(9), RddId(13)]);
+        assert_eq!(cl.observe_job(JobId(0), RddId(5)), 0);
+        assert_eq!(cl.observe_job(JobId(1), RddId(9)), 1);
+        // Diverge: runtime submits a different third job.
+        assert_eq!(cl.observe_job(JobId(2), RddId(17)), 2);
+        assert_eq!(cl.job_targets(), &[RddId(5), RddId(9), RddId(17)]);
+        assert_eq!(cl.current_job_index(), 3);
+    }
+
+    #[test]
+    fn unknown_partition_lookups_are_none() {
+        let cl = CostLineage::new();
+        let id = BlockId::new(RddId(1), 0);
+        assert!(cl.metrics(id).is_none());
+        assert_eq!(cl.state(id), PartitionState::None);
+        assert!(cl.observed_size(id).is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! Inductive regression for unobserved partition metrics (§5.3).
+//!
+//! Whenever the cost model needs the size or edge-compute time of a
+//! partition that has not been materialized yet (a future iteration, or a
+//! partition skipped during profiling), Blaze "inductively fills in
+//! temporarily approximated values ... by applying a lightweight linear
+//! regression model based on the existing metrics from previous iterations".
+//!
+//! Given the detected [`IterationPattern`], the congruent partitions of a
+//! block `p` are the same partition index of the id-shifted RDDs of earlier
+//! iterations. Their observed metrics, indexed by iteration, feed the
+//! linear extrapolation in [`blaze_common::stats`].
+
+use crate::costlineage::CostLineage;
+use crate::pattern::IterationPattern;
+use blaze_common::ids::BlockId;
+use blaze_common::stats::extrapolate_at;
+use blaze_common::{ByteSize, SimDuration};
+
+/// Maximum number of earlier iterations consulted for a fit.
+const MAX_LOOKBACK: u32 = 8;
+
+/// Estimates the size of `id`, inducting from congruent partitions when the
+/// partition was never observed. Returns `None` only when nothing relevant
+/// was ever observed.
+pub fn induct_size(
+    lineage: &CostLineage,
+    pattern: Option<IterationPattern>,
+    id: BlockId,
+) -> Option<ByteSize> {
+    if let Some(s) = lineage.observed_size(id) {
+        return Some(s);
+    }
+    let series = congruent_series(lineage, pattern, id, |l, b| {
+        l.observed_size(b).map(|s| s.as_bytes() as f64)
+    })?;
+    let predicted = extrapolate_at(&series.values, series.target_index);
+    Some(ByteSize::from_bytes(predicted.round().max(0.0) as u64))
+}
+
+/// Estimates the edge-compute time of `id` (the `cost_{k->i}` of Eq. 4),
+/// inducting from congruent partitions when unobserved.
+pub fn induct_edge_compute(
+    lineage: &CostLineage,
+    pattern: Option<IterationPattern>,
+    id: BlockId,
+) -> Option<SimDuration> {
+    if let Some(t) = lineage.observed_edge_compute(id) {
+        return Some(t);
+    }
+    let series = congruent_series(lineage, pattern, id, |l, b| {
+        l.observed_edge_compute(b).map(|t| t.as_secs_f64())
+    })?;
+    let predicted = extrapolate_at(&series.values, series.target_index);
+    Some(SimDuration::from_secs_f64(predicted))
+}
+
+struct Series {
+    /// Observed values, oldest iteration first.
+    values: Vec<f64>,
+    /// The index (in iterations) of the partition being predicted, relative
+    /// to the first observation.
+    target_index: usize,
+}
+
+/// Collects the metric of the congruent partitions of `id` over earlier
+/// iterations. Falls back to the observed partitions of the *same* RDD when
+/// no iteration pattern is available (partition-to-partition induction).
+fn congruent_series(
+    lineage: &CostLineage,
+    pattern: Option<IterationPattern>,
+    id: BlockId,
+    metric: impl Fn(&CostLineage, BlockId) -> Option<f64>,
+) -> Option<Series> {
+    if let Some(p) = pattern {
+        let mut values = Vec::new();
+        // Walk back MAX_LOOKBACK iterations; collect oldest-first.
+        for back in (1..=MAX_LOOKBACK).rev() {
+            if let Some(earlier) = p.congruent_earlier(id.rdd, back) {
+                if let Some(v) =
+                    metric(lineage, BlockId::new(earlier, id.partition))
+                {
+                    values.push(v);
+                }
+            }
+        }
+        if !values.is_empty() {
+            let target_index = values.len(); // One step past the newest observation.
+            return Some(Series { values, target_index });
+        }
+    }
+    // Fallback: sibling partitions of the same RDD.
+    let node = lineage.node(id.rdd)?;
+    let values: Vec<f64> = (0..node.parts.len())
+        .filter(|&i| i != id.partition as usize)
+        .filter_map(|i| metric(lineage, BlockId::new(id.rdd, i as u32)))
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        // Siblings carry no trend; predict their mean by "extrapolating" at
+        // the middle of the series.
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        Some(Series { values: vec![mean], target_index: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::detect;
+    use blaze_common::ids::RddId;
+    use blaze_dataflow::{runner::LocalRunner, Context};
+
+    /// Builds a lineage with three "iterations" of a map over a source,
+    /// stride 1 between iteration outputs (rdd ids 1, 2, 3).
+    fn iterated_lineage() -> (CostLineage, IterationPattern) {
+        let ctx = Context::new(LocalRunner::new());
+        let src = ctx.parallelize((0..8u64).collect::<Vec<_>>(), 2);
+        let mut cur = src.clone();
+        let mut targets = Vec::new();
+        for _ in 0..4 {
+            cur = cur.map(|x| x + 1);
+            targets.push(cur.id());
+        }
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        cl.seed_job_targets(targets.clone());
+        let pattern = detect(&targets).unwrap();
+        (cl, pattern)
+    }
+
+    #[test]
+    fn observed_values_short_circuit() {
+        let (mut cl, pattern) = iterated_lineage();
+        let id = BlockId::new(RddId(2), 0);
+        cl.record_metrics(id, ByteSize::from_kib(7), SimDuration::from_millis(3));
+        assert_eq!(induct_size(&cl, Some(pattern), id), Some(ByteSize::from_kib(7)));
+        assert_eq!(
+            induct_edge_compute(&cl, Some(pattern), id),
+            Some(SimDuration::from_millis(3))
+        );
+    }
+
+    #[test]
+    fn inducts_growing_sizes_across_iterations() {
+        let (mut cl, pattern) = iterated_lineage();
+        // Iterations 1..3 observed with sizes 100, 110, 120 KB on part 0.
+        for (i, rdd) in [1u32, 2, 3].iter().enumerate() {
+            cl.record_metrics(
+                BlockId::new(RddId(*rdd), 0),
+                ByteSize::from_bytes(100_000 + 10_000 * i as u64),
+                SimDuration::from_millis(10 + 5 * i as u64),
+            );
+        }
+        // Iteration 4 (rdd 4) unobserved: linear trend predicts 130 KB.
+        let predicted = induct_size(&cl, Some(pattern), BlockId::new(RddId(4), 0)).unwrap();
+        assert!(
+            (predicted.as_bytes() as i64 - 130_000).abs() < 1_000,
+            "predicted {predicted}"
+        );
+        let t = induct_edge_compute(&cl, Some(pattern), BlockId::new(RddId(4), 0)).unwrap();
+        assert!((t.as_millis_f64() - 25.0).abs() < 1.0, "predicted {t}");
+    }
+
+    #[test]
+    fn falls_back_to_sibling_partitions_without_pattern() {
+        let (mut cl, _pattern) = iterated_lineage();
+        let rdd = RddId(2);
+        cl.record_metrics(BlockId::new(rdd, 1), ByteSize::from_kib(40), SimDuration::from_millis(8));
+        let s = induct_size(&cl, None, BlockId::new(rdd, 0)).unwrap();
+        assert_eq!(s, ByteSize::from_kib(40));
+    }
+
+    #[test]
+    fn returns_none_when_nothing_observed() {
+        let (cl, pattern) = iterated_lineage();
+        assert!(induct_size(&cl, Some(pattern), BlockId::new(RddId(3), 0)).is_none());
+        assert!(induct_size(&cl, None, BlockId::new(RddId(3), 0)).is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Repeated-iteration pattern detection (§5.3).
+//!
+//! Iterative workloads submit identically shaped jobs whose RDD ids advance
+//! by a constant stride per iteration (the same driver loop allocates the
+//! same operators). The paper detects congruent datasets with "a simple
+//! pattern searching algorithm based on the differences in the dataset sizes
+//! of adjacent operators"; in our id-stable setting, the structural
+//! equivalent is the constant id stride between consecutive job targets.
+//! Detecting it lets Blaze (a) predict the targets of *future* jobs that
+//! were not captured (Fig. 13's no-profiling mode) and (b) find the
+//! congruent partitions of earlier iterations for metric induction.
+
+use blaze_common::ids::RddId;
+
+/// A detected iteration pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationPattern {
+    /// RDD-id stride between consecutive iterations.
+    pub stride: u32,
+    /// Index of the first job that is part of the periodic phase (jobs
+    /// before it are pre-processing, e.g. input read, Fig. 1).
+    pub first_periodic_job: usize,
+}
+
+/// Minimum number of consistent strides required to accept a pattern.
+const MIN_REPEATS: usize = 2;
+
+/// Detects the iteration stride in a job-target sequence.
+///
+/// Looks for the longest constant-stride suffix of the target ids; requires
+/// at least two consistent strides. A single trailing
+/// non-periodic job is tolerated (iterative drivers typically end with one
+/// final `collect`-style job outside the loop). Returns `None` for
+/// non-iterative (or too-short) sequences.
+///
+/// # Examples
+///
+/// ```
+/// use blaze_common::ids::RddId;
+/// use blaze_core::pattern::detect;
+///
+/// let targets: Vec<RddId> = [3u32, 8, 13, 18].map(RddId).to_vec();
+/// let p = detect(&targets).unwrap();
+/// assert_eq!(p.stride, 5);
+/// assert_eq!(p.predict_target(&targets, 5), Some(RddId(28)));
+/// ```
+pub fn detect(job_targets: &[RddId]) -> Option<IterationPattern> {
+    detect_suffix(job_targets).or_else(|| {
+        job_targets
+            .split_last()
+            .and_then(|(_, head)| detect_suffix(head))
+    })
+}
+
+fn detect_suffix(job_targets: &[RddId]) -> Option<IterationPattern> {
+    if job_targets.len() < MIN_REPEATS + 1 {
+        return None;
+    }
+    let last = job_targets.len() - 1;
+    let stride = job_targets[last].raw().checked_sub(job_targets[last - 1].raw())?;
+    if stride == 0 {
+        return None;
+    }
+    // Extend the constant-stride suffix backwards.
+    let mut first = last - 1;
+    while first > 0 {
+        let prev = job_targets[first].raw();
+        let before = job_targets[first - 1].raw();
+        if prev.checked_sub(before) == Some(stride) {
+            first -= 1;
+        } else {
+            break;
+        }
+    }
+    let repeats = last - first;
+    if repeats >= MIN_REPEATS {
+        Some(IterationPattern { stride, first_periodic_job: first })
+    } else {
+        None
+    }
+}
+
+impl IterationPattern {
+    /// Predicts the target of job `idx` (which may lie beyond the observed
+    /// sequence) given the observed targets.
+    pub fn predict_target(&self, job_targets: &[RddId], idx: usize) -> Option<RddId> {
+        if idx < job_targets.len() {
+            return Some(job_targets[idx]);
+        }
+        let last_idx = job_targets.len().checked_sub(1)?;
+        if last_idx < self.first_periodic_job {
+            return None;
+        }
+        let extra = (idx - last_idx) as u32;
+        Some(RddId(job_targets[last_idx].raw() + extra * self.stride))
+    }
+
+    /// Maps an RDD id back to its congruent id `iterations_back` iterations
+    /// earlier, if it exists.
+    pub fn congruent_earlier(&self, rdd: RddId, iterations_back: u32) -> Option<RddId> {
+        rdd.raw().checked_sub(self.stride * iterations_back).map(RddId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<RddId> {
+        v.iter().map(|&x| RddId(x)).collect()
+    }
+
+    #[test]
+    fn detects_constant_stride_after_preprocessing() {
+        // Two pre-processing jobs, then iterations with stride 12 (like the
+        // paper's PageRank lineage, Fig. 8).
+        let targets = ids(&[3, 7, 19, 31, 43, 55]);
+        let p = detect(&targets).unwrap();
+        assert_eq!(p.stride, 12);
+        assert_eq!(p.first_periodic_job, 1);
+    }
+
+    #[test]
+    fn rejects_short_or_aperiodic_sequences() {
+        assert!(detect(&ids(&[3])).is_none());
+        assert!(detect(&ids(&[3, 7])).is_none());
+        assert!(detect(&ids(&[3, 7, 9, 31])).is_none());
+        assert!(detect(&ids(&[5, 5, 5])).is_none(), "zero stride is not iterative");
+    }
+
+    #[test]
+    fn predicts_future_targets() {
+        let targets = ids(&[3, 7, 19, 31]);
+        let p = detect(&targets).unwrap();
+        assert_eq!(p.predict_target(&targets, 2), Some(RddId(19)));
+        assert_eq!(p.predict_target(&targets, 4), Some(RddId(43)));
+        assert_eq!(p.predict_target(&targets, 6), Some(RddId(67)));
+    }
+
+    #[test]
+    fn tolerates_one_trailing_non_periodic_job() {
+        // Iterations with stride 5, then a final collect-style job.
+        let targets = ids(&[9, 14, 19, 24, 23]);
+        let p = detect(&targets).unwrap();
+        assert_eq!(p.stride, 5);
+        // Two trailing outliers are not tolerated.
+        assert!(detect(&ids(&[9, 14, 19, 24, 23, 22])).is_none());
+    }
+
+    #[test]
+    fn maps_congruent_ids_backwards() {
+        let targets = ids(&[3, 7, 19, 31]);
+        let p = detect(&targets).unwrap();
+        assert_eq!(p.congruent_earlier(RddId(28), 1), Some(RddId(16)));
+        assert_eq!(p.congruent_earlier(RddId(28), 2), Some(RddId(4)));
+        assert_eq!(p.congruent_earlier(RddId(4), 1), None);
+    }
+}

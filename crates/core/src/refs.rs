@@ -1,0 +1,218 @@
+//! Future-reference derivation over the job sequence (§5.3, §5.6).
+//!
+//! Blaze derives "the number of potential references for each of the
+//! partitions until the end of the application" from the captured
+//! dependencies. A subtlety our engine shares with Spark: a reference
+//! through a shuffle whose outputs already exist is *not* a data access —
+//! the map stage is skipped. References that actually materialize data are
+//! the dependencies of RDDs appearing for the first time in a job (new
+//! stages). We therefore count, per job, the dependency edges of its *new*
+//! RDDs; references from jobs beyond the captured sequence are induced by
+//! shifting the last job's references by the detected iteration stride.
+
+use crate::pattern::IterationPattern;
+use blaze_common::fxhash::FxHashMap;
+use blaze_common::ids::RddId;
+use blaze_dataflow::{planner::plan_job, Plan};
+
+/// Per-job reference counts of the application.
+#[derive(Debug, Clone, Default)]
+pub struct JobRefs {
+    /// `per_job[j][rdd]` = number of consuming edges of `rdd` from RDDs
+    /// first materialized in job `j`.
+    per_job: Vec<FxHashMap<RddId, u32>>,
+}
+
+impl JobRefs {
+    /// Builds reference counts from a plan and an ordered job-target list.
+    ///
+    /// Targets beyond the plan (predicted future jobs) are skipped here;
+    /// use [`JobRefs::extend_induced`] for those.
+    pub fn build(plan: &Plan, job_targets: &[RddId]) -> Self {
+        let mut per_job = Vec::with_capacity(job_targets.len());
+        let mut max_seen: Option<u32> = None;
+        for &target in job_targets {
+            let mut refs: FxHashMap<RddId, u32> = FxHashMap::default();
+            if let Ok(jp) = plan_job(plan, target) {
+                for stage in &jp.stages {
+                    for &rdd in &stage.rdds {
+                        let is_new = max_seen.is_none_or(|m| rdd.raw() > m);
+                        if !is_new {
+                            continue;
+                        }
+                        if let Ok(node) = plan.node(rdd) {
+                            for dep in &node.deps {
+                                *refs.entry(dep.parent()).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                }
+                let job_max = jp.stages.iter().flat_map(|s| s.rdds.iter()).map(|r| r.raw()).max();
+                max_seen = max_seen.max(job_max);
+            }
+            // The job materializes its target: that is an access of the
+            // target's blocks even when the whole sub-DAG already exists
+            // (the `cached.count()` reuse pattern).
+            *refs.entry(target).or_insert(0) += 1;
+            per_job.push(refs);
+        }
+        Self { per_job }
+    }
+
+    /// Appends `extra` induced jobs by shifting the last captured job's
+    /// references forward by the iteration stride (no-profiling mode).
+    ///
+    /// Only *periodic* datasets (those allocated during the last captured
+    /// iteration) shift; stable datasets created before the periodic phase
+    /// (e.g. a PageRank `links` graph) keep their id — they play the same
+    /// role in every iteration.
+    pub fn extend_induced(&mut self, pattern: IterationPattern, extra: usize) {
+        let Some(last) = self.per_job.last().cloned() else { return };
+        // Ids at or above this base were allocated during the last captured
+        // iteration and are therefore periodic.
+        let periodic_base = last
+            .keys()
+            .map(|r| r.raw())
+            .max()
+            .map(|m| m.saturating_sub(pattern.stride))
+            .unwrap_or(u32::MAX);
+        for k in 1..=extra {
+            let shifted: FxHashMap<RddId, u32> = last
+                .iter()
+                .map(|(rdd, &c)| {
+                    if rdd.raw() > periodic_base {
+                        (RddId(rdd.raw() + pattern.stride * k as u32), c)
+                    } else {
+                        (*rdd, c)
+                    }
+                })
+                .collect();
+            self.per_job.push(shifted);
+        }
+    }
+
+    /// Number of jobs covered (captured + induced).
+    pub fn num_jobs(&self) -> usize {
+        self.per_job.len()
+    }
+
+    /// References to `rdd` from job `job_idx` alone.
+    pub fn refs_in_job(&self, rdd: RddId, job_idx: usize) -> u32 {
+        self.per_job.get(job_idx).and_then(|m| m.get(&rdd)).copied().unwrap_or(0)
+    }
+
+    /// Total references to `rdd` from jobs `from..` (future references).
+    pub fn future_refs(&self, rdd: RddId, from: usize) -> u32 {
+        self.per_job
+            .iter()
+            .skip(from)
+            .map(|m| m.get(&rdd).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Total references to `rdd` within the window `from..from+len`.
+    pub fn refs_in_window(&self, rdd: RddId, from: usize, len: usize) -> u32 {
+        self.per_job
+            .iter()
+            .skip(from)
+            .take(len)
+            .map(|m| m.get(&rdd).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::detect;
+    use blaze_dataflow::{runner::LocalRunner, Context, Dataset};
+
+    /// A PageRank-shaped iterative plan: ranks_{i+1} = f(join(ranks_i, links)).
+    fn iterative_plan(iters: usize) -> (Context, Vec<RddId>, RddId, Vec<RddId>) {
+        let ctx = Context::new(LocalRunner::new());
+        let links: Dataset<(u64, Vec<u64>)> = ctx
+            .parallelize((0..20u64).map(|i| (i, vec![(i + 1) % 20])).collect::<Vec<_>>(), 2)
+            .partition_by(2);
+        let mut ranks: Dataset<(u64, f64)> =
+            links.map_values(|_| 1.0).named("init_ranks");
+        let mut targets = Vec::new();
+        let mut rank_ids = vec![ranks.id()];
+        for _ in 0..iters {
+            let contribs = links.join(&ranks, 2).flat_map(|(_, (dests, r))| {
+                let share = r / dests.len() as f64;
+                dests.iter().map(move |&d| (d, share)).collect::<Vec<_>>()
+            });
+            ranks = contribs.reduce_by_key(2, |a, b| a + b).map_values(|s| 0.15 + 0.85 * s);
+            targets.push(ranks.id());
+            rank_ids.push(ranks.id());
+        }
+        (ctx, targets, links.id(), rank_ids)
+    }
+
+    #[test]
+    fn links_are_referenced_every_iteration() {
+        let (ctx, targets, links, _ranks) = iterative_plan(4);
+        let plan = ctx.plan().read();
+        let refs = JobRefs::build(&plan, &targets);
+        assert_eq!(refs.num_jobs(), 4);
+        // The links dataset is joined in every iteration.
+        for j in 0..4 {
+            assert!(refs.refs_in_job(links, j) >= 1, "links unreferenced in job {j}");
+        }
+        assert_eq!(
+            refs.future_refs(links, 0),
+            (0..4).map(|j| refs.refs_in_job(links, j)).sum::<u32>()
+        );
+        assert!(refs.future_refs(links, 3) < refs.future_refs(links, 0));
+    }
+
+    #[test]
+    fn ranks_are_referenced_by_the_next_iteration_only() {
+        let (ctx, targets, _links, rank_ids) = iterative_plan(4);
+        let plan = ctx.plan().read();
+        let refs = JobRefs::build(&plan, &targets);
+        // ranks_1 (output of job 0) is referenced by job 1, not job 3.
+        let r1 = rank_ids[1];
+        assert!(refs.refs_in_job(r1, 1) >= 1);
+        assert_eq!(refs.refs_in_job(r1, 3), 0);
+        // After job 1 has run, ranks_1 has no future references.
+        assert_eq!(refs.future_refs(r1, 2), 0);
+    }
+
+    #[test]
+    fn repeated_stages_are_not_double_counted() {
+        let (ctx, targets, links, _ranks) = iterative_plan(4);
+        let plan = ctx.plan().read();
+        let refs = JobRefs::build(&plan, &targets);
+        // Job 2's lineage contains all of job 1's RDDs, but only *new* RDDs
+        // count, so per-job references stay bounded (no quadratic growth).
+        let j1 = refs.refs_in_job(links, 1);
+        let j3 = refs.refs_in_job(links, 3);
+        assert_eq!(j1, j3, "per-iteration references must be constant");
+    }
+
+    #[test]
+    fn induced_refs_shift_by_stride() {
+        let (ctx, targets, links, _ranks) = iterative_plan(4);
+        let plan = ctx.plan().read();
+        let mut refs = JobRefs::build(&plan, &targets);
+        let pattern = detect(&targets).unwrap();
+        let before = refs.num_jobs();
+        refs.extend_induced(pattern, 2);
+        assert_eq!(refs.num_jobs(), before + 2);
+        // Stable datasets keep their id: links stays referenced in induced
+        // jobs too.
+        assert!(refs.refs_in_job(links, before) >= 1);
+        // The induced jobs reference the *future* congruent rank datasets.
+        let future_rank = RddId(targets[3].raw() + pattern.stride);
+        assert!(refs.future_refs(future_rank, before) >= 1);
+    }
+
+    #[test]
+    fn window_counts_are_bounded_by_totals() {
+        let (ctx, targets, links, _ranks) = iterative_plan(4);
+        let plan = ctx.plan().read();
+        let refs = JobRefs::build(&plan, &targets);
+        assert!(refs.refs_in_window(links, 1, 2) <= refs.future_refs(links, 1));
+    }
+}

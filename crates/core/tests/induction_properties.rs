@@ -1,0 +1,107 @@
+//! Property-based tests for iteration-pattern detection and metric
+//! induction (paper §5.3).
+
+use blaze_common::ids::RddId;
+use blaze_core::pattern::detect;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any sequence with >= 3 constant-stride iterations after a prefix is
+    /// detected, with the right stride.
+    #[test]
+    fn detects_any_periodic_suffix(
+        prefix in prop::collection::vec(0u32..50, 0..3),
+        base in 50u32..100,
+        stride in 1u32..20,
+        repeats in 3usize..10,
+    ) {
+        let mut targets: Vec<RddId> = prefix.iter().map(|&x| RddId(x)).collect();
+        // A strictly pre-periodic prefix cannot accidentally extend the run:
+        // ensure the jump into the periodic phase differs from the stride.
+        targets.push(RddId(base));
+        for i in 1..repeats {
+            targets.push(RddId(base + stride * i as u32));
+        }
+        let p = detect(&targets).expect("period must be detected");
+        prop_assert_eq!(p.stride, stride);
+        // Prediction continues the arithmetic progression.
+        let next = p.predict_target(&targets, targets.len()).unwrap();
+        prop_assert_eq!(next.raw(), base + stride * repeats as u32);
+    }
+
+    /// Strictly decreasing sequences are never "periodic".
+    #[test]
+    fn rejects_decreasing_sequences(start in 100u32..200, len in 3usize..8) {
+        let targets: Vec<RddId> = (0..len as u32).map(|i| RddId(start - i * 3)).collect();
+        prop_assert!(detect(&targets).is_none());
+    }
+
+    /// Congruence mapping inverts prediction: going `k` iterations back from
+    /// a predicted id recovers the original.
+    #[test]
+    fn congruent_earlier_inverts_prediction(
+        base in 10u32..100,
+        stride in 1u32..15,
+        k in 1u32..5,
+    ) {
+        let targets: Vec<RddId> =
+            (0..6).map(|i| RddId(base + stride * i)).collect();
+        let p = detect(&targets).unwrap();
+        let future = RddId(base + stride * (5 + k));
+        prop_assert_eq!(p.congruent_earlier(future, k), Some(RddId(base + stride * 5)));
+    }
+}
+
+mod induction {
+    use super::*;
+    use blaze_common::ids::BlockId;
+    use blaze_common::{ByteSize, SimDuration};
+    use blaze_core::induct::induct_size;
+    use blaze_core::CostLineage;
+    use blaze_dataflow::{runner::LocalRunner, Context};
+
+    /// Builds a lineage of `iters` chained maps over one source.
+    fn chain(iters: usize) -> (CostLineage, Vec<RddId>) {
+        let ctx = Context::new(LocalRunner::new());
+        let mut cur = ctx.parallelize(vec![0u64; 4], 2);
+        let mut ids = Vec::new();
+        for _ in 0..iters {
+            cur = cur.map(|x| x + 1);
+            ids.push(cur.id());
+        }
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        (cl, ids)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Linear size growth across iterations is extrapolated within a
+        /// small relative error.
+        #[test]
+        fn induction_tracks_linear_growth(
+            base in 10_000u64..100_000,
+            slope in 0u64..5_000,
+        ) {
+            let (mut cl, ids) = chain(6);
+            let pattern = detect(&ids).unwrap();
+            // Observe the first five iterations.
+            for (i, rdd) in ids[..5].iter().enumerate() {
+                cl.record_metrics(
+                    BlockId::new(*rdd, 0),
+                    ByteSize::from_bytes(base + slope * i as u64),
+                    SimDuration::from_micros(100),
+                );
+            }
+            let predicted =
+                induct_size(&cl, Some(pattern), BlockId::new(ids[5], 0)).unwrap();
+            let expected = base + slope * 5;
+            let err = (predicted.as_bytes() as i64 - expected as i64).abs() as f64
+                / expected as f64;
+            prop_assert!(err < 0.02, "predicted {predicted}, expected {expected}");
+        }
+    }
+}

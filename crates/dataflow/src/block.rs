@@ -1,0 +1,131 @@
+//! Type-erased materialized partitions.
+//!
+//! The lineage plan is type-erased (operators of arbitrary element types live
+//! in one graph), so materialized partition data crosses the plan boundary as
+//! [`Block`]s: cheaply clonable, immutable, `Any`-erased vectors that carry
+//! their own element count and estimated byte size. Typed [`Dataset`]
+//! operators downcast blocks back at the edges; a failed downcast is a
+//! [`BlazeError::TypeMismatch`] rather than a panic.
+//!
+//! [`Dataset`]: crate::dataset::Dataset
+
+use blaze_common::error::{BlazeError, Result};
+use blaze_common::sizeof::SizeOf;
+use blaze_common::ByteSize;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Bound for element types storable in datasets.
+///
+/// Everything materialized by the engine must be shareable across (simulated)
+/// tasks, clonable for recomputation, and size-estimable for the memory
+/// store. The blanket implementation makes any suitable type a `Data`.
+pub trait Data: Clone + Send + Sync + SizeOf + 'static {}
+
+impl<T: Clone + Send + Sync + SizeOf + 'static> Data for T {}
+
+/// One materialized partition: an immutable, type-erased vector of elements.
+///
+/// Cloning a block is an `Arc` bump; blocks are never mutated after
+/// construction (partitions are immutable in the RDD model).
+#[derive(Clone)]
+pub struct Block {
+    payload: Arc<dyn Any + Send + Sync>,
+    len: usize,
+    bytes: ByteSize,
+}
+
+impl Block {
+    /// Materializes a block from a vector of elements, estimating its size.
+    pub fn from_vec<T: Data>(items: Vec<T>) -> Self {
+        let bytes = blaze_common::sizeof::slice_size(&items);
+        Self { len: items.len(), bytes, payload: Arc::new(items) }
+    }
+
+    /// An empty block of type `T`.
+    pub fn empty<T: Data>() -> Self {
+        Self::from_vec(Vec::<T>::new())
+    }
+
+    /// Returns the number of elements in the partition.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the partition holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the estimated in-memory footprint of the partition.
+    pub fn bytes(&self) -> ByteSize {
+        self.bytes
+    }
+
+    /// Borrows the elements as a typed slice.
+    ///
+    /// Fails with [`BlazeError::TypeMismatch`] if the block does not hold
+    /// elements of type `T`; `context` is included in the error for
+    /// diagnosis.
+    pub fn as_slice<T: Data>(&self, context: &str) -> Result<&[T]> {
+        self.payload
+            .downcast_ref::<Vec<T>>()
+            .map(Vec::as_slice)
+            .ok_or_else(|| BlazeError::TypeMismatch { context: context.to_string() })
+    }
+
+    /// Returns the typed elements, cloning only if the block is shared.
+    pub fn to_vec<T: Data>(&self, context: &str) -> Result<Vec<T>> {
+        Ok(self.as_slice::<T>(context)?.to_vec())
+    }
+}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block").field("len", &self.len).field("bytes", &self.bytes).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_typed_data() {
+        let b = Block::from_vec(vec![1u64, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.as_slice::<u64>("t").unwrap(), &[1, 2, 3]);
+        assert_eq!(b.to_vec::<u64>("t").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wrong_type_is_an_error_not_a_panic() {
+        let b = Block::from_vec(vec![1u64, 2, 3]);
+        let err = b.as_slice::<String>("rdd-7[2]").unwrap_err();
+        assert_eq!(err, BlazeError::TypeMismatch { context: "rdd-7[2]".into() });
+    }
+
+    #[test]
+    fn size_estimate_tracks_contents() {
+        let small = Block::from_vec(vec![0u8; 100]);
+        let large = Block::from_vec(vec![0u64; 100]);
+        assert_eq!(small.bytes(), ByteSize::from_bytes(100));
+        assert_eq!(large.bytes(), ByteSize::from_bytes(800));
+    }
+
+    #[test]
+    fn clones_share_payload() {
+        let b = Block::from_vec(vec![String::from("x")]);
+        let c = b.clone();
+        assert_eq!(c.len(), b.len());
+        assert_eq!(c.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block::empty::<u32>();
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), ByteSize::ZERO);
+    }
+}

@@ -1,0 +1,612 @@
+//! Key-value operations: shuffles, joins and co-grouping.
+//!
+//! These are the operators that create stage boundaries (paper §2.2): the
+//! map side buckets records by key hash, and reduce tasks aggregate the
+//! buckets addressed to them. Joins of co-partitioned datasets are planned
+//! as narrow `zip_partitions`, like Spark's co-partitioned joins, so
+//! `partition_by` + iterate produces one shuffle per iteration rather than
+//! two.
+
+use crate::block::{Block, Data};
+use crate::dataset::Dataset;
+use crate::partitioner::HashPartitioner;
+use crate::plan::{Compute, CostSpec, Dep, MapSideFn, RddNode, ShuffleAggFn};
+use blaze_common::error::Result;
+use blaze_common::fxhash::FxHashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    fn shuffle_node<U: Data>(
+        &self,
+        name: &str,
+        num_partitions: usize,
+        cost: CostSpec,
+        map_side: MapSideFn,
+        agg: ShuffleAggFn,
+    ) -> Dataset<U> {
+        let parent = self.id();
+        let name = name.to_string();
+        let id = self.context().add_node(|id| RddNode {
+            id,
+            name,
+            num_partitions,
+            deps: vec![Dep::Shuffle { parent, map_side }],
+            compute: Compute::ShuffleAgg(agg),
+            cost,
+            ser_factor: 1.0,
+            partitioner: Some(HashPartitioner::new(num_partitions)),
+            cache_annotated: false,
+            unpersist_requested: false,
+        });
+        Dataset::new(self.context().clone(), id, num_partitions)
+    }
+
+    /// Splits a partition of pairs into `n` buckets by key hash.
+    fn bucket_pairs(pairs: &[(K, V)], n: usize) -> Vec<Vec<(K, V)>> {
+        let partitioner = HashPartitioner::new(n);
+        let mut buckets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+        for kv in pairs {
+            buckets[partitioner.partition(&kv.0)].push(kv.clone());
+        }
+        buckets
+    }
+
+    /// Merges values per key with `f`, shuffling into `num_partitions`
+    /// hash partitions. Performs map-side combining like Spark.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use blaze_dataflow::{Context, runner::LocalRunner};
+    ///
+    /// let ctx = Context::new(LocalRunner::new());
+    /// let pairs = ctx.parallelize(vec![("a", 1u32), ("b", 2), ("a", 3)], 2);
+    /// let mut sums = pairs.reduce_by_key(2, |x, y| x + y).collect().unwrap();
+    /// sums.sort();
+    /// assert_eq!(sums, vec![("a", 4), ("b", 2)]);
+    /// ```
+    pub fn reduce_by_key(
+        &self,
+        num_partitions: usize,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
+    ) -> Dataset<(K, V)> {
+        let f = Arc::new(f);
+        let map_f = Arc::clone(&f);
+        let map_side: MapSideFn = Arc::new(move |block, n| {
+            let pairs = block.as_slice::<(K, V)>("reduce_by_key map-side")?;
+            // Map-side combine: one value per key per map task.
+            let mut combined: FxHashMap<K, V> = FxHashMap::default();
+            for (k, v) in pairs {
+                match combined.get_mut(k) {
+                    Some(acc) => *acc = map_f(acc, v),
+                    None => {
+                        combined.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            let merged: Vec<(K, V)> = combined.into_iter().collect();
+            Ok(Self::bucket_pairs(&merged, n).into_iter().map(Block::from_vec).collect())
+        });
+        let agg_f = Arc::clone(&f);
+        let agg: ShuffleAggFn = Arc::new(move |p, per_dep| {
+            let ctx = format!("reduce_by_key agg@{p}");
+            let mut merged: FxHashMap<K, V> = FxHashMap::default();
+            for block in &per_dep[0] {
+                for (k, v) in block.as_slice::<(K, V)>(&ctx)? {
+                    match merged.get_mut(k) {
+                        Some(acc) => *acc = agg_f(acc, v),
+                        None => {
+                            merged.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+            }
+            Ok(Block::from_vec(merged.into_iter().collect::<Vec<(K, V)>>()))
+        });
+        self.shuffle_node("reduce_by_key", num_partitions, CostSpec::SHUFFLE_AGG, map_side, agg)
+    }
+
+    /// The general combiner (Spark's `combineByKey`): creates a per-key
+    /// accumulator of type `C` with `create`, folds values in map-side with
+    /// `merge_value`, and merges accumulators across map tasks with
+    /// `merge_combiners`. `reduce_by_key` and `group_by_key` are special
+    /// cases of this operator.
+    pub fn combine_by_key<C: Data>(
+        &self,
+        num_partitions: usize,
+        create: impl Fn(&V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(C, &V) -> C + Send + Sync + 'static,
+        merge_combiners: impl Fn(C, C) -> C + Send + Sync + 'static,
+    ) -> Dataset<(K, C)> {
+        let create = Arc::new(create);
+        let merge_value = Arc::new(merge_value);
+        let merge_combiners = Arc::new(merge_combiners);
+        let (mk, mv) = (Arc::clone(&create), Arc::clone(&merge_value));
+        let map_side: MapSideFn = Arc::new(move |block, n| {
+            let pairs = block.as_slice::<(K, V)>("combine_by_key map-side")?;
+            let mut combined: FxHashMap<K, C> = FxHashMap::default();
+            for (k, v) in pairs {
+                match combined.remove(k) {
+                    Some(acc) => {
+                        combined.insert(k.clone(), mv(acc, v));
+                    }
+                    None => {
+                        combined.insert(k.clone(), mk(v));
+                    }
+                }
+            }
+            let merged: Vec<(K, C)> = combined.into_iter().collect();
+            let partitioner = HashPartitioner::new(n);
+            let mut buckets: Vec<Vec<(K, C)>> = (0..n).map(|_| Vec::new()).collect();
+            for kc in merged {
+                let b = partitioner.partition(&kc.0);
+                buckets[b].push(kc);
+            }
+            Ok(buckets.into_iter().map(Block::from_vec).collect())
+        });
+        let mc = Arc::clone(&merge_combiners);
+        let agg: ShuffleAggFn = Arc::new(move |p, per_dep| {
+            let ctx = format!("combine_by_key agg@{p}");
+            let mut merged: FxHashMap<K, C> = FxHashMap::default();
+            for block in &per_dep[0] {
+                for (k, c) in block.as_slice::<(K, C)>(&ctx)? {
+                    match merged.remove(k) {
+                        Some(acc) => {
+                            merged.insert(k.clone(), mc(acc, c.clone()));
+                        }
+                        None => {
+                            merged.insert(k.clone(), c.clone());
+                        }
+                    }
+                }
+            }
+            Ok(Block::from_vec(merged.into_iter().collect::<Vec<(K, C)>>()))
+        });
+        self.shuffle_node("combine_by_key", num_partitions, CostSpec::SHUFFLE_AGG, map_side, agg)
+    }
+
+    /// Folds values per key starting from `zero` (Spark's `foldByKey`).
+    pub fn fold_by_key(
+        &self,
+        num_partitions: usize,
+        zero: V,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
+    ) -> Dataset<(K, V)> {
+        let f = Arc::new(f);
+        let (fa, fb, z) = (Arc::clone(&f), Arc::clone(&f), zero);
+        self.combine_by_key(
+            num_partitions,
+            move |v| fa(&z, v),
+            move |acc, v| fb(&acc, v),
+            move |a, b| f(&a, &b),
+        )
+    }
+
+    /// Aggregates values per key into a different type (Spark's
+    /// `aggregateByKey`).
+    pub fn aggregate_by_key<C: Data>(
+        &self,
+        num_partitions: usize,
+        zero: C,
+        seq: impl Fn(C, &V) -> C + Send + Sync + 'static,
+        comb: impl Fn(C, C) -> C + Send + Sync + 'static,
+    ) -> Dataset<(K, C)> {
+        let seq = Arc::new(seq);
+        let sq = Arc::clone(&seq);
+        self.combine_by_key(
+            num_partitions,
+            move |v| sq(zero.clone(), v),
+            move |acc, v| seq(acc, v),
+            comb,
+        )
+    }
+
+    /// Groups all values per key, shuffling into `num_partitions` hash
+    /// partitions.
+    pub fn group_by_key(&self, num_partitions: usize) -> Dataset<(K, Vec<V>)> {
+        let map_side: MapSideFn = Arc::new(move |block, n| {
+            let pairs = block.as_slice::<(K, V)>("group_by_key map-side")?;
+            Ok(Self::bucket_pairs(pairs, n).into_iter().map(Block::from_vec).collect())
+        });
+        let agg: ShuffleAggFn = Arc::new(move |p, per_dep| {
+            let ctx = format!("group_by_key agg@{p}");
+            let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
+            for block in &per_dep[0] {
+                for (k, v) in block.as_slice::<(K, V)>(&ctx)? {
+                    groups.entry(k.clone()).or_default().push(v.clone());
+                }
+            }
+            Ok(Block::from_vec(groups.into_iter().collect::<Vec<(K, Vec<V>)>>()))
+        });
+        self.shuffle_node("group_by_key", num_partitions, CostSpec::SHUFFLE_AGG, map_side, agg)
+    }
+
+    /// Hash-partitions the dataset by key into `num_partitions` partitions.
+    ///
+    /// A no-op (returns a clone of `self`) when the dataset is already
+    /// partitioned this way, so repeated calls do not add shuffles.
+    pub fn partition_by(&self, num_partitions: usize) -> Dataset<(K, V)> {
+        let existing = self.context().plan().read().node(self.id()).expect("own id").partitioner;
+        if existing == Some(HashPartitioner::new(num_partitions)) {
+            return self.clone();
+        }
+        let map_side: MapSideFn = Arc::new(move |block, n| {
+            let pairs = block.as_slice::<(K, V)>("partition_by map-side")?;
+            Ok(Self::bucket_pairs(pairs, n).into_iter().map(Block::from_vec).collect())
+        });
+        let agg: ShuffleAggFn = Arc::new(move |p, per_dep| {
+            let ctx = format!("partition_by agg@{p}");
+            let mut out: Vec<(K, V)> = Vec::new();
+            for block in &per_dep[0] {
+                out.extend_from_slice(block.as_slice::<(K, V)>(&ctx)?);
+            }
+            Ok(Block::from_vec(out))
+        });
+        self.shuffle_node("partition_by", num_partitions, CostSpec::SHUFFLE_AGG, map_side, agg)
+    }
+
+    /// Applies `f` to every value, keeping keys (and partitioning).
+    pub fn map_values<W: Data>(
+        &self,
+        f: impl Fn(&V) -> W + Send + Sync + 'static,
+    ) -> Dataset<(K, W)> {
+        let id = self.id();
+        self.narrow_keyed("map_values", vec![id], move |p, inputs| {
+            let ctx = format!("map_values@{p}");
+            let v: Vec<(K, W)> = inputs[0]
+                .as_slice::<(K, V)>(&ctx)?
+                .iter()
+                .map(|(k, v)| (k.clone(), f(v)))
+                .collect();
+            Ok(Block::from_vec(v))
+        })
+    }
+
+    /// Applies `f` to every value and flattens, keeping keys (and
+    /// partitioning).
+    pub fn flat_map_values<W: Data, I>(
+        &self,
+        f: impl Fn(&V) -> I + Send + Sync + 'static,
+    ) -> Dataset<(K, W)>
+    where
+        I: IntoIterator<Item = W>,
+    {
+        let id = self.id();
+        self.narrow_keyed("flat_map_values", vec![id], move |p, inputs| {
+            let ctx = format!("flat_map_values@{p}");
+            let mut out: Vec<(K, W)> = Vec::new();
+            for (k, v) in inputs[0].as_slice::<(K, V)>(&ctx)? {
+                out.extend(f(v).into_iter().map(|w| (k.clone(), w)));
+            }
+            Ok(Block::from_vec(out))
+        })
+    }
+
+    /// A narrow keyed operator that preserves the known partitioner.
+    fn narrow_keyed<U: Data>(
+        &self,
+        name: &str,
+        deps: Vec<blaze_common::ids::RddId>,
+        f: impl Fn(usize, &[Block]) -> Result<Block> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        let parts = self.num_partitions();
+        let name = name.to_string();
+        let partitioner = self.context().plan().read().node(self.id()).expect("own id").partitioner;
+        let id = self.context().add_node(|id| RddNode {
+            id,
+            name,
+            num_partitions: parts,
+            deps: deps.into_iter().map(Dep::Narrow).collect(),
+            compute: Compute::Narrow(Arc::new(f)),
+            cost: CostSpec::NARROW,
+            ser_factor: 1.0,
+            partitioner,
+            cache_annotated: false,
+            unpersist_requested: false,
+        });
+        Dataset::new(self.context().clone(), id, parts)
+    }
+
+    /// Returns the keys.
+    pub fn keys(&self) -> Dataset<K> {
+        self.map(|(k, _)| k.clone()).named("keys")
+    }
+
+    /// Returns the values.
+    pub fn values(&self) -> Dataset<V> {
+        self.map(|(_, v)| v.clone()).named("values")
+    }
+
+    /// Inner join on key, shuffling both sides into `num_partitions`
+    /// co-partitioned partitions (no shuffle for already-partitioned sides).
+    pub fn join<W: Data>(
+        &self,
+        other: &Dataset<(K, W)>,
+        num_partitions: usize,
+    ) -> Dataset<(K, (V, W))> {
+        let left = self.partition_by(num_partitions);
+        let right = other.partition_by(num_partitions);
+        left.zip_partitions(&right, |l: &[(K, V)], r: &[(K, W)]| {
+            let mut table: FxHashMap<K, Vec<W>> = FxHashMap::default();
+            for (k, w) in r {
+                table.entry(k.clone()).or_default().push(w.clone());
+            }
+            let mut out = Vec::new();
+            for (k, v) in l {
+                if let Some(ws) = table.get(k) {
+                    for w in ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
+                }
+            }
+            out
+        })
+        .named("join")
+        .assume_partitioned(num_partitions)
+    }
+
+    /// Left outer join on key.
+    pub fn left_outer_join<W: Data>(
+        &self,
+        other: &Dataset<(K, W)>,
+        num_partitions: usize,
+    ) -> Dataset<(K, (V, Option<W>))> {
+        let left = self.partition_by(num_partitions);
+        let right = other.partition_by(num_partitions);
+        left.zip_partitions(&right, |l: &[(K, V)], r: &[(K, W)]| {
+            let mut table: FxHashMap<K, Vec<W>> = FxHashMap::default();
+            for (k, w) in r {
+                table.entry(k.clone()).or_default().push(w.clone());
+            }
+            let mut out = Vec::new();
+            for (k, v) in l {
+                match table.get(k) {
+                    Some(ws) => {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                        }
+                    }
+                    None => out.push((k.clone(), (v.clone(), None))),
+                }
+            }
+            out
+        })
+        .named("left_outer_join")
+        .assume_partitioned(num_partitions)
+    }
+
+    /// Groups both datasets by key into aligned `(values_left, values_right)`
+    /// lists.
+    pub fn cogroup<W: Data>(
+        &self,
+        other: &Dataset<(K, W)>,
+        num_partitions: usize,
+    ) -> Dataset<(K, (Vec<V>, Vec<W>))> {
+        let left = self.partition_by(num_partitions);
+        let right = other.partition_by(num_partitions);
+        left.zip_partitions(&right, |l: &[(K, V)], r: &[(K, W)]| {
+            let mut table: FxHashMap<K, (Vec<V>, Vec<W>)> = FxHashMap::default();
+            for (k, v) in l {
+                table.entry(k.clone()).or_default().0.push(v.clone());
+            }
+            for (k, w) in r {
+                table.entry(k.clone()).or_default().1.push(w.clone());
+            }
+            table.into_iter().collect()
+        })
+        .named("cogroup")
+        .assume_partitioned(num_partitions)
+    }
+
+    /// Counts values per key on the driver.
+    pub fn count_by_key(&self) -> Result<FxHashMap<K, u64>> {
+        let counted = self.map_values(|_| 1u64).reduce_by_key(self.num_partitions(), |a, b| a + b);
+        Ok(counted.collect()?.into_iter().collect())
+    }
+}
+
+impl<T> Dataset<T>
+where
+    T: Data + Hash + Eq,
+{
+    /// Removes duplicate elements, shuffling into `num_partitions`.
+    pub fn distinct(&self, num_partitions: usize) -> Dataset<T> {
+        self.map(|t| (t.clone(), ()))
+            .reduce_by_key(num_partitions, |_, _| ())
+            .map(|(t, ())| t.clone())
+            .named("distinct")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::runner::LocalRunner;
+
+    fn ctx() -> Context {
+        Context::new(LocalRunner::new())
+    }
+
+    #[test]
+    fn reduce_by_key_sums_per_key() {
+        let ctx = ctx();
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 5, 1u64)).collect();
+        let ds = ctx.parallelize(pairs, 4).reduce_by_key(3, |a, b| a + b);
+        let mut out = ds.collect().unwrap();
+        out.sort();
+        assert_eq!(out, (0..5).map(|k| (k, 20u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let ctx = ctx();
+        let pairs = vec![(1u32, 10u32), (2, 20), (1, 11), (2, 21), (1, 12)];
+        let ds = ctx.parallelize(pairs, 2).group_by_key(2);
+        let mut out = ds.collect().unwrap();
+        out.sort();
+        for (_, vs) in out.iter_mut() {
+            vs.sort();
+        }
+        assert_eq!(out, vec![(1, vec![10, 11, 12]), (2, vec![20, 21])]);
+    }
+
+    #[test]
+    fn partition_by_is_idempotent_in_the_plan() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![(1u32, 1u32)], 2);
+        let p1 = ds.partition_by(4);
+        let before = ctx.plan().read().len();
+        let p2 = p1.partition_by(4);
+        assert_eq!(ctx.plan().read().len(), before, "no new node expected");
+        assert_eq!(p1.id(), p2.id());
+        // A different partition count still shuffles.
+        let p3 = p2.partition_by(8);
+        assert_ne!(p3.id(), p2.id());
+    }
+
+    #[test]
+    fn join_matches_per_key() {
+        let ctx = ctx();
+        let left = ctx.parallelize(vec![(1u32, "a"), (2, "b"), (3, "c")], 2);
+        let right = ctx.parallelize(vec![(1u32, 10u64), (2, 20), (2, 21), (4, 40)], 2);
+        let mut out = left
+            .map_values(|s| s.to_string())
+            .join(&right, 3)
+            .collect()
+            .unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                (1, ("a".to_string(), 10)),
+                (2, ("b".to_string(), 20)),
+                (2, ("b".to_string(), 21)),
+            ]
+        );
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_left() {
+        let ctx = ctx();
+        let left = ctx.parallelize(vec![(1u32, 1u8), (9, 9)], 2);
+        let right = ctx.parallelize(vec![(1u32, 5u8)], 2);
+        let mut out = left.left_outer_join(&right, 2).collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![(1, (1, Some(5))), (9, (9, None))]);
+    }
+
+    #[test]
+    fn cogroup_aligns_both_sides() {
+        let ctx = ctx();
+        let left = ctx.parallelize(vec![(1u32, 1u8), (1, 2), (2, 3)], 2);
+        let right = ctx.parallelize(vec![(2u32, 9u8), (3, 8)], 2);
+        let mut out = left.cogroup(&right, 2).collect().unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        for (_, (l, r)) in out.iter_mut() {
+            l.sort();
+            r.sort();
+        }
+        assert_eq!(
+            out,
+            vec![
+                (1, (vec![1, 2], vec![])),
+                (2, (vec![3], vec![9])),
+                (3, (vec![], vec![8])),
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![1u32, 2, 2, 3, 3, 3], 3).distinct(2);
+        let mut out = ds.collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![("a", 1u8), ("b", 2), ("a", 3)], 2);
+        let ds = ds.map(|(k, v)| (k.to_string(), *v));
+        let counts = ds.count_by_key().unwrap();
+        assert_eq!(counts.get("a"), Some(&2));
+        assert_eq!(counts.get("b"), Some(&1));
+    }
+
+    #[test]
+    fn combine_by_key_builds_arbitrary_accumulators() {
+        let ctx = ctx();
+        let pairs: Vec<(u32, u32)> = vec![(1, 5), (2, 7), (1, 3), (1, 2), (2, 1)];
+        // Accumulate (count, max) per key.
+        let ds = ctx.parallelize(pairs, 3).combine_by_key(
+            2,
+            |v| (1u32, *v),
+            |(n, m), v| (n + 1, m.max(*v)),
+            |(n1, m1), (n2, m2)| (n1 + n2, m1.max(m2)),
+        );
+        let mut out = ds.collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![(1, (3, 5)), (2, (2, 7))]);
+    }
+
+    #[test]
+    fn fold_by_key_matches_reduce_by_key_for_monoids() {
+        let ctx = ctx();
+        let pairs: Vec<(u32, u64)> = (0..60).map(|i| (i % 4, i as u64)).collect();
+        let folded = ctx.parallelize(pairs.clone(), 4).fold_by_key(2, 0, |a, b| a + b);
+        let reduced = ctx.parallelize(pairs, 4).reduce_by_key(2, |a, b| a + b);
+        let mut f = folded.collect().unwrap();
+        let mut r = reduced.collect().unwrap();
+        f.sort();
+        r.sort();
+        assert_eq!(f, r);
+    }
+
+    #[test]
+    fn aggregate_by_key_changes_the_value_type() {
+        let ctx = ctx();
+        let pairs: Vec<(u32, u32)> = vec![(1, 10), (1, 20), (2, 5)];
+        // Average per key via (sum, count).
+        let ds = ctx.parallelize(pairs, 2).aggregate_by_key(
+            2,
+            (0u64, 0u64),
+            |(s, n), v| (s + *v as u64, n + 1),
+            |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2),
+        );
+        let mut out = ds.collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![(1, (30, 2)), (2, (5, 1))]);
+    }
+
+    #[test]
+    fn keys_and_values_project() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![(1u32, 10u32), (2, 20)], 1);
+        let mut ks = ds.keys().collect().unwrap();
+        ks.sort();
+        assert_eq!(ks, vec![1, 2]);
+        let mut vs = ds.values().collect().unwrap();
+        vs.sort();
+        assert_eq!(vs, vec![10, 20]);
+    }
+
+    #[test]
+    fn map_values_preserves_partitioner() {
+        let ctx = ctx();
+        let ds = ctx.parallelize(vec![(1u32, 1u32)], 2).partition_by(4);
+        let mapped = ds.map_values(|v| v + 1);
+        let plan = ctx.plan().read();
+        assert_eq!(
+            plan.node(mapped.id()).unwrap().partitioner,
+            Some(HashPartitioner::new(4))
+        );
+    }
+}

@@ -1,0 +1,1004 @@
+//! The simulated-cluster execution engine.
+//!
+//! Workloads *really execute* on this engine: tasks materialize real data,
+//! shuffles really bucket records, and a cache miss really re-runs lineage.
+//! What is simulated is time and placement: every compute, serialization,
+//! disk and network charge is a deterministic function of measured element
+//! counts and byte sizes, composed per executor slot on a simulated clock.
+//!
+//! Execution model per job (paper §2.1–§2.3):
+//!
+//! 1. The job's lineage is split into stages ([`blaze_dataflow::planner`]).
+//! 2. Map stages whose shuffle outputs already exist are *skipped* (Spark's
+//!    skipped stages) — this is what makes later iterations cheap when
+//!    intermediate data is cached or shuffle files persist.
+//! 3. Tasks are placed with cache locality, run on executor slots, and every
+//!    materialized partition flows through the installed
+//!    [`CacheController`]'s unified decision hooks.
+
+use crate::config::ClusterConfig;
+use crate::controller::{
+    Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, VictimAction,
+};
+use crate::metrics::{Metrics, TaskCharge};
+use crate::shuffle::ShuffleStore;
+use crate::storage::{BlockStore, StoredBlock};
+use blaze_common::error::{BlazeError, Result};
+use blaze_common::fxhash::{FxHashMap, FxHashSet};
+use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::{ByteSize, SimDuration, SimTime};
+use blaze_dataflow::plan::{Compute, Dep};
+use blaze_dataflow::runner::JobRunner;
+use blaze_dataflow::{Block, Plan};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// A handle to the simulated cluster; implements [`JobRunner`] so it can back
+/// a [`blaze_dataflow::Context`]. Cloning shares the same cluster state.
+#[derive(Clone)]
+pub struct Cluster {
+    state: Arc<Mutex<ClusterState>>,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given configuration and cache controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if `config` is invalid.
+    pub fn new(config: ClusterConfig, controller: Box<dyn CacheController>) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { state: Arc::new(Mutex::new(ClusterState::new(config, controller))) })
+    }
+
+    /// Returns a snapshot of the run metrics so far.
+    pub fn metrics(&self) -> Metrics {
+        self.state.lock().metrics.clone()
+    }
+
+    /// Returns the installed controller's name.
+    pub fn controller_name(&self) -> String {
+        self.state.lock().controller.name()
+    }
+
+    /// Returns the cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.state.lock().config.clone()
+    }
+
+    /// Current bytes resident in each executor's memory store.
+    pub fn memory_used(&self) -> Vec<ByteSize> {
+        self.state.lock().mem.iter().map(BlockStore::used).collect()
+    }
+
+    /// Current bytes resident in each executor's disk store.
+    pub fn disk_used(&self) -> Vec<ByteSize> {
+        self.state.lock().disk.iter().map(BlockStore::used).collect()
+    }
+
+    /// Simulates the loss of an executor: its memory and disk stores are
+    /// cleared (all cached blocks gone) and the controller is notified of
+    /// every eviction, exactly as if the machine had been replaced. Lineage
+    /// (and the shuffle store, which Spark's external shuffle service also
+    /// survives) recovers everything on subsequent access.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `exec` is out of range.
+    pub fn fail_executor(&self, exec: ExecutorId) -> Result<()> {
+        let mut st = self.state.lock();
+        let e = exec.raw() as usize;
+        if e >= st.config.executors {
+            return Err(BlazeError::Config(format!("no such executor: {exec}")));
+        }
+        let mem_ids: Vec<BlockId> = st.mem[e].iter().map(|(id, _)| *id).collect();
+        for id in mem_ids {
+            st.mem[e].remove(id);
+            let ctx = st.ctrl_ctx(st.clock_floor);
+            st.controller.on_evicted(&ctx, id);
+            st.block_home.remove(&id);
+        }
+        let disk_ids: Vec<BlockId> = st.disk[e].iter().map(|(id, _)| *id).collect();
+        for id in disk_ids {
+            st.disk[e].remove(id);
+            // The eviction notification lets stateful controllers drop
+            // their residency belief for the lost block.
+            let ctx = st.ctrl_ctx(st.clock_floor);
+            st.controller.on_evicted(&ctx, id);
+            st.block_home.remove(&id);
+        }
+        Ok(())
+    }
+}
+
+impl JobRunner for Cluster {
+    fn run_job(&self, plan: &Arc<RwLock<Plan>>, target: RddId) -> Result<Vec<Block>> {
+        let plan = plan.read();
+        self.state.lock().run_job(&plan, target)
+    }
+
+    fn on_unpersist(&self, rdd: RddId) {
+        self.state.lock().user_unpersist(rdd);
+    }
+}
+
+struct ClusterState {
+    config: ClusterConfig,
+    controller: Box<dyn CacheController>,
+    mem: Vec<BlockStore>,
+    disk: Vec<BlockStore>,
+    /// Per-executor, per-slot simulated clocks.
+    slots: Vec<Vec<SimTime>>,
+    shuffle: ShuffleStore,
+    metrics: Metrics,
+    /// Last executor that produced/cached each block (locality + remote reads).
+    block_home: FxHashMap<BlockId, ExecutorId>,
+    /// Blocks materialized at least once (recomputation detection).
+    materialized_once: FxHashSet<BlockId>,
+    job_counter: u32,
+    /// Simulated time at which the next job may start.
+    clock_floor: SimTime,
+}
+
+impl ClusterState {
+    fn new(config: ClusterConfig, controller: Box<dyn CacheController>) -> Self {
+        let execs = config.executors;
+        Self {
+            mem: (0..execs).map(|_| BlockStore::new(config.memory_capacity)).collect(),
+            disk: (0..execs).map(|_| BlockStore::new(config.disk_capacity)).collect(),
+            slots: (0..execs).map(|_| vec![SimTime::ZERO; config.slots_per_executor]).collect(),
+            shuffle: ShuffleStore::new(),
+            metrics: Metrics::new(),
+            block_home: FxHashMap::default(),
+            materialized_once: FxHashSet::default(),
+            job_counter: 0,
+            clock_floor: SimTime::ZERO,
+            config,
+            controller,
+        }
+    }
+
+    fn ctrl_ctx(&self, now: SimTime) -> CtrlCtx {
+        CtrlCtx {
+            now,
+            hardware: self.config.hardware,
+            memory_capacity: self.config.memory_capacity,
+            disk_capacity: self.config.disk_capacity,
+            executors: self.config.executors,
+        }
+    }
+
+    // ---- Job execution ---------------------------------------------------
+
+    fn run_job(&mut self, plan: &Plan, target: RddId) -> Result<Vec<Block>> {
+        let job = JobId(self.job_counter);
+        self.job_counter += 1;
+        let job_plan = blaze_dataflow::planner::plan_job(plan, target)?;
+
+        // Which shuffles does each map stage feed within this job?
+        let mut consumers: FxHashMap<RddId, Vec<(RddId, usize)>> = FxHashMap::default();
+        for stage in &job_plan.stages {
+            for &rdd in &stage.rdds {
+                for (dep_idx, dep) in plan.node(rdd)?.deps.iter().enumerate() {
+                    if let Dep::Shuffle { parent, .. } = dep {
+                        consumers.entry(*parent).or_default().push((rdd, dep_idx));
+                    }
+                }
+            }
+        }
+
+        // Give the controller a chance to restate partitions for this job
+        // (Blaze's ILP trigger, §5.6).
+        let ctx = self.ctrl_ctx(self.clock_floor);
+        let cmds = self.controller.on_job_submit(&ctx, job, &job_plan, plan);
+        self.apply_commands(plan, cmds);
+
+        let mut stage_done = vec![self.clock_floor; job_plan.stages.len()];
+        let last_stage = job_plan.stages.len() - 1;
+        let mut results: Vec<Block> = Vec::new();
+
+        for stage in &job_plan.stages {
+            let is_result = stage.index == last_stage;
+            let start = stage
+                .parent_stages
+                .iter()
+                .fold(self.clock_floor, |t, &p| t.max(stage_done[p]));
+
+            // Skip map stages whose shuffle outputs all exist already.
+            let stage_consumers = consumers.get(&stage.output).cloned().unwrap_or_default();
+            if !is_result {
+                let num_maps = stage.num_partitions;
+                let all_done = stage_consumers.iter().all(|&(child, dep_idx)| {
+                    self.shuffle.is_complete((child, dep_idx), num_maps)
+                });
+                if all_done {
+                    stage_done[stage.index] = start;
+                    self.metrics.stages_skipped += 1;
+                    // Skipped stages still "complete": dependency-aware
+                    // controllers must see their references consumed.
+                    let ctx = self.ctrl_ctx(start);
+                    let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
+                    self.apply_commands(plan, cmds);
+                    continue;
+                }
+            }
+
+            let mut stage_end = start;
+            for p in 0..stage.num_partitions {
+                let exec = self.pick_executor(plan, stage.output, p)?;
+                let slot = Self::earliest_slot(&self.slots[exec.raw() as usize]);
+                let t0 = self.slots[exec.raw() as usize][slot].max(start);
+
+                let mut charge = TaskCharge::default();
+                let block = self.materialize(plan, stage.output, p, exec, job, &mut charge)?;
+
+                // Map-side shuffle writes for every consumer of this stage.
+                for &(child, dep_idx) in &stage_consumers {
+                    self.write_map_output(plan, child, dep_idx, p, &block, &mut charge)?;
+                }
+
+                self.metrics.record_task(&charge);
+                let end = t0 + charge.total();
+                self.metrics.record_trace(crate::metrics::TaskTrace {
+                    job,
+                    stage_output: stage.output,
+                    partition: p as u32,
+                    executor: exec,
+                    slot: slot as u32,
+                    start: t0,
+                    end,
+                    charge,
+                });
+                self.slots[exec.raw() as usize][slot] = end;
+                stage_end = stage_end.max(end);
+                if is_result {
+                    results.push(block);
+                }
+            }
+            stage_done[stage.index] = stage_end;
+
+            // Stage-completion hook (auto-caching / prefetch).
+            let ctx = self.ctrl_ctx(stage_end);
+            let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
+            self.apply_commands(plan, cmds);
+            self.metrics.stages_run += 1;
+            let disk_resident: ByteSize = self.disk.iter().map(BlockStore::used).sum();
+            self.metrics.sample_disk_residency(disk_resident);
+        }
+
+        self.clock_floor = stage_done[last_stage];
+        self.metrics.jobs += 1;
+        self.metrics.completion_time = self.clock_floor;
+        Ok(results)
+    }
+
+    fn earliest_slot(slots: &[SimTime]) -> usize {
+        let mut best = 0;
+        for (i, &t) in slots.iter().enumerate() {
+            if t < slots[best] {
+                best = i;
+            }
+            let _ = i;
+        }
+        best
+    }
+
+    /// Locality-aware placement: prefer the executor that holds (or last
+    /// produced) the output block or any narrow-lineage ancestor of it;
+    /// otherwise spread deterministically by partition index.
+    fn pick_executor(&self, plan: &Plan, rdd: RddId, part: usize) -> Result<ExecutorId> {
+        let mut stack = vec![rdd];
+        let mut guard = 0;
+        while let Some(cur) = stack.pop() {
+            guard += 1;
+            if guard > 10_000 {
+                break;
+            }
+            if let Some(&home) = self.block_home.get(&BlockId::new(cur, part as u32)) {
+                return Ok(home);
+            }
+            for dep in &plan.node(cur)?.deps {
+                if let Dep::Narrow(parent) = dep {
+                    stack.push(*parent);
+                }
+            }
+        }
+        Ok(ExecutorId((part % self.config.executors) as u32))
+    }
+
+    // ---- Partition materialization ---------------------------------------
+
+    /// Materializes one partition on `exec`, charging simulated time to
+    /// `charge`. Checks memory, then disk, then recomputes from lineage —
+    /// the recovery order of paper Fig. 2.
+    fn materialize(
+        &mut self,
+        plan: &Plan,
+        rdd: RddId,
+        part: usize,
+        exec: ExecutorId,
+        job: JobId,
+        charge: &mut TaskCharge,
+    ) -> Result<Block> {
+        let id = BlockId::new(rdd, part as u32);
+        let e = exec.raw() as usize;
+
+        // 1. Local memory hit.
+        if let Some(sb) = self.mem[e].get(id) {
+            let block = sb.block.clone();
+            let (logical, ser) = (sb.logical_bytes, sb.ser_factor);
+            if self.controller.serialized_in_memory() {
+                charge.external_store_io += self.config.hardware.deser_time(logical, ser);
+            }
+            let ctx = self.ctrl_ctx(self.clock_floor);
+            self.controller.on_access(&ctx, id);
+            self.metrics.mem_hits += 1;
+            return Ok(block);
+        }
+
+        // 1b. Remote memory hit on the block's home executor.
+        let home = self.block_home.get(&id).copied();
+        if let Some(h) = home {
+            if h != exec {
+                if let Some(sb) = self.mem[h.raw() as usize].get(id) {
+                    let block = sb.block.clone();
+                    charge.shuffle_fetch += self.config.hardware.network_time(sb.logical_bytes);
+                    let ctx = self.ctrl_ctx(self.clock_floor);
+                    self.controller.on_access(&ctx, id);
+                    self.metrics.mem_hits += 1;
+                    return Ok(block);
+                }
+            }
+        }
+
+        // 2. Disk hit (local first, then home).
+        for &cand in [Some(exec), home].iter().flatten() {
+            let ce = cand.raw() as usize;
+            if let Some(sb) = self.disk[ce].get(id) {
+                let block = sb.block.clone();
+                let (logical, ser) = (sb.logical_bytes, sb.ser_factor);
+                charge.disk_cache_read += self.config.hardware.fetch_from_disk_time(logical, ser);
+                if cand != exec {
+                    charge.shuffle_fetch += self.config.hardware.network_time(logical);
+                }
+                let ctx = self.ctrl_ctx(self.clock_floor);
+                self.controller.on_access(&ctx, id);
+                self.metrics.disk_hits += 1;
+
+                // Optional promotion back into memory (paper §2.3: recovered
+                // data can be cached again).
+                let info =
+                    BlockInfo { id, bytes: logical, ser_factor: ser, executor: cand };
+                let ctx = self.ctrl_ctx(self.clock_floor);
+                if self.controller.readmit_after_disk_read(&ctx, &info) == Admission::Memory {
+                    // Attempt the promotion while the block is still on
+                    // disk: a failed attempt then leaves it where it was
+                    // (and the spill-guard prevents re-charging a write).
+                    let promoted =
+                        self.try_cache_memory(plan, cand, &info, block.clone(), charge);
+                    if promoted {
+                        self.disk[ce].remove(id);
+                    }
+                }
+                return Ok(block);
+            }
+        }
+
+        // 3. Recompute from lineage.
+        let was_materialized = self.materialized_once.contains(&id);
+        if was_materialized {
+            self.metrics.recompute_misses += 1;
+        }
+        let node = plan.node(rdd)?;
+        let (block, in_elems, in_bytes) = match &node.compute {
+            Compute::Source(gen) => {
+                let b = gen(part)?;
+                let (e_, b_) = (b.len() as u64, b.bytes().as_bytes());
+                (b, e_, b_)
+            }
+            Compute::Narrow(f) => {
+                let mut inputs = Vec::with_capacity(node.deps.len());
+                for dep in &node.deps {
+                    inputs.push(self.materialize(plan, dep.parent(), part, exec, job, charge)?);
+                }
+                let in_elems: u64 = inputs.iter().map(|b| b.len() as u64).sum();
+                let in_bytes: u64 = inputs.iter().map(|b| b.bytes().as_bytes()).sum();
+                (f(part, &inputs)?, in_elems, in_bytes)
+            }
+            Compute::ShuffleAgg(agg) => {
+                let mut per_dep = Vec::with_capacity(node.deps.len());
+                let mut in_elems = 0u64;
+                let mut in_bytes = 0u64;
+                for (dep_idx, dep) in node.deps.iter().enumerate() {
+                    let Dep::Shuffle { parent, .. } = dep else {
+                        return Err(BlazeError::InvalidPlan(format!(
+                            "{rdd}: shuffle agg with narrow dep"
+                        )));
+                    };
+                    let num_maps = plan.node(*parent)?.num_partitions;
+                    // Ensure map outputs exist (they normally do; recovery
+                    // across a missing shuffle regenerates them).
+                    for m in 0..num_maps {
+                        if !self.shuffle.has_map_output((rdd, dep_idx), m) {
+                            let parent_block =
+                                self.materialize(plan, *parent, m, exec, job, charge)?;
+                            self.write_map_output(
+                                plan,
+                                rdd,
+                                dep_idx,
+                                m,
+                                &parent_block,
+                                charge,
+                            )?;
+                        }
+                    }
+                    let fetch_bytes = self.shuffle.fetch_bytes((rdd, dep_idx), num_maps, part);
+                    let parent_ser = plan.node(*parent)?.ser_factor;
+                    charge.shuffle_fetch += self.config.hardware.network_time(fetch_bytes)
+                        + self.config.hardware.deser_time(fetch_bytes, parent_ser);
+                    let mut incoming = Vec::with_capacity(num_maps);
+                    for m in 0..num_maps {
+                        let b = self.shuffle.fetch((rdd, dep_idx), m, part).ok_or_else(|| {
+                            BlazeError::Execution(format!("missing map output {rdd}/{dep_idx}/{m}"))
+                        })?;
+                        in_elems += b.len() as u64;
+                        in_bytes += b.bytes().as_bytes();
+                        incoming.push(b);
+                    }
+                    per_dep.push(incoming);
+                }
+                (agg(part, &per_dep)?, in_elems, in_bytes)
+            }
+        };
+
+        let edge = SimDuration::from_nanos(node.cost.charge_ns(in_elems, in_bytes) as u64);
+        if was_materialized {
+            charge.recompute += edge;
+            self.metrics.record_recompute(job, rdd, edge);
+        } else {
+            charge.compute += edge;
+        }
+        self.materialized_once.insert(id);
+
+        let info = BlockInfo {
+            id,
+            bytes: block.bytes(),
+            ser_factor: node.ser_factor,
+            executor: exec,
+        };
+        let ctx = self.ctrl_ctx(self.clock_floor);
+        let event = PartitionEvent { info, edge_compute: edge, job, recomputed: was_materialized };
+        self.controller.on_partition_computed(&ctx, &event);
+
+        // Unified caching decision (paper §4.1).
+        let annotated = node.cache_annotated && !node.unpersist_requested;
+        let ctx = self.ctrl_ctx(self.clock_floor);
+        if self.controller.should_cache(&ctx, &info, annotated) {
+            let ctx = self.ctrl_ctx(self.clock_floor);
+            match self.controller.admit(&ctx, &info) {
+                Admission::Memory => {
+                    self.try_cache_memory(plan, exec, &info, block.clone(), charge);
+                }
+                Admission::Disk => {
+                    self.spill_to_disk(exec, &info, block.clone(), charge);
+                }
+                Admission::Skip => {}
+            }
+        }
+        // Even uncached productions update the home hint: the producing
+        // executor is where recomputation is cheapest next time.
+        self.block_home.entry(id).or_insert(exec);
+        Ok(block)
+    }
+
+    fn write_map_output(
+        &mut self,
+        plan: &Plan,
+        child: RddId,
+        dep_idx: usize,
+        map_part: usize,
+        input: &Block,
+        charge: &mut TaskCharge,
+    ) -> Result<()> {
+        if self.shuffle.has_map_output((child, dep_idx), map_part) {
+            return Ok(());
+        }
+        let child_node = plan.node(child)?;
+        let Dep::Shuffle { parent, map_side } = &child_node.deps[dep_idx] else {
+            return Err(BlazeError::InvalidPlan(format!("{child}: dep {dep_idx} is not a shuffle")));
+        };
+        let buckets = map_side(input, child_node.num_partitions)?;
+        if buckets.len() != child_node.num_partitions {
+            return Err(BlazeError::Execution(format!(
+                "map-side for {child} produced {} buckets, expected {}",
+                buckets.len(),
+                child_node.num_partitions
+            )));
+        }
+        let out_bytes: ByteSize = buckets.iter().map(Block::bytes).sum();
+        let parent_ser = plan.node(*parent)?.ser_factor;
+        // Shuffle write = serialize + write shuffle files (Spark behaviour);
+        // charged to the shuffle category, not to cache disk I/O.
+        charge.shuffle_write += self.config.hardware.ser_time(out_bytes, parent_ser)
+            + self.config.hardware.disk_write_time(out_bytes);
+        self.shuffle.put_map_output((child, dep_idx), map_part, buckets);
+        Ok(())
+    }
+
+    // ---- Cache placement --------------------------------------------------
+
+    /// Tries to place `block` in `exec`'s memory store, running the
+    /// controller's eviction path if space is needed. Returns true on
+    /// success; on failure consults `on_admission_failure`.
+    fn try_cache_memory(
+        &mut self,
+        _plan: &Plan,
+        exec: ExecutorId,
+        info: &BlockInfo,
+        block: Block,
+        charge: &mut TaskCharge,
+    ) -> bool {
+        let e = exec.raw() as usize;
+        let serialized = self.controller.serialized_in_memory();
+        let footprint = if serialized {
+            info.bytes.scale(self.controller.memory_footprint_factor())
+        } else {
+            info.bytes
+        };
+
+        if !self.mem[e].fits(footprint) {
+            let needed = footprint.saturating_sub(self.mem[e].free());
+            // Candidates exclude the incoming block's own RDD (Spark rule).
+            let resident: Vec<BlockInfo> = self.mem[e]
+                .iter()
+                .filter(|(bid, _)| bid.rdd != info.id.rdd)
+                .map(|(bid, sb)| BlockInfo {
+                    id: *bid,
+                    bytes: sb.logical_bytes,
+                    ser_factor: sb.ser_factor,
+                    executor: exec,
+                })
+                .collect();
+            let ctx = self.ctrl_ctx(self.clock_floor);
+            let victims =
+                self.controller.choose_victims(&ctx, exec, needed, info, &resident);
+            for (vid, action) in victims {
+                if vid.rdd == info.id.rdd {
+                    continue;
+                }
+                if self.mem[e].fits(footprint) {
+                    break;
+                }
+                self.evict_one(exec, vid, action, charge);
+            }
+        }
+
+        if self.mem[e].fits(footprint) {
+            if serialized {
+                // Writing through a serialized external store costs
+                // serialization even on the memory tier (§7.1 Alluxio).
+                charge.external_store_io +=
+                    self.config.hardware.ser_time(info.bytes, info.ser_factor);
+            }
+            let ok = self.mem[e].insert(
+                info.id,
+                StoredBlock {
+                    block,
+                    logical_bytes: info.bytes,
+                    stored_bytes: footprint,
+                    ser_factor: info.ser_factor,
+                },
+            );
+            debug_assert!(ok);
+            self.block_home.insert(info.id, exec);
+            let ctx = self.ctrl_ctx(self.clock_floor);
+            self.controller.on_inserted(&ctx, info, false);
+            let mem_total: ByteSize = self.mem.iter().map(BlockStore::used).sum();
+            self.metrics.memory_bytes_peak = self.metrics.memory_bytes_peak.max(mem_total);
+            true
+        } else {
+            let ctx = self.ctrl_ctx(self.clock_floor);
+            if self.controller.on_admission_failure(&ctx, info) == Admission::Disk {
+                self.spill_to_disk(exec, info, block, charge);
+            }
+            false
+        }
+    }
+
+    /// Evicts one memory-resident block with the given action.
+    fn evict_one(
+        &mut self,
+        exec: ExecutorId,
+        vid: BlockId,
+        action: VictimAction,
+        charge: &mut TaskCharge,
+    ) {
+        let e = exec.raw() as usize;
+        let Some(sb) = self.mem[e].remove(vid) else { return };
+        self.metrics.record_eviction(exec, sb.logical_bytes, action == VictimAction::ToDisk);
+        let ctx = self.ctrl_ctx(self.clock_floor);
+        self.controller.on_evicted(&ctx, vid);
+        if action == VictimAction::ToDisk {
+            charge.disk_cache_write +=
+                self.config.hardware.spill_time(sb.logical_bytes, sb.ser_factor);
+            let logical = sb.logical_bytes;
+            let inserted = self.disk[e].insert(
+                vid,
+                StoredBlock { stored_bytes: logical, ..sb },
+            );
+            if inserted {
+                self.metrics.disk_bytes_written += logical;
+                let info = BlockInfo {
+                    id: vid,
+                    bytes: logical,
+                    ser_factor: 1.0,
+                    executor: exec,
+                };
+                let ctx = self.ctrl_ctx(self.clock_floor);
+                self.controller.on_inserted(&ctx, &info, true);
+            }
+        }
+    }
+
+    /// Writes a block straight to the disk store (admission or spill).
+    fn spill_to_disk(
+        &mut self,
+        exec: ExecutorId,
+        info: &BlockInfo,
+        block: Block,
+        charge: &mut TaskCharge,
+    ) {
+        let e = exec.raw() as usize;
+        if self.disk[e].contains(info.id) {
+            return;
+        }
+        let stored = StoredBlock {
+            block,
+            logical_bytes: info.bytes,
+            stored_bytes: info.bytes,
+            ser_factor: info.ser_factor,
+        };
+        if self.disk[e].insert(info.id, stored) {
+            charge.disk_cache_write +=
+                self.config.hardware.spill_time(info.bytes, info.ser_factor);
+            self.metrics.disk_bytes_written += info.bytes;
+            self.block_home.insert(info.id, exec);
+            let ctx = self.ctrl_ctx(self.clock_floor);
+            self.controller.on_inserted(&ctx, info, true);
+        }
+    }
+
+    // ---- Off-task state transitions ----------------------------------------
+
+    /// Applies controller-requested state transitions. Data movement charges
+    /// disk I/O time and occupies one executor slot, like a small task.
+    fn apply_commands(&mut self, _plan: &Plan, cmds: Vec<StateCommand>) {
+        for cmd in cmds {
+            match cmd {
+                StateCommand::UnpersistRdd(rdd) => {
+                    for e in 0..self.config.executors {
+                        for (vid, _) in self.mem[e].remove_rdd(rdd) {
+                            let ctx = self.ctrl_ctx(self.clock_floor);
+                            self.controller.on_evicted(&ctx, vid);
+                        }
+                        self.disk[e].remove_rdd(rdd);
+                    }
+                }
+                StateCommand::UnpersistBlock(id) => {
+                    for e in 0..self.config.executors {
+                        if self.mem[e].remove(id).is_some() {
+                            let ctx = self.ctrl_ctx(self.clock_floor);
+                            self.controller.on_evicted(&ctx, id);
+                        }
+                        self.disk[e].remove(id);
+                    }
+                }
+                StateCommand::SpillToDisk(id) => {
+                    let Some(e) = (0..self.config.executors).find(|&e| self.mem[e].contains(id))
+                    else {
+                        continue;
+                    };
+                    let exec = ExecutorId(e as u32);
+                    let mut charge = TaskCharge::default();
+                    self.evict_one(exec, id, VictimAction::ToDisk, &mut charge);
+                    self.charge_migration(exec, &charge);
+                }
+                StateCommand::PromoteToMemory(id) => {
+                    let Some(e) = (0..self.config.executors).find(|&e| self.disk[e].contains(id))
+                    else {
+                        continue;
+                    };
+                    let sb = self.disk[e].get(id).expect("present").clone();
+                    if !self.mem[e].fits(sb.stored_bytes) {
+                        continue; // Best effort: promotion only into free space.
+                    }
+                    self.disk[e].remove(id);
+                    let mut charge = TaskCharge::default();
+                    charge.disk_cache_read += self
+                        .config
+                        .hardware
+                        .fetch_from_disk_time(sb.logical_bytes, sb.ser_factor);
+                    let info = BlockInfo {
+                        id,
+                        bytes: sb.logical_bytes,
+                        ser_factor: sb.ser_factor,
+                        executor: ExecutorId(e as u32),
+                    };
+                    let ok = self.mem[e].insert(id, sb);
+                    debug_assert!(ok);
+                    let ctx = self.ctrl_ctx(self.clock_floor);
+                    self.controller.on_inserted(&ctx, &info, false);
+                    // Prefetch overlaps with computation (MRD's design):
+                    // record the I/O but do not block a slot.
+                    self.metrics.accumulated.disk_cache_read += charge.disk_cache_read;
+                }
+            }
+        }
+    }
+
+    /// Charges a data-movement operation to the executor's least-loaded slot
+    /// and to the accumulated metrics.
+    fn charge_migration(&mut self, exec: ExecutorId, charge: &TaskCharge) {
+        let e = exec.raw() as usize;
+        let slot = Self::earliest_slot(&self.slots[e]);
+        self.slots[e][slot] = self.slots[e][slot].max(self.clock_floor) + charge.total();
+        self.metrics.accumulated.merge(charge);
+    }
+
+    /// User-initiated unpersist (the `unpersist()` API): drop everywhere.
+    fn user_unpersist(&mut self, rdd: RddId) {
+        for e in 0..self.config.executors {
+            for (vid, _) in self.mem[e].remove_rdd(rdd) {
+                let ctx = self.ctrl_ctx(self.clock_floor);
+                self.controller.on_evicted(&ctx, vid);
+            }
+            self.disk[e].remove_rdd(rdd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::NoCacheController;
+    use blaze_dataflow::Context;
+
+    fn cluster(controller: Box<dyn CacheController>) -> (Context, Cluster) {
+        let config = ClusterConfig {
+            executors: 2,
+            slots_per_executor: 2,
+            memory_capacity: ByteSize::from_kib(64),
+            ..Default::default()
+        };
+        let cluster = Cluster::new(config, controller).unwrap();
+        (Context::new(cluster.clone()), cluster)
+    }
+
+    /// A controller that caches everything it can in memory, LRU-free
+    /// (evicts nothing): admission simply fails when memory is full.
+    #[derive(Default)]
+    struct GreedyMem;
+    impl CacheController for GreedyMem {
+        fn name(&self) -> String {
+            "GreedyMem".into()
+        }
+        fn should_cache(&mut self, _: &CtrlCtx, _: &BlockInfo, _annotated: bool) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn computes_correct_results() {
+        let (ctx, _cluster) = cluster(Box::new(NoCacheController));
+        let ds = ctx.range(0..1000, 8);
+        let sum: u64 = ds.map(|x| x * 2).collect().unwrap().into_iter().sum();
+        assert_eq!(sum, 999 * 1000);
+    }
+
+    #[test]
+    fn shuffle_through_engine_is_correct() {
+        let (ctx, _cluster) = cluster(Box::new(NoCacheController));
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 4, i)).collect();
+        let mut out = ctx.parallelize(pairs, 4).reduce_by_key(2, |a, b| a + b).collect().unwrap();
+        out.sort();
+        let expected: Vec<(u64, u64)> = (0..4)
+            .map(|k| (k, (0..100).filter(|i| i % 4 == k).sum::<u64>()))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn simulated_time_advances_and_is_deterministic() {
+        let run = || {
+            let (ctx, cluster) = cluster(Box::new(NoCacheController));
+            let ds = ctx.range(0..10_000, 8).map(|x| x + 1);
+            ds.count().unwrap();
+            cluster.metrics().completion_time
+        };
+        let t1 = run();
+        let t2 = run();
+        assert!(t1 > SimTime::ZERO);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn caching_avoids_recomputation() {
+        // Without caching, a reused dataset recomputes; with caching it hits.
+        let (ctx, cl) = cluster(Box::new(GreedyMem));
+        let ds = ctx.range(0..1000, 4).map(|x| x * 3);
+        ds.cache();
+        ds.count().unwrap();
+        ds.count().unwrap();
+        let m = cl.metrics();
+        assert!(m.mem_hits >= 4, "expected memory hits on second job, got {}", m.mem_hits);
+        assert_eq!(m.total_recompute_time(), SimDuration::ZERO);
+
+        let (ctx2, cl2) = cluster(Box::new(NoCacheController));
+        let ds2 = ctx2.range(0..1000, 4).map(|x| x * 3);
+        ds2.cache();
+        ds2.count().unwrap();
+        ds2.count().unwrap();
+        let m2 = cl2.metrics();
+        assert_eq!(m2.mem_hits, 0);
+        assert!(m2.total_recompute_time() > SimDuration::ZERO);
+        // Recomputation makes the uncached run slower.
+        assert!(m2.completion_time > cl.metrics().completion_time);
+    }
+
+    #[test]
+    fn map_stages_are_skipped_when_shuffle_outputs_exist() {
+        let (ctx, cl) = cluster(Box::new(NoCacheController));
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 4, i)).collect();
+        let reduced = ctx.parallelize(pairs, 4).reduce_by_key(2, |a, b| a + b);
+        reduced.count().unwrap();
+        assert_eq!(cl.metrics().stages_skipped, 0);
+        reduced.count().unwrap();
+        // Second job skips the map stage: shuffle outputs persist.
+        assert_eq!(cl.metrics().stages_skipped, 1);
+    }
+
+    /// Caches exactly the annotated datasets (no eviction support).
+    #[derive(Default)]
+    struct ObeyAnnotations;
+    impl CacheController for ObeyAnnotations {
+        fn name(&self) -> String {
+            "ObeyAnnotations".into()
+        }
+    }
+
+    #[test]
+    fn unpersist_drops_cached_blocks() {
+        let (ctx, cl) = cluster(Box::new(ObeyAnnotations));
+        let ds = ctx.range(0..100, 2).map(|x| x + 1);
+        ds.cache();
+        ds.count().unwrap();
+        assert!(cl.memory_used().iter().any(|b| !b.is_zero()));
+        ds.unpersist();
+        assert!(cl.memory_used().iter().all(|b| b.is_zero()));
+    }
+
+    #[test]
+    fn admission_failure_skips_by_default() {
+        // Memory too small for the dataset: GreedyMem never evicts, so some
+        // blocks are simply not cached; run still completes correctly.
+        let config = ClusterConfig {
+            executors: 1,
+            slots_per_executor: 1,
+            memory_capacity: ByteSize::from_kib(2),
+            ..Default::default()
+        };
+        let cl = Cluster::new(config, Box::new(GreedyMem)).unwrap();
+        let ctx = Context::new(cl.clone());
+        let ds = ctx.range(0..10_000, 4); // ~80KB total
+        ds.cache();
+        assert_eq!(ds.count().unwrap(), 10_000);
+        let used = cl.memory_used()[0];
+        assert!(used <= ByteSize::from_kib(2));
+    }
+
+    #[test]
+    fn tasks_spread_across_executors() {
+        let (ctx, cl) = cluster(Box::new(GreedyMem));
+        let ds = ctx.range(0..1000, 4).map(|x| x + 1);
+        ds.cache();
+        ds.count().unwrap();
+        let used = cl.memory_used();
+        assert!(used.iter().filter(|b| !b.is_zero()).count() >= 2, "{used:?}");
+    }
+
+    #[test]
+    fn full_disk_store_degrades_gracefully() {
+        // Disk capacity smaller than one block: spills fail, data is
+        // simply dropped, and results stay correct.
+        let config = ClusterConfig {
+            executors: 1,
+            slots_per_executor: 1,
+            memory_capacity: ByteSize::from_kib(4),
+            disk_capacity: ByteSize::from_bytes(16),
+            ..Default::default()
+        };
+        /// LRU-free MEM+DISK-style controller: always spills on failure.
+        struct SpillHappy;
+        impl CacheController for SpillHappy {
+            fn name(&self) -> String {
+                "SpillHappy".into()
+            }
+            fn should_cache(&mut self, _: &CtrlCtx, _: &BlockInfo, _a: bool) -> bool {
+                true
+            }
+            fn on_admission_failure(
+                &mut self,
+                _: &CtrlCtx,
+                _: &BlockInfo,
+            ) -> crate::controller::Admission {
+                crate::controller::Admission::Disk
+            }
+        }
+        let cl = Cluster::new(config, Box::new(SpillHappy)).unwrap();
+        let ctx = Context::new(cl.clone());
+        let ds = ctx.range(0..5_000, 4).map(|x| x * 2);
+        ds.cache();
+        let total: u64 = ds.collect().unwrap().into_iter().sum();
+        assert_eq!(total, (0..5_000u64).map(|x| x * 2).sum::<u64>());
+        // Nothing could actually persist on the 16-byte disk.
+        assert!(cl.disk_used()[0] <= ByteSize::from_bytes(16));
+    }
+
+    #[test]
+    fn skipped_stages_still_notify_the_controller() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        struct CountStages(Arc<AtomicU32>);
+        impl CacheController for CountStages {
+            fn name(&self) -> String {
+                "CountStages".into()
+            }
+            fn on_stage_complete(
+                &mut self,
+                _: &CtrlCtx,
+                _: blaze_common::ids::RddId,
+                _: JobId,
+                _: &Plan,
+            ) -> Vec<StateCommand> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+        let count = Arc::new(AtomicU32::new(0));
+        let (ctx, cl) = {
+            let config = ClusterConfig { executors: 2, ..Default::default() };
+            let cl = Cluster::new(config, Box::new(CountStages(Arc::clone(&count)))).unwrap();
+            (Context::new(cl.clone()), cl)
+        };
+        let pairs: Vec<(u64, u64)> = (0..50).map(|i| (i % 4, i)).collect();
+        let reduced = ctx.parallelize(pairs, 4).reduce_by_key(2, |a, b| a + b);
+        reduced.count().unwrap(); // 2 stages run.
+        reduced.count().unwrap(); // 1 skipped + 1 run.
+        assert_eq!(cl.metrics().stages_skipped, 1);
+        assert_eq!(count.load(Ordering::Relaxed), 4, "skipped stage must notify too");
+    }
+
+    #[test]
+    fn task_traces_cover_the_whole_run() {
+        let (ctx, cl) = cluster(Box::new(NoCacheController));
+        let ds = ctx.range(0..500, 4).map(|x| x + 1);
+        ds.count().unwrap();
+        let m = cl.metrics();
+        assert_eq!(m.task_traces.len() as u64, m.tasks);
+        for t in &m.task_traces {
+            assert!(t.end >= t.start);
+            assert_eq!(t.duration(), t.charge.total());
+        }
+        // Busy time sums to the accumulated task time.
+        let busy: blaze_common::SimDuration =
+            m.busy_time_per_executor().values().copied().sum();
+        assert_eq!(busy, m.accumulated.total());
+    }
+
+    #[test]
+    fn zero_config_is_rejected() {
+        let mut config = ClusterConfig::default();
+        config.executors = 0;
+        assert!(Cluster::new(config, Box::new(NoCacheController)).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Cluster and hardware-model configuration.
+//!
+//! The paper evaluates on 11 r5a.2xlarge instances (one master, ten workers,
+//! two executors each) with gp2 SSDs (§7.1). We reproduce that topology at
+//! laptop scale: the executor count, slot count, memory-store capacity and
+//! the throughput constants below are the knobs that define the simulated
+//! performance model. Defaults are calibrated so that the *ratios* between
+//! compute, (de)serialization, disk and network costs match a commodity
+//! cloud node (SSD ~200 MB/s sustained, ~1 GB/s effective network per
+//! executor, serialization slower than raw disk bandwidth).
+
+use blaze_common::error::{BlazeError, Result};
+use blaze_common::{ByteSize, SimDuration};
+
+/// Throughput constants of the simulated hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareModel {
+    /// Sequential disk write throughput in bytes/second.
+    pub disk_write_bps: f64,
+    /// Sequential disk read throughput in bytes/second.
+    pub disk_read_bps: f64,
+    /// Serialization throughput in bytes/second (memory -> wire/disk form).
+    pub ser_bps: f64,
+    /// Deserialization throughput in bytes/second.
+    pub deser_bps: f64,
+    /// Per-executor effective network throughput in bytes/second.
+    pub network_bps: f64,
+}
+
+impl Default for HardwareModel {
+    fn default() -> Self {
+        Self {
+            disk_write_bps: 180.0e6,
+            disk_read_bps: 220.0e6,
+            // JVM object serialization is far slower than raw disk
+            // bandwidth; these rates make (de)serialization the dominant
+            // part of cache disk I/O, as the paper measures (Fig. 4).
+            ser_bps: 120.0e6,
+            deser_bps: 160.0e6,
+            network_bps: 1.0e9,
+        }
+    }
+}
+
+impl HardwareModel {
+    /// Time to serialize `bytes` of data with the given type factor.
+    pub fn ser_time(&self, bytes: ByteSize, ser_factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 * ser_factor.max(0.0) / self.ser_bps)
+    }
+
+    /// Time to deserialize `bytes` of data with the given type factor.
+    pub fn deser_time(&self, bytes: ByteSize, ser_factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 * ser_factor.max(0.0) / self.deser_bps)
+    }
+
+    /// Time to write `bytes` to disk (raw I/O, excluding serialization).
+    pub fn disk_write_time(&self, bytes: ByteSize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 / self.disk_write_bps)
+    }
+
+    /// Time to read `bytes` from disk (raw I/O, excluding deserialization).
+    pub fn disk_read_time(&self, bytes: ByteSize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 / self.disk_read_bps)
+    }
+
+    /// Time to transfer `bytes` over the network.
+    pub fn network_time(&self, bytes: ByteSize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 / self.network_bps)
+    }
+
+    /// Full cost of spilling a block to disk: serialize + write.
+    ///
+    /// This is the write half of the paper's disk cost (Eq. 3); data
+    /// (de)serialization is included in disk I/O time as in Fig. 4.
+    pub fn spill_time(&self, bytes: ByteSize, ser_factor: f64) -> SimDuration {
+        self.ser_time(bytes, ser_factor) + self.disk_write_time(bytes)
+    }
+
+    /// Full cost of recovering a block from disk: read + deserialize.
+    pub fn fetch_from_disk_time(&self, bytes: ByteSize, ser_factor: f64) -> SimDuration {
+        self.disk_read_time(bytes) + self.deser_time(bytes, ser_factor)
+    }
+}
+
+/// Configuration of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of executors.
+    pub executors: usize,
+    /// Concurrent task slots per executor (vCPUs devoted to tasks).
+    pub slots_per_executor: usize,
+    /// Memory-store capacity per executor (the cache budget, not total
+    /// executor memory; cf. the paper's empirical 34% bound, §7.1).
+    pub memory_capacity: ByteSize,
+    /// Disk-store capacity per executor ("abundant" in the paper, §5.5).
+    pub disk_capacity: ByteSize,
+    /// Simulated hardware throughput model.
+    pub hardware: HardwareModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            executors: 4,
+            slots_per_executor: 2,
+            memory_capacity: ByteSize::from_mib(64),
+            disk_capacity: ByteSize::from_gib(8),
+            hardware: HardwareModel::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.executors == 0 {
+            return Err(BlazeError::Config("executors must be > 0".into()));
+        }
+        if self.slots_per_executor == 0 {
+            return Err(BlazeError::Config("slots_per_executor must be > 0".into()));
+        }
+        if self.memory_capacity.is_zero() {
+            return Err(BlazeError::Config("memory_capacity must be > 0".into()));
+        }
+        let hw = &self.hardware;
+        for (name, v) in [
+            ("disk_write_bps", hw.disk_write_bps),
+            ("disk_read_bps", hw.disk_read_bps),
+            ("ser_bps", hw.ser_bps),
+            ("deser_bps", hw.deser_bps),
+            ("network_bps", hw.network_bps),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(BlazeError::Config(format!("{name} must be positive, got {v}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate memory-store capacity across the cluster.
+    pub fn total_memory(&self) -> ByteSize {
+        self.memory_capacity * self.executors as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ClusterConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = ClusterConfig::default();
+        c.executors = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::default();
+        c.memory_capacity = ByteSize::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::default();
+        c.hardware.disk_read_bps = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::default();
+        c.hardware.network_bps = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hardware_times_scale_with_bytes() {
+        let hw = HardwareModel::default();
+        let one = hw.disk_write_time(ByteSize::from_mib(1));
+        let ten = hw.disk_write_time(ByteSize::from_mib(10));
+        assert!(ten.as_secs_f64() > 9.0 * one.as_secs_f64());
+        assert!(ten.as_secs_f64() < 11.0 * one.as_secs_f64());
+    }
+
+    #[test]
+    fn ser_factor_scales_serialization_only() {
+        let hw = HardwareModel::default();
+        let plain = hw.spill_time(ByteSize::from_mib(8), 1.0);
+        let heavy = hw.spill_time(ByteSize::from_mib(8), 4.0);
+        assert!(heavy > plain);
+        // Raw disk write component is unchanged.
+        assert_eq!(
+            heavy - hw.ser_time(ByteSize::from_mib(8), 4.0),
+            plain - hw.ser_time(ByteSize::from_mib(8), 1.0)
+        );
+    }
+
+    #[test]
+    fn total_memory_multiplies_out() {
+        let mut c = ClusterConfig::default();
+        c.executors = 3;
+        c.memory_capacity = ByteSize::from_mib(10);
+        assert_eq!(c.total_memory(), ByteSize::from_mib(30));
+    }
+}

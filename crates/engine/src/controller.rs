@@ -1,0 +1,248 @@
+//! The cache-controller interface: the engine's unified integration surface
+//! for caching, eviction and recovery decisions.
+//!
+//! Existing systems split these decisions across three independent layers
+//! (paper §3); this trait deliberately exposes *all* of them to a single
+//! implementation so that baselines (LRU & friends, which only implement
+//! the eviction hook meaningfully) and Blaze (which implements the unified
+//! decision layer, §5.6) plug into the same engine.
+
+use crate::config::HardwareModel;
+use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::{ByteSize, SimDuration, SimTime};
+use blaze_dataflow::{JobPlan, Plan};
+
+/// Metadata of one materialized partition, as seen by controllers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockInfo {
+    /// Which partition.
+    pub id: BlockId,
+    /// Logical (deserialized) size.
+    pub bytes: ByteSize,
+    /// Serialization cost factor of the element type.
+    pub ser_factor: f64,
+    /// Executor the partition lives on / was produced on.
+    pub executor: ExecutorId,
+}
+
+/// A partition-computation event (one lineage edge executed).
+///
+/// This is the profiling feed of the paper's §5.3: the compute time is the
+/// edge cost `cost_{k->i}`, and size/location are the partition metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionEvent {
+    /// The produced partition.
+    pub info: BlockInfo,
+    /// Time to compute this partition from its direct inputs (one edge, not
+    /// the recursive lineage).
+    pub edge_compute: SimDuration,
+    /// Job during which the computation happened.
+    pub job: JobId,
+    /// True if this partition had been materialized before (recomputation).
+    pub recomputed: bool,
+}
+
+/// Where to place a block the controller admitted for caching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Store in the executor's memory store.
+    Memory,
+    /// Store in the executor's disk store (serialize + write).
+    Disk,
+    /// Do not cache.
+    Skip,
+}
+
+/// What to do with an eviction victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimAction {
+    /// Drop the data (state m -> u); later access recomputes.
+    Discard,
+    /// Spill to the disk store (state m -> d); later access reads it back.
+    ToDisk,
+}
+
+/// A state transition requested by the controller outside the task path
+/// (applied by the engine after stage completion / job submission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateCommand {
+    /// Drop every cached block of this RDD (auto-unpersist, §5.6).
+    UnpersistRdd(RddId),
+    /// Drop one cached block wherever it is.
+    UnpersistBlock(BlockId),
+    /// Move one memory-resident block to disk (m -> d).
+    SpillToDisk(BlockId),
+    /// Move one disk-resident block into memory if it fits (d -> m).
+    PromoteToMemory(BlockId),
+}
+
+/// Read-only context handed to controller callbacks.
+#[derive(Debug, Clone, Copy)]
+pub struct CtrlCtx {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Hardware model (for disk-cost estimation, Eq. 3).
+    pub hardware: HardwareModel,
+    /// Per-executor memory-store capacity.
+    pub memory_capacity: ByteSize,
+    /// Per-executor disk-store capacity ("abundant" in the paper's setup,
+    /// but the Eq. 6 extension constrains it).
+    pub disk_capacity: ByteSize,
+    /// Number of executors.
+    pub executors: usize,
+}
+
+/// The unified decision interface for caching, eviction and recovery.
+///
+/// All methods have conservative defaults so that simple policies only
+/// override what they care about. The engine guarantees:
+///
+/// - `choose_victims` candidates never include blocks of the same RDD as the
+///   incoming block (Spark never evicts the RDD being written);
+/// - commands returned from `on_stage_complete` / `on_job_submit` are applied
+///   best-effort (e.g. a promotion that no longer fits is skipped);
+/// - every memory/disk insert and removal is reported via `on_inserted` /
+///   `on_evicted`, including those triggered by [`StateCommand`]s, so the
+///   controller's view of residency can be kept consistent.
+pub trait CacheController: Send {
+    /// Short system name used in reports (e.g. `"Spark (MEM_ONLY)"`).
+    fn name(&self) -> String;
+
+    /// Whether a freshly materialized partition should be considered for
+    /// caching. `annotated` reflects the user's `cache()` call on the RDD.
+    /// Baselines return `annotated`; auto-caching systems decide themselves.
+    fn should_cache(&mut self, _ctx: &CtrlCtx, _block: &BlockInfo, annotated: bool) -> bool {
+        annotated
+    }
+
+    /// Chooses the tier for an admitted block. Defaults to memory.
+    fn admit(&mut self, _ctx: &CtrlCtx, _block: &BlockInfo) -> Admission {
+        Admission::Memory
+    }
+
+    /// Chooses victims (in eviction order) to free at least `needed` bytes
+    /// of memory on `exec`. `resident` lists the candidate blocks currently
+    /// in that executor's memory store. Returning fewer bytes than `needed`
+    /// makes the engine fall back to [`CacheController::on_admission_failure`].
+    fn choose_victims(
+        &mut self,
+        _ctx: &CtrlCtx,
+        _exec: ExecutorId,
+        _needed: ByteSize,
+        _incoming: &BlockInfo,
+        _resident: &[BlockInfo],
+    ) -> Vec<(BlockId, VictimAction)> {
+        Vec::new()
+    }
+
+    /// Placement when memory admission failed even after eviction.
+    /// MEM_ONLY-style systems skip; MEM+DISK-style systems spill.
+    fn on_admission_failure(&mut self, _ctx: &CtrlCtx, _block: &BlockInfo) -> Admission {
+        Admission::Skip
+    }
+
+    /// Placement after a block was recovered from disk on a cache miss.
+    /// Returning `Memory` promotes it (subject to the usual eviction path);
+    /// the default leaves it on disk.
+    fn readmit_after_disk_read(&mut self, _ctx: &CtrlCtx, _block: &BlockInfo) -> Admission {
+        Admission::Disk
+    }
+
+    /// If true, memory-resident cached data is kept serialized (an external
+    /// store such as Alluxio): every memory hit pays (de)serialization, and
+    /// the stored footprint shrinks by [`CacheController::memory_footprint_factor`].
+    fn serialized_in_memory(&self) -> bool {
+        false
+    }
+
+    /// Memory footprint multiplier for serialized-in-memory stores.
+    fn memory_footprint_factor(&self) -> f64 {
+        1.0
+    }
+
+    /// A cached block was read (memory or disk hit).
+    fn on_access(&mut self, _ctx: &CtrlCtx, _id: BlockId) {}
+
+    /// A block entered a store (`to_disk` false = memory tier).
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, _info: &BlockInfo, _to_disk: bool) {}
+
+    /// A block left the memory store (evicted, spilled or unpersisted).
+    fn on_evicted(&mut self, _ctx: &CtrlCtx, _id: BlockId) {}
+
+    /// A partition was computed (the profiling feed; called for *every*
+    /// materialized partition, cached or not).
+    fn on_partition_computed(&mut self, _ctx: &CtrlCtx, _event: &PartitionEvent) {}
+
+    /// A job is about to run. Returning commands lets cost-aware systems
+    /// restate partitions ahead of the job (Blaze triggers its ILP here,
+    /// §5.6). `plan` is the full lineage known so far.
+    fn on_job_submit(
+        &mut self,
+        _ctx: &CtrlCtx,
+        _job: JobId,
+        _job_plan: &JobPlan,
+        _plan: &Plan,
+    ) -> Vec<StateCommand> {
+        Vec::new()
+    }
+
+    /// A stage finished. Blaze runs auto-caching/auto-unpersist here (§5.6);
+    /// MRD uses it to prefetch.
+    fn on_stage_complete(
+        &mut self,
+        _ctx: &CtrlCtx,
+        _stage_output: RddId,
+        _job: JobId,
+        _plan: &Plan,
+    ) -> Vec<StateCommand> {
+        Vec::new()
+    }
+}
+
+/// A controller that never caches anything (for engine tests and as the
+/// degenerate baseline: every reuse recomputes from lineage).
+#[derive(Debug, Default, Clone)]
+pub struct NoCacheController;
+
+impl CacheController for NoCacheController {
+    fn name(&self) -> String {
+        "NoCache".into()
+    }
+
+    fn should_cache(&mut self, _ctx: &CtrlCtx, _block: &BlockInfo, _annotated: bool) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_conservative() {
+        let mut c = NoCacheController;
+        let hw = HardwareModel::default();
+        let ctx = CtrlCtx {
+            now: SimTime::ZERO,
+            hardware: hw,
+            memory_capacity: ByteSize::from_mib(1),
+            disk_capacity: ByteSize::from_gib(1),
+            executors: 2,
+        };
+        let info = BlockInfo {
+            id: BlockId::new(RddId(1), 0),
+            bytes: ByteSize::from_kib(1),
+            ser_factor: 1.0,
+            executor: ExecutorId(0),
+        };
+        assert!(!c.should_cache(&ctx, &info, true));
+        assert_eq!(c.admit(&ctx, &info), Admission::Memory);
+        assert_eq!(c.on_admission_failure(&ctx, &info), Admission::Skip);
+        assert_eq!(c.readmit_after_disk_read(&ctx, &info), Admission::Disk);
+        assert!(!c.serialized_in_memory());
+        assert_eq!(c.memory_footprint_factor(), 1.0);
+        assert!(c
+            .choose_victims(&ctx, ExecutorId(0), ByteSize::from_kib(1), &info, &[])
+            .is_empty());
+    }
+}

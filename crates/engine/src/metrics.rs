@@ -1,0 +1,311 @@
+//! Execution metrics.
+//!
+//! Everything the paper's evaluation figures need falls out of this module:
+//! accumulated task-time breakdowns (Figs. 4 and 10), eviction counts and
+//! per-executor eviction volumes (Figs. 3 and 12a), per-iteration
+//! recomputation time (Figs. 5 and 12b), disk-resident cache volume (§7.2
+//! inline statistics) and the application completion time (Fig. 9).
+
+use blaze_common::fxhash::FxHashMap;
+use blaze_common::ids::{ExecutorId, JobId, RddId};
+use blaze_common::{ByteSize, SimDuration, SimTime};
+
+/// One executed task, for timeline reconstruction and skew analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTrace {
+    /// Job the task belonged to.
+    pub job: JobId,
+    /// The RDD the task's stage materialized.
+    pub stage_output: RddId,
+    /// Partition index the task computed.
+    pub partition: u32,
+    /// Executor the task ran on.
+    pub executor: ExecutorId,
+    /// Slot within the executor.
+    pub slot: u32,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Simulated end time.
+    pub end: SimTime,
+    /// The task's charge breakdown.
+    pub charge: TaskCharge,
+}
+
+impl TaskTrace {
+    /// Simulated duration of the task.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Time charged to one task (or migration), split by category.
+///
+/// The paper's Fig. 4/10 breakdown distinguishes "Disk I/O for Caching"
+/// (spills, disk reads of cached data, and their (de)serialization) from
+/// "Computation+Shuffle"; we keep the finer split and aggregate for display.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaskCharge {
+    /// Operator compute time (first-time computation).
+    pub compute: SimDuration,
+    /// Re-execution of previously materialized partitions (cache-miss
+    /// recovery by recomputation).
+    pub recompute: SimDuration,
+    /// Shuffle write (bucketing + serialization + shuffle-file write).
+    pub shuffle_write: SimDuration,
+    /// Shuffle fetch (network + deserialization).
+    pub shuffle_fetch: SimDuration,
+    /// Writing cached data to disk (serialization + disk write).
+    pub disk_cache_write: SimDuration,
+    /// Reading cached data back from disk (disk read + deserialization).
+    pub disk_cache_read: SimDuration,
+    /// Extra in-memory (de)serialization imposed by an external store
+    /// (the Alluxio path, §7.1).
+    pub external_store_io: SimDuration,
+}
+
+impl TaskCharge {
+    /// Total simulated task duration.
+    pub fn total(&self) -> SimDuration {
+        self.compute
+            + self.recompute
+            + self.shuffle_write
+            + self.shuffle_fetch
+            + self.disk_cache_write
+            + self.disk_cache_read
+            + self.external_store_io
+    }
+
+    /// The "Disk I/O for Caching" component of the paper's breakdown.
+    pub fn disk_io_for_caching(&self) -> SimDuration {
+        self.disk_cache_write + self.disk_cache_read
+    }
+
+    /// The "Computation+Shuffle" component of the paper's breakdown.
+    pub fn computation_and_shuffle(&self) -> SimDuration {
+        self.compute + self.recompute + self.shuffle_write + self.shuffle_fetch
+    }
+
+    /// Adds another charge into this one.
+    pub fn merge(&mut self, other: &TaskCharge) {
+        self.compute += other.compute;
+        self.recompute += other.recompute;
+        self.shuffle_write += other.shuffle_write;
+        self.shuffle_fetch += other.shuffle_fetch;
+        self.disk_cache_write += other.disk_cache_write;
+        self.disk_cache_read += other.disk_cache_read;
+        self.external_store_io += other.external_store_io;
+    }
+}
+
+/// Aggregated metrics of one application run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Sum of all task charges (the "accumulated task execution time").
+    pub accumulated: TaskCharge,
+    /// Number of tasks executed.
+    pub tasks: u64,
+    /// Number of jobs executed.
+    pub jobs: u64,
+    /// Number of stages executed (excluding skipped).
+    pub stages_run: u64,
+    /// Number of stages skipped because shuffle outputs already existed.
+    pub stages_skipped: u64,
+    /// Evictions from memory (both discard and spill), total.
+    pub evictions: u64,
+    /// Evictions that discarded data (m -> u).
+    pub evictions_discard: u64,
+    /// Evictions that spilled data to disk (m -> d).
+    pub evictions_to_disk: u64,
+    /// Bytes evicted from memory, per executor (Fig. 3).
+    pub evicted_bytes_per_executor: FxHashMap<ExecutorId, ByteSize>,
+    /// Cumulative bytes of cache data written to disk.
+    pub disk_bytes_written: ByteSize,
+    /// Peak bytes of cache data resident on disk.
+    pub disk_bytes_peak: ByteSize,
+    /// Sum of disk-resident cache bytes sampled at stage completions
+    /// (divide by `disk_samples` for the paper's "average data on disk").
+    pub disk_bytes_sampled_sum: ByteSize,
+    /// Number of disk-residency samples taken.
+    pub disk_samples: u64,
+    /// Peak bytes resident in memory stores (cluster-wide).
+    pub memory_bytes_peak: ByteSize,
+    /// Recomputation time per (job, RDD) (Figs. 5 and 12b).
+    pub recompute_by_job_rdd: FxHashMap<(JobId, RddId), SimDuration>,
+    /// Cache hits served from memory.
+    pub mem_hits: u64,
+    /// Cache hits served from disk.
+    pub disk_hits: u64,
+    /// Lookups of previously materialized blocks that found nothing and
+    /// fell back to recomputation.
+    pub recompute_misses: u64,
+    /// The simulated application completion time (Fig. 9's ACT).
+    pub completion_time: SimTime,
+    /// Every executed task, in execution order (timeline reconstruction).
+    pub task_traces: Vec<TaskTrace>,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed task.
+    pub fn record_task(&mut self, charge: &TaskCharge) {
+        self.accumulated.merge(charge);
+        self.tasks += 1;
+    }
+
+    /// Records a task's timeline entry.
+    pub fn record_trace(&mut self, trace: TaskTrace) {
+        self.task_traces.push(trace);
+    }
+
+    /// Per-executor busy time (sum of task durations).
+    pub fn busy_time_per_executor(&self) -> FxHashMap<ExecutorId, SimDuration> {
+        let mut out: FxHashMap<ExecutorId, SimDuration> = FxHashMap::default();
+        for t in &self.task_traces {
+            *out.entry(t.executor).or_default() += t.duration();
+        }
+        out
+    }
+
+    /// The `n` longest tasks (stragglers), longest first.
+    pub fn slowest_tasks(&self, n: usize) -> Vec<TaskTrace> {
+        let mut v = self.task_traces.clone();
+        v.sort_by_key(|t| std::cmp::Reverse(t.duration()));
+        v.truncate(n);
+        v
+    }
+
+    /// Records an eviction of `bytes` from `exec` (spilled or discarded).
+    pub fn record_eviction(&mut self, exec: ExecutorId, bytes: ByteSize, to_disk: bool) {
+        self.evictions += 1;
+        if to_disk {
+            self.evictions_to_disk += 1;
+        } else {
+            self.evictions_discard += 1;
+        }
+        *self.evicted_bytes_per_executor.entry(exec).or_default() += bytes;
+    }
+
+    /// Records recomputation time attributed to `rdd` during `job`.
+    pub fn record_recompute(&mut self, job: JobId, rdd: RddId, time: SimDuration) {
+        *self.recompute_by_job_rdd.entry((job, rdd)).or_default() += time;
+    }
+
+    /// Samples the current disk residency (called at stage completion).
+    pub fn sample_disk_residency(&mut self, resident: ByteSize) {
+        self.disk_bytes_peak = self.disk_bytes_peak.max(resident);
+        self.disk_bytes_sampled_sum += resident;
+        self.disk_samples += 1;
+    }
+
+    /// The average disk-resident cache volume over sampled points.
+    pub fn disk_bytes_avg(&self) -> ByteSize {
+        if self.disk_samples == 0 {
+            ByteSize::ZERO
+        } else {
+            ByteSize::from_bytes(self.disk_bytes_sampled_sum.as_bytes() / self.disk_samples)
+        }
+    }
+
+    /// Total recomputation time across the whole run.
+    pub fn total_recompute_time(&self) -> SimDuration {
+        self.recompute_by_job_rdd.values().copied().sum()
+    }
+
+    /// Recomputation time aggregated per job (iteration), sorted by job id.
+    pub fn recompute_by_job(&self) -> Vec<(JobId, SimDuration)> {
+        let mut per_job: FxHashMap<JobId, SimDuration> = FxHashMap::default();
+        for (&(job, _), &t) in &self.recompute_by_job_rdd {
+            *per_job.entry(job).or_default() += t;
+        }
+        let mut v: Vec<_> = per_job.into_iter().collect();
+        v.sort_by_key(|(j, _)| *j);
+        v
+    }
+
+    /// The RDD with the highest recomputation time within `job`, if any.
+    pub fn top_recompute_rdd(&self, job: JobId) -> Option<(RddId, SimDuration)> {
+        self.recompute_by_job_rdd
+            .iter()
+            .filter(|((j, _), _)| *j == job)
+            .map(|((_, r), t)| (*r, *t))
+            .max_by_key(|&(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn charge(compute_ms: u64, disk_ms: u64) -> TaskCharge {
+        TaskCharge {
+            compute: SimDuration::from_millis(compute_ms),
+            disk_cache_write: SimDuration::from_millis(disk_ms),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn charges_aggregate_by_category() {
+        let mut m = Metrics::new();
+        m.record_task(&charge(10, 5));
+        m.record_task(&charge(20, 0));
+        assert_eq!(m.tasks, 2);
+        assert_eq!(m.accumulated.computation_and_shuffle(), SimDuration::from_millis(30));
+        assert_eq!(m.accumulated.disk_io_for_caching(), SimDuration::from_millis(5));
+        assert_eq!(m.accumulated.total(), SimDuration::from_millis(35));
+    }
+
+    #[test]
+    fn evictions_split_by_kind_and_executor() {
+        let mut m = Metrics::new();
+        m.record_eviction(ExecutorId(0), ByteSize::from_mib(4), true);
+        m.record_eviction(ExecutorId(0), ByteSize::from_mib(2), false);
+        m.record_eviction(ExecutorId(1), ByteSize::from_mib(1), false);
+        assert_eq!(m.evictions, 3);
+        assert_eq!(m.evictions_to_disk, 1);
+        assert_eq!(m.evictions_discard, 2);
+        assert_eq!(
+            m.evicted_bytes_per_executor[&ExecutorId(0)],
+            ByteSize::from_mib(6)
+        );
+    }
+
+    #[test]
+    fn recompute_attribution_per_job_and_rdd() {
+        let mut m = Metrics::new();
+        m.record_recompute(JobId(1), RddId(7), SimDuration::from_secs(2));
+        m.record_recompute(JobId(1), RddId(9), SimDuration::from_secs(5));
+        m.record_recompute(JobId(2), RddId(9), SimDuration::from_secs(1));
+        assert_eq!(m.total_recompute_time(), SimDuration::from_secs(8));
+        assert_eq!(
+            m.recompute_by_job(),
+            vec![
+                (JobId(1), SimDuration::from_secs(7)),
+                (JobId(2), SimDuration::from_secs(1)),
+            ]
+        );
+        assert_eq!(m.top_recompute_rdd(JobId(1)), Some((RddId(9), SimDuration::from_secs(5))));
+        assert_eq!(m.top_recompute_rdd(JobId(3)), None);
+    }
+
+    #[test]
+    fn disk_residency_sampling() {
+        let mut m = Metrics::new();
+        m.sample_disk_residency(ByteSize::from_mib(10));
+        m.sample_disk_residency(ByteSize::from_mib(30));
+        assert_eq!(m.disk_bytes_peak, ByteSize::from_mib(30));
+        assert_eq!(m.disk_bytes_avg(), ByteSize::from_mib(20));
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.disk_bytes_avg(), ByteSize::ZERO);
+        assert_eq!(m.total_recompute_time(), SimDuration::ZERO);
+        assert!(m.recompute_by_job().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! The shuffle store.
+//!
+//! Map tasks write per-reducer buckets; reduce tasks fetch the buckets
+//! addressed to them. Like Spark's shuffle files, outputs persist for the
+//! lifetime of the application and are *not* subject to cache eviction —
+//! which is why recomputing an RDD with a shuffle dependency re-reads
+//! shuffle data instead of re-running the whole upstream stage.
+
+use blaze_common::fxhash::FxHashMap;
+use blaze_common::ids::RddId;
+use blaze_common::ByteSize;
+use blaze_dataflow::Block;
+
+/// Identifies one shuffle: the consuming RDD and the index of the shuffle
+/// dependency within its dependency list.
+pub type ShuffleId = (RddId, usize);
+
+/// Global store of map-side shuffle outputs.
+#[derive(Debug, Default)]
+pub struct ShuffleStore {
+    /// (shuffle, map task) -> per-reducer buckets.
+    outputs: FxHashMap<(ShuffleId, usize), Vec<Block>>,
+}
+
+impl ShuffleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns true if map task `map_part` of `shuffle` has registered output.
+    pub fn has_map_output(&self, shuffle: ShuffleId, map_part: usize) -> bool {
+        self.outputs.contains_key(&(shuffle, map_part))
+    }
+
+    /// Returns true if all `num_maps` map outputs of `shuffle` exist.
+    pub fn is_complete(&self, shuffle: ShuffleId, num_maps: usize) -> bool {
+        (0..num_maps).all(|m| self.has_map_output(shuffle, m))
+    }
+
+    /// Registers the buckets produced by one map task.
+    pub fn put_map_output(&mut self, shuffle: ShuffleId, map_part: usize, buckets: Vec<Block>) {
+        self.outputs.insert((shuffle, map_part), buckets);
+    }
+
+    /// Fetches the bucket addressed to `reduce_part` from one map task.
+    pub fn fetch(&self, shuffle: ShuffleId, map_part: usize, reduce_part: usize) -> Option<Block> {
+        self.outputs.get(&(shuffle, map_part)).and_then(|b| b.get(reduce_part)).cloned()
+    }
+
+    /// Total bytes a reducer fetches for `reduce_part` across `num_maps` maps.
+    pub fn fetch_bytes(&self, shuffle: ShuffleId, num_maps: usize, reduce_part: usize) -> ByteSize {
+        (0..num_maps)
+            .filter_map(|m| self.outputs.get(&(shuffle, m)))
+            .filter_map(|b| b.get(reduce_part))
+            .map(|b| b.bytes())
+            .sum()
+    }
+
+    /// Total bytes resident in the shuffle store.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.outputs.values().flatten().map(|b| b.bytes()).sum()
+    }
+
+    /// Number of registered map outputs.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Returns true if no map outputs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buckets(n: usize, elems_each: usize) -> Vec<Block> {
+        (0..n).map(|_| Block::from_vec(vec![0u64; elems_each])).collect()
+    }
+
+    #[test]
+    fn put_and_fetch_round_trip() {
+        let mut s = ShuffleStore::new();
+        let sh: ShuffleId = (RddId(5), 0);
+        assert!(!s.has_map_output(sh, 0));
+        s.put_map_output(sh, 0, buckets(3, 2));
+        s.put_map_output(sh, 1, buckets(3, 2));
+        assert!(s.has_map_output(sh, 0));
+        assert!(s.is_complete(sh, 2));
+        assert!(!s.is_complete(sh, 3));
+        let b = s.fetch(sh, 1, 2).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(s.fetch(sh, 9, 0).is_none());
+    }
+
+    #[test]
+    fn fetch_bytes_sums_across_maps() {
+        let mut s = ShuffleStore::new();
+        let sh: ShuffleId = (RddId(1), 0);
+        s.put_map_output(sh, 0, buckets(2, 10));
+        s.put_map_output(sh, 1, buckets(2, 10));
+        assert_eq!(s.fetch_bytes(sh, 2, 0), ByteSize::from_bytes(2 * 10 * 8));
+        assert_eq!(s.total_bytes(), ByteSize::from_bytes(4 * 10 * 8));
+    }
+}

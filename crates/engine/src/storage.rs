@@ -1,0 +1,185 @@
+//! Per-executor block stores.
+//!
+//! Each executor owns a bounded memory store and a disk store — both are
+//! [`BlockStore`]s (paper
+//! Fig. 2). Stores only hold data and account bytes; *which* blocks move
+//! where is decided by the installed cache controller, and the engine
+//! charges the corresponding simulated I/O time.
+
+use blaze_common::ids::BlockId;
+use blaze_common::{ByteSize, fxhash::FxHashMap};
+use blaze_dataflow::Block;
+
+/// A block at rest in a store, with the metadata needed to price moving it.
+#[derive(Debug, Clone)]
+pub struct StoredBlock {
+    /// The materialized data.
+    pub block: Block,
+    /// Logical (deserialized) size; the basis for disk/serialization costs.
+    pub logical_bytes: ByteSize,
+    /// Bytes charged against this store's capacity (may be smaller than
+    /// `logical_bytes` in serialized-in-memory stores such as Alluxio).
+    pub stored_bytes: ByteSize,
+    /// Serialization cost factor of the element type.
+    pub ser_factor: f64,
+}
+
+/// A bounded store of blocks (used for both the memory and disk tiers).
+#[derive(Debug, Default)]
+pub struct BlockStore {
+    blocks: FxHashMap<BlockId, StoredBlock>,
+    used: ByteSize,
+    capacity: ByteSize,
+}
+
+impl BlockStore {
+    /// Creates a store with the given capacity.
+    pub fn new(capacity: ByteSize) -> Self {
+        Self { blocks: FxHashMap::default(), used: ByteSize::ZERO, capacity }
+    }
+
+    /// Returns the capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Returns the bytes currently charged.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Returns the free space.
+    pub fn free(&self) -> ByteSize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Returns true if a block with `id` is present.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Returns true if `bytes` more would fit right now.
+    pub fn fits(&self, bytes: ByteSize) -> bool {
+        self.used + bytes <= self.capacity
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, id: BlockId) -> Option<&StoredBlock> {
+        self.blocks.get(&id)
+    }
+
+    /// Inserts a block; returns false (and stores nothing) if it would
+    /// exceed capacity. Re-inserting an existing id replaces it.
+    pub fn insert(&mut self, id: BlockId, stored: StoredBlock) -> bool {
+        if let Some(old) = self.blocks.get(&id) {
+            let new_used = self.used - old.stored_bytes + stored.stored_bytes;
+            if new_used > self.capacity {
+                return false;
+            }
+            self.used = new_used;
+            self.blocks.insert(id, stored);
+            return true;
+        }
+        if !self.fits(stored.stored_bytes) {
+            return false;
+        }
+        self.used += stored.stored_bytes;
+        self.blocks.insert(id, stored);
+        true
+    }
+
+    /// Removes a block, returning it if present.
+    pub fn remove(&mut self, id: BlockId) -> Option<StoredBlock> {
+        let removed = self.blocks.remove(&id);
+        if let Some(sb) = &removed {
+            self.used -= sb.stored_bytes;
+        }
+        removed
+    }
+
+    /// Removes every block of the given RDD, returning the removed entries.
+    pub fn remove_rdd(&mut self, rdd: blaze_common::ids::RddId) -> Vec<(BlockId, StoredBlock)> {
+        let ids: Vec<BlockId> = self.blocks.keys().filter(|b| b.rdd == rdd).copied().collect();
+        ids.into_iter().filter_map(|id| self.remove(id).map(|sb| (id, sb))).collect()
+    }
+
+    /// Iterates over resident blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockId, &StoredBlock)> {
+        self.blocks.iter()
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns true if the store holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_common::ids::RddId;
+
+    fn sb(kib: u64) -> StoredBlock {
+        StoredBlock {
+            block: Block::from_vec(vec![0u8; (kib * 1024) as usize]),
+            logical_bytes: ByteSize::from_kib(kib),
+            stored_bytes: ByteSize::from_kib(kib),
+            ser_factor: 1.0,
+        }
+    }
+
+    fn id(rdd: u32, part: u32) -> BlockId {
+        BlockId::new(RddId(rdd), part)
+    }
+
+    #[test]
+    fn inserts_until_capacity() {
+        let mut s = BlockStore::new(ByteSize::from_kib(10));
+        assert!(s.insert(id(1, 0), sb(4)));
+        assert!(s.insert(id(1, 1), sb(4)));
+        assert!(!s.insert(id(1, 2), sb(4)), "third 4KiB must not fit in 10KiB");
+        assert_eq!(s.used(), ByteSize::from_kib(8));
+        assert_eq!(s.free(), ByteSize::from_kib(2));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_releases_space() {
+        let mut s = BlockStore::new(ByteSize::from_kib(8));
+        assert!(s.insert(id(1, 0), sb(8)));
+        assert!(!s.fits(ByteSize::from_kib(1)));
+        assert!(s.remove(id(1, 0)).is_some());
+        assert_eq!(s.used(), ByteSize::ZERO);
+        assert!(s.remove(id(1, 0)).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_and_reaccounts() {
+        let mut s = BlockStore::new(ByteSize::from_kib(10));
+        assert!(s.insert(id(1, 0), sb(4)));
+        assert!(s.insert(id(1, 0), sb(6)));
+        assert_eq!(s.used(), ByteSize::from_kib(6));
+        // Replacement that would overflow is rejected and keeps the old one.
+        assert!(!s.insert(id(1, 0), sb(11)));
+        assert_eq!(s.used(), ByteSize::from_kib(6));
+        assert!(s.contains(id(1, 0)));
+    }
+
+    #[test]
+    fn remove_rdd_clears_all_partitions() {
+        let mut s = BlockStore::new(ByteSize::from_kib(100));
+        s.insert(id(1, 0), sb(1));
+        s.insert(id(1, 1), sb(1));
+        s.insert(id(2, 0), sb(1));
+        let removed = s.remove_rdd(RddId(1));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(id(2, 0)));
+        assert_eq!(s.used(), ByteSize::from_kib(1));
+    }
+}

@@ -1,0 +1,161 @@
+//! Deterministic synthetic graph generation.
+//!
+//! Stands in for the SparkBench generator the paper uses for PageRank and
+//! ConnectedComponents (25 M vertices, §7.1), scaled down. The generator
+//! produces a power-law-ish in-degree distribution (destination sampling is
+//! biased toward low vertex ids by multiplying uniforms), which creates the
+//! skewed partition sizes that drive the paper's Fig. 3 observation, plus a
+//! deterministic ring so every vertex has at least one in- and out-edge
+//! (no rank mass is lost to dangling vertices).
+//!
+//! Generation is per-partition and purely a function of `(seed, partition)`,
+//! so lineage recomputation regenerates identical data.
+
+use crate::types::Edge;
+use blaze_common::fxhash::hash_one;
+use blaze_common::rng::{derive_seed, seeded};
+use blaze_dataflow::{Context, Dataset};
+use rand::Rng;
+
+/// Configuration of the synthetic graph.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphGenConfig {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Average out-degree (extra edges on top of the ring).
+    pub avg_degree: u32,
+    /// Skew exponent for destination sampling; higher = more skew toward
+    /// low-id vertices (0 = uniform).
+    pub skew: u32,
+    /// Number of partitions of the edge dataset.
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphGenConfig {
+    fn default() -> Self {
+        Self { vertices: 10_000, avg_degree: 8, skew: 2, partitions: 8, seed: 42 }
+    }
+}
+
+/// Deterministic heavy-tailed out-degree of a vertex (Pareto-like with
+/// infinite variance), so that hash-partitioned adjacency lists end up with
+/// visibly skewed partition sizes — the root of the paper's Fig. 3
+/// imbalance. Independent of the partition layout, so recomputation always
+/// regenerates identical data.
+pub fn out_degree(cfg: &GraphGenConfig, v: u64) -> u32 {
+    let u = (hash_one(&(cfg.seed, v)) % 1_000_000) as f64 / 1_000_000.0 + 1e-6;
+    let factor = u.powf(-0.7);
+    let cap = (cfg.vertices / 20).max(4) as f64;
+    (cfg.avg_degree as f64 * factor).min(cap).max(1.0) as u32
+}
+
+/// Generates the edges of partition `part` directly (shared by the dataset
+/// builder and tests).
+pub fn partition_edges(cfg: &GraphGenConfig, part: usize) -> Vec<Edge> {
+    let n = cfg.vertices;
+    let parts = cfg.partitions as u64;
+    let lo = part as u64 * n / parts;
+    let hi = (part as u64 + 1) * n / parts;
+    let mut rng = seeded(derive_seed(cfg.seed, part as u64));
+    let mut edges = Vec::new();
+    for v in lo..hi {
+        // Ring edge: guarantees every vertex has in/out degree >= 1.
+        edges.push(Edge::new(v, (v + 1) % n));
+        for _ in 0..out_degree(cfg, v) {
+            // Multiplying `skew` uniforms biases destinations toward 0,
+            // yielding a heavy-tailed in-degree distribution.
+            let mut frac: f64 = rng.gen();
+            for _ in 0..cfg.skew {
+                frac *= rng.gen::<f64>();
+            }
+            let dst = (frac * n as f64) as u64 % n;
+            if dst != v {
+                edges.push(Edge::new(v, dst));
+            }
+        }
+    }
+    edges
+}
+
+/// Builds the edge dataset of the synthetic graph.
+pub fn edges(ctx: &Context, cfg: &GraphGenConfig) -> Dataset<Edge> {
+    let cfg = *cfg;
+    ctx.generate(cfg.partitions, move |p| partition_edges(&cfg, p)).named("gen_edges")
+}
+
+/// Scales a configuration down to a "< 1 MB" sample for the
+/// dependency-extraction phase (§5.1 ①).
+pub fn sample_config(cfg: &GraphGenConfig) -> GraphGenConfig {
+    GraphGenConfig {
+        vertices: cfg.vertices.clamp(16, 512),
+        ..*cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::VertexId;
+    use blaze_common::fxhash::FxHashMap;
+    use blaze_dataflow::runner::LocalRunner;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GraphGenConfig::default();
+        assert_eq!(partition_edges(&cfg, 3), partition_edges(&cfg, 3));
+        let other = GraphGenConfig { seed: 43, ..cfg };
+        assert_ne!(partition_edges(&cfg, 3), partition_edges(&other, 3));
+    }
+
+    #[test]
+    fn every_vertex_has_out_and_in_edges() {
+        let cfg = GraphGenConfig { vertices: 500, partitions: 4, ..Default::default() };
+        let mut out = vec![0u32; 500];
+        let mut inc = vec![0u32; 500];
+        for p in 0..cfg.partitions {
+            for e in partition_edges(&cfg, p) {
+                out[e.src as usize] += 1;
+                inc[e.dst as usize] += 1;
+            }
+        }
+        assert!(out.iter().all(|&d| d >= 1));
+        assert!(inc.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn in_degree_is_skewed_toward_low_ids() {
+        let cfg = GraphGenConfig { vertices: 2_000, avg_degree: 10, ..Default::default() };
+        let mut inc: FxHashMap<VertexId, u64> = FxHashMap::default();
+        for p in 0..cfg.partitions {
+            for e in partition_edges(&cfg, p) {
+                *inc.entry(e.dst).or_insert(0) += 1;
+            }
+        }
+        let low: u64 = (0..200).map(|v| inc.get(&v).copied().unwrap_or(0)).sum();
+        let high: u64 = (1800..2000).map(|v| inc.get(&v).copied().unwrap_or(0)).sum();
+        assert!(
+            low > high * 5,
+            "expected heavy head: low-ids {low} vs high-ids {high}"
+        );
+    }
+
+    #[test]
+    fn dataset_covers_all_partitions() {
+        let ctx = Context::new(LocalRunner::new());
+        let cfg = GraphGenConfig { vertices: 300, partitions: 3, ..Default::default() };
+        let ds = edges(&ctx, &cfg);
+        let all = ds.collect().unwrap();
+        let direct: usize = (0..3).map(|p| partition_edges(&cfg, p).len()).sum();
+        assert_eq!(all.len(), direct);
+    }
+
+    #[test]
+    fn sample_config_is_tiny() {
+        let cfg = GraphGenConfig { vertices: 1_000_000, ..Default::default() };
+        let s = sample_config(&cfg);
+        assert!(s.vertices <= 512);
+        assert_eq!(s.partitions, cfg.partitions);
+    }
+}

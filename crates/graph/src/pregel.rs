@@ -1,0 +1,172 @@
+//! A GraphX-style bulk-synchronous vertex-program loop.
+//!
+//! Each superstep: messages flow along edges from source vertex state,
+//! merge per destination, and update vertex state; the loop stops when no
+//! vertex changes (or a superstep budget runs out). Every superstep submits
+//! one job (the convergence check is an action), giving the same
+//! job-per-iteration structure the paper's workloads exhibit. Vertex states
+//! are cached per superstep and the previous superstep's states unpersisted,
+//! like GraphX's internal caching.
+
+use crate::types::VertexId;
+use blaze_common::error::Result;
+use blaze_dataflow::{Context, Dataset};
+use std::sync::Arc;
+
+/// Outcome of a Pregel run.
+pub struct PregelResult<V: blaze_dataflow::Data> {
+    /// Final vertex states.
+    pub vertices: Vec<(VertexId, V)>,
+    /// Supersteps executed (including the final no-change one).
+    pub supersteps: usize,
+}
+
+/// Runs a vertex program until convergence.
+///
+/// - `vertices`: initial vertex states (will be hash-partitioned);
+/// - `edges`: directed `(src, dst)` pairs; messages flow src -> dst only, so
+///   pass both directions for undirected semantics;
+/// - `send(src_state, dst) -> Option<M>`: message along one edge;
+/// - `merge(a, b) -> M`: commutative/associative message combiner;
+/// - `apply(state, msg) -> (new_state, changed)`: vertex update.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pregel<V, M>(
+    _ctx: &Context,
+    vertices: Dataset<(VertexId, V)>,
+    edges: Dataset<(VertexId, VertexId)>,
+    num_partitions: usize,
+    max_supersteps: usize,
+    send: impl Fn(&V, VertexId) -> Option<M> + Send + Sync + 'static,
+    merge: impl Fn(&M, &M) -> M + Send + Sync + 'static,
+    apply: impl Fn(&V, &M) -> (V, bool) + Send + Sync + 'static,
+) -> Result<PregelResult<V>>
+where
+    V: blaze_dataflow::Data,
+    M: blaze_dataflow::Data,
+{
+    let send = Arc::new(send);
+    let apply = Arc::new(apply);
+    let merge = Arc::new(merge);
+
+    let edges = edges.partition_by(num_partitions).named("pregel_edges");
+    edges.cache();
+    let mut vertices = vertices.partition_by(num_partitions).named("pregel_v0");
+    vertices.cache();
+    let mut prev: Option<Dataset<(VertexId, V)>> = None;
+
+    let mut supersteps = 0;
+    let mut prev_triplets: Option<Dataset<(VertexId, (VertexId, V))>> = None;
+    for _ in 0..max_supersteps {
+        supersteps += 1;
+        let send_f = Arc::clone(&send);
+        // The graph-sized triplet view of this superstep. GraphX caches the
+        // materialized graph every superstep; as the paper observes (§3.1),
+        // such annotated data may see little or no reuse — baselines store
+        // it anyway, Blaze decides per partition.
+        let triplets = edges
+            .join(&vertices, num_partitions)
+            .named("pregel_triplets")
+            .with_ser_factor(2.5);
+        triplets.cache();
+        let messages = triplets
+            .flat_map(move |(_src, (dst, state))| send_f(state, *dst).map(|m| (*dst, m)))
+            .named("pregel_msgs");
+        let merge_f = Arc::clone(&merge);
+        let merged = messages.reduce_by_key(num_partitions, move |a, b| merge_f(a, b));
+        let apply_f = Arc::clone(&apply);
+        let updated = vertices
+            .left_outer_join(&merged, num_partitions)
+            .map_values(move |(state, msg)| match msg {
+                Some(m) => apply_f(state, m),
+                None => (state.clone(), false),
+            })
+            .named("pregel_apply");
+        updated.cache();
+        // Convergence check: one action (job) per superstep.
+        let changed = updated.filter(|(_, (_, c))| *c).count()?;
+        let new_vertices = updated.map_values(|(state, _)| state.clone()).named("pregel_v");
+        if let Some(old) = prev.take() {
+            old.unpersist();
+        }
+        if let Some(old) = prev_triplets.take() {
+            old.unpersist();
+        }
+        prev = Some(vertices);
+        prev_triplets = Some(triplets);
+        vertices = new_vertices;
+        if changed == 0 {
+            break;
+        }
+    }
+
+    Ok(PregelResult { vertices: vertices.collect()?, supersteps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_dataflow::runner::LocalRunner;
+
+    /// Single-source shortest hop-count on a path graph via Pregel.
+    #[test]
+    fn computes_hop_distance_on_a_path() {
+        let ctx = Context::new(LocalRunner::new());
+        let n: u64 = 10;
+        let vertices = ctx.parallelize(
+            (0..n).map(|v| (v, if v == 0 { 0i64 } else { i64::MAX })).collect::<Vec<_>>(),
+            2,
+        );
+        let edges =
+            ctx.parallelize((0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>(), 2);
+        let result = run_pregel(
+            &ctx,
+            vertices,
+            edges,
+            2,
+            32,
+            |state, _dst| {
+                if *state == i64::MAX {
+                    None
+                } else {
+                    Some(state + 1)
+                }
+            },
+            |a, b| *a.min(b),
+            |state, msg| {
+                if msg < state {
+                    (*msg, true)
+                } else {
+                    (*state, false)
+                }
+            },
+        )
+        .unwrap();
+        let mut got = result.vertices;
+        got.sort_by_key(|(v, _)| *v);
+        for (v, d) in got {
+            assert_eq!(d, v as i64, "vertex {v} distance");
+        }
+        // A length-9 path needs 9 propagation steps + 1 quiescent step.
+        assert_eq!(result.supersteps, 10);
+    }
+
+    #[test]
+    fn stops_at_superstep_budget() {
+        let ctx = Context::new(LocalRunner::new());
+        let vertices = ctx.parallelize(vec![(0u64, 0u64), (1, 0)], 1);
+        let edges = ctx.parallelize(vec![(0u64, 1u64), (1, 0)], 1);
+        // A program that always reports change never converges.
+        let result = run_pregel(
+            &ctx,
+            vertices,
+            edges,
+            1,
+            3,
+            |s, _| Some(*s),
+            |a, _| *a,
+            |s, _| (*s + 1, true),
+        )
+        .unwrap();
+        assert_eq!(result.supersteps, 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph element types.
+
+use blaze_common::sizeof::SizeOf;
+
+/// A vertex identifier.
+pub type VertexId = u64;
+
+/// A directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Creates an edge from `src` to `dst`.
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Self { src, dst }
+    }
+
+    /// The edge as a key-value pair keyed by source.
+    pub fn by_src(&self) -> (VertexId, VertexId) {
+        (self.src, self.dst)
+    }
+}
+
+impl SizeOf for Edge {
+    fn deep_size(&self) -> usize {
+        std::mem::size_of::<Edge>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_accessors() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.by_src(), (3, 7));
+        assert_eq!(e.deep_size(), 16);
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic data generators for the ML workloads.
+//!
+//! Stand-ins for the paper's datasets (§7.1): Criteo day-0 click logs for
+//! LR, HiBench uniform data for KMeans, and HiBench LibSVM data for GBT —
+//! all scaled down, all pure functions of `(seed, partition)` so lineage
+//! recomputation regenerates identical partitions.
+
+use crate::types::LabeledPoint;
+use blaze_common::rng::{derive_seed, seeded};
+use rand::Rng;
+
+/// Configuration for labeled classification data (LR).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassificationGenConfig {
+    /// Total number of points.
+    pub points: u64,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Number of partitions.
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClassificationGenConfig {
+    fn default() -> Self {
+        Self { points: 20_000, dim: 16, partitions: 8, seed: 11 }
+    }
+}
+
+/// The hidden separating hyperplane used by the generator (unit-ish normal,
+/// deterministic in the seed). Exposed so tests can verify learnability.
+pub fn true_weights(cfg: &ClassificationGenConfig) -> Vec<f64> {
+    let mut rng = seeded(derive_seed(cfg.seed, u64::MAX));
+    (0..cfg.dim).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+}
+
+/// Generates one partition of linearly separable-ish labeled points.
+pub fn classification_partition(cfg: &ClassificationGenConfig, part: usize) -> Vec<LabeledPoint> {
+    let w = true_weights(cfg);
+    let parts = cfg.partitions as u64;
+    let lo = part as u64 * cfg.points / parts;
+    let hi = (part as u64 + 1) * cfg.points / parts;
+    let mut rng = seeded(derive_seed(cfg.seed, part as u64));
+    (lo..hi)
+        .map(|_| {
+            let x: Vec<f64> = (0..cfg.dim).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            let margin: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+            let noise: f64 = (rng.gen::<f64>() - 0.5) * 0.2;
+            let label = if margin + noise > 0.0 { 1.0 } else { 0.0 };
+            LabeledPoint::new(label, x)
+        })
+        .collect()
+}
+
+/// Configuration for clustered points (KMeans).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterGenConfig {
+    /// Total number of points.
+    pub points: u64,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Number of planted clusters.
+    pub clusters: usize,
+    /// Cluster spread (standard deviation around each center).
+    pub spread: f64,
+    /// Number of partitions.
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterGenConfig {
+    fn default() -> Self {
+        Self { points: 20_000, dim: 8, clusters: 5, spread: 0.4, partitions: 8, seed: 13 }
+    }
+}
+
+/// The planted cluster centers (deterministic in the seed).
+pub fn planted_centers(cfg: &ClusterGenConfig) -> Vec<Vec<f64>> {
+    let mut rng = seeded(derive_seed(cfg.seed, u64::MAX));
+    (0..cfg.clusters)
+        .map(|_| (0..cfg.dim).map(|_| rng.gen::<f64>() * 20.0 - 10.0).collect())
+        .collect()
+}
+
+/// Generates one partition of clustered points (uniform cluster mixture,
+/// HiBench-style uniform assignment).
+pub fn cluster_partition(cfg: &ClusterGenConfig, part: usize) -> Vec<Vec<f64>> {
+    let centers = planted_centers(cfg);
+    let parts = cfg.partitions as u64;
+    let lo = part as u64 * cfg.points / parts;
+    let hi = (part as u64 + 1) * cfg.points / parts;
+    let mut rng = seeded(derive_seed(cfg.seed, part as u64));
+    (lo..hi)
+        .map(|_| {
+            let c = &centers[rng.gen_range(0..cfg.clusters)];
+            c.iter().map(|&v| v + (rng.gen::<f64>() - 0.5) * 2.0 * cfg.spread).collect()
+        })
+        .collect()
+}
+
+/// Configuration for regression data (GBT).
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionGenConfig {
+    /// Total number of points.
+    pub points: u64,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Number of partitions.
+    pub partitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RegressionGenConfig {
+    fn default() -> Self {
+        Self { points: 20_000, dim: 8, partitions: 8, seed: 17 }
+    }
+}
+
+/// Generates one partition of nonlinear regression data: the target mixes
+/// a step function, an interaction and noise — learnable by trees, not by a
+/// single linear model.
+pub fn regression_partition(cfg: &RegressionGenConfig, part: usize) -> Vec<LabeledPoint> {
+    let parts = cfg.partitions as u64;
+    let lo = part as u64 * cfg.points / parts;
+    let hi = (part as u64 + 1) * cfg.points / parts;
+    let mut rng = seeded(derive_seed(cfg.seed, part as u64));
+    (lo..hi)
+        .map(|_| {
+            let x: Vec<f64> = (0..cfg.dim).map(|_| rng.gen::<f64>()).collect();
+            let step = if x[0] > 0.5 { 3.0 } else { -1.0 };
+            let interact = if x[1] > 0.3 && x[2] < 0.7 { 2.0 } else { 0.0 };
+            let noise = (rng.gen::<f64>() - 0.5) * 0.2;
+            LabeledPoint::new(step + interact + x[3] + noise, x)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_deterministic_and_balanced() {
+        let cfg = ClassificationGenConfig { points: 4_000, ..Default::default() };
+        let a = classification_partition(&cfg, 0);
+        assert_eq!(a, classification_partition(&cfg, 0));
+        let positives = a.iter().filter(|p| p.label > 0.5).count();
+        let frac = positives as f64 / a.len() as f64;
+        assert!(frac > 0.25 && frac < 0.75, "label balance {frac}");
+    }
+
+    #[test]
+    fn clusters_are_near_planted_centers() {
+        let cfg = ClusterGenConfig::default();
+        let centers = planted_centers(&cfg);
+        for p in cluster_partition(&cfg, 0).iter().take(200) {
+            let nearest = centers
+                .iter()
+                .map(|c| crate::types::squared_distance(c, p))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest <= cfg.dim as f64 * cfg.spread * cfg.spread + 1e-9);
+        }
+    }
+
+    #[test]
+    fn regression_signal_exists() {
+        let cfg = RegressionGenConfig::default();
+        let pts = regression_partition(&cfg, 0);
+        let (mut hi, mut lo) = (0.0, 0.0);
+        let (mut nh, mut nl) = (0, 0);
+        for p in &pts {
+            if p.features[0] > 0.5 {
+                hi += p.label;
+                nh += 1;
+            } else {
+                lo += p.label;
+                nl += 1;
+            }
+        }
+        assert!(hi / nh as f64 > lo / nl as f64 + 3.0, "step signal missing");
+    }
+
+    #[test]
+    fn partitions_tile_the_dataset() {
+        let cfg = ClassificationGenConfig { points: 1_000, partitions: 4, ..Default::default() };
+        let total: usize = (0..4).map(|p| classification_partition(&cfg, p).len()).sum();
+        assert_eq!(total, 1_000);
+    }
+}

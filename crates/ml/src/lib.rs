@@ -1,0 +1,20 @@
+//! Machine-learning workloads on the Blaze dataflow API.
+//!
+//! The four ML applications of the paper's evaluation (§7.1), in MLlib-style
+//! formulations with the same caching annotation points:
+//!
+//! - [`logreg`] — logistic regression by batch gradient descent (the Criteo
+//!   click-log workload, with a synthetic LibSVM-style generator);
+//! - [`kmeans`] — Lloyd's algorithm on HiBench-style uniform data;
+//! - [`gbt`] — gradient boosted regression trees over binned features;
+//! - [`datagen`] — the deterministic generators behind all three.
+
+#![warn(missing_docs)]
+
+pub mod datagen;
+pub mod gbt;
+pub mod kmeans;
+pub mod logreg;
+pub mod types;
+
+pub use types::LabeledPoint;

@@ -1,0 +1,60 @@
+//! ML element types.
+
+use blaze_common::sizeof::SizeOf;
+
+/// A labeled feature vector (the LibSVM-style record of the LR and GBT
+/// workloads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledPoint {
+    /// The label: 0/1 for classification, a real value for regression.
+    pub label: f64,
+    /// Dense feature values.
+    pub features: Vec<f64>,
+}
+
+impl LabeledPoint {
+    /// Creates a labeled point.
+    pub fn new(label: f64, features: Vec<f64>) -> Self {
+        Self { label, features }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+}
+
+impl SizeOf for LabeledPoint {
+    fn deep_size(&self) -> usize {
+        std::mem::size_of::<LabeledPoint>() + self.features.capacity() * 8
+    }
+}
+
+/// Dot product of a weight vector with a point's features.
+pub fn dot(w: &[f64], p: &LabeledPoint) -> f64 {
+    w.iter().zip(&p.features).map(|(a, b)| a * b).sum()
+}
+
+/// Squared Euclidean distance between two vectors.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_count_features() {
+        let p = LabeledPoint::new(1.0, vec![0.0; 10]);
+        assert!(p.deep_size() >= 80);
+        assert_eq!(p.dim(), 10);
+    }
+
+    #[test]
+    fn vector_math() {
+        let p = LabeledPoint::new(0.0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(dot(&[2.0, 0.5, 1.0], &p), 6.0);
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! First-in-first-out eviction.
+//!
+//! One of the conventional policies the paper considers (§7.1). Evicts in
+//! insertion order regardless of reuse.
+
+use crate::mode::{take_until_covered, EvictMode};
+use blaze_common::fxhash::FxHashMap;
+use blaze_common::ids::{BlockId, ExecutorId};
+use blaze_common::ByteSize;
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, VictimAction};
+
+/// FIFO cache controller, obeying user cache annotations.
+#[derive(Debug)]
+pub struct FifoController {
+    mode: EvictMode,
+    counter: u64,
+    inserted_at: FxHashMap<BlockId, u64>,
+}
+
+impl FifoController {
+    /// Creates a FIFO controller with the given eviction mode.
+    pub fn new(mode: EvictMode) -> Self {
+        Self { mode, counter: 0, inserted_at: FxHashMap::default() }
+    }
+}
+
+impl CacheController for FifoController {
+    fn name(&self) -> String {
+        format!("FIFO ({})", self.mode.label())
+    }
+
+    fn choose_victims(
+        &mut self,
+        _ctx: &CtrlCtx,
+        _exec: ExecutorId,
+        needed: ByteSize,
+        _incoming: &BlockInfo,
+        resident: &[BlockInfo],
+    ) -> Vec<(BlockId, VictimAction)> {
+        let mut candidates: Vec<(u64, BlockId, ByteSize)> = resident
+            .iter()
+            .map(|b| (self.inserted_at.get(&b.id).copied().unwrap_or(0), b.id, b.bytes))
+            .collect();
+        candidates.sort_by_key(|&(t, id, _)| (t, id));
+        let action = self.mode.victim_action();
+        take_until_covered(needed, candidates.into_iter().map(|(_, id, b)| (id, b)))
+            .into_iter()
+            .map(|(id, _)| (id, action))
+            .collect()
+    }
+
+    fn on_admission_failure(&mut self, _ctx: &CtrlCtx, _block: &BlockInfo) -> Admission {
+        self.mode.admission_fallback()
+    }
+
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
+        if !to_disk {
+            self.counter += 1;
+            self.inserted_at.insert(info.id, self.counter);
+        }
+    }
+
+    fn on_evicted(&mut self, _ctx: &CtrlCtx, id: BlockId) {
+        self.inserted_at.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_common::ids::RddId;
+    use blaze_common::SimTime;
+    use blaze_engine::HardwareModel;
+
+    fn ctx() -> CtrlCtx {
+        CtrlCtx {
+            now: SimTime::ZERO,
+            hardware: HardwareModel::default(),
+            memory_capacity: ByteSize::from_mib(1),
+            disk_capacity: ByteSize::from_gib(1),
+            executors: 1,
+        }
+    }
+
+    fn info(rdd: u32, kib: u64) -> BlockInfo {
+        BlockInfo {
+            id: BlockId::new(RddId(rdd), 0),
+            bytes: ByteSize::from_kib(kib),
+            ser_factor: 1.0,
+            executor: ExecutorId(0),
+        }
+    }
+
+    #[test]
+    fn evicts_in_insertion_order_ignoring_access() {
+        let c = ctx();
+        let mut fifo = FifoController::new(EvictMode::MemOnly);
+        let a = info(1, 4);
+        let b = info(2, 4);
+        fifo.on_inserted(&c, &a, false);
+        fifo.on_inserted(&c, &b, false);
+        fifo.on_access(&c, a.id); // FIFO ignores this
+        let victims =
+            fifo.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(4), &info(9, 4), &[a, b]);
+        assert_eq!(victims, vec![(a.id, VictimAction::Discard)]);
+    }
+}

@@ -1,0 +1,19 @@
+//! LP/ILP solving for the Blaze reproduction (the Gurobi stand-in, §6).
+//!
+//! - [`lp`] — a dense two-phase primal simplex solver.
+//! - [`ilp`] — branch-and-bound 0/1 integer programming on top of the LP
+//!   relaxation, with a greedy fallback under a node budget.
+//! - [`knapsack`] — an exact 0/1 knapsack specialization (fractional upper
+//!   bounds) used on Blaze's hot path: with recovery costs frozen at time
+//!   `t`, the paper's Eq. 5–6 reduce per executor to a knapsack over the
+//!   partitions' saved recovery costs.
+
+#![warn(missing_docs)]
+
+pub mod ilp;
+pub mod knapsack;
+pub mod lp;
+
+pub use ilp::{solve_binary, IlpOutcome, IlpProblem};
+pub use knapsack::{solve_knapsack, KnapsackItem, KnapsackSolution};
+pub use lp::{solve as solve_lp, Constraint, LinearProgram, LpOutcome, Relation};

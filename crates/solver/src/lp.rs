@@ -1,0 +1,440 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Solves `min c·x  s.t.  A x {<=,=,>=} b,  x >= 0` over `f64`. This is the
+//! linear-programming core under the branch-and-bound ILP in [`crate::ilp`],
+//! standing in for the Gurobi optimizer the paper uses (§6). Bland's rule is
+//! used for pivot selection, which guarantees termination (no cycling) at
+//! the cost of a little speed — the right trade for the small per-executor
+//! instances Blaze produces.
+
+use blaze_common::error::{BlazeError, Result};
+
+/// Relation of one linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x <= b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x >= b`
+    Ge,
+}
+
+/// One linear constraint `coeffs · x (rel) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficients, one per variable.
+    pub coeffs: Vec<f64>,
+    /// The relation.
+    pub rel: Relation,
+    /// The right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Creates a `<=` constraint.
+    pub fn le(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self { coeffs, rel: Relation::Le, rhs }
+    }
+
+    /// Creates a `=` constraint.
+    pub fn eq(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self { coeffs, rel: Relation::Eq, rhs }
+    }
+
+    /// Creates a `>=` constraint.
+    pub fn ge(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self { coeffs, rel: Relation::Ge, rhs }
+    }
+}
+
+/// A linear program `min c·x  s.t.  constraints, x >= 0`.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients (minimization).
+    pub objective: Vec<f64>,
+    /// The constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal variable assignment.
+        x: Vec<f64>,
+        /// The optimal objective value.
+        objective: f64,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves a linear program with the two-phase primal simplex method.
+///
+/// # Examples
+///
+/// ```
+/// use blaze_solver::lp::{solve, Constraint, LinearProgram, LpOutcome};
+///
+/// // max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18.
+/// let lp = LinearProgram {
+///     objective: vec![-3.0, -5.0],
+///     constraints: vec![
+///         Constraint::le(vec![1.0, 0.0], 4.0),
+///         Constraint::le(vec![0.0, 2.0], 12.0),
+///         Constraint::le(vec![3.0, 2.0], 18.0),
+///     ],
+/// };
+/// let LpOutcome::Optimal { x, objective } = solve(&lp).unwrap() else { panic!() };
+/// assert!((objective + 36.0).abs() < 1e-9);
+/// assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 6.0).abs() < 1e-9);
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if the program is malformed (constraint arity mismatch
+/// or non-finite coefficients).
+pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
+    let n = lp.objective.len();
+    if lp.objective.iter().any(|v| !v.is_finite()) {
+        return Err(BlazeError::Solver("non-finite objective coefficient".into()));
+    }
+    for (i, c) in lp.constraints.iter().enumerate() {
+        if c.coeffs.len() != n {
+            return Err(BlazeError::Solver(format!(
+                "constraint {i} has {} coefficients, expected {n}",
+                c.coeffs.len()
+            )));
+        }
+        if c.coeffs.iter().any(|v| !v.is_finite()) || !c.rhs.is_finite() {
+            return Err(BlazeError::Solver(format!("constraint {i} has non-finite values")));
+        }
+    }
+    if n == 0 {
+        return Ok(LpOutcome::Optimal { x: vec![], objective: 0.0 });
+    }
+
+    // Normalize to rhs >= 0, flipping relations as needed, then add slack
+    // (Le), surplus+artificial (Ge) and artificial (Eq) columns.
+    let m = lp.constraints.len();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rels: Vec<Relation> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    for c in &lp.constraints {
+        let (mut coeffs, mut rel, mut b) = (c.coeffs.clone(), c.rel, c.rhs);
+        if b < 0.0 {
+            for v in &mut coeffs {
+                *v = -*v;
+            }
+            b = -b;
+            rel = match rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        rows.push(coeffs);
+        rels.push(rel);
+        rhs.push(b);
+    }
+
+    let num_slack = rels.iter().filter(|r| **r != Relation::Eq).count();
+    let num_art = rels.iter().filter(|r| **r != Relation::Le).count();
+    let total = n + num_slack + num_art;
+
+    // tableau[i] = row of length total+1 (last column = rhs).
+    let mut tableau: Vec<Vec<f64>> = vec![vec![0.0; total + 1]; m];
+    let mut basis: Vec<usize> = vec![0; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + num_slack;
+    let mut artificials: Vec<usize> = Vec::new();
+    for i in 0..m {
+        tableau[i][..n].copy_from_slice(&rows[i]);
+        tableau[i][total] = rhs[i];
+        match rels[i] {
+            Relation::Le => {
+                tableau[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                tableau[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                tableau[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                tableau[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if !artificials.is_empty() {
+        let mut cost = vec![0.0; total + 1];
+        for &a in &artificials {
+            cost[a] = 1.0;
+        }
+        // Express phase-1 cost in terms of non-basic variables.
+        let mut z = vec![0.0; total + 1];
+        for i in 0..m {
+            if artificials.contains(&basis[i]) {
+                for j in 0..=total {
+                    z[j] += tableau[i][j];
+                }
+            }
+        }
+        let mut reduced: Vec<f64> = (0..total).map(|j| cost[j] - z[j]).collect();
+        run_simplex(&mut tableau, &mut basis, &mut reduced, total)?;
+        // Recompute the phase-1 objective (sum of artificial values) directly.
+        let phase1: f64 = (0..m)
+            .filter(|&i| artificials.contains(&basis[i]))
+            .map(|i| tableau[i][total])
+            .sum();
+        if phase1 > 1e-7 {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for i in 0..m {
+            if artificials.contains(&basis[i]) {
+                if let Some(j) = (0..n + num_slack)
+                    .find(|&j| tableau[i][j].abs() > EPS && !artificials.contains(&j))
+                {
+                    pivot(&mut tableau, &mut basis, i, j, total);
+                } // Otherwise the row is all-zero: redundant constraint.
+            }
+        }
+    }
+
+    // Phase 2: minimize the real objective over the feasible tableau.
+    let mut cost = vec![0.0; total];
+    cost[..n].copy_from_slice(&lp.objective);
+    // Artificials must stay out: give them a prohibitive cost... they are
+    // non-basic now, so simply never let them enter by pricing them +inf.
+    // We implement that by excluding their columns in pivoting below via a
+    // large cost.
+    for &a in &artificials {
+        cost[a] = f64::INFINITY;
+    }
+    let mut reduced = vec![0.0; total];
+    for (j, red) in reduced.iter_mut().enumerate() {
+        let mut zj = 0.0;
+        for i in 0..m {
+            let cb = cost[basis[i]];
+            if cb.is_finite() {
+                zj += cb * tableau[i][j];
+            }
+        }
+        *red = if cost[j].is_finite() { cost[j] - zj } else { f64::INFINITY };
+    }
+    if run_simplex(&mut tableau, &mut basis, &mut reduced, total)?.is_none() {
+        return Ok(LpOutcome::Unbounded);
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = tableau[i][total];
+        }
+    }
+    let objective = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    Ok(LpOutcome::Optimal { x, objective })
+}
+
+/// Runs simplex iterations with Bland's rule.
+///
+/// `reduced` holds the reduced costs. Returns `Ok(None)` when the problem is
+/// unbounded, `Ok(Some(()))` at optimality (objective values are recomputed
+/// by the caller from the final basis).
+fn run_simplex(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    reduced: &mut [f64],
+    total: usize,
+) -> Result<Option<()>> {
+    let m = tableau.len();
+    for _iter in 0..20_000 {
+        // Bland: entering variable = lowest index with negative reduced cost.
+        let Some(enter) = (0..total).find(|&j| reduced[j] < -EPS) else {
+            return Ok(Some(()));
+        };
+        // Ratio test; Bland tie-break on leaving basis index.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = tableau[i][enter];
+            if a > EPS {
+                let ratio = tableau[i][total] / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Ok(None); // Unbounded direction.
+        };
+        let pivot_red = reduced[enter];
+        pivot(tableau, basis, leave, enter, total);
+        // Update reduced costs: reduced -= pivot_red * (pivot row).
+        for j in 0..total {
+            reduced[j] -= pivot_red * tableau[leave][j];
+        }
+        reduced[enter] = 0.0;
+    }
+    Err(BlazeError::Solver("simplex iteration limit exceeded".into()))
+}
+
+/// Pivots the tableau on (row, col) and updates the basis.
+fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let p = tableau[row][col];
+    for v in tableau[row].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..tableau.len() {
+        if i != row {
+            let f = tableau[i][col];
+            if f.abs() > 0.0 {
+                for j in 0..=total {
+                    tableau[i][j] -= f * tableau[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(outcome: LpOutcome, want_x: &[f64], want_obj: f64) {
+        let LpOutcome::Optimal { x, objective } = outcome else {
+            panic!("expected optimal, got {outcome:?}");
+        };
+        assert!((objective - want_obj).abs() < 1e-6, "objective {objective} != {want_obj}");
+        for (a, b) in x.iter().zip(want_x) {
+            assert!((a - b).abs() < 1e-6, "x = {x:?}, want {want_x:?}");
+        }
+    }
+
+    #[test]
+    fn solves_textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), 36.
+        let lp = LinearProgram {
+            objective: vec![-3.0, -5.0],
+            constraints: vec![
+                Constraint::le(vec![1.0, 0.0], 4.0),
+                Constraint::le(vec![0.0, 2.0], 12.0),
+                Constraint::le(vec![3.0, 2.0], 18.0),
+            ],
+        };
+        assert_optimal(solve(&lp).unwrap(), &[2.0, 6.0], -36.0);
+    }
+
+    #[test]
+    fn solves_with_ge_and_eq_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x >= 2, y >= 3 => (7, 3), 23.
+        let lp = LinearProgram {
+            objective: vec![2.0, 3.0],
+            constraints: vec![
+                Constraint::eq(vec![1.0, 1.0], 10.0),
+                Constraint::ge(vec![1.0, 0.0], 2.0),
+                Constraint::ge(vec![0.0, 1.0], 3.0),
+            ],
+        };
+        assert_optimal(solve(&lp).unwrap(), &[7.0, 3.0], 23.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 2.
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![
+                Constraint::le(vec![1.0], 1.0),
+                Constraint::ge(vec![1.0], 2.0),
+            ],
+        };
+        assert_eq!(solve(&lp).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x with x unconstrained above.
+        let lp = LinearProgram { objective: vec![-1.0], constraints: vec![] };
+        assert_eq!(solve(&lp).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn handles_negative_rhs_normalization() {
+        // x - y <= -2 (i.e. y >= x + 2), min y => x = 0, y = 2.
+        let lp = LinearProgram {
+            objective: vec![0.0, 1.0],
+            constraints: vec![Constraint::le(vec![1.0, -1.0], -2.0)],
+        };
+        assert_optimal(solve(&lp).unwrap(), &[0.0, 2.0], 2.0);
+    }
+
+    #[test]
+    fn degenerate_redundant_constraints() {
+        // Two identical equalities must not break phase 1.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                Constraint::eq(vec![1.0, 1.0], 4.0),
+                Constraint::eq(vec![1.0, 1.0], 4.0),
+            ],
+        };
+        let LpOutcome::Optimal { objective, .. } = solve(&lp).unwrap() else {
+            panic!("expected optimal");
+        };
+        assert!((objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_program_is_trivially_optimal() {
+        let lp = LinearProgram::default();
+        assert_eq!(solve(&lp).unwrap(), LpOutcome::Optimal { x: vec![], objective: 0.0 });
+    }
+
+    #[test]
+    fn rejects_malformed_programs() {
+        let lp = LinearProgram {
+            objective: vec![1.0, 2.0],
+            constraints: vec![Constraint::le(vec![1.0], 1.0)],
+        };
+        assert!(solve(&lp).is_err());
+        let lp = LinearProgram { objective: vec![f64::NAN], constraints: vec![] };
+        assert!(solve(&lp).is_err());
+    }
+
+    #[test]
+    fn fractional_knapsack_relaxation() {
+        // max 10a + 6b s.t. 5a + 4b <= 7, a,b in [0,1]:
+        // a = 1, b = 0.5 => 13.
+        let lp = LinearProgram {
+            objective: vec![-10.0, -6.0],
+            constraints: vec![
+                Constraint::le(vec![5.0, 4.0], 7.0),
+                Constraint::le(vec![1.0, 0.0], 1.0),
+                Constraint::le(vec![0.0, 1.0], 1.0),
+            ],
+        };
+        assert_optimal(solve(&lp).unwrap(), &[1.0, 0.5], -13.0);
+    }
+}

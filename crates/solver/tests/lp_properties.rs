@@ -1,0 +1,87 @@
+//! Property-based tests for the simplex LP solver: every claimed optimum
+//! must be feasible and dominate random feasible points.
+
+use blaze_solver::lp::{solve, Constraint, LinearProgram, LpOutcome};
+use proptest::prelude::*;
+
+/// Generates a random bounded-feasible LP: box constraints `x_i <= u_i`
+/// guarantee boundedness; all-`<=` constraints with non-negative rhs
+/// guarantee `x = 0` feasibility.
+fn bounded_lp() -> impl Strategy<Value = LinearProgram> {
+    (2usize..6).prop_flat_map(|n| {
+        let objective = prop::collection::vec(-10.0f64..10.0, n);
+        let rows = prop::collection::vec(
+            (prop::collection::vec(0.0f64..5.0, n), 1.0f64..50.0),
+            1..4,
+        );
+        let bounds = prop::collection::vec(0.5f64..10.0, n);
+        (objective, rows, bounds).prop_map(move |(objective, rows, bounds)| {
+            let mut constraints: Vec<Constraint> =
+                rows.into_iter().map(|(coeffs, rhs)| Constraint::le(coeffs, rhs)).collect();
+            for (i, u) in bounds.iter().enumerate() {
+                let mut row = vec![0.0; objective.len()];
+                row[i] = 1.0;
+                constraints.push(Constraint::le(row, *u));
+            }
+            LinearProgram { objective, constraints }
+        })
+    })
+}
+
+fn is_feasible(lp: &LinearProgram, x: &[f64]) -> bool {
+    x.iter().all(|&v| v >= -1e-7)
+        && lp.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+            match c.rel {
+                blaze_solver::lp::Relation::Le => lhs <= c.rhs + 1e-6,
+                blaze_solver::lp::Relation::Eq => (lhs - c.rhs).abs() <= 1e-6,
+                blaze_solver::lp::Relation::Ge => lhs >= c.rhs - 1e-6,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimum_is_feasible_and_dominates_random_points(
+        lp in bounded_lp(),
+        samples in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 6), 16),
+    ) {
+        let LpOutcome::Optimal { x, objective } = solve(&lp).unwrap() else {
+            // Bounded + x=0 feasible: must be optimal.
+            return Err(TestCaseError::fail("expected optimal"));
+        };
+        prop_assert!(is_feasible(&lp, &x), "claimed optimum infeasible: {x:?}");
+        let recomputed: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+        prop_assert!((recomputed - objective).abs() < 1e-6);
+
+        // Scale random unit-box samples into feasible points and verify the
+        // optimum dominates each one.
+        for s in samples {
+            let candidate: Vec<f64> =
+                lp.objective.iter().zip(&s).map(|(_, &u)| u * 0.4).collect();
+            if is_feasible(&lp, &candidate) {
+                let value: f64 =
+                    lp.objective.iter().zip(&candidate).map(|(c, v)| c * v).sum();
+                prop_assert!(
+                    objective <= value + 1e-6,
+                    "optimum {objective} beaten by {value} at {candidate:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_objective_is_always_zero_optimal(lp in bounded_lp()) {
+        let zeroed = LinearProgram {
+            objective: vec![0.0; lp.objective.len()],
+            constraints: lp.constraints.clone(),
+        };
+        if let LpOutcome::Optimal { objective, .. } = solve(&zeroed).unwrap() {
+            prop_assert!(objective.abs() < 1e-9);
+        } else {
+            return Err(TestCaseError::fail("expected optimal"));
+        }
+    }
+}

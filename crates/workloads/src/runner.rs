@@ -1,0 +1,90 @@
+//! One-call execution of (application × system) pairs.
+
+use crate::apps::{App, AppSpec};
+use crate::systems::SystemKind;
+use blaze_common::error::Result;
+use blaze_common::SimDuration;
+use blaze_core::extract_dependencies;
+use blaze_dataflow::Context;
+use blaze_engine::{Cluster, Metrics};
+
+/// The outcome of one evaluation run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Which application ran.
+    pub app: App,
+    /// Which system ran it.
+    pub system: SystemKind,
+    /// Full engine metrics.
+    pub metrics: Metrics,
+}
+
+impl RunOutcome {
+    /// The application completion time (the paper's ACT, Fig. 9).
+    pub fn act(&self) -> SimDuration {
+        SimDuration::from_nanos(self.metrics.completion_time.as_nanos())
+    }
+}
+
+/// Runs `app` under `system` at evaluation scale and returns the metrics.
+///
+/// For profiled systems this performs the dependency-extraction phase first
+/// (on sample-scale inputs, like the paper's < 1 MB runs); its cost is not
+/// part of the simulated ACT but is bounded by the profiling job budget and
+/// reported by the Fig. 13 harness separately.
+pub fn run_app(app: App, system: SystemKind) -> Result<RunOutcome> {
+    let spec = AppSpec::evaluation(app);
+    run_spec(&spec, system)
+}
+
+/// Runs a custom spec under `system` (used by harnesses that sweep scales).
+pub fn run_spec(spec: &AppSpec, system: SystemKind) -> Result<RunOutcome> {
+    let profile = if system.needs_profile() {
+        let s = *spec;
+        Some(extract_dependencies(move |ctx| s.drive_sample(ctx), 0)?)
+    } else {
+        None
+    };
+    let controller = system.make_controller(profile);
+    let cluster = Cluster::new(spec.cluster_config(), controller)?;
+    let ctx = Context::new(cluster.clone());
+    spec.drive(&ctx)?;
+    Ok(RunOutcome { app: spec.app, system, metrics: cluster.metrics() })
+}
+
+/// Runs `spec` under a Blaze controller with a custom configuration
+/// (profiled). Used by the solver/horizon ablation harnesses.
+pub fn run_blaze_with(spec: &AppSpec, cfg: blaze_core::BlazeConfig) -> Result<RunOutcome> {
+    let s = *spec;
+    let profile = extract_dependencies(move |ctx| s.drive_sample(ctx), 0)?;
+    let controller = blaze_core::BlazeController::new(cfg, Some(profile));
+    let cluster = Cluster::new(spec.cluster_config(), Box::new(controller))?;
+    let ctx = Context::new(cluster.clone());
+    spec.drive(&ctx)?;
+    Ok(RunOutcome { app: spec.app, system: SystemKind::Blaze, metrics: cluster.metrics() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_runs_under_every_headline_system() {
+        let mut acts = Vec::new();
+        for system in SystemKind::headline() {
+            let out = run_app(App::KMeans, system).unwrap();
+            assert!(out.metrics.jobs >= 10, "{system:?} ran {} jobs", out.metrics.jobs);
+            acts.push((system, out.act()));
+        }
+        // Every system must actually take time.
+        assert!(acts.iter().all(|(_, t)| t.as_secs_f64() > 0.0));
+    }
+
+    #[test]
+    fn blaze_profiling_does_not_change_results() {
+        // Functional equivalence: same job count under Blaze and Spark.
+        let a = run_app(App::KMeans, SystemKind::SparkMemOnly).unwrap();
+        let b = run_app(App::KMeans, SystemKind::Blaze).unwrap();
+        assert_eq!(a.metrics.jobs, b.metrics.jobs);
+    }
+}

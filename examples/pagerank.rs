@@ -1,0 +1,33 @@
+//! PageRank under the six compared systems (a miniature of paper Fig. 9a).
+//!
+//! ```sh
+//! cargo run --release --example pagerank
+//! ```
+
+use blaze::workloads::{run_app, App, SystemKind};
+
+fn main() {
+    println!("PageRank (30k-vertex power-law graph, 10 iterations)\n");
+    let mut rows = Vec::new();
+    for system in SystemKind::headline() {
+        let out = run_app(App::PageRank, system).expect("run succeeds");
+        let m = &out.metrics;
+        rows.push((system.label(), m.completion_time.as_secs_f64()));
+        println!(
+            "{:18} ACT {:>7.3}s | disk I/O {:>7.3}s | recompute {:>7.3}s | disk avg {}",
+            system.label(),
+            m.completion_time.as_secs_f64(),
+            m.accumulated.disk_io_for_caching().as_secs_f64(),
+            m.total_recompute_time().as_secs_f64(),
+            m.disk_bytes_avg(),
+        );
+    }
+    let blaze = rows.iter().find(|(n, _)| *n == "Blaze").unwrap().1;
+    let mem = rows.iter().find(|(n, _)| *n == "Spark (MEM)").unwrap().1;
+    let disk = rows.iter().find(|(n, _)| *n == "Spark (MEM+DISK)").unwrap().1;
+    println!(
+        "\nBlaze speedup: {:.2}x vs MEM_ONLY (paper: 2.52x), {:.2}x vs MEM+DISK (paper: 2.86x)",
+        mem / blaze,
+        disk / blaze
+    );
+}

@@ -1,0 +1,131 @@
+//! Property-based tests over randomly generated dataflow programs.
+//!
+//! Strategy: generate a random pipeline of keyed transformations and a
+//! random (tiny) memory capacity, run it under a caching engine and under
+//! the cache-less reference runner, and require identical results. This
+//! exercises the full caching/eviction/recovery surface with shapes no
+//! hand-written test would cover.
+
+use blaze::common::ByteSize;
+use blaze::dataflow::{runner::LocalRunner, Context, Dataset};
+use blaze::engine::{Cluster, ClusterConfig};
+use blaze::workloads::SystemKind;
+use proptest::prelude::*;
+
+/// One step of a random pipeline.
+#[derive(Debug, Clone)]
+enum Step {
+    MapAdd(u64),
+    FilterMod(u64),
+    ReduceByKey,
+    GroupCount,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..100).prop_map(Step::MapAdd),
+        (2u64..7).prop_map(Step::FilterMod),
+        Just(Step::ReduceByKey),
+        Just(Step::GroupCount),
+    ]
+}
+
+/// Applies the pipeline, caching after every shuffle (iterative style).
+fn apply(ctx: &Context, elems: u64, keys: u64, parts: usize, steps: &[Step]) -> Vec<(u64, u64)> {
+    let mut data: Dataset<(u64, u64)> =
+        ctx.parallelize((0..elems).map(|i| (i % keys, i)).collect::<Vec<_>>(), parts);
+    for step in steps {
+        data = match step {
+            Step::MapAdd(k) => {
+                let k = *k;
+                data.map_values(move |v| v.wrapping_add(k))
+            }
+            Step::FilterMod(m) => {
+                let m = *m;
+                data.filter(move |(_, v)| v % m != 0)
+            }
+            Step::ReduceByKey => {
+                let d = data.reduce_by_key(parts, |a, b| a.wrapping_add(*b));
+                d.cache();
+                d.count().unwrap();
+                d
+            }
+            Step::GroupCount => {
+                let d = data.group_by_key(parts).map_values(|vs| vs.len() as u64);
+                d.cache();
+                d.count().unwrap();
+                d
+            }
+        };
+    }
+    let mut out = data.collect().unwrap();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random pipelines produce identical results with and without caching,
+    /// across random memory capacities and controllers.
+    #[test]
+    fn caching_is_semantically_transparent(
+        elems in 100u64..2_000,
+        keys in 1u64..64,
+        parts in 1usize..6,
+        steps in prop::collection::vec(step_strategy(), 1..6),
+        capacity_kib in 1u64..64,
+        system_pick in 0usize..4,
+    ) {
+        let reference = apply(&Context::new(LocalRunner::new()), elems, keys, parts, &steps);
+        let system = [
+            SystemKind::SparkMemOnly,
+            SystemKind::SparkMemDisk,
+            SystemKind::Lrc,
+            SystemKind::BlazeNoProfile,
+        ][system_pick];
+        let cluster = Cluster::new(
+            ClusterConfig {
+                executors: 2,
+                slots_per_executor: 1,
+                memory_capacity: ByteSize::from_kib(capacity_kib),
+                ..Default::default()
+            },
+            system.make_controller(None),
+        ).unwrap();
+        let got = apply(&Context::new(cluster), elems, keys, parts, &steps);
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Simulated time and task counts are positive and consistent.
+    #[test]
+    fn metrics_are_internally_consistent(
+        elems in 100u64..1_000,
+        steps in prop::collection::vec(step_strategy(), 1..4),
+    ) {
+        let cluster = Cluster::new(
+            ClusterConfig {
+                executors: 2,
+                slots_per_executor: 2,
+                memory_capacity: ByteSize::from_kib(32),
+                ..Default::default()
+            },
+            SystemKind::SparkMemDisk.make_controller(None),
+        ).unwrap();
+        let ctx = Context::new(cluster.clone());
+        let _ = apply(&ctx, elems, 16, 4, &steps);
+        let m = cluster.metrics();
+        prop_assert!(m.tasks > 0);
+        prop_assert!(m.jobs > 0);
+        prop_assert!(m.completion_time.as_nanos() > 0);
+        // Accumulated task time across slots cannot be less than the
+        // longest single component of the ACT... but it must be at least
+        // the ACT divided by total slots.
+        let slots = 4.0;
+        prop_assert!(
+            m.accumulated.total().as_secs_f64() >= m.completion_time.as_secs_f64() / slots - 1e-9
+        );
+        // Eviction split adds up.
+        prop_assert_eq!(m.evictions, m.evictions_discard + m.evictions_to_disk);
+    }
+}

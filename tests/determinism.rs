@@ -1,0 +1,40 @@
+//! Cross-crate invariant: the whole stack is deterministic.
+//!
+//! Two runs of the same (application, system, seed) must produce identical
+//! simulated timelines and metrics — this is what makes every figure
+//! harness reproducible bit-for-bit.
+
+use blaze::engine::Metrics;
+use blaze::workloads::{run_app, App, SystemKind};
+
+fn fingerprint(m: &Metrics) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        m.completion_time.as_nanos(),
+        m.accumulated.total().as_nanos(),
+        m.evictions,
+        m.mem_hits,
+        m.disk_hits,
+        m.disk_bytes_written.as_bytes(),
+    )
+}
+
+#[test]
+fn kmeans_runs_are_bit_identical() {
+    let a = run_app(App::KMeans, SystemKind::SparkMemDisk).unwrap();
+    let b = run_app(App::KMeans, SystemKind::SparkMemDisk).unwrap();
+    assert_eq!(fingerprint(&a.metrics), fingerprint(&b.metrics));
+}
+
+#[test]
+fn blaze_runs_are_bit_identical_including_profiling() {
+    let a = run_app(App::KMeans, SystemKind::Blaze).unwrap();
+    let b = run_app(App::KMeans, SystemKind::Blaze).unwrap();
+    assert_eq!(fingerprint(&a.metrics), fingerprint(&b.metrics));
+}
+
+#[test]
+fn different_systems_run_the_same_jobs() {
+    let a = run_app(App::LogisticRegression, SystemKind::SparkMemOnly).unwrap();
+    let b = run_app(App::LogisticRegression, SystemKind::Blaze).unwrap();
+    assert_eq!(a.metrics.jobs, b.metrics.jobs, "caching must not change job structure");
+}

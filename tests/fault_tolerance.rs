@@ -1,0 +1,87 @@
+//! Executor-failure injection: cached data loss must never change results,
+//! and the engine must recover lost partitions through lineage.
+
+use blaze::common::ids::ExecutorId;
+use blaze::common::ByteSize;
+use blaze::dataflow::{runner::LocalRunner, Context};
+use blaze::engine::{Cluster, ClusterConfig};
+use blaze::workloads::SystemKind;
+
+fn config() -> ClusterConfig {
+    ClusterConfig {
+        executors: 4,
+        slots_per_executor: 2,
+        memory_capacity: ByteSize::from_kib(256),
+        ..Default::default()
+    }
+}
+
+fn reference() -> Vec<(u64, u64)> {
+    let ctx = Context::new(LocalRunner::new());
+    let mut out = pipeline(&ctx);
+    out.sort();
+    out
+}
+
+fn pipeline(ctx: &Context) -> Vec<(u64, u64)> {
+    let mut data = ctx.parallelize((0..8_000u64).map(|i| (i % 200, i)).collect::<Vec<_>>(), 8);
+    for _ in 0..3 {
+        data = data.reduce_by_key(8, |a, b| a.wrapping_add(*b)).map_values(|v| v ^ 0xA5);
+        data.cache();
+        data.count().unwrap();
+    }
+    data.collect().unwrap()
+}
+
+#[test]
+fn failing_one_executor_mid_run_preserves_results() {
+    for system in [SystemKind::SparkMemOnly, SystemKind::SparkMemDisk, SystemKind::BlazeNoProfile]
+    {
+        let cluster = Cluster::new(config(), system.make_controller(None)).unwrap();
+        let ctx = Context::new(cluster.clone());
+        let mut data =
+            ctx.parallelize((0..8_000u64).map(|i| (i % 200, i)).collect::<Vec<_>>(), 8);
+        for round in 0..3 {
+            data = data.reduce_by_key(8, |a, b| a.wrapping_add(*b)).map_values(|v| v ^ 0xA5);
+            data.cache();
+            data.count().unwrap();
+            if round == 1 {
+                cluster.fail_executor(ExecutorId(0)).unwrap();
+                cluster.fail_executor(ExecutorId(2)).unwrap();
+            }
+        }
+        let mut out = data.collect().unwrap();
+        out.sort();
+        assert_eq!(out, reference(), "{system:?} corrupted results after failure");
+        // The failed executors really lost their stores at failure time.
+        let m = cluster.metrics();
+        assert!(m.jobs >= 3);
+    }
+}
+
+#[test]
+fn failing_every_executor_still_recovers_through_lineage() {
+    let cluster =
+        Cluster::new(config(), SystemKind::SparkMemOnly.make_controller(None)).unwrap();
+    let ctx = Context::new(cluster.clone());
+    let data = ctx.parallelize((0..2_000u64).map(|i| (i % 64, i)).collect::<Vec<_>>(), 8);
+    let reduced = data.reduce_by_key(4, |a, b| a + b);
+    reduced.cache();
+    let before = reduced.collect().unwrap();
+    for e in 0..4 {
+        cluster.fail_executor(ExecutorId(e)).unwrap();
+    }
+    assert!(cluster.memory_used().iter().all(|b| b.is_zero()));
+    let mut after = reduced.collect().unwrap();
+    let mut before = before;
+    before.sort();
+    after.sort();
+    assert_eq!(after, before);
+}
+
+#[test]
+fn failing_an_unknown_executor_is_an_error() {
+    let cluster =
+        Cluster::new(config(), SystemKind::SparkMemOnly.make_controller(None)).unwrap();
+    assert!(cluster.fail_executor(ExecutorId(99)).is_err());
+}

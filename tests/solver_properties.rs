@@ -1,0 +1,108 @@
+//! Property-based tests on the LP/ILP solver stack.
+
+use blaze::solver::ilp::{solve_binary, IlpOutcome, IlpProblem};
+use blaze::solver::knapsack::{solve_knapsack, KnapsackItem};
+use blaze::solver::lp::{solve as solve_lp, Constraint, LinearProgram, LpOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The LP relaxation bounds the ILP: relax(knapsack) >= exact(knapsack).
+    #[test]
+    fn lp_relaxation_bounds_the_integer_optimum(
+        values in prop::collection::vec(0.1f64..50.0, 1..8),
+        weights in prop::collection::vec(1u64..40, 1..8),
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+        let cap: u64 = weights.iter().sum::<u64>() / 2 + 1;
+
+        let items: Vec<KnapsackItem> = values
+            .iter()
+            .zip(weights)
+            .map(|(&value, &weight)| KnapsackItem { value, weight })
+            .collect();
+        let exact = solve_knapsack(&items, cap, 0);
+        prop_assert!(exact.proven_optimal);
+
+        // LP relaxation (boxed 0..1 variables).
+        let mut constraints =
+            vec![Constraint::le(weights.iter().map(|&w| w as f64).collect(), cap as f64)];
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            constraints.push(Constraint::le(row, 1.0));
+        }
+        let lp = LinearProgram {
+            objective: values.iter().map(|v| -v).collect(),
+            constraints,
+        };
+        if let LpOutcome::Optimal { objective, .. } = solve_lp(&lp).unwrap() {
+            prop_assert!(-objective >= exact.value - 1e-6,
+                "LP bound {} below ILP value {}", -objective, exact.value);
+        } else {
+            prop_assert!(false, "boxed knapsack LP must be feasible and bounded");
+        }
+    }
+
+    /// The general binary ILP agrees with the specialized knapsack solver.
+    #[test]
+    fn binary_ilp_matches_knapsack(
+        values in prop::collection::vec(0.1f64..30.0, 1..7),
+        weights in prop::collection::vec(1u64..25, 1..7),
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+        let cap: u64 = weights.iter().sum::<u64>() / 2 + 1;
+
+        let items: Vec<KnapsackItem> = values
+            .iter()
+            .zip(weights)
+            .map(|(&value, &weight)| KnapsackItem { value, weight })
+            .collect();
+        let ks = solve_knapsack(&items, cap, 0);
+
+        let problem = IlpProblem {
+            objective: values.iter().map(|v| -v).collect(),
+            constraints: vec![Constraint::le(
+                weights.iter().map(|&w| w as f64).collect(),
+                cap as f64,
+            )],
+            node_budget: 0,
+        };
+        match solve_binary(&problem).unwrap() {
+            IlpOutcome::Solved { objective, proven_optimal, .. } => {
+                prop_assert!(proven_optimal);
+                prop_assert!((-objective - ks.value).abs() < 1e-6,
+                    "ILP {} vs knapsack {}", -objective, ks.value);
+            }
+            IlpOutcome::Infeasible => prop_assert!(false, "knapsack is always feasible"),
+        }
+    }
+
+    /// Knapsack solutions respect capacity and never pick negative value.
+    #[test]
+    fn knapsack_solutions_are_feasible(
+        items in prop::collection::vec((-10.0f64..50.0, 0u64..40), 0..12),
+        cap in 0u64..200,
+    ) {
+        let items: Vec<KnapsackItem> =
+            items.into_iter().map(|(value, weight)| KnapsackItem { value, weight }).collect();
+        let s = solve_knapsack(&items, cap, 0);
+        let weight: u64 = s
+            .selected
+            .iter()
+            .zip(&items)
+            .filter(|(sel, _)| **sel)
+            .map(|(_, it)| it.weight)
+            .sum();
+        prop_assert!(weight <= cap);
+        prop_assert_eq!(weight, s.weight);
+        for (sel, it) in s.selected.iter().zip(&items) {
+            prop_assert!(!(*sel && it.value < 0.0), "selected a negative-value item");
+        }
+    }
+}
