@@ -1,11 +1,11 @@
 //! End-to-end engine microbenches: small iterative applications under
 //! different controllers (wall-clock cost of simulating one run).
 
+use blaze_common::ByteSize;
 use blaze_core::{BlazeConfig, BlazeController};
 use blaze_dataflow::Context;
 use blaze_engine::{Cluster, ClusterConfig, NoCacheController};
 use blaze_policies::{EvictMode, LruController};
-use blaze_common::ByteSize;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn small_iterative(ctx: &Context, iters: usize) {

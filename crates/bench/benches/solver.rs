@@ -5,10 +5,10 @@
 //! our per-executor instances (tens to hundreds of partitions) must solve
 //! in microseconds-to-milliseconds for the job-submission trigger to hide.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use blaze_solver::ilp::{solve_binary, IlpProblem};
 use blaze_solver::knapsack::{solve_knapsack, KnapsackItem};
 use blaze_solver::lp::{solve as solve_lp, Constraint, LinearProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn pseudo(n: u64, salt: u64) -> f64 {
     let mut x = n.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;

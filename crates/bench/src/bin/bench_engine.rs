@@ -1,0 +1,80 @@
+//! Wall-clock benchmark of the parallel stage executor.
+//!
+//! Runs evaluation-scale workloads at several `worker_threads` settings and
+//! records, for each run, the *real* elapsed time next to the *simulated*
+//! ACT. The simulated ACT must be identical across thread counts (that is
+//! the determinism contract pinned by `tests/parallel_determinism.rs`);
+//! wall-clock time is what the thread pool improves, and scales with the
+//! host's core count. Results are written to `BENCH_engine.json` at the
+//! repository root.
+
+use blaze_engine::config::default_worker_threads;
+use blaze_workloads::{run_spec, App, AppSpec, SystemKind};
+use std::time::Instant;
+
+struct Sample {
+    workload: &'static str,
+    system: &'static str,
+    worker_threads: usize,
+    wall_s: f64,
+    sim_act: f64,
+}
+
+fn main() {
+    let host_cpus = default_worker_threads();
+    let mut threads = vec![1usize, 2, 4];
+    if !threads.contains(&host_cpus) {
+        threads.push(host_cpus);
+    }
+
+    let mut samples = Vec::new();
+    for (app, app_label) in [(App::PageRank, "pagerank"), (App::KMeans, "kmeans")] {
+        for (system, sys_label) in
+            [(SystemKind::Blaze, "blaze"), (SystemKind::SparkMemDisk, "spark_mem_disk")]
+        {
+            for &t in &threads {
+                let spec = AppSpec::evaluation(app).with_worker_threads(t);
+                let start = Instant::now();
+                let out = run_spec(&spec, system).expect("benchmark run failed");
+                let wall = start.elapsed().as_secs_f64();
+                let act = out.metrics.completion_time.as_secs_f64();
+                eprintln!(
+                    "{app_label:9} {sys_label:14} threads={t:2} wall={wall:7.3}s sim_act={act:.4}s"
+                );
+                samples.push(Sample {
+                    workload: app_label,
+                    system: sys_label,
+                    worker_threads: t,
+                    wall_s: wall,
+                    sim_act: act,
+                });
+            }
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let json = render_json(host_cpus, &samples);
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {} samples to {path}", samples.len());
+}
+
+/// Hand-rolled JSON writer (the workspace deliberately has no serde).
+fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"system\": \"{}\", \"worker_threads\": {}, \
+             \"wall_s\": {:.6}, \"sim_act\": {:.6}}}{}\n",
+            r.workload,
+            r.system,
+            r.worker_threads,
+            r.wall_s,
+            r.sim_act,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -19,13 +19,7 @@ fn main() {
         for system in &systems {
             let m = &outcomes[&(app.label(), system.label())].metrics;
             let (d, e, c) = breakdown_secs(m);
-            t.row([
-                system.label().to_string(),
-                secs(d),
-                secs(e),
-                secs(c),
-                secs(d + e + c),
-            ]);
+            t.row([system.label().to_string(), secs(d), secs(e), secs(c), secs(d + e + c)]);
             csv.row([
                 app.label().to_string(),
                 system.label().to_string(),
@@ -55,8 +49,7 @@ fn main() {
         let md_disk_time = md.accumulated.disk_io_for_caching().as_secs_f64();
         let bl_disk_time = bl.accumulated.disk_io_for_caching().as_secs_f64();
         let bytes_cut = 1.0
-            - bl.disk_bytes_avg().as_bytes() as f64
-                / md.disk_bytes_avg().as_bytes().max(1) as f64;
+            - bl.disk_bytes_avg().as_bytes() as f64 / md.disk_bytes_avg().as_bytes().max(1) as f64;
         let time_cut = 1.0 - bl_disk_time / md_disk_time.max(1e-12);
         t.row([
             app.label().to_string(),

@@ -13,13 +13,7 @@ fn main() {
     let systems = SystemKind::ablation();
     let outcomes = run_matrix(&paper::APP_ORDER, &systems).expect("runs failed");
 
-    let mut t = Table::new([
-        "app",
-        "Spark (MEM+DISK)",
-        "+AutoCache",
-        "+CostAware",
-        "Blaze",
-    ]);
+    let mut t = Table::new(["app", "Spark (MEM+DISK)", "+AutoCache", "+CostAware", "Blaze"]);
     let mut csv = Csv::new(["app", "system", "act_seconds"]);
     for app in paper::APP_ORDER {
         let mut row = vec![app.label().to_string()];

@@ -17,13 +17,8 @@ fn main() {
     let systems = [SystemKind::BlazeNoProfile, SystemKind::Blaze];
     let outcomes = run_matrix(&apps, &systems).expect("runs failed");
 
-    let mut t = Table::new([
-        "app",
-        "Blaze w/o profiling",
-        "Blaze w/ profiling",
-        "normalized ACT",
-        "paper",
-    ]);
+    let mut t =
+        Table::new(["app", "Blaze w/o profiling", "Blaze w/ profiling", "normalized ACT", "paper"]);
     for app in apps {
         let without = act_secs(&outcomes[&(app.label(), "Blaze w/o Profiling")]);
         let with = act_secs(&outcomes[&(app.label(), "Blaze")]);

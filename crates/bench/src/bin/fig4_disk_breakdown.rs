@@ -9,16 +9,10 @@ use blaze_workloads::SystemKind;
 
 fn main() {
     println!("== Fig. 4: accumulated task time breakdown (Spark MEM+DISK) ==\n");
-    let outcomes =
-        run_matrix(&paper::APP_ORDER, &[SystemKind::SparkMemDisk]).expect("runs failed");
+    let outcomes = run_matrix(&paper::APP_ORDER, &[SystemKind::SparkMemDisk]).expect("runs failed");
 
-    let mut t = Table::new([
-        "app",
-        "disk I/O (cache)",
-        "comp+shuffle",
-        "disk share",
-        "paper disk share",
-    ]);
+    let mut t =
+        Table::new(["app", "disk I/O (cache)", "comp+shuffle", "disk share", "paper disk share"]);
     for app in paper::APP_ORDER {
         let out = &outcomes[&(app.label(), "Spark (MEM+DISK)")];
         let (disk, ext, comp) = breakdown_secs(&out.metrics);

@@ -35,13 +35,7 @@ fn main() {
     println!("{}", t.render());
     maybe_write("fig9_end_to_end", &csv);
 
-    let mut s = Table::new([
-        "app",
-        "Blaze vs MEM",
-        "paper",
-        "Blaze vs MEM+DISK",
-        "paper",
-    ]);
+    let mut s = Table::new(["app", "Blaze vs MEM", "paper", "Blaze vs MEM+DISK", "paper"]);
     for app in paper::APP_ORDER {
         let blaze = act_secs(&outcomes[&(app.label(), "Blaze")]);
         let mem = act_secs(&outcomes[&(app.label(), "Spark (MEM)")]);

@@ -23,9 +23,7 @@ fn parse_app(s: &str) -> App {
 }
 
 fn main() {
-    let app = parse_app(
-        std::env::args().nth(1).as_deref().unwrap_or("pr"),
-    );
+    let app = parse_app(std::env::args().nth(1).as_deref().unwrap_or("pr"));
     let spec = AppSpec::evaluation(app);
     let profile =
         extract_dependencies(move |ctx| spec.drive_sample(ctx), 0).expect("profiling failed");
@@ -33,8 +31,12 @@ fn main() {
     println!("digraph lineage {{");
     println!("  rankdir=LR;");
     println!("  node [shape=box, fontsize=10];");
-    println!("  label=\"{} lineage ({} jobs, pattern {:?})\";", app.label(),
-             profile.job_targets.len(), profile.pattern.map(|p| p.stride));
+    println!(
+        "  label=\"{} lineage ({} jobs, pattern {:?})\";",
+        app.label(),
+        profile.job_targets.len(),
+        profile.pattern.map(|p| p.stride)
+    );
 
     let targets: std::collections::HashSet<u32> =
         profile.job_targets.iter().map(|t| t.raw()).collect();
@@ -42,10 +44,8 @@ fn main() {
     nodes.sort_by_key(|n| n.rdd);
     for node in &nodes {
         let refs = profile.refs.future_refs(node.rdd, 0);
-        let mut attrs = vec![format!(
-            "label=\"{}\\n{} (x{})\"",
-            node.rdd, node.name, node.parts.len()
-        )];
+        let mut attrs =
+            vec![format!("label=\"{}\\n{} (x{})\"", node.rdd, node.name, node.parts.len())];
         if targets.contains(&node.rdd.raw()) {
             attrs.push("style=filled, fillcolor=lightblue".into());
         } else if refs > 1 {

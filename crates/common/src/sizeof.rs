@@ -30,7 +30,25 @@ macro_rules! impl_sizeof_prim {
     };
 }
 
-impl_sizeof_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+impl_sizeof_prim!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl SizeOf for &'static str {
     fn deep_size(&self) -> usize {
@@ -95,10 +113,7 @@ impl<K: SizeOf, V: SizeOf> SizeOf for BTreeMap<K, V> {
     fn deep_size(&self) -> usize {
         const NODE_OVERHEAD: usize = 12;
         std::mem::size_of::<BTreeMap<K, V>>()
-            + self
-                .iter()
-                .map(|(k, v)| k.deep_size() + v.deep_size() + NODE_OVERHEAD)
-                .sum::<usize>()
+            + self.iter().map(|(k, v)| k.deep_size() + v.deep_size() + NODE_OVERHEAD).sum::<usize>()
     }
 }
 

@@ -243,10 +243,7 @@ impl CacheController for BlazeController {
                 if let Ok(node) = plan.node(rdd) {
                     for dep in &node.deps {
                         *self.remaining.entry(dep.parent()).or_insert(0) += 1;
-                        self.consumed_by_stage
-                            .entry(stage.output)
-                            .or_default()
-                            .push(dep.parent());
+                        self.consumed_by_stage.entry(stage.output).or_default().push(dep.parent());
                     }
                 }
             }
@@ -349,10 +346,8 @@ impl CacheController for BlazeController {
         if !self.cfg.unified {
             // +CostAware: sort by potential disk cost (smallest disk I/O
             // evicted first), always spilling (§7.3).
-            let mut candidates: Vec<(u64, BlockId, ByteSize)> = resident
-                .iter()
-                .map(|b| (model.cost_d(b.id).as_nanos(), b.id, b.bytes))
-                .collect();
+            let mut candidates: Vec<(u64, BlockId, ByteSize)> =
+                resident.iter().map(|b| (model.cost_d(b.id).as_nanos(), b.id, b.bytes)).collect();
             candidates.sort_by_key(|&(c, id, _)| (c, id));
             return take_until(needed, candidates.into_iter().map(|(_, id, b)| (id, b)))
                 .into_iter()
@@ -375,11 +370,7 @@ impl CacheController for BlazeController {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
         });
         let picked = take_until(needed, candidates.iter().map(|&(_, id, b)| (id, b)));
-        let victims_value: f64 = candidates
-            .iter()
-            .take(picked.len())
-            .map(|&(v, _, _)| v)
-            .sum();
+        let victims_value: f64 = candidates.iter().take(picked.len()).map(|&(v, _, _)| v).sum();
         let iw = self.value_weight(incoming.id.rdd, None);
         let incoming_value =
             if iw > 0.0 { model.cost(incoming.id).as_secs_f64() * iw } else { 0.0 };
@@ -502,10 +493,7 @@ mod tests {
             BlazeController::new(BlazeConfig::full_mem_only(), None).name(),
             "Blaze (MEM_ONLY)"
         );
-        assert_eq!(
-            BlazeController::new(BlazeConfig::auto_cache_only(), None).name(),
-            "+AutoCache"
-        );
+        assert_eq!(BlazeController::new(BlazeConfig::auto_cache_only(), None).name(), "+AutoCache");
         assert_eq!(BlazeController::new(BlazeConfig::cost_aware(), None).name(), "+CostAware");
     }
 
@@ -557,9 +545,8 @@ mod tests {
         let cheap = dctx.parallelize((0..64u64).collect::<Vec<_>>(), 1); // rdd 1
         let m1 = exp.map(|x| x + 1); // rdd 2
         let m2 = cheap.map(|x| x + 1); // rdd 3
-        let joined = m1.zip_partitions(&m2, |a, b| {
-            a.iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>()
-        }); // rdd 4
+        let joined = m1
+            .zip_partitions(&m2, |a, b| a.iter().zip(b).map(|(x, y)| x + y).collect::<Vec<u64>>()); // rdd 4
 
         let mut ctl = BlazeController::new(BlazeConfig::full(), None);
         let ctx = ctrl_ctx();
@@ -673,9 +660,8 @@ mod tests {
         // An unrelated dataset consumed by a *later* stage of the same job.
         let pairs = dctx.parallelize((0..16u64).map(|i| (i % 2, i)).collect::<Vec<_>>(), 1);
         let reduced = pairs.reduce_by_key(1, |x, y| x + y);
-        let joined = b
-            .map(|x| (x % 2, *x))
-            .zip_partitions(&reduced.partition_by(1), |l, _r| l.to_vec());
+        let joined =
+            b.map(|x| (x % 2, *x)).zip_partitions(&reduced.partition_by(1), |l, _r| l.to_vec());
 
         let mut ctl = BlazeController::new(BlazeConfig::full(), None);
         let ctx = ctrl_ctx();

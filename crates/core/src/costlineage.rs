@@ -121,8 +121,7 @@ impl CostLineage {
     /// If the target was already known from profiling (same id at the next
     /// position), the position simply advances.
     pub fn observe_job(&mut self, _job: JobId, target: RddId) -> usize {
-        if self.current_job < self.job_targets.len()
-            && self.job_targets[self.current_job] == target
+        if self.current_job < self.job_targets.len() && self.job_targets[self.current_job] == target
         {
             let idx = self.current_job;
             self.current_job += 1;
@@ -227,9 +226,7 @@ impl CostLineage {
             .values()
             .flat_map(|n| {
                 n.parts.iter().enumerate().filter(|(_, p)| p.state.in_memory()).map(
-                    move |(i, p)| {
-                        (BlockId::new(n.rdd, i as u32), p.size.unwrap_or(ByteSize::ZERO))
-                    },
+                    move |(i, p)| (BlockId::new(n.rdd, i as u32), p.size.unwrap_or(ByteSize::ZERO)),
                 )
             })
             .collect();
@@ -243,11 +240,9 @@ impl CostLineage {
             .nodes
             .values()
             .flat_map(|n| {
-                n.parts.iter().enumerate().filter(|(_, p)| p.state.on_disk()).map(
-                    move |(i, p)| {
-                        (BlockId::new(n.rdd, i as u32), p.size.unwrap_or(ByteSize::ZERO))
-                    },
-                )
+                n.parts.iter().enumerate().filter(|(_, p)| p.state.on_disk()).map(move |(i, p)| {
+                    (BlockId::new(n.rdd, i as u32), p.size.unwrap_or(ByteSize::ZERO))
+                })
             })
             .collect();
         v.sort_by_key(|(id, _)| *id);

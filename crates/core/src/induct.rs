@@ -77,9 +77,7 @@ fn congruent_series(
         // Walk back MAX_LOOKBACK iterations; collect oldest-first.
         for back in (1..=MAX_LOOKBACK).rev() {
             if let Some(earlier) = p.congruent_earlier(id.rdd, back) {
-                if let Some(v) =
-                    metric(lineage, BlockId::new(earlier, id.partition))
-                {
+                if let Some(v) = metric(lineage, BlockId::new(earlier, id.partition)) {
                     values.push(v);
                 }
             }
@@ -136,10 +134,7 @@ mod tests {
         let id = BlockId::new(RddId(2), 0);
         cl.record_metrics(id, ByteSize::from_kib(7), SimDuration::from_millis(3));
         assert_eq!(induct_size(&cl, Some(pattern), id), Some(ByteSize::from_kib(7)));
-        assert_eq!(
-            induct_edge_compute(&cl, Some(pattern), id),
-            Some(SimDuration::from_millis(3))
-        );
+        assert_eq!(induct_edge_compute(&cl, Some(pattern), id), Some(SimDuration::from_millis(3)));
     }
 
     #[test]
@@ -155,10 +150,7 @@ mod tests {
         }
         // Iteration 4 (rdd 4) unobserved: linear trend predicts 130 KB.
         let predicted = induct_size(&cl, Some(pattern), BlockId::new(RddId(4), 0)).unwrap();
-        assert!(
-            (predicted.as_bytes() as i64 - 130_000).abs() < 1_000,
-            "predicted {predicted}"
-        );
+        assert!((predicted.as_bytes() as i64 - 130_000).abs() < 1_000, "predicted {predicted}");
         let t = induct_edge_compute(&cl, Some(pattern), BlockId::new(RddId(4), 0)).unwrap();
         assert!((t.as_millis_f64() - 25.0).abs() < 1.0, "predicted {t}");
     }
@@ -167,7 +159,11 @@ mod tests {
     fn falls_back_to_sibling_partitions_without_pattern() {
         let (mut cl, _pattern) = iterated_lineage();
         let rdd = RddId(2);
-        cl.record_metrics(BlockId::new(rdd, 1), ByteSize::from_kib(40), SimDuration::from_millis(8));
+        cl.record_metrics(
+            BlockId::new(rdd, 1),
+            ByteSize::from_kib(40),
+            SimDuration::from_millis(8),
+        );
         let s = induct_size(&cl, None, BlockId::new(rdd, 0)).unwrap();
         assert_eq!(s, ByteSize::from_kib(40));
     }

@@ -109,8 +109,7 @@ pub fn optimize_states(
         .collect();
     for (id, state) in cached {
         let Some(exec) = state.executor() else { continue };
-        let referenced =
-            refs.refs_in_window(id.rdd, current_job, config.horizon_jobs) > 0;
+        let referenced = refs.refs_in_window(id.rdd, current_job, config.horizon_jobs) > 0;
         let size = model.size(id);
         let ser = 1.0f64.max(lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0));
         let transition = match state {
@@ -142,11 +141,8 @@ pub fn optimize_states(
         // spills; once exhausted, further m->d transitions degrade to m->u
         // (the cheapest-saving spills are dropped first via ordering below).
         let mut disk_budget = config.disk_capacity.map(|cap| {
-            let already: ByteSize = candidates
-                .iter()
-                .filter(|c| c.state.on_disk())
-                .map(|c| c.size)
-                .sum();
+            let already: ByteSize =
+                candidates.iter().filter(|c| c.state.on_disk()).map(|c| c.size).sum();
             cap.saturating_sub(already)
         });
         // Emit spills in descending disk-benefit order so the budget goes to
@@ -213,11 +209,8 @@ fn solve_instance(
                 .map(|c| {
                     // Saved recovery cost if kept in memory (Eq. 2); only
                     // referenced partitions contribute to the Eq. 5 window.
-                    let mut value = if c.referenced {
-                        c.cost_d.min(c.cost_r).as_secs_f64()
-                    } else {
-                        0.0
-                    };
+                    let mut value =
+                        if c.referenced { c.cost_d.min(c.cost_r).as_secs_f64() } else { 0.0 };
                     // Transition costs: a memory resident avoids a spill by
                     // staying; a disk resident pays a read to be promoted.
                     match c.state {
@@ -327,9 +320,15 @@ mod tests {
                 sel.iter()
                     .zip(&candidates)
                     .filter(|(s, _)| **s)
-                    .map(|(_, c)| {
-                        if c.referenced { c.cost_d.min(c.cost_r).as_secs_f64() } else { 0.0 }
-                    })
+                    .map(
+                        |(_, c)| {
+                            if c.referenced {
+                                c.cost_d.min(c.cost_r).as_secs_f64()
+                            } else {
+                                0.0
+                            }
+                        },
+                    )
                     .sum()
             };
             assert!(
@@ -351,10 +350,8 @@ mod tests {
 
     #[test]
     fn unreferenced_partitions_are_never_kept_over_referenced() {
-        let candidates = vec![
-            cand(1, 0, 100, 500, 900, true, true),
-            cand(2, 0, 100, 0, 0, false, true),
-        ];
+        let candidates =
+            vec![cand(1, 0, 100, 500, 900, true, true), cand(2, 0, 100, 0, 0, false, true)];
         let keep = solve_instance(&candidates, ByteSize::from_kib(100), SolveStrategy::Knapsack);
         assert_eq!(keep, vec![true, false]);
     }
@@ -367,8 +364,7 @@ mod tests {
     /// Builds a two-dataset lineage (a -> b, both single-partition), marks
     /// both cached in memory on executor 0, and makes only `a` referenced
     /// by the upcoming window.
-    fn small_world() -> (crate::costlineage::CostLineage, crate::refs::JobRefs, BlockId, BlockId)
-    {
+    fn small_world() -> (crate::costlineage::CostLineage, crate::refs::JobRefs, BlockId, BlockId) {
         use blaze_dataflow::{runner::LocalRunner, Context};
         let ctx = Context::new(LocalRunner::new());
         let a = ctx.parallelize(vec![0u64; 64], 1);
@@ -377,8 +373,7 @@ mod tests {
         let mut cl = crate::costlineage::CostLineage::new();
         cl.merge_plan(&ctx.plan().read());
         cl.seed_job_targets(vec![b.id(), c.id()]);
-        let refs =
-            crate::refs::JobRefs::build(&ctx.plan().read(), &[b.id(), c.id()]);
+        let refs = crate::refs::JobRefs::build(&ctx.plan().read(), &[b.id(), c.id()]);
         for rdd in [a.id(), b.id()] {
             cl.record_metrics(
                 BlockId::new(rdd, 0),
@@ -441,11 +436,21 @@ mod tests {
         // reuse refs where only `a` is referenced — so instead check the
         // constrained case directly against the unconstrained one.
         let unconstrained = optimize_states(
-            &cl, &refs, None, &hw, ByteSize::from_kib(64), 0,
+            &cl,
+            &refs,
+            None,
+            &hw,
+            ByteSize::from_kib(64),
+            0,
             &OptimizerConfig::default(),
         );
         let constrained = optimize_states(
-            &cl, &refs, None, &hw, ByteSize::from_kib(64), 0,
+            &cl,
+            &refs,
+            None,
+            &hw,
+            ByteSize::from_kib(64),
+            0,
             &OptimizerConfig { disk_capacity: Some(ByteSize::ZERO), ..Default::default() },
         );
         let spills = |cmds: &[StateCommand]| {

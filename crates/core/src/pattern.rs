@@ -45,11 +45,8 @@ const MIN_REPEATS: usize = 2;
 /// assert_eq!(p.predict_target(&targets, 5), Some(RddId(28)));
 /// ```
 pub fn detect(job_targets: &[RddId]) -> Option<IterationPattern> {
-    detect_suffix(job_targets).or_else(|| {
-        job_targets
-            .split_last()
-            .and_then(|(_, head)| detect_suffix(head))
-    })
+    detect_suffix(job_targets)
+        .or_else(|| job_targets.split_last().and_then(|(_, head)| detect_suffix(head)))
 }
 
 fn detect_suffix(job_targets: &[RddId]) -> Option<IterationPattern> {

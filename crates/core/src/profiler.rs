@@ -133,11 +133,8 @@ mod tests {
 
     #[test]
     fn application_errors_propagate() {
-        let err = extract_dependencies(
-            |_ctx| Err(BlazeError::Config("bad app".into())),
-            0,
-        )
-        .unwrap_err();
+        let err =
+            extract_dependencies(|_ctx| Err(BlazeError::Config("bad app".into())), 0).unwrap_err();
         assert!(matches!(err, BlazeError::Config(_)));
     }
 

@@ -103,21 +103,12 @@ impl JobRefs {
 
     /// Total references to `rdd` from jobs `from..` (future references).
     pub fn future_refs(&self, rdd: RddId, from: usize) -> u32 {
-        self.per_job
-            .iter()
-            .skip(from)
-            .map(|m| m.get(&rdd).copied().unwrap_or(0))
-            .sum()
+        self.per_job.iter().skip(from).map(|m| m.get(&rdd).copied().unwrap_or(0)).sum()
     }
 
     /// Total references to `rdd` within the window `from..from+len`.
     pub fn refs_in_window(&self, rdd: RddId, from: usize, len: usize) -> u32 {
-        self.per_job
-            .iter()
-            .skip(from)
-            .take(len)
-            .map(|m| m.get(&rdd).copied().unwrap_or(0))
-            .sum()
+        self.per_job.iter().skip(from).take(len).map(|m| m.get(&rdd).copied().unwrap_or(0)).sum()
     }
 }
 
@@ -133,8 +124,7 @@ mod tests {
         let links: Dataset<(u64, Vec<u64>)> = ctx
             .parallelize((0..20u64).map(|i| (i, vec![(i + 1) % 20])).collect::<Vec<_>>(), 2)
             .partition_by(2);
-        let mut ranks: Dataset<(u64, f64)> =
-            links.map_values(|_| 1.0).named("init_ranks");
+        let mut ranks: Dataset<(u64, f64)> = links.map_values(|_| 1.0).named("init_ranks");
         let mut targets = Vec::new();
         let mut rank_ids = vec![ranks.id()];
         for _ in 0..iters {

@@ -171,10 +171,7 @@ impl<T: Data> Dataset<T> {
     }
 
     /// Applies `f` to every element and flattens the results.
-    pub fn flat_map<U: Data, I>(
-        &self,
-        f: impl Fn(&T) -> I + Send + Sync + 'static,
-    ) -> Dataset<U>
+    pub fn flat_map<U: Data, I>(&self, f: impl Fn(&T) -> I + Send + Sync + 'static) -> Dataset<U>
     where
         I: IntoIterator<Item = U>,
     {
@@ -290,7 +287,7 @@ impl<T: Data> Dataset<T> {
     ) -> Result<A> {
         let z = zero.clone();
         let partials = self
-            .map_partitions(move |part| vec![part.iter().fold(z.clone(), |acc, x| seq(acc, x))])
+            .map_partitions(move |part| vec![part.iter().fold(z.clone(), &seq)])
             .named("aggregate_partials");
         let partials = partials.collect()?;
         Ok(partials.into_iter().fold(zero, comb))

@@ -25,10 +25,7 @@ impl<T: Data> Dataset<T> {
             part.iter().enumerate().map(|(i, x)| ((p + 2 * i) as u64, x.clone())).collect()
         });
         let right = other.map_partitions_idx(|p, part| {
-            part.iter()
-                .enumerate()
-                .map(|(i, x)| ((p + 2 * i + 1) as u64, x.clone()))
-                .collect()
+            part.iter().enumerate().map(|(i, x)| ((p + 2 * i + 1) as u64, x.clone())).collect()
         });
         // Repartition both sides by the synthetic key, then merge.
         let l = left.partition_by(num_partitions);
@@ -46,10 +43,7 @@ impl<T: Data> Dataset<T> {
         let keyed = self.map_partitions_idx(|p, part| {
             part.iter().enumerate().map(|(i, x)| ((p + i) as u64, x.clone())).collect()
         });
-        keyed
-            .partition_by(num_partitions)
-            .map(|(_, x)| x.clone())
-            .named("coalesce")
+        keyed.partition_by(num_partitions).map(|(_, x)| x.clone()).named("coalesce")
     }
 
     /// Bernoulli-samples elements with probability `fraction`,
@@ -58,10 +52,7 @@ impl<T: Data> Dataset<T> {
         let fraction = fraction.clamp(0.0, 1.0);
         self.map_partitions_idx(move |p, part| {
             let mut rng = seeded(derive_seed(seed, p as u64));
-            part.iter()
-                .filter(|_| rng.gen::<f64>() < fraction)
-                .cloned()
-                .collect()
+            part.iter().filter(|_| rng.gen::<f64>() < fraction).cloned().collect()
         })
         .named("sample")
     }
@@ -88,10 +79,7 @@ impl<T: Data> Dataset<T> {
         Ok(self
             .map_partitions_idx(move |p, part| {
                 let base = offsets.get(p).copied().unwrap_or(0);
-                part.iter()
-                    .enumerate()
-                    .map(|(i, x)| (x.clone(), base + i as u64))
-                    .collect()
+                part.iter().enumerate().map(|(i, x)| (x.clone(), base + i as u64)).collect()
             })
             .named("zip_with_index"))
     }
@@ -137,17 +125,14 @@ where
     pub fn sort_by_key(&self, num_partitions: usize) -> blaze_common::Result<Dataset<(K, V)>> {
         // The sampling pass: global split points from a deterministic
         // sample of the keys.
-        let mut sample: Vec<K> =
-            self.keys().sample(0.1, 0x5EED).named("sort_sample").collect()?;
+        let mut sample: Vec<K> = self.keys().sample(0.1, 0x5EED).named("sort_sample").collect()?;
         if sample.is_empty() {
             sample = self.keys().take(4096)?;
         }
         sample.sort();
         let splits: Arc<Vec<K>> = Arc::new(
             (1..num_partitions)
-                .map(|i| {
-                    sample[(i * sample.len() / num_partitions).min(sample.len() - 1)].clone()
-                })
+                .map(|i| sample[(i * sample.len() / num_partitions).min(sample.len() - 1)].clone())
                 .collect(),
         );
 
@@ -246,8 +231,7 @@ mod tests {
     #[test]
     fn sort_by_key_orders_globally() {
         let ctx = ctx();
-        let data: Vec<(u64, u64)> =
-            (0..500u64).map(|i| ((i * 7919) % 1000, i)).collect();
+        let data: Vec<(u64, u64)> = (0..500u64).map(|i| ((i * 7919) % 1000, i)).collect();
         let sorted = ctx.parallelize(data.clone(), 5).sort_by_key(4).unwrap();
         let out = sorted.collect().unwrap();
         // collect() concatenates partitions in order; range partitioning
@@ -265,10 +249,7 @@ mod tests {
         let data: Vec<(u64, u64)> = (0..4_000u64).map(|i| (i, i)).collect();
         let sorted = ctx.parallelize(data, 4).sort_by_key(4).unwrap();
         // Inspect per-partition sizes via map_partitions.
-        let sizes = sorted
-            .map_partitions(|part| vec![part.len() as u64])
-            .collect()
-            .unwrap();
+        let sizes = sorted.map_partitions(|part| vec![part.len() as u64]).collect().unwrap();
         assert_eq!(sizes.iter().sum::<u64>(), 4_000);
         assert!(sizes.iter().all(|&s| s > 400), "unbalanced: {sizes:?}");
     }

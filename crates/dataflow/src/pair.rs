@@ -16,6 +16,10 @@ use blaze_common::fxhash::FxHashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
+/// Result of [`Dataset::cogroup`]: for every key, the values seen on the
+/// left and on the right side.
+pub type CoGrouped<K, V, W> = Dataset<(K, (Vec<V>, Vec<W>))>;
+
 impl<K, V> Dataset<(K, V)>
 where
     K: Data + Hash + Eq,
@@ -386,7 +390,7 @@ where
         &self,
         other: &Dataset<(K, W)>,
         num_partitions: usize,
-    ) -> Dataset<(K, (Vec<V>, Vec<W>))> {
+    ) -> CoGrouped<K, V, W> {
         let left = self.partition_by(num_partitions);
         let right = other.partition_by(num_partitions);
         left.zip_partitions(&right, |l: &[(K, V)], r: &[(K, W)]| {
@@ -475,11 +479,7 @@ mod tests {
         let ctx = ctx();
         let left = ctx.parallelize(vec![(1u32, "a"), (2, "b"), (3, "c")], 2);
         let right = ctx.parallelize(vec![(1u32, 10u64), (2, 20), (2, 21), (4, 40)], 2);
-        let mut out = left
-            .map_values(|s| s.to_string())
-            .join(&right, 3)
-            .collect()
-            .unwrap();
+        let mut out = left.map_values(|s| s.to_string()).join(&right, 3).collect().unwrap();
         out.sort();
         assert_eq!(
             out,
@@ -514,11 +514,7 @@ mod tests {
         }
         assert_eq!(
             out,
-            vec![
-                (1, (vec![1, 2], vec![])),
-                (2, (vec![3], vec![9])),
-                (3, (vec![], vec![8])),
-            ]
+            vec![(1, (vec![1, 2], vec![])), (2, (vec![3], vec![9])), (3, (vec![], vec![8])),]
         );
     }
 
@@ -604,9 +600,6 @@ mod tests {
         let ds = ctx.parallelize(vec![(1u32, 1u32)], 2).partition_by(4);
         let mapped = ds.map_values(|v| v + 1);
         let plan = ctx.plan().read();
-        assert_eq!(
-            plan.node(mapped.id()).unwrap().partitioner,
-            Some(HashPartitioner::new(4))
-        );
+        assert_eq!(plan.node(mapped.id()).unwrap().partitioner, Some(HashPartitioner::new(4)));
     }
 }

@@ -255,16 +255,12 @@ impl Plan {
 
     /// Looks up a node.
     pub fn node(&self, id: RddId) -> Result<&RddNode> {
-        self.nodes
-            .get(id.raw() as usize)
-            .ok_or_else(|| BlazeError::UnknownRdd(id.to_string()))
+        self.nodes.get(id.raw() as usize).ok_or_else(|| BlazeError::UnknownRdd(id.to_string()))
     }
 
     /// Looks up a node mutably.
     pub fn node_mut(&mut self, id: RddId) -> Result<&mut RddNode> {
-        self.nodes
-            .get_mut(id.raw() as usize)
-            .ok_or_else(|| BlazeError::UnknownRdd(id.to_string()))
+        self.nodes.get_mut(id.raw() as usize).ok_or_else(|| BlazeError::UnknownRdd(id.to_string()))
     }
 
     /// Returns the number of nodes in the plan.

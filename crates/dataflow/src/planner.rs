@@ -155,10 +155,7 @@ mod tests {
             node(
                 id,
                 parts,
-                vec![Dep::Shuffle {
-                    parent,
-                    map_side: Arc::new(|b, n| Ok(vec![b.clone(); n])),
-                }],
+                vec![Dep::Shuffle { parent, map_side: Arc::new(|b, n| Ok(vec![b.clone(); n])) }],
                 Compute::ShuffleAgg(Arc::new(|_, _| Ok(Block::from_vec(vec![0u8])))),
             )
         })

@@ -23,21 +23,37 @@ pub trait JobRunner: Send + Sync + 'static {
     fn on_unpersist(&self, _rdd: RddId) {}
 }
 
-/// A single-threaded reference executor.
+/// A reference in-process executor.
 ///
 /// Memoizes every materialized partition (an effectively infinite cache), so
-/// it exercises operator correctness, not caching behaviour.
-#[derive(Default)]
+/// it exercises operator correctness, not caching behaviour. Target
+/// partitions of a job run on `threads` OS threads; since every partition is
+/// a pure function of the plan and memoization is only an optimization,
+/// results are identical at any thread count.
 pub struct LocalRunner {
     blocks: Mutex<FxHashMap<BlockId, Block>>,
     /// Map-side shuffle buckets keyed by (consumer RDD, dep index, map task).
     buckets: Mutex<FxHashMap<(RddId, usize, usize), Vec<Block>>>,
+    threads: usize,
+}
+
+impl Default for LocalRunner {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LocalRunner {
-    /// Creates a fresh runner with empty memo tables.
+    /// Creates a fresh single-threaded runner with empty memo tables.
     pub fn new() -> Self {
-        Self::default()
+        Self { blocks: Mutex::default(), buckets: Mutex::default(), threads: 1 }
+    }
+
+    /// Sets the number of worker threads used per job (min 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     fn compute(&self, plan: &Plan, rdd: RddId, part: usize) -> Result<Block> {
@@ -100,7 +116,42 @@ impl JobRunner for LocalRunner {
     fn run_job(&self, plan: &Arc<RwLock<Plan>>, target: RddId) -> Result<Vec<Block>> {
         let plan = plan.read();
         let parts = plan.node(target)?.num_partitions;
-        (0..parts).map(|p| self.compute(&plan, target, p)).collect()
+        let workers = self.threads.min(parts);
+        if workers <= 1 {
+            return (0..parts).map(|p| self.compute(&plan, target, p)).collect();
+        }
+
+        // Scoped workers pull partition indices from a shared counter; two
+        // workers may race to compute the same lineage block, but both
+        // produce the same value, so the memo tables stay consistent.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut ordered: Vec<Option<Result<Block>>> = Vec::with_capacity(parts);
+        ordered.resize_with(parts, || None);
+        let plan: &Plan = &plan;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if p >= parts {
+                                break;
+                            }
+                            done.push((p, self.compute(plan, target, p)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (p, result) in handle.join().expect("local worker panicked") {
+                    ordered[p] = Some(result);
+                }
+            }
+        });
+        ordered.into_iter().map(|r| r.expect("every partition computed")).collect()
     }
 
     fn on_unpersist(&self, rdd: RddId) {
@@ -188,14 +239,30 @@ mod tests {
         let (plan, target) = mk_plan();
         let runner = LocalRunner::new();
         let blocks = runner.run_job(&plan, target).unwrap();
-        let total: u64 = blocks
-            .iter()
-            .map(|b| b.as_slice::<u64>("t").unwrap().iter().sum::<u64>())
-            .sum();
+        let total: u64 =
+            blocks.iter().map(|b| b.as_slice::<u64>("t").unwrap().iter().sum::<u64>()).sum();
         // Doubled values are all even: 0+2+...+14 = 56, all in bucket 0.
         assert_eq!(total, 56);
         let bucket0 = blocks[0].as_slice::<u64>("t").unwrap()[0];
         assert_eq!(bucket0, 56);
+    }
+
+    #[test]
+    fn threaded_runner_matches_single_threaded() {
+        let (plan, target) = mk_plan();
+        let serial = LocalRunner::new().run_job(&plan, target).unwrap();
+        for threads in [2, 4] {
+            let runner = LocalRunner::new().with_threads(threads);
+            let parallel = runner.run_job(&plan, target).unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(
+                    a.as_slice::<u64>("t").unwrap(),
+                    b.as_slice::<u64>("t").unwrap(),
+                    "diverged at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,13 +15,36 @@
 //! 3. Tasks are placed with cache locality, run on executor slots, and every
 //!    materialized partition flows through the installed
 //!    [`CacheController`]'s unified decision hooks.
+//!
+//! # Threading model: plan / execute / commit
+//!
+//! Stage tasks are independent in the RDD model, so each stage runs as a
+//! three-phase pipeline (see DESIGN.md "Execution threading model"):
+//!
+//! - **Plan** (serial, partition order): locality placement via
+//!   [`ClusterState::pick_executor`] against the pre-stage state.
+//! - **Execute** (parallel): tasks run on a scoped worker pool sized by
+//!   [`ClusterConfig::worker_threads`]. Every task reads a *frozen
+//!   snapshot* of the stores ([`ExecView`]) and records its
+//!   [`TaskCharge`] plus a log of cache-relevant [`TaskEvent`]s instead of
+//!   mutating shared state. The snapshot semantics apply at every thread
+//!   count, including 1.
+//! - **Commit** (serial, partition-index order): slot assignment on the
+//!   simulated clocks, replay of the event logs through the
+//!   [`CacheController`] hooks (admissions, evictions, promotions, shuffle
+//!   registration) and metrics updates.
+//!
+//! Because every controller decision and every simulated-time composition
+//! happens in the deterministic commit phase, metrics, ACT and policy
+//! behaviour are bit-identical for any `worker_threads` value; real
+//! parallelism only changes wall-clock time.
 
 use crate::config::ClusterConfig;
 use crate::controller::{
     Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, VictimAction,
 };
 use crate::metrics::{Metrics, TaskCharge};
-use crate::shuffle::ShuffleStore;
+use crate::shuffle::{ShuffleId, ShuffleStore};
 use crate::storage::{BlockStore, StoredBlock};
 use blaze_common::error::{BlazeError, Result};
 use blaze_common::fxhash::{FxHashMap, FxHashSet};
@@ -31,6 +54,7 @@ use blaze_dataflow::plan::{Compute, Dep};
 use blaze_dataflow::runner::JobRunner;
 use blaze_dataflow::{Block, Plan};
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A handle to the simulated cluster; implements [`JobRunner`] so it can back
@@ -68,12 +92,12 @@ impl Cluster {
 
     /// Current bytes resident in each executor's memory store.
     pub fn memory_used(&self) -> Vec<ByteSize> {
-        self.state.lock().mem.iter().map(BlockStore::used).collect()
+        self.state.lock().stores.mem.iter().map(BlockStore::used).collect()
     }
 
     /// Current bytes resident in each executor's disk store.
     pub fn disk_used(&self) -> Vec<ByteSize> {
-        self.state.lock().disk.iter().map(BlockStore::used).collect()
+        self.state.lock().stores.disk.iter().map(BlockStore::used).collect()
     }
 
     /// Simulates the loss of an executor: its memory and disk stores are
@@ -91,21 +115,21 @@ impl Cluster {
         if e >= st.config.executors {
             return Err(BlazeError::Config(format!("no such executor: {exec}")));
         }
-        let mem_ids: Vec<BlockId> = st.mem[e].iter().map(|(id, _)| *id).collect();
+        let mem_ids: Vec<BlockId> = st.stores.mem[e].iter().map(|(id, _)| *id).collect();
         for id in mem_ids {
-            st.mem[e].remove(id);
+            st.stores.mem[e].remove(id);
             let ctx = st.ctrl_ctx(st.clock_floor);
             st.controller.on_evicted(&ctx, id);
-            st.block_home.remove(&id);
+            st.stores.block_home.remove(&id);
         }
-        let disk_ids: Vec<BlockId> = st.disk[e].iter().map(|(id, _)| *id).collect();
+        let disk_ids: Vec<BlockId> = st.stores.disk[e].iter().map(|(id, _)| *id).collect();
         for id in disk_ids {
-            st.disk[e].remove(id);
+            st.stores.disk[e].remove(id);
             // The eviction notification lets stateful controllers drop
             // their residency belief for the lost block.
             let ctx = st.ctrl_ctx(st.clock_floor);
             st.controller.on_evicted(&ctx, id);
-            st.block_home.remove(&id);
+            st.stores.block_home.remove(&id);
         }
         Ok(())
     }
@@ -122,35 +146,370 @@ impl JobRunner for Cluster {
     }
 }
 
-struct ClusterState {
-    config: ClusterConfig,
-    controller: Box<dyn CacheController>,
+/// The block-residency state of the cluster: everything a task needs to
+/// *read* to resolve hits and recompute lineage. Read-shared (immutably) by
+/// the execute phase; mutated only by the serial plan/commit phases.
+struct Stores {
     mem: Vec<BlockStore>,
     disk: Vec<BlockStore>,
-    /// Per-executor, per-slot simulated clocks.
-    slots: Vec<Vec<SimTime>>,
     shuffle: ShuffleStore,
-    metrics: Metrics,
     /// Last executor that produced/cached each block (locality + remote reads).
     block_home: FxHashMap<BlockId, ExecutorId>,
     /// Blocks materialized at least once (recomputation detection).
     materialized_once: FxHashSet<BlockId>,
+}
+
+struct ClusterState {
+    config: ClusterConfig,
+    controller: Box<dyn CacheController>,
+    stores: Stores,
+    /// Per-executor, per-slot simulated clocks.
+    slots: Vec<Vec<SimTime>>,
+    metrics: Metrics,
     job_counter: u32,
     /// Simulated time at which the next job may start.
     clock_floor: SimTime,
+}
+
+/// Frozen, read-only view of the cluster a stage's tasks execute against.
+///
+/// Holding this by shared reference is what lets the execute phase run on
+/// many threads: nothing behind it is mutated until every task of the stage
+/// has returned.
+struct ExecView<'a> {
+    stores: &'a Stores,
+    config: &'a ClusterConfig,
+    /// Snapshot of [`CacheController::serialized_in_memory`] (the
+    /// controller itself lives on the commit side).
+    serialized_in_memory: bool,
+}
+
+/// A cache-relevant action observed while a task executed against the
+/// frozen snapshot, to be replayed through the controller at commit.
+/// Events carry the data (`Block`s are cheap `Arc` clones) so the commit
+/// phase can perform admissions without re-running anything.
+enum TaskEvent {
+    /// Served from a memory store (local or remote).
+    MemHit { id: BlockId },
+    /// Served from a disk store; `info.executor` is where it was found.
+    DiskHit { info: BlockInfo, block: Block },
+    /// Computed (or recomputed) from lineage.
+    Computed { info: BlockInfo, edge: SimDuration, recomputed: bool, annotated: bool, block: Block },
+    /// Produced map-side shuffle buckets not present in the snapshot.
+    MapOutput { shuffle: ShuffleId, map_part: usize, buckets: Vec<Block> },
+}
+
+/// Everything a finished task hands to the commit phase.
+struct TaskOutput {
+    /// The stage-output partition the task materialized.
+    block: Block,
+    /// Simulated time charged by the execute side (reads, compute, shuffle).
+    /// Commit-side charges (cache writes) are added during replay.
+    charge: TaskCharge,
+    /// Cache-relevant actions in recursion order.
+    events: Vec<TaskEvent>,
+}
+
+/// Per-task execution context: the frozen view plus task-local scratch
+/// state (computed-block memo and a shuffle overlay for outputs the task
+/// itself produced).
+struct TaskCtx<'a> {
+    view: &'a ExecView<'a>,
+    exec: ExecutorId,
+    charge: TaskCharge,
+    events: Vec<TaskEvent>,
+    /// Blocks this task computed, so diamond lineage is computed once.
+    computed: FxHashMap<BlockId, Block>,
+    /// Map outputs this task produced (not yet visible to other tasks).
+    shuffle_overlay: FxHashMap<(ShuffleId, usize), Vec<Block>>,
+}
+
+impl<'a> TaskCtx<'a> {
+    fn new(view: &'a ExecView<'a>, exec: ExecutorId) -> Self {
+        Self {
+            view,
+            exec,
+            charge: TaskCharge::default(),
+            events: Vec::new(),
+            computed: FxHashMap::default(),
+            shuffle_overlay: FxHashMap::default(),
+        }
+    }
+
+    fn has_map_output(&self, shuffle: ShuffleId, map_part: usize) -> bool {
+        self.shuffle_overlay.contains_key(&(shuffle, map_part))
+            || self.view.stores.shuffle.has_map_output(shuffle, map_part)
+    }
+
+    fn fetch(&self, shuffle: ShuffleId, map_part: usize, reduce_part: usize) -> Option<Block> {
+        self.shuffle_overlay
+            .get(&(shuffle, map_part))
+            .and_then(|b| b.get(reduce_part))
+            .cloned()
+            .or_else(|| self.view.stores.shuffle.fetch(shuffle, map_part, reduce_part))
+    }
+
+    fn fetch_bytes(&self, shuffle: ShuffleId, num_maps: usize, reduce_part: usize) -> ByteSize {
+        (0..num_maps).filter_map(|m| self.fetch(shuffle, m, reduce_part)).map(|b| b.bytes()).sum()
+    }
+
+    /// Materializes one partition against the frozen snapshot, charging
+    /// simulated time and recording events. Checks memory, then disk, then
+    /// recomputes from lineage — the recovery order of paper Fig. 2.
+    fn materialize(&mut self, plan: &Plan, rdd: RddId, part: usize) -> Result<Block> {
+        let id = BlockId::new(rdd, part as u32);
+        if let Some(b) = self.computed.get(&id) {
+            return Ok(b.clone());
+        }
+        let exec = self.exec;
+        let e = exec.raw() as usize;
+        let view = self.view;
+
+        // 1. Local memory hit.
+        if let Some(sb) = view.stores.mem[e].get(id) {
+            if view.serialized_in_memory {
+                self.charge.external_store_io +=
+                    view.config.hardware.deser_time(sb.logical_bytes, sb.ser_factor);
+            }
+            self.events.push(TaskEvent::MemHit { id });
+            return Ok(sb.block.clone());
+        }
+
+        // 1b. Remote memory hit on the block's home executor.
+        let home = view.stores.block_home.get(&id).copied();
+        if let Some(h) = home {
+            if h != exec {
+                if let Some(sb) = view.stores.mem[h.raw() as usize].get(id) {
+                    self.charge.shuffle_fetch +=
+                        view.config.hardware.network_time(sb.logical_bytes);
+                    self.events.push(TaskEvent::MemHit { id });
+                    return Ok(sb.block.clone());
+                }
+            }
+        }
+
+        // 2. Disk hit (local first, then home).
+        for &cand in [Some(exec), home].iter().flatten() {
+            let ce = cand.raw() as usize;
+            if let Some(sb) = view.stores.disk[ce].get(id) {
+                self.charge.disk_cache_read +=
+                    view.config.hardware.fetch_from_disk_time(sb.logical_bytes, sb.ser_factor);
+                if cand != exec {
+                    self.charge.shuffle_fetch +=
+                        view.config.hardware.network_time(sb.logical_bytes);
+                }
+                // Promotion back into memory (paper §2.3) is a commit-side
+                // decision: record where the block was found.
+                let info = BlockInfo {
+                    id,
+                    bytes: sb.logical_bytes,
+                    ser_factor: sb.ser_factor,
+                    executor: cand,
+                };
+                self.events.push(TaskEvent::DiskHit { info, block: sb.block.clone() });
+                return Ok(sb.block.clone());
+            }
+        }
+
+        // 3. Recompute from lineage.
+        let recomputed = view.stores.materialized_once.contains(&id);
+        let node = plan.node(rdd)?;
+        let (block, in_elems, in_bytes) = match &node.compute {
+            Compute::Source(gen) => {
+                let b = gen(part)?;
+                let (e_, b_) = (b.len() as u64, b.bytes().as_bytes());
+                (b, e_, b_)
+            }
+            Compute::Narrow(f) => {
+                let mut inputs = Vec::with_capacity(node.deps.len());
+                for dep in &node.deps {
+                    inputs.push(self.materialize(plan, dep.parent(), part)?);
+                }
+                let in_elems: u64 = inputs.iter().map(|b| b.len() as u64).sum();
+                let in_bytes: u64 = inputs.iter().map(|b| b.bytes().as_bytes()).sum();
+                (f(part, &inputs)?, in_elems, in_bytes)
+            }
+            Compute::ShuffleAgg(agg) => {
+                let mut per_dep = Vec::with_capacity(node.deps.len());
+                let mut in_elems = 0u64;
+                let mut in_bytes = 0u64;
+                for (dep_idx, dep) in node.deps.iter().enumerate() {
+                    let Dep::Shuffle { parent, .. } = dep else {
+                        return Err(BlazeError::InvalidPlan(format!(
+                            "{rdd}: shuffle agg with narrow dep"
+                        )));
+                    };
+                    let num_maps = plan.node(*parent)?.num_partitions;
+                    // Ensure map outputs exist (they normally do; recovery
+                    // across a missing shuffle regenerates them).
+                    for m in 0..num_maps {
+                        if !self.has_map_output((rdd, dep_idx), m) {
+                            let parent_block = self.materialize(plan, *parent, m)?;
+                            self.write_map_output(plan, rdd, dep_idx, m, &parent_block)?;
+                        }
+                    }
+                    let fetch_bytes = self.fetch_bytes((rdd, dep_idx), num_maps, part);
+                    let parent_ser = plan.node(*parent)?.ser_factor;
+                    self.charge.shuffle_fetch += view.config.hardware.network_time(fetch_bytes)
+                        + view.config.hardware.deser_time(fetch_bytes, parent_ser);
+                    let mut incoming = Vec::with_capacity(num_maps);
+                    for m in 0..num_maps {
+                        let b = self.fetch((rdd, dep_idx), m, part).ok_or_else(|| {
+                            BlazeError::Execution(format!("missing map output {rdd}/{dep_idx}/{m}"))
+                        })?;
+                        in_elems += b.len() as u64;
+                        in_bytes += b.bytes().as_bytes();
+                        incoming.push(b);
+                    }
+                    per_dep.push(incoming);
+                }
+                (agg(part, &per_dep)?, in_elems, in_bytes)
+            }
+        };
+
+        let edge = SimDuration::from_nanos(node.cost.charge_ns(in_elems, in_bytes) as u64);
+        if recomputed {
+            self.charge.recompute += edge;
+        } else {
+            self.charge.compute += edge;
+        }
+
+        let info =
+            BlockInfo { id, bytes: block.bytes(), ser_factor: node.ser_factor, executor: exec };
+        let annotated = node.cache_annotated && !node.unpersist_requested;
+        self.events.push(TaskEvent::Computed {
+            info,
+            edge,
+            recomputed,
+            annotated,
+            block: block.clone(),
+        });
+        self.computed.insert(id, block.clone());
+        Ok(block)
+    }
+
+    /// Produces the map-side buckets of one shuffle for `map_part`, unless
+    /// the snapshot (or this task) already has them.
+    fn write_map_output(
+        &mut self,
+        plan: &Plan,
+        child: RddId,
+        dep_idx: usize,
+        map_part: usize,
+        input: &Block,
+    ) -> Result<()> {
+        let shuffle: ShuffleId = (child, dep_idx);
+        if self.has_map_output(shuffle, map_part) {
+            return Ok(());
+        }
+        let child_node = plan.node(child)?;
+        let Dep::Shuffle { parent, map_side } = &child_node.deps[dep_idx] else {
+            return Err(BlazeError::InvalidPlan(format!(
+                "{child}: dep {dep_idx} is not a shuffle"
+            )));
+        };
+        let buckets = map_side(input, child_node.num_partitions)?;
+        if buckets.len() != child_node.num_partitions {
+            return Err(BlazeError::Execution(format!(
+                "map-side for {child} produced {} buckets, expected {}",
+                buckets.len(),
+                child_node.num_partitions
+            )));
+        }
+        let out_bytes: ByteSize = buckets.iter().map(Block::bytes).sum();
+        let parent_ser = plan.node(*parent)?.ser_factor;
+        // Shuffle write = serialize + write shuffle files (Spark behaviour);
+        // charged to the shuffle category, not to cache disk I/O.
+        self.charge.shuffle_write += self.view.config.hardware.ser_time(out_bytes, parent_ser)
+            + self.view.config.hardware.disk_write_time(out_bytes);
+        self.events.push(TaskEvent::MapOutput { shuffle, map_part, buckets: buckets.clone() });
+        self.shuffle_overlay.insert((shuffle, map_part), buckets);
+        Ok(())
+    }
+}
+
+/// Runs one task against the frozen view: materialize the stage-output
+/// partition, then the map-side writes for every consuming shuffle.
+fn execute_task(
+    view: &ExecView<'_>,
+    plan: &Plan,
+    output: RddId,
+    part: usize,
+    exec: ExecutorId,
+    consumers: &[(RddId, usize)],
+) -> Result<TaskOutput> {
+    let mut task = TaskCtx::new(view, exec);
+    let block = task.materialize(plan, output, part)?;
+    for &(child, dep_idx) in consumers {
+        task.write_map_output(plan, child, dep_idx, part, &block)?;
+    }
+    Ok(TaskOutput { block, charge: task.charge, events: task.events })
+}
+
+/// Executes every task of a stage, on a scoped worker pool when more than
+/// one worker thread is configured. Results are returned in partition
+/// order regardless of completion order.
+fn execute_stage(
+    view: &ExecView<'_>,
+    plan: &Plan,
+    output: RddId,
+    placements: &[ExecutorId],
+    consumers: &[(RddId, usize)],
+    worker_threads: usize,
+) -> Vec<Result<TaskOutput>> {
+    let n = placements.len();
+    let workers = worker_threads.min(n);
+    if workers <= 1 {
+        return (0..n)
+            .map(|p| execute_task(view, plan, output, p, placements[p], consumers))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut ordered: Vec<Option<Result<TaskOutput>>> = Vec::with_capacity(n);
+    ordered.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let p = next.fetch_add(1, Ordering::Relaxed);
+                        if p >= n {
+                            break;
+                        }
+                        done.push((
+                            p,
+                            execute_task(view, plan, output, p, placements[p], consumers),
+                        ));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (p, result) in handle.join().expect("stage worker panicked") {
+                ordered[p] = Some(result);
+            }
+        }
+    });
+    ordered.into_iter().map(|r| r.expect("every partition executes exactly once")).collect()
 }
 
 impl ClusterState {
     fn new(config: ClusterConfig, controller: Box<dyn CacheController>) -> Self {
         let execs = config.executors;
         Self {
-            mem: (0..execs).map(|_| BlockStore::new(config.memory_capacity)).collect(),
-            disk: (0..execs).map(|_| BlockStore::new(config.disk_capacity)).collect(),
+            stores: Stores {
+                mem: (0..execs).map(|_| BlockStore::new(config.memory_capacity)).collect(),
+                disk: (0..execs).map(|_| BlockStore::new(config.disk_capacity)).collect(),
+                shuffle: ShuffleStore::new(),
+                block_home: FxHashMap::default(),
+                materialized_once: FxHashSet::default(),
+            },
             slots: (0..execs).map(|_| vec![SimTime::ZERO; config.slots_per_executor]).collect(),
-            shuffle: ShuffleStore::new(),
             metrics: Metrics::new(),
-            block_home: FxHashMap::default(),
-            materialized_once: FxHashSet::default(),
             job_counter: 0,
             clock_floor: SimTime::ZERO,
             config,
@@ -199,17 +558,15 @@ impl ClusterState {
 
         for stage in &job_plan.stages {
             let is_result = stage.index == last_stage;
-            let start = stage
-                .parent_stages
-                .iter()
-                .fold(self.clock_floor, |t, &p| t.max(stage_done[p]));
+            let start =
+                stage.parent_stages.iter().fold(self.clock_floor, |t, &p| t.max(stage_done[p]));
 
             // Skip map stages whose shuffle outputs all exist already.
             let stage_consumers = consumers.get(&stage.output).cloned().unwrap_or_default();
             if !is_result {
                 let num_maps = stage.num_partitions;
                 let all_done = stage_consumers.iter().all(|&(child, dep_idx)| {
-                    self.shuffle.is_complete((child, dep_idx), num_maps)
+                    self.stores.shuffle.is_complete((child, dep_idx), num_maps)
                 });
                 if all_done {
                     stage_done[stage.index] = start;
@@ -223,33 +580,38 @@ impl ClusterState {
                 }
             }
 
+            // -- Plan: deterministic locality placement, partition order,
+            //    against the pre-stage state.
+            let placements: Vec<ExecutorId> = (0..stage.num_partitions)
+                .map(|p| self.pick_executor(plan, stage.output, p))
+                .collect::<Result<_>>()?;
+
+            // -- Execute: all tasks run against a frozen snapshot of the
+            //    stores; shared state is only read.
+            let outputs = {
+                let view = ExecView {
+                    stores: &self.stores,
+                    config: &self.config,
+                    serialized_in_memory: self.controller.serialized_in_memory(),
+                };
+                execute_stage(
+                    &view,
+                    plan,
+                    stage.output,
+                    &placements,
+                    &stage_consumers,
+                    self.config.worker_threads,
+                )
+            };
+
+            // -- Commit: serial, partition-index order. The first failed
+            //    task aborts the job (deterministically, independent of
+            //    which worker observed it first).
             let mut stage_end = start;
-            for p in 0..stage.num_partitions {
-                let exec = self.pick_executor(plan, stage.output, p)?;
-                let slot = Self::earliest_slot(&self.slots[exec.raw() as usize]);
-                let t0 = self.slots[exec.raw() as usize][slot].max(start);
-
-                let mut charge = TaskCharge::default();
-                let block = self.materialize(plan, stage.output, p, exec, job, &mut charge)?;
-
-                // Map-side shuffle writes for every consumer of this stage.
-                for &(child, dep_idx) in &stage_consumers {
-                    self.write_map_output(plan, child, dep_idx, p, &block, &mut charge)?;
-                }
-
-                self.metrics.record_task(&charge);
-                let end = t0 + charge.total();
-                self.metrics.record_trace(crate::metrics::TaskTrace {
-                    job,
-                    stage_output: stage.output,
-                    partition: p as u32,
-                    executor: exec,
-                    slot: slot as u32,
-                    start: t0,
-                    end,
-                    charge,
-                });
-                self.slots[exec.raw() as usize][slot] = end;
+            for (p, output) in outputs.into_iter().enumerate() {
+                let output = output?;
+                let block = output.block.clone();
+                let end = self.commit_task(job, stage.output, p, placements[p], start, output);
                 stage_end = stage_end.max(end);
                 if is_result {
                     results.push(block);
@@ -262,7 +624,7 @@ impl ClusterState {
             let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
             self.apply_commands(plan, cmds);
             self.metrics.stages_run += 1;
-            let disk_resident: ByteSize = self.disk.iter().map(BlockStore::used).sum();
+            let disk_resident: ByteSize = self.stores.disk.iter().map(BlockStore::used).sum();
             self.metrics.sample_disk_residency(disk_resident);
         }
 
@@ -272,29 +634,136 @@ impl ClusterState {
         Ok(results)
     }
 
+    /// Commits one executed task: assigns it the earliest slot of its
+    /// executor, replays its event log through the controller (which may
+    /// add cache-write charges), and records metrics and the trace.
+    /// Returns the task's simulated end time.
+    fn commit_task(
+        &mut self,
+        job: JobId,
+        stage_output: RddId,
+        part: usize,
+        exec: ExecutorId,
+        start: SimTime,
+        output: TaskOutput,
+    ) -> SimTime {
+        let e = exec.raw() as usize;
+        let slot = Self::earliest_slot(&self.slots[e]);
+        let t0 = self.slots[e][slot].max(start);
+        let mut charge = output.charge;
+
+        for event in output.events {
+            match event {
+                TaskEvent::MemHit { id } => {
+                    let ctx = self.ctrl_ctx(self.clock_floor);
+                    self.controller.on_access(&ctx, id);
+                    self.metrics.mem_hits += 1;
+                }
+                TaskEvent::DiskHit { info, block } => {
+                    let ctx = self.ctrl_ctx(self.clock_floor);
+                    self.controller.on_access(&ctx, info.id);
+                    self.metrics.disk_hits += 1;
+                    // Optional promotion back into memory (paper §2.3:
+                    // recovered data can be cached again).
+                    let ctx = self.ctrl_ctx(self.clock_floor);
+                    if self.controller.readmit_after_disk_read(&ctx, &info) == Admission::Memory {
+                        let ce = info.executor.raw() as usize;
+                        // Skip if an earlier commit in this stage already
+                        // promoted (or dropped) the block.
+                        if !self.stores.mem[ce].contains(info.id)
+                            && self.stores.disk[ce].contains(info.id)
+                        {
+                            // Attempt the promotion while the block is
+                            // still on disk: a failed attempt leaves it
+                            // where it was (and the spill-guard prevents
+                            // re-charging a write).
+                            let promoted =
+                                self.try_cache_memory(info.executor, &info, block, &mut charge);
+                            if promoted {
+                                self.stores.disk[ce].remove(info.id);
+                            }
+                        }
+                    }
+                }
+                TaskEvent::Computed { info, edge, recomputed, annotated, block } => {
+                    if recomputed {
+                        self.metrics.recompute_misses += 1;
+                        self.metrics.record_recompute(job, info.id.rdd, edge);
+                    }
+                    self.stores.materialized_once.insert(info.id);
+                    let ctx = self.ctrl_ctx(self.clock_floor);
+                    let event = PartitionEvent { info, edge_compute: edge, job, recomputed };
+                    self.controller.on_partition_computed(&ctx, &event);
+
+                    // Unified caching decision (paper §4.1).
+                    let ctx = self.ctrl_ctx(self.clock_floor);
+                    if self.controller.should_cache(&ctx, &info, annotated) {
+                        let ctx = self.ctrl_ctx(self.clock_floor);
+                        match self.controller.admit(&ctx, &info) {
+                            Admission::Memory => {
+                                self.try_cache_memory(info.executor, &info, block, &mut charge);
+                            }
+                            Admission::Disk => {
+                                self.spill_to_disk(info.executor, &info, block, &mut charge);
+                            }
+                            Admission::Skip => {}
+                        }
+                    }
+                    // Even uncached productions update the home hint: the
+                    // producing executor is where recomputation is cheapest
+                    // next time.
+                    self.stores.block_home.entry(info.id).or_insert(info.executor);
+                }
+                TaskEvent::MapOutput { shuffle, map_part, buckets } => {
+                    // First writer wins; duplicate regenerations (possible
+                    // when several tasks recover the same missing shuffle)
+                    // produce identical buckets.
+                    if !self.stores.shuffle.has_map_output(shuffle, map_part) {
+                        self.stores.shuffle.put_map_output(shuffle, map_part, buckets);
+                    }
+                }
+            }
+        }
+
+        self.metrics.record_task(&charge);
+        let end = t0 + charge.total();
+        self.metrics.record_trace(crate::metrics::TaskTrace {
+            job,
+            stage_output,
+            partition: part as u32,
+            executor: exec,
+            slot: slot as u32,
+            start: t0,
+            end,
+            charge,
+        });
+        self.slots[e][slot] = end;
+        end
+    }
+
     fn earliest_slot(slots: &[SimTime]) -> usize {
         let mut best = 0;
         for (i, &t) in slots.iter().enumerate() {
             if t < slots[best] {
                 best = i;
             }
-            let _ = i;
         }
         best
     }
 
     /// Locality-aware placement: prefer the executor that holds (or last
     /// produced) the output block or any narrow-lineage ancestor of it;
-    /// otherwise spread deterministically by partition index.
+    /// otherwise spread deterministically by partition index. The visited
+    /// set keeps diamond-shaped narrow lineage linear instead of
+    /// combinatorial.
     fn pick_executor(&self, plan: &Plan, rdd: RddId, part: usize) -> Result<ExecutorId> {
         let mut stack = vec![rdd];
-        let mut guard = 0;
+        let mut visited: FxHashSet<RddId> = FxHashSet::default();
         while let Some(cur) = stack.pop() {
-            guard += 1;
-            if guard > 10_000 {
-                break;
+            if !visited.insert(cur) {
+                continue;
             }
-            if let Some(&home) = self.block_home.get(&BlockId::new(cur, part as u32)) {
+            if let Some(&home) = self.stores.block_home.get(&BlockId::new(cur, part as u32)) {
                 return Ok(home);
             }
             for dep in &plan.node(cur)?.deps {
@@ -306,225 +775,6 @@ impl ClusterState {
         Ok(ExecutorId((part % self.config.executors) as u32))
     }
 
-    // ---- Partition materialization ---------------------------------------
-
-    /// Materializes one partition on `exec`, charging simulated time to
-    /// `charge`. Checks memory, then disk, then recomputes from lineage —
-    /// the recovery order of paper Fig. 2.
-    fn materialize(
-        &mut self,
-        plan: &Plan,
-        rdd: RddId,
-        part: usize,
-        exec: ExecutorId,
-        job: JobId,
-        charge: &mut TaskCharge,
-    ) -> Result<Block> {
-        let id = BlockId::new(rdd, part as u32);
-        let e = exec.raw() as usize;
-
-        // 1. Local memory hit.
-        if let Some(sb) = self.mem[e].get(id) {
-            let block = sb.block.clone();
-            let (logical, ser) = (sb.logical_bytes, sb.ser_factor);
-            if self.controller.serialized_in_memory() {
-                charge.external_store_io += self.config.hardware.deser_time(logical, ser);
-            }
-            let ctx = self.ctrl_ctx(self.clock_floor);
-            self.controller.on_access(&ctx, id);
-            self.metrics.mem_hits += 1;
-            return Ok(block);
-        }
-
-        // 1b. Remote memory hit on the block's home executor.
-        let home = self.block_home.get(&id).copied();
-        if let Some(h) = home {
-            if h != exec {
-                if let Some(sb) = self.mem[h.raw() as usize].get(id) {
-                    let block = sb.block.clone();
-                    charge.shuffle_fetch += self.config.hardware.network_time(sb.logical_bytes);
-                    let ctx = self.ctrl_ctx(self.clock_floor);
-                    self.controller.on_access(&ctx, id);
-                    self.metrics.mem_hits += 1;
-                    return Ok(block);
-                }
-            }
-        }
-
-        // 2. Disk hit (local first, then home).
-        for &cand in [Some(exec), home].iter().flatten() {
-            let ce = cand.raw() as usize;
-            if let Some(sb) = self.disk[ce].get(id) {
-                let block = sb.block.clone();
-                let (logical, ser) = (sb.logical_bytes, sb.ser_factor);
-                charge.disk_cache_read += self.config.hardware.fetch_from_disk_time(logical, ser);
-                if cand != exec {
-                    charge.shuffle_fetch += self.config.hardware.network_time(logical);
-                }
-                let ctx = self.ctrl_ctx(self.clock_floor);
-                self.controller.on_access(&ctx, id);
-                self.metrics.disk_hits += 1;
-
-                // Optional promotion back into memory (paper §2.3: recovered
-                // data can be cached again).
-                let info =
-                    BlockInfo { id, bytes: logical, ser_factor: ser, executor: cand };
-                let ctx = self.ctrl_ctx(self.clock_floor);
-                if self.controller.readmit_after_disk_read(&ctx, &info) == Admission::Memory {
-                    // Attempt the promotion while the block is still on
-                    // disk: a failed attempt then leaves it where it was
-                    // (and the spill-guard prevents re-charging a write).
-                    let promoted =
-                        self.try_cache_memory(plan, cand, &info, block.clone(), charge);
-                    if promoted {
-                        self.disk[ce].remove(id);
-                    }
-                }
-                return Ok(block);
-            }
-        }
-
-        // 3. Recompute from lineage.
-        let was_materialized = self.materialized_once.contains(&id);
-        if was_materialized {
-            self.metrics.recompute_misses += 1;
-        }
-        let node = plan.node(rdd)?;
-        let (block, in_elems, in_bytes) = match &node.compute {
-            Compute::Source(gen) => {
-                let b = gen(part)?;
-                let (e_, b_) = (b.len() as u64, b.bytes().as_bytes());
-                (b, e_, b_)
-            }
-            Compute::Narrow(f) => {
-                let mut inputs = Vec::with_capacity(node.deps.len());
-                for dep in &node.deps {
-                    inputs.push(self.materialize(plan, dep.parent(), part, exec, job, charge)?);
-                }
-                let in_elems: u64 = inputs.iter().map(|b| b.len() as u64).sum();
-                let in_bytes: u64 = inputs.iter().map(|b| b.bytes().as_bytes()).sum();
-                (f(part, &inputs)?, in_elems, in_bytes)
-            }
-            Compute::ShuffleAgg(agg) => {
-                let mut per_dep = Vec::with_capacity(node.deps.len());
-                let mut in_elems = 0u64;
-                let mut in_bytes = 0u64;
-                for (dep_idx, dep) in node.deps.iter().enumerate() {
-                    let Dep::Shuffle { parent, .. } = dep else {
-                        return Err(BlazeError::InvalidPlan(format!(
-                            "{rdd}: shuffle agg with narrow dep"
-                        )));
-                    };
-                    let num_maps = plan.node(*parent)?.num_partitions;
-                    // Ensure map outputs exist (they normally do; recovery
-                    // across a missing shuffle regenerates them).
-                    for m in 0..num_maps {
-                        if !self.shuffle.has_map_output((rdd, dep_idx), m) {
-                            let parent_block =
-                                self.materialize(plan, *parent, m, exec, job, charge)?;
-                            self.write_map_output(
-                                plan,
-                                rdd,
-                                dep_idx,
-                                m,
-                                &parent_block,
-                                charge,
-                            )?;
-                        }
-                    }
-                    let fetch_bytes = self.shuffle.fetch_bytes((rdd, dep_idx), num_maps, part);
-                    let parent_ser = plan.node(*parent)?.ser_factor;
-                    charge.shuffle_fetch += self.config.hardware.network_time(fetch_bytes)
-                        + self.config.hardware.deser_time(fetch_bytes, parent_ser);
-                    let mut incoming = Vec::with_capacity(num_maps);
-                    for m in 0..num_maps {
-                        let b = self.shuffle.fetch((rdd, dep_idx), m, part).ok_or_else(|| {
-                            BlazeError::Execution(format!("missing map output {rdd}/{dep_idx}/{m}"))
-                        })?;
-                        in_elems += b.len() as u64;
-                        in_bytes += b.bytes().as_bytes();
-                        incoming.push(b);
-                    }
-                    per_dep.push(incoming);
-                }
-                (agg(part, &per_dep)?, in_elems, in_bytes)
-            }
-        };
-
-        let edge = SimDuration::from_nanos(node.cost.charge_ns(in_elems, in_bytes) as u64);
-        if was_materialized {
-            charge.recompute += edge;
-            self.metrics.record_recompute(job, rdd, edge);
-        } else {
-            charge.compute += edge;
-        }
-        self.materialized_once.insert(id);
-
-        let info = BlockInfo {
-            id,
-            bytes: block.bytes(),
-            ser_factor: node.ser_factor,
-            executor: exec,
-        };
-        let ctx = self.ctrl_ctx(self.clock_floor);
-        let event = PartitionEvent { info, edge_compute: edge, job, recomputed: was_materialized };
-        self.controller.on_partition_computed(&ctx, &event);
-
-        // Unified caching decision (paper §4.1).
-        let annotated = node.cache_annotated && !node.unpersist_requested;
-        let ctx = self.ctrl_ctx(self.clock_floor);
-        if self.controller.should_cache(&ctx, &info, annotated) {
-            let ctx = self.ctrl_ctx(self.clock_floor);
-            match self.controller.admit(&ctx, &info) {
-                Admission::Memory => {
-                    self.try_cache_memory(plan, exec, &info, block.clone(), charge);
-                }
-                Admission::Disk => {
-                    self.spill_to_disk(exec, &info, block.clone(), charge);
-                }
-                Admission::Skip => {}
-            }
-        }
-        // Even uncached productions update the home hint: the producing
-        // executor is where recomputation is cheapest next time.
-        self.block_home.entry(id).or_insert(exec);
-        Ok(block)
-    }
-
-    fn write_map_output(
-        &mut self,
-        plan: &Plan,
-        child: RddId,
-        dep_idx: usize,
-        map_part: usize,
-        input: &Block,
-        charge: &mut TaskCharge,
-    ) -> Result<()> {
-        if self.shuffle.has_map_output((child, dep_idx), map_part) {
-            return Ok(());
-        }
-        let child_node = plan.node(child)?;
-        let Dep::Shuffle { parent, map_side } = &child_node.deps[dep_idx] else {
-            return Err(BlazeError::InvalidPlan(format!("{child}: dep {dep_idx} is not a shuffle")));
-        };
-        let buckets = map_side(input, child_node.num_partitions)?;
-        if buckets.len() != child_node.num_partitions {
-            return Err(BlazeError::Execution(format!(
-                "map-side for {child} produced {} buckets, expected {}",
-                buckets.len(),
-                child_node.num_partitions
-            )));
-        }
-        let out_bytes: ByteSize = buckets.iter().map(Block::bytes).sum();
-        let parent_ser = plan.node(*parent)?.ser_factor;
-        // Shuffle write = serialize + write shuffle files (Spark behaviour);
-        // charged to the shuffle category, not to cache disk I/O.
-        charge.shuffle_write += self.config.hardware.ser_time(out_bytes, parent_ser)
-            + self.config.hardware.disk_write_time(out_bytes);
-        self.shuffle.put_map_output((child, dep_idx), map_part, buckets);
-        Ok(())
-    }
-
     // ---- Cache placement --------------------------------------------------
 
     /// Tries to place `block` in `exec`'s memory store, running the
@@ -532,7 +782,6 @@ impl ClusterState {
     /// success; on failure consults `on_admission_failure`.
     fn try_cache_memory(
         &mut self,
-        _plan: &Plan,
         exec: ExecutorId,
         info: &BlockInfo,
         block: Block,
@@ -546,10 +795,10 @@ impl ClusterState {
             info.bytes
         };
 
-        if !self.mem[e].fits(footprint) {
-            let needed = footprint.saturating_sub(self.mem[e].free());
+        if !self.stores.mem[e].fits(footprint) {
+            let needed = footprint.saturating_sub(self.stores.mem[e].free());
             // Candidates exclude the incoming block's own RDD (Spark rule).
-            let resident: Vec<BlockInfo> = self.mem[e]
+            let resident: Vec<BlockInfo> = self.stores.mem[e]
                 .iter()
                 .filter(|(bid, _)| bid.rdd != info.id.rdd)
                 .map(|(bid, sb)| BlockInfo {
@@ -560,27 +809,26 @@ impl ClusterState {
                 })
                 .collect();
             let ctx = self.ctrl_ctx(self.clock_floor);
-            let victims =
-                self.controller.choose_victims(&ctx, exec, needed, info, &resident);
+            let victims = self.controller.choose_victims(&ctx, exec, needed, info, &resident);
             for (vid, action) in victims {
                 if vid.rdd == info.id.rdd {
                     continue;
                 }
-                if self.mem[e].fits(footprint) {
+                if self.stores.mem[e].fits(footprint) {
                     break;
                 }
                 self.evict_one(exec, vid, action, charge);
             }
         }
 
-        if self.mem[e].fits(footprint) {
+        if self.stores.mem[e].fits(footprint) {
             if serialized {
                 // Writing through a serialized external store costs
                 // serialization even on the memory tier (§7.1 Alluxio).
                 charge.external_store_io +=
                     self.config.hardware.ser_time(info.bytes, info.ser_factor);
             }
-            let ok = self.mem[e].insert(
+            let ok = self.stores.mem[e].insert(
                 info.id,
                 StoredBlock {
                     block,
@@ -590,10 +838,10 @@ impl ClusterState {
                 },
             );
             debug_assert!(ok);
-            self.block_home.insert(info.id, exec);
+            self.stores.block_home.insert(info.id, exec);
             let ctx = self.ctrl_ctx(self.clock_floor);
             self.controller.on_inserted(&ctx, info, false);
-            let mem_total: ByteSize = self.mem.iter().map(BlockStore::used).sum();
+            let mem_total: ByteSize = self.stores.mem.iter().map(BlockStore::used).sum();
             self.metrics.memory_bytes_peak = self.metrics.memory_bytes_peak.max(mem_total);
             true
         } else {
@@ -614,7 +862,7 @@ impl ClusterState {
         charge: &mut TaskCharge,
     ) {
         let e = exec.raw() as usize;
-        let Some(sb) = self.mem[e].remove(vid) else { return };
+        let Some(sb) = self.stores.mem[e].remove(vid) else { return };
         self.metrics.record_eviction(exec, sb.logical_bytes, action == VictimAction::ToDisk);
         let ctx = self.ctrl_ctx(self.clock_floor);
         self.controller.on_evicted(&ctx, vid);
@@ -622,18 +870,11 @@ impl ClusterState {
             charge.disk_cache_write +=
                 self.config.hardware.spill_time(sb.logical_bytes, sb.ser_factor);
             let logical = sb.logical_bytes;
-            let inserted = self.disk[e].insert(
-                vid,
-                StoredBlock { stored_bytes: logical, ..sb },
-            );
+            let inserted =
+                self.stores.disk[e].insert(vid, StoredBlock { stored_bytes: logical, ..sb });
             if inserted {
                 self.metrics.disk_bytes_written += logical;
-                let info = BlockInfo {
-                    id: vid,
-                    bytes: logical,
-                    ser_factor: 1.0,
-                    executor: exec,
-                };
+                let info = BlockInfo { id: vid, bytes: logical, ser_factor: 1.0, executor: exec };
                 let ctx = self.ctrl_ctx(self.clock_floor);
                 self.controller.on_inserted(&ctx, &info, true);
             }
@@ -649,7 +890,7 @@ impl ClusterState {
         charge: &mut TaskCharge,
     ) {
         let e = exec.raw() as usize;
-        if self.disk[e].contains(info.id) {
+        if self.stores.disk[e].contains(info.id) {
             return;
         }
         let stored = StoredBlock {
@@ -658,11 +899,10 @@ impl ClusterState {
             stored_bytes: info.bytes,
             ser_factor: info.ser_factor,
         };
-        if self.disk[e].insert(info.id, stored) {
-            charge.disk_cache_write +=
-                self.config.hardware.spill_time(info.bytes, info.ser_factor);
+        if self.stores.disk[e].insert(info.id, stored) {
+            charge.disk_cache_write += self.config.hardware.spill_time(info.bytes, info.ser_factor);
             self.metrics.disk_bytes_written += info.bytes;
-            self.block_home.insert(info.id, exec);
+            self.stores.block_home.insert(info.id, exec);
             let ctx = self.ctrl_ctx(self.clock_floor);
             self.controller.on_inserted(&ctx, info, true);
         }
@@ -677,24 +917,25 @@ impl ClusterState {
             match cmd {
                 StateCommand::UnpersistRdd(rdd) => {
                     for e in 0..self.config.executors {
-                        for (vid, _) in self.mem[e].remove_rdd(rdd) {
+                        for (vid, _) in self.stores.mem[e].remove_rdd(rdd) {
                             let ctx = self.ctrl_ctx(self.clock_floor);
                             self.controller.on_evicted(&ctx, vid);
                         }
-                        self.disk[e].remove_rdd(rdd);
+                        self.stores.disk[e].remove_rdd(rdd);
                     }
                 }
                 StateCommand::UnpersistBlock(id) => {
                     for e in 0..self.config.executors {
-                        if self.mem[e].remove(id).is_some() {
+                        if self.stores.mem[e].remove(id).is_some() {
                             let ctx = self.ctrl_ctx(self.clock_floor);
                             self.controller.on_evicted(&ctx, id);
                         }
-                        self.disk[e].remove(id);
+                        self.stores.disk[e].remove(id);
                     }
                 }
                 StateCommand::SpillToDisk(id) => {
-                    let Some(e) = (0..self.config.executors).find(|&e| self.mem[e].contains(id))
+                    let Some(e) =
+                        (0..self.config.executors).find(|&e| self.stores.mem[e].contains(id))
                     else {
                         continue;
                     };
@@ -704,27 +945,26 @@ impl ClusterState {
                     self.charge_migration(exec, &charge);
                 }
                 StateCommand::PromoteToMemory(id) => {
-                    let Some(e) = (0..self.config.executors).find(|&e| self.disk[e].contains(id))
+                    let Some(e) =
+                        (0..self.config.executors).find(|&e| self.stores.disk[e].contains(id))
                     else {
                         continue;
                     };
-                    let sb = self.disk[e].get(id).expect("present").clone();
-                    if !self.mem[e].fits(sb.stored_bytes) {
+                    let sb = self.stores.disk[e].get(id).expect("present").clone();
+                    if !self.stores.mem[e].fits(sb.stored_bytes) {
                         continue; // Best effort: promotion only into free space.
                     }
-                    self.disk[e].remove(id);
+                    self.stores.disk[e].remove(id);
                     let mut charge = TaskCharge::default();
-                    charge.disk_cache_read += self
-                        .config
-                        .hardware
-                        .fetch_from_disk_time(sb.logical_bytes, sb.ser_factor);
+                    charge.disk_cache_read +=
+                        self.config.hardware.fetch_from_disk_time(sb.logical_bytes, sb.ser_factor);
                     let info = BlockInfo {
                         id,
                         bytes: sb.logical_bytes,
                         ser_factor: sb.ser_factor,
                         executor: ExecutorId(e as u32),
                     };
-                    let ok = self.mem[e].insert(id, sb);
+                    let ok = self.stores.mem[e].insert(id, sb);
                     debug_assert!(ok);
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_inserted(&ctx, &info, false);
@@ -748,11 +988,11 @@ impl ClusterState {
     /// User-initiated unpersist (the `unpersist()` API): drop everywhere.
     fn user_unpersist(&mut self, rdd: RddId) {
         for e in 0..self.config.executors {
-            for (vid, _) in self.mem[e].remove_rdd(rdd) {
+            for (vid, _) in self.stores.mem[e].remove_rdd(rdd) {
                 let ctx = self.ctrl_ctx(self.clock_floor);
                 self.controller.on_evicted(&ctx, vid);
             }
-            self.disk[e].remove_rdd(rdd);
+            self.stores.disk[e].remove_rdd(rdd);
         }
     }
 }
@@ -801,9 +1041,8 @@ mod tests {
         let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 4, i)).collect();
         let mut out = ctx.parallelize(pairs, 4).reduce_by_key(2, |a, b| a + b).collect().unwrap();
         out.sort();
-        let expected: Vec<(u64, u64)> = (0..4)
-            .map(|k| (k, (0..100).filter(|i| i % 4 == k).sum::<u64>()))
-            .collect();
+        let expected: Vec<(u64, u64)> =
+            (0..4).map(|k| (k, (0..100).filter(|i| i % 4 == k).sum::<u64>())).collect();
         assert_eq!(out, expected);
     }
 
@@ -990,15 +1229,43 @@ mod tests {
             assert_eq!(t.duration(), t.charge.total());
         }
         // Busy time sums to the accumulated task time.
-        let busy: blaze_common::SimDuration =
-            m.busy_time_per_executor().values().copied().sum();
+        let busy: blaze_common::SimDuration = m.busy_time_per_executor().values().copied().sum();
         assert_eq!(busy, m.accumulated.total());
     }
 
     #[test]
     fn zero_config_is_rejected() {
-        let mut config = ClusterConfig::default();
-        config.executors = 0;
+        let config = ClusterConfig { executors: 0, ..Default::default() };
         assert!(Cluster::new(config, Box::new(NoCacheController)).is_err());
+    }
+
+    /// The tentpole guarantee: metrics (and therefore ACT and all policy
+    /// behaviour) are bit-identical across worker-thread counts.
+    #[test]
+    fn worker_thread_count_does_not_change_metrics() {
+        let run = |threads: usize| {
+            let config = ClusterConfig {
+                executors: 2,
+                slots_per_executor: 2,
+                memory_capacity: ByteSize::from_kib(16),
+                worker_threads: threads,
+                ..Default::default()
+            };
+            let cl = Cluster::new(config, Box::new(GreedyMem)).unwrap();
+            let ctx = Context::new(cl.clone());
+            let pairs: Vec<(u64, u64)> = (0..2_000).map(|i| (i % 16, i)).collect();
+            let ds = ctx.parallelize(pairs, 8).reduce_by_key(4, |a, b| a + b);
+            ds.cache();
+            ds.count().unwrap();
+            let mut out = ds.map_values(|v| v + 1).collect().unwrap();
+            out.sort();
+            (out, cl.metrics())
+        };
+        let (r1, m1) = run(1);
+        for threads in [2, 4, 7] {
+            let (rn, mn) = run(threads);
+            assert_eq!(r1, rn, "results diverged at {threads} threads");
+            assert_eq!(m1, mn, "metrics diverged at {threads} threads");
+        }
     }
 }

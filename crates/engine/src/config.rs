@@ -96,6 +96,13 @@ pub struct ClusterConfig {
     pub disk_capacity: ByteSize,
     /// Simulated hardware throughput model.
     pub hardware: HardwareModel,
+    /// Real OS threads used to execute a stage's tasks in parallel.
+    ///
+    /// This only affects wall-clock time: metrics, simulated completion
+    /// time and every cache decision are bit-identical for any value (see
+    /// the plan/execute/commit pipeline in `cluster.rs`). Defaults to the
+    /// host's available parallelism.
+    pub worker_threads: usize,
 }
 
 impl Default for ClusterConfig {
@@ -106,8 +113,14 @@ impl Default for ClusterConfig {
             memory_capacity: ByteSize::from_mib(64),
             disk_capacity: ByteSize::from_gib(8),
             hardware: HardwareModel::default(),
+            worker_threads: default_worker_threads(),
         }
     }
+}
+
+/// Host parallelism, or 1 when it cannot be determined.
+pub fn default_worker_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 impl ClusterConfig {
@@ -121,6 +134,9 @@ impl ClusterConfig {
         }
         if self.memory_capacity.is_zero() {
             return Err(BlazeError::Config("memory_capacity must be > 0".into()));
+        }
+        if self.worker_threads == 0 {
+            return Err(BlazeError::Config("worker_threads must be > 0".into()));
         }
         let hw = &self.hardware;
         for (name, v) in [
@@ -154,18 +170,28 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = ClusterConfig::default();
-        c.executors = 0;
+        let c = ClusterConfig { executors: 0, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = ClusterConfig::default();
-        c.memory_capacity = ByteSize::ZERO;
+        let c = ClusterConfig { memory_capacity: ByteSize::ZERO, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = ClusterConfig::default();
-        c.hardware.disk_read_bps = 0.0;
+        let c = ClusterConfig {
+            hardware: HardwareModel { disk_read_bps: 0.0, ..Default::default() },
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ClusterConfig::default();
-        c.hardware.network_bps = f64::NAN;
+        let c = ClusterConfig {
+            hardware: HardwareModel { network_bps: f64::NAN, ..Default::default() },
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
+        let c = ClusterConfig { worker_threads: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_worker_threads_is_positive() {
+        assert!(default_worker_threads() >= 1);
+        assert!(ClusterConfig::default().worker_threads >= 1);
     }
 
     #[test]
@@ -192,9 +218,11 @@ mod tests {
 
     #[test]
     fn total_memory_multiplies_out() {
-        let mut c = ClusterConfig::default();
-        c.executors = 3;
-        c.memory_capacity = ByteSize::from_mib(10);
+        let c = ClusterConfig {
+            executors: 3,
+            memory_capacity: ByteSize::from_mib(10),
+            ..Default::default()
+        };
         assert_eq!(c.total_memory(), ByteSize::from_mib(30));
     }
 }

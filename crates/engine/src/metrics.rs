@@ -98,7 +98,10 @@ impl TaskCharge {
 }
 
 /// Aggregated metrics of one application run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is derived so determinism tests can assert that two runs
+/// (e.g. with different `worker_threads`) are bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Sum of all task charges (the "accumulated task execution time").
     pub accumulated: TaskCharge,
@@ -203,11 +206,10 @@ impl Metrics {
 
     /// The average disk-resident cache volume over sampled points.
     pub fn disk_bytes_avg(&self) -> ByteSize {
-        if self.disk_samples == 0 {
-            ByteSize::ZERO
-        } else {
-            ByteSize::from_bytes(self.disk_bytes_sampled_sum.as_bytes() / self.disk_samples)
-        }
+        self.disk_bytes_sampled_sum
+            .as_bytes()
+            .checked_div(self.disk_samples)
+            .map_or(ByteSize::ZERO, ByteSize::from_bytes)
     }
 
     /// Total recomputation time across the whole run.
@@ -268,10 +270,7 @@ mod tests {
         assert_eq!(m.evictions, 3);
         assert_eq!(m.evictions_to_disk, 1);
         assert_eq!(m.evictions_discard, 2);
-        assert_eq!(
-            m.evicted_bytes_per_executor[&ExecutorId(0)],
-            ByteSize::from_mib(6)
-        );
+        assert_eq!(m.evicted_bytes_per_executor[&ExecutorId(0)], ByteSize::from_mib(6));
     }
 
     #[test]
@@ -283,10 +282,7 @@ mod tests {
         assert_eq!(m.total_recompute_time(), SimDuration::from_secs(8));
         assert_eq!(
             m.recompute_by_job(),
-            vec![
-                (JobId(1), SimDuration::from_secs(7)),
-                (JobId(2), SimDuration::from_secs(1)),
-            ]
+            vec![(JobId(1), SimDuration::from_secs(7)), (JobId(2), SimDuration::from_secs(1)),]
         );
         assert_eq!(m.top_recompute_rdd(JobId(1)), Some((RddId(9), SimDuration::from_secs(5))));
         assert_eq!(m.top_recompute_rdd(JobId(3)), None);

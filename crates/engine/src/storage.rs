@@ -7,7 +7,7 @@
 //! charges the corresponding simulated I/O time.
 
 use blaze_common::ids::BlockId;
-use blaze_common::{ByteSize, fxhash::FxHashMap};
+use blaze_common::{fxhash::FxHashMap, ByteSize};
 use blaze_dataflow::Block;
 
 /// A block at rest in a store, with the metadata needed to price moving it.

@@ -80,7 +80,12 @@ mod tests {
     #[test]
     fn ring_graph_is_one_component() {
         let cfg = CcConfig {
-            graph: GraphGenConfig { vertices: 64, avg_degree: 2, partitions: 4, ..Default::default() },
+            graph: GraphGenConfig {
+                vertices: 64,
+                avg_degree: 2,
+                partitions: 4,
+                ..Default::default()
+            },
             max_supersteps: 80,
         };
         let ctx = Context::new(LocalRunner::new());
@@ -111,9 +116,6 @@ mod tests {
         .unwrap();
         let mut labels = result.vertices;
         labels.sort_by_key(|(v, _)| *v);
-        assert_eq!(
-            labels,
-            vec![(0, 0), (1, 0), (2, 0), (10, 10), (11, 10)]
-        );
+        assert_eq!(labels, vec![(0, 0), (1, 0), (2, 0), (10, 10), (11, 10)]);
     }
 }

@@ -88,10 +88,7 @@ pub fn edges(ctx: &Context, cfg: &GraphGenConfig) -> Dataset<Edge> {
 /// Scales a configuration down to a "< 1 MB" sample for the
 /// dependency-extraction phase (§5.1 ①).
 pub fn sample_config(cfg: &GraphGenConfig) -> GraphGenConfig {
-    GraphGenConfig {
-        vertices: cfg.vertices.clamp(16, 512),
-        ..*cfg
-    }
+    GraphGenConfig { vertices: cfg.vertices.clamp(16, 512), ..*cfg }
 }
 
 #[cfg(test)]
@@ -135,10 +132,7 @@ mod tests {
         }
         let low: u64 = (0..200).map(|v| inc.get(&v).copied().unwrap_or(0)).sum();
         let high: u64 = (1800..2000).map(|v| inc.get(&v).copied().unwrap_or(0)).sum();
-        assert!(
-            low > high * 5,
-            "expected heavy head: low-ids {low} vs high-ids {high}"
-        );
+        assert!(low > high * 5, "expected heavy head: low-ids {low} vs high-ids {high}");
     }
 
     #[test]

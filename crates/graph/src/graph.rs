@@ -149,10 +149,7 @@ impl<V: Data> Graph<V> {
     /// The source-attributed triplet view: one record per edge, carrying the
     /// source vertex attribute (the message-routing view Pregel uses).
     pub fn triplets(&self) -> Dataset<(VertexId, (VertexId, V))> {
-        self.edges
-            .map(|e| e.by_src())
-            .join(&self.vertices, self.partitions)
-            .named("triplets")
+        self.edges.map(|e| e.by_src()).join(&self.vertices, self.partitions).named("triplets")
     }
 
     /// Runs a Pregel program over the graph (undirected message flow must be
@@ -185,10 +182,7 @@ mod tests {
 
     fn diamond(ctx: &Context) -> Dataset<Edge> {
         // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
-        ctx.parallelize(
-            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 3), Edge::new(2, 3)],
-            2,
-        )
+        ctx.parallelize(vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 3), Edge::new(2, 3)], 2)
     }
 
     #[test]
@@ -264,8 +258,13 @@ mod tests {
     fn pregel_over_graph_wrapper() {
         // Hop distance from vertex 0 on the diamond.
         let ctx = Context::new(LocalRunner::new());
-        let g = Graph::from_edges(diamond(&ctx), u64::MAX, 2)
-            .map_vertices(|id, _| if id == 0 { 0u64 } else { u64::MAX });
+        let g = Graph::from_edges(diamond(&ctx), u64::MAX, 2).map_vertices(|id, _| {
+            if id == 0 {
+                0u64
+            } else {
+                u64::MAX
+            }
+        });
         let result = g
             .pregel(
                 &ctx,

@@ -17,8 +17,8 @@
 #![warn(missing_docs)]
 
 pub mod cc;
-pub mod graph;
 pub mod datagen;
+pub mod graph;
 pub mod pagerank;
 pub mod pregel;
 pub mod svdpp;

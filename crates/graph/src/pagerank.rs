@@ -40,6 +40,10 @@ pub struct PageRankResult {
 /// expensive to serialize in the JVM; cf. §7.2).
 const GRAPH_SER: f64 = 2.5;
 
+/// Per-vertex adjacency joined with the current rank (GraphX's `rankGraph`
+/// of triplets).
+type RankGraph = Dataset<(VertexId, (Vec<VertexId>, f64))>;
+
 /// Runs PageRank on the given context (one job per iteration).
 ///
 /// Mirrors the GraphX structure the paper evaluates: each iteration caches
@@ -63,17 +67,15 @@ pub fn run(ctx: &Context, cfg: &PageRankConfig) -> Result<PageRankResult> {
     // the iterations start, like GraphX's eager graph construction.
     links.count()?;
 
-    let mut ranks: Dataset<(VertexId, f64)> =
-        links.map_values(|_| 1.0).named("init_ranks");
+    let mut ranks: Dataset<(VertexId, f64)> = links.map_values(|_| 1.0).named("init_ranks");
     // The graph-with-ranks state chained across iterations (GraphX's
     // `rankGraph`): adjacency + current rank per vertex.
-    let mut rank_graph: Dataset<(VertexId, (Vec<VertexId>, f64))> = links
+    let mut rank_graph: RankGraph = links
         .map_values(|dests| (dests.clone(), 1.0))
         .named("rank_graph_0")
         .with_ser_factor(GRAPH_SER);
     rank_graph.cache();
-    let mut prev: Option<(Dataset<(VertexId, f64)>, Dataset<(VertexId, (Vec<VertexId>, f64))>)> =
-        None;
+    let mut prev: Option<(Dataset<(VertexId, f64)>, RankGraph)> = None;
 
     for _ in 0..cfg.iterations {
         let contribs = rank_graph
@@ -92,10 +94,8 @@ pub fn run(ctx: &Context, cfg: &PageRankConfig) -> Result<PageRankResult> {
             .named("ranks");
         new_ranks.cache();
         // The next iteration's rank graph (graph-sized, cached, reused once).
-        let new_rank_graph = links
-            .join(&new_ranks, parts)
-            .named("rank_graph")
-            .with_ser_factor(GRAPH_SER);
+        let new_rank_graph =
+            links.join(&new_ranks, parts).named("rank_graph").with_ser_factor(GRAPH_SER);
         new_rank_graph.cache();
         // The per-iteration action: triggers one job (Fig. 1's structure).
         new_rank_graph.count()?;
@@ -115,7 +115,11 @@ pub fn run(ctx: &Context, cfg: &PageRankConfig) -> Result<PageRankResult> {
 /// A driver-side reference PageRank with identical semantics to [`run`]:
 /// ranks are defined over the vertices with out-edges; a vertex receiving no
 /// contributions gets `1 - damping`. Used by tests and result verification.
-pub fn reference(edges: &[(VertexId, VertexId)], iterations: usize, damping: f64) -> Vec<(VertexId, f64)> {
+pub fn reference(
+    edges: &[(VertexId, VertexId)],
+    iterations: usize,
+    damping: f64,
+) -> Vec<(VertexId, f64)> {
     use blaze_common::fxhash::FxHashMap;
     let mut adj: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
     for &(s, d) in edges {
@@ -151,7 +155,12 @@ mod tests {
 
     fn small_cfg() -> PageRankConfig {
         PageRankConfig {
-            graph: GraphGenConfig { vertices: 200, avg_degree: 4, partitions: 4, ..Default::default() },
+            graph: GraphGenConfig {
+                vertices: 200,
+                avg_degree: 4,
+                partitions: 4,
+                ..Default::default()
+            },
             iterations: 5,
             damping: 0.85,
         }

@@ -63,10 +63,8 @@ where
         // materialized graph every superstep; as the paper observes (§3.1),
         // such annotated data may see little or no reuse — baselines store
         // it anyway, Blaze decides per partition.
-        let triplets = edges
-            .join(&vertices, num_partitions)
-            .named("pregel_triplets")
-            .with_ser_factor(2.5);
+        let triplets =
+            edges.join(&vertices, num_partitions).named("pregel_triplets").with_ser_factor(2.5);
         triplets.cache();
         let messages = triplets
             .flat_map(move |(_src, (dst, state))| send_f(state, *dst).map(|m| (*dst, m)))
@@ -116,8 +114,7 @@ mod tests {
             (0..n).map(|v| (v, if v == 0 { 0i64 } else { i64::MAX })).collect::<Vec<_>>(),
             2,
         );
-        let edges =
-            ctx.parallelize((0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>(), 2);
+        let edges = ctx.parallelize((0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>(), 2);
         let result = run_pregel(
             &ctx,
             vertices,

@@ -34,6 +34,9 @@ impl SizeOf for Rating {
 /// A latent factor vector.
 pub type Factor = Vec<f64>;
 
+/// Per-item state: the item factor `q_i` and implicit-feedback factor `y_i`.
+type ItemFactors = Dataset<(u32, (Factor, Factor))>;
+
 /// The serialization factor applied to nested factor datasets (the paper
 /// measures 2.5–6.4x for SVD++'s data types, §7.2).
 pub const FACTOR_SER: f64 = 4.0;
@@ -117,15 +120,12 @@ pub fn run(ctx: &Context, cfg: &SvdppConfig) -> Result<SvdppResult> {
     let lambda = cfg.lambda;
     let gen_cfg = *cfg;
 
-    let ratings: Dataset<Rating> = ctx
-        .generate(parts, move |p| partition_ratings(&gen_cfg, p))
-        .named("gen_ratings");
+    let ratings: Dataset<Rating> =
+        ctx.generate(parts, move |p| partition_ratings(&gen_cfg, p)).named("gen_ratings");
 
     // Ratings grouped by item (to attach item factors) — built once, cached.
-    let by_item: Dataset<(u32, Vec<(u32, f32)>)> = ratings
-        .map(|r| (r.item, (r.user, r.rating)))
-        .group_by_key(parts)
-        .named("ratings_by_item");
+    let by_item: Dataset<(u32, Vec<(u32, f32)>)> =
+        ratings.map(|r| (r.item, (r.user, r.rating))).group_by_key(parts).named("ratings_by_item");
     by_item.cache();
 
     // Initial factors: small deterministic pseudo-random vectors.
@@ -150,7 +150,7 @@ pub fn run(ctx: &Context, cfg: &SvdppConfig) -> Result<SvdppResult> {
         .named("user_factors_0")
         .with_ser_factor(FACTOR_SER)
         .partition_by(parts);
-    let mut item_f: Dataset<(u32, (Factor, Factor))> = ctx
+    let mut item_f: ItemFactors = ctx
         .generate(parts, move |p| {
             let pn = parts as u32;
             let lo = p as u32 * items / pn;
@@ -172,7 +172,7 @@ pub fn run(ctx: &Context, cfg: &SvdppConfig) -> Result<SvdppResult> {
     user_f.cache();
     item_f.cache();
 
-    let mut prev: Option<(Dataset<(u32, Factor)>, Dataset<(u32, (Factor, Factor))>)> = None;
+    let mut prev: Option<(Dataset<(u32, Factor)>, ItemFactors)> = None;
     let mut rmse_per_iteration = Vec::with_capacity(cfg.iterations);
 
     for _ in 0..cfg.iterations {
@@ -191,10 +191,7 @@ pub fn run(ctx: &Context, cfg: &SvdppConfig) -> Result<SvdppResult> {
         // even though it is consumed exactly once by the following shuffle
         // (the unnecessary-caching pattern of §3.1).
         raw_msgs.cache();
-        let user_msgs = raw_msgs
-            .group_by_key(parts)
-            .named("user_msgs")
-            .with_ser_factor(FACTOR_SER);
+        let user_msgs = raw_msgs.group_by_key(parts).named("user_msgs").with_ser_factor(FACTOR_SER);
         user_msgs.cache();
 
         // Per-user work: gradient step on p_u, per-item feedback, error.
@@ -210,8 +207,7 @@ pub fn run(ctx: &Context, cfg: &SvdppConfig) -> Result<SvdppResult> {
                         *acc += v * norm;
                     }
                 }
-                let p_eff: Factor =
-                    p_u.iter().zip(&implicit).map(|(a, b)| a + b).collect();
+                let p_eff: Factor = p_u.iter().zip(&implicit).map(|(a, b)| a + b).collect();
                 let mut grad_p = vec![0.0; rank];
                 let mut sq_err = 0.0;
                 let mut item_updates: Vec<(u32, (Factor, Factor, f64))> = Vec::new();
@@ -227,11 +223,8 @@ pub fn run(ctx: &Context, cfg: &SvdppConfig) -> Result<SvdppResult> {
                     let dy: Factor = q.iter().map(|v| err * norm * v).collect();
                     item_updates.push((*item, (dq, dy, err * err)));
                 }
-                let new_p: Factor = p_u
-                    .iter()
-                    .zip(&grad_p)
-                    .map(|(p, g)| p + lr * (g - lambda * p))
-                    .collect();
+                let new_p: Factor =
+                    p_u.iter().zip(&grad_p).map(|(p, g)| p + lr * (g - lambda * p)).collect();
                 (new_p, item_updates, sq_err, msgs.len() as u64)
             })
             .named("user_work")
@@ -263,16 +256,10 @@ pub fn run(ctx: &Context, cfg: &SvdppConfig) -> Result<SvdppResult> {
             .left_outer_join(&item_grads, parts)
             .map_values(move |((q, y), grads)| match grads {
                 Some((dq, dy, _)) => {
-                    let nq: Factor = q
-                        .iter()
-                        .zip(dq)
-                        .map(|(qv, g)| qv + lr * (g - lambda * qv))
-                        .collect();
-                    let ny: Factor = y
-                        .iter()
-                        .zip(dy)
-                        .map(|(yv, g)| yv + lr * (g - lambda * yv))
-                        .collect();
+                    let nq: Factor =
+                        q.iter().zip(dq).map(|(qv, g)| qv + lr * (g - lambda * qv)).collect();
+                    let ny: Factor =
+                        y.iter().zip(dy).map(|(yv, g)| yv + lr * (g - lambda * yv)).collect();
                     (nq, ny)
                 }
                 None => (q.clone(), y.clone()),
@@ -315,10 +302,7 @@ mod tests {
         let result = run(&ctx, &small_cfg()).unwrap();
         let rmse = &result.rmse_per_iteration;
         assert_eq!(rmse.len(), 6);
-        assert!(
-            rmse.last().unwrap() < &(rmse[0] * 0.9),
-            "RMSE should drop by >10%: {rmse:?}"
-        );
+        assert!(rmse.last().unwrap() < &(rmse[0] * 0.9), "RMSE should drop by >10%: {rmse:?}");
         assert!(rmse.iter().all(|r| r.is_finite()));
     }
 

@@ -119,10 +119,11 @@ pub fn run(ctx: &Context, cfg: &GbtConfig) -> Result<GbtResult> {
     data.cache();
 
     // Base prediction: mean label (one setup job).
-    let (sum, count) = data
-        .aggregate((0.0f64, 0u64), |acc, p| (acc.0 + p.label, acc.1 + 1), |a, b| {
-            (a.0 + b.0, a.1 + b.1)
-        })?;
+    let (sum, count) = data.aggregate(
+        (0.0f64, 0u64),
+        |acc, p| (acc.0 + p.label, acc.1 + 1),
+        |a, b| (a.0 + b.0, a.1 + b.1),
+    )?;
     let base = sum / count.max(1) as f64;
 
     // Residuals relative to the running ensemble, cached per round.
@@ -285,9 +286,9 @@ fn best_split(entries: &[(u32, u32, HistVal)], dim: usize) -> Option<(usize, f64
         }
         let parent_score = total_s * total_s / total_n as f64;
         let (mut ls, mut ln) = (0.0f64, 0u64);
-        for cut in 0..BINS - 1 {
-            ls += bins[cut].0;
-            ln += bins[cut].1;
+        for (cut, &(bin_s, bin_n)) in bins.iter().enumerate().take(BINS - 1) {
+            ls += bin_s;
+            ln += bin_n;
             let (rs, rn) = (total_s - ls, total_n - ln);
             if ln == 0 || rn == 0 {
                 continue;
@@ -295,13 +296,7 @@ fn best_split(entries: &[(u32, u32, HistVal)], dim: usize) -> Option<(usize, f64
             let gain = ls * ls / ln as f64 + rs * rs / rn as f64 - parent_score;
             if gain > MIN_GAIN && best.map(|b| gain > b.0).unwrap_or(true) {
                 let threshold = (cut + 1) as f64 / BINS as f64;
-                best = Some((
-                    gain,
-                    feat as usize,
-                    threshold,
-                    ls / ln as f64,
-                    rs / rn as f64,
-                ));
+                best = Some((gain, feat as usize, threshold, ls / ln as f64, rs / rn as f64));
             }
         }
     }
@@ -315,7 +310,12 @@ mod tests {
 
     fn small_cfg() -> GbtConfig {
         GbtConfig {
-            data: RegressionGenConfig { points: 4_000, dim: 6, partitions: 4, ..Default::default() },
+            data: RegressionGenConfig {
+                points: 4_000,
+                dim: 6,
+                partitions: 4,
+                ..Default::default()
+            },
             rounds: 6,
             depth: 2,
             shrinkage: 0.5,
@@ -329,10 +329,7 @@ mod tests {
         let result = run(&ctx, &cfg).unwrap();
         let mse = &result.mse_per_round;
         assert_eq!(mse.len(), 6);
-        assert!(
-            mse.last().unwrap() < &(mse[0] * 0.3),
-            "MSE should drop by >70%: {mse:?}"
-        );
+        assert!(mse.last().unwrap() < &(mse[0] * 0.3), "MSE should drop by >70%: {mse:?}");
         assert_eq!(result.trees.len(), 6);
         assert!(result.trees.iter().all(|t| t.size() >= 3), "trees must split");
     }

@@ -83,8 +83,10 @@ pub fn run(ctx: &Context, cfg: &KMeansConfig) -> Result<KMeansResult> {
         let farthest = seed_pool
             .iter()
             .max_by(|a, b| {
-                let da = centroids.iter().map(|c| squared_distance(c, a)).fold(f64::INFINITY, f64::min);
-                let db = centroids.iter().map(|c| squared_distance(c, b)).fold(f64::INFINITY, f64::min);
+                let da =
+                    centroids.iter().map(|c| squared_distance(c, a)).fold(f64::INFINITY, f64::min);
+                let db =
+                    centroids.iter().map(|c| squared_distance(c, b)).fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("non-empty seed pool");
@@ -116,8 +118,7 @@ pub fn run(ctx: &Context, cfg: &KMeansConfig) -> Result<KMeansResult> {
         for (c, (sum, count, d)) in collected {
             wcss += d;
             if count > 0 {
-                centroids[c as usize] =
-                    sum.iter().map(|v| v / count as f64).collect::<Vec<f64>>();
+                centroids[c as usize] = sum.iter().map(|v| v / count as f64).collect::<Vec<f64>>();
             }
             debug_assert_eq!(sum.len(), dim);
         }

@@ -78,8 +78,8 @@ pub fn run(ctx: &Context, cfg: &LogRegConfig) -> Result<LogRegResult> {
                 let err = pred - p.label;
                 let grad: Vec<f64> = p.features.iter().map(|x| err * x).collect();
                 let eps = 1e-12;
-                let loss = -(p.label * (pred + eps).ln()
-                    + (1.0 - p.label) * (1.0 - pred + eps).ln());
+                let loss =
+                    -(p.label * (pred + eps).ln() + (1.0 - p.label) * (1.0 - pred + eps).ln());
                 (grad, loss)
             })
             .named("gradients")
@@ -145,11 +145,7 @@ pub fn run(ctx: &Context, cfg: &LogRegConfig) -> Result<LogRegResult> {
             (pred - p.label).abs() < 0.5
         })
         .count()?;
-    Ok(LogRegResult {
-        weights,
-        loss_per_iteration,
-        accuracy: correct as f64 / n,
-    })
+    Ok(LogRegResult { weights, loss_per_iteration, accuracy: correct as f64 / n })
 }
 
 #[cfg(test)]
@@ -160,7 +156,12 @@ mod tests {
 
     fn small_cfg() -> LogRegConfig {
         LogRegConfig {
-            data: ClassificationGenConfig { points: 4_000, dim: 8, partitions: 4, ..Default::default() },
+            data: ClassificationGenConfig {
+                points: 4_000,
+                dim: 8,
+                partitions: 4,
+                ..Default::default()
+            },
             iterations: 12,
             learning_rate: 2.0,
         }

@@ -33,11 +33,7 @@ impl AlluxioController {
     /// Creates the controller with a custom serialized footprint ratio in
     /// `(0, 1]`.
     pub fn with_footprint(footprint: f64) -> Self {
-        Self {
-            footprint: footprint.clamp(0.05, 1.0),
-            tick: 0,
-            last_access: FxHashMap::default(),
-        }
+        Self { footprint: footprint.clamp(0.05, 1.0), tick: 0, last_access: FxHashMap::default() }
     }
 
     fn touch(&mut self, id: BlockId) {

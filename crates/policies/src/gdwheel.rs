@@ -58,15 +58,12 @@ impl CacheController for GdWheelController {
         _incoming: &BlockInfo,
         resident: &[BlockInfo],
     ) -> Vec<(BlockId, VictimAction)> {
-        let mut candidates: Vec<(f64, BlockId, ByteSize)> = resident
-            .iter()
-            .map(|b| (self.priority(ctx, b), b.id, b.bytes))
-            .collect();
+        let mut candidates: Vec<(f64, BlockId, ByteSize)> =
+            resident.iter().map(|b| (self.priority(ctx, b), b.id, b.bytes)).collect();
         candidates.sort_by(|a, b| {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
         });
-        let picked =
-            take_until_covered(needed, candidates.iter().map(|&(_, id, b)| (id, b)));
+        let picked = take_until_covered(needed, candidates.iter().map(|&(_, id, b)| (id, b)));
         // GreedyDual: inflate the clock to the highest evicted priority.
         if let Some(last) = candidates.get(picked.len().saturating_sub(1)) {
             self.inflation = self.inflation.max(last.0);

@@ -141,8 +141,7 @@ impl CacheController for LeCaRController {
             })
             .collect();
         candidates.sort_by_key(|&(k, id, _)| (k, id));
-        let picked =
-            take_until_covered(needed, candidates.into_iter().map(|(_, id, b)| (id, b)));
+        let picked = take_until_covered(needed, candidates.into_iter().map(|(_, id, b)| (id, b)));
         let action = self.mode.victim_action();
         for (id, _) in &picked {
             if use_lru {
@@ -172,11 +171,7 @@ impl CacheController for LeCaRController {
         self.last_access.remove(&id);
     }
 
-    fn on_partition_computed(
-        &mut self,
-        _ctx: &CtrlCtx,
-        event: &blaze_engine::PartitionEvent,
-    ) {
+    fn on_partition_computed(&mut self, _ctx: &CtrlCtx, event: &blaze_engine::PartitionEvent) {
         if event.recomputed {
             self.learn_from_miss(event.info.id);
         }
@@ -187,9 +182,9 @@ impl CacheController for LeCaRController {
 mod tests {
     use super::*;
     use blaze_common::ids::RddId;
+    use blaze_common::SimDuration;
     use blaze_common::SimTime;
     use blaze_engine::{HardwareModel, PartitionEvent};
-    use blaze_common::SimDuration;
 
     fn ctx() -> CtrlCtx {
         CtrlCtx {

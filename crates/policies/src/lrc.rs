@@ -12,9 +12,7 @@ use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
 use blaze_common::ByteSize;
 use blaze_dataflow::{JobPlan, Plan};
-use blaze_engine::{
-    Admission, BlockInfo, CacheController, CtrlCtx, StateCommand, VictimAction,
-};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StateCommand, VictimAction};
 
 /// Reference structure of the current job, rebuilt at each submission.
 #[derive(Debug, Default)]
@@ -99,10 +97,8 @@ impl CacheController for LrcController {
         _incoming: &BlockInfo,
         resident: &[BlockInfo],
     ) -> Vec<(BlockId, VictimAction)> {
-        let mut candidates: Vec<(i64, BlockId, ByteSize)> = resident
-            .iter()
-            .map(|b| (self.reference_count(b.id.rdd), b.id, b.bytes))
-            .collect();
+        let mut candidates: Vec<(i64, BlockId, ByteSize)> =
+            resident.iter().map(|b| (self.reference_count(b.id.rdd), b.id, b.bytes)).collect();
         // Smallest remaining reference count first; arbitrary (id) tie-break.
         candidates.sort_by_key(|&(r, id, _)| (r, id));
         let action = self.mode.victim_action();

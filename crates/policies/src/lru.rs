@@ -129,13 +129,8 @@ mod tests {
         for b in &blocks {
             lru.on_inserted(&c, b, false);
         }
-        let victims = lru.choose_victims(
-            &c,
-            ExecutorId(0),
-            ByteSize::from_kib(10),
-            &info(9, 0, 10),
-            &blocks,
-        );
+        let victims =
+            lru.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(10), &info(9, 0, 10), &blocks);
         assert_eq!(victims.len(), 3);
         assert!(victims.iter().all(|(_, a)| *a == VictimAction::ToDisk));
     }

@@ -45,7 +45,10 @@ impl EvictMode {
 
 /// Picks victims from `ordered` (most-evictable first) until `needed` bytes
 /// are covered. Shared by all baseline policies.
-pub fn take_until_covered<I>(needed: blaze_common::ByteSize, ordered: I) -> Vec<(blaze_common::ids::BlockId, blaze_common::ByteSize)>
+pub fn take_until_covered<I>(
+    needed: blaze_common::ByteSize,
+    ordered: I,
+) -> Vec<(blaze_common::ids::BlockId, blaze_common::ByteSize)>
 where
     I: IntoIterator<Item = (blaze_common::ids::BlockId, blaze_common::ByteSize)>,
 {
@@ -77,18 +80,16 @@ mod tests {
 
     #[test]
     fn take_until_covered_stops_early() {
-        let items: Vec<_> = (0..5)
-            .map(|i| (BlockId::new(RddId(i), 0), ByteSize::from_kib(4)))
-            .collect();
+        let items: Vec<_> =
+            (0..5).map(|i| (BlockId::new(RddId(i), 0), ByteSize::from_kib(4))).collect();
         let picked = take_until_covered(ByteSize::from_kib(7), items);
         assert_eq!(picked.len(), 2);
     }
 
     #[test]
     fn take_until_covered_takes_all_when_insufficient() {
-        let items: Vec<_> = (0..2)
-            .map(|i| (BlockId::new(RddId(i), 0), ByteSize::from_kib(1)))
-            .collect();
+        let items: Vec<_> =
+            (0..2).map(|i| (BlockId::new(RddId(i), 0), ByteSize::from_kib(1))).collect();
         let picked = take_until_covered(ByteSize::from_kib(100), items);
         assert_eq!(picked.len(), 2);
     }

@@ -11,9 +11,7 @@ use blaze_common::fxhash::{FxHashMap, FxHashSet};
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
 use blaze_common::ByteSize;
 use blaze_dataflow::{JobPlan, Plan};
-use blaze_engine::{
-    Admission, BlockInfo, CacheController, CtrlCtx, StateCommand, VictimAction,
-};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StateCommand, VictimAction};
 
 const INFINITE_DISTANCE: i64 = i64::MAX / 2;
 
@@ -125,10 +123,8 @@ impl CacheController for MrdController {
         _incoming: &BlockInfo,
         resident: &[BlockInfo],
     ) -> Vec<(BlockId, VictimAction)> {
-        let mut candidates: Vec<(i64, BlockId, ByteSize)> = resident
-            .iter()
-            .map(|b| (self.reference_distance(b.id.rdd), b.id, b.bytes))
-            .collect();
+        let mut candidates: Vec<(i64, BlockId, ByteSize)> =
+            resident.iter().map(|b| (self.reference_distance(b.id.rdd), b.id, b.bytes)).collect();
         // Largest reference distance first; arbitrary (id) tie-break.
         candidates.sort_by_key(|&(d, id, _)| (std::cmp::Reverse(d), id));
         let action = self.mode.victim_action();
@@ -185,7 +181,7 @@ mod tests {
         let dctx = Context::new(LocalRunner::new());
         let base = dctx.parallelize((0..50u64).map(|i| (i % 5, i)).collect::<Vec<_>>(), 2);
         let r1 = base.reduce_by_key(2, |a, b| a + b);
-        let m = r1.map(|kv| kv.clone());
+        let m = r1.map(|kv| *kv);
         let r2 = m.reduce_by_key(2, |a, b| a + b);
         (dctx, base.id(), m.id(), r2.id())
     }
@@ -221,13 +217,8 @@ mod tests {
         let mut mrd = MrdController::new(EvictMode::MemDisk);
         mrd.on_job_submit(&c, JobId(0), &job_plan, &plan);
         let resident = vec![info(base, 4), info(m, 4)];
-        let victims = mrd.choose_victims(
-            &c,
-            ExecutorId(0),
-            ByteSize::from_kib(4),
-            &info(r2, 4),
-            &resident,
-        );
+        let victims =
+            mrd.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(4), &info(r2, 4), &resident);
         // m is referenced later (stage 2) than base (stage 1): evict m first.
         assert_eq!(victims[0].0.rdd, m);
         assert_eq!(victims[0].1, VictimAction::ToDisk);

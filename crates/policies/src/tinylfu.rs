@@ -65,12 +65,7 @@ impl FrequencySketch {
 
     /// Estimates the access frequency of `id`.
     pub fn estimate(&self, id: BlockId) -> u32 {
-        self.rows
-            .iter()
-            .zip(self.indices(id).iter())
-            .map(|(row, &i)| row[i])
-            .min()
-            .unwrap_or(0)
+        self.rows.iter().zip(self.indices(id).iter()).map(|(row, &i)| row[i]).min().unwrap_or(0)
     }
 }
 
@@ -161,11 +156,7 @@ impl CacheController for TinyLfuController {
         self.last_access.remove(&id);
     }
 
-    fn on_partition_computed(
-        &mut self,
-        _ctx: &CtrlCtx,
-        event: &blaze_engine::PartitionEvent,
-    ) {
+    fn on_partition_computed(&mut self, _ctx: &CtrlCtx, event: &blaze_engine::PartitionEvent) {
         // Misses (recomputations) still count as demand for the block.
         if event.recomputed {
             self.sketch.increment(event.info.id);
@@ -231,8 +222,7 @@ mod tests {
             tl.on_access(&c, hot.id);
         }
         let cold = info(2, 4);
-        let victims =
-            tl.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(4), &cold, &[hot]);
+        let victims = tl.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(4), &cold, &[hot]);
         assert!(victims.is_empty(), "cold block must not displace hot block");
     }
 
@@ -246,8 +236,7 @@ mod tests {
         for _ in 0..5 {
             tl.sketch.increment(hot.id);
         }
-        let victims =
-            tl.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(4), &hot, &[cold]);
+        let victims = tl.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(4), &hot, &[cold]);
         assert_eq!(victims, vec![(cold.id, VictimAction::Discard)]);
     }
 }

@@ -92,9 +92,8 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
         match branch_var {
             None => {
                 // Integral: candidate solution.
-                let assignment: Vec<bool> = (0..n)
-                    .map(|i| fixed[i].unwrap_or(x[i] > 0.5))
-                    .collect();
+                let assignment: Vec<bool> =
+                    (0..n).map(|i| fixed[i].unwrap_or(x[i] > 0.5)).collect();
                 let obj = objective_of(&problem.objective, &assignment);
                 if check_feasible(problem, &assignment)
                     && best.as_ref().is_none_or(|(_, b)| obj < *b)
@@ -151,8 +150,7 @@ fn objective_of(c: &[f64], x: &[bool]) -> f64 {
 /// Verifies a binary assignment against all constraints.
 fn check_feasible(problem: &IlpProblem, x: &[bool]) -> bool {
     problem.constraints.iter().all(|c| {
-        let lhs: f64 =
-            c.coeffs.iter().zip(x).map(|(a, &xi)| if xi { *a } else { 0.0 }).sum();
+        let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, &xi)| if xi { *a } else { 0.0 }).sum();
         match c.rel {
             crate::lp::Relation::Le => lhs <= c.rhs + 1e-6,
             crate::lp::Relation::Eq => (lhs - c.rhs).abs() <= 1e-6,
@@ -177,8 +175,7 @@ mod tests {
     fn solves_small_knapsack_exactly() {
         // values 10, 6, 5; weights 5, 4, 3; cap 7 => items {1,2} = 11.
         let p = knapsack_as_ilp(&[10.0, 6.0, 5.0], &[5.0, 4.0, 3.0], 7.0);
-        let IlpOutcome::Solved { x, objective, proven_optimal } = solve_binary(&p).unwrap()
-        else {
+        let IlpOutcome::Solved { x, objective, proven_optimal } = solve_binary(&p).unwrap() else {
             panic!("expected solution");
         };
         assert!(proven_optimal);
@@ -214,11 +211,8 @@ mod tests {
 
     #[test]
     fn unconstrained_minimization_picks_negative_coefficients() {
-        let p = IlpProblem {
-            objective: vec![-5.0, 3.0, -1.0],
-            constraints: vec![],
-            node_budget: 0,
-        };
+        let p =
+            IlpProblem { objective: vec![-5.0, 3.0, -1.0], constraints: vec![], node_budget: 0 };
         let IlpOutcome::Solved { x, objective, .. } = solve_binary(&p).unwrap() else {
             panic!("expected solution");
         };
@@ -259,11 +253,7 @@ mod tests {
                     best = best.max(v);
                 }
             }
-            assert!(
-                (-objective - best).abs() < 1e-6,
-                "ILP {} != brute force {best}",
-                -objective
-            );
+            assert!((-objective - best).abs() < 1e-6, "ILP {} != brute force {best}", -objective);
         }
     }
 

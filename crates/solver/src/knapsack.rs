@@ -51,7 +51,11 @@ pub struct KnapsackSolution {
 /// assert_eq!(s.selected, vec![false, true, true]);
 /// assert_eq!(s.value, 220.0);
 /// ```
-pub fn solve_knapsack(items: &[KnapsackItem], capacity: u64, node_budget: usize) -> KnapsackSolution {
+pub fn solve_knapsack(
+    items: &[KnapsackItem],
+    capacity: u64,
+    node_budget: usize,
+) -> KnapsackSolution {
     let n = items.len();
     let budget = if node_budget == 0 { 200_000 } else { node_budget };
     if n == 0 {
@@ -157,12 +161,7 @@ pub fn solve_knapsack(items: &[KnapsackItem], capacity: u64, node_budget: usize)
     search.dfs(0, 0, 0.0, &mut sel);
 
     let selected = search.best_sel;
-    let weight = selected
-        .iter()
-        .zip(items)
-        .filter(|(s, _)| **s)
-        .map(|(_, it)| it.weight)
-        .sum();
+    let weight = selected.iter().zip(items).filter(|(s, _)| **s).map(|(_, it)| it.weight).sum();
     KnapsackSolution {
         value: search.best_value,
         weight,
@@ -246,9 +245,8 @@ mod tests {
         };
         for _case in 0..30 {
             let n = 10;
-            let items: Vec<KnapsackItem> = (0..n)
-                .map(|_| it((next() % 100) as f64, next() % 50 + 1))
-                .collect();
+            let items: Vec<KnapsackItem> =
+                (0..n).map(|_| it((next() % 100) as f64, next() % 50 + 1)).collect();
             let cap: u64 = items.iter().map(|i| i.weight).sum::<u64>() / 3;
             let s = solve_knapsack(&items, cap, 0);
             assert!(s.proven_optimal);

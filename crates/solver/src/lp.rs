@@ -198,10 +198,8 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
         let mut reduced: Vec<f64> = (0..total).map(|j| cost[j] - z[j]).collect();
         run_simplex(&mut tableau, &mut basis, &mut reduced, total)?;
         // Recompute the phase-1 objective (sum of artificial values) directly.
-        let phase1: f64 = (0..m)
-            .filter(|&i| artificials.contains(&basis[i]))
-            .map(|i| tableau[i][total])
-            .sum();
+        let phase1: f64 =
+            (0..m).filter(|&i| artificials.contains(&basis[i])).map(|i| tableau[i][total]).sum();
         if phase1 > 1e-7 {
             return Ok(LpOutcome::Infeasible);
         }
@@ -277,8 +275,7 @@ fn run_simplex(
             if a > EPS {
                 let ratio = tableau[i][total] / a;
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -305,13 +302,15 @@ fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, 
     for v in tableau[row].iter_mut() {
         *v /= p;
     }
-    for i in 0..tableau.len() {
-        if i != row {
-            let f = tableau[i][col];
-            if f.abs() > 0.0 {
-                for j in 0..=total {
-                    tableau[i][j] -= f * tableau[row][j];
-                }
+    let pivot_row = tableau[row].clone();
+    for (i, r) in tableau.iter_mut().enumerate() {
+        if i == row {
+            continue;
+        }
+        let f = r[col];
+        if f.abs() > 0.0 {
+            for (v, &pv) in r.iter_mut().zip(&pivot_row).take(total + 1) {
+                *v -= f * pv;
             }
         }
     }
@@ -365,10 +364,7 @@ mod tests {
         // x <= 1 and x >= 2.
         let lp = LinearProgram {
             objective: vec![1.0],
-            constraints: vec![
-                Constraint::le(vec![1.0], 1.0),
-                Constraint::ge(vec![1.0], 2.0),
-            ],
+            constraints: vec![Constraint::le(vec![1.0], 1.0), Constraint::ge(vec![1.0], 2.0)],
         };
         assert_eq!(solve(&lp).unwrap(), LpOutcome::Infeasible);
     }

@@ -10,10 +10,8 @@ use proptest::prelude::*;
 fn bounded_lp() -> impl Strategy<Value = LinearProgram> {
     (2usize..6).prop_flat_map(|n| {
         let objective = prop::collection::vec(-10.0f64..10.0, n);
-        let rows = prop::collection::vec(
-            (prop::collection::vec(0.0f64..5.0, n), 1.0f64..50.0),
-            1..4,
-        );
+        let rows =
+            prop::collection::vec((prop::collection::vec(0.0f64..5.0, n), 1.0f64..50.0), 1..4);
         let bounds = prop::collection::vec(0.5f64..10.0, n);
         (objective, rows, bounds).prop_map(move |(objective, rows, bounds)| {
             let mut constraints: Vec<Constraint> =

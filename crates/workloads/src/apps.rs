@@ -75,6 +75,9 @@ pub struct AppSpec {
     pub executors: usize,
     /// Task slots per executor.
     pub slots: usize,
+    /// Worker threads for parallel stage execution (`None` = engine default,
+    /// i.e. host parallelism). Does not affect simulated time or metrics.
+    pub worker_threads: Option<usize>,
     pr: PageRankConfig,
     cc: CcConfig,
     lr: LogRegConfig,
@@ -88,19 +91,14 @@ impl AppSpec {
     pub fn evaluation(app: App) -> Self {
         let executors = 4;
         let slots = 2;
-        let graph = GraphGenConfig {
-            vertices: 30_000,
-            avg_degree: 4,
-            skew: 2,
-            partitions: 10,
-            seed: 42,
-        };
+        let graph =
+            GraphGenConfig { vertices: 30_000, avg_degree: 4, skew: 2, partitions: 10, seed: 42 };
         let (memory_capacity, pr, cc, lr, km, gbt, svd) = match app {
             // PR: large adjacency + per-iteration ranks; heavily
             // memory-overcommitted (the paper's most disk-bound workload).
             App::PageRank => (
-                ByteSize::from_kib(2560),
-                PageRankConfig { graph, iterations: 10, damping: 0.85 },
+                ByteSize::from_kib(1792),
+                PageRankConfig { graph, iterations: 14, damping: 0.85 },
                 CcConfig::default(),
                 LogRegConfig::default(),
                 KMeansConfig::default(),
@@ -172,12 +170,7 @@ impl AppSpec {
                 LogRegConfig::default(),
                 KMeansConfig::default(),
                 GbtConfig {
-                    data: RegressionGenConfig {
-                        points: 48_000,
-                        dim: 8,
-                        partitions: 8,
-                        seed: 17,
-                    },
+                    data: RegressionGenConfig { points: 48_000, dim: 8, partitions: 8, seed: 17 },
                     rounds: 8,
                     depth: 2,
                     shrinkage: 0.5,
@@ -205,7 +198,26 @@ impl AppSpec {
                 },
             ),
         };
-        Self { app, memory_capacity, executors, slots, pr, cc, lr, km, gbt, svd }
+        Self {
+            app,
+            memory_capacity,
+            executors,
+            slots,
+            worker_threads: None,
+            pr,
+            cc,
+            lr,
+            km,
+            gbt,
+            svd,
+        }
+    }
+
+    /// Returns a copy pinned to `threads` execution worker threads.
+    #[must_use]
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads.max(1));
+        self
     }
 
     /// Returns a proportionally rescaled copy: data volumes and the
@@ -227,11 +239,13 @@ impl AppSpec {
 
     /// The cluster configuration for the evaluation run.
     pub fn cluster_config(&self) -> ClusterConfig {
+        let defaults = ClusterConfig::default();
         ClusterConfig {
             executors: self.executors,
             slots_per_executor: self.slots,
             memory_capacity: self.memory_capacity,
-            ..Default::default()
+            worker_threads: self.worker_threads.unwrap_or(defaults.worker_threads),
+            ..defaults
         }
     }
 
@@ -331,5 +345,15 @@ mod tests {
         for app in App::all() {
             AppSpec::evaluation(app).cluster_config().validate().unwrap();
         }
+    }
+
+    #[test]
+    fn worker_threads_knob_reaches_the_cluster_config() {
+        let spec = AppSpec::evaluation(App::KMeans);
+        assert!(spec.cluster_config().worker_threads >= 1);
+        let pinned = spec.with_worker_threads(3);
+        assert_eq!(pinned.cluster_config().worker_threads, 3);
+        // Zero clamps to one instead of producing an invalid config.
+        assert_eq!(spec.with_worker_threads(0).cluster_config().worker_threads, 1);
     }
 }

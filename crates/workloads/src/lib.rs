@@ -16,5 +16,5 @@ pub mod runner;
 pub mod systems;
 
 pub use apps::{App, AppSpec};
-pub use runner::{run_app, RunOutcome};
+pub use runner::{run_app, run_spec, RunOutcome};
 pub use systems::SystemKind;

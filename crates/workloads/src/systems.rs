@@ -3,8 +3,8 @@
 use blaze_core::{BlazeConfig, BlazeController, ProfileResult};
 use blaze_engine::CacheController;
 use blaze_policies::{
-    AlluxioController, EvictMode, FifoController, LeCaRController, LfuController,
-    LrcController, LruController, MrdController, TinyLfuController,
+    AlluxioController, EvictMode, FifoController, LeCaRController, LfuController, LrcController,
+    LruController, MrdController, TinyLfuController,
 };
 
 /// One of the systems compared in the evaluation.
@@ -73,12 +73,7 @@ impl SystemKind {
 
     /// The ablation ladder of Fig. 11, in order.
     pub fn ablation() -> [SystemKind; 4] {
-        [
-            SystemKind::SparkMemDisk,
-            SystemKind::AutoCache,
-            SystemKind::CostAware,
-            SystemKind::Blaze,
-        ]
+        [SystemKind::SparkMemDisk, SystemKind::AutoCache, SystemKind::CostAware, SystemKind::Blaze]
     }
 
     /// True if the system needs a dependency-extraction run.
@@ -101,9 +96,7 @@ impl SystemKind {
             SystemKind::Lrc => Box::new(LrcController::new(EvictMode::MemDisk)),
             SystemKind::Mrd => Box::new(MrdController::new(EvictMode::MemDisk)),
             SystemKind::Blaze => Box::new(BlazeController::new(BlazeConfig::full(), profile)),
-            SystemKind::BlazeNoProfile => {
-                Box::new(BlazeController::new(BlazeConfig::full(), None))
-            }
+            SystemKind::BlazeNoProfile => Box::new(BlazeController::new(BlazeConfig::full(), None)),
             SystemKind::AutoCache => {
                 Box::new(BlazeController::new(BlazeConfig::auto_cache_only(), profile))
             }
@@ -117,9 +110,7 @@ impl SystemKind {
             }
             SystemKind::Fifo => Box::new(FifoController::new(EvictMode::MemDisk)),
             SystemKind::Lfu => Box::new(LfuController::new(EvictMode::MemDisk)),
-            SystemKind::Lfuda => {
-                Box::new(LfuController::with_dynamic_aging(EvictMode::MemDisk))
-            }
+            SystemKind::Lfuda => Box::new(LfuController::with_dynamic_aging(EvictMode::MemDisk)),
             SystemKind::TinyLfu => Box::new(TinyLfuController::new(EvictMode::MemDisk)),
             SystemKind::LeCaR => Box::new(LeCaRController::new(EvictMode::MemDisk)),
             SystemKind::GdWheel => {

@@ -61,8 +61,7 @@ fn workload(ctx: &Context) {
     // stale small blocks; evicting the bulky blocks forfeits their reuse.
     let bulky = ctx.parallelize((0..20_000u64).collect::<Vec<_>>(), 8).map(|x| vec![*x; 4]);
     bulky.cache();
-    let mut keyed =
-        ctx.parallelize((0..20_000u64).map(|i| (i % 4_000, i)).collect::<Vec<_>>(), 8);
+    let mut keyed = ctx.parallelize((0..20_000u64).map(|i| (i % 4_000, i)).collect::<Vec<_>>(), 8);
     for _ in 0..8 {
         keyed = keyed.reduce_by_key(8, |a, b| a + b).map_values(|v| v + 1);
         keyed.cache();

@@ -27,9 +27,8 @@ fn main() {
     // Profile the pipeline's structure on a 500-point sample.
     let mut sample = cfg;
     sample.data.points = 500;
-    let profile =
-        extract_dependencies(move |ctx| kmeans::run(ctx, &sample).map(|_| ()), 0)
-            .expect("profiling succeeds");
+    let profile = extract_dependencies(move |ctx| kmeans::run(ctx, &sample).map(|_| ()), 0)
+        .expect("profiling succeeds");
 
     let cluster = Cluster::new(
         ClusterConfig {

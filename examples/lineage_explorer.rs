@@ -21,9 +21,8 @@ fn main() {
         iterations: 4,
         damping: 0.85,
     };
-    let mut profile =
-        extract_dependencies(move |ctx| pagerank::run(ctx, &cfg).map(|_| ()), 0)
-            .expect("profiling succeeds");
+    let mut profile = extract_dependencies(move |ctx| pagerank::run(ctx, &cfg).map(|_| ()), 0)
+        .expect("profiling succeeds");
 
     println!("captured {} jobs; targets: {:?}", profile.job_targets.len(), profile.job_targets);
     println!("iteration pattern: {:?}\n", profile.pattern);

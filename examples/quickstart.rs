@@ -9,11 +9,11 @@
 //! aggregation pipeline under the Blaze cache controller — and under plain
 //! MEM_ONLY Spark-style LRU for comparison.
 
+use blaze::common::ByteSize;
 use blaze::core::{extract_dependencies, BlazeConfig, BlazeController};
 use blaze::dataflow::Context;
 use blaze::engine::{CacheController, Cluster, ClusterConfig};
 use blaze::policies::{EvictMode, LruController};
-use blaze::common::ByteSize;
 
 /// The workload: ten iterations joining the working state against a bulky
 /// reference table. Everything a typical iterative job annotates is
@@ -21,14 +21,10 @@ use blaze::common::ByteSize;
 /// again (the unnecessary-caching pattern the paper's §3.1 observes).
 fn workload(ctx: &Context, scale: u64) -> blaze::common::Result<()> {
     let keys = 200 * scale;
-    let lookup = ctx
-        .parallelize((0..keys).map(|i| (i, vec![i; 6])).collect::<Vec<_>>(), 8)
-        .partition_by(8);
+    let lookup =
+        ctx.parallelize((0..keys).map(|i| (i, vec![i; 6])).collect::<Vec<_>>(), 8).partition_by(8);
     lookup.cache();
-    let mut data = ctx.parallelize(
-        (0..3 * keys).map(|i| (i % keys, i)).collect::<Vec<_>>(),
-        8,
-    );
+    let mut data = ctx.parallelize((0..3 * keys).map(|i| (i % keys, i)).collect::<Vec<_>>(), 8);
     for _ in 0..10 {
         let joined = lookup.join(&data, 8);
         joined.cache(); // Annotated, but never reused.
@@ -66,8 +62,7 @@ fn main() {
     //    path, 1000x less data.
     let profile = extract_dependencies(
         |ctx| {
-            let mut data =
-                ctx.parallelize((0..100u64).map(|i| (i % 10, i)).collect::<Vec<_>>(), 8);
+            let mut data = ctx.parallelize((0..100u64).map(|i| (i % 10, i)).collect::<Vec<_>>(), 8);
             for _ in 0..10 {
                 data = data.reduce_by_key(8, |a, b| a + b).map_values(|v| v % 1_000_003);
                 data.cache();

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Local CI: everything that must be green before a commit.
+#
+# Works without network access: when the crates.io registry is unreachable
+# (or BLAZE_OFFLINE=1 is set), every cargo invocation gets --offline. All
+# dependencies are either workspace-local or vendored under vendor/, so the
+# offline build is fully equivalent.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OFFLINE=""
+if [ "${BLAZE_OFFLINE:-}" = "1" ]; then
+    OFFLINE="--offline"
+elif ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    echo "ci: crates.io registry unreachable, using --offline"
+    OFFLINE="--offline"
+fi
+
+run() {
+    echo "ci: $*"
+    "$@"
+}
+
+run cargo build --release $OFFLINE --workspace
+run cargo test -q $OFFLINE --workspace
+run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
+run cargo fmt --all -- --check
+
+echo "ci: all checks passed"

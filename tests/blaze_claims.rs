@@ -8,8 +8,10 @@ use blaze::dataflow::{Context, CostSpec};
 use blaze::engine::{Cluster, ClusterConfig};
 use blaze::workloads::SystemKind;
 
-fn blaze_cluster(mem_kib: u64, profile_app: impl Fn(&Context) -> blaze::common::Result<()> + Copy)
--> Cluster {
+fn blaze_cluster(
+    mem_kib: u64,
+    profile_app: impl Fn(&Context) -> blaze::common::Result<()> + Copy,
+) -> Cluster {
     let profile = extract_dependencies(move |ctx| profile_app(ctx), 0).unwrap();
     Cluster::new(
         ClusterConfig {
@@ -126,10 +128,8 @@ fn blaze_chooses_eviction_state_per_partition() {
 #[test]
 fn blaze_drops_annotated_data_without_future_use() {
     let app = |ctx: &Context| -> blaze::common::Result<()> {
-        let junk = ctx
-            .parallelize((0..4_000u64).collect::<Vec<_>>(), 1)
-            .map(|x| x * 3)
-            .named("junk");
+        let junk =
+            ctx.parallelize((0..4_000u64).collect::<Vec<_>>(), 1).map(|x| x * 3).named("junk");
         junk.cache(); // Annotated, never used again after this job.
         junk.count()?;
         let useful = ctx.parallelize((0..100u64).collect::<Vec<_>>(), 1).map(|x| x * 5);

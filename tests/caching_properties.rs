@@ -67,7 +67,8 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
     /// Random pipelines produce identical results with and without caching,
-    /// across random memory capacities and controllers.
+    /// across random memory capacities, controllers and worker-thread counts
+    /// (both backends run the same pipeline at the same thread count).
     #[test]
     fn caching_is_semantically_transparent(
         elems in 100u64..2_000,
@@ -76,8 +77,12 @@ proptest! {
         steps in prop::collection::vec(step_strategy(), 1..6),
         capacity_kib in 1u64..64,
         system_pick in 0usize..4,
+        worker_threads in 1usize..5,
     ) {
-        let reference = apply(&Context::new(LocalRunner::new()), elems, keys, parts, &steps);
+        let reference = apply(
+            &Context::new(LocalRunner::new().with_threads(worker_threads)),
+            elems, keys, parts, &steps,
+        );
         let system = [
             SystemKind::SparkMemOnly,
             SystemKind::SparkMemDisk,
@@ -89,6 +94,7 @@ proptest! {
                 executors: 2,
                 slots_per_executor: 1,
                 memory_capacity: ByteSize::from_kib(capacity_kib),
+                worker_threads,
                 ..Default::default()
             },
             system.make_controller(None),

@@ -35,12 +35,10 @@ fn pipeline(ctx: &Context) -> Vec<(u64, u64)> {
 
 #[test]
 fn failing_one_executor_mid_run_preserves_results() {
-    for system in [SystemKind::SparkMemOnly, SystemKind::SparkMemDisk, SystemKind::BlazeNoProfile]
-    {
+    for system in [SystemKind::SparkMemOnly, SystemKind::SparkMemDisk, SystemKind::BlazeNoProfile] {
         let cluster = Cluster::new(config(), system.make_controller(None)).unwrap();
         let ctx = Context::new(cluster.clone());
-        let mut data =
-            ctx.parallelize((0..8_000u64).map(|i| (i % 200, i)).collect::<Vec<_>>(), 8);
+        let mut data = ctx.parallelize((0..8_000u64).map(|i| (i % 200, i)).collect::<Vec<_>>(), 8);
         for round in 0..3 {
             data = data.reduce_by_key(8, |a, b| a.wrapping_add(*b)).map_values(|v| v ^ 0xA5);
             data.cache();
@@ -61,8 +59,7 @@ fn failing_one_executor_mid_run_preserves_results() {
 
 #[test]
 fn failing_every_executor_still_recovers_through_lineage() {
-    let cluster =
-        Cluster::new(config(), SystemKind::SparkMemOnly.make_controller(None)).unwrap();
+    let cluster = Cluster::new(config(), SystemKind::SparkMemOnly.make_controller(None)).unwrap();
     let ctx = Context::new(cluster.clone());
     let data = ctx.parallelize((0..2_000u64).map(|i| (i % 64, i)).collect::<Vec<_>>(), 8);
     let reduced = data.reduce_by_key(4, |a, b| a + b);
@@ -81,7 +78,6 @@ fn failing_every_executor_still_recovers_through_lineage() {
 
 #[test]
 fn failing_an_unknown_executor_is_an_error() {
-    let cluster =
-        Cluster::new(config(), SystemKind::SparkMemOnly.make_controller(None)).unwrap();
+    let cluster = Cluster::new(config(), SystemKind::SparkMemOnly.make_controller(None)).unwrap();
     assert!(cluster.fail_executor(ExecutorId(99)).is_err());
 }

@@ -12,8 +12,7 @@ use blaze::workloads::SystemKind;
 
 /// A small but eviction-heavy iterative workload returning its final data.
 fn workload(ctx: &Context) -> Vec<(u64, u64)> {
-    let mut data =
-        ctx.parallelize((0..20_000u64).map(|i| (i % 257, i)).collect::<Vec<_>>(), 8);
+    let mut data = ctx.parallelize((0..20_000u64).map(|i| (i % 257, i)).collect::<Vec<_>>(), 8);
     for _ in 0..6 {
         data = data
             .reduce_by_key(8, |a, b| a.wrapping_add(*b))

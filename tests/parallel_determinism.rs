@@ -1,0 +1,94 @@
+//! Cross-crate invariant: worker-thread count is invisible to the simulation.
+//!
+//! The engine executes each stage's tasks on a pool of real OS threads, but
+//! plans placements and commits cache effects serially (see "Execution
+//! threading model" in DESIGN.md). These golden tests pin the resulting
+//! guarantee: every metric — simulated ACT, hit/miss counters, eviction
+//! volumes, per-task traces — is bit-identical whether a stage runs on one
+//! thread or many, for both the Blaze controller and an LRU baseline.
+
+use blaze::common::ByteSize;
+use blaze::dataflow::{runner::LocalRunner, Context};
+use blaze::engine::{Cluster, ClusterConfig};
+use blaze::workloads::{run_spec, App, AppSpec, SystemKind};
+
+/// Full applications, profiled (Blaze) and unprofiled (LRU) controllers:
+/// the entire `Metrics` struct must match between 1 and 4 worker threads.
+#[test]
+fn worker_threads_do_not_change_any_metric() {
+    for app in [App::PageRank, App::KMeans] {
+        for system in [SystemKind::Blaze, SystemKind::SparkMemOnly] {
+            let serial = run_spec(&AppSpec::evaluation(app).with_worker_threads(1), system)
+                .expect("serial run");
+            let parallel = run_spec(&AppSpec::evaluation(app).with_worker_threads(4), system)
+                .expect("parallel run");
+            assert_eq!(
+                serial.metrics, parallel.metrics,
+                "{app:?} under {system:?}: metrics diverged between 1 and 4 threads"
+            );
+            assert_eq!(serial.act(), parallel.act(), "{app:?}/{system:?}: ACT diverged");
+        }
+    }
+}
+
+/// Computed values are also identical: the same eviction-heavy pipeline
+/// collects the same elements at every thread count.
+#[test]
+fn worker_threads_do_not_change_results() {
+    fn run(threads: usize) -> Vec<(u64, u64)> {
+        let cluster = Cluster::new(
+            ClusterConfig {
+                executors: 2,
+                slots_per_executor: 2,
+                memory_capacity: ByteSize::from_kib(24),
+                worker_threads: threads,
+                ..Default::default()
+            },
+            SystemKind::BlazeNoProfile.make_controller(None),
+        )
+        .expect("valid config");
+        let ctx = Context::new(cluster);
+        let mut data = ctx.parallelize((0..10_000u64).map(|i| (i % 193, i)).collect::<Vec<_>>(), 8);
+        for _ in 0..4 {
+            data = data
+                .reduce_by_key(8, |a, b| a.wrapping_add(*b))
+                .map_values(|v| v.wrapping_mul(31).wrapping_add(7));
+            data.cache();
+            data.count().expect("count");
+        }
+        let mut out = data.collect().expect("collect");
+        out.sort();
+        out
+    }
+
+    let reference = run(1);
+    assert!(!reference.is_empty());
+    for threads in [2, 4, 7] {
+        assert_eq!(run(threads), reference, "results diverged at {threads} threads");
+    }
+}
+
+/// The reference `LocalRunner` gives the same answers as the parallel
+/// cluster, closing the loop between the two execution backends.
+#[test]
+fn parallel_cluster_matches_parallel_local_runner() {
+    fn pipeline(ctx: &Context) -> Vec<(u64, u64)> {
+        let data = ctx
+            .parallelize((0..6_000u64).map(|i| (i % 101, i)).collect::<Vec<_>>(), 6)
+            .map_values(|v| v ^ 0x5a5a)
+            .reduce_by_key(6, |a, b| a.wrapping_add(*b));
+        data.cache();
+        let mut out = data.collect().expect("collect");
+        out.sort();
+        out
+    }
+
+    let local = pipeline(&Context::new(LocalRunner::new().with_threads(4)));
+    let cluster = Cluster::new(
+        ClusterConfig { worker_threads: 4, ..Default::default() },
+        SystemKind::SparkMemDisk.make_controller(None),
+    )
+    .expect("valid config");
+    let engine = pipeline(&Context::new(cluster));
+    assert_eq!(engine, local);
+}

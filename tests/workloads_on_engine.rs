@@ -5,9 +5,9 @@
 use blaze::common::ByteSize;
 use blaze::dataflow::{runner::LocalRunner, Context};
 use blaze::engine::{Cluster, ClusterConfig};
+use blaze::graph::cc::{self, CcConfig};
 use blaze::graph::datagen::GraphGenConfig;
 use blaze::graph::pagerank::{self, PageRankConfig};
-use blaze::graph::cc::{self, CcConfig};
 use blaze::ml::datagen::ClusterGenConfig;
 use blaze::ml::kmeans::{self, KMeansConfig};
 use blaze::workloads::SystemKind;

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `rand 0.8` crate.
+//!
+//! Implements the subset the workspace uses: a seedable deterministic
+//! generator ([`rngs::StdRng`]), the [`Rng`] extension trait with
+//! `gen`/`gen_range`/`sample_iter`, and the [`distributions::Standard`]
+//! distribution. The generator is SplitMix64, so streams are identical
+//! across platforms and runs for a given seed — which is the property the
+//! workspace's bit-for-bit reproducibility depends on. The streams differ
+//! from upstream `rand`'s ChaCha12-based `StdRng`.
+
+use std::ops::Range;
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Value distributions that can be sampled from a generator.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution producing values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution of a primitive type: full range
+    /// for integers, `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on an empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is negligible for the small spans used here.
+                let off = (rng.next_u64() as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range on an empty range");
+        let u: f64 = distributions::Distribution::sample(&distributions::Standard, rng);
+        range.start + u * (range.end - range.start)
+    }
+}
+
+/// Iterator over draws from a distribution, returned by [`Rng::sample_iter`].
+pub struct DistIter<R, D, T> {
+    rng: R,
+    dist: D,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<R: RngCore, D: distributions::Distribution<T>, T> Iterator for DistIter<R, D, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.dist.sample(&mut self.rng))
+    }
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Draws uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Converts the generator into an infinite iterator of draws.
+    fn sample_iter<T, D>(self, dist: D) -> DistIter<Self, D, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        DistIter { rng: self, dist, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Standard;
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = StdRng::seed_from_u64(9).sample_iter(Standard).take(8).collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(9).sample_iter(Standard).take(8).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn floats_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centred() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+}
