@@ -1,0 +1,52 @@
+//! `blaze-lint`: the workspace determinism lint.
+//!
+//! Usage:
+//!
+//! ```text
+//! blaze-lint [PATH ...]
+//! ```
+//!
+//! With no arguments, lints every production source tree under `crates/`
+//! (resolved relative to the workspace root, so it works from any working
+//! directory inside the repo). With arguments, lints exactly the given
+//! files or directories — used by the fixture tests and handy for editor
+//! integration. Exits non-zero when any violation is found.
+
+use blaze_audit::lint::lint_paths;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_crates_dir() -> PathBuf {
+    // The manifest dir is crates/audit; the workspace source roots are its
+    // siblings. Canonicalize so path-based rule scoping sees `crates/<name>/`
+    // rather than `crates/audit/../<name>/`.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+    dir.canonicalize().unwrap_or(dir)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![workspace_crates_dir()]
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    match lint_paths(&roots) {
+        Ok(violations) if violations.is_empty() => {
+            println!("blaze-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("blaze-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("blaze-lint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Structured diagnostics emitted by the static analyses.
+//!
+//! Every check in this crate (and the cost-lineage consistency check in
+//! `blaze-core`) reports findings as [`Diagnostic`] values with a stable
+//! [`DiagCode`], so callers can assert on exact codes, metrics can count
+//! warnings, and strict mode can promote severities uniformly.
+
+use blaze_common::ids::RddId;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never blocks execution.
+    Info,
+    /// A hazard (e.g. a caching anti-pattern). Logged by default; promoted
+    /// to [`Severity::Error`] under strict mode.
+    Warning,
+    /// A structural invariant violation. Execution must not proceed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => f.write_str("info"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable identifier of one auditor check.
+///
+/// `BA0xx` codes are structural plan invariants (errors), `BA1xx` codes are
+/// caching anti-patterns (warnings), `BA2xx` codes are cross-structure
+/// consistency checks (emitted by `blaze-core`). The numbering is part of
+/// the public contract: tests and `// audit: allow(..)` annotations refer
+/// to codes by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// BA001: a dependency points at an id not defined before its child
+    /// (forward reference — the only way a cycle can exist in an
+    /// id-ordered DAG).
+    CycleOrForwardRef,
+    /// BA002: a dependency points at an id absent from the plan entirely.
+    DanglingParent,
+    /// BA003: a dataset declares zero partitions.
+    ZeroPartitions,
+    /// BA004: a narrow dependency joins datasets with differing partition
+    /// counts (narrow deps are index-aligned by definition).
+    NarrowPartitionMismatch,
+    /// BA005: a dataset's declared partitioner disagrees with its partition
+    /// count (co-partitioning claims would be wrong at shuffle boundaries).
+    PartitionerMismatch,
+    /// BA006: a cost spec contains a negative or non-finite component.
+    InvalidCostSpec,
+    /// BA007: compute kind and dependency shape disagree (source with
+    /// deps, operator without deps, narrow compute with shuffle dep, ...).
+    ComputeShapeMismatch,
+    /// BA101: a dataset is consumed by two or more downstream stages but is
+    /// not cache-annotated — every consuming stage recomputes its lineage
+    /// (the "recompute bomb" of LRC-style reference-count analysis).
+    RecomputeBomb,
+    /// BA102: a dataset is cache-annotated but nothing consumes it and it
+    /// is not a job target — the cache entry can never be read back.
+    UnreachableCache,
+    /// BA103: the estimated bytes of all cache-annotated datasets exceed
+    /// the total memory-store capacity; admissions will thrash.
+    CacheOvercommit,
+    /// BA201: a CostLineage node disagrees with the logical plan it is
+    /// supposed to mirror (parents or partition counts diverged).
+    LineageMismatch,
+}
+
+impl DiagCode {
+    /// The stable short code (`BA001`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::CycleOrForwardRef => "BA001",
+            DiagCode::DanglingParent => "BA002",
+            DiagCode::ZeroPartitions => "BA003",
+            DiagCode::NarrowPartitionMismatch => "BA004",
+            DiagCode::PartitionerMismatch => "BA005",
+            DiagCode::InvalidCostSpec => "BA006",
+            DiagCode::ComputeShapeMismatch => "BA007",
+            DiagCode::RecomputeBomb => "BA101",
+            DiagCode::UnreachableCache => "BA102",
+            DiagCode::CacheOvercommit => "BA103",
+            DiagCode::LineageMismatch => "BA201",
+        }
+    }
+
+    /// The default severity of this check (before strict-mode promotion).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            DiagCode::CycleOrForwardRef
+            | DiagCode::DanglingParent
+            | DiagCode::ZeroPartitions
+            | DiagCode::NarrowPartitionMismatch
+            | DiagCode::PartitionerMismatch
+            | DiagCode::InvalidCostSpec
+            | DiagCode::ComputeShapeMismatch
+            | DiagCode::LineageMismatch => Severity::Error,
+            DiagCode::RecomputeBomb | DiagCode::UnreachableCache | DiagCode::CacheOvercommit => {
+                Severity::Warning
+            }
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of a static analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub code: DiagCode,
+    /// Effective severity (after any strict-mode promotion).
+    pub severity: Severity,
+    /// The dataset the finding is about, when attributable to one.
+    pub rdd: Option<RddId>,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// A short suggestion for resolving the finding.
+    pub fix_hint: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the code's default severity.
+    pub fn new(code: DiagCode, rdd: Option<RddId>, message: String, fix_hint: String) -> Self {
+        Self { code, severity: code.default_severity(), rdd, message, fix_hint }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.severity, self.code)?;
+        if let Some(rdd) = self.rdd {
+            write!(f, " [{rdd}]")?;
+        }
+        write!(f, ": {} (hint: {})", self.message, self.fix_hint)
+    }
+}
+
+/// The outcome of an audit pass: diagnostics in deterministic order
+/// (severity descending, then dataset id, then code).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// All findings, sorted deterministically.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// Builds a report, sorting the findings into the canonical order.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.rdd.cmp(&b.rdd))
+                .then(a.code.cmp(&b.code))
+                .then(a.message.cmp(&b.message))
+        });
+        Self { diagnostics }
+    }
+
+    /// Findings at [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings at [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when no finding of any severity was produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when no error-severity finding was produced.
+    pub fn passes(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// True when the given check fired at least once.
+    pub fn has(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Promotes every warning to an error (strict mode).
+    #[must_use]
+    pub fn promoted(mut self) -> Self {
+        for d in &mut self.diagnostics {
+            if d.severity == Severity::Warning {
+                d.severity = Severity::Error;
+            }
+        }
+        Self::new(self.diagnostics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            DiagCode::CycleOrForwardRef,
+            DiagCode::DanglingParent,
+            DiagCode::ZeroPartitions,
+            DiagCode::NarrowPartitionMismatch,
+            DiagCode::PartitionerMismatch,
+            DiagCode::InvalidCostSpec,
+            DiagCode::ComputeShapeMismatch,
+            DiagCode::RecomputeBomb,
+            DiagCode::UnreachableCache,
+            DiagCode::CacheOvercommit,
+            DiagCode::LineageMismatch,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "duplicate diagnostic code strings");
+    }
+
+    #[test]
+    fn report_sorts_errors_first() {
+        let warn = Diagnostic::new(DiagCode::RecomputeBomb, Some(RddId(9)), "w".into(), "h".into());
+        let err = Diagnostic::new(DiagCode::ZeroPartitions, Some(RddId(1)), "e".into(), "h".into());
+        let report = AuditReport::new(vec![warn.clone(), err.clone()]);
+        assert_eq!(report.diagnostics[0], err);
+        assert!(!report.is_clean());
+        assert!(!report.passes());
+        assert_eq!(report.warnings().count(), 1);
+    }
+
+    #[test]
+    fn strict_promotion_turns_warnings_into_errors() {
+        let warn = Diagnostic::new(DiagCode::CacheOvercommit, None, "w".into(), "h".into());
+        let report = AuditReport::new(vec![warn]).promoted();
+        assert_eq!(report.errors().count(), 1);
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn display_includes_code_and_hint() {
+        let d = Diagnostic::new(
+            DiagCode::DanglingParent,
+            Some(RddId(3)),
+            "missing parent".into(),
+            "rebuild the plan".into(),
+        );
+        let s = d.to_string();
+        assert!(s.contains("BA002") && s.contains("rdd-3") && s.contains("rebuild the plan"));
+    }
+}

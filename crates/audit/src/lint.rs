@@ -1,0 +1,310 @@
+//! Layer 2: the deterministic-simulation source lint.
+//!
+//! A line-oriented scanner (no parser, no dependencies) that enforces the
+//! contract behind the engine's bit-identical replay guarantees:
+//!
+//! - `std-hash` — `std::collections::HashMap`/`HashSet` in `engine`,
+//!   `policies` or `core`: iteration order is seeded per process, so any
+//!   decision derived from it diverges across runs. Use `FxHashMap` /
+//!   `FxHashSet` (fixed-state hashing) or `BTreeMap`.
+//! - `wall-clock` — `Instant::now` / `SystemTime` outside `crates/bench`:
+//!   simulated time must come from the deterministic clock, never the host.
+//! - `unwrap` — `.unwrap()` / `.expect(..)` in `crates/engine` without an
+//!   explicit `// audit: allow(unwrap)` justification: the engine is the
+//!   fallible substrate everything runs on; failures must surface as
+//!   `BlazeError`, not aborts.
+//! - `thread-rng` — `thread_rng` anywhere: OS-seeded randomness breaks
+//!   replay. Use the seeded generators in `blaze-common`.
+//!
+//! A finding on line `n` is suppressed by `// audit: allow(<code>)` on line
+//! `n` or `n - 1`. Doc comments, comment text and `#[cfg(test)]` modules
+//! (by convention at the end of a file) are not linted.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// The patterns are assembled with `concat!` so this file does not itself
+// contain the contiguous token sequences it searches for.
+const PAT_STD_HASH_PREFIX: &str = concat!("std::", "collections");
+const PAT_HASH_MAP: &str = concat!("Hash", "Map");
+const PAT_HASH_SET: &str = concat!("Hash", "Set");
+const PAT_INSTANT_NOW: &str = concat!("Instant", "::", "now");
+const PAT_SYSTEM_TIME: &str = concat!("System", "Time");
+const PAT_UNWRAP: &str = concat!(".unw", "rap()");
+const PAT_EXPECT: &str = concat!(".exp", "ect(");
+const PAT_THREAD_RNG: &str = concat!("thread", "_rng");
+const PAT_CFG_TEST: &str = concat!("#[cfg(", "test)]");
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintViolation {
+    /// The file the finding is in (as passed to the linter).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired (`std-hash`, `wall-clock`, `unwrap`,
+    /// `thread-rng`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.code, self.message)
+    }
+}
+
+/// Which rule groups apply to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    /// `std::collections` hash containers banned (engine/policies/core).
+    std_hash: bool,
+    /// Wall-clock reads banned (everywhere but `crates/bench`).
+    wall_clock: bool,
+    /// Bare `.unwrap()`/`.expect()` banned (`crates/engine`).
+    unwrap: bool,
+}
+
+fn scope_of(path: &str) -> Scope {
+    let p = path.replace('\\', "/");
+    let in_crate = |name: &str| p.contains(&format!("crates/{name}/"));
+    Scope {
+        std_hash: in_crate("engine") || in_crate("policies") || in_crate("core"),
+        wall_clock: !in_crate("bench"),
+        unwrap: in_crate("engine"),
+    }
+}
+
+/// True if `line` (or `prev`, the preceding source line) carries an
+/// `// audit: allow(<code>)` annotation for `code`.
+fn allowed(line: &str, prev: Option<&str>, code: &str) -> bool {
+    let marker = format!("audit: allow({code})");
+    line.contains(&marker) || prev.is_some_and(|p| p.contains(&marker))
+}
+
+/// Returns the position of `pat` in `line` when the match sits in code
+/// rather than inside comment text.
+fn code_match(line: &str, pat: &str) -> Option<usize> {
+    let idx = line.find(pat)?;
+    match line.find("//") {
+        Some(c) if c < idx => None,
+        _ => Some(idx),
+    }
+}
+
+/// Lints one file's content. `path` is used both for reporting and for
+/// deciding which rules apply.
+pub fn lint_source(path: &str, content: &str) -> Vec<LintViolation> {
+    let scope = scope_of(path);
+    let mut out = Vec::new();
+    let mut prev: Option<&str> = None;
+    for (i, line) in content.lines().enumerate() {
+        let n = i + 1;
+        // Test modules sit at the end of a file by workspace convention;
+        // nothing after the cfg gate runs in production.
+        if line.contains(PAT_CFG_TEST) {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") || trimmed.starts_with("//") {
+            prev = Some(line);
+            continue;
+        }
+
+        if scope.std_hash
+            && code_match(line, PAT_STD_HASH_PREFIX).is_some()
+            && (line.contains(PAT_HASH_MAP) || line.contains(PAT_HASH_SET))
+            && !allowed(line, prev, "std-hash")
+        {
+            out.push(LintViolation {
+                file: path.into(),
+                line: n,
+                code: "std-hash",
+                message: "std hash containers have per-process iteration order; use \
+                          FxHashMap/FxHashSet or BTreeMap"
+                    .into(),
+            });
+        }
+        if scope.wall_clock
+            && (code_match(line, PAT_INSTANT_NOW).is_some()
+                || code_match(line, PAT_SYSTEM_TIME).is_some())
+            && !allowed(line, prev, "wall-clock")
+        {
+            out.push(LintViolation {
+                file: path.into(),
+                line: n,
+                code: "wall-clock",
+                message: "host clocks are nondeterministic; simulated time must come from \
+                          SimTime (wall-clock measurement belongs in crates/bench)"
+                    .into(),
+            });
+        }
+        if scope.unwrap
+            && (code_match(line, PAT_UNWRAP).is_some() || code_match(line, PAT_EXPECT).is_some())
+            && !allowed(line, prev, "unwrap")
+        {
+            out.push(LintViolation {
+                file: path.into(),
+                line: n,
+                code: "unwrap",
+                message: "engine code must surface failures as BlazeError; convert to a typed \
+                          result or justify with `// audit: allow(unwrap)`"
+                    .into(),
+            });
+        }
+        if code_match(line, PAT_THREAD_RNG).is_some() && !allowed(line, prev, "thread-rng") {
+            out.push(LintViolation {
+                file: path.into(),
+                line: n,
+                code: "thread-rng",
+                message: "OS-seeded randomness breaks replay; use the seeded RNGs in \
+                          blaze-common"
+                    .into(),
+            });
+        }
+        prev = Some(line);
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `root` in deterministic
+/// (lexicographic) order, skipping `target` and `vendor` directories.
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(root)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every production source file under the given roots (files are
+/// linted directly; directories are walked for `src/` trees). Returns
+/// findings in deterministic order.
+pub fn lint_paths(roots: &[PathBuf]) -> io::Result<Vec<LintViolation>> {
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_dir() {
+            collect_rs_files(root, &mut files)?;
+        } else {
+            files.push(root.clone());
+        }
+    }
+    // Integration tests and benches may legitimately mention the banned
+    // constructs (fixtures, wall-clock harnesses); the contract covers
+    // the production `src/` trees.
+    files.retain(|f| {
+        let p = f.to_string_lossy().replace('\\', "/");
+        !p.contains("/tests/") && !p.contains("/benches/")
+    });
+    let mut out = Vec::new();
+    for file in files {
+        let content = fs::read_to_string(&file)?;
+        out.extend(lint_source(&file.to_string_lossy(), &content));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn join(lines: &[&str]) -> String {
+        lines.join("\n")
+    }
+
+    #[test]
+    fn flags_std_hash_in_engine_scope_only() {
+        let src = join(&["use std::collections::HashMap;", "fn f() {}"]);
+        let hits = lint_source("crates/engine/src/x.rs", &src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].code, "std-hash");
+        assert_eq!(hits[0].line, 1);
+        assert!(lint_source("crates/common/src/x.rs", &src).is_empty());
+        let set = join(&["use std::collections::{HashSet, VecDeque};"]);
+        assert_eq!(lint_source("crates/policies/src/x.rs", &set).len(), 1);
+        assert_eq!(lint_source("crates/core/src/x.rs", &set).len(), 1);
+    }
+
+    #[test]
+    fn flags_wall_clock_outside_bench() {
+        let src = join(&["fn f() { let t = std::time::Instant::now(); }"]);
+        assert_eq!(lint_source("crates/dataflow/src/x.rs", &src).len(), 1);
+        assert!(lint_source("crates/bench/src/x.rs", &src).is_empty());
+        let sys = join(&["use std::time::SystemTime;"]);
+        assert_eq!(lint_source("crates/workloads/src/x.rs", &sys)[0].code, "wall-clock");
+    }
+
+    #[test]
+    fn flags_unwrap_in_engine_without_annotation() {
+        let src = join(&["fn f(x: Option<u32>) -> u32 { x.unwrap() }"]);
+        assert_eq!(lint_source("crates/engine/src/x.rs", &src).len(), 1);
+        assert!(lint_source("crates/graph/src/x.rs", &src).is_empty());
+        let exp = join(&["fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }"]);
+        assert_eq!(lint_source("crates/engine/src/x.rs", &exp)[0].code, "unwrap");
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_same_and_previous_line() {
+        let same = join(&["let v = x.unwrap(); // audit: allow(unwrap) invariant: non-empty"]);
+        assert!(lint_source("crates/engine/src/x.rs", &same).is_empty());
+        let above = join(&[
+            "// audit: allow(unwrap) worker panics must propagate",
+            "let v = handle.join().unwrap();",
+        ]);
+        assert!(lint_source("crates/engine/src/x.rs", &above).is_empty());
+        // The wrong code does not suppress.
+        let wrong = join(&["let v = x.unwrap(); // audit: allow(wall-clock)"]);
+        assert_eq!(lint_source("crates/engine/src/x.rs", &wrong).len(), 1);
+    }
+
+    #[test]
+    fn flags_thread_rng_everywhere() {
+        let src = join(&["fn f() { let r = rand::thread_rng(); }"]);
+        assert_eq!(lint_source("crates/common/src/x.rs", &src)[0].code, "thread-rng");
+        assert_eq!(lint_source("crates/ml/src/x.rs", &src).len(), 1);
+    }
+
+    #[test]
+    fn skips_comments_doc_comments_and_test_modules() {
+        let src = join(&[
+            "//! Discusses Instant::now in docs.",
+            "/// Also x.unwrap() in docs.",
+            "// And thread_rng in a comment.",
+            "fn f() {} // trailing mention of SystemTime is comment text",
+            "#[cfg(test)]",
+            "mod tests {",
+            "    fn g(x: Option<u32>) -> u32 { x.unwrap() }",
+            "}",
+        ]);
+        assert!(lint_source("crates/engine/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = join(&["fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }"]);
+        assert!(lint_source("crates/engine/src/x.rs", &src).is_empty());
+        let els = join(&["fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }"]);
+        assert!(lint_source("crates/engine/src/x.rs", &els).is_empty());
+    }
+
+    #[test]
+    fn violations_display_path_line_and_code() {
+        let src = join(&["fn f() { let r = rand::thread_rng(); }"]);
+        let v = &lint_source("crates/ml/src/x.rs", &src)[0];
+        let shown = v.to_string();
+        assert!(shown.contains("crates/ml/src/x.rs:1") && shown.contains("thread-rng"));
+    }
+}

@@ -1,0 +1,436 @@
+//! Layer 1: static verification of lineage plans.
+//!
+//! The auditor runs over [`AuditNode`]s — a lightweight, data-only view of a
+//! lineage DAG. Real [`Plan`]s are converted with [`extract`]; tests
+//! fabricate views directly, which is what lets every structural check be
+//! exercised with inputs that `Plan::add_node` itself would reject. Checks
+//! come in two groups:
+//!
+//! - **Structural invariants** (`BA0xx`, errors): acyclicity via id
+//!   ordering, no dangling parents, partition-count agreement across narrow
+//!   dependencies, partitioner agreement, finite non-negative cost specs,
+//!   compute/dependency shape agreement.
+//! - **Caching anti-patterns** (`BA1xx`, warnings): datasets consumed by
+//!   two or more stages of a job but never cached (the LRC-style
+//!   "recompute bomb"), cached datasets nothing can ever read back, and
+//!   cache footprints that exceed store capacity.
+
+use crate::diagnostic::{AuditReport, DiagCode, Diagnostic, Severity};
+use blaze_common::fxhash::{FxHashMap, FxHashSet};
+use blaze_common::ids::RddId;
+use blaze_common::ByteSize;
+use blaze_dataflow::plan::{Compute, CostSpec, Plan};
+
+/// The compute shape of a node, as far as the auditor cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeKind {
+    /// Leaf generator (no dependencies allowed).
+    Source,
+    /// Narrow operator (narrow dependencies only).
+    Narrow,
+    /// Shuffle aggregation (shuffle dependencies only).
+    ShuffleAgg,
+}
+
+/// One dependency edge in the audited view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditDep {
+    /// The parent dataset.
+    pub parent: RddId,
+    /// True for shuffle (stage-boundary) dependencies.
+    pub shuffle: bool,
+}
+
+/// A data-only view of one lineage node: everything the static checks need,
+/// nothing they cannot inspect (no closures).
+#[derive(Debug, Clone)]
+pub struct AuditNode {
+    /// The dataset id.
+    pub id: RddId,
+    /// Operator name, used in messages.
+    pub name: String,
+    /// Declared partition count.
+    pub num_partitions: usize,
+    /// Dependency edges.
+    pub deps: Vec<AuditDep>,
+    /// Compute shape.
+    pub kind: ComputeKind,
+    /// Compute-time model.
+    pub cost: CostSpec,
+    /// Declared output partitioner bucket count, if any.
+    pub partitioner_partitions: Option<usize>,
+    /// True if the user annotated the dataset with `cache()`.
+    pub cache_annotated: bool,
+    /// True once `unpersist()` was requested.
+    pub unpersist_requested: bool,
+}
+
+/// Extracts the audited view of a real plan (plan-introspection layer).
+pub fn extract(plan: &Plan) -> Vec<AuditNode> {
+    plan.iter()
+        .map(|n| AuditNode {
+            id: n.id,
+            name: n.name.clone(),
+            num_partitions: n.num_partitions,
+            deps: n
+                .deps
+                .iter()
+                .map(|d| AuditDep { parent: d.parent(), shuffle: d.is_shuffle() })
+                .collect(),
+            kind: match n.compute {
+                Compute::Source(_) => ComputeKind::Source,
+                Compute::Narrow(_) => ComputeKind::Narrow,
+                Compute::ShuffleAgg(_) => ComputeKind::ShuffleAgg,
+            },
+            cost: n.cost,
+            partitioner_partitions: n.partitioner.as_ref().map(|p| p.num_partitions()),
+            cache_annotated: n.cache_annotated,
+            unpersist_requested: n.unpersist_requested,
+        })
+        .collect()
+}
+
+/// Inputs of a capacity-aware audit.
+#[derive(Debug, Clone, Default)]
+pub struct AuditConfig {
+    /// Total memory-store capacity across the cluster, when known.
+    pub total_memory: Option<ByteSize>,
+    /// Total disk-store capacity across the cluster, when known.
+    pub total_disk: Option<ByteSize>,
+    /// Estimated materialized size per dataset, when observed.
+    pub size_estimates: FxHashMap<RddId, ByteSize>,
+    /// Promote warnings to errors.
+    pub strict: bool,
+}
+
+/// Verifies the structural invariants of a node list (`BA0xx`).
+///
+/// The returned report contains only error-severity findings; a plan built
+/// through [`Plan::add_node`] always passes (defense in depth — this guards
+/// plan sources the constructor cannot, e.g. deserialized or hand-built
+/// DAG views, and pins the constructor's own guarantees).
+pub fn audit_structure(nodes: &[AuditNode]) -> AuditReport {
+    let mut diags = Vec::new();
+    let ids: FxHashSet<RddId> = nodes.iter().map(|n| n.id).collect();
+
+    for node in nodes {
+        if node.num_partitions == 0 {
+            diags.push(Diagnostic::new(
+                DiagCode::ZeroPartitions,
+                Some(node.id),
+                format!("dataset '{}' declares zero partitions", node.name),
+                "every dataset needs at least one partition".into(),
+            ));
+        }
+        if let Some(parts) = node.partitioner_partitions {
+            if parts != node.num_partitions {
+                diags.push(Diagnostic::new(
+                    DiagCode::PartitionerMismatch,
+                    Some(node.id),
+                    format!(
+                        "dataset '{}' declares a {parts}-bucket partitioner but has {} partitions",
+                        node.name, node.num_partitions
+                    ),
+                    "drop the partitioner claim or repartition; co-partitioned joins would \
+                     misroute keys"
+                        .into(),
+                ));
+            }
+        }
+        for (name, v) in [
+            ("fixed_ns", node.cost.fixed_ns),
+            ("ns_per_elem", node.cost.ns_per_elem),
+            ("ns_per_byte", node.cost.ns_per_byte),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                diags.push(Diagnostic::new(
+                    DiagCode::InvalidCostSpec,
+                    Some(node.id),
+                    format!("dataset '{}' has {name} = {v}", node.name),
+                    "cost components must be finite and non-negative; the cost model and the \
+                     ILP objective would be poisoned"
+                        .into(),
+                ));
+            }
+        }
+
+        match (node.kind, node.deps.is_empty()) {
+            (ComputeKind::Source, false) => diags.push(Diagnostic::new(
+                DiagCode::ComputeShapeMismatch,
+                Some(node.id),
+                format!("source '{}' declares dependencies", node.name),
+                "sources are leaves; use a narrow operator for derived data".into(),
+            )),
+            (ComputeKind::Narrow | ComputeKind::ShuffleAgg, true) => diags.push(Diagnostic::new(
+                DiagCode::ComputeShapeMismatch,
+                Some(node.id),
+                format!("operator '{}' has no dependencies", node.name),
+                "operators must consume at least one parent".into(),
+            )),
+            _ => {}
+        }
+
+        for dep in &node.deps {
+            if !ids.contains(&dep.parent) {
+                diags.push(Diagnostic::new(
+                    DiagCode::DanglingParent,
+                    Some(node.id),
+                    format!("dataset '{}' depends on undefined {}", node.name, dep.parent),
+                    "rebuild the plan; a dangling parent is unexecutable".into(),
+                ));
+                continue;
+            }
+            if dep.parent.raw() >= node.id.raw() {
+                diags.push(Diagnostic::new(
+                    DiagCode::CycleOrForwardRef,
+                    Some(node.id),
+                    format!(
+                        "dataset '{}' depends on {} which is not defined before it",
+                        node.name, dep.parent
+                    ),
+                    "lineage must be append-only; forward references admit cycles".into(),
+                ));
+                continue;
+            }
+            if dep.shuffle {
+                if node.kind != ComputeKind::ShuffleAgg {
+                    diags.push(Diagnostic::new(
+                        DiagCode::ComputeShapeMismatch,
+                        Some(node.id),
+                        format!("non-shuffle operator '{}' has a shuffle dependency", node.name),
+                        "only shuffle aggregations may read shuffled data".into(),
+                    ));
+                }
+            } else {
+                if node.kind == ComputeKind::ShuffleAgg {
+                    diags.push(Diagnostic::new(
+                        DiagCode::ComputeShapeMismatch,
+                        Some(node.id),
+                        format!("shuffle aggregation '{}' has a narrow dependency", node.name),
+                        "shuffle aggregations read only shuffled data".into(),
+                    ));
+                }
+                if let Some(parent) = nodes.iter().find(|n| n.id == dep.parent) {
+                    if node.kind != ComputeKind::ShuffleAgg
+                        && parent.num_partitions != node.num_partitions
+                    {
+                        diags.push(Diagnostic::new(
+                            DiagCode::NarrowPartitionMismatch,
+                            Some(node.id),
+                            format!(
+                                "narrow dependency of '{}' ({} partitions) on '{}' ({} partitions)",
+                                node.name, node.num_partitions, parent.name, parent.num_partitions
+                            ),
+                            "narrow dependencies are index-aligned; insert a shuffle or \
+                             repartition"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    AuditReport::new(diags)
+}
+
+/// The stage decomposition of a job over the audited view, mirroring the
+/// planner's shuffle-boundary splitting: each entry is (stage output,
+/// in-stage datasets).
+///
+/// Cache-annotated interior nodes terminate the walk: a stage that reads a
+/// cached dataset reads it back instead of recomputing its lineage, so the
+/// lineage above the annotation does not multiply across consuming stages.
+/// A cached *stage output* is still traversed — it must be computed once.
+///
+/// The annotation counts even when an unpersist was requested later:
+/// unpersist is a temporal event (the data was resident while the jobs that
+/// needed it ran), and this decomposition is also replayed retrospectively
+/// over finished plans where every stale iteration has been unpersisted.
+fn stages_of(nodes: &FxHashMap<RddId, &AuditNode>, target: RddId) -> Vec<(RddId, Vec<RddId>)> {
+    let mut stages: Vec<(RddId, Vec<RddId>)> = Vec::new();
+    let mut planned: FxHashSet<RddId> = FxHashSet::default();
+    let mut pending = vec![target];
+    while let Some(output) = pending.pop() {
+        if !planned.insert(output) {
+            continue;
+        }
+        let mut members = Vec::new();
+        let mut stack = vec![output];
+        let mut seen: FxHashSet<RddId> = FxHashSet::default();
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            members.push(cur);
+            let Some(node) = nodes.get(&cur) else { continue };
+            if cur != output && node.cache_annotated {
+                continue;
+            }
+            for dep in &node.deps {
+                if dep.shuffle {
+                    pending.push(dep.parent);
+                } else {
+                    stack.push(dep.parent);
+                }
+            }
+        }
+        members.sort_unstable();
+        stages.push((output, members));
+    }
+    stages
+}
+
+/// Detects caching anti-patterns (`BA1xx`) for the job materializing
+/// `target`.
+///
+/// `job_targets` is every action target submitted so far (including this
+/// one); it suppresses the unreachable-cache check for datasets that jobs
+/// read directly.
+pub fn audit_caching(
+    nodes: &[AuditNode],
+    target: RddId,
+    job_targets: &[RddId],
+    config: &AuditConfig,
+) -> AuditReport {
+    let by_id: FxHashMap<RddId, &AuditNode> = nodes.iter().map(|n| (n.id, n)).collect();
+    let mut diags = Vec::new();
+
+    // BA101 — recompute bomb: a dataset appearing in >= 2 stages of this
+    // job is recomputed once per consuming stage unless cached (shuffle
+    // outputs persist, so shuffle boundaries do not multiply work).
+    let mut stage_count: FxHashMap<RddId, usize> = FxHashMap::default();
+    for (_, members) in stages_of(&by_id, target) {
+        for rdd in members {
+            *stage_count.entry(rdd).or_insert(0) += 1;
+        }
+    }
+    let mut bombs: Vec<(RddId, usize)> =
+        stage_count.into_iter().filter(|&(_, count)| count >= 2).collect();
+    bombs.sort_unstable();
+    for (rdd, count) in bombs {
+        let Some(node) = by_id.get(&rdd) else { continue };
+        if node.cache_annotated {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            DiagCode::RecomputeBomb,
+            Some(rdd),
+            format!(
+                "dataset '{}' feeds {count} stages of the job for {target} but is not cached; \
+                 each stage recomputes its lineage",
+                node.name
+            ),
+            "cache() the dataset (or the nearest shuffle output above it)".into(),
+        ));
+    }
+
+    // BA102 — cached but unreachable: an annotation nothing can read back.
+    let mut consumed: FxHashSet<RddId> = FxHashSet::default();
+    for node in nodes {
+        for dep in &node.deps {
+            consumed.insert(dep.parent);
+        }
+    }
+    for node in nodes {
+        if node.cache_annotated
+            && !node.unpersist_requested
+            && !consumed.contains(&node.id)
+            && !job_targets.contains(&node.id)
+        {
+            diags.push(Diagnostic::new(
+                DiagCode::UnreachableCache,
+                Some(node.id),
+                format!(
+                    "dataset '{}' is cache-annotated but no operator or job reads it",
+                    node.name
+                ),
+                "drop the cache() annotation or unpersist(); the entry only occupies store \
+                 space"
+                    .into(),
+            ));
+        }
+    }
+
+    // BA103 — cache overcommit: the live annotated footprint cannot fit.
+    // Exceeding memory alone is the paper's normal (spill-backed) operating
+    // regime and reports as info; exceeding memory + disk means silent
+    // drops and recompute storms, and reports as a warning.
+    if let Some(total_memory) = config.total_memory {
+        let mut annotated_bytes = ByteSize::ZERO;
+        let mut estimated_all = true;
+        for node in nodes {
+            if node.cache_annotated && !node.unpersist_requested {
+                match config.size_estimates.get(&node.id) {
+                    Some(sz) => annotated_bytes += *sz,
+                    None => estimated_all = false,
+                }
+            }
+        }
+        if estimated_all && annotated_bytes > total_memory {
+            let beyond_disk =
+                config.total_disk.is_some_and(|disk| annotated_bytes > total_memory + disk);
+            let severity = if beyond_disk { Severity::Warning } else { Severity::Info };
+            let mut d = Diagnostic::new(
+                DiagCode::CacheOvercommit,
+                None,
+                format!(
+                    "cache annotations request ~{annotated_bytes} but total memory-store \
+                     capacity is {total_memory}{}",
+                    if beyond_disk { " and the disk tier cannot absorb the spill" } else { "" }
+                ),
+                "unpersist() finished datasets or raise memory_capacity; admissions will \
+                 spill or thrash"
+                    .into(),
+            );
+            d.severity = severity;
+            diags.push(d);
+        }
+    }
+
+    let report = AuditReport::new(diags);
+    if config.strict {
+        report.promoted()
+    } else {
+        report
+    }
+}
+
+/// Full preflight for one job: structural invariants plus caching
+/// anti-patterns, with strict-mode promotion applied.
+pub fn audit_job(
+    plan: &Plan,
+    target: RddId,
+    job_targets: &[RddId],
+    config: &AuditConfig,
+) -> AuditReport {
+    let nodes = extract(plan);
+    let mut diags = audit_structure(&nodes).diagnostics;
+    diags.extend(audit_caching(&nodes, target, job_targets, config).diagnostics);
+    let report = AuditReport::new(diags);
+    if config.strict {
+        report.promoted()
+    } else {
+        report
+    }
+}
+
+/// Retrospective whole-application audit: structural invariants plus
+/// caching anti-patterns for every job target submitted over the
+/// application's lifetime.
+pub fn audit_application(plan: &Plan, job_targets: &[RddId], config: &AuditConfig) -> AuditReport {
+    let nodes = extract(plan);
+    let mut diags = audit_structure(&nodes).diagnostics;
+    for &target in job_targets {
+        for d in audit_caching(&nodes, target, job_targets, config).diagnostics {
+            if !diags.contains(&d) {
+                diags.push(d);
+            }
+        }
+    }
+    let report = AuditReport::new(diags);
+    if config.strict {
+        report.promoted()
+    } else {
+        report
+    }
+}

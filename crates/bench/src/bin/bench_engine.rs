@@ -20,6 +20,19 @@ struct Sample {
     sim_act: f64,
 }
 
+/// Runs `f` and measures its real elapsed time in seconds.
+///
+/// The single place this benchmark reads the host clock: wall-clock time is
+/// the *measured output* here (how fast the real thread pool ran), never an
+/// input to simulated behaviour — which is why `blaze-lint` bans host-clock
+/// reads everywhere outside `crates/bench`.
+fn measure_wall_clock<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // audit: allow(wall-clock)
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
 fn main() {
     let host_cpus = default_worker_threads();
     let mut threads = vec![1usize, 2, 4];
@@ -34,9 +47,8 @@ fn main() {
         {
             for &t in &threads {
                 let spec = AppSpec::evaluation(app).with_worker_threads(t);
-                let start = Instant::now();
-                let out = run_spec(&spec, system).expect("benchmark run failed");
-                let wall = start.elapsed().as_secs_f64();
+                let (out, wall) =
+                    measure_wall_clock(|| run_spec(&spec, system).expect("benchmark run failed"));
                 let act = out.metrics.completion_time.as_secs_f64();
                 eprintln!(
                     "{app_label:9} {sys_label:14} threads={t:2} wall={wall:7.3}s sim_act={act:.4}s"

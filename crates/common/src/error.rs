@@ -28,6 +28,14 @@ pub enum BlazeError {
     Config(String),
     /// The LP/ILP solver could not produce a solution.
     Solver(String),
+    /// The preflight auditor found an error-severity diagnostic (see
+    /// `blaze-audit`); the job was aborted before execution.
+    Audit {
+        /// The stable diagnostic code (e.g. `BA002`).
+        code: String,
+        /// The diagnostic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for BlazeError {
@@ -41,6 +49,9 @@ impl fmt::Display for BlazeError {
             BlazeError::Execution(msg) => write!(f, "execution error: {msg}"),
             BlazeError::Config(msg) => write!(f, "configuration error: {msg}"),
             BlazeError::Solver(msg) => write!(f, "solver error: {msg}"),
+            BlazeError::Audit { code, message } => {
+                write!(f, "audit failure [{code}]: {message}")
+            }
         }
     }
 }
@@ -62,6 +73,8 @@ mod tests {
         assert!(e.to_string().contains("rdd-3[1]"));
         let e = BlazeError::Solver("infeasible".into());
         assert!(e.to_string().contains("infeasible"));
+        let e = BlazeError::Audit { code: "BA002".into(), message: "dangling parent".into() };
+        assert!(e.to_string().contains("BA002") && e.to_string().contains("dangling parent"));
     }
 
     #[test]

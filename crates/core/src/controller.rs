@@ -227,6 +227,14 @@ impl CacheController for BlazeController {
         plan: &Plan,
     ) -> Vec<StateCommand> {
         self.lineage.merge_plan(plan);
+        // Debug-build invariant: after absorption the mirrored lineage must
+        // agree with the plan (BA201); silent drift would misattribute
+        // every profiled metric.
+        debug_assert!(
+            self.lineage.check_consistency(plan).is_clean(),
+            "CostLineage diverged from the plan: {:?}",
+            self.lineage.check_consistency(plan).diagnostics
+        );
         self.current_idx = self.lineage.observe_job(job, job_plan.target);
         if self.profiled && self.lineage.diverged() {
             self.profiled = false;

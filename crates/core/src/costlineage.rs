@@ -17,6 +17,7 @@
 //! run that executes the same driver code path yields the *same ids*, which
 //! is what lets profiled metrics align with the runtime plan.
 
+use blaze_audit::{AuditReport, DiagCode, Diagnostic};
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
 use blaze_common::{ByteSize, SimDuration};
@@ -234,6 +235,48 @@ impl CostLineage {
         v
     }
 
+    /// Verifies that this CostLineage still mirrors `plan` (`BA201`): every
+    /// node present in both must agree on parents and partition count.
+    /// Disagreement means profiled metrics are being applied to the wrong
+    /// lineage and every downstream cost estimate is suspect.
+    ///
+    /// Nodes only one side knows are fine in either direction: the runtime
+    /// plan grows incrementally (absorption lags), and a profiled lineage
+    /// mirrors the whole application before the runtime plan has appended
+    /// later iterations' nodes.
+    pub fn check_consistency(&self, plan: &Plan) -> AuditReport {
+        let mut diags = Vec::new();
+        for ln in self.nodes.values() {
+            let Ok(node) = plan.node(ln.rdd) else { continue };
+            let plan_parents: Vec<RddId> = node.deps.iter().map(|d| d.parent()).collect();
+            if ln.parents != plan_parents {
+                diags.push(Diagnostic::new(
+                    DiagCode::LineageMismatch,
+                    Some(ln.rdd),
+                    format!(
+                        "CostLineage parents of '{}' ({:?}) diverged from the plan ({:?})",
+                        ln.name, ln.parents, plan_parents
+                    ),
+                    "profiled metrics no longer align; re-run dependency extraction".into(),
+                ));
+            }
+            if ln.parts.len() != node.num_partitions {
+                diags.push(Diagnostic::new(
+                    DiagCode::LineageMismatch,
+                    Some(ln.rdd),
+                    format!(
+                        "CostLineage tracks {} partitions of '{}' but the plan declares {}",
+                        ln.parts.len(),
+                        ln.name,
+                        node.num_partitions
+                    ),
+                    "partition-level metrics are misaligned; re-seed the lineage".into(),
+                ));
+            }
+        }
+        AuditReport::new(diags)
+    }
+
     /// All blocks currently believed to be on disk.
     pub fn blocks_on_disk(&self) -> Vec<(BlockId, ByteSize)> {
         let mut v: Vec<(BlockId, ByteSize)> = self
@@ -302,6 +345,51 @@ mod tests {
         cl.record_metrics(id, ByteSize::from_kib(1), SimDuration::ZERO);
         assert_eq!(cl.blocks_on_disk(), vec![(id, ByteSize::from_kib(1))]);
         assert!(cl.blocks_in_memory().is_empty());
+    }
+
+    #[test]
+    fn consistency_check_accepts_a_mirrored_plan() {
+        let (ctx, _a, _b) = small_plan();
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        assert!(cl.check_consistency(&ctx.plan().read()).is_clean());
+    }
+
+    #[test]
+    fn consistency_check_flags_divergence() {
+        use blaze_audit::DiagCode;
+        let (ctx, a, b) = small_plan();
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+
+        // Corrupt the mirrored parents of b.
+        cl.nodes.get_mut(&b).unwrap().parents = vec![RddId(99)];
+        let report = cl.check_consistency(&ctx.plan().read());
+        assert!(report.has(DiagCode::LineageMismatch));
+        assert!(!report.passes());
+
+        // Corrupt the partition count of a.
+        let mut cl2 = CostLineage::new();
+        cl2.merge_plan(&ctx.plan().read());
+        cl2.nodes.get_mut(&a).unwrap().parts.push(PartitionMetrics::default());
+        assert!(cl2.check_consistency(&ctx.plan().read()).has(DiagCode::LineageMismatch));
+
+        // A mirrored node the plan does not know yet is tolerated: profiled
+        // lineages run ahead of the incrementally-grown runtime plan.
+        let mut cl3 = CostLineage::new();
+        cl3.merge_plan(&ctx.plan().read());
+        cl3.nodes.insert(
+            RddId(77),
+            LineageNode {
+                rdd: RddId(77),
+                name: "profiled-ahead".into(),
+                parents: vec![],
+                is_shuffle: false,
+                ser_factor: 1.0,
+                parts: vec![],
+            },
+        );
+        assert!(cl3.check_consistency(&ctx.plan().read()).is_clean());
     }
 
     #[test]

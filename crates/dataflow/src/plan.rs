@@ -177,6 +177,11 @@ impl RddNode {
     pub fn is_shuffle(&self) -> bool {
         matches!(self.compute, Compute::ShuffleAgg(_))
     }
+
+    /// Returns the parent ids of every dependency, in declaration order.
+    pub fn parent_ids(&self) -> impl Iterator<Item = RddId> + '_ {
+        self.deps.iter().map(Dep::parent)
+    }
 }
 
 /// The shared lineage plan: an append-only DAG of [`RddNode`]s.
@@ -276,6 +281,29 @@ impl Plan {
     /// Iterates over all nodes in id order.
     pub fn iter(&self) -> impl Iterator<Item = &RddNode> {
         self.nodes.iter()
+    }
+
+    /// All nodes in id order, as a slice (plan-introspection accessor).
+    pub fn nodes(&self) -> &[RddNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes that consume each node's output (indexed by raw id).
+    /// This is the static reference count LRC-style analyses are built on;
+    /// each consumer is counted once, however many dependency edges it
+    /// declares on the same parent.
+    pub fn consumer_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            let mut seen: Vec<RddId> = Vec::with_capacity(node.deps.len());
+            for parent in node.parent_ids() {
+                if !seen.contains(&parent) {
+                    seen.push(parent);
+                    counts[parent.raw() as usize] += 1;
+                }
+            }
+        }
+        counts
     }
 
     /// Marks an RDD as cache-annotated (the `cache()` user API).
@@ -403,6 +431,22 @@ mod tests {
         assert_eq!(spec.charge_ns(10, 40), 100.0 + 20.0 + 20.0);
         let scaled = spec.scaled(2.0);
         assert_eq!(scaled.charge_ns(10, 40), 2.0 * (100.0 + 20.0 + 20.0));
+    }
+
+    #[test]
+    fn introspection_accessors_expose_structure() {
+        let mut plan = Plan::new();
+        let s = plan.add_node(|id| source_node(id, 2)).unwrap();
+        let a = plan.add_node(|id| narrow_node(id, s, 2)).unwrap();
+        let b = plan.add_node(|id| narrow_node(id, s, 2)).unwrap();
+        let mut join = narrow_node(RddId(3), a, 2);
+        join.deps.push(Dep::Narrow(b));
+        // A duplicate edge on the same parent still counts one consumer.
+        join.deps.push(Dep::Narrow(a));
+        let j = plan.add_node(move |_| join).unwrap();
+        assert_eq!(plan.nodes().len(), 4);
+        assert_eq!(plan.node(j).unwrap().parent_ids().collect::<Vec<_>>(), vec![a, b, a],);
+        assert_eq!(plan.consumer_counts(), vec![2, 1, 1, 0]);
     }
 
     #[test]

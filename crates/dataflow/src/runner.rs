@@ -23,6 +23,11 @@ pub trait JobRunner: Send + Sync + 'static {
     fn on_unpersist(&self, _rdd: RddId) {}
 }
 
+/// A plan check run before each job executes (e.g. the static auditor in
+/// `blaze-audit`); returning an error aborts the job without running any
+/// task.
+pub type PreflightFn = Arc<dyn Fn(&Plan, RddId) -> Result<()> + Send + Sync>;
+
 /// A reference in-process executor.
 ///
 /// Memoizes every materialized partition (an effectively infinite cache), so
@@ -35,6 +40,8 @@ pub struct LocalRunner {
     /// Map-side shuffle buckets keyed by (consumer RDD, dep index, map task).
     buckets: Mutex<FxHashMap<(RddId, usize, usize), Vec<Block>>>,
     threads: usize,
+    /// Optional preflight check run before each job.
+    preflight: Option<PreflightFn>,
 }
 
 impl Default for LocalRunner {
@@ -46,13 +53,20 @@ impl Default for LocalRunner {
 impl LocalRunner {
     /// Creates a fresh single-threaded runner with empty memo tables.
     pub fn new() -> Self {
-        Self { blocks: Mutex::default(), buckets: Mutex::default(), threads: 1 }
+        Self { blocks: Mutex::default(), buckets: Mutex::default(), threads: 1, preflight: None }
     }
 
     /// Sets the number of worker threads used per job (min 1).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Installs a preflight check run against the plan before each job.
+    #[must_use]
+    pub fn with_preflight(mut self, preflight: PreflightFn) -> Self {
+        self.preflight = Some(preflight);
         self
     }
 
@@ -115,6 +129,9 @@ impl LocalRunner {
 impl JobRunner for LocalRunner {
     fn run_job(&self, plan: &Arc<RwLock<Plan>>, target: RddId) -> Result<Vec<Block>> {
         let plan = plan.read();
+        if let Some(preflight) = &self.preflight {
+            preflight(&plan, target)?;
+        }
         let parts = plan.node(target)?.num_partitions;
         let workers = self.threads.min(parts);
         if workers <= 1 {

@@ -169,6 +169,10 @@ struct ClusterState {
     job_counter: u32,
     /// Simulated time at which the next job may start.
     clock_floor: SimTime,
+    /// Every action target submitted so far (preflight audit context).
+    job_targets: Vec<RddId>,
+    /// Warning diagnostics already counted, per (code, dataset).
+    seen_audit: FxHashSet<(blaze_audit::DiagCode, Option<RddId>)>,
 }
 
 /// Frozen, read-only view of the cluster a stage's tasks execute against.
@@ -489,12 +493,23 @@ fn execute_stage(
             })
             .collect();
         for handle in handles {
+            // A panicking task is a bug in an operator closure; propagating
+            // the panic (not masking it as an error) preserves the backtrace.
+            // audit: allow(unwrap)
             for (p, result) in handle.join().expect("stage worker panicked") {
                 ordered[p] = Some(result);
             }
         }
     });
-    ordered.into_iter().map(|r| r.expect("every partition executes exactly once")).collect()
+    ordered
+        .into_iter()
+        .enumerate()
+        .map(|(p, r)| {
+            r.unwrap_or_else(|| {
+                Err(BlazeError::Execution(format!("partition {p} of {output} never executed")))
+            })
+        })
+        .collect()
 }
 
 impl ClusterState {
@@ -512,6 +527,8 @@ impl ClusterState {
             metrics: Metrics::new(),
             job_counter: 0,
             clock_floor: SimTime::ZERO,
+            job_targets: Vec::new(),
+            seen_audit: FxHashSet::default(),
             config,
             controller,
         }
@@ -529,7 +546,61 @@ impl ClusterState {
 
     // ---- Job execution ---------------------------------------------------
 
+    /// Preflight audit (see `blaze-audit`): error-severity diagnostics
+    /// abort the job with [`BlazeError::Audit`] before any task runs;
+    /// warning-severity findings are counted into the metrics once per
+    /// (code, dataset). [`ClusterConfig::strict_audit`] promotes warnings
+    /// to errors.
+    fn preflight_audit(&mut self, plan: &Plan, target: RddId) -> Result<()> {
+        if !self.job_targets.contains(&target) {
+            self.job_targets.push(target);
+        }
+        // Size estimates for the capacity check come from blocks the
+        // cluster has already materialized (per-dataset resident bytes).
+        let mut size_estimates: FxHashMap<RddId, ByteSize> = FxHashMap::default();
+        for store in self.stores.mem.iter().chain(self.stores.disk.iter()) {
+            for (id, sb) in store.iter() {
+                *size_estimates.entry(id.rdd).or_insert(ByteSize::ZERO) += sb.logical_bytes;
+            }
+        }
+        let audit_config = blaze_audit::AuditConfig {
+            total_memory: Some(self.config.total_memory()),
+            total_disk: Some(self.config.disk_capacity * self.config.executors as u64),
+            size_estimates,
+            strict: self.config.strict_audit,
+        };
+        let report = blaze_audit::audit_job(plan, target, &self.job_targets, &audit_config);
+        if let Some(d) = report.errors().next() {
+            return Err(BlazeError::Audit {
+                code: d.code.as_str().into(),
+                message: d.message.clone(),
+            });
+        }
+        for d in report.warnings() {
+            if self.seen_audit.insert((d.code, d.rdd)) {
+                self.metrics.audit_warnings += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build shadow accounting: after every commit phase, each
+    /// store's incremental `used` counter must equal the sum of its
+    /// resident blocks' stored bytes. Drift here would silently corrupt
+    /// every capacity decision downstream.
+    fn debug_check_store_accounting(&self) {
+        debug_assert!(
+            self.stores.mem.iter().all(BlockStore::accounting_consistent),
+            "memory-store byte accounting drifted from resident blocks"
+        );
+        debug_assert!(
+            self.stores.disk.iter().all(BlockStore::accounting_consistent),
+            "disk-store byte accounting drifted from resident blocks"
+        );
+    }
+
     fn run_job(&mut self, plan: &Plan, target: RddId) -> Result<Vec<Block>> {
+        self.preflight_audit(plan, target)?;
         let job = JobId(self.job_counter);
         self.job_counter += 1;
         let job_plan = blaze_dataflow::planner::plan_job(plan, target)?;
@@ -618,6 +689,8 @@ impl ClusterState {
                 }
             }
             stage_done[stage.index] = stage_end;
+
+            self.debug_check_store_accounting();
 
             // Stage-completion hook (auto-caching / prefetch).
             let ctx = self.ctrl_ctx(stage_end);
@@ -950,7 +1023,7 @@ impl ClusterState {
                     else {
                         continue;
                     };
-                    let sb = self.stores.disk[e].get(id).expect("present").clone();
+                    let Some(sb) = self.stores.disk[e].get(id).cloned() else { continue };
                     if !self.stores.mem[e].fits(sb.stored_bytes) {
                         continue; // Best effort: promotion only into free space.
                     }

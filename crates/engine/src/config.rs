@@ -103,6 +103,10 @@ pub struct ClusterConfig {
     /// the plan/execute/commit pipeline in `cluster.rs`). Defaults to the
     /// host's available parallelism.
     pub worker_threads: usize,
+    /// Strict preflight auditing: warning-severity diagnostics from the
+    /// `blaze-audit` plan auditor (caching anti-patterns) abort the job
+    /// instead of only being counted in [`crate::metrics::Metrics`].
+    pub strict_audit: bool,
 }
 
 impl Default for ClusterConfig {
@@ -114,6 +118,7 @@ impl Default for ClusterConfig {
             disk_capacity: ByteSize::from_gib(8),
             hardware: HardwareModel::default(),
             worker_threads: default_worker_threads(),
+            strict_audit: false,
         }
     }
 }

@@ -141,6 +141,9 @@ pub struct Metrics {
     /// Lookups of previously materialized blocks that found nothing and
     /// fell back to recomputation.
     pub recompute_misses: u64,
+    /// Distinct warning-severity preflight diagnostics observed across the
+    /// run (one per (code, dataset) pair; see `blaze-audit`).
+    pub audit_warnings: u64,
     /// The simulated application completion time (Fig. 9's ACT).
     pub completion_time: SimTime,
     /// Every executed task, in execution order (timeline reconstruction).

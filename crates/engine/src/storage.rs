@@ -108,6 +108,13 @@ impl BlockStore {
         self.blocks.iter()
     }
 
+    /// True when the incremental `used` counter equals the sum of the
+    /// resident blocks' stored bytes (shadow accounting; checked by the
+    /// engine after every commit phase in debug builds).
+    pub fn accounting_consistent(&self) -> bool {
+        self.used == self.blocks.values().map(|sb| sb.stored_bytes).sum()
+    }
+
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
         self.blocks.len()
@@ -168,6 +175,18 @@ mod tests {
         assert!(!s.insert(id(1, 0), sb(11)));
         assert_eq!(s.used(), ByteSize::from_kib(6));
         assert!(s.contains(id(1, 0)));
+    }
+
+    #[test]
+    fn accounting_stays_consistent_through_churn() {
+        let mut s = BlockStore::new(ByteSize::from_kib(10));
+        assert!(s.accounting_consistent());
+        s.insert(id(1, 0), sb(4));
+        s.insert(id(1, 1), sb(4));
+        s.insert(id(1, 0), sb(2)); // replacement re-accounts
+        s.remove(id(1, 1));
+        assert!(s.accounting_consistent());
+        assert_eq!(s.used(), ByteSize::from_kib(2));
     }
 
     #[test]

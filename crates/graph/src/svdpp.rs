@@ -277,6 +277,17 @@ pub fn run(ctx: &Context, cfg: &SvdppConfig) -> Result<SvdppResult> {
         item_f = new_item_f;
     }
 
+    // Training is over: release the factor state. The final iteration's
+    // factor updates are never read by another job, so their cache
+    // annotations would otherwise pin store space for nothing (the static
+    // auditor reports exactly this as BA102).
+    if let Some((old_u, old_i)) = prev.take() {
+        old_u.unpersist();
+        old_i.unpersist();
+    }
+    user_f.unpersist();
+    item_f.unpersist();
+
     Ok(SvdppResult { rmse_per_iteration })
 }
 

@@ -195,6 +195,15 @@ pub fn run(ctx: &Context, cfg: &GbtConfig) -> Result<GbtResult> {
         let _ = round;
     }
 
+    // The ensemble is complete: release the per-round state. In particular
+    // the final round's residual update is never read by any job, so its
+    // cache annotation would otherwise pin store space for nothing (the
+    // static auditor reports exactly this as BA102).
+    if let Some(old) = prev.take() {
+        old.unpersist();
+    }
+    residuals.unpersist();
+
     Ok(GbtResult { trees, mse_per_round, base })
 }
 

@@ -24,6 +24,9 @@ run() {
 
 run cargo build --release $OFFLINE --workspace
 run cargo test -q $OFFLINE --workspace
+# Layer-2 static analysis: the determinism source lint must be clean before
+# the (slower) clippy pass runs.
+run cargo run -q $OFFLINE -p blaze-audit --bin blaze-lint
 run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 run cargo fmt --all -- --check
 

@@ -3,6 +3,7 @@
 //! Re-exports every workspace crate under one roof so downstream users can
 //! depend on a single `blaze` crate. See the individual crates for detail:
 //!
+//! - [`audit`] — static plan verification and the determinism source lint.
 //! - [`common`] — ids, simulated time, sizes, statistics.
 //! - [`dataflow`] — the lazily evaluated, lineage-tracked `Dataset` API.
 //! - [`engine`] — the simulated-cluster execution engine and metrics.
@@ -15,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub use blaze_audit as audit;
 pub use blaze_common as common;
 pub use blaze_core as core;
 pub use blaze_dataflow as dataflow;
