@@ -34,9 +34,10 @@ impl fmt::Display for Severity {
 ///
 /// `BA0xx` codes are structural plan invariants (errors), `BA1xx` codes are
 /// caching anti-patterns (warnings), `BA2xx` codes are cross-structure
-/// consistency checks (emitted by `blaze-core`). The numbering is part of
-/// the public contract: tests and `// audit: allow(..)` annotations refer
-/// to codes by name.
+/// consistency checks (emitted by `blaze-core`), and `BA3xx` codes are
+/// recoverability checks against a configured fault plan. The numbering is
+/// part of the public contract: tests and `// audit: allow(..)` annotations
+/// refer to codes by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DiagCode {
     /// BA001: a dependency points at an id not defined before its child
@@ -71,6 +72,10 @@ pub enum DiagCode {
     /// BA201: a CostLineage node disagrees with the logical plan it is
     /// supposed to mirror (parents or partition counts diverged).
     LineageMismatch,
+    /// BA301: under the configured fault plan, some dataset's uncached
+    /// lineage is deeper than bounded task retries can replay — a single
+    /// injected failure could make the job unrecoverable.
+    UnrecoverableLineage,
 }
 
 impl DiagCode {
@@ -88,6 +93,7 @@ impl DiagCode {
             DiagCode::UnreachableCache => "BA102",
             DiagCode::CacheOvercommit => "BA103",
             DiagCode::LineageMismatch => "BA201",
+            DiagCode::UnrecoverableLineage => "BA301",
         }
     }
 
@@ -101,7 +107,8 @@ impl DiagCode {
             | DiagCode::PartitionerMismatch
             | DiagCode::InvalidCostSpec
             | DiagCode::ComputeShapeMismatch
-            | DiagCode::LineageMismatch => Severity::Error,
+            | DiagCode::LineageMismatch
+            | DiagCode::UnrecoverableLineage => Severity::Error,
             DiagCode::RecomputeBomb | DiagCode::UnreachableCache | DiagCode::CacheOvercommit => {
                 Severity::Warning
             }
@@ -223,6 +230,7 @@ mod tests {
             DiagCode::UnreachableCache,
             DiagCode::CacheOvercommit,
             DiagCode::LineageMismatch,
+            DiagCode::UnrecoverableLineage,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         codes.sort_unstable();

@@ -9,6 +9,9 @@
 //!   `FxHashSet` (fixed-state hashing) or `BTreeMap`.
 //! - `wall-clock` — `Instant::now` / `SystemTime` outside `crates/bench`:
 //!   simulated time must come from the deterministic clock, never the host.
+//!   Fault-injection sources (file names containing `fault` or `failure`)
+//!   are covered even inside the bench harness: a fault schedule keyed to
+//!   the host clock would never replay.
 //! - `unwrap` — `.unwrap()` / `.expect(..)` in `crates/engine` without an
 //!   explicit `// audit: allow(unwrap)` justification: the engine is the
 //!   fallible substrate everything runs on; failures must surface as
@@ -71,9 +74,13 @@ struct Scope {
 fn scope_of(path: &str) -> Scope {
     let p = path.replace('\\', "/");
     let in_crate = |name: &str| p.contains(&format!("crates/{name}/"));
+    // Fault-injection code must be deterministic even where wall-clock
+    // measurement is otherwise allowed (the bench harness).
+    let fault_file =
+        p.rsplit('/').next().is_some_and(|f| f.contains("fault") || f.contains("failure"));
     Scope {
         std_hash: in_crate("engine") || in_crate("policies") || in_crate("core"),
-        wall_clock: !in_crate("bench"),
+        wall_clock: !in_crate("bench") || fault_file,
         unwrap: in_crate("engine"),
     }
 }
@@ -245,6 +252,15 @@ mod tests {
         assert!(lint_source("crates/bench/src/x.rs", &src).is_empty());
         let sys = join(&["use std::time::SystemTime;"]);
         assert_eq!(lint_source("crates/workloads/src/x.rs", &sys)[0].code, "wall-clock");
+    }
+
+    #[test]
+    fn fault_injection_files_in_bench_may_not_read_host_time() {
+        let src = join(&["fn f() { let t = std::time::Instant::now(); }"]);
+        assert_eq!(lint_source("crates/bench/src/bin/bench_failure.rs", &src).len(), 1);
+        assert_eq!(lint_source("crates/bench/src/fault_schedule.rs", &src)[0].code, "wall-clock");
+        // Non-fault bench files keep their wall-clock exemption.
+        assert!(lint_source("crates/bench/src/bin/bench_engine.rs", &src).is_empty());
     }
 
     #[test]

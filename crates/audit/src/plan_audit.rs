@@ -14,6 +14,8 @@
 //!   two or more stages of a job but never cached (the LRC-style
 //!   "recompute bomb"), cached datasets nothing can ever read back, and
 //!   cache footprints that exceed store capacity.
+//! - **Recoverability** (`BA3xx`, errors, only under an active fault
+//!   plan): uncached lineage deeper than bounded task retries can replay.
 
 use crate::diagnostic::{AuditReport, DiagCode, Diagnostic, Severity};
 use blaze_common::fxhash::{FxHashMap, FxHashSet};
@@ -101,6 +103,16 @@ pub struct AuditConfig {
     pub size_estimates: FxHashMap<RddId, ByteSize>,
     /// Promote warnings to errors.
     pub strict: bool,
+    /// Maximum uncached lineage depth the engine's bounded retries can
+    /// replay under the configured fault plan (see
+    /// `FaultPlan::max_recoverable_depth` in `blaze-engine`). `None`
+    /// disables the BA301 recoverability check (no fault injection).
+    pub recovery_depth_limit: Option<usize>,
+    /// True when replaying lineage may have to cross shuffle boundaries
+    /// (no external shuffle service: lost map outputs re-run the parent
+    /// stage). With the default `false`, shuffle outputs persist and sever
+    /// the replayed lineage.
+    pub lineage_through_shuffles: bool,
 }
 
 /// Verifies the structural invariants of a node list (`BA0xx`).
@@ -395,8 +407,82 @@ pub fn audit_caching(
     }
 }
 
+/// Checks that every dataset the job for `target` touches can be rebuilt
+/// within the fault plan's retry budget (`BA301`).
+///
+/// A task attempt replays lineage from the nearest anchor downward: cached
+/// (annotated, not unpersisted) datasets and — with a surviving external
+/// shuffle service — shuffle outputs both anchor the replay at depth zero.
+/// The worst-case replay depth of each reachable dataset is a simple
+/// recurrence over the id-ordered DAG; if it exceeds
+/// [`AuditConfig::recovery_depth_limit`], one injected failure could strand
+/// the job re-deriving more lineage than its retries can absorb.
+pub fn audit_recovery(nodes: &[AuditNode], target: RddId, config: &AuditConfig) -> AuditReport {
+    let Some(limit) = config.recovery_depth_limit else {
+        return AuditReport::default();
+    };
+    let by_id: FxHashMap<RddId, &AuditNode> = nodes.iter().map(|n| (n.id, n)).collect();
+
+    // Depth recurrence in id order (parents always precede children).
+    let mut order: Vec<&AuditNode> = nodes.iter().collect();
+    order.sort_unstable_by_key(|n| n.id);
+    let mut depth: FxHashMap<RddId, usize> = FxHashMap::default();
+    for node in &order {
+        let mut above = 0usize;
+        for dep in &node.deps {
+            if dep.shuffle && !config.lineage_through_shuffles {
+                continue; // Shuffle outputs persist: replay stops here.
+            }
+            let anchored =
+                by_id.get(&dep.parent).is_some_and(|p| p.cache_annotated && !p.unpersist_requested);
+            if anchored {
+                continue; // Cached parent: read back, not re-derived.
+            }
+            above = above.max(depth.get(&dep.parent).copied().unwrap_or(0));
+        }
+        depth.insert(node.id, above + 1);
+    }
+
+    // Restrict to datasets the job actually executes (the full lineage
+    // cone of `target`, crossing every dependency kind).
+    let mut reachable: FxHashSet<RddId> = FxHashSet::default();
+    let mut stack = vec![target];
+    while let Some(cur) = stack.pop() {
+        if !reachable.insert(cur) {
+            continue;
+        }
+        if let Some(node) = by_id.get(&cur) {
+            stack.extend(node.deps.iter().map(|d| d.parent));
+        }
+    }
+
+    let mut worst: Option<(RddId, usize)> = None;
+    let mut ids: Vec<RddId> = reachable.into_iter().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let d = depth.get(&id).copied().unwrap_or(0);
+        if d > limit && worst.is_none_or(|(_, w)| d > w) {
+            worst = Some((id, d));
+        }
+    }
+    let Some((id, d)) = worst else {
+        return AuditReport::default();
+    };
+    let name = by_id.get(&id).map_or("?", |n| n.name.as_str());
+    AuditReport::new(vec![Diagnostic::new(
+        DiagCode::UnrecoverableLineage,
+        Some(id),
+        format!(
+            "dataset '{name}' has an uncached lineage replay depth of {d}, beyond the {limit} \
+             the fault plan's bounded retries can recover"
+        ),
+        "cache() an intermediate dataset to anchor recovery, or raise max_task_retries".into(),
+    )])
+}
+
 /// Full preflight for one job: structural invariants plus caching
-/// anti-patterns, with strict-mode promotion applied.
+/// anti-patterns (and, under an active fault plan, recoverability), with
+/// strict-mode promotion applied.
 pub fn audit_job(
     plan: &Plan,
     target: RddId,
@@ -406,6 +492,7 @@ pub fn audit_job(
     let nodes = extract(plan);
     let mut diags = audit_structure(&nodes).diagnostics;
     diags.extend(audit_caching(&nodes, target, job_targets, config).diagnostics);
+    diags.extend(audit_recovery(&nodes, target, config).diagnostics);
     let report = AuditReport::new(diags);
     if config.strict {
         report.promoted()
@@ -421,7 +508,11 @@ pub fn audit_application(plan: &Plan, job_targets: &[RddId], config: &AuditConfi
     let nodes = extract(plan);
     let mut diags = audit_structure(&nodes).diagnostics;
     for &target in job_targets {
-        for d in audit_caching(&nodes, target, job_targets, config).diagnostics {
+        for d in audit_caching(&nodes, target, job_targets, config)
+            .diagnostics
+            .into_iter()
+            .chain(audit_recovery(&nodes, target, config).diagnostics)
+        {
             if !diags.contains(&d) {
                 diags.push(d);
             }

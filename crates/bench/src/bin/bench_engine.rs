@@ -18,6 +18,12 @@ struct Sample {
     worker_threads: usize,
     wall_s: f64,
     sim_act: f64,
+    /// Total simulated recovery time (zero here: the fault plan is off,
+    /// and these columns pin the zero-cost-when-disabled contract).
+    recovery_s: f64,
+    task_retries: u64,
+    blocks_lost: u64,
+    stages_resubmitted: u64,
 }
 
 /// Runs `f` and measures its real elapsed time in seconds.
@@ -53,12 +59,17 @@ fn main() {
                 eprintln!(
                     "{app_label:9} {sys_label:14} threads={t:2} wall={wall:7.3}s sim_act={act:.4}s"
                 );
+                let rec = &out.metrics.recovery;
                 samples.push(Sample {
                     workload: app_label,
                     system: sys_label,
                     worker_threads: t,
                     wall_s: wall,
                     sim_act: act,
+                    recovery_s: rec.total_recovery_time().as_secs_f64(),
+                    task_retries: rec.task_retries,
+                    blocks_lost: rec.blocks_lost,
+                    stages_resubmitted: rec.stages_resubmitted,
                 });
             }
         }
@@ -78,12 +89,17 @@ fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
     for (i, r) in samples.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"system\": \"{}\", \"worker_threads\": {}, \
-             \"wall_s\": {:.6}, \"sim_act\": {:.6}}}{}\n",
+             \"wall_s\": {:.6}, \"sim_act\": {:.6}, \"recovery_s\": {:.6}, \
+             \"task_retries\": {}, \"blocks_lost\": {}, \"stages_resubmitted\": {}}}{}\n",
             r.workload,
             r.system,
             r.worker_threads,
             r.wall_s,
             r.sim_act,
+            r.recovery_s,
+            r.task_retries,
+            r.blocks_lost,
+            r.stages_resubmitted,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }

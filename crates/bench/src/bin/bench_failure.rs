@@ -1,0 +1,144 @@
+//! Recovery-cost benchmark under deterministic fault injection.
+//!
+//! Replays the *same* seeded fault schedule — transient task failures, one
+//! mid-run executor crash, and shuffle-output loss (no external shuffle
+//! service) — against every headline system on PageRank and KMeans, and
+//! records what each system spent recovering. Because holistic caching
+//! keeps hot iterative state resident (and re-admits it after loss), Blaze
+//! is expected to replay less lineage than the LRU baselines after the
+//! same crash.
+//!
+//! Everything here runs on the simulated clock: this file is fault-
+//! injection code, so `blaze-lint`'s wall-clock rule applies to it even
+//! though it lives in the bench crate. Results go to `BENCH_failure.json`
+//! at the repository root.
+
+use blaze_common::SimTime;
+use blaze_engine::{ExecutorCrash, FaultPlan};
+use blaze_workloads::{run_spec, run_spec_with_fault, App, AppSpec, SystemKind};
+
+/// One (workload, system) comparison: the clean run and the faulted run.
+struct Sample {
+    workload: &'static str,
+    system: String,
+    act_clean: f64,
+    act_faulted: f64,
+    recovery_s: f64,
+    wasted_s: f64,
+    lineage_replay_s: f64,
+    task_retries: u64,
+    tasks_lost_to_crash: u64,
+    executor_crashes: u64,
+    blocks_lost: u64,
+    blocks_recovered: u64,
+    map_outputs_lost: u64,
+    map_outputs_recovered: u64,
+    stages_resubmitted: u64,
+}
+
+/// The shared fault schedule for one workload: a modest transient-failure
+/// rate, one executor crash at a fixed simulated time, and no external
+/// shuffle service, so the crash also destroys that executor's shuffle
+/// outputs (forcing lineage-driven parent-stage resubmission).
+fn fault_plan(crash_at_s: f64) -> FaultPlan {
+    FaultPlan {
+        seed: 0xB1A2E,
+        task_failure_rate: 0.02,
+        max_task_retries: 3,
+        crashes: vec![ExecutorCrash {
+            at: SimTime::ZERO + blaze_common::SimDuration::from_secs_f64(crash_at_s),
+            executor: 1,
+        }],
+        map_output_loss_rate: 0.0,
+        external_shuffle_service: false,
+    }
+}
+
+fn main() {
+    // Crash times sit inside every system's simulated run for the workload
+    // (clean ACTs: PageRank ~0.7–2.3 s across systems, KMeans ~0.10–0.32 s),
+    // early enough that every system is still in its iteration ramp-up.
+    let cases = [(App::PageRank, "pagerank", 0.15), (App::KMeans, "kmeans", 0.05)];
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for (app, label, crash_at_s) in cases {
+        for system in SystemKind::headline() {
+            let spec = AppSpec::evaluation(app);
+            let clean = run_spec(&spec, system).expect("clean run failed");
+            let faulted =
+                run_spec_with_fault(&spec, system, fault_plan(crash_at_s)).expect("faulted run");
+            let rec = &faulted.metrics.recovery;
+            let sample = Sample {
+                workload: label,
+                system: format!("{system:?}"),
+                act_clean: clean.metrics.completion_time.as_secs_f64(),
+                act_faulted: faulted.metrics.completion_time.as_secs_f64(),
+                recovery_s: rec.total_recovery_time().as_secs_f64(),
+                wasted_s: rec.wasted_time.as_secs_f64(),
+                lineage_replay_s: rec.lineage_replay_time.as_secs_f64(),
+                task_retries: rec.task_retries,
+                tasks_lost_to_crash: rec.tasks_lost_to_crash,
+                executor_crashes: rec.executor_crashes,
+                blocks_lost: rec.blocks_lost,
+                blocks_recovered: rec.blocks_recovered,
+                map_outputs_lost: rec.map_outputs_lost,
+                map_outputs_recovered: rec.map_outputs_recovered,
+                stages_resubmitted: rec.stages_resubmitted,
+            };
+            eprintln!(
+                "{label:9} {:14} act {:.4}s -> {:.4}s  recovery {:.4}s \
+                 (retries {}, lost tasks {}, blocks {}, map outputs {})",
+                sample.system,
+                sample.act_clean,
+                sample.act_faulted,
+                sample.recovery_s,
+                sample.task_retries,
+                sample.tasks_lost_to_crash,
+                sample.blocks_lost,
+                sample.map_outputs_lost,
+            );
+            samples.push(sample);
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_failure.json");
+    std::fs::write(path, render_json(&samples)).expect("write BENCH_failure.json");
+    println!("wrote {} samples to {path}", samples.len());
+}
+
+/// Hand-rolled JSON writer (the workspace deliberately has no serde).
+fn render_json(samples: &[Sample]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"fault_plan\": {\"seed\": 725550, \"task_failure_rate\": 0.02, ");
+    s.push_str("\"max_task_retries\": 3, \"executor_crashes\": 1, ");
+    s.push_str("\"external_shuffle_service\": false},\n");
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"system\": \"{}\", \"act_clean\": {:.6}, \
+             \"act_faulted\": {:.6}, \"recovery_s\": {:.6}, \"wasted_s\": {:.6}, \
+             \"lineage_replay_s\": {:.6}, \"task_retries\": {}, \"tasks_lost_to_crash\": {}, \
+             \"executor_crashes\": {}, \"blocks_lost\": {}, \"blocks_recovered\": {}, \
+             \"map_outputs_lost\": {}, \"map_outputs_recovered\": {}, \
+             \"stages_resubmitted\": {}}}{}\n",
+            r.workload,
+            r.system,
+            r.act_clean,
+            r.act_faulted,
+            r.recovery_s,
+            r.wasted_s,
+            r.lineage_replay_s,
+            r.task_retries,
+            r.tasks_lost_to_crash,
+            r.executor_crashes,
+            r.blocks_lost,
+            r.blocks_recovered,
+            r.map_outputs_lost,
+            r.map_outputs_recovered,
+            r.stages_resubmitted,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -24,6 +24,37 @@ pub fn derive_seed(parent: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Hashes a coordinate tuple into a uniform `u64` by folding each
+/// coordinate through the SplitMix64 finalizer.
+///
+/// Used wherever a decision must be a pure function of *where it happens*
+/// (e.g. fault injection keyed by `(job, stage, task, attempt)`): the same
+/// seed and coordinates always produce the same value, independent of
+/// evaluation order, thread count or host state.
+pub fn hash_coords(seed: u64, coords: &[u64]) -> u64 {
+    let mut h = derive_seed(seed, 0);
+    for (i, &c) in coords.iter().enumerate() {
+        h = derive_seed(h ^ c, i as u64 + 1);
+    }
+    h
+}
+
+/// Deterministic Bernoulli draw: true with probability `rate` as a pure
+/// function of the seed and coordinates.
+///
+/// The top 53 bits of the coordinate hash are mapped to `[0, 1)` with full
+/// double precision; `rate <= 0` never fires and `rate >= 1` always fires.
+pub fn coord_coin(seed: u64, coords: &[u64], rate: f64) -> bool {
+    if rate.is_nan() || rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let u = (hash_coords(seed, coords) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < rate
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +89,31 @@ mod tests {
     #[test]
     fn derived_seeds_depend_on_parent() {
         assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn coord_hash_is_stable_and_coordinate_sensitive() {
+        assert_eq!(hash_coords(7, &[1, 2, 3]), hash_coords(7, &[1, 2, 3]));
+        assert_ne!(hash_coords(7, &[1, 2, 3]), hash_coords(7, &[1, 2, 4]));
+        assert_ne!(hash_coords(7, &[1, 2, 3]), hash_coords(8, &[1, 2, 3]));
+        // Order matters: (1, 2) and (2, 1) are different coordinates.
+        assert_ne!(hash_coords(7, &[1, 2]), hash_coords(7, &[2, 1]));
+    }
+
+    #[test]
+    fn coord_coin_respects_degenerate_rates() {
+        assert!(!coord_coin(1, &[0], 0.0));
+        assert!(!coord_coin(1, &[0], -1.0));
+        assert!(!coord_coin(1, &[0], f64::NAN));
+        assert!(coord_coin(1, &[0], 1.0));
+        assert!(coord_coin(1, &[0], 2.0));
+    }
+
+    #[test]
+    fn coord_coin_hits_near_the_requested_rate() {
+        let n = 10_000u64;
+        let hits = (0..n).filter(|&i| coord_coin(99, &[i], 0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "empirical rate {frac}");
     }
 }

@@ -43,6 +43,7 @@ use crate::config::ClusterConfig;
 use crate::controller::{
     Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, VictimAction,
 };
+use crate::fault::FaultCause;
 use crate::metrics::{Metrics, TaskCharge};
 use crate::shuffle::{ShuffleId, ShuffleStore};
 use crate::storage::{BlockStore, StoredBlock};
@@ -102,9 +103,11 @@ impl Cluster {
 
     /// Simulates the loss of an executor: its memory and disk stores are
     /// cleared (all cached blocks gone) and the controller is notified of
-    /// every eviction, exactly as if the machine had been replaced. Lineage
-    /// (and the shuffle store, which Spark's external shuffle service also
-    /// survives) recovers everything on subsequent access.
+    /// every eviction, exactly as if the machine had been replaced.
+    /// Lineage recovers everything on subsequent access, and the shuffle
+    /// store survives unless the configured [`crate::fault::FaultPlan`]
+    /// disables the external shuffle service. Lost blocks and the work to
+    /// re-produce them are attributed in [`crate::metrics::RecoveryMetrics`].
     ///
     /// # Errors
     ///
@@ -115,22 +118,7 @@ impl Cluster {
         if e >= st.config.executors {
             return Err(BlazeError::Config(format!("no such executor: {exec}")));
         }
-        let mem_ids: Vec<BlockId> = st.stores.mem[e].iter().map(|(id, _)| *id).collect();
-        for id in mem_ids {
-            st.stores.mem[e].remove(id);
-            let ctx = st.ctrl_ctx(st.clock_floor);
-            st.controller.on_evicted(&ctx, id);
-            st.stores.block_home.remove(&id);
-        }
-        let disk_ids: Vec<BlockId> = st.stores.disk[e].iter().map(|(id, _)| *id).collect();
-        for id in disk_ids {
-            st.stores.disk[e].remove(id);
-            // The eviction notification lets stateful controllers drop
-            // their residency belief for the lost block.
-            let ctx = st.ctrl_ctx(st.clock_floor);
-            st.controller.on_evicted(&ctx, id);
-            st.stores.block_home.remove(&id);
-        }
+        st.wipe_executor(e);
         Ok(())
     }
 }
@@ -157,6 +145,11 @@ struct Stores {
     block_home: FxHashMap<BlockId, ExecutorId>,
     /// Blocks materialized at least once (recomputation detection).
     materialized_once: FxHashSet<BlockId>,
+    /// Cached blocks destroyed by an executor loss and not yet re-produced.
+    /// Purely attribution state: work done to re-produce a member is
+    /// recovery work ([`crate::metrics::RecoveryMetrics`]). Always empty
+    /// on a failure-free run.
+    lost_blocks: FxHashSet<BlockId>,
 }
 
 struct ClusterState {
@@ -173,6 +166,9 @@ struct ClusterState {
     job_targets: Vec<RddId>,
     /// Warning diagnostics already counted, per (code, dataset).
     seen_audit: FxHashSet<(blaze_audit::DiagCode, Option<RddId>)>,
+    /// Index of the next scheduled crash in `config.fault.crashes` (they
+    /// are validated to be time-ordered and fire exactly once).
+    next_crash: usize,
 }
 
 /// Frozen, read-only view of the cluster a stage's tasks execute against.
@@ -186,6 +182,10 @@ struct ExecView<'a> {
     /// Snapshot of [`CacheController::serialized_in_memory`] (the
     /// controller itself lives on the commit side).
     serialized_in_memory: bool,
+    /// `(job, stage index)` coordinates for fault-injection coins, present
+    /// only when the configured [`crate::fault::FaultPlan`] is enabled.
+    /// `None` keeps the execute path entirely fault-free.
+    fault_coords: Option<(JobId, u32)>,
 }
 
 /// A cache-relevant action observed while a task executed against the
@@ -193,6 +193,10 @@ struct ExecView<'a> {
 /// Events carry the data (`Block`s are cheap `Arc` clones) so the commit
 /// phase can perform admissions without re-running anything.
 enum TaskEvent {
+    /// An injected task-attempt failure (transient coin or executor loss).
+    /// `wasted` is the slot time the dead attempt burned; attempts replay
+    /// in index order through the deterministic commit.
+    Failed { attempt: u32, cause: FaultCause, wasted: SimDuration },
     /// Served from a memory store (local or remote).
     MemHit { id: BlockId },
     /// Served from a disk store; `info.executor` is where it was found.
@@ -212,6 +216,9 @@ struct TaskOutput {
     charge: TaskCharge,
     /// Cache-relevant actions in recursion order.
     events: Vec<TaskEvent>,
+    /// The slice of `charge` spent re-producing fault-lost data (lineage
+    /// replay below lost blocks, regeneration of lost map outputs).
+    recovery: SimDuration,
 }
 
 /// Per-task execution context: the frozen view plus task-local scratch
@@ -226,6 +233,11 @@ struct TaskCtx<'a> {
     computed: FxHashMap<BlockId, Block>,
     /// Map outputs this task produced (not yet visible to other tasks).
     shuffle_overlay: FxHashMap<(ShuffleId, usize), Vec<Block>>,
+    /// Depth of the current materialization below a fault-lost block; while
+    /// positive, compute edges and map-output writes are recovery work.
+    recovery_depth: usize,
+    /// Accumulated recovery time (subset of `charge`).
+    recovery: SimDuration,
 }
 
 impl<'a> TaskCtx<'a> {
@@ -237,6 +249,8 @@ impl<'a> TaskCtx<'a> {
             events: Vec::new(),
             computed: FxHashMap::default(),
             shuffle_overlay: FxHashMap::default(),
+            recovery_depth: 0,
+            recovery: SimDuration::ZERO,
         }
     }
 
@@ -315,7 +329,13 @@ impl<'a> TaskCtx<'a> {
             }
         }
 
-        // 3. Recompute from lineage.
+        // 3. Recompute from lineage. A block destroyed by executor loss
+        // marks everything materialized beneath it as recovery work (the
+        // depth counter survives the recursion below).
+        let lost = view.stores.lost_blocks.contains(&id);
+        if lost {
+            self.recovery_depth += 1;
+        }
         let recomputed = view.stores.materialized_once.contains(&id);
         let node = plan.node(rdd)?;
         let (block, in_elems, in_bytes) = match &node.compute {
@@ -345,11 +365,21 @@ impl<'a> TaskCtx<'a> {
                     };
                     let num_maps = plan.node(*parent)?.num_partitions;
                     // Ensure map outputs exist (they normally do; recovery
-                    // across a missing shuffle regenerates them).
+                    // across a missing shuffle regenerates them). An output
+                    // that existed and was destroyed by a fault attributes
+                    // its regeneration to recovery — Spark's fetch-failure
+                    // parent-stage resubmission, inlined.
                     for m in 0..num_maps {
                         if !self.has_map_output((rdd, dep_idx), m) {
+                            let replaying = view.stores.shuffle.was_lost((rdd, dep_idx), m);
+                            if replaying {
+                                self.recovery_depth += 1;
+                            }
                             let parent_block = self.materialize(plan, *parent, m)?;
                             self.write_map_output(plan, rdd, dep_idx, m, &parent_block)?;
+                            if replaying {
+                                self.recovery_depth -= 1;
+                            }
                         }
                     }
                     let fetch_bytes = self.fetch_bytes((rdd, dep_idx), num_maps, part);
@@ -376,6 +406,12 @@ impl<'a> TaskCtx<'a> {
             self.charge.recompute += edge;
         } else {
             self.charge.compute += edge;
+        }
+        if self.recovery_depth > 0 {
+            self.recovery += edge;
+        }
+        if lost {
+            self.recovery_depth -= 1;
         }
 
         let info =
@@ -424,8 +460,12 @@ impl<'a> TaskCtx<'a> {
         let parent_ser = plan.node(*parent)?.ser_factor;
         // Shuffle write = serialize + write shuffle files (Spark behaviour);
         // charged to the shuffle category, not to cache disk I/O.
-        self.charge.shuffle_write += self.view.config.hardware.ser_time(out_bytes, parent_ser)
+        let write = self.view.config.hardware.ser_time(out_bytes, parent_ser)
             + self.view.config.hardware.disk_write_time(out_bytes);
+        self.charge.shuffle_write += write;
+        if self.recovery_depth > 0 {
+            self.recovery += write;
+        }
         self.events.push(TaskEvent::MapOutput { shuffle, map_part, buckets: buckets.clone() });
         self.shuffle_overlay.insert((shuffle, map_part), buckets);
         Ok(())
@@ -441,13 +481,45 @@ fn execute_task(
     part: usize,
     exec: ExecutorId,
     consumers: &[(RddId, usize)],
+    base_attempt: u32,
 ) -> Result<TaskOutput> {
     let mut task = TaskCtx::new(view, exec);
     let block = task.materialize(plan, output, part)?;
     for &(child, dep_idx) in consumers {
         task.write_map_output(plan, child, dep_idx, part, &block)?;
     }
-    Ok(TaskOutput { block, charge: task.charge, events: task.events })
+    let mut events = task.events;
+
+    // Injected transient failures: flip the deterministic per-attempt coin
+    // until one attempt survives or the retry budget is exhausted. Every
+    // failed attempt burns (the same) slot time; attempts replay in index
+    // order through the serial commit, so metrics stay thread-count
+    // independent. `base_attempt` continues the coin stream after an
+    // executor-loss re-execution.
+    if let Some((job, stage)) = view.fault_coords {
+        let fault = &view.config.fault;
+        if fault.task_failure_rate > 0.0 {
+            let max = fault.max_attempts();
+            let wasted = task.charge.total();
+            let mut failed: Vec<TaskEvent> = Vec::new();
+            let mut attempt = base_attempt;
+            while attempt < max && fault.task_attempt_fails(job.raw(), stage, part as u32, attempt)
+            {
+                failed.push(TaskEvent::Failed { attempt, cause: FaultCause::Transient, wasted });
+                attempt += 1;
+            }
+            if attempt >= max && !failed.is_empty() {
+                return Err(BlazeError::Execution(format!(
+                    "task {output}[{part}] failed all {max} attempts (injected transient faults)"
+                )));
+            }
+            if !failed.is_empty() {
+                failed.extend(events);
+                events = failed;
+            }
+        }
+    }
+    Ok(TaskOutput { block, charge: task.charge, events, recovery: task.recovery })
 }
 
 /// Executes every task of a stage, on a scoped worker pool when more than
@@ -465,7 +537,7 @@ fn execute_stage(
     let workers = worker_threads.min(n);
     if workers <= 1 {
         return (0..n)
-            .map(|p| execute_task(view, plan, output, p, placements[p], consumers))
+            .map(|p| execute_task(view, plan, output, p, placements[p], consumers, 0))
             .collect();
     }
 
@@ -485,7 +557,7 @@ fn execute_stage(
                         }
                         done.push((
                             p,
-                            execute_task(view, plan, output, p, placements[p], consumers),
+                            execute_task(view, plan, output, p, placements[p], consumers, 0),
                         ));
                     }
                     done
@@ -522,6 +594,7 @@ impl ClusterState {
                 shuffle: ShuffleStore::new(),
                 block_home: FxHashMap::default(),
                 materialized_once: FxHashSet::default(),
+                lost_blocks: FxHashSet::default(),
             },
             slots: (0..execs).map(|_| vec![SimTime::ZERO; config.slots_per_executor]).collect(),
             metrics: Metrics::new(),
@@ -529,6 +602,7 @@ impl ClusterState {
             clock_floor: SimTime::ZERO,
             job_targets: Vec::new(),
             seen_audit: FxHashSet::default(),
+            next_crash: 0,
             config,
             controller,
         }
@@ -568,6 +642,8 @@ impl ClusterState {
             total_disk: Some(self.config.disk_capacity * self.config.executors as u64),
             size_estimates,
             strict: self.config.strict_audit,
+            recovery_depth_limit: self.config.fault.max_recoverable_depth(),
+            lineage_through_shuffles: !self.config.fault.external_shuffle_service,
         };
         let report = blaze_audit::audit_job(plan, target, &self.job_targets, &audit_config);
         if let Some(d) = report.errors().next() {
@@ -604,6 +680,14 @@ impl ClusterState {
         let job = JobId(self.job_counter);
         self.job_counter += 1;
         let job_plan = blaze_dataflow::planner::plan_job(plan, target)?;
+
+        // All fault paths hang off this one gate: with the default
+        // (disabled) plan the run is byte-identical to a fault-free build.
+        let fault_on = self.config.fault.enabled();
+        if fault_on {
+            self.fire_idle_crashes(self.clock_floor);
+            self.inject_map_output_loss(job);
+        }
 
         // Which shuffles does each map stage feed within this job?
         let mut consumers: FxHashMap<RddId, Vec<(RddId, usize)>> = FxHashMap::default();
@@ -648,22 +732,31 @@ impl ClusterState {
                     let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
                     self.apply_commands(plan, cmds);
                     continue;
+                } else if fault_on
+                    && stage_consumers.iter().any(|&(c, d)| self.stores.shuffle.any_lost((c, d)))
+                {
+                    // This map stage would have been skipped but for lost
+                    // shuffle outputs: lineage-driven parent-stage
+                    // resubmission (Spark's fetch-failure handling).
+                    self.metrics.recovery.stages_resubmitted += 1;
                 }
             }
 
             // -- Plan: deterministic locality placement, partition order,
-            //    against the pre-stage state.
-            let placements: Vec<ExecutorId> = (0..stage.num_partitions)
+            //    against the pre-stage state. Mutable because an injected
+            //    executor crash reschedules uncommitted tasks.
+            let mut placements: Vec<ExecutorId> = (0..stage.num_partitions)
                 .map(|p| self.pick_executor(plan, stage.output, p))
                 .collect::<Result<_>>()?;
 
             // -- Execute: all tasks run against a frozen snapshot of the
             //    stores; shared state is only read.
-            let outputs = {
+            let mut outputs: Vec<Option<Result<TaskOutput>>> = {
                 let view = ExecView {
                     stores: &self.stores,
                     config: &self.config,
                     serialized_in_memory: self.controller.serialized_in_memory(),
+                    fault_coords: fault_on.then_some((job, stage.index as u32)),
                 };
                 execute_stage(
                     &view,
@@ -673,14 +766,33 @@ impl ClusterState {
                     &stage_consumers,
                     self.config.worker_threads,
                 )
+                .into_iter()
+                .map(Some)
+                .collect()
             };
 
             // -- Commit: serial, partition-index order. The first failed
             //    task aborts the job (deterministically, independent of
-            //    which worker observed it first).
+            //    which worker observed it first). Scheduled crashes fire at
+            //    commit boundaries on the simulated clock.
             let mut stage_end = start;
-            for (p, output) in outputs.into_iter().enumerate() {
-                let output = output?;
+            for p in 0..outputs.len() {
+                if fault_on {
+                    self.handle_due_crashes(
+                        plan,
+                        job,
+                        stage.output,
+                        stage.index as u32,
+                        &stage_consumers,
+                        &mut placements,
+                        &mut outputs,
+                        p,
+                        stage_end.max(start),
+                    );
+                }
+                let output = outputs[p].take().ok_or_else(|| {
+                    BlazeError::Execution(format!("partition {p} missing at commit"))
+                })??;
                 let block = output.block.clone();
                 let end = self.commit_task(job, stage.output, p, placements[p], start, output);
                 stage_end = stage_end.max(end);
@@ -724,9 +836,27 @@ impl ClusterState {
         let slot = Self::earliest_slot(&self.slots[e]);
         let t0 = self.slots[e][slot].max(start);
         let mut charge = output.charge;
+        let recovery = output.recovery;
+        let mut next_attempt = 0u32;
 
         for event in output.events {
             match event {
+                TaskEvent::Failed { attempt, cause, wasted } => {
+                    // The attempt index is part of the deterministic coin
+                    // stream; replay must stay contiguous across transient
+                    // retries and executor-loss re-executions.
+                    debug_assert_eq!(attempt, next_attempt, "non-contiguous attempt replay");
+                    next_attempt = attempt + 1;
+                    match cause {
+                        FaultCause::Transient => self.metrics.recovery.task_retries += 1,
+                        FaultCause::ExecutorLost => {
+                            self.metrics.recovery.tasks_lost_to_crash += 1;
+                        }
+                    }
+                    charge.fault_wasted += wasted;
+                    self.metrics.recovery.wasted_time += wasted;
+                    self.metrics.recovery.record_job_recovery(job, wasted);
+                }
                 TaskEvent::MemHit { id } => {
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_access(&ctx, id);
@@ -764,6 +894,9 @@ impl ClusterState {
                         self.metrics.record_recompute(job, info.id.rdd, edge);
                     }
                     self.stores.materialized_once.insert(info.id);
+                    if self.stores.lost_blocks.remove(&info.id) {
+                        self.metrics.recovery.blocks_recovered += 1;
+                    }
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     let event = PartitionEvent { info, edge_compute: edge, job, recomputed };
                     self.controller.on_partition_computed(&ctx, &event);
@@ -792,12 +925,19 @@ impl ClusterState {
                     // when several tasks recover the same missing shuffle)
                     // produce identical buckets.
                     if !self.stores.shuffle.has_map_output(shuffle, map_part) {
-                        self.stores.shuffle.put_map_output(shuffle, map_part, buckets);
+                        self.stores.shuffle.put_map_output(shuffle, map_part, buckets, exec);
+                        if self.stores.shuffle.mark_recovered(shuffle, map_part) {
+                            self.metrics.recovery.map_outputs_recovered += 1;
+                        }
                     }
                 }
             }
         }
 
+        if recovery > SimDuration::ZERO {
+            self.metrics.recovery.lineage_replay_time += recovery;
+            self.metrics.recovery.record_job_recovery(job, recovery);
+        }
         self.metrics.record_task(&charge);
         let end = t0 + charge.total();
         self.metrics.record_trace(crate::metrics::TaskTrace {
@@ -1066,6 +1206,158 @@ impl ClusterState {
                 self.controller.on_evicted(&ctx, vid);
             }
             self.stores.disk[e].remove_rdd(rdd);
+        }
+    }
+
+    // ---- Fault injection ---------------------------------------------------
+
+    /// Destroys executor `e`'s cached state: memory and disk stores are
+    /// wiped (with controller eviction notifications), and — when the
+    /// fault plan disables the external shuffle service — every shuffle
+    /// output the executor produced. The machine itself is immediately
+    /// replaced: subsequent tasks may be placed on the same index again,
+    /// they just find its stores empty.
+    fn wipe_executor(&mut self, e: usize) {
+        self.metrics.recovery.executor_crashes += 1;
+        let mem_ids: Vec<BlockId> = self.stores.mem[e].iter().map(|(id, _)| *id).collect();
+        for id in mem_ids {
+            if let Some(sb) = self.stores.mem[e].remove(id) {
+                self.note_block_lost(id, sb.logical_bytes);
+            }
+        }
+        let disk_ids: Vec<BlockId> = self.stores.disk[e].iter().map(|(id, _)| *id).collect();
+        for id in disk_ids {
+            if let Some(sb) = self.stores.disk[e].remove(id) {
+                self.note_block_lost(id, sb.logical_bytes);
+            }
+        }
+        if !self.config.fault.external_shuffle_service {
+            let lost = self.stores.shuffle.drop_by_producer(ExecutorId(e as u32));
+            self.metrics.recovery.map_outputs_lost += lost;
+        }
+    }
+
+    /// Records one cached block destroyed by executor loss. The eviction
+    /// notification lets stateful controllers drop their residency belief;
+    /// clearing `materialized_once` keeps the later rebuild classified as
+    /// recovery work rather than a policy-caused recomputation.
+    fn note_block_lost(&mut self, id: BlockId, bytes: ByteSize) {
+        let ctx = self.ctrl_ctx(self.clock_floor);
+        self.controller.on_evicted(&ctx, id);
+        self.stores.block_home.remove(&id);
+        self.stores.materialized_once.remove(&id);
+        self.stores.lost_blocks.insert(id);
+        self.metrics.recovery.blocks_lost += 1;
+        self.metrics.recovery.bytes_lost += bytes;
+    }
+
+    /// Fires every scheduled crash whose time has passed while the cluster
+    /// was idle (between jobs). Crashes are validated time-ordered and each
+    /// fires exactly once.
+    fn fire_idle_crashes(&mut self, now: SimTime) {
+        while let Some(&crash) = self.config.fault.crashes.get(self.next_crash) {
+            if crash.at > now {
+                break;
+            }
+            self.next_crash += 1;
+            self.wipe_executor(crash.executor);
+        }
+    }
+
+    /// Fires crashes that became due during a stage, at the task-commit
+    /// boundary: the dead executor's stores are wiped and every not-yet-
+    /// committed task placed on it is lost and re-executed on the next
+    /// surviving executor (against the post-crash state, continuing the
+    /// task's attempt sequence).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_due_crashes(
+        &mut self,
+        plan: &Plan,
+        job: JobId,
+        stage_output: RddId,
+        stage_index: u32,
+        stage_consumers: &[(RddId, usize)],
+        placements: &mut [ExecutorId],
+        outputs: &mut [Option<Result<TaskOutput>>],
+        next_commit: usize,
+        now: SimTime,
+    ) {
+        while let Some(&crash) = self.config.fault.crashes.get(self.next_crash) {
+            if crash.at > now {
+                break;
+            }
+            self.next_crash += 1;
+            let e = crash.executor;
+            self.wipe_executor(e);
+
+            for q in next_commit..outputs.len() {
+                if placements[q].raw() as usize != e {
+                    continue;
+                }
+                let Some(prev) = outputs[q].take() else { continue };
+                let prev = match prev {
+                    Ok(prev) => prev,
+                    Err(err) => {
+                        // Already-failed tasks stay failed; the job aborts
+                        // at their commit slot as before.
+                        outputs[q] = Some(Err(err));
+                        continue;
+                    }
+                };
+                // The in-flight attempt dies with the executor; its prior
+                // failed attempts (if any) replay unchanged.
+                let mut prior: Vec<TaskEvent> = prev
+                    .events
+                    .into_iter()
+                    .filter(|ev| matches!(ev, TaskEvent::Failed { .. }))
+                    .collect();
+                prior.push(TaskEvent::Failed {
+                    attempt: prior.len() as u32,
+                    cause: FaultCause::ExecutorLost,
+                    wasted: prev.charge.total(),
+                });
+                let survivor = ExecutorId(((e + 1) % self.config.executors) as u32);
+                placements[q] = survivor;
+                let base_attempt = prior.len() as u32;
+                let view = ExecView {
+                    stores: &self.stores,
+                    config: &self.config,
+                    serialized_in_memory: self.controller.serialized_in_memory(),
+                    fault_coords: Some((job, stage_index)),
+                };
+                let rerun = execute_task(
+                    &view,
+                    plan,
+                    stage_output,
+                    q,
+                    survivor,
+                    stage_consumers,
+                    base_attempt,
+                );
+                outputs[q] = Some(rerun.map(|mut out| {
+                    prior.extend(std::mem::take(&mut out.events));
+                    out.events = prior;
+                    out
+                }));
+            }
+        }
+    }
+
+    /// Draws the per-job map-output-loss coin over every registered shuffle
+    /// output (in sorted key order, so draws are independent of hash-map
+    /// iteration order). Only active without an external shuffle service.
+    fn inject_map_output_loss(&mut self, job: JobId) {
+        if self.config.fault.external_shuffle_service
+            || self.config.fault.map_output_loss_rate <= 0.0
+        {
+            return;
+        }
+        for ((child, dep_idx), map_part) in self.stores.shuffle.keys_sorted() {
+            if self.config.fault.map_output_lost(job.raw(), child.raw(), dep_idx, map_part)
+                && self.stores.shuffle.drop_map_output((child, dep_idx), map_part)
+            {
+                self.metrics.recovery.map_outputs_lost += 1;
+            }
         }
     }
 }

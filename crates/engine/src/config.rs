@@ -9,6 +9,7 @@
 //! cloud node (SSD ~200 MB/s sustained, ~1 GB/s effective network per
 //! executor, serialization slower than raw disk bandwidth).
 
+use crate::fault::FaultPlan;
 use blaze_common::error::{BlazeError, Result};
 use blaze_common::{ByteSize, SimDuration};
 
@@ -107,6 +108,10 @@ pub struct ClusterConfig {
     /// `blaze-audit` plan auditor (caching anti-patterns) abort the job
     /// instead of only being counted in [`crate::metrics::Metrics`].
     pub strict_audit: bool,
+    /// Deterministic fault-injection schedule. The default plan is fully
+    /// disabled and the engine takes no fault path at all (zero cost;
+    /// byte-identical results and metrics to a build without the feature).
+    pub fault: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -119,6 +124,7 @@ impl Default for ClusterConfig {
             hardware: HardwareModel::default(),
             worker_threads: default_worker_threads(),
             strict_audit: false,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -155,6 +161,7 @@ impl ClusterConfig {
                 return Err(BlazeError::Config(format!("{name} must be positive, got {v}")));
             }
         }
+        self.fault.validate(self.executors)?;
         Ok(())
     }
 
@@ -191,6 +198,33 @@ mod tests {
         assert!(c.validate().is_err());
         let c = ClusterConfig { worker_threads: 0, ..Default::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_validated_with_the_config() {
+        use crate::fault::{ExecutorCrash, FaultPlan};
+        use blaze_common::SimTime;
+        let bad = ClusterConfig {
+            fault: FaultPlan { task_failure_rate: 0.1, max_task_retries: 0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        // A crash targeting executor >= executors is rejected with the
+        // config's own executor count.
+        let out_of_range = ClusterConfig {
+            executors: 2,
+            fault: FaultPlan {
+                crashes: vec![ExecutorCrash { at: SimTime::ZERO, executor: 2 }],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(out_of_range.validate().is_err());
+        let ok = ClusterConfig {
+            fault: FaultPlan { task_failure_rate: 0.05, ..Default::default() },
+            ..Default::default()
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

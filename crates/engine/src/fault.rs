@@ -1,0 +1,273 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes every failure an application run will suffer as
+//! a pure function of a seed, simulated-clock time and task coordinates —
+//! never the host clock or OS randomness, so a faulty run replays
+//! bit-identically across processes and worker-thread counts. Three failure
+//! classes are injected (see DESIGN.md "Failure model"):
+//!
+//! - **Transient task failures**: each task attempt flips a seeded coin
+//!   keyed by `(job, stage, partition, attempt)`; failed attempts are
+//!   retried up to [`FaultPlan::max_task_retries`] times and their wasted
+//!   time is charged to the slot and attributed to recovery metrics.
+//! - **Executor crashes**: at the listed simulated times, an executor loses
+//!   its memory and disk stores (and, without an external shuffle service,
+//!   its shuffle outputs) at the next task-commit boundary; in-flight tasks
+//!   placed on it are rescheduled onto survivors.
+//! - **Map-output loss**: with `external_shuffle_service` disabled, a
+//!   seeded coin keyed by `(job, shuffle, map task)` drops map outputs at
+//!   job start; consumers recover them through lineage, Spark-style.
+//!
+//! The default plan is fully disabled and adds zero cost: the engine takes
+//! no fault path at all when [`FaultPlan::enabled`] is false.
+
+use blaze_common::error::{BlazeError, Result};
+use blaze_common::rng::coord_coin;
+use blaze_common::SimTime;
+
+/// Distinct coin streams, so the same coordinates never reuse a draw
+/// across failure classes.
+const STREAM_TASK: u64 = 1;
+const STREAM_MAP_OUTPUT: u64 = 2;
+
+/// Heuristic uncached-lineage depth a single retry budget can be expected
+/// to replay: each retry re-executes the whole uncached chain inline, so
+/// deeper chains both lengthen attempts and widen the transient-failure
+/// exposure window. The BA301 preflight rule rejects plans whose uncached
+/// depth exceeds `DEPTH_PER_ATTEMPT * max_attempts`.
+pub const DEPTH_PER_ATTEMPT: usize = 32;
+
+/// Why an injected task attempt was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCause {
+    /// A transient failure drawn from [`FaultPlan::task_failure_rate`].
+    Transient,
+    /// The attempt was in flight on an executor that crashed.
+    ExecutorLost,
+}
+
+/// One scheduled executor crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorCrash {
+    /// Simulated time at which the crash fires. The executor dies at the
+    /// first task-commit boundary whose frontier reaches this time (or at
+    /// the next job boundary if the application is between jobs).
+    pub at: SimTime,
+    /// Index of the executor to kill. The machine is replaced immediately
+    /// (same index, empty stores), as a cluster manager would.
+    pub executor: usize,
+}
+
+/// A deterministic schedule of failures for one application run.
+///
+/// Carried on [`crate::config::ClusterConfig`]; the default plan injects
+/// nothing. All draws are pure functions of `seed` and coordinates
+/// (`blaze_common::rng::coord_coin`), so two runs of the same plan — at any
+/// `worker_threads` — observe identical failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of every injection coin.
+    pub seed: u64,
+    /// Probability that any single task attempt fails transiently.
+    /// Must be in `[0, 1)`: a rate of 1 could never succeed.
+    pub task_failure_rate: f64,
+    /// Retries allowed per task after its first attempt. A task whose
+    /// `1 + max_task_retries` attempts all fail aborts the job.
+    pub max_task_retries: u32,
+    /// Scheduled executor crashes, ordered by time.
+    pub crashes: Vec<ExecutorCrash>,
+    /// Probability that a registered map output is lost at each job start.
+    /// Only meaningful with `external_shuffle_service` off.
+    pub map_output_loss_rate: f64,
+    /// When true (the default, Spark's external shuffle service), shuffle
+    /// outputs survive executor crashes and are never lost. When false, a
+    /// crash drops the outputs the dead executor produced and
+    /// `map_output_loss_rate` applies.
+    pub external_shuffle_service: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            task_failure_rate: 0.0,
+            max_task_retries: 3,
+            crashes: Vec::new(),
+            map_output_loss_rate: 0.0,
+            external_shuffle_service: true,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when the plan can inject at least one failure. A disabled plan
+    /// keeps the engine on its zero-cost fast path.
+    pub fn enabled(&self) -> bool {
+        self.task_failure_rate > 0.0
+            || !self.crashes.is_empty()
+            || (!self.external_shuffle_service && self.map_output_loss_rate > 0.0)
+    }
+
+    /// Total attempts a task may consume (first run + retries).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_task_retries.saturating_add(1)
+    }
+
+    /// Seeded coin: does attempt `attempt` of task `(job, stage, part)`
+    /// fail transiently?
+    pub fn task_attempt_fails(&self, job: u32, stage: u32, part: u32, attempt: u32) -> bool {
+        coord_coin(
+            self.seed,
+            &[STREAM_TASK, u64::from(job), u64::from(stage), u64::from(part), u64::from(attempt)],
+            self.task_failure_rate,
+        )
+    }
+
+    /// Seeded coin: is map output `map_part` of the shuffle feeding
+    /// `(child, dep_idx)` lost at the start of `job`?
+    pub fn map_output_lost(&self, job: u32, child: u32, dep_idx: usize, map_part: usize) -> bool {
+        if self.external_shuffle_service {
+            return false;
+        }
+        coord_coin(
+            self.seed,
+            &[STREAM_MAP_OUTPUT, u64::from(job), u64::from(child), dep_idx as u64, map_part as u64],
+            self.map_output_loss_rate,
+        )
+    }
+
+    /// The deepest uncached lineage chain the retry budget can be expected
+    /// to replay, or `None` when the plan is disabled (no bound applies).
+    /// Used by the BA301 preflight rule.
+    pub fn max_recoverable_depth(&self) -> Option<usize> {
+        if self.enabled() {
+            Some(DEPTH_PER_ATTEMPT * self.max_attempts() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Validates the plan against the cluster's executor count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for out-of-range rates, a zero retry
+    /// budget alongside a positive failure rate, unordered crash times, or
+    /// a crash targeting a nonexistent executor (or a cluster too small to
+    /// survive one).
+    pub fn validate(&self, executors: usize) -> Result<()> {
+        let rate = self.task_failure_rate;
+        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+            return Err(BlazeError::Config(format!(
+                "fault plan: task_failure_rate must be in [0, 1) (got {rate}); a rate of 1 \
+                 could never succeed"
+            )));
+        }
+        let rate = self.map_output_loss_rate;
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(BlazeError::Config(format!(
+                "fault plan: map_output_loss_rate must be in [0, 1] (got {rate})"
+            )));
+        }
+        if self.task_failure_rate > 0.0 && self.max_task_retries == 0 {
+            return Err(BlazeError::Config(
+                "fault plan: max_task_retries must be >= 1 when task_failure_rate > 0".into(),
+            ));
+        }
+        let mut prev = SimTime::ZERO;
+        for crash in &self.crashes {
+            if crash.at < prev {
+                return Err(BlazeError::Config(format!(
+                    "fault plan: crash times must be non-decreasing ({} after {prev})",
+                    crash.at
+                )));
+            }
+            prev = crash.at;
+            if crash.executor >= executors {
+                return Err(BlazeError::Config(format!(
+                    "fault plan: crash targets executor {} but the cluster has {executors}",
+                    crash.executor
+                )));
+            }
+        }
+        if !self.crashes.is_empty() && executors < 2 {
+            return Err(BlazeError::Config(
+                "fault plan: executor crashes need >= 2 executors so in-flight tasks can be \
+                 rescheduled onto a survivor"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_disabled_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(!plan.enabled());
+        plan.validate(1).unwrap();
+        assert_eq!(plan.max_recoverable_depth(), None);
+        assert!(!plan.task_attempt_fails(0, 0, 0, 0));
+        assert!(!plan.map_output_lost(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn coins_are_deterministic_and_coordinate_keyed() {
+        let plan = FaultPlan { seed: 42, task_failure_rate: 0.5, ..Default::default() };
+        let a = plan.task_attempt_fails(1, 2, 3, 0);
+        assert_eq!(a, plan.task_attempt_fails(1, 2, 3, 0));
+        // Some nearby coordinate must differ (rate 0.5, 64 draws).
+        let flips: Vec<bool> = (0..64).map(|p| plan.task_attempt_fails(1, 2, p, 0)).collect();
+        assert!(flips.iter().any(|&f| f) && flips.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn map_output_loss_requires_no_shuffle_service() {
+        let with_ess = FaultPlan { seed: 7, map_output_loss_rate: 1.0, ..Default::default() };
+        assert!(!with_ess.map_output_lost(0, 5, 0, 0));
+        assert!(!with_ess.enabled());
+        let no_ess = FaultPlan { external_shuffle_service: false, ..with_ess };
+        assert!(no_ess.map_output_lost(0, 5, 0, 0));
+        assert!(no_ess.enabled());
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let bad_rate = FaultPlan { task_failure_rate: 1.0, ..Default::default() };
+        assert!(bad_rate.validate(4).is_err());
+        let nan = FaultPlan { map_output_loss_rate: f64::NAN, ..Default::default() };
+        assert!(nan.validate(4).is_err());
+        let no_retries =
+            FaultPlan { task_failure_rate: 0.1, max_task_retries: 0, ..Default::default() };
+        assert!(no_retries.validate(4).is_err());
+        let out_of_range = FaultPlan {
+            crashes: vec![ExecutorCrash { at: SimTime::ZERO, executor: 9 }],
+            ..Default::default()
+        };
+        assert!(out_of_range.validate(4).is_err());
+        let unordered = FaultPlan {
+            crashes: vec![
+                ExecutorCrash { at: SimTime::from_nanos(10), executor: 0 },
+                ExecutorCrash { at: SimTime::from_nanos(5), executor: 1 },
+            ],
+            ..Default::default()
+        };
+        assert!(unordered.validate(4).is_err());
+        let lonely = FaultPlan {
+            crashes: vec![ExecutorCrash { at: SimTime::ZERO, executor: 0 }],
+            ..Default::default()
+        };
+        assert!(lonely.validate(1).is_err());
+        assert!(lonely.validate(2).is_ok());
+    }
+
+    #[test]
+    fn recoverable_depth_scales_with_the_retry_budget() {
+        let plan = FaultPlan { task_failure_rate: 0.1, max_task_retries: 2, ..Default::default() };
+        assert_eq!(plan.max_recoverable_depth(), Some(DEPTH_PER_ATTEMPT * 3));
+    }
+}

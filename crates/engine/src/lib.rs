@@ -35,6 +35,7 @@
 pub mod cluster;
 pub mod config;
 pub mod controller;
+pub mod fault;
 pub mod metrics;
 pub mod shuffle;
 pub mod storage;
@@ -45,4 +46,5 @@ pub use controller::{
     Admission, BlockInfo, CacheController, CtrlCtx, NoCacheController, PartitionEvent,
     StateCommand, VictimAction,
 };
-pub use metrics::{Metrics, TaskCharge, TaskTrace};
+pub use fault::{ExecutorCrash, FaultCause, FaultPlan};
+pub use metrics::{Metrics, RecoveryMetrics, TaskCharge, TaskTrace};

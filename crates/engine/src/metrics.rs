@@ -61,6 +61,10 @@ pub struct TaskCharge {
     /// Extra in-memory (de)serialization imposed by an external store
     /// (the Alluxio path, §7.1).
     pub external_store_io: SimDuration,
+    /// Slot time burned by failed task attempts (fault injection): the
+    /// attempts ran and died, so the slot was occupied, but no category
+    /// above received their work. Zero when no faults are injected.
+    pub fault_wasted: SimDuration,
 }
 
 impl TaskCharge {
@@ -73,6 +77,7 @@ impl TaskCharge {
             + self.disk_cache_write
             + self.disk_cache_read
             + self.external_store_io
+            + self.fault_wasted
     }
 
     /// The "Disk I/O for Caching" component of the paper's breakdown.
@@ -94,6 +99,64 @@ impl TaskCharge {
         self.disk_cache_write += other.disk_cache_write;
         self.disk_cache_read += other.disk_cache_read;
         self.external_store_io += other.external_store_io;
+        self.fault_wasted += other.fault_wasted;
+    }
+}
+
+/// Recovery-work attribution under fault injection (see
+/// [`crate::fault::FaultPlan`]). Every counter is zero on a failure-free
+/// run, and — like all of [`Metrics`] — bit-identical across repeated runs
+/// and worker-thread counts for the same fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryMetrics {
+    /// Transient task attempts that failed and were retried.
+    pub task_retries: u64,
+    /// In-flight task attempts lost to an executor crash and rescheduled.
+    pub tasks_lost_to_crash: u64,
+    /// Executor crashes that fired (scheduled crashes reached by the
+    /// simulated clock, plus explicit `fail_executor` calls).
+    pub executor_crashes: u64,
+    /// Cached blocks dropped by executor loss.
+    pub blocks_lost: u64,
+    /// Logical bytes of cached data dropped by executor loss.
+    pub bytes_lost: ByteSize,
+    /// Lost blocks later re-produced through lineage.
+    pub blocks_recovered: u64,
+    /// Shuffle map outputs dropped (crash without an external shuffle
+    /// service, or seeded map-output loss).
+    pub map_outputs_lost: u64,
+    /// Lost map outputs later regenerated through lineage.
+    pub map_outputs_recovered: u64,
+    /// Map stages re-run because their registered shuffle outputs were
+    /// lost (Spark's fetch-failure stage resubmission).
+    pub stages_resubmitted: u64,
+    /// Slot time burned by attempts that failed (transient or crash-lost).
+    pub wasted_time: SimDuration,
+    /// Simulated time spent replaying lineage to re-produce lost data
+    /// (recompute edges below a lost block, plus map-output regeneration).
+    pub lineage_replay_time: SimDuration,
+    /// Total recovery time (wasted + replay) attributed per job.
+    pub recovery_time_by_job: FxHashMap<JobId, SimDuration>,
+}
+
+impl RecoveryMetrics {
+    /// Total simulated time the run spent on failure recovery.
+    pub fn total_recovery_time(&self) -> SimDuration {
+        self.wasted_time + self.lineage_replay_time
+    }
+
+    /// Recovery time per job, sorted by job id.
+    pub fn recovery_by_job(&self) -> Vec<(JobId, SimDuration)> {
+        let mut v: Vec<_> = self.recovery_time_by_job.iter().map(|(&j, &t)| (j, t)).collect();
+        v.sort_by_key(|(j, _)| *j);
+        v
+    }
+
+    /// Records recovery time attributed to `job`.
+    pub fn record_job_recovery(&mut self, job: JobId, time: SimDuration) {
+        if time > SimDuration::ZERO {
+            *self.recovery_time_by_job.entry(job).or_default() += time;
+        }
     }
 }
 
@@ -144,6 +207,9 @@ pub struct Metrics {
     /// Distinct warning-severity preflight diagnostics observed across the
     /// run (one per (code, dataset) pair; see `blaze-audit`).
     pub audit_warnings: u64,
+    /// Recovery-work attribution under fault injection (all zero on a
+    /// failure-free run).
+    pub recovery: RecoveryMetrics,
     /// The simulated application completion time (Fig. 9's ACT).
     pub completion_time: SimTime,
     /// Every executed task, in execution order (timeline reconstruction).
@@ -306,5 +372,33 @@ mod tests {
         assert_eq!(m.disk_bytes_avg(), ByteSize::ZERO);
         assert_eq!(m.total_recompute_time(), SimDuration::ZERO);
         assert!(m.recompute_by_job().is_empty());
+        assert_eq!(m.recovery, RecoveryMetrics::default());
+        assert_eq!(m.recovery.total_recovery_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn recovery_time_aggregates_per_job() {
+        let mut r = RecoveryMetrics::default();
+        r.record_job_recovery(JobId(2), SimDuration::from_secs(1));
+        r.record_job_recovery(JobId(0), SimDuration::from_secs(2));
+        r.record_job_recovery(JobId(2), SimDuration::from_secs(3));
+        r.record_job_recovery(JobId(1), SimDuration::ZERO); // no-op
+        assert_eq!(
+            r.recovery_by_job(),
+            vec![(JobId(0), SimDuration::from_secs(2)), (JobId(2), SimDuration::from_secs(4))]
+        );
+        r.wasted_time = SimDuration::from_secs(1);
+        r.lineage_replay_time = SimDuration::from_secs(2);
+        assert_eq!(r.total_recovery_time(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn fault_wasted_counts_into_the_total_charge() {
+        let mut c = charge(10, 0);
+        c.fault_wasted = SimDuration::from_millis(7);
+        assert_eq!(c.total(), SimDuration::from_millis(17));
+        // But not into either paper-breakdown component.
+        assert_eq!(c.computation_and_shuffle(), SimDuration::from_millis(10));
+        assert_eq!(c.disk_io_for_caching(), SimDuration::ZERO);
     }
 }

@@ -5,9 +5,15 @@
 //! lifetime of the application and are *not* subject to cache eviction —
 //! which is why recomputing an RDD with a shuffle dependency re-reads
 //! shuffle data instead of re-running the whole upstream stage.
+//!
+//! Under fault injection the store also models shuffle-output *loss*: each
+//! output remembers the executor that produced it, so an executor crash
+//! without an external shuffle service drops exactly that executor's
+//! outputs, and the `lost` set remembers what disappeared so the recovery
+//! work that regenerates it can be attributed (see `crate::fault`).
 
-use blaze_common::fxhash::FxHashMap;
-use blaze_common::ids::RddId;
+use blaze_common::fxhash::{FxHashMap, FxHashSet};
+use blaze_common::ids::{ExecutorId, RddId};
 use blaze_common::ByteSize;
 use blaze_dataflow::Block;
 
@@ -15,11 +21,23 @@ use blaze_dataflow::Block;
 /// dependency within its dependency list.
 pub type ShuffleId = (RddId, usize);
 
+/// One registered map output: the per-reducer buckets and the executor
+/// whose (simulated) local disk holds them.
+#[derive(Debug)]
+struct MapOutput {
+    buckets: Vec<Block>,
+    producer: ExecutorId,
+}
+
 /// Global store of map-side shuffle outputs.
 #[derive(Debug, Default)]
 pub struct ShuffleStore {
     /// (shuffle, map task) -> per-reducer buckets.
-    outputs: FxHashMap<(ShuffleId, usize), Vec<Block>>,
+    outputs: FxHashMap<(ShuffleId, usize), MapOutput>,
+    /// Outputs that were registered once and then destroyed by a fault;
+    /// cleared per entry when the output is regenerated. Drives recovery
+    /// attribution, never correctness.
+    lost: FxHashSet<(ShuffleId, usize)>,
 }
 
 impl ShuffleStore {
@@ -38,28 +56,34 @@ impl ShuffleStore {
         (0..num_maps).all(|m| self.has_map_output(shuffle, m))
     }
 
-    /// Registers the buckets produced by one map task.
-    pub fn put_map_output(&mut self, shuffle: ShuffleId, map_part: usize, buckets: Vec<Block>) {
-        self.outputs.insert((shuffle, map_part), buckets);
+    /// Registers the buckets produced by one map task on `producer`.
+    pub fn put_map_output(
+        &mut self,
+        shuffle: ShuffleId,
+        map_part: usize,
+        buckets: Vec<Block>,
+        producer: ExecutorId,
+    ) {
+        self.outputs.insert((shuffle, map_part), MapOutput { buckets, producer });
     }
 
     /// Fetches the bucket addressed to `reduce_part` from one map task.
     pub fn fetch(&self, shuffle: ShuffleId, map_part: usize, reduce_part: usize) -> Option<Block> {
-        self.outputs.get(&(shuffle, map_part)).and_then(|b| b.get(reduce_part)).cloned()
+        self.outputs.get(&(shuffle, map_part)).and_then(|o| o.buckets.get(reduce_part)).cloned()
     }
 
     /// Total bytes a reducer fetches for `reduce_part` across `num_maps` maps.
     pub fn fetch_bytes(&self, shuffle: ShuffleId, num_maps: usize, reduce_part: usize) -> ByteSize {
         (0..num_maps)
             .filter_map(|m| self.outputs.get(&(shuffle, m)))
-            .filter_map(|b| b.get(reduce_part))
+            .filter_map(|o| o.buckets.get(reduce_part))
             .map(|b| b.bytes())
             .sum()
     }
 
     /// Total bytes resident in the shuffle store.
     pub fn total_bytes(&self) -> ByteSize {
-        self.outputs.values().flatten().map(|b| b.bytes()).sum()
+        self.outputs.values().flat_map(|o| &o.buckets).map(|b| b.bytes()).sum()
     }
 
     /// Number of registered map outputs.
@@ -71,6 +95,57 @@ impl ShuffleStore {
     pub fn is_empty(&self) -> bool {
         self.outputs.is_empty()
     }
+
+    // ---- Fault-injection surface -------------------------------------------
+
+    /// Every registered output key, sorted. Fault injection iterates this
+    /// (never the hash map directly) so loss draws are order-independent.
+    pub fn keys_sorted(&self) -> Vec<(ShuffleId, usize)> {
+        let mut keys: Vec<_> = self.outputs.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Drops one map output, remembering it as lost. Returns true if the
+    /// output existed.
+    pub fn drop_map_output(&mut self, shuffle: ShuffleId, map_part: usize) -> bool {
+        if self.outputs.remove(&(shuffle, map_part)).is_some() {
+            self.lost.insert((shuffle, map_part));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every output produced by `exec` (the no-external-shuffle-service
+    /// crash path). Returns how many outputs were destroyed.
+    pub fn drop_by_producer(&mut self, exec: ExecutorId) -> u64 {
+        let mut dropped: Vec<(ShuffleId, usize)> =
+            self.outputs.iter().filter(|(_, o)| o.producer == exec).map(|(&k, _)| k).collect();
+        dropped.sort_unstable();
+        for key in &dropped {
+            self.outputs.remove(key);
+            self.lost.insert(*key);
+        }
+        dropped.len() as u64
+    }
+
+    /// True if this exact output was destroyed by a fault and has not been
+    /// regenerated yet.
+    pub fn was_lost(&self, shuffle: ShuffleId, map_part: usize) -> bool {
+        self.lost.contains(&(shuffle, map_part))
+    }
+
+    /// True if any map output of `shuffle` is currently lost.
+    pub fn any_lost(&self, shuffle: ShuffleId) -> bool {
+        self.lost.iter().any(|&(s, _)| s == shuffle)
+    }
+
+    /// Clears the lost marker after regeneration. Returns true if the
+    /// output had been marked lost.
+    pub fn mark_recovered(&mut self, shuffle: ShuffleId, map_part: usize) -> bool {
+        self.lost.remove(&(shuffle, map_part))
+    }
 }
 
 #[cfg(test)]
@@ -81,13 +156,16 @@ mod tests {
         (0..n).map(|_| Block::from_vec(vec![0u64; elems_each])).collect()
     }
 
+    const E0: ExecutorId = ExecutorId(0);
+    const E1: ExecutorId = ExecutorId(1);
+
     #[test]
     fn put_and_fetch_round_trip() {
         let mut s = ShuffleStore::new();
         let sh: ShuffleId = (RddId(5), 0);
         assert!(!s.has_map_output(sh, 0));
-        s.put_map_output(sh, 0, buckets(3, 2));
-        s.put_map_output(sh, 1, buckets(3, 2));
+        s.put_map_output(sh, 0, buckets(3, 2), E0);
+        s.put_map_output(sh, 1, buckets(3, 2), E1);
         assert!(s.has_map_output(sh, 0));
         assert!(s.is_complete(sh, 2));
         assert!(!s.is_complete(sh, 3));
@@ -100,9 +178,42 @@ mod tests {
     fn fetch_bytes_sums_across_maps() {
         let mut s = ShuffleStore::new();
         let sh: ShuffleId = (RddId(1), 0);
-        s.put_map_output(sh, 0, buckets(2, 10));
-        s.put_map_output(sh, 1, buckets(2, 10));
+        s.put_map_output(sh, 0, buckets(2, 10), E0);
+        s.put_map_output(sh, 1, buckets(2, 10), E0);
         assert_eq!(s.fetch_bytes(sh, 2, 0), ByteSize::from_bytes(2 * 10 * 8));
         assert_eq!(s.total_bytes(), ByteSize::from_bytes(4 * 10 * 8));
+    }
+
+    #[test]
+    fn producer_crash_drops_only_its_outputs() {
+        let mut s = ShuffleStore::new();
+        let sh: ShuffleId = (RddId(2), 0);
+        s.put_map_output(sh, 0, buckets(2, 1), E0);
+        s.put_map_output(sh, 1, buckets(2, 1), E1);
+        assert_eq!(s.drop_by_producer(E0), 1);
+        assert!(!s.has_map_output(sh, 0));
+        assert!(s.has_map_output(sh, 1));
+        assert!(s.was_lost(sh, 0));
+        assert!(!s.was_lost(sh, 1));
+        assert!(s.any_lost(sh));
+        // Regeneration clears the lost marker.
+        s.put_map_output(sh, 0, buckets(2, 1), E1);
+        assert!(s.mark_recovered(sh, 0));
+        assert!(!s.any_lost(sh));
+        assert!(!s.mark_recovered(sh, 0));
+    }
+
+    #[test]
+    fn targeted_drop_and_sorted_keys() {
+        let mut s = ShuffleStore::new();
+        let a: ShuffleId = (RddId(3), 0);
+        let b: ShuffleId = (RddId(1), 1);
+        s.put_map_output(a, 1, buckets(1, 1), E0);
+        s.put_map_output(b, 0, buckets(1, 1), E0);
+        assert_eq!(s.keys_sorted(), vec![(b, 0), (a, 1)]);
+        assert!(s.drop_map_output(a, 1));
+        assert!(!s.drop_map_output(a, 1));
+        assert!(s.was_lost(a, 1));
+        assert_eq!(s.len(), 1);
     }
 }

@@ -6,7 +6,7 @@ use blaze_common::error::Result;
 use blaze_common::SimDuration;
 use blaze_core::extract_dependencies;
 use blaze_dataflow::Context;
-use blaze_engine::{Cluster, Metrics};
+use blaze_engine::{Cluster, FaultPlan, Metrics};
 
 /// The outcome of one evaluation run.
 #[derive(Debug, Clone)]
@@ -39,6 +39,17 @@ pub fn run_app(app: App, system: SystemKind) -> Result<RunOutcome> {
 
 /// Runs a custom spec under `system` (used by harnesses that sweep scales).
 pub fn run_spec(spec: &AppSpec, system: SystemKind) -> Result<RunOutcome> {
+    run_spec_with_fault(spec, system, FaultPlan::default())
+}
+
+/// Runs a custom spec under `system` with a deterministic fault-injection
+/// schedule (the chaos harness). With the default (disabled) plan this is
+/// exactly [`run_spec`].
+pub fn run_spec_with_fault(
+    spec: &AppSpec,
+    system: SystemKind,
+    fault: FaultPlan,
+) -> Result<RunOutcome> {
     let profile = if system.needs_profile() {
         let s = *spec;
         Some(extract_dependencies(move |ctx| s.drive_sample(ctx), 0)?)
@@ -46,7 +57,9 @@ pub fn run_spec(spec: &AppSpec, system: SystemKind) -> Result<RunOutcome> {
         None
     };
     let controller = system.make_controller(profile);
-    let cluster = Cluster::new(spec.cluster_config(), controller)?;
+    let mut config = spec.cluster_config();
+    config.fault = fault;
+    let cluster = Cluster::new(config, controller)?;
     let ctx = Context::new(cluster.clone());
     spec.drive(&ctx)?;
     Ok(RunOutcome { app: spec.app, system, metrics: cluster.metrics() })

@@ -24,6 +24,11 @@ run() {
 
 run cargo build --release $OFFLINE --workspace
 run cargo test -q $OFFLINE --workspace
+# Chaos step: replay the fault-injection suite over a wider seed matrix
+# than the default `cargo test` run. Override the seeds (comma-separated
+# u64s) by exporting BLAZE_CHAOS_SEEDS yourself.
+run env BLAZE_CHAOS_SEEDS="${BLAZE_CHAOS_SEEDS:-11,23,37,41,53}" \
+    cargo test -q $OFFLINE --test fault_injection
 # Layer-2 static analysis: the determinism source lint must be clean before
 # the (slower) clippy pass runs.
 run cargo run -q $OFFLINE -p blaze-audit --bin blaze-lint

@@ -1,0 +1,285 @@
+//! Deterministic chaos testing of the fault-injection subsystem.
+//!
+//! Four contracts are pinned here (see DESIGN.md "Failure model"):
+//!
+//! 1. **Zero cost when off** — a disabled `FaultPlan` (the default) leaves
+//!    every metric byte-identical to a run with no plan at all.
+//! 2. **Replay determinism** — a fixed-seed fault schedule produces the
+//!    same results *and* the same `Metrics::recovery` on every run and at
+//!    every `worker_threads` setting.
+//! 3. **Semantic transparency** — any seeded schedule (transient failures,
+//!    executor crashes, map-output loss) leaves computed results
+//!    byte-identical to the failure-free run, across cache controllers.
+//!    Exercised both by a seed matrix (extendable via the
+//!    `BLAZE_CHAOS_SEEDS` env var, as `scripts/ci.sh` does) and by
+//!    property-based random plans.
+//! 4. **Recoverability preflight** — an uncached lineage chain deeper than
+//!    the plan's retry budget can replay aborts up front with BA301.
+
+use blaze::common::{ByteSize, SimDuration, SimTime};
+use blaze::dataflow::{runner::LocalRunner, Context};
+use blaze::engine::{Cluster, ClusterConfig, ExecutorCrash, FaultPlan, Metrics, RecoveryMetrics};
+use blaze::workloads::{run_spec, run_spec_with_fault, App, AppSpec, SystemKind};
+use proptest::prelude::*;
+
+/// A small iterative pipeline (cache-and-reuse per round, like the
+/// evaluation apps) used by the cluster-level chaos tests.
+fn pipeline(ctx: &Context) -> Vec<(u64, u64)> {
+    let mut data = ctx.parallelize((0..6_000u64).map(|i| (i % 97, i)).collect::<Vec<_>>(), 6);
+    for _ in 0..3 {
+        data = data.reduce_by_key(6, |a, b| a.wrapping_add(*b)).map_values(|v| v ^ 0x3C);
+        data.cache();
+        data.count().expect("count");
+    }
+    let mut out = data.collect().expect("collect");
+    out.sort();
+    out
+}
+
+fn cluster_config(fault: FaultPlan) -> ClusterConfig {
+    ClusterConfig {
+        executors: 2,
+        slots_per_executor: 2,
+        memory_capacity: ByteSize::from_kib(64),
+        fault,
+        ..Default::default()
+    }
+}
+
+/// Runs [`pipeline`] on a cluster under `system` with `fault`, returning
+/// the sorted results and full metrics.
+fn run_chaos(system: SystemKind, fault: FaultPlan) -> (Vec<(u64, u64)>, Metrics) {
+    let cluster = Cluster::new(cluster_config(fault), system.make_controller(None))
+        .expect("valid chaos config");
+    let ctx = Context::new(cluster.clone());
+    let out = pipeline(&ctx);
+    (out, cluster.metrics())
+}
+
+/// The failure-free reference answer, from the cache-less local runner.
+fn reference() -> Vec<(u64, u64)> {
+    pipeline(&Context::new(LocalRunner::new()))
+}
+
+/// A mid-run crash time for `system`: probe the clean simulated ACT once,
+/// then schedule the crash at `frac` of it. Everything stays on the
+/// simulated clock.
+fn crash_mid_run(system: SystemKind, frac: f64) -> SimTime {
+    let (_, clean) = run_chaos(system, FaultPlan::default());
+    SimTime::ZERO + SimDuration::from_secs_f64(clean.completion_time.as_secs_f64() * frac)
+}
+
+// ---------------------------------------------------------------------------
+// 1. Zero cost when off.
+// ---------------------------------------------------------------------------
+
+/// A seeded-but-disabled plan must not perturb a single metric, and the
+/// recovery block must stay all-zero.
+#[test]
+fn disabled_fault_plan_changes_nothing() {
+    let spec = AppSpec::evaluation(App::KMeans);
+    let clean = run_spec(&spec, SystemKind::SparkMemDisk).expect("clean run");
+    let seeded_but_off = FaultPlan { seed: 0xFEED, ..FaultPlan::default() };
+    assert!(!seeded_but_off.enabled());
+    let with_plan =
+        run_spec_with_fault(&spec, SystemKind::SparkMemDisk, seeded_but_off).expect("seeded run");
+    assert_eq!(clean.metrics, with_plan.metrics, "a disabled plan must be invisible");
+    assert_eq!(with_plan.metrics.recovery, RecoveryMetrics::default());
+}
+
+// ---------------------------------------------------------------------------
+// 2. Replay determinism across runs and thread counts.
+// ---------------------------------------------------------------------------
+
+/// Golden: one fixed-seed schedule (transient failures + a mid-run crash +
+/// shuffle loss) replays bit-identically — results, every counter, and the
+/// whole `Metrics::recovery` block — across repeated runs and across
+/// `worker_threads` ∈ {1, 4}, for both an LRU baseline and Blaze.
+#[test]
+fn fixed_seed_schedule_replays_identically() {
+    // Inside every headline system's clean KMeans ACT (~0.10–0.32 s).
+    let crash_at = SimTime::ZERO + SimDuration::from_secs_f64(0.05);
+    let plan = FaultPlan {
+        seed: 0xC4A05,
+        task_failure_rate: 0.05,
+        max_task_retries: 5,
+        crashes: vec![ExecutorCrash { at: crash_at, executor: 1 }],
+        map_output_loss_rate: 0.1,
+        external_shuffle_service: false,
+    };
+    for system in [SystemKind::SparkMemDisk, SystemKind::Blaze] {
+        let runs: Vec<Metrics> = [1usize, 4, 1]
+            .iter()
+            .map(|&threads| {
+                let spec = AppSpec::evaluation(App::KMeans).with_worker_threads(threads);
+                run_spec_with_fault(&spec, system, plan.clone()).expect("chaos run").metrics
+            })
+            .collect();
+        assert_eq!(
+            runs[0], runs[1],
+            "{system:?}: faulted metrics diverged between 1 and 4 worker threads"
+        );
+        assert_eq!(runs[0], runs[2], "{system:?}: faulted metrics diverged between two runs");
+        // The schedule really fired: every failure class left a trace.
+        let rec = &runs[0].recovery;
+        assert_eq!(rec.executor_crashes, 1, "{system:?}: the scheduled crash must fire once");
+        assert!(rec.task_retries > 0, "{system:?}: transient failures must have fired");
+        assert!(rec.blocks_lost > 0, "{system:?}: the crash must have destroyed blocks");
+        assert!(
+            rec.total_recovery_time() > SimDuration::ZERO,
+            "{system:?}: recovery work must be attributed"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Semantic transparency: seed matrix + random plans.
+// ---------------------------------------------------------------------------
+
+/// The chaos seed matrix. `scripts/ci.sh` widens it via `BLAZE_CHAOS_SEEDS`
+/// (a comma-separated list); the default keeps local `cargo test` fast.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("BLAZE_CHAOS_SEEDS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("BLAZE_CHAOS_SEEDS: not a u64 seed"))
+            .collect(),
+        Err(_) => vec![11, 23],
+    }
+}
+
+/// Every seed in the matrix — full schedule, shuffle service off — must
+/// leave results identical to the failure-free reference, under both an
+/// LRU baseline and a Blaze controller.
+#[test]
+fn chaos_seed_matrix_preserves_results() {
+    let want = reference();
+    for system in [SystemKind::SparkMemDisk, SystemKind::BlazeNoProfile] {
+        let crash_at = crash_mid_run(system, 0.4);
+        for seed in chaos_seeds() {
+            let plan = FaultPlan {
+                seed,
+                task_failure_rate: 0.08,
+                max_task_retries: 6,
+                crashes: vec![ExecutorCrash { at: crash_at, executor: 1 }],
+                map_output_loss_rate: 0.2,
+                external_shuffle_service: false,
+            };
+            let (got, metrics) = run_chaos(system, plan);
+            assert_eq!(got, want, "seed {seed} under {system:?} corrupted results");
+            assert!(
+                metrics.recovery.executor_crashes == 1,
+                "seed {seed} under {system:?}: mid-run crash did not fire"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random seeded plans — any rate/retry/crash/loss combination — are
+    /// semantically transparent: the chaos run computes exactly what the
+    /// failure-free run computes.
+    #[test]
+    fn random_fault_plans_preserve_results(
+        seed in 0u64..u64::MAX,
+        rate in 0.0f64..0.15,
+        retries in 5u32..8,
+        loss in 0.0f64..0.3,
+        ess_pick in 0u8..2,
+        crash in 0u8..2,
+        crash_frac in 0.1f64..0.9,
+        system_pick in 0usize..3,
+    ) {
+        let system = [
+            SystemKind::SparkMemOnly,
+            SystemKind::SparkMemDisk,
+            SystemKind::BlazeNoProfile,
+        ][system_pick];
+        let crashes = if crash == 1 {
+            vec![ExecutorCrash { at: crash_mid_run(system, crash_frac), executor: 1 }]
+        } else {
+            Vec::new()
+        };
+        let plan = FaultPlan {
+            seed,
+            task_failure_rate: rate,
+            max_task_retries: retries,
+            crashes,
+            map_output_loss_rate: loss,
+            external_shuffle_service: ess_pick == 1,
+        };
+        let (got, _) = run_chaos(system, plan);
+        prop_assert_eq!(got, reference());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lineage-driven recovery paths.
+// ---------------------------------------------------------------------------
+
+/// Map outputs lost between jobs (shuffle service off) force the parent
+/// map stage to be resubmitted, Spark fetch-failure style — and the
+/// resubmission is counted and recovers the outputs.
+#[test]
+fn lost_map_outputs_force_parent_stage_resubmission() {
+    let plan = FaultPlan {
+        seed: 9,
+        map_output_loss_rate: 0.9,
+        external_shuffle_service: false,
+        ..FaultPlan::default()
+    };
+    let cluster =
+        Cluster::new(cluster_config(plan), SystemKind::SparkMemOnly.make_controller(None))
+            .expect("valid config");
+    let ctx = Context::new(cluster.clone());
+    let data = ctx.parallelize((0..4_000u64).map(|i| (i % 53, i)).collect::<Vec<_>>(), 8);
+    // Not cached: the second job can only reuse the first job's shuffle
+    // outputs, which the plan destroys at the second job's start.
+    let reduced = data.reduce_by_key(4, |a, b| a.wrapping_add(*b));
+    let mut first = reduced.collect().expect("first job");
+    let mut second = reduced.collect().expect("second job");
+    first.sort();
+    second.sort();
+    assert_eq!(first, second, "resubmitted stage changed the answer");
+    let m = cluster.metrics();
+    assert!(m.recovery.map_outputs_lost > 0, "the loss coins must have fired at rate 0.9");
+    assert!(m.recovery.stages_resubmitted >= 1, "a lost shuffle must resubmit its map stage");
+    assert!(m.recovery.map_outputs_recovered > 0, "resubmission must re-register the outputs");
+}
+
+// ---------------------------------------------------------------------------
+// 4. BA301 recoverability preflight.
+// ---------------------------------------------------------------------------
+
+/// An uncached lineage chain deeper than the retry budget can replay is
+/// rejected before any task runs; anchoring the chain with a `cache()`
+/// clears the diagnostic.
+#[test]
+fn deep_uncached_lineage_fails_the_ba301_preflight() {
+    // max_task_retries = 1 → recoverable depth = 32 * 2 = 64.
+    let plan =
+        FaultPlan { seed: 1, task_failure_rate: 0.01, max_task_retries: 1, ..FaultPlan::default() };
+    let cluster =
+        Cluster::new(cluster_config(plan), SystemKind::SparkMemOnly.make_controller(None))
+            .expect("valid config");
+    let ctx = Context::new(cluster);
+
+    let mut deep = ctx.range(0..1_000, 2);
+    for _ in 0..80 {
+        deep = deep.map(|v| v.wrapping_add(1));
+    }
+    let err = deep.count().expect_err("an 81-deep uncached chain must fail preflight");
+    let msg = err.to_string();
+    assert!(msg.contains("BA301"), "expected a BA301 abort, got: {msg}");
+
+    let mut anchored = ctx.range(0..1_000, 2);
+    for i in 0..80 {
+        anchored = anchored.map(|v| v.wrapping_add(1));
+        if i == 40 {
+            anchored.cache();
+        }
+    }
+    anchored.count().expect("a cache() anchor inside the budget must clear BA301");
+}

@@ -81,3 +81,31 @@ fn failing_an_unknown_executor_is_an_error() {
     let cluster = Cluster::new(config(), SystemKind::SparkMemOnly.make_controller(None)).unwrap();
     assert!(cluster.fail_executor(ExecutorId(99)).is_err());
 }
+
+/// Regression: rebuilding a block destroyed by executor loss must be
+/// attributed to recovery, not counted as a policy-caused recomputation.
+/// (`fail_executor` used to leave `materialized_once` populated, so the
+/// rebuild registered as a recompute miss.)
+#[test]
+fn crash_rebuilds_are_recovery_not_recomputation() {
+    let cfg = ClusterConfig { executors: 1, slots_per_executor: 2, ..config() };
+    let cluster = Cluster::new(cfg, SystemKind::SparkMemDisk.make_controller(None)).unwrap();
+    let ctx = Context::new(cluster.clone());
+    // A cached *source* dataset: after the crash, its rebuild is the only
+    // computation in the second job, so the recompute counters isolate the
+    // lost-block classification exactly.
+    let data = ctx.range(0..4_000, 4);
+    data.cache();
+    data.count().unwrap();
+    cluster.fail_executor(ExecutorId(0)).unwrap();
+    data.count().unwrap();
+    let m = cluster.metrics();
+    assert_eq!(m.recompute_misses, 0, "crash rebuild misclassified as recomputation");
+    assert_eq!(m.total_recompute_time(), blaze::common::SimDuration::ZERO);
+    assert!(m.recovery.blocks_lost > 0, "the crash must register lost blocks");
+    assert_eq!(m.recovery.blocks_recovered, m.recovery.blocks_lost);
+    assert!(
+        m.recovery.lineage_replay_time > blaze::common::SimDuration::ZERO,
+        "rebuilding lost blocks is recovery work"
+    );
+}
