@@ -34,10 +34,11 @@ impl fmt::Display for Severity {
 ///
 /// `BA0xx` codes are structural plan invariants (errors), `BA1xx` codes are
 /// caching anti-patterns (warnings), `BA2xx` codes are cross-structure
-/// consistency checks (emitted by `blaze-core`), and `BA3xx` codes are
-/// recoverability checks against a configured fault plan. The numbering is
-/// part of the public contract: tests and `// audit: allow(..)` annotations
-/// refer to codes by name.
+/// consistency checks (emitted by `blaze-core`), `BA3xx` codes are
+/// recoverability checks against a configured fault plan, and `BA4xx` codes
+/// are event-trace validation invariants (emitted by `blaze-engine`'s trace
+/// validator). The numbering is part of the public contract: tests and
+/// `// audit: allow(..)` annotations refer to codes by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DiagCode {
     /// BA001: a dependency points at an id not defined before its child
@@ -76,6 +77,18 @@ pub enum DiagCode {
     /// lineage is deeper than bounded task retries can replay — a single
     /// injected failure could make the job unrecoverable.
     UnrecoverableLineage,
+    /// BA401: the event trace violates span nesting — a task span with
+    /// `end < start`, overlapping spans on one executor slot, or a task
+    /// committed outside an open job span.
+    TraceSpanNesting,
+    /// BA402: summing the trace's event durations/counts does not reproduce
+    /// the run's [`Metrics`] aggregates (busy time, hit/eviction counters,
+    /// recompute-by-job, recovery totals).
+    TraceAggregateMismatch,
+    /// BA403: a cache event is unpaired — an eviction, spill or unpersist
+    /// of a block with no earlier admission, or a double admission without
+    /// an intervening removal.
+    TraceUnpairedCacheEvent,
 }
 
 impl DiagCode {
@@ -94,6 +107,9 @@ impl DiagCode {
             DiagCode::CacheOvercommit => "BA103",
             DiagCode::LineageMismatch => "BA201",
             DiagCode::UnrecoverableLineage => "BA301",
+            DiagCode::TraceSpanNesting => "BA401",
+            DiagCode::TraceAggregateMismatch => "BA402",
+            DiagCode::TraceUnpairedCacheEvent => "BA403",
         }
     }
 
@@ -108,7 +124,10 @@ impl DiagCode {
             | DiagCode::InvalidCostSpec
             | DiagCode::ComputeShapeMismatch
             | DiagCode::LineageMismatch
-            | DiagCode::UnrecoverableLineage => Severity::Error,
+            | DiagCode::UnrecoverableLineage
+            | DiagCode::TraceSpanNesting
+            | DiagCode::TraceAggregateMismatch
+            | DiagCode::TraceUnpairedCacheEvent => Severity::Error,
             DiagCode::RecomputeBomb | DiagCode::UnreachableCache | DiagCode::CacheOvercommit => {
                 Severity::Warning
             }
@@ -231,6 +250,9 @@ mod tests {
             DiagCode::CacheOvercommit,
             DiagCode::LineageMismatch,
             DiagCode::UnrecoverableLineage,
+            DiagCode::TraceSpanNesting,
+            DiagCode::TraceAggregateMismatch,
+            DiagCode::TraceUnpairedCacheEvent,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         codes.sort_unstable();

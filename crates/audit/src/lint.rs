@@ -9,9 +9,10 @@
 //!   `FxHashSet` (fixed-state hashing) or `BTreeMap`.
 //! - `wall-clock` — `Instant::now` / `SystemTime` outside `crates/bench`:
 //!   simulated time must come from the deterministic clock, never the host.
-//!   Fault-injection sources (file names containing `fault` or `failure`)
-//!   are covered even inside the bench harness: a fault schedule keyed to
-//!   the host clock would never replay.
+//!   Fault-injection and trace sources (file names containing `fault`,
+//!   `failure` or `trace`) are covered even inside the bench harness: a
+//!   fault schedule or event trace keyed to the host clock would never
+//!   replay.
 //! - `unwrap` — `.unwrap()` / `.expect(..)` in `crates/engine` without an
 //!   explicit `// audit: allow(unwrap)` justification: the engine is the
 //!   fallible substrate everything runs on; failures must surface as
@@ -74,10 +75,14 @@ struct Scope {
 fn scope_of(path: &str) -> Scope {
     let p = path.replace('\\', "/");
     let in_crate = |name: &str| p.contains(&format!("crates/{name}/"));
-    // Fault-injection code must be deterministic even where wall-clock
-    // measurement is otherwise allowed (the bench harness).
-    let fault_file =
-        p.rsplit('/').next().is_some_and(|f| f.contains("fault") || f.contains("failure"));
+    // Fault-injection and trace-handling code must be deterministic even
+    // where wall-clock measurement is otherwise allowed (the bench
+    // harness): a fault schedule or event trace keyed to the host clock
+    // would never replay byte-identically.
+    let fault_file = p
+        .rsplit('/')
+        .next()
+        .is_some_and(|f| f.contains("fault") || f.contains("failure") || f.contains("trace"));
     Scope {
         std_hash: in_crate("engine") || in_crate("policies") || in_crate("core"),
         wall_clock: !in_crate("bench") || fault_file,
@@ -259,6 +264,8 @@ mod tests {
         let src = join(&["fn f() { let t = std::time::Instant::now(); }"]);
         assert_eq!(lint_source("crates/bench/src/bin/bench_failure.rs", &src).len(), 1);
         assert_eq!(lint_source("crates/bench/src/fault_schedule.rs", &src)[0].code, "wall-clock");
+        // Trace tooling must replay deterministically too.
+        assert_eq!(lint_source("crates/bench/src/bin/blaze-trace.rs", &src)[0].code, "wall-clock");
         // Non-fault bench files keep their wall-clock exemption.
         assert!(lint_source("crates/bench/src/bin/bench_engine.rs", &src).is_empty());
     }

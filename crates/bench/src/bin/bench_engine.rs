@@ -24,6 +24,12 @@ struct Sample {
     task_retries: u64,
     blocks_lost: u64,
     stages_resubmitted: u64,
+    /// Memory evictions that spilled to disk vs discarded outright (the
+    /// split pinned by `Metrics::record_eviction`).
+    evictions_to_disk: u64,
+    evictions_discard: u64,
+    spilled_mib: f64,
+    discarded_mib: f64,
 }
 
 /// Runs `f` and measures its real elapsed time in seconds.
@@ -60,6 +66,7 @@ fn main() {
                     "{app_label:9} {sys_label:14} threads={t:2} wall={wall:7.3}s sim_act={act:.4}s"
                 );
                 let rec = &out.metrics.recovery;
+                let m = &out.metrics;
                 samples.push(Sample {
                     workload: app_label,
                     system: sys_label,
@@ -70,6 +77,18 @@ fn main() {
                     task_retries: rec.task_retries,
                     blocks_lost: rec.blocks_lost,
                     stages_resubmitted: rec.stages_resubmitted,
+                    evictions_to_disk: m.evictions_to_disk,
+                    evictions_discard: m.evictions_discard,
+                    spilled_mib: m
+                        .spilled_bytes_per_executor
+                        .values()
+                        .map(|b| b.as_mib_f64())
+                        .sum(),
+                    discarded_mib: m
+                        .discarded_bytes_per_executor
+                        .values()
+                        .map(|b| b.as_mib_f64())
+                        .sum(),
                 });
             }
         }
@@ -90,7 +109,9 @@ fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"system\": \"{}\", \"worker_threads\": {}, \
              \"wall_s\": {:.6}, \"sim_act\": {:.6}, \"recovery_s\": {:.6}, \
-             \"task_retries\": {}, \"blocks_lost\": {}, \"stages_resubmitted\": {}}}{}\n",
+             \"task_retries\": {}, \"blocks_lost\": {}, \"stages_resubmitted\": {}, \
+             \"evictions_to_disk\": {}, \"evictions_discard\": {}, \
+             \"spilled_mib\": {:.3}, \"discarded_mib\": {:.3}}}{}\n",
             r.workload,
             r.system,
             r.worker_threads,
@@ -100,6 +121,10 @@ fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
             r.task_retries,
             r.blocks_lost,
             r.stages_resubmitted,
+            r.evictions_to_disk,
+            r.evictions_discard,
+            r.spilled_mib,
+            r.discarded_mib,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }

@@ -34,6 +34,10 @@ struct Sample {
     map_outputs_lost: u64,
     map_outputs_recovered: u64,
     stages_resubmitted: u64,
+    /// Eviction split of the *faulted* run: spills vs discards (discards
+    /// under pressure are what the crash later turns into recomputation).
+    evictions_to_disk: u64,
+    evictions_discard: u64,
 }
 
 /// The shared fault schedule for one workload: a modest transient-failure
@@ -84,6 +88,8 @@ fn main() {
                 map_outputs_lost: rec.map_outputs_lost,
                 map_outputs_recovered: rec.map_outputs_recovered,
                 stages_resubmitted: rec.stages_resubmitted,
+                evictions_to_disk: faulted.metrics.evictions_to_disk,
+                evictions_discard: faulted.metrics.evictions_discard,
             };
             eprintln!(
                 "{label:9} {:14} act {:.4}s -> {:.4}s  recovery {:.4}s \
@@ -120,7 +126,8 @@ fn render_json(samples: &[Sample]) -> String {
              \"lineage_replay_s\": {:.6}, \"task_retries\": {}, \"tasks_lost_to_crash\": {}, \
              \"executor_crashes\": {}, \"blocks_lost\": {}, \"blocks_recovered\": {}, \
              \"map_outputs_lost\": {}, \"map_outputs_recovered\": {}, \
-             \"stages_resubmitted\": {}}}{}\n",
+             \"stages_resubmitted\": {}, \"evictions_to_disk\": {}, \
+             \"evictions_discard\": {}}}{}\n",
             r.workload,
             r.system,
             r.act_clean,
@@ -136,6 +143,8 @@ fn render_json(samples: &[Sample]) -> String {
             r.map_outputs_lost,
             r.map_outputs_recovered,
             r.stages_resubmitted,
+            r.evictions_to_disk,
+            r.evictions_discard,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }

@@ -12,15 +12,8 @@ use blaze_workloads::{run_app, App, SystemKind};
 fn main() {
     println!("== Fig. 3: evicted data per executor (PageRank, Spark MEM+DISK) ==\n");
     let out = run_app(App::PageRank, SystemKind::SparkMemDisk).expect("run failed");
-    let per_exec = &out.metrics.evicted_bytes_per_executor;
-    let execs = out
-        .metrics
-        .evicted_bytes_per_executor
-        .keys()
-        .map(|e| e.raw())
-        .max()
-        .map(|m| m + 1)
-        .unwrap_or(0);
+    let per_exec = out.metrics.evicted_bytes_per_executor();
+    let execs = per_exec.keys().map(|e| e.raw()).max().map(|m| m + 1).unwrap_or(0);
 
     let mut t = Table::new(["executor", "evicted"]);
     let mut values = Vec::new();

@@ -446,6 +446,16 @@ impl CacheController for BlazeController {
         self.lineage.set_state(id, PartitionState::None);
     }
 
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        let rdd = id.rdd;
+        let in_job = self.remaining.get(&rdd).copied().unwrap_or(0).max(0);
+        let cross = self.cross_job_refs(rdd);
+        Some(format!(
+            "blaze: {in_job} in-job + {cross} cross-job refs, weight {:.1}",
+            self.value_weight(rdd, None)
+        ))
+    }
+
     fn on_partition_computed(&mut self, _ctx: &CtrlCtx, event: &PartitionEvent) {
         // The profiling feed (§5.3): sizes and edge-compute times.
         self.lineage.record_metrics(event.info.id, event.info.bytes, event.edge_compute);

@@ -47,6 +47,7 @@ use crate::fault::FaultCause;
 use crate::metrics::{Metrics, TaskCharge};
 use crate::shuffle::{ShuffleId, ShuffleStore};
 use crate::storage::{BlockStore, StoredBlock};
+use crate::tracing::{CacheDecision, CacheRecord, TraceEvent, TraceLog};
 use blaze_common::error::{BlazeError, Result};
 use blaze_common::fxhash::{FxHashMap, FxHashSet};
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
@@ -91,6 +92,12 @@ impl Cluster {
         self.state.lock().config.clone()
     }
 
+    /// Returns a snapshot of the structured event trace, or `None` when
+    /// [`ClusterConfig::tracing`] is off.
+    pub fn trace(&self) -> Option<TraceLog> {
+        self.state.lock().trace.clone()
+    }
+
     /// Current bytes resident in each executor's memory store.
     pub fn memory_used(&self) -> Vec<ByteSize> {
         self.state.lock().stores.mem.iter().map(BlockStore::used).collect()
@@ -118,7 +125,8 @@ impl Cluster {
         if e >= st.config.executors {
             return Err(BlazeError::Config(format!("no such executor: {exec}")));
         }
-        st.wipe_executor(e);
+        let at = st.clock_floor;
+        st.wipe_executor(e, at);
         Ok(())
     }
 }
@@ -169,6 +177,10 @@ struct ClusterState {
     /// Index of the next scheduled crash in `config.fault.crashes` (they
     /// are validated to be time-ordered and fire exactly once).
     next_crash: usize,
+    /// Structured event trace, present only when
+    /// [`ClusterConfig::tracing`] is on. Every record happens in a serial
+    /// engine phase, so the log is byte-identical across `worker_threads`.
+    trace: Option<TraceLog>,
 }
 
 /// Frozen, read-only view of the cluster a stage's tasks execute against.
@@ -197,12 +209,21 @@ enum TaskEvent {
     /// `wasted` is the slot time the dead attempt burned; attempts replay
     /// in index order through the deterministic commit.
     Failed { attempt: u32, cause: FaultCause, wasted: SimDuration },
-    /// Served from a memory store (local or remote).
-    MemHit { id: BlockId },
+    /// Served from a memory store (local or remote); `bytes` is the
+    /// block's logical size (trace reporting).
+    MemHit { id: BlockId, bytes: ByteSize },
     /// Served from a disk store; `info.executor` is where it was found.
     DiskHit { info: BlockInfo, block: Block },
-    /// Computed (or recomputed) from lineage.
-    Computed { info: BlockInfo, edge: SimDuration, recomputed: bool, annotated: bool, block: Block },
+    /// Computed (or recomputed) from lineage; `depth` is how deep below
+    /// the task's stage output the block sits (0 = the output itself).
+    Computed {
+        info: BlockInfo,
+        edge: SimDuration,
+        recomputed: bool,
+        annotated: bool,
+        depth: u32,
+        block: Block,
+    },
     /// Produced map-side shuffle buckets not present in the snapshot.
     MapOutput { shuffle: ShuffleId, map_part: usize, buckets: Vec<Block> },
 }
@@ -236,6 +257,10 @@ struct TaskCtx<'a> {
     /// Depth of the current materialization below a fault-lost block; while
     /// positive, compute edges and map-output writes are recovery work.
     recovery_depth: usize,
+    /// Lineage depth of the current materialization below the task's stage
+    /// output (0 = the output itself); recorded on `Computed` events so
+    /// recomputation spans carry how deep the miss forced recursion.
+    lineage_depth: u32,
     /// Accumulated recovery time (subset of `charge`).
     recovery: SimDuration,
 }
@@ -250,6 +275,7 @@ impl<'a> TaskCtx<'a> {
             computed: FxHashMap::default(),
             shuffle_overlay: FxHashMap::default(),
             recovery_depth: 0,
+            lineage_depth: 0,
             recovery: SimDuration::ZERO,
         }
     }
@@ -289,7 +315,7 @@ impl<'a> TaskCtx<'a> {
                 self.charge.external_store_io +=
                     view.config.hardware.deser_time(sb.logical_bytes, sb.ser_factor);
             }
-            self.events.push(TaskEvent::MemHit { id });
+            self.events.push(TaskEvent::MemHit { id, bytes: sb.logical_bytes });
             return Ok(sb.block.clone());
         }
 
@@ -300,7 +326,7 @@ impl<'a> TaskCtx<'a> {
                 if let Some(sb) = view.stores.mem[h.raw() as usize].get(id) {
                     self.charge.shuffle_fetch +=
                         view.config.hardware.network_time(sb.logical_bytes);
-                    self.events.push(TaskEvent::MemHit { id });
+                    self.events.push(TaskEvent::MemHit { id, bytes: sb.logical_bytes });
                     return Ok(sb.block.clone());
                 }
             }
@@ -337,6 +363,8 @@ impl<'a> TaskCtx<'a> {
             self.recovery_depth += 1;
         }
         let recomputed = view.stores.materialized_once.contains(&id);
+        let depth = self.lineage_depth;
+        self.lineage_depth += 1;
         let node = plan.node(rdd)?;
         let (block, in_elems, in_bytes) = match &node.compute {
             Compute::Source(gen) => {
@@ -413,6 +441,7 @@ impl<'a> TaskCtx<'a> {
         if lost {
             self.recovery_depth -= 1;
         }
+        self.lineage_depth = depth;
 
         let info =
             BlockInfo { id, bytes: block.bytes(), ser_factor: node.ser_factor, executor: exec };
@@ -422,6 +451,7 @@ impl<'a> TaskCtx<'a> {
             edge,
             recomputed,
             annotated,
+            depth,
             block: block.clone(),
         });
         self.computed.insert(id, block.clone());
@@ -603,6 +633,7 @@ impl ClusterState {
             job_targets: Vec::new(),
             seen_audit: FxHashSet::default(),
             next_crash: 0,
+            trace: config.tracing.then(TraceLog::new),
             config,
             controller,
         }
@@ -688,6 +719,9 @@ impl ClusterState {
             self.fire_idle_crashes(self.clock_floor);
             self.inject_map_output_loss(job);
         }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::JobStarted { at: self.clock_floor, job, target });
+        }
 
         // Which shuffles does each map stage feed within this job?
         let mut consumers: FxHashMap<RddId, Vec<(RddId, usize)>> = FxHashMap::default();
@@ -705,7 +739,7 @@ impl ClusterState {
         // (Blaze's ILP trigger, §5.6).
         let ctx = self.ctrl_ctx(self.clock_floor);
         let cmds = self.controller.on_job_submit(&ctx, job, &job_plan, plan);
-        self.apply_commands(plan, cmds);
+        self.apply_commands(plan, self.clock_floor, cmds);
 
         let mut stage_done = vec![self.clock_floor; job_plan.stages.len()];
         let last_stage = job_plan.stages.len() - 1;
@@ -730,7 +764,7 @@ impl ClusterState {
                     // controllers must see their references consumed.
                     let ctx = self.ctrl_ctx(start);
                     let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
-                    self.apply_commands(plan, cmds);
+                    self.apply_commands(plan, start, cmds);
                     continue;
                 } else if fault_on
                     && stage_consumers.iter().any(|&(c, d)| self.stores.shuffle.any_lost((c, d)))
@@ -739,6 +773,13 @@ impl ClusterState {
                     // shuffle outputs: lineage-driven parent-stage
                     // resubmission (Spark's fetch-failure handling).
                     self.metrics.recovery.stages_resubmitted += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceEvent::StageResubmitted {
+                            at: start,
+                            job,
+                            stage_output: stage.output,
+                        });
+                    }
                 }
             }
 
@@ -748,6 +789,17 @@ impl ClusterState {
             let mut placements: Vec<ExecutorId> = (0..stage.num_partitions)
                 .map(|p| self.pick_executor(plan, stage.output, p))
                 .collect::<Result<_>>()?;
+            if let Some(tr) = self.trace.as_mut() {
+                for (p, &executor) in placements.iter().enumerate() {
+                    tr.record(TraceEvent::TaskPlanned {
+                        at: start,
+                        job,
+                        stage_output: stage.output,
+                        partition: p as u32,
+                        executor,
+                    });
+                }
+            }
 
             // -- Execute: all tasks run against a frozen snapshot of the
             //    stores; shared state is only read.
@@ -807,7 +859,7 @@ impl ClusterState {
             // Stage-completion hook (auto-caching / prefetch).
             let ctx = self.ctrl_ctx(stage_end);
             let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
-            self.apply_commands(plan, cmds);
+            self.apply_commands(plan, stage_end, cmds);
             self.metrics.stages_run += 1;
             let disk_resident: ByteSize = self.stores.disk.iter().map(BlockStore::used).sum();
             self.metrics.sample_disk_residency(disk_resident);
@@ -816,6 +868,9 @@ impl ClusterState {
         self.clock_floor = stage_done[last_stage];
         self.metrics.jobs += 1;
         self.metrics.completion_time = self.clock_floor;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::JobCompleted { at: self.clock_floor, job });
+        }
         Ok(results)
     }
 
@@ -856,16 +911,47 @@ impl ClusterState {
                     charge.fault_wasted += wasted;
                     self.metrics.recovery.wasted_time += wasted;
                     self.metrics.recovery.record_job_recovery(job, wasted);
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceEvent::TaskRetry {
+                            at: t0,
+                            job,
+                            stage_output,
+                            partition: part as u32,
+                            attempt,
+                            cause,
+                            wasted,
+                        });
+                    }
                 }
-                TaskEvent::MemHit { id } => {
+                TaskEvent::MemHit { id, bytes } => {
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_access(&ctx, id);
                     self.metrics.mem_hits += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceEvent::Cache(CacheRecord {
+                            at: t0,
+                            executor: exec,
+                            id,
+                            bytes,
+                            decision: CacheDecision::HitMemory,
+                            rationale: None,
+                        }));
+                    }
                 }
                 TaskEvent::DiskHit { info, block } => {
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_access(&ctx, info.id);
                     self.metrics.disk_hits += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceEvent::Cache(CacheRecord {
+                            at: t0,
+                            executor: info.executor,
+                            id: info.id,
+                            bytes: info.bytes,
+                            decision: CacheDecision::HitDisk,
+                            rationale: None,
+                        }));
+                    }
                     // Optional promotion back into memory (paper §2.3:
                     // recovered data can be cached again).
                     let ctx = self.ctrl_ctx(self.clock_floor);
@@ -880,22 +966,49 @@ impl ClusterState {
                             // still on disk: a failed attempt leaves it
                             // where it was (and the spill-guard prevents
                             // re-charging a write).
-                            let promoted =
-                                self.try_cache_memory(info.executor, &info, block, &mut charge);
+                            let promoted = self.try_cache_memory(
+                                info.executor,
+                                &info,
+                                block,
+                                &mut charge,
+                                t0,
+                                CacheDecision::PromoteToMemory,
+                            );
                             if promoted {
                                 self.stores.disk[ce].remove(info.id);
                             }
                         }
                     }
                 }
-                TaskEvent::Computed { info, edge, recomputed, annotated, block } => {
+                TaskEvent::Computed { info, edge, recomputed, annotated, depth, block } => {
                     if recomputed {
                         self.metrics.recompute_misses += 1;
                         self.metrics.record_recompute(job, info.id.rdd, edge);
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.record(TraceEvent::Cache(CacheRecord {
+                                at: t0,
+                                executor: info.executor,
+                                id: info.id,
+                                bytes: info.bytes,
+                                decision: CacheDecision::MissRecompute,
+                                rationale: None,
+                            }));
+                            tr.record(TraceEvent::Recompute {
+                                at: t0,
+                                job,
+                                id: info.id,
+                                executor: info.executor,
+                                depth,
+                                duration: edge,
+                            });
+                        }
                     }
                     self.stores.materialized_once.insert(info.id);
                     if self.stores.lost_blocks.remove(&info.id) {
                         self.metrics.recovery.blocks_recovered += 1;
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.record(TraceEvent::BlockRecovered { at: t0, id: info.id });
+                        }
                     }
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     let event = PartitionEvent { info, edge_compute: edge, job, recomputed };
@@ -907,10 +1020,17 @@ impl ClusterState {
                         let ctx = self.ctrl_ctx(self.clock_floor);
                         match self.controller.admit(&ctx, &info) {
                             Admission::Memory => {
-                                self.try_cache_memory(info.executor, &info, block, &mut charge);
+                                self.try_cache_memory(
+                                    info.executor,
+                                    &info,
+                                    block,
+                                    &mut charge,
+                                    t0,
+                                    CacheDecision::AdmitMemory,
+                                );
                             }
                             Admission::Disk => {
-                                self.spill_to_disk(info.executor, &info, block, &mut charge);
+                                self.spill_to_disk(info.executor, &info, block, &mut charge, t0);
                             }
                             Admission::Skip => {}
                         }
@@ -928,6 +1048,14 @@ impl ClusterState {
                         self.stores.shuffle.put_map_output(shuffle, map_part, buckets, exec);
                         if self.stores.shuffle.mark_recovered(shuffle, map_part) {
                             self.metrics.recovery.map_outputs_recovered += 1;
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.record(TraceEvent::MapOutputRecovered {
+                                    at: t0,
+                                    child: shuffle.0,
+                                    dep_idx: shuffle.1 as u32,
+                                    map_part: map_part as u32,
+                                });
+                            }
                         }
                     }
                 }
@@ -937,6 +1065,15 @@ impl ClusterState {
         if recovery > SimDuration::ZERO {
             self.metrics.recovery.lineage_replay_time += recovery;
             self.metrics.recovery.record_job_recovery(job, recovery);
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(TraceEvent::RecoveryReplay {
+                    at: t0,
+                    job,
+                    stage_output,
+                    partition: part as u32,
+                    duration: recovery,
+                });
+            }
         }
         self.metrics.record_task(&charge);
         let end = t0 + charge.total();
@@ -950,6 +1087,17 @@ impl ClusterState {
             end,
             charge,
         });
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::TaskCommitted {
+                job,
+                stage_output,
+                partition: part as u32,
+                executor: exec,
+                slot: slot as u32,
+                start: t0,
+                end,
+            });
+        }
         self.slots[e][slot] = end;
         end
     }
@@ -992,13 +1140,17 @@ impl ClusterState {
 
     /// Tries to place `block` in `exec`'s memory store, running the
     /// controller's eviction path if space is needed. Returns true on
-    /// success; on failure consults `on_admission_failure`.
+    /// success; on failure consults `on_admission_failure`. `trace_at` and
+    /// `decision` stamp the trace record (admission vs. promotion) when
+    /// tracing is enabled.
     fn try_cache_memory(
         &mut self,
         exec: ExecutorId,
         info: &BlockInfo,
         block: Block,
         charge: &mut TaskCharge,
+        trace_at: SimTime,
+        decision: CacheDecision,
     ) -> bool {
         let e = exec.raw() as usize;
         let serialized = self.controller.serialized_in_memory();
@@ -1030,7 +1182,7 @@ impl ClusterState {
                 if self.stores.mem[e].fits(footprint) {
                     break;
                 }
-                self.evict_one(exec, vid, action, charge);
+                self.evict_one(exec, vid, action, charge, trace_at);
             }
         }
 
@@ -1041,6 +1193,10 @@ impl ClusterState {
                 charge.external_store_io +=
                     self.config.hardware.ser_time(info.bytes, info.ser_factor);
             }
+            // A re-admission (several tasks regenerating the same block in
+            // one stage) replaces the resident entry; only a fresh insert
+            // is a trace-worthy decision, keeping admit/evict pairs exact.
+            let fresh = !self.stores.mem[e].contains(info.id);
             let ok = self.stores.mem[e].insert(
                 info.id,
                 StoredBlock {
@@ -1054,29 +1210,60 @@ impl ClusterState {
             self.stores.block_home.insert(info.id, exec);
             let ctx = self.ctrl_ctx(self.clock_floor);
             self.controller.on_inserted(&ctx, info, false);
+            if fresh && self.trace.is_some() {
+                let why = self.controller.explain_block(info.id);
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceEvent::Cache(CacheRecord {
+                        at: trace_at,
+                        executor: exec,
+                        id: info.id,
+                        bytes: info.bytes,
+                        decision,
+                        rationale: why,
+                    }));
+                }
+            }
             let mem_total: ByteSize = self.stores.mem.iter().map(BlockStore::used).sum();
             self.metrics.memory_bytes_peak = self.metrics.memory_bytes_peak.max(mem_total);
             true
         } else {
             let ctx = self.ctrl_ctx(self.clock_floor);
             if self.controller.on_admission_failure(&ctx, info) == Admission::Disk {
-                self.spill_to_disk(exec, info, block, charge);
+                self.spill_to_disk(exec, info, block, charge, trace_at);
             }
             false
         }
     }
 
-    /// Evicts one memory-resident block with the given action.
+    /// Evicts one memory-resident block with the given action. When tracing
+    /// is on, the evicting policy's rationale is captured *before* the
+    /// decision is applied (its belief about the victim at decision time).
     fn evict_one(
         &mut self,
         exec: ExecutorId,
         vid: BlockId,
         action: VictimAction,
         charge: &mut TaskCharge,
+        trace_at: SimTime,
     ) {
         let e = exec.raw() as usize;
+        let why = if self.trace.is_some() { self.controller.explain_block(vid) } else { None };
         let Some(sb) = self.stores.mem[e].remove(vid) else { return };
         self.metrics.record_eviction(exec, sb.logical_bytes, action == VictimAction::ToDisk);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::Cache(CacheRecord {
+                at: trace_at,
+                executor: exec,
+                id: vid,
+                bytes: sb.logical_bytes,
+                decision: if action == VictimAction::ToDisk {
+                    CacheDecision::EvictToDisk
+                } else {
+                    CacheDecision::EvictDiscard
+                },
+                rationale: why,
+            }));
+        }
         let ctx = self.ctrl_ctx(self.clock_floor);
         self.controller.on_evicted(&ctx, vid);
         if action == VictimAction::ToDisk {
@@ -1101,6 +1288,7 @@ impl ClusterState {
         info: &BlockInfo,
         block: Block,
         charge: &mut TaskCharge,
+        trace_at: SimTime,
     ) {
         let e = exec.raw() as usize;
         if self.stores.disk[e].contains(info.id) {
@@ -1118,6 +1306,16 @@ impl ClusterState {
             self.stores.block_home.insert(info.id, exec);
             let ctx = self.ctrl_ctx(self.clock_floor);
             self.controller.on_inserted(&ctx, info, true);
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(TraceEvent::Cache(CacheRecord {
+                    at: trace_at,
+                    executor: exec,
+                    id: info.id,
+                    bytes: info.bytes,
+                    decision: CacheDecision::AdmitDisk,
+                    rationale: None,
+                }));
+            }
         }
     }
 
@@ -1125,25 +1323,32 @@ impl ClusterState {
 
     /// Applies controller-requested state transitions. Data movement charges
     /// disk I/O time and occupies one executor slot, like a small task.
-    fn apply_commands(&mut self, _plan: &Plan, cmds: Vec<StateCommand>) {
+    /// `at` stamps the trace records (the hook's simulated time).
+    fn apply_commands(&mut self, _plan: &Plan, at: SimTime, cmds: Vec<StateCommand>) {
         for cmd in cmds {
             match cmd {
                 StateCommand::UnpersistRdd(rdd) => {
                     for e in 0..self.config.executors {
-                        for (vid, _) in self.stores.mem[e].remove_rdd(rdd) {
+                        for (vid, sb) in self.stores.mem[e].remove_rdd(rdd) {
                             let ctx = self.ctrl_ctx(self.clock_floor);
                             self.controller.on_evicted(&ctx, vid);
+                            self.trace_unpersist(at, e, vid, sb.logical_bytes, false);
                         }
-                        self.stores.disk[e].remove_rdd(rdd);
+                        for (vid, sb) in self.stores.disk[e].remove_rdd(rdd) {
+                            self.trace_unpersist(at, e, vid, sb.logical_bytes, true);
+                        }
                     }
                 }
                 StateCommand::UnpersistBlock(id) => {
                     for e in 0..self.config.executors {
-                        if self.stores.mem[e].remove(id).is_some() {
+                        if let Some(sb) = self.stores.mem[e].remove(id) {
                             let ctx = self.ctrl_ctx(self.clock_floor);
                             self.controller.on_evicted(&ctx, id);
+                            self.trace_unpersist(at, e, id, sb.logical_bytes, false);
                         }
-                        self.stores.disk[e].remove(id);
+                        if let Some(sb) = self.stores.disk[e].remove(id) {
+                            self.trace_unpersist(at, e, id, sb.logical_bytes, true);
+                        }
                     }
                 }
                 StateCommand::SpillToDisk(id) => {
@@ -1154,7 +1359,7 @@ impl ClusterState {
                     };
                     let exec = ExecutorId(e as u32);
                     let mut charge = TaskCharge::default();
-                    self.evict_one(exec, id, VictimAction::ToDisk, &mut charge);
+                    self.evict_one(exec, id, VictimAction::ToDisk, &mut charge, at);
                     self.charge_migration(exec, &charge);
                 }
                 StateCommand::PromoteToMemory(id) => {
@@ -1177,10 +1382,23 @@ impl ClusterState {
                         ser_factor: sb.ser_factor,
                         executor: ExecutorId(e as u32),
                     };
+                    let fresh = !self.stores.mem[e].contains(id);
                     let ok = self.stores.mem[e].insert(id, sb);
                     debug_assert!(ok);
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_inserted(&ctx, &info, false);
+                    if fresh {
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.record(TraceEvent::Cache(CacheRecord {
+                                at,
+                                executor: info.executor,
+                                id,
+                                bytes: info.bytes,
+                                decision: CacheDecision::PromoteToMemory,
+                                rationale: None,
+                            }));
+                        }
+                    }
                     // Prefetch overlaps with computation (MRD's design):
                     // record the I/O but do not block a slot.
                     self.metrics.accumulated.disk_cache_read += charge.disk_cache_read;
@@ -1200,12 +1418,34 @@ impl ClusterState {
 
     /// User-initiated unpersist (the `unpersist()` API): drop everywhere.
     fn user_unpersist(&mut self, rdd: RddId) {
+        let at = self.clock_floor;
         for e in 0..self.config.executors {
-            for (vid, _) in self.stores.mem[e].remove_rdd(rdd) {
+            for (vid, sb) in self.stores.mem[e].remove_rdd(rdd) {
                 let ctx = self.ctrl_ctx(self.clock_floor);
                 self.controller.on_evicted(&ctx, vid);
+                self.trace_unpersist(at, e, vid, sb.logical_bytes, false);
             }
-            self.stores.disk[e].remove_rdd(rdd);
+            for (vid, sb) in self.stores.disk[e].remove_rdd(rdd) {
+                self.trace_unpersist(at, e, vid, sb.logical_bytes, true);
+            }
+        }
+    }
+
+    /// Records one unpersist decision (memory or disk tier) when tracing.
+    fn trace_unpersist(&mut self, at: SimTime, e: usize, id: BlockId, bytes: ByteSize, disk: bool) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::Cache(CacheRecord {
+                at,
+                executor: ExecutorId(e as u32),
+                id,
+                bytes,
+                decision: if disk {
+                    CacheDecision::UnpersistDisk
+                } else {
+                    CacheDecision::UnpersistMemory
+                },
+                rationale: None,
+            }));
         }
     }
 
@@ -1217,23 +1457,67 @@ impl ClusterState {
     /// output the executor produced. The machine itself is immediately
     /// replaced: subsequent tasks may be placed on the same index again,
     /// they just find its stores empty.
-    fn wipe_executor(&mut self, e: usize) {
+    fn wipe_executor(&mut self, e: usize, at: SimTime) {
         self.metrics.recovery.executor_crashes += 1;
+        let exec = ExecutorId(e as u32);
+        let mut blocks_lost = 0u64;
+        let mut bytes_lost = ByteSize::ZERO;
+        let mut record_loss = |st: &mut Self, id: BlockId, bytes: ByteSize, disk: bool| {
+            blocks_lost += 1;
+            bytes_lost += bytes;
+            if let Some(tr) = st.trace.as_mut() {
+                tr.record(TraceEvent::Cache(CacheRecord {
+                    at,
+                    executor: exec,
+                    id,
+                    bytes,
+                    decision: if disk {
+                        CacheDecision::LostDisk
+                    } else {
+                        CacheDecision::LostMemory
+                    },
+                    rationale: None,
+                }));
+            }
+        };
         let mem_ids: Vec<BlockId> = self.stores.mem[e].iter().map(|(id, _)| *id).collect();
         for id in mem_ids {
             if let Some(sb) = self.stores.mem[e].remove(id) {
                 self.note_block_lost(id, sb.logical_bytes);
+                record_loss(self, id, sb.logical_bytes, false);
             }
         }
         let disk_ids: Vec<BlockId> = self.stores.disk[e].iter().map(|(id, _)| *id).collect();
         for id in disk_ids {
             if let Some(sb) = self.stores.disk[e].remove(id) {
                 self.note_block_lost(id, sb.logical_bytes);
+                record_loss(self, id, sb.logical_bytes, true);
             }
         }
+        let mut map_outputs_lost = 0u64;
         if !self.config.fault.external_shuffle_service {
-            let lost = self.stores.shuffle.drop_by_producer(ExecutorId(e as u32));
-            self.metrics.recovery.map_outputs_lost += lost;
+            let lost = self.stores.shuffle.drop_by_producer(exec);
+            map_outputs_lost = lost.len() as u64;
+            self.metrics.recovery.map_outputs_lost += map_outputs_lost;
+            if let Some(tr) = self.trace.as_mut() {
+                for ((child, dep_idx), map_part) in lost {
+                    tr.record(TraceEvent::MapOutputLost {
+                        at,
+                        child,
+                        dep_idx: dep_idx as u32,
+                        map_part: map_part as u32,
+                    });
+                }
+            }
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::ExecutorCrashed {
+                at,
+                executor: exec,
+                blocks_lost,
+                bytes_lost,
+                map_outputs_lost,
+            });
         }
     }
 
@@ -1260,7 +1544,7 @@ impl ClusterState {
                 break;
             }
             self.next_crash += 1;
-            self.wipe_executor(crash.executor);
+            self.wipe_executor(crash.executor, crash.at);
         }
     }
 
@@ -1288,7 +1572,7 @@ impl ClusterState {
             }
             self.next_crash += 1;
             let e = crash.executor;
-            self.wipe_executor(e);
+            self.wipe_executor(e, crash.at);
 
             for q in next_commit..outputs.len() {
                 if placements[q].raw() as usize != e {
@@ -1357,6 +1641,14 @@ impl ClusterState {
                 && self.stores.shuffle.drop_map_output((child, dep_idx), map_part)
             {
                 self.metrics.recovery.map_outputs_lost += 1;
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceEvent::MapOutputLost {
+                        at: self.clock_floor,
+                        child,
+                        dep_idx: dep_idx as u32,
+                        map_part: map_part as u32,
+                    });
+                }
             }
         }
     }
@@ -1389,6 +1681,62 @@ mod tests {
         }
         fn should_cache(&mut self, _: &CtrlCtx, _: &BlockInfo, _annotated: bool) -> bool {
             true
+        }
+    }
+
+    /// A caching-everything controller with insertion-order eviction
+    /// (alternating spill/discard) and a self-explaining rationale — enough
+    /// to exercise every cache-decision kind in the trace tests.
+    #[derive(Default)]
+    struct EvictingLru {
+        order: Vec<BlockId>,
+    }
+    impl CacheController for EvictingLru {
+        fn name(&self) -> String {
+            "EvictingLru".into()
+        }
+        fn should_cache(&mut self, _: &CtrlCtx, _: &BlockInfo, _annotated: bool) -> bool {
+            true
+        }
+        fn choose_victims(
+            &mut self,
+            _ctx: &CtrlCtx,
+            _exec: ExecutorId,
+            _needed: ByteSize,
+            _incoming: &BlockInfo,
+            resident: &[BlockInfo],
+        ) -> Vec<(BlockId, VictimAction)> {
+            let mut ids: Vec<BlockId> = resident.iter().map(|b| b.id).collect();
+            ids.sort_unstable_by_key(|id| self.order.iter().position(|o| o == id));
+            ids.into_iter()
+                .enumerate()
+                .map(|(i, id)| {
+                    (id, if i % 2 == 0 { VictimAction::ToDisk } else { VictimAction::Discard })
+                })
+                .collect()
+        }
+        fn on_admission_failure(&mut self, _: &CtrlCtx, _: &BlockInfo) -> Admission {
+            Admission::Disk
+        }
+        fn readmit_after_disk_read(&mut self, _: &CtrlCtx, _: &BlockInfo) -> Admission {
+            Admission::Memory
+        }
+        fn explain_block(&self, id: BlockId) -> Option<String> {
+            self.order.iter().position(|o| *o == id).map(|p| format!("lru: position {p}"))
+        }
+        fn on_inserted(&mut self, _: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
+            if !to_disk && !self.order.contains(&info.id) {
+                self.order.push(info.id);
+            }
+        }
+        fn on_evicted(&mut self, _: &CtrlCtx, id: BlockId) {
+            self.order.retain(|o| *o != id);
+        }
+        fn on_access(&mut self, _: &CtrlCtx, id: BlockId) {
+            if let Some(p) = self.order.iter().position(|o| *o == id) {
+                let b = self.order.remove(p);
+                self.order.push(b);
+            }
         }
     }
 
@@ -1632,5 +1980,85 @@ mod tests {
             assert_eq!(r1, rn, "results diverged at {threads} threads");
             assert_eq!(m1, mn, "metrics diverged at {threads} threads");
         }
+    }
+
+    /// The tracing contract end to end: with tracing on, a run that caches,
+    /// evicts, hits and recomputes yields a log that (a) validates cleanly
+    /// against the metrics, (b) is byte-identical across worker_threads,
+    /// and (c) leaves metrics byte-identical to a tracing-off run.
+    #[test]
+    fn trace_validates_and_is_thread_count_invariant() {
+        let run = |threads: usize, tracing: bool| {
+            let config = ClusterConfig {
+                executors: 2,
+                slots_per_executor: 2,
+                memory_capacity: ByteSize::from_kib(16),
+                worker_threads: threads,
+                tracing,
+                ..Default::default()
+            };
+            let cl = Cluster::new(config, Box::new(EvictingLru::default())).unwrap();
+            let ctx = Context::new(cl.clone());
+            let pairs: Vec<(u64, u64)> = (0..2_000).map(|i| (i % 16, i)).collect();
+            let ds = ctx.parallelize(pairs, 8).reduce_by_key(4, |a, b| a + b);
+            ds.cache();
+            ds.count().unwrap();
+            let extra = ds.map_values(|v| v * 3);
+            extra.cache();
+            extra.count().unwrap();
+            ds.count().unwrap();
+            (cl.metrics(), cl.trace())
+        };
+        let (m1, t1) = run(1, true);
+        let t1 = t1.expect("tracing enabled");
+        assert!(!t1.events().is_empty());
+        let report = t1.validate(&m1);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        for threads in [2, 4] {
+            let (mn, tn) = run(threads, true);
+            assert_eq!(m1, mn, "metrics diverged at {threads} threads");
+            assert_eq!(
+                t1.chrome_json(),
+                tn.expect("tracing enabled").chrome_json(),
+                "trace diverged at {threads} threads"
+            );
+        }
+        let (m_off, t_off) = run(1, false);
+        assert!(t_off.is_none());
+        assert_eq!(m1, m_off, "tracing changed engine behaviour");
+    }
+
+    #[test]
+    fn trace_validates_under_faults() {
+        use crate::fault::{ExecutorCrash, FaultPlan};
+        let config = ClusterConfig {
+            executors: 2,
+            slots_per_executor: 2,
+            memory_capacity: ByteSize::from_kib(16),
+            worker_threads: 2,
+            tracing: true,
+            fault: FaultPlan {
+                task_failure_rate: 0.05,
+                crashes: vec![ExecutorCrash {
+                    at: SimTime::ZERO + SimDuration::from_micros(50),
+                    executor: 0,
+                }],
+                external_shuffle_service: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let cl = Cluster::new(config, Box::new(EvictingLru::default())).unwrap();
+        let ctx = Context::new(cl.clone());
+        let pairs: Vec<(u64, u64)> = (0..2_000).map(|i| (i % 16, i)).collect();
+        let ds = ctx.parallelize(pairs, 8).reduce_by_key(4, |a, b| a + b);
+        ds.cache();
+        ds.count().unwrap();
+        ds.count().unwrap();
+        let trace = cl.trace().expect("tracing enabled");
+        let metrics = cl.metrics();
+        assert!(metrics.recovery.executor_crashes > 0);
+        let report = trace.validate(&metrics);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
     }
 }

@@ -112,6 +112,12 @@ pub struct ClusterConfig {
     /// disabled and the engine takes no fault path at all (zero cost;
     /// byte-identical results and metrics to a build without the feature).
     pub fault: FaultPlan,
+    /// Structured event tracing (see [`crate::tracing`]). Off by default;
+    /// like the fault plan, the disabled state takes no tracing path at
+    /// all, so measured runs pay zero cost. When on, the engine records a
+    /// deterministic [`crate::tracing::TraceLog`] retrievable via
+    /// [`crate::cluster::Cluster::trace`].
+    pub tracing: bool,
 }
 
 impl Default for ClusterConfig {
@@ -125,6 +131,7 @@ impl Default for ClusterConfig {
             worker_threads: default_worker_threads(),
             strict_audit: false,
             fault: FaultPlan::default(),
+            tracing: false,
         }
     }
 }

@@ -163,6 +163,15 @@ pub trait CacheController: Send {
     /// A cached block was read (memory or disk hit).
     fn on_access(&mut self, _ctx: &CtrlCtx, _id: BlockId) {}
 
+    /// The policy's current belief about `id`, as a short human-readable
+    /// rationale (e.g. `"lru: last access at t+1.2s"`, `"lrc: refcount=2"`).
+    /// Captured by the event trace *before* a decision is applied, so
+    /// "why was this block evicted?" is answerable from the trace alone.
+    /// Only called when tracing is enabled; the default knows nothing.
+    fn explain_block(&self, _id: BlockId) -> Option<String> {
+        None
+    }
+
     /// A block entered a store (`to_disk` false = memory tier).
     fn on_inserted(&mut self, _ctx: &CtrlCtx, _info: &BlockInfo, _to_disk: bool) {}
 

@@ -39,6 +39,7 @@ pub mod fault;
 pub mod metrics;
 pub mod shuffle;
 pub mod storage;
+pub mod tracing;
 
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, HardwareModel};
@@ -48,3 +49,4 @@ pub use controller::{
 };
 pub use fault::{ExecutorCrash, FaultCause, FaultPlan};
 pub use metrics::{Metrics, RecoveryMetrics, TaskCharge, TaskTrace};
+pub use tracing::{CacheDecision, CacheRecord, TraceEvent, TraceLog};

@@ -182,8 +182,13 @@ pub struct Metrics {
     pub evictions_discard: u64,
     /// Evictions that spilled data to disk (m -> d).
     pub evictions_to_disk: u64,
-    /// Bytes evicted from memory, per executor (Fig. 3).
-    pub evicted_bytes_per_executor: FxHashMap<ExecutorId, ByteSize>,
+    /// Bytes evicted from memory to disk (spills), per executor. Together
+    /// with the discarded map this is Fig. 3's per-executor eviction
+    /// volume, split so disk-pressure reporting can tell a spill (costs
+    /// disk I/O now) from a discard (costs recomputation later).
+    pub spilled_bytes_per_executor: FxHashMap<ExecutorId, ByteSize>,
+    /// Bytes evicted from memory and discarded outright, per executor.
+    pub discarded_bytes_per_executor: FxHashMap<ExecutorId, ByteSize>,
     /// Cumulative bytes of cache data written to disk.
     pub disk_bytes_written: ByteSize,
     /// Peak bytes of cache data resident on disk.
@@ -242,12 +247,23 @@ impl Metrics {
         out
     }
 
-    /// The `n` longest tasks (stragglers), longest first.
+    /// The `n` longest tasks (stragglers), longest first. Ties are ordered
+    /// by (job, stage output, partition) ascending — a total order, so the
+    /// answer does not depend on trace recording order. Only the selected
+    /// `n` traces are copied out, not the whole trace vector.
     pub fn slowest_tasks(&self, n: usize) -> Vec<TaskTrace> {
-        let mut v = self.task_traces.clone();
-        v.sort_by_key(|t| std::cmp::Reverse(t.duration()));
-        v.truncate(n);
-        v
+        let key =
+            |t: &TaskTrace| (std::cmp::Reverse(t.duration()), t.job, t.stage_output, t.partition);
+        let mut idx: Vec<usize> = (0..self.task_traces.len()).collect();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n < idx.len() {
+            idx.select_nth_unstable_by_key(n - 1, |&i| key(&self.task_traces[i]));
+            idx.truncate(n);
+        }
+        idx.sort_unstable_by_key(|&i| key(&self.task_traces[i]));
+        idx.into_iter().map(|i| self.task_traces[i]).collect()
     }
 
     /// Records an eviction of `bytes` from `exec` (spilled or discarded).
@@ -255,10 +271,21 @@ impl Metrics {
         self.evictions += 1;
         if to_disk {
             self.evictions_to_disk += 1;
+            *self.spilled_bytes_per_executor.entry(exec).or_default() += bytes;
         } else {
             self.evictions_discard += 1;
+            *self.discarded_bytes_per_executor.entry(exec).or_default() += bytes;
         }
-        *self.evicted_bytes_per_executor.entry(exec).or_default() += bytes;
+    }
+
+    /// Total bytes evicted from memory per executor, spills and discards
+    /// combined (the quantity Fig. 3 plots).
+    pub fn evicted_bytes_per_executor(&self) -> FxHashMap<ExecutorId, ByteSize> {
+        let mut out = self.spilled_bytes_per_executor.clone();
+        for (&e, &b) in &self.discarded_bytes_per_executor {
+            *out.entry(e).or_default() += b;
+        }
+        out
     }
 
     /// Records recomputation time attributed to `rdd` during `job`.
@@ -298,12 +325,14 @@ impl Metrics {
     }
 
     /// The RDD with the highest recomputation time within `job`, if any.
+    /// Ties break toward the smallest `RddId` — a total order, so the
+    /// answer never depends on hash-map iteration order.
     pub fn top_recompute_rdd(&self, job: JobId) -> Option<(RddId, SimDuration)> {
         self.recompute_by_job_rdd
             .iter()
             .filter(|((j, _), _)| *j == job)
             .map(|((_, r), t)| (*r, *t))
-            .max_by_key(|&(_, t)| t)
+            .max_by_key(|&(r, t)| (t, std::cmp::Reverse(r)))
     }
 }
 
@@ -332,6 +361,9 @@ mod tests {
 
     #[test]
     fn evictions_split_by_kind_and_executor() {
+        // Regression: spill and discard volumes used to be lumped into one
+        // per-executor map, so disk-pressure reporting could not tell a
+        // 4 MiB spill from a 4 MiB discard.
         let mut m = Metrics::new();
         m.record_eviction(ExecutorId(0), ByteSize::from_mib(4), true);
         m.record_eviction(ExecutorId(0), ByteSize::from_mib(2), false);
@@ -339,7 +371,14 @@ mod tests {
         assert_eq!(m.evictions, 3);
         assert_eq!(m.evictions_to_disk, 1);
         assert_eq!(m.evictions_discard, 2);
-        assert_eq!(m.evicted_bytes_per_executor[&ExecutorId(0)], ByteSize::from_mib(6));
+        assert_eq!(m.spilled_bytes_per_executor[&ExecutorId(0)], ByteSize::from_mib(4));
+        assert_eq!(m.discarded_bytes_per_executor[&ExecutorId(0)], ByteSize::from_mib(2));
+        assert!(!m.spilled_bytes_per_executor.contains_key(&ExecutorId(1)));
+        assert_eq!(m.discarded_bytes_per_executor[&ExecutorId(1)], ByteSize::from_mib(1));
+        // The combined view still reports Fig. 3's total volume.
+        let combined = m.evicted_bytes_per_executor();
+        assert_eq!(combined[&ExecutorId(0)], ByteSize::from_mib(6));
+        assert_eq!(combined[&ExecutorId(1)], ByteSize::from_mib(1));
     }
 
     #[test]
@@ -390,6 +429,67 @@ mod tests {
         r.wasted_time = SimDuration::from_secs(1);
         r.lineage_replay_time = SimDuration::from_secs(2);
         assert_eq!(r.total_recovery_time(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn top_recompute_rdd_breaks_ties_by_smallest_rdd_id() {
+        // Regression: ties used to be broken by FxHashMap iteration order,
+        // which is a function of the hash — not of anything meaningful.
+        // With many equal-time RDDs the winner must be the smallest id,
+        // whatever order the entries were recorded in.
+        let t = SimDuration::from_secs(3);
+        let mut forward = Metrics::new();
+        for r in 1..=16 {
+            forward.record_recompute(JobId(0), RddId(r), t);
+        }
+        let mut backward = Metrics::new();
+        for r in (1..=16).rev() {
+            backward.record_recompute(JobId(0), RddId(r), t);
+        }
+        assert_eq!(forward.top_recompute_rdd(JobId(0)), Some((RddId(1), t)));
+        assert_eq!(backward.top_recompute_rdd(JobId(0)), Some((RddId(1), t)));
+        // A strictly larger time still wins regardless of id.
+        forward.record_recompute(JobId(0), RddId(9), SimDuration::from_secs(1));
+        assert_eq!(
+            forward.top_recompute_rdd(JobId(0)),
+            Some((RddId(9), SimDuration::from_secs(4)))
+        );
+    }
+
+    fn trace_at(job: u32, stage: u32, part: u32, dur_ms: u64) -> TaskTrace {
+        TaskTrace {
+            job: JobId(job),
+            stage_output: RddId(stage),
+            partition: part,
+            executor: ExecutorId(0),
+            slot: 0,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + SimDuration::from_millis(dur_ms),
+            charge: TaskCharge::default(),
+        }
+    }
+
+    #[test]
+    fn slowest_tasks_orders_ties_by_stage_and_task_id() {
+        // Regression: equal-duration tasks used to surface in push order.
+        // The canonical order is duration desc, then (job, stage, partition)
+        // ascending — independent of recording order.
+        let mut m = Metrics::new();
+        for t in [
+            trace_at(1, 9, 1, 10),
+            trace_at(0, 7, 3, 10),
+            trace_at(1, 9, 0, 10),
+            trace_at(0, 7, 2, 20),
+        ] {
+            m.record_trace(t);
+        }
+        let top = m.slowest_tasks(3);
+        let key: Vec<(u32, u32, u32)> =
+            top.iter().map(|t| (t.job.raw(), t.stage_output.raw(), t.partition)).collect();
+        assert_eq!(key, vec![(0, 7, 2), (0, 7, 3), (1, 9, 0)]);
+        // n larger than the trace count returns everything, still ordered.
+        assert_eq!(m.slowest_tasks(10).len(), 4);
+        assert!(m.slowest_tasks(0).is_empty());
     }
 
     #[test]

@@ -118,8 +118,8 @@ impl ShuffleStore {
     }
 
     /// Drops every output produced by `exec` (the no-external-shuffle-service
-    /// crash path). Returns how many outputs were destroyed.
-    pub fn drop_by_producer(&mut self, exec: ExecutorId) -> u64 {
+    /// crash path). Returns the destroyed keys, sorted.
+    pub fn drop_by_producer(&mut self, exec: ExecutorId) -> Vec<(ShuffleId, usize)> {
         let mut dropped: Vec<(ShuffleId, usize)> =
             self.outputs.iter().filter(|(_, o)| o.producer == exec).map(|(&k, _)| k).collect();
         dropped.sort_unstable();
@@ -127,7 +127,7 @@ impl ShuffleStore {
             self.outputs.remove(key);
             self.lost.insert(*key);
         }
-        dropped.len() as u64
+        dropped
     }
 
     /// True if this exact output was destroyed by a fault and has not been
@@ -190,7 +190,7 @@ mod tests {
         let sh: ShuffleId = (RddId(2), 0);
         s.put_map_output(sh, 0, buckets(2, 1), E0);
         s.put_map_output(sh, 1, buckets(2, 1), E1);
-        assert_eq!(s.drop_by_producer(E0), 1);
+        assert_eq!(s.drop_by_producer(E0), vec![(sh, 0)]);
         assert!(!s.has_map_output(sh, 0));
         assert!(s.has_map_output(sh, 1));
         assert!(s.was_lost(sh, 0));

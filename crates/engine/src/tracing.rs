@@ -1,0 +1,1067 @@
+//! Structured, deterministic event tracing.
+//!
+//! When [`crate::config::ClusterConfig::tracing`] is on, the engine records
+//! every task-lifecycle step, cache decision (with the deciding policy's
+//! rationale), recomputation span and recovery action into a [`TraceLog`]
+//! of sim-clock-timestamped [`TraceEvent`]s. The log is the auditable form
+//! of the aggregate [`Metrics`]: everything the paper's evaluation figures
+//! sum up can be re-derived event by event.
+//!
+//! Three contracts, mirroring the fault layer's design:
+//!
+//! - **Zero cost when off.** Like [`crate::fault::FaultPlan`], tracing is a
+//!   feature gate on the config; with the default (`tracing: false`) the
+//!   engine takes no tracing path at all and behaves byte-identically to a
+//!   build without this module.
+//! - **Deterministic.** Every event is recorded during the serial commit
+//!   phase of the plan/execute/commit pipeline (or in other serial engine
+//!   paths), so the log is byte-identical across `worker_threads` settings
+//!   and repeated runs.
+//! - **Self-checking.** [`TraceLog::validate`] replays the log against the
+//!   run's [`Metrics`] and reports BA4xx diagnostics when span nesting is
+//!   violated (BA401), summed event durations fail to reproduce the metric
+//!   aggregates (BA402), or a cache event is unpaired — e.g. an eviction
+//!   with no earlier admission (BA403).
+//!
+//! Exports: Chrome trace-event JSON ([`TraceLog::chrome_json`], loadable in
+//! `chrome://tracing` / Perfetto) and a human-readable per-job cache-decision
+//! ledger ([`TraceLog::ledger`]). The `blaze-trace` CLI in `blaze-bench`
+//! renders, explains, validates and diffs these.
+
+use crate::fault::FaultCause;
+use crate::metrics::Metrics;
+use blaze_audit::{AuditReport, DiagCode, Diagnostic};
+use blaze_common::fxhash::FxHashMap;
+use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::{ByteSize, SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// What the cache layer decided about one block, at one moment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDecision {
+    /// Admitted into an executor's memory store.
+    AdmitMemory,
+    /// Admitted (or spilled on admission failure) into a disk store.
+    AdmitDisk,
+    /// Served from a memory store.
+    HitMemory,
+    /// Served from a disk store.
+    HitDisk,
+    /// A previously materialized block was found nowhere and fell back to
+    /// recomputation.
+    MissRecompute,
+    /// Evicted from memory and spilled to disk (state m -> d).
+    EvictToDisk,
+    /// Evicted from memory and discarded (state m -> u).
+    EvictDiscard,
+    /// Moved from disk into memory (promotion / prefetch, d -> m).
+    PromoteToMemory,
+    /// Removed from a memory store by an unpersist (user or controller).
+    UnpersistMemory,
+    /// Removed from a disk store by an unpersist (user or controller).
+    UnpersistDisk,
+    /// Destroyed in a memory store by an executor loss.
+    LostMemory,
+    /// Destroyed in a disk store by an executor loss.
+    LostDisk,
+}
+
+impl CacheDecision {
+    /// Stable short label used by the ledger and Chrome export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDecision::AdmitMemory => "admit-mem",
+            CacheDecision::AdmitDisk => "admit-disk",
+            CacheDecision::HitMemory => "hit-mem",
+            CacheDecision::HitDisk => "hit-disk",
+            CacheDecision::MissRecompute => "miss-recompute",
+            CacheDecision::EvictToDisk => "evict-to-disk",
+            CacheDecision::EvictDiscard => "evict-discard",
+            CacheDecision::PromoteToMemory => "promote-to-mem",
+            CacheDecision::UnpersistMemory => "unpersist-mem",
+            CacheDecision::UnpersistDisk => "unpersist-disk",
+            CacheDecision::LostMemory => "lost-mem",
+            CacheDecision::LostDisk => "lost-disk",
+        }
+    }
+
+    /// True for decisions that insert the block into a *memory* store.
+    fn inserts_memory(self) -> bool {
+        matches!(self, CacheDecision::AdmitMemory | CacheDecision::PromoteToMemory)
+    }
+
+    /// True for decisions that remove the block from a *memory* store.
+    fn removes_memory(self) -> bool {
+        matches!(
+            self,
+            CacheDecision::EvictToDisk
+                | CacheDecision::EvictDiscard
+                | CacheDecision::UnpersistMemory
+                | CacheDecision::LostMemory
+        )
+    }
+}
+
+/// One cache decision: which block, where, how big, and — when the
+/// installed policy can explain itself — why (its score, refcount or
+/// reference distance at decision time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheRecord {
+    /// Simulated time of the decision.
+    pub at: SimTime,
+    /// Executor whose store the decision concerns (for hits: the reader).
+    pub executor: ExecutorId,
+    /// The block decided about.
+    pub id: BlockId,
+    /// Logical bytes of the block.
+    pub bytes: ByteSize,
+    /// What was decided.
+    pub decision: CacheDecision,
+    /// The deciding policy's rationale
+    /// ([`crate::controller::CacheController::explain_block`]), captured
+    /// before the decision was applied. `None` when the policy keeps no
+    /// per-block state or the decision needs no justification.
+    pub rationale: Option<String>,
+}
+
+/// One entry of the event log. All variants are stamped with simulated
+/// time; ordering within the log is the deterministic commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A job began (one action trigger).
+    JobStarted {
+        /// Simulated start time (the job's clock floor).
+        at: SimTime,
+        /// The job.
+        job: JobId,
+        /// The action's target dataset.
+        target: RddId,
+    },
+    /// A job finished; `at` is the job's simulated completion time.
+    JobCompleted {
+        /// Simulated completion time.
+        at: SimTime,
+        /// The job.
+        job: JobId,
+    },
+    /// A task was placed on an executor during the serial plan phase.
+    TaskPlanned {
+        /// Time of the placement decision (the stage's earliest start).
+        at: SimTime,
+        /// Job the task belongs to.
+        job: JobId,
+        /// The RDD the task's stage materializes.
+        stage_output: RddId,
+        /// Partition index.
+        partition: u32,
+        /// The locality-chosen executor.
+        executor: ExecutorId,
+    },
+    /// A task attempt died (injected transient fault or executor loss) and
+    /// the task was retried.
+    TaskRetry {
+        /// Commit time of the surviving task that replays this attempt.
+        at: SimTime,
+        /// Job the task belongs to.
+        job: JobId,
+        /// The RDD the task's stage materializes.
+        stage_output: RddId,
+        /// Partition index.
+        partition: u32,
+        /// Zero-based attempt index that failed.
+        attempt: u32,
+        /// Why the attempt died.
+        cause: FaultCause,
+        /// Slot time the dead attempt burned.
+        wasted: SimDuration,
+    },
+    /// A task committed: its simulated span on an executor slot.
+    TaskCommitted {
+        /// Job the task belonged to.
+        job: JobId,
+        /// The RDD the task's stage materialized.
+        stage_output: RddId,
+        /// Partition index.
+        partition: u32,
+        /// Executor the task ran on.
+        executor: ExecutorId,
+        /// Slot within the executor.
+        slot: u32,
+        /// Simulated start time.
+        start: SimTime,
+        /// Simulated end time.
+        end: SimTime,
+    },
+    /// A cache decision (admit / hit / miss / evict / unpersist / loss).
+    Cache(CacheRecord),
+    /// A lineage edge was re-executed for a previously materialized block.
+    Recompute {
+        /// Commit time of the recomputing task.
+        at: SimTime,
+        /// Job during which the recomputation ran.
+        job: JobId,
+        /// The recomputed block.
+        id: BlockId,
+        /// Executor that recomputed it.
+        executor: ExecutorId,
+        /// Lineage depth below the task's stage output (0 = the output
+        /// itself): how deep the miss forced the task to recurse.
+        depth: u32,
+        /// Simulated time of the re-executed edge.
+        duration: SimDuration,
+    },
+    /// A task spent part of its charge replaying lineage to re-produce
+    /// fault-lost data.
+    RecoveryReplay {
+        /// Commit time of the task.
+        at: SimTime,
+        /// Job the task belonged to.
+        job: JobId,
+        /// The RDD the task's stage materialized.
+        stage_output: RddId,
+        /// Partition index.
+        partition: u32,
+        /// Recovery slice of the task's charge.
+        duration: SimDuration,
+    },
+    /// An executor crashed and was replaced; summary of what it took down.
+    ExecutorCrashed {
+        /// Simulated time the crash fired.
+        at: SimTime,
+        /// The crashed executor.
+        executor: ExecutorId,
+        /// Cached blocks destroyed (memory + disk).
+        blocks_lost: u64,
+        /// Logical bytes of cached data destroyed.
+        bytes_lost: ByteSize,
+        /// Shuffle map outputs destroyed (no external shuffle service).
+        map_outputs_lost: u64,
+    },
+    /// One shuffle map output was destroyed by a fault.
+    MapOutputLost {
+        /// Simulated time of the loss.
+        at: SimTime,
+        /// Consuming RDD of the shuffle.
+        child: RddId,
+        /// Shuffle-dependency index within the consumer.
+        dep_idx: u32,
+        /// The destroyed map task's partition index.
+        map_part: u32,
+    },
+    /// A previously lost map output was regenerated through lineage.
+    MapOutputRecovered {
+        /// Commit time of the regenerating task.
+        at: SimTime,
+        /// Consuming RDD of the shuffle.
+        child: RddId,
+        /// Shuffle-dependency index within the consumer.
+        dep_idx: u32,
+        /// The regenerated map task's partition index.
+        map_part: u32,
+    },
+    /// A fault-lost cached block was re-produced through lineage.
+    BlockRecovered {
+        /// Commit time of the recovering task.
+        at: SimTime,
+        /// The recovered block.
+        id: BlockId,
+    },
+    /// A map stage re-ran because its registered shuffle outputs were lost
+    /// (Spark's fetch-failure stage resubmission).
+    StageResubmitted {
+        /// The stage's start time.
+        at: SimTime,
+        /// Job the stage belongs to.
+        job: JobId,
+        /// The stage's output RDD.
+        stage_output: RddId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulated timestamp (tasks: their start).
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::JobStarted { at, .. }
+            | TraceEvent::JobCompleted { at, .. }
+            | TraceEvent::TaskPlanned { at, .. }
+            | TraceEvent::TaskRetry { at, .. }
+            | TraceEvent::Recompute { at, .. }
+            | TraceEvent::RecoveryReplay { at, .. }
+            | TraceEvent::ExecutorCrashed { at, .. }
+            | TraceEvent::MapOutputLost { at, .. }
+            | TraceEvent::MapOutputRecovered { at, .. }
+            | TraceEvent::BlockRecovered { at, .. }
+            | TraceEvent::StageResubmitted { at, .. } => *at,
+            TraceEvent::TaskCommitted { start, .. } => *start,
+            TraceEvent::Cache(r) => r.at,
+        }
+    }
+}
+
+/// The structured event log of one application run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event (engine-internal; order is commit order).
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in deterministic commit order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    // ---- Exports -----------------------------------------------------------
+
+    /// Renders the log as Chrome trace-event JSON (the `chrome://tracing` /
+    /// Perfetto format): tasks become complete (`"X"`) spans with
+    /// `pid` = executor and `tid` = slot; everything else becomes instant
+    /// (`"i"`) events. Timestamps are microseconds with nanosecond
+    /// fractions, so the export is lossless and byte-deterministic.
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for ev in &self.events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            match ev {
+                TraceEvent::TaskCommitted {
+                    job,
+                    stage_output,
+                    partition,
+                    executor,
+                    slot,
+                    start,
+                    end,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{},\"tid\":{},\"args\":{{\"job\":{}}}}}",
+                        json_string(&format!("{stage_output}[{partition}]")),
+                        micros(start.as_nanos()),
+                        micros(end.since(*start).as_nanos()),
+                        executor.raw(),
+                        slot,
+                        job.raw(),
+                    );
+                }
+                TraceEvent::Cache(r) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"cache\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\
+                         \"pid\":{},\"tid\":0,\"args\":{{\"block\":{},\"bytes\":{},\"why\":{}}}}}",
+                        json_string(r.decision.as_str()),
+                        micros(r.at.as_nanos()),
+                        r.executor.raw(),
+                        json_string(&r.id.to_string()),
+                        r.bytes.as_bytes(),
+                        json_string(r.rationale.as_deref().unwrap_or("")),
+                    );
+                }
+                other => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"engine\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\
+                         \"pid\":0,\"tid\":0,\"args\":{{\"detail\":{}}}}}",
+                        json_string(event_name(other)),
+                        micros(other.at().as_nanos()),
+                        json_string(&event_detail(other)),
+                    );
+                }
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Renders the per-job cache-decision ledger: one line per decision,
+    /// grouped under the job that was running when it was made (decisions
+    /// between jobs are attributed to the preceding job boundary).
+    pub fn ledger(&self) -> String {
+        let mut out = String::new();
+        let mut current: Option<JobId> = None;
+        for ev in &self.events {
+            match ev {
+                TraceEvent::JobStarted { at, job, target } => {
+                    current = Some(*job);
+                    let _ = writeln!(out, "{job} (target {target}) started at {at}:");
+                }
+                TraceEvent::JobCompleted { at, job } => {
+                    let _ = writeln!(out, "{job} completed at {at}");
+                    current = None;
+                }
+                TraceEvent::Cache(r) => {
+                    let scope = match current {
+                        Some(j) => j.to_string(),
+                        None => "between-jobs".to_string(),
+                    };
+                    let _ = write!(
+                        out,
+                        "  [{scope}] {} {:<14} {} on {} ({})",
+                        r.at,
+                        r.decision.as_str(),
+                        r.id,
+                        r.executor,
+                        r.bytes,
+                    );
+                    if let Some(why) = &r.rationale {
+                        let _ = write!(out, " why: {why}");
+                    }
+                    out.push('\n');
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Explains one block's cache history: every decision that touched it,
+    /// in order, plus its final memory/disk residency per the trace.
+    pub fn explain(&self, id: BlockId) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "history of {id}:");
+        let mut mem: Option<ExecutorId> = None;
+        let mut disk: Option<ExecutorId> = None;
+        let mut seen = 0usize;
+        for ev in &self.events {
+            let TraceEvent::Cache(r) = ev else { continue };
+            if r.id != id {
+                continue;
+            }
+            seen += 1;
+            let _ = write!(
+                out,
+                "  {} {:<14} on {} ({})",
+                r.at,
+                r.decision.as_str(),
+                r.executor,
+                r.bytes
+            );
+            if let Some(why) = &r.rationale {
+                let _ = write!(out, " why: {why}");
+            }
+            out.push('\n');
+            match r.decision {
+                d if d.inserts_memory() => mem = Some(r.executor),
+                d if d.removes_memory() => mem = None,
+                _ => {}
+            }
+            match r.decision {
+                CacheDecision::AdmitDisk | CacheDecision::EvictToDisk => disk = Some(r.executor),
+                CacheDecision::PromoteToMemory
+                | CacheDecision::UnpersistDisk
+                | CacheDecision::LostDisk => disk = None,
+                _ => {}
+            }
+        }
+        if seen == 0 {
+            let _ = writeln!(out, "  (no cache decisions recorded for this block)");
+        }
+        let fmt_res = |r: Option<ExecutorId>| match r {
+            Some(e) => format!("resident on {e}"),
+            None => "not resident".to_string(),
+        };
+        let _ = writeln!(out, "  final: memory {}, disk {}", fmt_res(mem), fmt_res(disk));
+        out
+    }
+
+    /// Diffs two traces: reports the first diverging event (with one event
+    /// of context on each side) or states that they are identical.
+    pub fn diff(&self, other: &TraceLog) -> String {
+        let n = self.events.len().min(other.events.len());
+        for i in 0..n {
+            if self.events[i] != other.events[i] {
+                return format!(
+                    "traces diverge at event {i}:\n  left:  {:?}\n  right: {:?}\n",
+                    self.events[i], other.events[i]
+                );
+            }
+        }
+        if self.events.len() != other.events.len() {
+            return format!(
+                "traces agree on the first {n} events, then lengths diverge \
+                 (left {} events, right {})\n",
+                self.events.len(),
+                other.events.len()
+            );
+        }
+        format!("traces are identical ({n} events)\n")
+    }
+
+    // ---- Validation --------------------------------------------------------
+
+    /// Validates the log against the run's aggregate metrics: span nesting
+    /// (BA401), aggregate reproduction (BA402) and admit/evict pairing
+    /// (BA403). A clean report proves the aggregates are exactly the sums
+    /// of the recorded events.
+    pub fn validate(&self, metrics: &Metrics) -> AuditReport {
+        let mut ds = Vec::new();
+        self.check_spans(&mut ds);
+        self.check_aggregates(metrics, &mut ds);
+        self.check_pairing(&mut ds);
+        AuditReport::new(ds)
+    }
+
+    fn check_spans(&self, ds: &mut Vec<Diagnostic>) {
+        let mut open_job: Option<JobId> = None;
+        let mut slot_frontier: FxHashMap<(ExecutorId, u32), SimTime> = FxHashMap::default();
+        let err = |msg: String| {
+            Diagnostic::new(
+                DiagCode::TraceSpanNesting,
+                None,
+                msg,
+                "the engine's commit path recorded events out of order; this is an engine bug"
+                    .into(),
+            )
+        };
+        for ev in &self.events {
+            match ev {
+                TraceEvent::JobStarted { job, .. } => {
+                    if let Some(open) = open_job {
+                        ds.push(err(format!("{job} started while {open} is still open")));
+                    }
+                    open_job = Some(*job);
+                }
+                TraceEvent::JobCompleted { job, .. } => {
+                    if open_job != Some(*job) {
+                        ds.push(err(format!("{job} completed but was not the open job")));
+                    }
+                    open_job = None;
+                }
+                TraceEvent::TaskCommitted {
+                    job,
+                    stage_output,
+                    partition,
+                    executor,
+                    slot,
+                    start,
+                    end,
+                } => {
+                    let task = format!("{stage_output}[{partition}] of {job}");
+                    if end < start {
+                        ds.push(err(format!(
+                            "task {task} ends at {end}, before its start {start}"
+                        )));
+                    }
+                    if open_job != Some(*job) {
+                        ds.push(err(format!("task {task} committed outside its job span")));
+                    }
+                    let frontier = slot_frontier.entry((*executor, *slot)).or_default();
+                    if *start < *frontier {
+                        ds.push(err(format!(
+                            "task {task} starts at {start} on {executor}/slot {slot}, \
+                             overlapping the previous span ending at {frontier}"
+                        )));
+                    }
+                    *frontier = (*frontier).max(*end);
+                }
+                _ => {}
+            }
+        }
+        if let Some(open) = open_job {
+            ds.push(err(format!("{open} never completed")));
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn check_aggregates(&self, metrics: &Metrics, ds: &mut Vec<Diagnostic>) {
+        // Re-derive every aggregate from the events alone...
+        let mut tasks = 0u64;
+        let mut jobs = 0u64;
+        let mut last_completed = SimTime::ZERO;
+        let mut busy: FxHashMap<ExecutorId, SimDuration> = FxHashMap::default();
+        let mut mem_hits = 0u64;
+        let mut disk_hits = 0u64;
+        let mut misses = 0u64;
+        let mut recomputes = 0u64;
+        let mut recompute_by: FxHashMap<(JobId, RddId), SimDuration> = FxHashMap::default();
+        let mut evictions_to_disk = 0u64;
+        let mut evictions_discard = 0u64;
+        let mut spilled: FxHashMap<ExecutorId, ByteSize> = FxHashMap::default();
+        let mut discarded: FxHashMap<ExecutorId, ByteSize> = FxHashMap::default();
+        let mut task_retries = 0u64;
+        let mut tasks_lost = 0u64;
+        let mut wasted = SimDuration::ZERO;
+        let mut replay = SimDuration::ZERO;
+        let mut recovery_by_job: FxHashMap<JobId, SimDuration> = FxHashMap::default();
+        let mut crashes = 0u64;
+        let mut blocks_lost = 0u64;
+        let mut bytes_lost = ByteSize::ZERO;
+        let mut map_lost = 0u64;
+        let mut map_recovered = 0u64;
+        let mut blocks_recovered = 0u64;
+        let mut resubmitted = 0u64;
+        for ev in &self.events {
+            match ev {
+                TraceEvent::JobCompleted { at, .. } => {
+                    jobs += 1;
+                    last_completed = *at;
+                }
+                TraceEvent::TaskCommitted { executor, start, end, .. } => {
+                    tasks += 1;
+                    *busy.entry(*executor).or_default() += end.since(*start);
+                }
+                TraceEvent::Cache(r) => match r.decision {
+                    CacheDecision::HitMemory => mem_hits += 1,
+                    CacheDecision::HitDisk => disk_hits += 1,
+                    CacheDecision::MissRecompute => misses += 1,
+                    CacheDecision::EvictToDisk => {
+                        evictions_to_disk += 1;
+                        *spilled.entry(r.executor).or_default() += r.bytes;
+                    }
+                    CacheDecision::EvictDiscard => {
+                        evictions_discard += 1;
+                        *discarded.entry(r.executor).or_default() += r.bytes;
+                    }
+                    _ => {}
+                },
+                TraceEvent::Recompute { job, id, duration, .. } => {
+                    recomputes += 1;
+                    *recompute_by.entry((*job, id.rdd)).or_default() += *duration;
+                }
+                TraceEvent::TaskRetry { job, cause, wasted: w, .. } => {
+                    match cause {
+                        FaultCause::Transient => task_retries += 1,
+                        FaultCause::ExecutorLost => tasks_lost += 1,
+                    }
+                    wasted += *w;
+                    *recovery_by_job.entry(*job).or_default() += *w;
+                }
+                TraceEvent::RecoveryReplay { job, duration, .. } => {
+                    replay += *duration;
+                    *recovery_by_job.entry(*job).or_default() += *duration;
+                }
+                TraceEvent::ExecutorCrashed { blocks_lost: b, bytes_lost: by, .. } => {
+                    // Map-output losses are counted from the per-output
+                    // events below (a crash emits both a summary and the
+                    // per-output events; counting the summary too would
+                    // double-count).
+                    crashes += 1;
+                    blocks_lost += b;
+                    bytes_lost += *by;
+                }
+                TraceEvent::MapOutputLost { .. } => map_lost += 1,
+                TraceEvent::MapOutputRecovered { .. } => map_recovered += 1,
+                TraceEvent::BlockRecovered { .. } => blocks_recovered += 1,
+                TraceEvent::StageResubmitted { .. } => resubmitted += 1,
+                _ => {}
+            }
+        }
+        recovery_by_job.retain(|_, t| *t > SimDuration::ZERO);
+
+        // ... and require exact equality with the recorded metrics.
+        let mut check = |what: &str, from_trace: String, from_metrics: String| {
+            if from_trace != from_metrics {
+                ds.push(Diagnostic::new(
+                    DiagCode::TraceAggregateMismatch,
+                    None,
+                    format!("{what}: trace says {from_trace}, metrics say {from_metrics}"),
+                    "an engine path updated this metric without recording the matching event"
+                        .into(),
+                ));
+            }
+        };
+        check("task count", tasks.to_string(), metrics.tasks.to_string());
+        check("job count", jobs.to_string(), metrics.jobs.to_string());
+        if jobs > 0 {
+            check(
+                "completion time",
+                last_completed.to_string(),
+                metrics.completion_time.to_string(),
+            );
+        }
+        check("memory hits", mem_hits.to_string(), metrics.mem_hits.to_string());
+        check("disk hits", disk_hits.to_string(), metrics.disk_hits.to_string());
+        check("recompute misses", misses.to_string(), metrics.recompute_misses.to_string());
+        check("recompute spans", recomputes.to_string(), metrics.recompute_misses.to_string());
+        check(
+            "evictions to disk",
+            evictions_to_disk.to_string(),
+            metrics.evictions_to_disk.to_string(),
+        );
+        check(
+            "evictions discarded",
+            evictions_discard.to_string(),
+            metrics.evictions_discard.to_string(),
+        );
+        check("busy time per executor", fmt_map(&busy), fmt_map(&metrics.busy_time_per_executor()));
+        check(
+            "spilled bytes per executor",
+            fmt_map(&spilled),
+            fmt_map(&metrics.spilled_bytes_per_executor),
+        );
+        check(
+            "discarded bytes per executor",
+            fmt_map(&discarded),
+            fmt_map(&metrics.discarded_bytes_per_executor),
+        );
+        check(
+            "recompute time by (job, rdd)",
+            fmt_map(&recompute_by),
+            fmt_map(&metrics.recompute_by_job_rdd),
+        );
+        let rec = &metrics.recovery;
+        check("task retries", task_retries.to_string(), rec.task_retries.to_string());
+        check("tasks lost to crash", tasks_lost.to_string(), rec.tasks_lost_to_crash.to_string());
+        check("wasted time", wasted.to_string(), rec.wasted_time.to_string());
+        check("lineage replay time", replay.to_string(), rec.lineage_replay_time.to_string());
+        check(
+            "recovery time by job",
+            fmt_map(&recovery_by_job),
+            fmt_map(&rec.recovery_time_by_job),
+        );
+        check("executor crashes", crashes.to_string(), rec.executor_crashes.to_string());
+        check("blocks lost", blocks_lost.to_string(), rec.blocks_lost.to_string());
+        check("bytes lost", bytes_lost.to_string(), rec.bytes_lost.to_string());
+        check("map outputs lost", map_lost.to_string(), rec.map_outputs_lost.to_string());
+        check(
+            "map outputs recovered",
+            map_recovered.to_string(),
+            rec.map_outputs_recovered.to_string(),
+        );
+        check("blocks recovered", blocks_recovered.to_string(), rec.blocks_recovered.to_string());
+        check("stages resubmitted", resubmitted.to_string(), rec.stages_resubmitted.to_string());
+    }
+
+    fn check_pairing(&self, ds: &mut Vec<Diagnostic>) {
+        // Replay memory residency per (executor, block): inserts must hit
+        // an empty slot, removals a full one. (The disk tier is not
+        // replayed: a full disk silently rejects inserts by design, so
+        // disk occupancy is not derivable from decisions alone.)
+        let mut resident: FxHashMap<(ExecutorId, BlockId), ()> = FxHashMap::default();
+        for ev in &self.events {
+            let TraceEvent::Cache(r) = ev else { continue };
+            let key = (r.executor, r.id);
+            if r.decision.inserts_memory() {
+                if resident.insert(key, ()).is_some() {
+                    ds.push(Diagnostic::new(
+                        DiagCode::TraceUnpairedCacheEvent,
+                        Some(r.id.rdd),
+                        format!(
+                            "{} of {} on {} at {}, but the block is already memory-resident there",
+                            r.decision.as_str(),
+                            r.id,
+                            r.executor,
+                            r.at
+                        ),
+                        "double admission without an intervening eviction".into(),
+                    ));
+                }
+            } else if r.decision.removes_memory() && resident.remove(&key).is_none() {
+                ds.push(Diagnostic::new(
+                    DiagCode::TraceUnpairedCacheEvent,
+                    Some(r.id.rdd),
+                    format!(
+                        "{} of {} on {} at {}, but no earlier admission put it there",
+                        r.decision.as_str(),
+                        r.id,
+                        r.executor,
+                        r.at
+                    ),
+                    "every eviction must pair with an earlier admit".into(),
+                ));
+            }
+        }
+    }
+}
+
+/// Formats nanoseconds as Chrome's microsecond timestamps, keeping the
+/// nanosecond fraction (three decimals) so the export is lossless.
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+/// Deterministic rendering of a map, sorted by key (both sides of an
+/// aggregate comparison go through this, so hash order never matters).
+fn fmt_map<K: Ord + Copy + std::fmt::Debug, V: std::fmt::Debug>(m: &FxHashMap<K, V>) -> String {
+    let mut entries: Vec<_> = m.iter().collect();
+    entries.sort_by_key(|(k, _)| **k);
+    let mut out = String::from("{");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{k:?}: {v:?}");
+    }
+    out.push('}');
+    out
+}
+
+/// JSON string literal with the minimal escaping the exporter needs.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn event_name(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::JobStarted { .. } => "job-started",
+        TraceEvent::JobCompleted { .. } => "job-completed",
+        TraceEvent::TaskPlanned { .. } => "task-planned",
+        TraceEvent::TaskRetry { .. } => "task-retry",
+        TraceEvent::Recompute { .. } => "recompute",
+        TraceEvent::RecoveryReplay { .. } => "recovery-replay",
+        TraceEvent::ExecutorCrashed { .. } => "executor-crashed",
+        TraceEvent::MapOutputLost { .. } => "map-output-lost",
+        TraceEvent::MapOutputRecovered { .. } => "map-output-recovered",
+        TraceEvent::BlockRecovered { .. } => "block-recovered",
+        TraceEvent::StageResubmitted { .. } => "stage-resubmitted",
+        TraceEvent::TaskCommitted { .. } => "task",
+        TraceEvent::Cache(_) => "cache",
+    }
+}
+
+fn event_detail(ev: &TraceEvent) -> String {
+    match ev {
+        TraceEvent::JobStarted { job, target, .. } => format!("{job} -> {target}"),
+        TraceEvent::JobCompleted { job, .. } => job.to_string(),
+        TraceEvent::TaskPlanned { job, stage_output, partition, executor, .. } => {
+            format!("{stage_output}[{partition}] of {job} on {executor}")
+        }
+        TraceEvent::TaskRetry { job, stage_output, partition, attempt, cause, wasted, .. } => {
+            format!(
+                "{stage_output}[{partition}] of {job} attempt {attempt} died ({cause:?}), \
+                 wasted {wasted}"
+            )
+        }
+        TraceEvent::Recompute { job, id, executor, depth, duration, .. } => {
+            format!("{id} in {job} on {executor}, depth {depth}, {duration}")
+        }
+        TraceEvent::RecoveryReplay { job, stage_output, partition, duration, .. } => {
+            format!("{stage_output}[{partition}] of {job} replayed {duration}")
+        }
+        TraceEvent::ExecutorCrashed {
+            executor, blocks_lost, bytes_lost, map_outputs_lost, ..
+        } => {
+            format!(
+                "{executor} lost {blocks_lost} blocks ({bytes_lost}), \
+                 {map_outputs_lost} map outputs"
+            )
+        }
+        TraceEvent::MapOutputLost { child, dep_idx, map_part, .. }
+        | TraceEvent::MapOutputRecovered { child, dep_idx, map_part, .. } => {
+            format!("shuffle ({child}, {dep_idx}) map {map_part}")
+        }
+        TraceEvent::BlockRecovered { id, .. } => id.to_string(),
+        TraceEvent::StageResubmitted { job, stage_output, .. } => {
+            format!("{stage_output} of {job}")
+        }
+        TraceEvent::TaskCommitted { .. } | TraceEvent::Cache(_) => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(at_ms: u64, exec: u32, rdd: u32, part: u32, decision: CacheDecision) -> TraceEvent {
+        TraceEvent::Cache(CacheRecord {
+            at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            executor: ExecutorId(exec),
+            id: BlockId::new(RddId(rdd), part),
+            bytes: ByteSize::from_kib(4),
+            decision,
+            rationale: None,
+        })
+    }
+
+    fn task(job: u32, part: u32, exec: u32, slot: u32, start_ms: u64, end_ms: u64) -> TraceEvent {
+        TraceEvent::TaskCommitted {
+            job: JobId(job),
+            stage_output: RddId(1),
+            partition: part,
+            executor: ExecutorId(exec),
+            slot,
+            start: SimTime::ZERO + SimDuration::from_millis(start_ms),
+            end: SimTime::ZERO + SimDuration::from_millis(end_ms),
+        }
+    }
+
+    fn minimal_log() -> (TraceLog, Metrics) {
+        let mut log = TraceLog::new();
+        log.record(TraceEvent::JobStarted { at: SimTime::ZERO, job: JobId(0), target: RddId(1) });
+        log.record(task(0, 0, 0, 0, 0, 10));
+        log.record(task(0, 1, 0, 0, 10, 25));
+        log.record(TraceEvent::JobCompleted {
+            at: SimTime::ZERO + SimDuration::from_millis(25),
+            job: JobId(0),
+        });
+        let mut m = Metrics::new();
+        m.tasks = 2;
+        m.jobs = 1;
+        m.completion_time = SimTime::ZERO + SimDuration::from_millis(25);
+        m.task_traces = vec![
+            crate::metrics::TaskTrace {
+                job: JobId(0),
+                stage_output: RddId(1),
+                partition: 0,
+                executor: ExecutorId(0),
+                slot: 0,
+                start: SimTime::ZERO,
+                end: SimTime::ZERO + SimDuration::from_millis(10),
+                charge: crate::metrics::TaskCharge::default(),
+            },
+            crate::metrics::TaskTrace {
+                job: JobId(0),
+                stage_output: RddId(1),
+                partition: 1,
+                executor: ExecutorId(0),
+                slot: 0,
+                start: SimTime::ZERO + SimDuration::from_millis(10),
+                end: SimTime::ZERO + SimDuration::from_millis(25),
+                charge: crate::metrics::TaskCharge::default(),
+            },
+        ];
+        (log, m)
+    }
+
+    #[test]
+    fn clean_log_validates() {
+        let (log, m) = minimal_log();
+        let report = log.validate(&m);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn span_violations_are_ba401() {
+        let (mut log, m) = minimal_log();
+        // A task committed after the job closed.
+        log.record(task(0, 2, 0, 0, 25, 30));
+        let report = log.validate(&m);
+        assert!(report.has(DiagCode::TraceSpanNesting));
+
+        // Overlapping spans on the same slot.
+        let mut log = TraceLog::new();
+        log.record(TraceEvent::JobStarted { at: SimTime::ZERO, job: JobId(0), target: RddId(1) });
+        log.record(task(0, 0, 0, 0, 0, 10));
+        log.record(task(0, 1, 0, 0, 5, 15)); // starts before the previous ends
+        log.record(TraceEvent::JobCompleted {
+            at: SimTime::ZERO + SimDuration::from_millis(15),
+            job: JobId(0),
+        });
+        assert!(log.validate(&Metrics::new()).has(DiagCode::TraceSpanNesting));
+    }
+
+    #[test]
+    fn aggregate_drift_is_ba402() {
+        let (log, mut m) = minimal_log();
+        m.mem_hits = 3; // metrics claim hits the trace never saw
+        let report = log.validate(&m);
+        assert!(report.has(DiagCode::TraceAggregateMismatch));
+    }
+
+    #[test]
+    fn unpaired_eviction_is_ba403() {
+        let (mut log, mut m) = minimal_log();
+        log.record(cache(25, 0, 5, 0, CacheDecision::EvictDiscard));
+        m.record_eviction(ExecutorId(0), ByteSize::from_kib(4), false);
+        let report = log.validate(&m);
+        assert!(report.has(DiagCode::TraceUnpairedCacheEvent));
+
+        // Admit then evict pairs cleanly; double admit does not.
+        let (mut log, mut m) = minimal_log();
+        log.record(cache(5, 0, 5, 0, CacheDecision::AdmitMemory));
+        log.record(cache(25, 0, 5, 0, CacheDecision::EvictDiscard));
+        m.record_eviction(ExecutorId(0), ByteSize::from_kib(4), false);
+        assert!(log.validate(&m).is_clean());
+        log.record(cache(26, 0, 6, 0, CacheDecision::AdmitMemory));
+        log.record(cache(27, 0, 6, 0, CacheDecision::AdmitMemory));
+        assert!(log.validate(&m).has(DiagCode::TraceUnpairedCacheEvent));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape_and_deterministic() {
+        let (mut log, _) = minimal_log();
+        log.record(cache(5, 0, 5, 0, CacheDecision::AdmitMemory));
+        let a = log.chrome_json();
+        let b = log.chrome_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"traceEvents\":["));
+        assert!(a.trim_end().ends_with("]}"));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("admit-mem"));
+        // Nanosecond-lossless microsecond timestamps.
+        assert!(a.contains("\"ts\":10000.000"));
+    }
+
+    #[test]
+    fn ledger_groups_by_job_and_shows_rationale() {
+        let (mut log, _) = minimal_log();
+        log.record(TraceEvent::JobStarted {
+            at: SimTime::ZERO + SimDuration::from_millis(25),
+            job: JobId(1),
+            target: RddId(1),
+        });
+        log.record(TraceEvent::Cache(CacheRecord {
+            at: SimTime::ZERO + SimDuration::from_millis(26),
+            executor: ExecutorId(1),
+            id: BlockId::new(RddId(5), 2),
+            bytes: ByteSize::from_kib(8),
+            decision: CacheDecision::EvictDiscard,
+            rationale: Some("refcount=0".into()),
+        }));
+        log.record(TraceEvent::JobCompleted {
+            at: SimTime::ZERO + SimDuration::from_millis(30),
+            job: JobId(1),
+        });
+        let ledger = log.ledger();
+        assert!(ledger.contains("[job-1]"));
+        assert!(ledger.contains("evict-discard"));
+        assert!(ledger.contains("why: refcount=0"));
+    }
+
+    #[test]
+    fn explain_reconstructs_block_history() {
+        let (mut log, _) = minimal_log();
+        log.record(cache(5, 0, 5, 0, CacheDecision::AdmitMemory));
+        log.record(cache(25, 0, 5, 0, CacheDecision::EvictToDisk));
+        let text = log.explain(BlockId::new(RddId(5), 0));
+        assert!(text.contains("admit-mem"));
+        assert!(text.contains("evict-to-disk"));
+        assert!(text.contains("memory not resident"));
+        assert!(text.contains("disk resident on exec-0"));
+        let none = log.explain(BlockId::new(RddId(9), 0));
+        assert!(none.contains("no cache decisions"));
+    }
+
+    #[test]
+    fn diff_pinpoints_the_first_divergence() {
+        let (a, _) = minimal_log();
+        let (mut b, _) = minimal_log();
+        assert!(a.diff(&b).contains("identical"));
+        b.record(cache(30, 0, 5, 0, CacheDecision::AdmitMemory));
+        assert!(a.diff(&b).contains("lengths diverge"));
+        let mut c = TraceLog::new();
+        c.record(TraceEvent::JobStarted { at: SimTime::ZERO, job: JobId(7), target: RddId(1) });
+        c.record(task(0, 0, 0, 0, 0, 10));
+        assert!(a.diff(&c).contains("diverge at event 0"));
+    }
+}

@@ -97,6 +97,12 @@ impl CacheController for AlluxioController {
     fn on_evicted(&mut self, _ctx: &CtrlCtx, id: BlockId) {
         self.last_access.remove(&id);
     }
+
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        self.last_access
+            .get(&id)
+            .map(|t| format!("alluxio: lru tier, last access tick {t} of {}", self.tick))
+    }
 }
 
 #[cfg(test)]

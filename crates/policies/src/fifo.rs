@@ -63,6 +63,10 @@ impl CacheController for FifoController {
     fn on_evicted(&mut self, _ctx: &CtrlCtx, id: BlockId) {
         self.inserted_at.remove(&id);
     }
+
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        self.inserted_at.get(&id).map(|t| format!("fifo: inserted at tick {t} of {}", self.counter))
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,12 @@ impl CacheController for GdWheelController {
         self.freq.remove(&id);
         self.base.remove(&id);
     }
+
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        let base = self.base.get(&id)?;
+        let freq = self.freq.get(&id).copied().unwrap_or(1);
+        Some(format!("gdwheel: freq {freq}, base {base:.4}, inflation {:.4}", self.inflation))
+    }
 }
 
 #[cfg(test)]

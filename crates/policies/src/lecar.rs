@@ -171,6 +171,12 @@ impl CacheController for LeCaRController {
         self.last_access.remove(&id);
     }
 
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        let t = self.last_access.get(&id)?;
+        let f = self.freq.get(&id).copied().unwrap_or(0);
+        Some(format!("lecar: last access tick {t}, freq {f}, w_lru {:.3}", self.lru_weight()))
+    }
+
     fn on_partition_computed(&mut self, _ctx: &CtrlCtx, event: &blaze_engine::PartitionEvent) {
         if event.recomputed {
             self.learn_from_miss(event.info.id);

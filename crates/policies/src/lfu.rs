@@ -90,6 +90,10 @@ impl CacheController for LfuController {
     fn on_evicted(&mut self, _ctx: &CtrlCtx, id: BlockId) {
         self.priority.remove(&id);
     }
+
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        self.priority.get(&id).map(|p| format!("lfu: priority {p}"))
+    }
 }
 
 #[cfg(test)]

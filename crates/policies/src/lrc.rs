@@ -111,6 +111,10 @@ impl CacheController for LrcController {
     fn on_admission_failure(&mut self, _ctx: &CtrlCtx, _block: &BlockInfo) -> Admission {
         self.mode.admission_fallback()
     }
+
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        Some(format!("lrc: refcount={}", self.reference_count(id.rdd)))
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,10 @@ impl CacheController for LruController {
     fn on_evicted(&mut self, _ctx: &CtrlCtx, id: BlockId) {
         self.last_access.remove(&id);
     }
+
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        self.last_access.get(&id).map(|t| format!("lru: last access tick {t} of {}", self.tick))
+    }
 }
 
 #[cfg(test)]

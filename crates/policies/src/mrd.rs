@@ -138,6 +138,15 @@ impl CacheController for MrdController {
         self.mode.admission_fallback()
     }
 
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        let d = self.reference_distance(id.rdd);
+        Some(if d >= INFINITE_DISTANCE {
+            "mrd: no known future reference".to_string()
+        } else {
+            format!("mrd: reference distance {d}")
+        })
+    }
+
     fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
         if to_disk {
             self.on_disk.insert(info.id);

@@ -156,6 +156,12 @@ impl CacheController for TinyLfuController {
         self.last_access.remove(&id);
     }
 
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        self.last_access
+            .get(&id)
+            .map(|t| format!("tinylfu: freq ~{}, last access tick {t}", self.sketch.estimate(id)))
+    }
+
     fn on_partition_computed(&mut self, _ctx: &CtrlCtx, event: &blaze_engine::PartitionEvent) {
         // Misses (recomputations) still count as demand for the block.
         if event.recomputed {

@@ -6,7 +6,7 @@ use blaze_common::error::Result;
 use blaze_common::SimDuration;
 use blaze_core::extract_dependencies;
 use blaze_dataflow::Context;
-use blaze_engine::{Cluster, FaultPlan, Metrics};
+use blaze_engine::{Cluster, FaultPlan, Metrics, TraceLog};
 
 /// The outcome of one evaluation run.
 #[derive(Debug, Clone)]
@@ -17,6 +17,9 @@ pub struct RunOutcome {
     pub system: SystemKind,
     /// Full engine metrics.
     pub metrics: Metrics,
+    /// The structured event trace, when the run was traced
+    /// (see [`run_spec_traced`]); `None` otherwise.
+    pub trace: Option<TraceLog>,
 }
 
 impl RunOutcome {
@@ -50,6 +53,22 @@ pub fn run_spec_with_fault(
     system: SystemKind,
     fault: FaultPlan,
 ) -> Result<RunOutcome> {
+    run_spec_inner(spec, system, fault, false)
+}
+
+/// Runs a custom spec under `system` with structured event tracing enabled;
+/// the returned outcome carries the [`TraceLog`]. Tracing never changes
+/// simulated behaviour, so metrics are identical to the untraced run.
+pub fn run_spec_traced(spec: &AppSpec, system: SystemKind, fault: FaultPlan) -> Result<RunOutcome> {
+    run_spec_inner(spec, system, fault, true)
+}
+
+fn run_spec_inner(
+    spec: &AppSpec,
+    system: SystemKind,
+    fault: FaultPlan,
+    tracing: bool,
+) -> Result<RunOutcome> {
     let profile = if system.needs_profile() {
         let s = *spec;
         Some(extract_dependencies(move |ctx| s.drive_sample(ctx), 0)?)
@@ -59,10 +78,11 @@ pub fn run_spec_with_fault(
     let controller = system.make_controller(profile);
     let mut config = spec.cluster_config();
     config.fault = fault;
+    config.tracing = tracing;
     let cluster = Cluster::new(config, controller)?;
     let ctx = Context::new(cluster.clone());
     spec.drive(&ctx)?;
-    Ok(RunOutcome { app: spec.app, system, metrics: cluster.metrics() })
+    Ok(RunOutcome { app: spec.app, system, metrics: cluster.metrics(), trace: cluster.trace() })
 }
 
 /// Runs `spec` under a Blaze controller with a custom configuration
@@ -74,7 +94,12 @@ pub fn run_blaze_with(spec: &AppSpec, cfg: blaze_core::BlazeConfig) -> Result<Ru
     let cluster = Cluster::new(spec.cluster_config(), Box::new(controller))?;
     let ctx = Context::new(cluster.clone());
     spec.drive(&ctx)?;
-    Ok(RunOutcome { app: spec.app, system: SystemKind::Blaze, metrics: cluster.metrics() })
+    Ok(RunOutcome {
+        app: spec.app,
+        system: SystemKind::Blaze,
+        metrics: cluster.metrics(),
+        trace: cluster.trace(),
+    })
 }
 
 #[cfg(test)]

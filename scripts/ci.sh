@@ -29,6 +29,13 @@ run cargo test -q $OFFLINE --workspace
 # u64s) by exporting BLAZE_CHAOS_SEEDS yourself.
 run env BLAZE_CHAOS_SEEDS="${BLAZE_CHAOS_SEEDS:-11,23,37,41,53}" \
     cargo test -q $OFFLINE --test fault_injection
+# Trace validation: the structured event log must pass its self-audit
+# (span nesting, metrics reconciliation, cache-event pairing) and be
+# byte-identical across worker-thread counts. One memory-pressured and one
+# compute-bound workload keep the step fast; the full six-workload sweep is
+# `--validate` with no --apps filter.
+run cargo run -q $OFFLINE --release -p blaze-bench --bin blaze-trace -- \
+    --validate --apps pagerank,kmeans --threads 1,2,4
 # Layer-2 static analysis: the determinism source lint must be clean before
 # the (slower) clippy pass runs.
 run cargo run -q $OFFLINE -p blaze-audit --bin blaze-lint

@@ -107,7 +107,7 @@ fn eviction_volumes_are_skewed_across_executors() {
     // Fig. 3: power-law partitions make eviction volumes uneven.
     let out = run_app(App::PageRank, SystemKind::SparkMemDisk).unwrap();
     let volumes: Vec<u64> =
-        out.metrics.evicted_bytes_per_executor.values().map(|b| b.as_bytes()).collect();
+        out.metrics.evicted_bytes_per_executor().values().map(|b| b.as_bytes()).collect();
     assert!(volumes.len() >= 2);
     let max = *volumes.iter().max().unwrap() as f64;
     let min = *volumes.iter().min().unwrap() as f64;
