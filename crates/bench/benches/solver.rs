@@ -81,7 +81,7 @@ fn bench_ilp(c: &mut Criterion) {
             cap[3 * i] = pseudo(i as u64, 7) + 1.0;
         }
         constraints.push(Constraint::le(cap, n as f64));
-        let problem = IlpProblem { objective, constraints, node_budget: 0 };
+        let problem = IlpProblem { objective, constraints, node_budget: 0, warm: None };
         g.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
             b.iter(|| solve_binary(std::hint::black_box(p)).unwrap())
         });

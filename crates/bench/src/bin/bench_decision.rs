@@ -1,0 +1,565 @@
+//! Decision-path latency benchmark: from-scratch vs incremental.
+//!
+//! The Blaze decision path — cost maintenance plus the per-executor state
+//! solve — runs in the engine's *serial* plan/commit phase at every job
+//! submission, so its latency directly caps parallel speedup. This harness
+//! measures it two ways:
+//!
+//! 1. **Workloads** — every evaluation application runs twice under full
+//!    Blaze, once with the incremental decision path
+//!    (`BlazeConfig::incremental`) and once from scratch, with the
+//!    controller wrapped in a timing shim. The simulated ACT must be
+//!    identical in both modes (the decision-identity contract); only the
+//!    real time spent deciding may differ.
+//! 2. **Stress shapes** — synthetic lineages exercising the regimes where
+//!    from-scratch work is O(everything): `wide` (many sibling datasets),
+//!    `deep` (a long narrow chain priced through Eq. 4 recursion), and
+//!    `churn` (a growing job sequence forcing reference re-derivation).
+//!    Each round perturbs the lineage, runs both paths, and asserts their
+//!    command streams are equal.
+//!
+//! Wall-clock time is the *measured output* here, never an input to
+//! simulated behaviour (`blaze-lint` enforces that split). Results go to
+//! `BENCH_decision.json` at the repository root.
+//!
+//! Flags: `--quick` (CI-sized run, no JSON), `--check` (exit non-zero if
+//! the stress speedups regress below [`CHECK_MIN_SPEEDUP`]), `--shadow`
+//! (additionally run one workload with `shadow_compare` asserting
+//! command-stream equality inside the controller).
+
+use blaze_bench::json::nz;
+use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::{ByteSize, SimDuration};
+use blaze_core::costlineage::CostLineage;
+use blaze_core::optimize::optimize_states;
+use blaze_core::{
+    BlazeConfig, BlazeController, IncrementalOptimizer, JobRefs, OptimizerConfig, PartitionState,
+};
+use blaze_dataflow::{runner::LocalRunner, Context, Dataset, JobPlan, Plan};
+use blaze_engine::config::default_worker_threads;
+use blaze_engine::{
+    Admission, BlockInfo, CacheController, CtrlCtx, HardwareModel, PartitionEvent, StateCommand,
+    VictimAction,
+};
+use blaze_workloads::{run_blaze_instrumented, App, AppSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Minimum stress-shape speedup (`from-scratch / incremental`) the `--check`
+/// mode requires on the `deep` and `churn` shapes. The committed full-mode
+/// results sit far above this; the margin absorbs CI machine noise.
+const CHECK_MIN_SPEEDUP: f64 = 2.0;
+
+/// Wraps the Blaze controller and attributes the real time spent in the
+/// decision path (job submission + stage completion hooks) to shared
+/// counters. Every method delegates; instrumentation never changes
+/// simulated behaviour.
+struct TimedController {
+    inner: BlazeController,
+    decision_nanos: Arc<AtomicU64>,
+    decision_calls: Arc<AtomicU64>,
+}
+
+impl CacheController for TimedController {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn should_cache(&mut self, ctx: &CtrlCtx, block: &BlockInfo, annotated: bool) -> bool {
+        self.inner.should_cache(ctx, block, annotated)
+    }
+
+    fn admit(&mut self, ctx: &CtrlCtx, block: &BlockInfo) -> Admission {
+        self.inner.admit(ctx, block)
+    }
+
+    fn choose_victims(
+        &mut self,
+        ctx: &CtrlCtx,
+        exec: ExecutorId,
+        needed: ByteSize,
+        incoming: &BlockInfo,
+        resident: &[BlockInfo],
+    ) -> Vec<(BlockId, VictimAction)> {
+        self.inner.choose_victims(ctx, exec, needed, incoming, resident)
+    }
+
+    fn on_admission_failure(&mut self, ctx: &CtrlCtx, block: &BlockInfo) -> Admission {
+        self.inner.on_admission_failure(ctx, block)
+    }
+
+    fn readmit_after_disk_read(&mut self, ctx: &CtrlCtx, block: &BlockInfo) -> Admission {
+        self.inner.readmit_after_disk_read(ctx, block)
+    }
+
+    fn serialized_in_memory(&self) -> bool {
+        self.inner.serialized_in_memory()
+    }
+
+    fn memory_footprint_factor(&self) -> f64 {
+        self.inner.memory_footprint_factor()
+    }
+
+    fn on_access(&mut self, ctx: &CtrlCtx, id: BlockId) {
+        self.inner.on_access(ctx, id);
+    }
+
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        self.inner.explain_block(id)
+    }
+
+    fn on_inserted(&mut self, ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
+        self.inner.on_inserted(ctx, info, to_disk);
+    }
+
+    fn on_evicted(&mut self, ctx: &CtrlCtx, id: BlockId) {
+        self.inner.on_evicted(ctx, id);
+    }
+
+    fn on_partition_computed(&mut self, ctx: &CtrlCtx, event: &PartitionEvent) {
+        self.inner.on_partition_computed(ctx, event);
+    }
+
+    fn on_job_submit(
+        &mut self,
+        ctx: &CtrlCtx,
+        job: JobId,
+        job_plan: &JobPlan,
+        plan: &Plan,
+    ) -> Vec<StateCommand> {
+        let inner = &mut self.inner;
+        // audit: allow(wall-clock)
+        let start = Instant::now();
+        let out = inner.on_job_submit(ctx, job, job_plan, plan);
+        self.decision_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.decision_calls.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+
+    fn on_stage_complete(
+        &mut self,
+        ctx: &CtrlCtx,
+        stage_output: RddId,
+        job: JobId,
+        plan: &Plan,
+    ) -> Vec<StateCommand> {
+        let inner = &mut self.inner;
+        // audit: allow(wall-clock)
+        let start = Instant::now();
+        let out = inner.on_stage_complete(ctx, stage_output, job, plan);
+        self.decision_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.decision_calls.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+}
+
+/// One workload's paired measurement.
+struct WorkloadSample {
+    workload: &'static str,
+    jobs: u64,
+    act_s: f64,
+    decision_scratch_s: f64,
+    decision_incremental_s: f64,
+    decision_calls: u64,
+}
+
+/// One stress shape's paired measurement.
+struct StressSample {
+    shape: &'static str,
+    rounds: usize,
+    scratch_s: f64,
+    incremental_s: f64,
+    solves: u64,
+    reused: u64,
+    dirty_drained: u64,
+    invalidated: u64,
+}
+
+impl StressSample {
+    fn speedup(&self) -> f64 {
+        if self.incremental_s > 0.0 {
+            self.scratch_s / self.incremental_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs `spec` under full Blaze with the given incremental setting; returns
+/// (simulated ACT seconds, jobs, real decision seconds, decision calls).
+fn run_timed(spec: &AppSpec, incremental: bool) -> (f64, u64, f64, u64) {
+    let nanos = Arc::new(AtomicU64::new(0));
+    let calls = Arc::new(AtomicU64::new(0));
+    let (n2, c2) = (Arc::clone(&nanos), Arc::clone(&calls));
+    let cfg = BlazeConfig { incremental, ..BlazeConfig::full() };
+    let out = run_blaze_instrumented(spec, cfg, Default::default(), false, move |inner| {
+        Box::new(TimedController { inner, decision_nanos: n2, decision_calls: c2 })
+    })
+    .expect("workload run failed");
+    (
+        out.metrics.completion_time.as_secs_f64(),
+        out.metrics.jobs,
+        nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        calls.load(Ordering::Relaxed),
+    )
+}
+
+fn bench_workloads(apps: &[App]) -> Vec<WorkloadSample> {
+    // One discarded warm-up run, so the first measured workload does not
+    // absorb the process's allocator/page-cache warm-up in its column.
+    let _ = run_timed(&AppSpec::evaluation(apps[0]), true);
+    let mut samples = Vec::new();
+    for &app in apps {
+        let spec = AppSpec::evaluation(app);
+        let (act_inc, jobs_inc, dec_inc, calls) = run_timed(&spec, true);
+        let (act_scr, jobs_scr, dec_scr, _) = run_timed(&spec, false);
+        assert_eq!(jobs_inc, jobs_scr, "{app:?}: job counts diverged");
+        assert!(
+            (act_inc - act_scr).abs() < 1e-12,
+            "{app:?}: incremental path changed the simulated ACT ({act_inc} vs {act_scr})"
+        );
+        eprintln!(
+            "{:7} jobs={jobs_inc:3} act={act_inc:.4}s decision scratch={dec_scr:.4}s \
+             incremental={dec_inc:.4}s ({:.2}x)",
+            app.label(),
+            if dec_inc > 0.0 { dec_scr / dec_inc } else { f64::INFINITY },
+        );
+        samples.push(WorkloadSample {
+            workload: app.label(),
+            jobs: jobs_inc,
+            act_s: act_inc,
+            decision_scratch_s: dec_scr,
+            decision_incremental_s: dec_inc,
+            decision_calls: calls,
+        });
+    }
+    samples
+}
+
+/// Shared state of one synthetic stress run: a lineage plus the incremental
+/// path's retained structures, stepped round by round against the
+/// from-scratch path with command-stream equality asserted every round.
+struct StressRig {
+    lineage: CostLineage,
+    inc: IncrementalOptimizer,
+    inc_refs: JobRefs,
+    hardware: HardwareModel,
+    capacity: ByteSize,
+    config: OptimizerConfig,
+    scratch_s: f64,
+    incremental_s: f64,
+}
+
+impl StressRig {
+    fn new(capacity: ByteSize) -> Self {
+        Self {
+            lineage: CostLineage::new(),
+            inc: IncrementalOptimizer::new(),
+            inc_refs: JobRefs::default(),
+            hardware: HardwareModel::default(),
+            capacity,
+            config: OptimizerConfig::default(),
+            scratch_s: 0.0,
+            incremental_s: 0.0,
+        }
+    }
+
+    /// Runs both decision paths for the current round and accumulates their
+    /// real latencies. Panics if the command streams differ.
+    fn step(&mut self, plan: &Plan, targets: &[RddId], round: usize) {
+        // audit: allow(wall-clock)
+        let start = Instant::now();
+        let scratch_refs = JobRefs::build(plan, targets);
+        let scratch = optimize_states(
+            &self.lineage,
+            &scratch_refs,
+            None,
+            &self.hardware,
+            self.capacity,
+            round,
+            &self.config,
+        );
+        self.scratch_s += start.elapsed().as_secs_f64();
+
+        // audit: allow(wall-clock)
+        let start = Instant::now();
+        let captured = self.inc_refs.captured_jobs();
+        self.inc_refs.extend_build(plan, &targets[captured..]);
+        let fast = self.inc.optimize(
+            &mut self.lineage,
+            &self.inc_refs,
+            None,
+            &self.hardware,
+            self.capacity,
+            round,
+            &self.config,
+        );
+        self.incremental_s += start.elapsed().as_secs_f64();
+
+        assert_eq!(fast, scratch, "stress round {round}: decision paths diverged");
+        debug_assert!(self.lineage.residency_consistent());
+    }
+
+    fn finish(self, shape: &'static str, rounds: usize) -> StressSample {
+        let stats = self.inc.stats();
+        let sample = StressSample {
+            shape,
+            rounds,
+            scratch_s: self.scratch_s,
+            incremental_s: self.incremental_s,
+            solves: stats.solves,
+            reused: stats.reused,
+            dirty_drained: stats.dirty_drained,
+            invalidated: stats.invalidated,
+        };
+        eprintln!(
+            "stress {shape:5} rounds={rounds:4} scratch={:.4}s incremental={:.4}s ({:.1}x) \
+             solves={} reused={} dirty={} invalidated={}",
+            sample.scratch_s,
+            sample.incremental_s,
+            sample.speedup(),
+            sample.solves,
+            sample.reused,
+            sample.dirty_drained,
+            sample.invalidated,
+        );
+        sample
+    }
+}
+
+fn record_all(lineage: &mut CostLineage, rdd: RddId, parts: u32, kib: u64, ms: u64) {
+    for p in 0..parts {
+        lineage.record_metrics(
+            BlockId::new(rdd, p),
+            ByteSize::from_kib(kib),
+            SimDuration::from_millis(ms),
+        );
+    }
+}
+
+/// `wide`: one source fanned out into many sibling datasets, all cached.
+/// Every round dirties a single block; from-scratch re-prices every sibling.
+fn stress_wide(rounds: usize) -> StressSample {
+    const SIBLINGS: usize = 96;
+    const PARTS: u32 = 16;
+    let ctx = Context::new(LocalRunner::new());
+    let base = ctx.parallelize((0..256u64).collect::<Vec<_>>(), PARTS as usize);
+    let siblings: Vec<Dataset<u64>> =
+        (0..SIBLINGS as u64).map(|k| base.map(move |x| x + k)).collect();
+    let targets = vec![siblings[SIBLINGS - 1].id()];
+
+    let mut rig = StressRig::new(ByteSize::from_kib(1024));
+    {
+        let plan_lock = ctx.plan();
+        let plan = plan_lock.read();
+        rig.lineage.merge_plan(&plan);
+    }
+    record_all(&mut rig.lineage, base.id(), PARTS, 64, 3);
+    for (k, s) in siblings.iter().enumerate() {
+        record_all(&mut rig.lineage, s.id(), PARTS, 48 + (k as u64 % 16), 2 + (k as u64 % 5));
+        for p in 0..PARTS {
+            rig.lineage
+                .set_state(BlockId::new(s.id(), p), PartitionState::Memory(ExecutorId(p % 4)));
+        }
+    }
+
+    let plan_lock = ctx.plan();
+    let plan = plan_lock.read();
+    for round in 0..rounds {
+        let victim = siblings[round % SIBLINGS].id();
+        rig.lineage.record_metrics(
+            BlockId::new(victim, (round as u32) % PARTS),
+            ByteSize::from_kib(40 + (round as u64 % 32)),
+            SimDuration::from_millis(1 + (round as u64 % 9)),
+        );
+        rig.step(&plan, &targets, 0);
+    }
+    rig.finish("wide", rounds)
+}
+
+/// `deep`: a long narrow chain with a cached tail. From-scratch pricing
+/// recurses the whole chain (Eq. 4) every round; the incremental path only
+/// re-derives the invalidated suffix below the dirtied block.
+fn stress_deep(rounds: usize) -> StressSample {
+    const DEPTH: usize = 440;
+    const PARTS: u32 = 8;
+    const CACHED_TAIL: usize = 8;
+    let ctx = Context::new(LocalRunner::new());
+    let mut cur = ctx.parallelize((0..64u64).collect::<Vec<_>>(), PARTS as usize);
+    let mut chain = vec![cur.id()];
+    for _ in 0..DEPTH {
+        cur = cur.map(|x| x + 1);
+        chain.push(cur.id());
+    }
+    let targets = vec![*chain.last().expect("nonempty chain")];
+
+    let mut rig = StressRig::new(ByteSize::from_kib(256));
+    {
+        let plan_lock = ctx.plan();
+        let plan = plan_lock.read();
+        rig.lineage.merge_plan(&plan);
+    }
+    for (i, &rdd) in chain.iter().enumerate() {
+        record_all(&mut rig.lineage, rdd, PARTS, 32 + (i as u64 % 8), 1 + (i as u64 % 4));
+    }
+    for &rdd in &chain[chain.len() - CACHED_TAIL..] {
+        for p in 0..PARTS {
+            rig.lineage.set_state(BlockId::new(rdd, p), PartitionState::Memory(ExecutorId(p % 2)));
+        }
+    }
+
+    // The dirtied block sits just below the cached tail: its invalidation
+    // closure is a short suffix, while the cold path re-recurses ~DEPTH
+    // levels for the deepest cached candidate.
+    let dirty_rdd = chain[chain.len() - CACHED_TAIL - 8];
+    let plan_lock = ctx.plan();
+    let plan = plan_lock.read();
+    for round in 0..rounds {
+        rig.lineage.record_metrics(
+            BlockId::new(dirty_rdd, (round as u32) % PARTS),
+            ByteSize::from_kib(24 + (round as u64 % 16)),
+            SimDuration::from_millis(1 + (round as u64 % 6)),
+        );
+        rig.step(&plan, &targets, 0);
+    }
+    rig.finish("deep", rounds)
+}
+
+/// `churn`: the job sequence grows by one appended target per round (an
+/// iterative driver), with a sliding window of cached datasets. From-scratch
+/// reference derivation is O(jobs) per round — O(rounds²) overall — while
+/// the incremental path extends by exactly the appended job.
+fn stress_churn(rounds: usize) -> StressSample {
+    const PARTS: u32 = 4;
+    const WINDOW: usize = 8;
+    let ctx = Context::new(LocalRunner::new());
+    let mut cur = ctx.parallelize((0..64u64).collect::<Vec<_>>(), PARTS as usize);
+    let mut chain = vec![cur.id()];
+    let mut targets: Vec<RddId> = Vec::new();
+    let mut rig = StressRig::new(ByteSize::from_kib(512));
+
+    for round in 0..rounds {
+        cur = cur.map(|x| x + 1);
+        chain.push(cur.id());
+        targets.push(cur.id());
+        let plan_lock = ctx.plan();
+        let plan = plan_lock.read();
+        rig.lineage.merge_plan(&plan);
+        record_all(&mut rig.lineage, cur.id(), PARTS, 48 + (round as u64 % 24), 2);
+        for p in 0..PARTS {
+            rig.lineage
+                .set_state(BlockId::new(cur.id(), p), PartitionState::Memory(ExecutorId(p % 2)));
+        }
+        // Slide the cached window: datasets older than WINDOW iterations
+        // leave the store (what auto-unpersist does in the engine).
+        if chain.len() > WINDOW + 1 {
+            let old = chain[chain.len() - WINDOW - 1];
+            for p in 0..PARTS {
+                rig.lineage.set_state(BlockId::new(old, p), PartitionState::None);
+            }
+        }
+        rig.step(&plan, &targets, round);
+    }
+    rig.finish("churn", rounds)
+}
+
+/// Runs one workload with `shadow_compare`: the controller itself asserts,
+/// at every job submission, that the incremental and from-scratch command
+/// streams are identical (active in release builds).
+fn run_shadow(app: App) {
+    let spec = AppSpec::evaluation(app);
+    let cfg = BlazeConfig { shadow_compare: true, ..BlazeConfig::full() };
+    let out = run_blaze_instrumented(&spec, cfg, Default::default(), false, |c| Box::new(c))
+        .expect("shadow run failed");
+    eprintln!(
+        "shadow  {:7} jobs={:3} act={:.4}s (all submissions compared equal)",
+        app.label(),
+        out.metrics.jobs,
+        out.metrics.completion_time.as_secs_f64()
+    );
+}
+
+fn render_json(host_cpus: usize, workloads: &[WorkloadSample], stress: &[StressSample]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        let speedup = if w.decision_incremental_s > 0.0 {
+            w.decision_scratch_s / w.decision_incremental_s
+        } else {
+            0.0
+        };
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"jobs\": {}, \"act_s\": {:.6}, \
+             \"decision_calls\": {}, \"decision_scratch_s\": {:.6}, \
+             \"decision_incremental_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            w.workload,
+            w.jobs,
+            nz(w.act_s),
+            w.decision_calls,
+            nz(w.decision_scratch_s),
+            nz(w.decision_incremental_s),
+            nz(speedup),
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"stress\": [\n");
+    for (i, r) in stress.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"rounds\": {}, \"scratch_s\": {:.6}, \
+             \"incremental_s\": {:.6}, \"speedup\": {:.3}, \"solves\": {}, \
+             \"reused\": {}, \"dirty_drained\": {}, \"invalidated\": {}}}{}\n",
+            r.shape,
+            r.rounds,
+            nz(r.scratch_s),
+            nz(r.incremental_s),
+            nz(r.speedup()),
+            r.solves,
+            r.reused,
+            r.dirty_drained,
+            r.invalidated,
+            if i + 1 < stress.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let shadow = args.iter().any(|a| a == "--shadow");
+
+    let apps: Vec<App> = if quick { vec![App::KMeans] } else { App::all().to_vec() };
+    let (wide_rounds, deep_rounds, churn_rounds) =
+        if quick { (30, 20, 200) } else { (120, 80, 400) };
+
+    let workloads = bench_workloads(&apps);
+    let stress =
+        vec![stress_wide(wide_rounds), stress_deep(deep_rounds), stress_churn(churn_rounds)];
+    if shadow {
+        run_shadow(if quick { App::KMeans } else { App::PageRank });
+    }
+
+    if check {
+        for r in stress.iter().filter(|r| r.shape == "deep" || r.shape == "churn") {
+            assert!(
+                r.speedup() >= CHECK_MIN_SPEEDUP,
+                "decision-path regression: {} speedup {:.2}x below the {CHECK_MIN_SPEEDUP}x floor",
+                r.shape,
+                r.speedup()
+            );
+        }
+        eprintln!("check passed: deep/churn speedups above {CHECK_MIN_SPEEDUP}x");
+    }
+
+    if !quick {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decision.json");
+        let json = render_json(default_worker_threads(), &workloads, &stress);
+        std::fs::write(path, &json).expect("write BENCH_decision.json");
+        println!("wrote {} workload + {} stress samples to {path}", workloads.len(), stress.len());
+    }
+}

@@ -8,6 +8,7 @@
 //! host's core count. Results are written to `BENCH_engine.json` at the
 //! repository root.
 
+use blaze_bench::json::{nz, oversubscribed};
 use blaze_engine::config::default_worker_threads;
 use blaze_workloads::{run_spec, App, AppSpec, SystemKind};
 use std::time::Instant;
@@ -16,6 +17,9 @@ struct Sample {
     workload: &'static str,
     system: &'static str,
     worker_threads: usize,
+    /// True when `worker_threads` exceeds the host's cores: the wall-clock
+    /// column then measures oversubscription, not scaling.
+    oversubscribed: bool,
     wall_s: f64,
     sim_act: f64,
     /// Total simulated recovery time (zero here: the fault plan is off,
@@ -71,6 +75,7 @@ fn main() {
                     workload: app_label,
                     system: sys_label,
                     worker_threads: t,
+                    oversubscribed: oversubscribed(t, host_cpus),
                     wall_s: wall,
                     sim_act: act,
                     recovery_s: rec.total_recovery_time().as_secs_f64(),
@@ -108,6 +113,7 @@ fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
     for (i, r) in samples.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"system\": \"{}\", \"worker_threads\": {}, \
+             \"oversubscribed\": {}, \
              \"wall_s\": {:.6}, \"sim_act\": {:.6}, \"recovery_s\": {:.6}, \
              \"task_retries\": {}, \"blocks_lost\": {}, \"stages_resubmitted\": {}, \
              \"evictions_to_disk\": {}, \"evictions_discard\": {}, \
@@ -115,16 +121,17 @@ fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
             r.workload,
             r.system,
             r.worker_threads,
-            r.wall_s,
-            r.sim_act,
-            r.recovery_s,
+            r.oversubscribed,
+            nz(r.wall_s),
+            nz(r.sim_act),
+            nz(r.recovery_s),
             r.task_retries,
             r.blocks_lost,
             r.stages_resubmitted,
             r.evictions_to_disk,
             r.evictions_discard,
-            r.spilled_mib,
-            r.discarded_mib,
+            nz(r.spilled_mib),
+            nz(r.discarded_mib),
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }

@@ -13,6 +13,7 @@
 //! though it lives in the bench crate. Results go to `BENCH_failure.json`
 //! at the repository root.
 
+use blaze_bench::json::nz;
 use blaze_common::SimTime;
 use blaze_engine::{ExecutorCrash, FaultPlan};
 use blaze_workloads::{run_spec, run_spec_with_fault, App, AppSpec, SystemKind};
@@ -130,11 +131,11 @@ fn render_json(samples: &[Sample]) -> String {
              \"evictions_discard\": {}}}{}\n",
             r.workload,
             r.system,
-            r.act_clean,
-            r.act_faulted,
-            r.recovery_s,
-            r.wasted_s,
-            r.lineage_replay_s,
+            nz(r.act_clean),
+            nz(r.act_faulted),
+            nz(r.recovery_s),
+            nz(r.wasted_s),
+            nz(r.lineage_replay_s),
             r.task_retries,
             r.tasks_lost_to_crash,
             r.executor_crashes,

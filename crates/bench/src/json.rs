@@ -1,0 +1,51 @@
+//! Shared helpers for the hand-rolled JSON the benchmark binaries emit
+//! (the workspace deliberately has no serde).
+
+/// Normalizes IEEE negative zero to positive zero for JSON output.
+///
+/// Aggregated simulated quantities can come out as `-0.0` (e.g. a sum of
+/// negated durations that is exactly zero), and `format!("{:.3}", -0.0)`
+/// prints `-0.000` — valid JSON, but a recurring diff-noise source in the
+/// committed `BENCH_*.json` files. `-0.0 == 0.0` in IEEE 754, so the
+/// comparison below catches exactly the negative-zero case.
+pub fn nz(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// True when a run asks for more worker threads than the host has cores —
+/// its wall-clock numbers measure oversubscription, not scaling. Logs a
+/// warning to stderr the first time it trips for a given pair.
+pub fn oversubscribed(worker_threads: usize, host_cpus: usize) -> bool {
+    let over = worker_threads > host_cpus;
+    if over {
+        eprintln!(
+            "warning: worker_threads={worker_threads} exceeds host_cpus={host_cpus}; \
+             wall-clock samples measure oversubscription, not scaling"
+        );
+    }
+    over
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        assert_eq!(format!("{:.3}", nz(-0.0)), "0.000");
+        assert_eq!(format!("{:.3}", nz(0.0)), "0.000");
+        assert_eq!(format!("{:.3}", nz(-1.5)), "-1.500");
+        assert_eq!(format!("{:.3}", nz(2.25)), "2.250");
+    }
+
+    #[test]
+    fn oversubscription_is_detected() {
+        assert!(oversubscribed(8, 4));
+        assert!(!oversubscribed(4, 4));
+        assert!(!oversubscribed(1, 4));
+    }
+}

@@ -7,7 +7,8 @@
 //! - [`paper`] — the values the paper reports, for side-by-side comparison
 //!   (EXPERIMENTS.md is written from these harnesses' output);
 //! - [`harness`] — run helpers collecting the metrics each figure needs;
-//! - [`csv`] — optional CSV emission (`BLAZE_CSV_DIR`) for re-plotting.
+//! - [`csv`] — optional CSV emission (`BLAZE_CSV_DIR`) for re-plotting;
+//! - [`json`] — shared helpers for the hand-rolled JSON emitters.
 //!
 //! Absolute numbers are not expected to match the paper (the substrate is a
 //! simulated laptop-scale cluster, not 11 EC2 nodes); the *shape* — who
@@ -17,5 +18,6 @@
 
 pub mod csv;
 pub mod harness;
+pub mod json;
 pub mod paper;
 pub mod table;

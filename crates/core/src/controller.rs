@@ -17,6 +17,7 @@
 
 use crate::cost::CostModel;
 use crate::costlineage::{CostLineage, PartitionState};
+use crate::incremental::{DecisionStats, IncrementalOptimizer};
 use crate::optimize::{optimize_states, OptimizerConfig};
 use crate::pattern::{detect, IterationPattern};
 use crate::profiler::ProfileResult;
@@ -45,6 +46,15 @@ pub struct BlazeConfig {
     pub optimizer: OptimizerConfig,
     /// How many future jobs to induce when running without profiling.
     pub induce_horizon: usize,
+    /// Use the O(changed) incremental decision path ([`crate::incremental`])
+    /// instead of recomputing costs and solves from scratch at every job
+    /// submission. Decision-identical by construction; flip off to fall back
+    /// to the from-scratch path.
+    pub incremental: bool,
+    /// Shadow mode: run *both* decision paths at every job submission and
+    /// assert that their command streams are identical (active in release
+    /// builds too). A correctness harness, not a production setting.
+    pub shadow_compare: bool,
 }
 
 impl BlazeConfig {
@@ -57,6 +67,8 @@ impl BlazeConfig {
             use_disk: true,
             optimizer: OptimizerConfig::default(),
             induce_horizon: 4,
+            incremental: true,
+            shadow_compare: false,
         }
     }
 
@@ -95,6 +107,13 @@ pub struct BlazeController {
     /// LRU clock for cost-agnostic eviction and tie-breaking.
     tick: u64,
     recency: FxHashMap<BlockId, u64>,
+    /// The incremental decision path's retained state (memo + previous
+    /// solutions); only consulted when `cfg.incremental` is set.
+    incr: IncrementalOptimizer,
+    /// [`CostLineage::sequence_rev`] at which `refs` was last built from
+    /// scratch; a bump means the target sequence was truncated and the
+    /// append-only reference extension is no longer sound.
+    refs_seq_rev: u64,
 }
 
 impl BlazeController {
@@ -113,6 +132,8 @@ impl BlazeController {
                 consumed_by_stage: FxHashMap::default(),
                 tick: 0,
                 recency: FxHashMap::default(),
+                incr: IncrementalOptimizer::new(),
+                refs_seq_rev: u64::MAX,
             },
             None => Self {
                 cfg,
@@ -125,6 +146,8 @@ impl BlazeController {
                 consumed_by_stage: FxHashMap::default(),
                 tick: 0,
                 recency: FxHashMap::default(),
+                incr: IncrementalOptimizer::new(),
+                refs_seq_rev: u64::MAX,
             },
         }
     }
@@ -197,14 +220,35 @@ impl BlazeController {
 
     /// Rebuilds references from the runtime plan and induces future jobs
     /// from the detected pattern (the no-profiling path of Fig. 13).
+    ///
+    /// On the incremental path a job submission normally only *appends* one
+    /// target, so the captured counts are extended in place (byte-identical
+    /// to a rebuild, see [`JobRefs::extend_build`]) and only the induced
+    /// tail is re-derived. A [`CostLineage::sequence_rev`] bump (target
+    /// truncation) invalidates the append-only assumption and forces the
+    /// from-scratch build.
     fn relearn_refs(&mut self, plan: &Plan) {
         let targets = self.lineage.job_targets().to_vec();
         self.pattern = detect(&targets);
-        let mut refs = JobRefs::build(plan, &targets);
-        if let Some(p) = self.pattern {
-            refs.extend_induced(p, self.cfg.induce_horizon);
+        let seq = self.lineage.sequence_rev();
+        if self.cfg.incremental
+            && seq == self.refs_seq_rev
+            && self.refs.captured_jobs() <= targets.len()
+        {
+            self.refs.retract_induced();
+            self.refs.extend_build(plan, &targets[self.refs.captured_jobs()..]);
+        } else {
+            self.refs = JobRefs::build(plan, &targets);
+            self.refs_seq_rev = seq;
         }
-        self.refs = refs;
+        if let Some(p) = self.pattern {
+            self.refs.extend_induced(p, self.cfg.induce_horizon);
+        }
+    }
+
+    /// Work-avoidance counters of the incremental decision path.
+    pub fn decision_stats(&self) -> DecisionStats {
+        self.incr.stats()
     }
 }
 
@@ -260,15 +304,47 @@ impl CacheController for BlazeController {
             return Vec::new();
         }
         // The ILP trigger (§5.6): restate cached partitions for the window.
-        let mut commands = optimize_states(
-            &self.lineage,
-            &self.refs,
-            self.pattern,
-            &ctx.hardware,
-            ctx.memory_capacity,
-            self.current_idx,
-            &self.cfg.optimizer,
-        );
+        let mut commands = if self.cfg.incremental {
+            let commands = self.incr.optimize(
+                &mut self.lineage,
+                &self.refs,
+                self.pattern,
+                &ctx.hardware,
+                ctx.memory_capacity,
+                self.current_idx,
+                &self.cfg.optimizer,
+            );
+            if self.cfg.shadow_compare {
+                let scratch = optimize_states(
+                    &self.lineage,
+                    &self.refs,
+                    self.pattern,
+                    &ctx.hardware,
+                    ctx.memory_capacity,
+                    self.current_idx,
+                    &self.cfg.optimizer,
+                );
+                assert_eq!(
+                    commands, scratch,
+                    "incremental decision path diverged from from-scratch at job {job:?}"
+                );
+                assert!(
+                    self.lineage.residency_consistent(),
+                    "residency index diverged from the per-partition states"
+                );
+            }
+            commands
+        } else {
+            optimize_states(
+                &self.lineage,
+                &self.refs,
+                self.pattern,
+                &ctx.hardware,
+                ctx.memory_capacity,
+                self.current_idx,
+                &self.cfg.optimizer,
+            )
+        };
         if !self.cfg.use_disk {
             // Memory-only Blaze: spills degrade to unpersists.
             for cmd in &mut commands {

@@ -27,13 +27,21 @@ use blaze_common::ids::BlockId;
 use blaze_common::{ByteSize, SimDuration};
 use blaze_engine::HardwareModel;
 
+/// A memoized Eq. 4 recovery value plus a flag recording whether any metric
+/// feeding it was *inducted* rather than observed. Inducted values depend on
+/// congruent blocks elsewhere in the lineage, so flagged entries are only
+/// valid while [`CostLineage::metrics_rev`] and the iteration pattern are
+/// unchanged; unflagged entries survive until a block in their recursion
+/// support is dirtied.
+pub type CostMemo = FxHashMap<BlockId, (SimDuration, bool)>;
+
 /// The potential-recovery-cost estimator.
 pub struct CostModel<'a> {
     lineage: &'a CostLineage,
     hardware: &'a HardwareModel,
     pattern: Option<IterationPattern>,
     /// Memoized Eq. 2 values for the current snapshot.
-    memo: FxHashMap<BlockId, SimDuration>,
+    memo: CostMemo,
 }
 
 /// Recursion guard: lineage chains longer than this are priced as already
@@ -47,7 +55,29 @@ impl<'a> CostModel<'a> {
         hardware: &'a HardwareModel,
         pattern: Option<IterationPattern>,
     ) -> Self {
-        Self { lineage, hardware, pattern, memo: FxHashMap::default() }
+        Self::with_memo(lineage, hardware, pattern, CostMemo::default())
+    }
+
+    /// Creates a cost model seeded with a memo from an earlier snapshot.
+    ///
+    /// The caller owns the invalidation contract: every entry whose value
+    /// could have changed since it was computed (dirty blocks and their
+    /// narrow descendants; all flagged entries on a metrics revision or
+    /// pattern change) must have been removed. The incremental decision path
+    /// ([`crate::incremental`]) maintains exactly that.
+    pub fn with_memo(
+        lineage: &'a CostLineage,
+        hardware: &'a HardwareModel,
+        pattern: Option<IterationPattern>,
+        memo: CostMemo,
+    ) -> Self {
+        Self { lineage, hardware, pattern, memo }
+    }
+
+    /// Consumes the model, returning the memo for reuse against a later
+    /// snapshot (see [`Self::with_memo`]).
+    pub fn into_memo(self) -> CostMemo {
+        self.memo
     }
 
     /// Estimated size of a partition (observed or inducted).
@@ -60,6 +90,22 @@ impl<'a> CostModel<'a> {
         induct_edge_compute(self.lineage, self.pattern, id).unwrap_or(SimDuration::ZERO)
     }
 
+    /// Like [`Self::size`], with a flag marking an inducted (metrics-rev
+    /// dependent) value.
+    fn size_tracked(&self, id: BlockId) -> (ByteSize, bool) {
+        match self.lineage.observed_size(id) {
+            Some(s) => (s, false),
+            None => (self.size(id), true),
+        }
+    }
+
+    fn edge_tracked(&self, id: BlockId) -> (SimDuration, bool) {
+        match self.lineage.observed_edge_compute(id) {
+            Some(e) => (e, false),
+            None => (self.edge_compute(id), true),
+        }
+    }
+
     /// Eq. 3: the potential disk access cost of `p_i`.
     pub fn cost_d(&self, id: BlockId) -> SimDuration {
         let size = self.size(id);
@@ -69,53 +115,56 @@ impl<'a> CostModel<'a> {
 
     /// Eq. 4: the potential recomputation cost of `p_i`.
     pub fn cost_r(&mut self, id: BlockId) -> SimDuration {
-        self.cost_r_inner(id, 0)
+        self.cost_r_inner(id, 0).0
     }
 
-    fn cost_r_inner(&mut self, id: BlockId, depth: usize) -> SimDuration {
+    fn cost_r_inner(&mut self, id: BlockId, depth: usize) -> (SimDuration, bool) {
         let Some(node) = self.lineage.node(id.rdd) else {
-            return SimDuration::ZERO;
+            return (SimDuration::ZERO, false);
         };
         if depth > MAX_DEPTH {
-            return SimDuration::from_secs(3600);
+            return (SimDuration::from_secs(3600), false);
         }
-        let edge = self.edge_compute(id);
+        let (edge, edge_inducted) = self.edge_tracked(id);
         if node.is_shuffle {
             // Shuffle outputs persist: recomputation re-fetches them over
             // the network (plus deserialization) and re-runs only the
             // aggregation edge.
             let parent_ser =
                 node.parents.first().and_then(|p| self.lineage.node(*p)).map(|n| n.ser_factor);
-            let size = self.size(id);
+            let (size, size_inducted) = self.size_tracked(id);
             let fetch = self.hardware.network_time(size)
                 + self.hardware.deser_time(size, parent_ser.unwrap_or(1.0));
-            return edge + fetch;
+            return (edge + fetch, edge_inducted || size_inducted);
         }
         // Eq. 4 takes the max over ancestor chains (parallel recovery); our
         // engine recovers the inputs of one task serially, so the faithful
         // prediction here is the *sum* over parents (documented deviation).
         let parents = node.parents.clone();
         let mut total = SimDuration::ZERO;
+        let mut inducted = edge_inducted;
         for parent in parents {
             let pid = BlockId::new(parent, id.partition);
-            total += self.recovery_inner(pid, depth + 1);
+            let (c, i) = self.recovery_inner(pid, depth + 1);
+            total += c;
+            inducted |= i;
         }
-        total + edge
+        (total + edge, inducted)
     }
 
     /// The cost of using a partition right now, given its *current* state
     /// (the `(1 - m_k) · cost(p_k, t)` term of Eq. 4): free from memory, a
     /// disk read when spilled, a recursive recomputation otherwise.
-    fn recovery_inner(&mut self, id: BlockId, depth: usize) -> SimDuration {
+    fn recovery_inner(&mut self, id: BlockId, depth: usize) -> (SimDuration, bool) {
         if let Some(&c) = self.memo.get(&id) {
             return c;
         }
         let c = match self.lineage.state(id) {
-            crate::costlineage::PartitionState::Memory(_) => SimDuration::ZERO,
+            crate::costlineage::PartitionState::Memory(_) => (SimDuration::ZERO, false),
             crate::costlineage::PartitionState::Disk(_) => {
-                let size = self.size(id);
+                let (size, inducted) = self.size_tracked(id);
                 let ser = self.lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0);
-                self.hardware.fetch_from_disk_time(size, ser)
+                (self.hardware.fetch_from_disk_time(size, ser), inducted)
             }
             crate::costlineage::PartitionState::None => self.cost_r_inner(id, depth),
         };

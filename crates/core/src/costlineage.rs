@@ -18,10 +18,11 @@
 //! is what lets profiled metrics align with the runtime plan.
 
 use blaze_audit::{AuditReport, DiagCode, Diagnostic};
-use blaze_common::fxhash::FxHashMap;
+use blaze_common::fxhash::{FxHashMap, FxHashSet};
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
 use blaze_common::{ByteSize, SimDuration};
 use blaze_dataflow::Plan;
+use std::collections::BTreeSet;
 
 /// Where a partition currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +95,32 @@ pub struct CostLineage {
     current_job: usize,
     /// True once the runtime diverged from a profiled job sequence.
     diverged: bool,
+    /// Reverse lineage edges restricted to *narrow* children. `cost_r` of a
+    /// shuffle child never recurses into its parents (it re-fetches shuffle
+    /// outputs, Eq. 4), so a parent's metric/state change can only affect the
+    /// recovery cost of its narrow descendants — and narrow dependencies are
+    /// partition-aligned, so the change stays on the same partition index.
+    narrow_children: FxHashMap<RddId, Vec<RddId>>,
+    /// Plan-length watermark: nodes at indices below this are absorbed, so
+    /// [`Self::merge_plan`] only walks newly appended nodes (ids are dense
+    /// and assigned in program order).
+    absorbed: usize,
+    /// Sorted residency index of all blocks in [`PartitionState::Memory`].
+    in_memory: BTreeSet<BlockId>,
+    /// Sorted residency index of all blocks in [`PartitionState::Disk`].
+    on_disk: BTreeSet<BlockId>,
+    /// Blocks whose metrics or state changed since the last
+    /// [`Self::take_dirty`] drain, in first-touched order.
+    dirty: Vec<BlockId>,
+    dirty_set: FxHashSet<BlockId>,
+    /// Bumped whenever any metric observation changes. Cached costs derived
+    /// from *inducted* (unobserved) metrics may depend on congruent blocks
+    /// anywhere in the lineage, so they are only valid within one revision.
+    metrics_rev: u64,
+    /// Bumped whenever the job-target sequence is truncated (divergence from
+    /// a profiled prefix); incrementally extended reference counts must be
+    /// rebuilt when this changes.
+    sequence_rev: u64,
 }
 
 impl CostLineage {
@@ -104,8 +131,12 @@ impl CostLineage {
 
     /// Absorbs every node of `plan` not yet mirrored (duplicate merging is
     /// by-id: already-known nodes keep their accumulated metrics).
+    ///
+    /// Plans are append-only with dense program-order ids, so absorption is
+    /// O(new nodes): everything below the watermark was merged by an earlier
+    /// call (or seeded by profiling, which assigns the same ids).
     pub fn merge_plan(&mut self, plan: &Plan) {
-        for node in plan.iter() {
+        for node in plan.iter().skip(self.absorbed) {
             self.nodes.entry(node.id).or_insert_with(|| LineageNode {
                 rdd: node.id,
                 name: node.name.clone(),
@@ -114,7 +145,16 @@ impl CostLineage {
                 ser_factor: node.ser_factor,
                 parts: vec![PartitionMetrics::default(); node.num_partitions],
             });
+            if !node.is_shuffle() {
+                for dep in &node.deps {
+                    let children = self.narrow_children.entry(dep.parent()).or_default();
+                    if !children.contains(&node.id) {
+                        children.push(node.id);
+                    }
+                }
+            }
         }
+        self.absorbed = self.absorbed.max(plan.len());
     }
 
     /// Records a submitted job target; returns its index in the sequence.
@@ -132,6 +172,7 @@ impl CostLineage {
         // append the observed target.
         if self.current_job < self.job_targets.len() {
             self.diverged = true;
+            self.sequence_rev += 1;
         }
         self.job_targets.truncate(self.current_job);
         self.job_targets.push(target);
@@ -144,6 +185,7 @@ impl CostLineage {
         self.job_targets = targets;
         self.current_job = 0;
         self.diverged = false;
+        self.sequence_rev += 1;
     }
 
     /// True once the runtime diverged from a profiled job sequence.
@@ -185,19 +227,73 @@ impl CostLineage {
         self.nodes.get_mut(&id.rdd)?.parts.get_mut(id.partition as usize)
     }
 
+    fn mark_dirty(&mut self, id: BlockId) {
+        if self.dirty_set.insert(id) {
+            self.dirty.push(id);
+        }
+    }
+
     /// Records an observed partition size and edge-compute time.
     pub fn record_metrics(&mut self, id: BlockId, size: ByteSize, edge_compute: SimDuration) {
         if let Some(p) = self.part_mut(id) {
+            if p.size == Some(size) && p.edge_compute == Some(edge_compute) {
+                return;
+            }
             p.size = Some(size);
             p.edge_compute = Some(edge_compute);
+            self.metrics_rev += 1;
+            self.mark_dirty(id);
         }
     }
 
     /// Updates a partition's state.
     pub fn set_state(&mut self, id: BlockId, state: PartitionState) {
         if let Some(p) = self.part_mut(id) {
+            let old = p.state;
+            if old == state {
+                return;
+            }
             p.state = state;
+            if old.in_memory() {
+                self.in_memory.remove(&id);
+            } else if old.on_disk() {
+                self.on_disk.remove(&id);
+            }
+            if state.in_memory() {
+                self.in_memory.insert(id);
+            } else if state.on_disk() {
+                self.on_disk.insert(id);
+            }
+            self.mark_dirty(id);
         }
+    }
+
+    /// Drains the set of blocks whose metrics or state changed since the
+    /// last drain, in first-touched order. Cached recovery costs of these
+    /// blocks *and their narrow descendants on the same partition* (see
+    /// [`Self::narrow_children`]) are stale.
+    pub fn take_dirty(&mut self) -> Vec<BlockId> {
+        self.dirty_set.clear();
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Narrow (partition-aligned, non-shuffle) children of `rdd`, in plan
+    /// order. Shuffle children are excluded because their recovery cost
+    /// never recurses into parents.
+    pub fn narrow_children(&self, rdd: RddId) -> &[RddId] {
+        self.narrow_children.get(&rdd).map_or(&[], Vec::as_slice)
+    }
+
+    /// Revision counter bumped on every metric change; cached costs derived
+    /// from inducted metrics are valid only within one revision.
+    pub fn metrics_rev(&self) -> u64 {
+        self.metrics_rev
+    }
+
+    /// Revision counter bumped whenever the job-target sequence is replaced
+    /// or truncated (as opposed to appended to).
+    pub fn sequence_rev(&self) -> u64 {
+        self.sequence_rev
     }
 
     /// Returns a partition's metrics, if the node is known.
@@ -220,19 +316,35 @@ impl CostLineage {
         self.metrics(id).and_then(|m| m.edge_compute)
     }
 
-    /// All blocks currently believed to be in the given state class.
+    /// All blocks currently believed to be in memory, sorted by id.
+    ///
+    /// Served from a residency index maintained by [`Self::set_state`], so
+    /// this is O(cached blocks) rather than a scan of every partition.
     pub fn blocks_in_memory(&self) -> Vec<(BlockId, ByteSize)> {
-        let mut v: Vec<(BlockId, ByteSize)> = self
-            .nodes
-            .values()
-            .flat_map(|n| {
-                n.parts.iter().enumerate().filter(|(_, p)| p.state.in_memory()).map(
-                    move |(i, p)| (BlockId::new(n.rdd, i as u32), p.size.unwrap_or(ByteSize::ZERO)),
-                )
-            })
-            .collect();
-        v.sort_by_key(|(id, _)| *id);
-        v
+        self.in_memory.iter().map(|&id| (id, self.indexed_size(id))).collect()
+    }
+
+    fn indexed_size(&self, id: BlockId) -> ByteSize {
+        self.observed_size(id).unwrap_or(ByteSize::ZERO)
+    }
+
+    /// Debug check: the residency indexes must agree with a full scan of the
+    /// per-partition states (used by the differential tests and shadow mode).
+    pub fn residency_consistent(&self) -> bool {
+        let scan = |class: fn(PartitionState) -> bool| -> BTreeSet<BlockId> {
+            self.nodes
+                .values()
+                .flat_map(|n| {
+                    n.parts
+                        .iter()
+                        .enumerate()
+                        .filter(move |(_, p)| class(p.state))
+                        .map(move |(i, _)| BlockId::new(n.rdd, i as u32))
+                })
+                .collect()
+        };
+        scan(PartitionState::in_memory) == self.in_memory
+            && scan(PartitionState::on_disk) == self.on_disk
     }
 
     /// Verifies that this CostLineage still mirrors `plan` (`BA201`): every
@@ -277,19 +389,10 @@ impl CostLineage {
         AuditReport::new(diags)
     }
 
-    /// All blocks currently believed to be on disk.
+    /// All blocks currently believed to be on disk, sorted by id (served
+    /// from the residency index, like [`Self::blocks_in_memory`]).
     pub fn blocks_on_disk(&self) -> Vec<(BlockId, ByteSize)> {
-        let mut v: Vec<(BlockId, ByteSize)> = self
-            .nodes
-            .values()
-            .flat_map(|n| {
-                n.parts.iter().enumerate().filter(|(_, p)| p.state.on_disk()).map(move |(i, p)| {
-                    (BlockId::new(n.rdd, i as u32), p.size.unwrap_or(ByteSize::ZERO))
-                })
-            })
-            .collect();
-        v.sort_by_key(|(id, _)| *id);
-        v
+        self.on_disk.iter().map(|&id| (id, self.indexed_size(id))).collect()
     }
 }
 

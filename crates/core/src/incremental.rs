@@ -1,0 +1,339 @@
+//! The incremental decision path: O(changed) cost maintenance and
+//! warm-started solves, decision-identical to the from-scratch path.
+//!
+//! [`crate::optimize::optimize_states`] re-derives every cached partition's
+//! recovery cost and re-solves every executor's state program at each job
+//! submission. All of that happens in the engine's *serial* plan/commit
+//! phase, so its latency directly caps parallel speedup. This module keeps
+//! the decision state alive between submissions and re-derives only what a
+//! change could have affected:
+//!
+//! - **Cost memo** — the Eq. 4 recovery memo ([`crate::cost::CostMemo`]) is
+//!   retained across solves. [`CostLineage`] marks blocks dirty on every
+//!   metric/state change; a dirty block invalidates its own entry and those
+//!   of its *narrow descendants on the same partition index* (shuffle
+//!   children re-fetch their own outputs and never recurse into parents, and
+//!   narrow dependencies are partition-aligned — see
+//!   [`CostLineage::narrow_children`]). Entries that consumed *inducted*
+//!   metrics are additionally flushed whenever
+//!   [`CostLineage::metrics_rev`] or the iteration pattern changes, because
+//!   induction reads congruent blocks anywhere in the lineage.
+//! - **Solution reuse** — per executor, if the candidate vector (ids, sizes,
+//!   costs, reference flags, states) and capacity are unchanged, the
+//!   previous keep flags are returned without solving: the solvers are
+//!   deterministic functions of exactly that data.
+//! - **Warm-started solves** — otherwise the previous solution warm-starts
+//!   the solver: the knapsack reuses the previous density order (adaptive
+//!   re-sort of a nearly-sorted permutation) and prunes with the previous
+//!   selection's value; the ILP prunes with the previous assignment's
+//!   objective. Both bounds are *pruning-only* — never installed as
+//!   incumbents — so the returned selection, tie-breaks included, is the one
+//!   a cold solve finds (see `WarmStart` / `IlpProblem::warm`).
+//!
+//! Correctness is enforced, not assumed: `BlazeConfig::shadow_compare`
+//! recomputes from scratch and asserts command-stream equality, and the
+//! differential/golden-trace tests pin byte-identical behaviour.
+
+use crate::cost::{CostMemo, CostModel};
+use crate::costlineage::CostLineage;
+use crate::optimize::{
+    emit_commands, gather_candidates, knapsack_items, solve_exact, Candidate, OptimizerConfig,
+    SolveStrategy,
+};
+use crate::pattern::IterationPattern;
+use crate::refs::JobRefs;
+use blaze_common::fxhash::{FxHashMap, FxHashSet};
+use blaze_common::ids::{BlockId, ExecutorId};
+use blaze_common::ByteSize;
+use blaze_engine::{HardwareModel, StateCommand};
+use blaze_solver::knapsack::{solve_knapsack_warm, WarmStart};
+
+/// Counters describing how much work the incremental path avoided; exported
+/// by the decision benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecisionStats {
+    /// Executor instances solved (cold or warm-started).
+    pub solves: u64,
+    /// Executor instances whose previous solution was reused outright.
+    pub reused: u64,
+    /// Dirty blocks drained from the lineage.
+    pub dirty_drained: u64,
+    /// Memo entries invalidated by dirty-set propagation.
+    pub invalidated: u64,
+}
+
+/// One executor's retained solve: the instance it answered and the answer.
+#[derive(Debug, Clone)]
+struct PrevSolve {
+    capacity: ByteSize,
+    strategy: SolveStrategy,
+    candidates: Vec<Candidate>,
+    keep: Vec<bool>,
+    /// Density order of the last knapsack solve, as block ids (stable across
+    /// candidate-set changes; translated to indices per solve).
+    order: Vec<BlockId>,
+}
+
+/// Incremental replacement for [`crate::optimize::optimize_states`].
+///
+/// Feed it every lineage mutation implicitly (it drains
+/// [`CostLineage::take_dirty`]) and call [`Self::optimize`] wherever
+/// `optimize_states` would run; the returned command stream is identical.
+#[derive(Debug, Default)]
+pub struct IncrementalOptimizer {
+    memo: CostMemo,
+    /// Pattern and metrics revision the *flagged* memo entries were computed
+    /// under (see [`crate::cost::CostMemo`]).
+    pattern: Option<IterationPattern>,
+    metrics_rev: u64,
+    prev: FxHashMap<ExecutorId, PrevSolve>,
+    stats: DecisionStats,
+}
+
+impl IncrementalOptimizer {
+    /// Creates an optimizer with no retained state (the first call is a
+    /// from-scratch solve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Work-avoidance counters accumulated so far.
+    pub fn stats(&self) -> DecisionStats {
+        self.stats
+    }
+
+    /// Drops all retained state; the next call solves from scratch.
+    pub fn reset(&mut self) {
+        self.memo.clear();
+        self.prev.clear();
+    }
+
+    /// Removes memo entries that a dirty block could have contributed to:
+    /// the block itself and its narrow descendants on the same partition.
+    fn invalidate_dirty(&mut self, lineage: &CostLineage, dirty: &[BlockId]) {
+        let mut visited: FxHashSet<BlockId> = FxHashSet::default();
+        let mut stack: Vec<BlockId> = Vec::new();
+        for &b in dirty {
+            if visited.insert(b) {
+                stack.push(b);
+            }
+        }
+        while let Some(b) = stack.pop() {
+            if self.memo.remove(&b).is_some() {
+                self.stats.invalidated += 1;
+            }
+            for &child in lineage.narrow_children(b.rdd) {
+                let cb = BlockId::new(child, b.partition);
+                if visited.insert(cb) {
+                    stack.push(cb);
+                }
+            }
+        }
+    }
+
+    /// The incremental counterpart of [`crate::optimize::optimize_states`]:
+    /// same signature semantics, identical command stream, O(changed) work.
+    #[allow(clippy::too_many_arguments)] // Mirrors optimize_states.
+    pub fn optimize(
+        &mut self,
+        lineage: &mut CostLineage,
+        refs: &JobRefs,
+        pattern: Option<IterationPattern>,
+        hardware: &HardwareModel,
+        memory_capacity: ByteSize,
+        current_job: usize,
+        config: &OptimizerConfig,
+    ) -> Vec<StateCommand> {
+        // Induction-dependent entries are only valid within one metrics
+        // revision and pattern; flush them when either moved.
+        if pattern != self.pattern || lineage.metrics_rev() != self.metrics_rev {
+            self.memo.retain(|_, &mut (_, inducted)| !inducted);
+            self.pattern = pattern;
+            self.metrics_rev = lineage.metrics_rev();
+        }
+        let dirty = lineage.take_dirty();
+        self.stats.dirty_drained += dirty.len() as u64;
+        self.invalidate_dirty(lineage, &dirty);
+
+        let mut model =
+            CostModel::with_memo(lineage, hardware, pattern, std::mem::take(&mut self.memo));
+        let mut per_exec =
+            gather_candidates(lineage, refs, hardware, current_job, config, &mut model);
+        self.memo = model.into_memo();
+
+        let mut execs: Vec<ExecutorId> = per_exec.keys().copied().collect();
+        execs.sort();
+        // Executors with no cached blocks have no instance; drop their
+        // retained solutions so the map stays bounded by live executors.
+        self.prev.retain(|e, _| per_exec.contains_key(e));
+
+        let mut solved = Vec::with_capacity(execs.len());
+        for exec in execs {
+            let candidates = per_exec.remove(&exec).unwrap_or_default();
+            let keep = self.solve_with_reuse(exec, candidates.clone(), memory_capacity, config);
+            solved.push((exec, candidates, keep));
+        }
+        emit_commands(&solved, refs, current_job, config)
+    }
+
+    /// Solves one executor's instance, reusing or warm-starting the previous
+    /// solution where provably safe.
+    fn solve_with_reuse(
+        &mut self,
+        exec: ExecutorId,
+        candidates: Vec<Candidate>,
+        capacity: ByteSize,
+        config: &OptimizerConfig,
+    ) -> Vec<bool> {
+        let strategy = config.strategy;
+        if let Some(p) = self.prev.get(&exec) {
+            if p.capacity == capacity && p.strategy == strategy && p.candidates == candidates {
+                // Identical instance: the solver is a deterministic function
+                // of (candidates, capacity, strategy), so the previous
+                // answer *is* the answer.
+                self.stats.reused += 1;
+                return p.keep.clone();
+            }
+        }
+        self.stats.solves += 1;
+        let warm = self.prev.get(&exec);
+        let index_of: FxHashMap<BlockId, usize> =
+            candidates.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
+        let (keep, order) = match strategy {
+            SolveStrategy::Knapsack | SolveStrategy::Greedy => {
+                let items = knapsack_items(&candidates);
+                let warm_start = warm.map(|p| {
+                    let order = p.order.iter().filter_map(|id| index_of.get(id).copied()).collect();
+                    let mut selection = vec![false; candidates.len()];
+                    for (c, &kept) in p.candidates.iter().zip(&p.keep) {
+                        if kept {
+                            if let Some(&i) = index_of.get(&c.id) {
+                                selection[i] = true;
+                            }
+                        }
+                    }
+                    WarmStart { order, selection }
+                });
+                let budget = if strategy == SolveStrategy::Greedy { 1 } else { 0 };
+                let sol =
+                    solve_knapsack_warm(&items, capacity.as_bytes(), budget, warm_start.as_ref());
+                let order = sol.order.iter().map(|&i| candidates[i].id).collect();
+                (sol.selected, order)
+            }
+            SolveStrategy::ExactIlp => {
+                // Previous keep flags, re-aligned to the current slots.
+                let warm_keep = warm.map(|p| {
+                    let mut flags = vec![false; candidates.len()];
+                    for (c, &kept) in p.candidates.iter().zip(&p.keep) {
+                        if kept {
+                            if let Some(&i) = index_of.get(&c.id) {
+                                flags[i] = true;
+                            }
+                        }
+                    }
+                    flags
+                });
+                (solve_exact(&candidates, capacity, warm_keep.as_deref()), Vec::new())
+            }
+        };
+        self.prev
+            .insert(exec, PrevSolve { capacity, strategy, candidates, keep: keep.clone(), order });
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costlineage::PartitionState;
+    use crate::optimize::optimize_states;
+    use blaze_common::ids::RddId;
+    use blaze_common::SimDuration;
+    use blaze_dataflow::{runner::LocalRunner, Context};
+
+    /// A cached iterative chain on two executors with metrics recorded.
+    fn world(iters: usize) -> (CostLineage, JobRefs) {
+        let ctx = Context::new(LocalRunner::new());
+        let mut cur = ctx.parallelize((0..64u64).collect::<Vec<_>>(), 2);
+        let mut targets = Vec::new();
+        for _ in 0..iters {
+            cur = cur.map(|x| x + 1);
+            targets.push(cur.id());
+        }
+        let plan = ctx.plan().read();
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&plan);
+        cl.seed_job_targets(targets.clone());
+        let refs = JobRefs::build(&plan, &targets);
+        for rdd in 0..cl.len() as u32 {
+            for part in 0..2u32 {
+                let id = BlockId::new(RddId(rdd), part);
+                cl.record_metrics(
+                    id,
+                    blaze_common::ByteSize::from_kib(64 + u64::from(rdd)),
+                    SimDuration::from_millis(5 + u64::from(rdd)),
+                );
+                cl.set_state(id, PartitionState::Memory(ExecutorId(part)));
+            }
+        }
+        (cl, refs)
+    }
+
+    #[test]
+    fn matches_from_scratch_over_churn() {
+        let (mut cl, refs) = world(6);
+        let hw = HardwareModel::default();
+        let cap = blaze_common::ByteSize::from_kib(200);
+        let cfg = OptimizerConfig::default();
+        let mut inc = IncrementalOptimizer::new();
+        for job in 0..6 {
+            // Perturb: flip a state and a metric each round.
+            let id = BlockId::new(RddId(job as u32), 0);
+            cl.set_state(
+                id,
+                if job % 2 == 0 {
+                    PartitionState::Disk(ExecutorId(0))
+                } else {
+                    PartitionState::Memory(ExecutorId(0))
+                },
+            );
+            cl.record_metrics(
+                BlockId::new(RddId(job as u32), 1),
+                blaze_common::ByteSize::from_kib(32 * (job as u64 + 1)),
+                SimDuration::from_millis(7),
+            );
+            let fast = inc.optimize(&mut cl, &refs, None, &hw, cap, job, &cfg);
+            let slow = optimize_states(&cl, &refs, None, &hw, cap, job, &cfg);
+            assert_eq!(fast, slow, "diverged at job {job}");
+        }
+        assert!(inc.stats().solves + inc.stats().reused > 0);
+    }
+
+    #[test]
+    fn unchanged_instances_are_reused() {
+        let (mut cl, refs) = world(4);
+        let hw = HardwareModel::default();
+        let cap = blaze_common::ByteSize::from_mib(64);
+        let cfg = OptimizerConfig::default();
+        let mut inc = IncrementalOptimizer::new();
+        let a = inc.optimize(&mut cl, &refs, None, &hw, cap, 0, &cfg);
+        let b = inc.optimize(&mut cl, &refs, None, &hw, cap, 0, &cfg);
+        assert_eq!(a, b);
+        assert!(inc.stats().reused > 0, "second solve should reuse: {:?}", inc.stats());
+    }
+
+    #[test]
+    fn exact_ilp_matches_from_scratch_with_warm_start() {
+        let (mut cl, refs) = world(5);
+        let hw = HardwareModel::default();
+        let cap = blaze_common::ByteSize::from_kib(150);
+        let cfg = OptimizerConfig { strategy: SolveStrategy::ExactIlp, ..Default::default() };
+        let mut inc = IncrementalOptimizer::new();
+        for job in 0..5 {
+            cl.set_state(BlockId::new(RddId(job as u32), 0), PartitionState::Disk(ExecutorId(0)));
+            let fast = inc.optimize(&mut cl, &refs, None, &hw, cap, job, &cfg);
+            let slow = optimize_states(&cl, &refs, None, &hw, cap, job, &cfg);
+            assert_eq!(fast, slow, "ILP diverged at job {job}");
+        }
+    }
+}

@@ -54,6 +54,7 @@
 pub mod controller;
 pub mod cost;
 pub mod costlineage;
+pub mod incremental;
 pub mod induct;
 pub mod optimize;
 pub mod pattern;
@@ -63,6 +64,7 @@ pub mod refs;
 pub use controller::{BlazeConfig, BlazeController};
 pub use cost::CostModel;
 pub use costlineage::{CostLineage, PartitionState};
+pub use incremental::{DecisionStats, IncrementalOptimizer};
 pub use optimize::{OptimizerConfig, SolveStrategy};
 pub use pattern::IterationPattern;
 pub use profiler::{extract_dependencies, ProfileResult};

@@ -67,40 +67,40 @@ impl Default for OptimizerConfig {
 }
 
 /// One candidate partition of one executor's optimization instance.
-#[derive(Debug, Clone, Copy)]
-struct Candidate {
-    id: BlockId,
-    size: ByteSize,
-    cost_d: SimDuration,
-    cost_r: SimDuration,
+///
+/// `PartialEq` matters: the incremental path ([`crate::incremental`]) reuses
+/// the previous solution outright when an executor's candidate vector is
+/// unchanged — the solvers are deterministic functions of this data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Candidate {
+    pub(crate) id: BlockId,
+    pub(crate) size: ByteSize,
+    pub(crate) cost_d: SimDuration,
+    pub(crate) cost_r: SimDuration,
     /// Cost of moving this block out of / into memory from its current
     /// state (a spill for memory residents, a disk read for disk residents).
     /// Including it in the objective keeps the solution *stable*: without
     /// transition costs the solver oscillates between equal-value subsets,
     /// paying real I/O every job (§4.3's chain reactions, in miniature).
-    transition: SimDuration,
-    referenced: bool,
-    state: PartitionState,
+    pub(crate) transition: SimDuration,
+    pub(crate) referenced: bool,
+    pub(crate) state: PartitionState,
 }
 
-/// Computes the state commands that move the cluster's cached partitions to
-/// the cost-optimal configuration for the upcoming window.
+/// Gathers each executor's optimization instance: every currently cached
+/// block, priced through `model`. Per-executor vectors are sorted by id.
 ///
-/// `current_job` is the index of the job being submitted within the job
-/// sequence. Commands are ordered so that space is freed (spills and
-/// unpersists) before promotions consume it.
-pub fn optimize_states(
+/// The caller picks the cost model: [`optimize_states`] uses a cold one, the
+/// incremental path seeds it with its maintained memo.
+pub(crate) fn gather_candidates(
     lineage: &CostLineage,
     refs: &JobRefs,
-    pattern: Option<IterationPattern>,
     hardware: &HardwareModel,
-    memory_capacity: ByteSize,
     current_job: usize,
     config: &OptimizerConfig,
-) -> Vec<StateCommand> {
-    // Gather candidates per executor: everything currently cached anywhere.
+    model: &mut CostModel<'_>,
+) -> FxHashMap<ExecutorId, Vec<Candidate>> {
     let mut per_exec: FxHashMap<ExecutorId, Vec<Candidate>> = FxHashMap::default();
-    let mut model = CostModel::new(lineage, hardware, pattern);
     let cached: Vec<(BlockId, PartitionState)> = lineage
         .blocks_in_memory()
         .into_iter()
@@ -128,15 +128,28 @@ pub fn optimize_states(
         };
         per_exec.entry(exec).or_default().push(candidate);
     }
+    for candidates in per_exec.values_mut() {
+        candidates.sort_by_key(|c| c.id);
+    }
+    per_exec
+}
 
-    let mut execs: Vec<ExecutorId> = per_exec.keys().copied().collect();
-    execs.sort();
+/// Translates per-executor keep flags into state commands. Shared verbatim
+/// by the from-scratch and incremental paths, so identical keep-sets yield
+/// identical command streams.
+///
+/// `solved` must be in ascending executor order, each candidate vector
+/// sorted by id with `keep` aligned. Commands free space (spills and
+/// unpersists) before promotions consume it.
+pub(crate) fn emit_commands(
+    solved: &[(ExecutorId, Vec<Candidate>, Vec<bool>)],
+    refs: &JobRefs,
+    current_job: usize,
+    config: &OptimizerConfig,
+) -> Vec<StateCommand> {
     let mut commands = Vec::new();
     let mut promotions = Vec::new();
-    for exec in execs {
-        let mut candidates = per_exec.remove(&exec).unwrap_or_default();
-        candidates.sort_by_key(|c| c.id);
-        let keep = solve_instance(&candidates, memory_capacity, config.strategy);
+    for (_exec, candidates, keep) in solved {
         // Eq. 6 extension: track the executor's disk budget while emitting
         // spills; once exhausted, further m->d transitions degrade to m->u
         // (the cheapest-saving spills are dropped first via ordering below).
@@ -195,41 +208,85 @@ pub fn optimize_states(
     commands
 }
 
+/// Computes the state commands that move the cluster's cached partitions to
+/// the cost-optimal configuration for the upcoming window.
+///
+/// `current_job` is the index of the job being submitted within the job
+/// sequence. Commands are ordered so that space is freed (spills and
+/// unpersists) before promotions consume it.
+pub fn optimize_states(
+    lineage: &CostLineage,
+    refs: &JobRefs,
+    pattern: Option<IterationPattern>,
+    hardware: &HardwareModel,
+    memory_capacity: ByteSize,
+    current_job: usize,
+    config: &OptimizerConfig,
+) -> Vec<StateCommand> {
+    let mut model = CostModel::new(lineage, hardware, pattern);
+    let mut per_exec = gather_candidates(lineage, refs, hardware, current_job, config, &mut model);
+
+    let mut execs: Vec<ExecutorId> = per_exec.keys().copied().collect();
+    execs.sort();
+    let mut solved = Vec::with_capacity(execs.len());
+    for exec in execs {
+        let candidates = per_exec.remove(&exec).unwrap_or_default();
+        let keep = solve_instance(&candidates, memory_capacity, config.strategy);
+        solved.push((exec, candidates, keep));
+    }
+    emit_commands(&solved, refs, current_job, config)
+}
+
+/// The knapsack encoding of one executor's instance (saved recovery cost as
+/// value, partition size as weight). Shared by the cold and warm solves so
+/// both price items identically.
+pub(crate) fn knapsack_items(candidates: &[Candidate]) -> Vec<KnapsackItem> {
+    candidates
+        .iter()
+        .map(|c| {
+            // Saved recovery cost if kept in memory (Eq. 2); only
+            // referenced partitions contribute to the Eq. 5 window.
+            let mut value = if c.referenced { c.cost_d.min(c.cost_r).as_secs_f64() } else { 0.0 };
+            // Transition costs: a memory resident avoids a spill by
+            // staying; a disk resident pays a read to be promoted.
+            match c.state {
+                PartitionState::Memory(_) => value += c.transition.as_secs_f64(),
+                PartitionState::Disk(_) => value -= c.transition.as_secs_f64(),
+                PartitionState::None => {}
+            }
+            KnapsackItem { value: value.max(0.0), weight: c.size.as_bytes() }
+        })
+        .collect()
+}
+
 /// Solves one executor's instance; returns keep-in-memory flags aligned
 /// with `candidates`.
-fn solve_instance(
+pub(crate) fn solve_instance(
     candidates: &[Candidate],
     capacity: ByteSize,
     strategy: SolveStrategy,
 ) -> Vec<bool> {
     match strategy {
         SolveStrategy::Knapsack | SolveStrategy::Greedy => {
-            let items: Vec<KnapsackItem> = candidates
-                .iter()
-                .map(|c| {
-                    // Saved recovery cost if kept in memory (Eq. 2); only
-                    // referenced partitions contribute to the Eq. 5 window.
-                    let mut value =
-                        if c.referenced { c.cost_d.min(c.cost_r).as_secs_f64() } else { 0.0 };
-                    // Transition costs: a memory resident avoids a spill by
-                    // staying; a disk resident pays a read to be promoted.
-                    match c.state {
-                        PartitionState::Memory(_) => value += c.transition.as_secs_f64(),
-                        PartitionState::Disk(_) => value -= c.transition.as_secs_f64(),
-                        PartitionState::None => {}
-                    }
-                    KnapsackItem { value: value.max(0.0), weight: c.size.as_bytes() }
-                })
-                .collect();
+            let items = knapsack_items(candidates);
             let budget = if strategy == SolveStrategy::Greedy { 1 } else { 0 };
             solve_knapsack(&items, capacity.as_bytes(), budget).selected
         }
-        SolveStrategy::ExactIlp => solve_exact(candidates, capacity),
+        SolveStrategy::ExactIlp => solve_exact(candidates, capacity, None),
     }
 }
 
 /// The literal Eq. 5–6 encoding: variables `[m_0, d_0, u_0, m_1, ...]`.
-fn solve_exact(candidates: &[Candidate], capacity: ByteSize) -> Vec<bool> {
+///
+/// `warm_keep` (previous keep flags over the same candidate slots) is
+/// expanded to a full `(m, d, u)` assignment and passed to the solver as a
+/// pruning bound; see [`IlpProblem::warm`] for why this cannot change the
+/// returned assignment.
+pub(crate) fn solve_exact(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    warm_keep: Option<&[bool]>,
+) -> Vec<bool> {
     let n = candidates.len();
     if n == 0 {
         return Vec::new();
@@ -266,7 +323,23 @@ fn solve_exact(candidates: &[Candidate], capacity: ByteSize) -> Vec<bool> {
         cap_row[3 * i] = c.size.as_bytes() as f64;
     }
     constraints.push(Constraint::le(cap_row, capacity.as_bytes() as f64));
-    let problem = IlpProblem { objective, constraints, node_budget: 200_000 };
+    // Expand previous keep flags to (m, d, u): kept partitions take m; the
+    // rest take whichever of d/u has the lower objective coefficient (a
+    // feasible completion — the bound only has to be valid, not optimal).
+    let warm = warm_keep.filter(|w| w.len() == n).map(|w| {
+        let mut x = vec![false; nv];
+        for (i, &keep) in w.iter().enumerate() {
+            if keep {
+                x[3 * i] = true;
+            } else if objective[3 * i + 1] <= objective[3 * i + 2] {
+                x[3 * i + 1] = true;
+            } else {
+                x[3 * i + 2] = true;
+            }
+        }
+        x
+    });
+    let problem = IlpProblem { objective, constraints, node_budget: 200_000, warm };
     match solve_binary(&problem) {
         Ok(IlpOutcome::Solved { x, .. }) => (0..n).map(|i| x[3 * i]).collect(),
         // Infeasibility cannot happen (u_i = 1 for all i is feasible), but
@@ -358,7 +431,7 @@ mod tests {
 
     #[test]
     fn exact_ilp_empty_instance() {
-        assert!(solve_exact(&[], ByteSize::from_kib(1)).is_empty());
+        assert!(solve_exact(&[], ByteSize::from_kib(1), None).is_empty());
     }
 
     /// Builds a two-dataset lineage (a -> b, both single-partition), marks

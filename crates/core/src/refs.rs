@@ -21,6 +21,13 @@ pub struct JobRefs {
     /// `per_job[j][rdd]` = number of consuming edges of `rdd` from RDDs
     /// first materialized in job `j`.
     per_job: Vec<FxHashMap<RddId, u32>>,
+    /// Number of *captured* jobs at the head of `per_job`; entries past this
+    /// are induced (see [`JobRefs::extend_induced`]).
+    captured: usize,
+    /// Highest RDD id seen across captured jobs. Persisting this is what
+    /// makes [`JobRefs::extend_build`] produce exactly the refs a full
+    /// rebuild would: the "new RDD" test is a running watermark.
+    max_seen: Option<u32>,
 }
 
 impl JobRefs {
@@ -29,14 +36,27 @@ impl JobRefs {
     /// Targets beyond the plan (predicted future jobs) are skipped here;
     /// use [`JobRefs::extend_induced`] for those.
     pub fn build(plan: &Plan, job_targets: &[RddId]) -> Self {
-        let mut per_job = Vec::with_capacity(job_targets.len());
-        let mut max_seen: Option<u32> = None;
-        for &target in job_targets {
+        let mut refs = Self::default();
+        refs.extend_build(plan, job_targets);
+        refs
+    }
+
+    /// Appends captured jobs for `new_targets`, continuing from the state
+    /// left by previous `build`/`extend_build` calls.
+    ///
+    /// Because jobs only ever reference RDDs created at or before their own
+    /// submission, appending targets one at a time yields byte-identical
+    /// counts to rebuilding from the full target list — this is the
+    /// O(changed) path the incremental controller uses per job submission.
+    /// Any induced tail must be dropped first ([`Self::retract_induced`]).
+    pub fn extend_build(&mut self, plan: &Plan, new_targets: &[RddId]) {
+        debug_assert_eq!(self.per_job.len(), self.captured, "induced tail not retracted");
+        for &target in new_targets {
             let mut refs: FxHashMap<RddId, u32> = FxHashMap::default();
             if let Ok(jp) = plan_job(plan, target) {
                 for stage in &jp.stages {
                     for &rdd in &stage.rdds {
-                        let is_new = max_seen.is_none_or(|m| rdd.raw() > m);
+                        let is_new = self.max_seen.is_none_or(|m| rdd.raw() > m);
                         if !is_new {
                             continue;
                         }
@@ -48,15 +68,26 @@ impl JobRefs {
                     }
                 }
                 let job_max = jp.stages.iter().flat_map(|s| s.rdds.iter()).map(|r| r.raw()).max();
-                max_seen = max_seen.max(job_max);
+                self.max_seen = self.max_seen.max(job_max);
             }
             // The job materializes its target: that is an access of the
             // target's blocks even when the whole sub-DAG already exists
             // (the `cached.count()` reuse pattern).
             *refs.entry(target).or_insert(0) += 1;
-            per_job.push(refs);
+            self.per_job.push(refs);
         }
-        Self { per_job }
+        self.captured = self.per_job.len();
+    }
+
+    /// Number of captured (non-induced) jobs.
+    pub fn captured_jobs(&self) -> usize {
+        self.captured
+    }
+
+    /// Drops the induced tail, leaving only captured jobs (the inverse of
+    /// [`JobRefs::extend_induced`], applied before re-extending).
+    pub fn retract_induced(&mut self) {
+        self.per_job.truncate(self.captured);
     }
 
     /// Appends `extra` induced jobs by shifting the last captured job's

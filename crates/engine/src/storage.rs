@@ -6,9 +6,10 @@
 //! where is decided by the installed cache controller, and the engine
 //! charges the corresponding simulated I/O time.
 
-use blaze_common::ids::BlockId;
+use blaze_common::ids::{BlockId, RddId};
 use blaze_common::{fxhash::FxHashMap, ByteSize};
 use blaze_dataflow::Block;
+use std::collections::BTreeSet;
 
 /// A block at rest in a store, with the metadata needed to price moving it.
 #[derive(Debug, Clone)]
@@ -28,6 +29,10 @@ pub struct StoredBlock {
 #[derive(Debug, Default)]
 pub struct BlockStore {
     blocks: FxHashMap<BlockId, StoredBlock>,
+    /// Resident partitions per RDD (sorted): makes [`Self::remove_rdd`]
+    /// O(blocks of that RDD) instead of a scan of the whole store, with a
+    /// deterministic (id-ordered) removal order.
+    by_rdd: FxHashMap<RddId, BTreeSet<u32>>,
     used: ByteSize,
     capacity: ByteSize,
 }
@@ -35,7 +40,12 @@ pub struct BlockStore {
 impl BlockStore {
     /// Creates a store with the given capacity.
     pub fn new(capacity: ByteSize) -> Self {
-        Self { blocks: FxHashMap::default(), used: ByteSize::ZERO, capacity }
+        Self {
+            blocks: FxHashMap::default(),
+            by_rdd: FxHashMap::default(),
+            used: ByteSize::ZERO,
+            capacity,
+        }
     }
 
     /// Returns the capacity.
@@ -85,6 +95,7 @@ impl BlockStore {
         }
         self.used += stored.stored_bytes;
         self.blocks.insert(id, stored);
+        self.by_rdd.entry(id.rdd).or_default().insert(id.partition);
         true
     }
 
@@ -93,14 +104,30 @@ impl BlockStore {
         let removed = self.blocks.remove(&id);
         if let Some(sb) = &removed {
             self.used -= sb.stored_bytes;
+            if let Some(parts) = self.by_rdd.get_mut(&id.rdd) {
+                parts.remove(&id.partition);
+                if parts.is_empty() {
+                    self.by_rdd.remove(&id.rdd);
+                }
+            }
         }
         removed
     }
 
-    /// Removes every block of the given RDD, returning the removed entries.
-    pub fn remove_rdd(&mut self, rdd: blaze_common::ids::RddId) -> Vec<(BlockId, StoredBlock)> {
-        let ids: Vec<BlockId> = self.blocks.keys().filter(|b| b.rdd == rdd).copied().collect();
-        ids.into_iter().filter_map(|id| self.remove(id).map(|sb| (id, sb))).collect()
+    /// Removes every block of the given RDD, returning the removed entries
+    /// in ascending partition order. Served from the per-RDD index, so the
+    /// cost scales with the blocks of that RDD, not the store size.
+    pub fn remove_rdd(&mut self, rdd: RddId) -> Vec<(BlockId, StoredBlock)> {
+        let Some(parts) = self.by_rdd.remove(&rdd) else { return Vec::new() };
+        parts
+            .into_iter()
+            .filter_map(|part| {
+                let id = BlockId::new(rdd, part);
+                let sb = self.blocks.remove(&id)?;
+                self.used -= sb.stored_bytes;
+                Some((id, sb))
+            })
+            .collect()
     }
 
     /// Iterates over resident blocks.
@@ -109,10 +136,18 @@ impl BlockStore {
     }
 
     /// True when the incremental `used` counter equals the sum of the
-    /// resident blocks' stored bytes (shadow accounting; checked by the
-    /// engine after every commit phase in debug builds).
+    /// resident blocks' stored bytes AND the per-RDD index exactly mirrors
+    /// the resident block set (shadow accounting; checked by the engine
+    /// after every commit phase in debug builds).
     pub fn accounting_consistent(&self) -> bool {
-        self.used == self.blocks.values().map(|sb| sb.stored_bytes).sum()
+        if self.used != self.blocks.values().map(|sb| sb.stored_bytes).sum() {
+            return false;
+        }
+        let indexed: usize = self.by_rdd.values().map(BTreeSet::len).sum();
+        indexed == self.blocks.len()
+            && self.by_rdd.iter().all(|(rdd, parts)| {
+                parts.iter().all(|&p| self.blocks.contains_key(&BlockId::new(*rdd, p)))
+            })
     }
 
     /// Number of resident blocks.
@@ -200,5 +235,34 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert!(s.contains(id(2, 0)));
         assert_eq!(s.used(), ByteSize::from_kib(1));
+        assert!(s.accounting_consistent());
+    }
+
+    #[test]
+    fn remove_rdd_returns_partitions_in_ascending_order() {
+        let mut s = BlockStore::new(ByteSize::from_kib(100));
+        for part in [7u32, 2, 9, 0, 4] {
+            s.insert(id(3, part), sb(1));
+        }
+        let removed = s.remove_rdd(RddId(3));
+        let parts: Vec<u32> = removed.iter().map(|(b, _)| b.partition).collect();
+        assert_eq!(parts, vec![0, 2, 4, 7, 9]);
+        assert!(s.remove_rdd(RddId(3)).is_empty(), "second removal finds nothing");
+        assert!(s.is_empty());
+        assert!(s.accounting_consistent());
+    }
+
+    #[test]
+    fn rdd_index_survives_replacement_and_mixed_churn() {
+        let mut s = BlockStore::new(ByteSize::from_kib(100));
+        s.insert(id(1, 0), sb(4));
+        s.insert(id(1, 0), sb(2)); // replacement keeps one index entry
+        s.insert(id(1, 1), sb(1));
+        s.remove(id(1, 1));
+        s.insert(id(2, 0), sb(1));
+        assert!(s.accounting_consistent());
+        assert_eq!(s.remove_rdd(RddId(1)).len(), 1);
+        assert!(s.accounting_consistent());
+        assert_eq!(s.len(), 1);
     }
 }

@@ -20,7 +20,18 @@ pub struct IlpProblem {
     pub constraints: Vec<Constraint>,
     /// Maximum branch-and-bound nodes to explore (0 = default 100 000).
     pub node_budget: usize,
+    /// Optional warm-start assignment from a previous solve of a perturbed
+    /// instance. If feasible, its objective upper-bounds the optimum and is
+    /// used purely as an extra pruning bound — it is never installed as the
+    /// incumbent, so the returned assignment (tie-breaks included) is the
+    /// one a cold solve would find. Ignored when the length mismatches.
+    pub warm: Option<Vec<bool>>,
 }
+
+/// Margin above the warm bound at which subtrees are pruned; wide enough
+/// that float noise in the warm objective cannot prune the subtree holding
+/// the cold search's answer.
+const WARM_EPS: f64 = 1e-9;
 
 /// Outcome of a 0/1 ILP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +60,11 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
     let n = problem.objective.len();
     let budget = if problem.node_budget == 0 { 100_000 } else { problem.node_budget };
 
+    // A feasible warm assignment upper-bounds the optimum (minimization).
+    let warm_bound = problem.warm.as_ref().and_then(|w| {
+        (w.len() == n && check_feasible(problem, w)).then(|| objective_of(&problem.objective, w))
+    });
+
     let mut best: Option<(Vec<bool>, f64)> = None;
     let mut nodes = 0usize;
     let mut proven = true;
@@ -74,6 +90,12 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
             if bound >= *incumbent - 1e-12 {
                 continue; // Prune: the relaxation cannot beat the incumbent.
             }
+        }
+        // Warm prune: the optimum is at most `warm_bound`, so a subtree whose
+        // relaxation is strictly (by more than WARM_EPS) above it contains
+        // neither the final answer nor any incumbent the cold search keeps.
+        if warm_bound.is_some_and(|wb| bound > wb + WARM_EPS) {
+            continue;
         }
 
         // Find the most fractional free variable.
@@ -121,6 +143,13 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
 
     Ok(match best {
         Some((x, objective)) => IlpOutcome::Solved { x, objective, proven_optimal: proven },
+        // Budget exhausted before any incumbent was found: fall back to the
+        // (feasible) warm assignment rather than misreporting infeasibility.
+        None if !proven && warm_bound.is_some() => {
+            let x = problem.warm.clone().unwrap_or_default();
+            let objective = warm_bound.unwrap_or(0.0);
+            IlpOutcome::Solved { x, objective, proven_optimal: false }
+        }
         None => IlpOutcome::Infeasible,
     })
 }
@@ -168,6 +197,7 @@ mod tests {
             objective: values.iter().map(|v| -v).collect(),
             constraints: vec![Constraint::le(weights.to_vec(), cap)],
             node_budget: 0,
+            warm: None,
         }
     }
 
@@ -190,6 +220,7 @@ mod tests {
             objective: vec![1.0, 1.0],
             constraints: vec![Constraint::eq(vec![1.0, 1.0], 3.0)],
             node_budget: 0,
+            warm: None,
         };
         assert_eq!(solve_binary(&p).unwrap(), IlpOutcome::Infeasible);
     }
@@ -201,6 +232,7 @@ mod tests {
             objective: vec![1.0, 2.0, 3.0],
             constraints: vec![Constraint::eq(vec![1.0, 1.0, 1.0], 2.0)],
             node_budget: 0,
+            warm: None,
         };
         let IlpOutcome::Solved { x, objective, .. } = solve_binary(&p).unwrap() else {
             panic!("expected solution");
@@ -211,8 +243,12 @@ mod tests {
 
     #[test]
     fn unconstrained_minimization_picks_negative_coefficients() {
-        let p =
-            IlpProblem { objective: vec![-5.0, 3.0, -1.0], constraints: vec![], node_budget: 0 };
+        let p = IlpProblem {
+            objective: vec![-5.0, 3.0, -1.0],
+            constraints: vec![],
+            node_budget: 0,
+            warm: None,
+        };
         let IlpOutcome::Solved { x, objective, .. } = solve_binary(&p).unwrap() else {
             panic!("expected solution");
         };

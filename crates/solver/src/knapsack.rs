@@ -29,7 +29,34 @@ pub struct KnapsackSolution {
     pub weight: u64,
     /// True if the solution is provably optimal.
     pub proven_optimal: bool,
+    /// The density order the search used (indices into the input items).
+    /// Feed it back through [`WarmStart::order`] on the next solve over the
+    /// same item slots to make the re-sort near-linear.
+    pub order: Vec<usize>,
 }
+
+/// Warm-start hints carried over from a previous solve of a perturbed
+/// instance. Both fields are *hints*: they accelerate the search but are
+/// never allowed to change which selection is returned (see
+/// [`solve_knapsack_warm`]).
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// A previous density order over (a prefix of) the current items.
+    /// Out-of-range and duplicate indices are ignored; missing indices are
+    /// appended. When only a few values changed, re-sorting this
+    /// nearly-sorted order is O(n) instead of O(n log n).
+    pub order: Vec<usize>,
+    /// A previously optimal selection, re-evaluated against the *current*
+    /// items. If it still fits, its value is a proven lower bound on the
+    /// optimum, used purely as an extra pruning bound.
+    pub selection: Vec<bool>,
+}
+
+/// Margin below a warm lower bound at which subtrees are pruned. Wider than
+/// the incumbent epsilon (1e-12) so that the warm bound — computed as a flat
+/// sum, not along the DFS accumulation order — can never prune a subtree the
+/// cold search would have taken its final answer from.
+const WARM_EPS: f64 = 1e-9;
 
 /// Solves the 0/1 knapsack over `items` with the given `capacity`.
 ///
@@ -56,19 +83,70 @@ pub fn solve_knapsack(
     capacity: u64,
     node_budget: usize,
 ) -> KnapsackSolution {
+    solve_knapsack_warm(items, capacity, node_budget, None)
+}
+
+/// [`solve_knapsack`] with warm-start hints from a previous solve.
+///
+/// Decision-identical to the cold solve: the previous order is re-sorted
+/// under the full (strict total) comparator, so the search visits items in
+/// exactly the cold order; the previous selection's value only *prunes*
+/// subtrees that lie strictly below the optimum and is never installed as an
+/// incumbent, so the returned selection — including tie-breaks — is the one
+/// the cold search would find.
+pub fn solve_knapsack_warm(
+    items: &[KnapsackItem],
+    capacity: u64,
+    node_budget: usize,
+    warm: Option<&WarmStart>,
+) -> KnapsackSolution {
     let n = items.len();
     let budget = if node_budget == 0 { 200_000 } else { node_budget };
     if n == 0 {
-        return KnapsackSolution { selected: vec![], value: 0.0, weight: 0, proven_optimal: true };
+        return KnapsackSolution {
+            selected: vec![],
+            value: 0.0,
+            weight: 0,
+            proven_optimal: true,
+            order: vec![],
+        };
     }
 
     // Sort by value density, descending; zero-weight positive-value items
-    // are always taken (infinite density).
-    let mut order: Vec<usize> = (0..n).collect();
+    // are always taken (infinite density). A warm order is a permutation
+    // hint only: after the (adaptive) re-sort below it is byte-identical to
+    // the cold order because the comparator is a strict total order.
+    let mut order: Vec<usize> = match warm {
+        Some(w) if !w.order.is_empty() => {
+            let mut seen = vec![false; n];
+            let mut o: Vec<usize> = w
+                .order
+                .iter()
+                .copied()
+                .filter(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+                .collect();
+            o.extend((0..n).filter(|&i| !seen[i]));
+            o
+        }
+        _ => (0..n).collect(),
+    };
     order.sort_by(|&a, &b| {
         let da = density(&items[a]);
         let db = density(&items[b]);
         db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+
+    // A still-feasible previous selection, valued at current prices, lower
+    // bounds the optimum.
+    let warm_bound = warm.and_then(|w| {
+        let (mut v, mut wt) = (0.0f64, 0u64);
+        for (i, &s) in w.selection.iter().enumerate().take(n) {
+            if s {
+                v += items[i].value;
+                wt = wt.saturating_add(items[i].weight);
+            }
+        }
+        (!w.selection.is_empty() && wt <= capacity).then_some(v)
     });
 
     // Greedy incumbent.
@@ -90,6 +168,9 @@ pub fn solve_knapsack(
         capacity: u64,
         best_value: f64,
         best_sel: Vec<bool>,
+        /// Extra pruning bound from a warm start; subtrees provably below it
+        /// cannot contain the optimum (`None` disables).
+        warm_bound: Option<f64>,
         nodes: usize,
         budget: usize,
         exhausted: bool,
@@ -132,8 +213,16 @@ pub fn solve_knapsack(
             if pos >= self.order.len() || self.exhausted {
                 return;
             }
-            if self.upper_bound(pos, weight, value) <= self.best_value + 1e-12 {
+            let ub = self.upper_bound(pos, weight, value);
+            if ub <= self.best_value + 1e-12 {
                 return; // Prune.
+            }
+            // Warm prune: the optimum is at least `warm_bound`, so subtrees
+            // bounded strictly (by more than WARM_EPS) below it can neither
+            // contain the final answer nor an incumbent the cold search
+            // would keep — skipping them cannot change the result.
+            if self.warm_bound.is_some_and(|wb| ub <= wb - WARM_EPS) {
+                return;
             }
             let i = self.order[pos];
             let it = self.items[i];
@@ -153,6 +242,7 @@ pub fn solve_knapsack(
         capacity,
         best_value: gv,
         best_sel: greedy,
+        warm_bound,
         nodes: 0,
         budget,
         exhausted: false,
@@ -167,6 +257,7 @@ pub fn solve_knapsack(
         weight,
         selected,
         proven_optimal: !search.exhausted,
+        order,
     }
 }
 

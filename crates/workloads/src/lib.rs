@@ -16,5 +16,8 @@ pub mod runner;
 pub mod systems;
 
 pub use apps::{App, AppSpec};
-pub use runner::{run_app, run_spec, run_spec_traced, run_spec_with_fault, RunOutcome};
+pub use runner::{
+    run_app, run_blaze_instrumented, run_blaze_with, run_spec, run_spec_traced,
+    run_spec_with_fault, RunOutcome,
+};
 pub use systems::SystemKind;

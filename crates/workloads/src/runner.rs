@@ -88,10 +88,28 @@ fn run_spec_inner(
 /// Runs `spec` under a Blaze controller with a custom configuration
 /// (profiled). Used by the solver/horizon ablation harnesses.
 pub fn run_blaze_with(spec: &AppSpec, cfg: blaze_core::BlazeConfig) -> Result<RunOutcome> {
+    run_blaze_instrumented(spec, cfg, FaultPlan::default(), false, |c| Box::new(c))
+}
+
+/// Like [`run_blaze_with`], but lets the caller wrap the profiled
+/// [`blaze_core::BlazeController`] in an instrumentation shim (e.g. the
+/// decision-path benchmark's timing wrapper) before it is installed, and
+/// select fault injection / tracing. The wrapper must delegate faithfully:
+/// instrumentation never changes simulated behaviour.
+pub fn run_blaze_instrumented(
+    spec: &AppSpec,
+    cfg: blaze_core::BlazeConfig,
+    fault: FaultPlan,
+    tracing: bool,
+    wrap: impl FnOnce(blaze_core::BlazeController) -> Box<dyn blaze_engine::CacheController>,
+) -> Result<RunOutcome> {
     let s = *spec;
     let profile = extract_dependencies(move |ctx| s.drive_sample(ctx), 0)?;
-    let controller = blaze_core::BlazeController::new(cfg, Some(profile));
-    let cluster = Cluster::new(spec.cluster_config(), Box::new(controller))?;
+    let controller = wrap(blaze_core::BlazeController::new(cfg, Some(profile)));
+    let mut config = spec.cluster_config();
+    config.fault = fault;
+    config.tracing = tracing;
+    let cluster = Cluster::new(config, controller)?;
     let ctx = Context::new(cluster.clone());
     spec.drive(&ctx)?;
     Ok(RunOutcome {

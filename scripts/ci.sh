@@ -36,6 +36,11 @@ run env BLAZE_CHAOS_SEEDS="${BLAZE_CHAOS_SEEDS:-11,23,37,41,53}" \
 # `--validate` with no --apps filter.
 run cargo run -q $OFFLINE --release -p blaze-bench --bin blaze-trace -- \
     --validate --apps pagerank,kmeans --threads 1,2,4
+# Decision-path smoke: the incremental optimizer must stay decision-identical
+# to from-scratch (--shadow runs one workload with shadow compare on) and its
+# deep/churn stress speedups must stay above the committed floor (--check).
+run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_decision -- \
+    --quick --check --shadow
 # Layer-2 static analysis: the determinism source lint must be clean before
 # the (slower) clippy pass runs.
 run cargo run -q $OFFLINE -p blaze-audit --bin blaze-lint

@@ -1,0 +1,347 @@
+//! Differential tests for the incremental decision path.
+//!
+//! The incremental optimizer ([`blaze::core::IncrementalOptimizer`]) must be
+//! *decision-identical* to the from-scratch path: same lineage, same job
+//! references, same configuration must yield byte-for-byte the same
+//! [`StateCommand`] stream, no matter how the lineage got into its current
+//! state. These tests attack that contract from three sides:
+//!
+//! 1. a core-level differential property — random plans plus random
+//!    job/state/metric churn, every round checked against a from-scratch
+//!    solve under every solver strategy;
+//! 2. an engine-level differential property — random pipelines run twice
+//!    under profiled Blaze (incremental on vs off), with and without
+//!    deterministic fault injection, requiring identical results, metrics,
+//!    and a byte-identical Chrome trace;
+//! 3. golden runs — an evaluation workload at `worker_threads` ∈ {1, 2, 4}
+//!    with the incremental path on vs off, all six traces byte-identical.
+
+use blaze::common::error::Result;
+use blaze::common::ids::{BlockId, ExecutorId, RddId};
+use blaze::common::{ByteSize, SimDuration, SimTime};
+use blaze::core::optimize::optimize_states;
+use blaze::core::{
+    extract_dependencies, BlazeConfig, BlazeController, CostLineage, IncrementalOptimizer, JobRefs,
+    OptimizerConfig, PartitionState, SolveStrategy,
+};
+use blaze::dataflow::{runner::LocalRunner, Context, Dataset};
+use blaze::engine::{
+    Cluster, ClusterConfig, ExecutorCrash, FaultPlan, HardwareModel, Metrics, TraceLog,
+};
+use blaze::workloads::{run_blaze_instrumented, App, AppSpec};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Core-level differential property
+// ---------------------------------------------------------------------------
+
+/// Builds a random DAG: each step derives a new dataset from a random earlier
+/// one, by a narrow map or by a shuffle (map into keys, reduce, map back).
+/// Returns every dataset's id (all with `parts` partitions).
+fn build_random_plan(ctx: &Context, shape: &[u8], parts: usize) -> Vec<RddId> {
+    let mut sets: Vec<Dataset<u64>> = vec![ctx.parallelize((0..64u64).collect::<Vec<_>>(), parts)];
+    for &b in shape {
+        let src = &sets[(b as usize) % sets.len()];
+        let next = if b % 3 == 0 {
+            let k = b as u64;
+            src.map(move |x| x.wrapping_add(k))
+        } else {
+            src.map(|x| (x % 8, *x))
+                .reduce_by_key(parts, |a, v| a.wrapping_add(*v))
+                .map(|(k, v)| k ^ v)
+        };
+        sets.push(next);
+    }
+    sets.iter().map(|d| d.id()).collect()
+}
+
+/// One churn action: flip a block's state or rewrite its observed metrics.
+#[derive(Debug, Clone)]
+struct ChurnOp {
+    kind: u8,
+    dataset_pick: usize,
+    part: u32,
+    kib: u64,
+    ms: u64,
+}
+
+fn churn_op_strategy() -> impl Strategy<Value = ChurnOp> {
+    (0u8..4, 0usize..1_000_000, 0u32..4, 1u64..64, 1u64..10).prop_map(
+        |(kind, dataset_pick, part, kib, ms)| ChurnOp { kind, dataset_pick, part, kib, ms },
+    )
+}
+
+fn apply_churn(lineage: &mut CostLineage, rdds: &[RddId], parts: u32, op: &ChurnOp) {
+    let rdd = rdds[op.dataset_pick % rdds.len()];
+    let id = BlockId::new(rdd, op.part % parts);
+    match op.kind {
+        0 => lineage.set_state(id, PartitionState::Memory(ExecutorId(id.partition % 2))),
+        1 => lineage.set_state(id, PartitionState::Disk(ExecutorId(id.partition % 2))),
+        2 => lineage.set_state(id, PartitionState::None),
+        _ => {
+            lineage.record_metrics(id, ByteSize::from_kib(op.kib), SimDuration::from_millis(op.ms))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// On random plans under random job/state/metric churn, the incremental
+    /// optimizer emits exactly the from-scratch command stream every round,
+    /// under every solver strategy, and never corrupts the residency index.
+    #[test]
+    fn incremental_matches_from_scratch_on_random_churn(
+        shape in prop::collection::vec(0u8..255, 1..8),
+        rounds in prop::collection::vec(
+            (prop::collection::vec(churn_op_strategy(), 1..6), 0usize..1_000_000),
+            1..8,
+        ),
+        capacity_kib in 8u64..128,
+        strategy_pick in 0usize..3,
+    ) {
+        const PARTS: u32 = 3;
+        let ctx = Context::new(LocalRunner::new());
+        let rdds = build_random_plan(&ctx, &shape, PARTS as usize);
+        let strategy =
+            [SolveStrategy::Knapsack, SolveStrategy::Greedy, SolveStrategy::ExactIlp]
+                [strategy_pick];
+        let config = OptimizerConfig { strategy, ..OptimizerConfig::default() };
+        let hardware = HardwareModel::default();
+        let capacity = ByteSize::from_kib(capacity_kib);
+
+        let mut lineage = CostLineage::new();
+        {
+            let plan_lock = ctx.plan();
+            lineage.merge_plan(&plan_lock.read());
+        }
+        for &rdd in &rdds {
+            for p in 0..PARTS {
+                lineage.record_metrics(
+                    BlockId::new(rdd, p),
+                    ByteSize::from_kib(16 + u64::from(p)),
+                    SimDuration::from_millis(2),
+                );
+            }
+        }
+
+        let mut inc = IncrementalOptimizer::new();
+        let mut inc_refs = JobRefs::default();
+        let mut targets: Vec<RddId> = Vec::new();
+        let plan_lock = ctx.plan();
+        let plan = plan_lock.read();
+        for (round, (ops, target_pick)) in rounds.iter().enumerate() {
+            targets.push(rdds[target_pick % rdds.len()]);
+            for op in ops {
+                apply_churn(&mut lineage, &rdds, PARTS, op);
+            }
+
+            let scratch_refs = JobRefs::build(&plan, &targets);
+            let scratch = optimize_states(
+                &lineage, &scratch_refs, None, &hardware, capacity, round, &config,
+            );
+            let captured = inc_refs.captured_jobs();
+            inc_refs.extend_build(&plan, &targets[captured..]);
+            let fast = inc.optimize(
+                &mut lineage, &inc_refs, None, &hardware, capacity, round, &config,
+            );
+
+            prop_assert_eq!(
+                &fast, &scratch,
+                "round {} under {:?} diverged", round, strategy
+            );
+            prop_assert!(lineage.residency_consistent());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level differential property
+// ---------------------------------------------------------------------------
+
+/// One step of a random pipeline (same shape as `caching_properties`).
+#[derive(Debug, Clone)]
+enum Step {
+    MapAdd(u64),
+    FilterMod(u64),
+    ReduceByKey,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..100).prop_map(Step::MapAdd),
+        (2u64..7).prop_map(Step::FilterMod),
+        Just(Step::ReduceByKey),
+    ]
+}
+
+/// Applies the pipeline, caching after every shuffle (iterative style).
+fn apply(ctx: &Context, elems: u64, parts: usize, steps: &[Step]) -> Result<Vec<(u64, u64)>> {
+    let mut data: Dataset<(u64, u64)> =
+        ctx.parallelize((0..elems).map(|i| (i % 16, i)).collect::<Vec<_>>(), parts);
+    for step in steps {
+        data = match step {
+            Step::MapAdd(k) => {
+                let k = *k;
+                data.map_values(move |v| v.wrapping_add(k))
+            }
+            Step::FilterMod(m) => {
+                let m = *m;
+                data.filter(move |(_, v)| v % m != 0)
+            }
+            Step::ReduceByKey => {
+                let d = data.reduce_by_key(parts, |a, b| a.wrapping_add(*b));
+                d.cache();
+                d.count()?;
+                d
+            }
+        };
+    }
+    let mut out = data.collect()?;
+    out.sort();
+    Ok(out)
+}
+
+/// Runs the pipeline under profiled Blaze with the given incremental setting,
+/// tracing on, and returns (results, metrics, trace).
+fn run_blaze_pipeline(
+    elems: u64,
+    parts: usize,
+    steps: &[Step],
+    capacity_kib: u64,
+    incremental: bool,
+    fault: FaultPlan,
+) -> (Vec<(u64, u64)>, Metrics, TraceLog) {
+    let profile_steps = steps.to_vec();
+    let profile =
+        extract_dependencies(move |ctx| apply(ctx, elems, parts, &profile_steps).map(|_| ()), 0)
+            .expect("profiling run failed");
+    let cfg = BlazeConfig { incremental, ..BlazeConfig::full() };
+    let cluster = Cluster::new(
+        ClusterConfig {
+            executors: 2,
+            slots_per_executor: 2,
+            memory_capacity: ByteSize::from_kib(capacity_kib),
+            worker_threads: 2,
+            tracing: true,
+            fault,
+            ..Default::default()
+        },
+        Box::new(BlazeController::new(cfg, Some(profile))),
+    )
+    .unwrap();
+    let ctx = Context::new(cluster.clone());
+    let out = apply(&ctx, elems, parts, steps).expect("pipeline run failed");
+    let trace = cluster.trace().expect("tracing was enabled");
+    (out, cluster.metrics(), trace)
+}
+
+/// The deterministic fault schedules swept by the engine-level property.
+fn fault_variant(pick: usize, seed: u64) -> FaultPlan {
+    match pick {
+        0 => FaultPlan::default(),
+        1 => FaultPlan { seed, task_failure_rate: 0.05, max_task_retries: 4, ..Default::default() },
+        _ => FaultPlan {
+            seed,
+            task_failure_rate: 0.03,
+            max_task_retries: 4,
+            crashes: vec![ExecutorCrash {
+                at: SimTime::ZERO + SimDuration::from_micros(40),
+                executor: 0,
+            }],
+            external_shuffle_service: false,
+            ..Default::default()
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random pipelines under profiled Blaze — with and without fault
+    /// injection — produce identical results, metrics, and a byte-identical
+    /// Chrome trace whether the decision path is incremental or from-scratch.
+    #[test]
+    fn engine_runs_are_identical_with_incremental_on_or_off(
+        elems in 100u64..600,
+        parts in 1usize..5,
+        steps in prop::collection::vec(step_strategy(), 1..5),
+        capacity_kib in 1u64..48,
+        fault_pick in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let fault = fault_variant(fault_pick, seed);
+        let (out_inc, m_inc, t_inc) =
+            run_blaze_pipeline(elems, parts, &steps, capacity_kib, true, fault.clone());
+        let (out_scr, m_scr, t_scr) =
+            run_blaze_pipeline(elems, parts, &steps, capacity_kib, false, fault);
+        prop_assert_eq!(out_inc, out_scr);
+        prop_assert_eq!(m_inc.jobs, m_scr.jobs);
+        prop_assert_eq!(m_inc.tasks, m_scr.tasks);
+        prop_assert_eq!(m_inc.completion_time, m_scr.completion_time);
+        prop_assert_eq!(t_inc.chrome_json(), t_scr.chrome_json());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden runs
+// ---------------------------------------------------------------------------
+
+/// Traces a workload under full Blaze at the given thread count with the
+/// given incremental setting.
+fn trace_workload(app: App, threads: usize, incremental: bool, fault: FaultPlan) -> String {
+    let spec = AppSpec::evaluation(app).with_worker_threads(threads);
+    let cfg = BlazeConfig { incremental, ..BlazeConfig::full() };
+    let out = run_blaze_instrumented(&spec, cfg, fault, true, |c| Box::new(c))
+        .expect("workload run failed");
+    out.trace.expect("tracing was enabled").chrome_json()
+}
+
+/// The golden decision-identity run: KMeans at `worker_threads` ∈ {1, 2, 4},
+/// incremental on vs off — all six traces must be byte-identical.
+#[test]
+fn golden_traces_are_byte_identical_across_threads_and_decision_paths() {
+    let reference = trace_workload(App::KMeans, 1, true, FaultPlan::default());
+    assert!(!reference.is_empty());
+    for threads in [1usize, 2, 4] {
+        for incremental in [true, false] {
+            let trace = trace_workload(App::KMeans, threads, incremental, FaultPlan::default());
+            assert_eq!(
+                trace, reference,
+                "trace diverged at worker_threads={threads} incremental={incremental}"
+            );
+        }
+    }
+}
+
+/// Decision identity must also hold while the engine is recovering from a
+/// mid-run executor crash (the lineage then churns through loss events).
+#[test]
+fn golden_traces_are_byte_identical_under_fault_injection() {
+    let fault = FaultPlan {
+        seed: 0xDEC1,
+        task_failure_rate: 0.02,
+        max_task_retries: 3,
+        crashes: vec![ExecutorCrash {
+            at: SimTime::ZERO + SimDuration::from_millis(20),
+            executor: 1,
+        }],
+        external_shuffle_service: false,
+        ..Default::default()
+    };
+    let on = trace_workload(App::KMeans, 2, true, fault.clone());
+    let off = trace_workload(App::KMeans, 2, false, fault);
+    assert_eq!(on, off, "faulted trace diverged between decision paths");
+}
+
+/// Shadow mode re-solves from scratch at every submission inside the
+/// controller and asserts command-stream equality there; a full workload
+/// must complete under it.
+#[test]
+fn shadow_compare_mode_passes_on_a_full_workload() {
+    let spec = AppSpec::evaluation(App::KMeans);
+    let cfg = BlazeConfig { shadow_compare: true, ..BlazeConfig::full() };
+    let out = run_blaze_instrumented(&spec, cfg, FaultPlan::default(), false, |c| Box::new(c))
+        .expect("shadow run failed");
+    assert!(out.metrics.jobs >= 10);
+}

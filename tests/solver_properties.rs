@@ -72,6 +72,7 @@ proptest! {
                 cap as f64,
             )],
             node_budget: 0,
+            warm: None,
         };
         match solve_binary(&problem).unwrap() {
             IlpOutcome::Solved { objective, proven_optimal, .. } => {
