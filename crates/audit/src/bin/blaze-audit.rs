@@ -1,0 +1,60 @@
+//! `blaze-audit`: the diagnostic-code registry browser.
+//!
+//! Usage:
+//!
+//! ```text
+//! blaze-audit [--list]
+//! blaze-audit --explain BAxxx
+//! ```
+//!
+//! With no arguments (or `--list`), prints every diagnostic code the
+//! auditors can emit — one line per code with its default severity and
+//! title, straight from the single registry in
+//! [`blaze_audit::diagnostic::DiagCode::ALL`]. `--explain` prints the full
+//! description of one code (case-insensitive). Exits non-zero on an
+//! unknown code or flag so scripts can rely on it.
+
+use blaze_audit::diagnostic::DiagCode;
+use std::process::ExitCode;
+
+fn list() {
+    for code in DiagCode::ALL {
+        println!("{:<6} {:<8} {}", code.as_str(), code.default_severity(), code.title());
+    }
+}
+
+fn explain(raw: &str) -> ExitCode {
+    match DiagCode::parse(raw) {
+        Some(code) => {
+            println!("{} ({})", code.as_str(), code.default_severity());
+            println!("  {}", code.title());
+            println!();
+            println!("{}", code.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("blaze-audit: unknown diagnostic code `{raw}`");
+            eprintln!("run `blaze-audit --list` for the full registry");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            list();
+            ExitCode::SUCCESS
+        }
+        [flag] if flag == "--list" => {
+            list();
+            ExitCode::SUCCESS
+        }
+        [flag, code] if flag == "--explain" => explain(code),
+        _ => {
+            eprintln!("usage: blaze-audit [--list] | blaze-audit --explain BAxxx");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -89,9 +89,54 @@ pub enum DiagCode {
     /// of a block with no earlier admission, or a double admission without
     /// an intervening removal.
     TraceUnpairedCacheEvent,
+    /// BA501: a decision certificate's incumbent is infeasible or its
+    /// recorded objective does not match the claimed solution value.
+    InfeasibleIncumbent,
+    /// BA502: a branch-and-bound prune in a decision certificate is not
+    /// justified — the recorded bound is wrong, its dual evidence does not
+    /// support it, or it does not dominate the final answer.
+    UnsoundPruneBound,
+    /// BA503: the branch-and-bound tree in a decision certificate does not
+    /// cover the search space — a branched child is missing, a node is
+    /// unreachable from the root, or a take-branch was skipped without
+    /// static justification.
+    UncoveredBranchLeaf,
+    /// BA504: a greedy solution's distance to the LP relaxation bound
+    /// exceeds the approximation gap its certificate declares.
+    GreedyGapExceeded,
+    /// BA505: the incremental optimizer's dirty closure under-approximates
+    /// the set of cost entries actually affected by a change — a stale memo
+    /// entry survived invalidation.
+    UnderApproximatedDirtyClosure,
 }
 
 impl DiagCode {
+    /// Every diagnostic code, in code order. This is the single registry the
+    /// `blaze-audit` CLI lists and explains from; adding a variant without
+    /// extending it fails the registry unit test.
+    pub const ALL: [DiagCode; 20] = [
+        DiagCode::CycleOrForwardRef,
+        DiagCode::DanglingParent,
+        DiagCode::ZeroPartitions,
+        DiagCode::NarrowPartitionMismatch,
+        DiagCode::PartitionerMismatch,
+        DiagCode::InvalidCostSpec,
+        DiagCode::ComputeShapeMismatch,
+        DiagCode::RecomputeBomb,
+        DiagCode::UnreachableCache,
+        DiagCode::CacheOvercommit,
+        DiagCode::LineageMismatch,
+        DiagCode::UnrecoverableLineage,
+        DiagCode::TraceSpanNesting,
+        DiagCode::TraceAggregateMismatch,
+        DiagCode::TraceUnpairedCacheEvent,
+        DiagCode::InfeasibleIncumbent,
+        DiagCode::UnsoundPruneBound,
+        DiagCode::UncoveredBranchLeaf,
+        DiagCode::GreedyGapExceeded,
+        DiagCode::UnderApproximatedDirtyClosure,
+    ];
+
     /// The stable short code (`BA001`, ...).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -110,6 +155,142 @@ impl DiagCode {
             DiagCode::TraceSpanNesting => "BA401",
             DiagCode::TraceAggregateMismatch => "BA402",
             DiagCode::TraceUnpairedCacheEvent => "BA403",
+            DiagCode::InfeasibleIncumbent => "BA501",
+            DiagCode::UnsoundPruneBound => "BA502",
+            DiagCode::UncoveredBranchLeaf => "BA503",
+            DiagCode::GreedyGapExceeded => "BA504",
+            DiagCode::UnderApproximatedDirtyClosure => "BA505",
+        }
+    }
+
+    /// Parses a short code string (`"BA502"`) back to its variant.
+    pub fn parse(s: &str) -> Option<DiagCode> {
+        DiagCode::ALL.into_iter().find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// A one-line title for CLI listings.
+    pub fn title(self) -> &'static str {
+        match self {
+            DiagCode::CycleOrForwardRef => "dependency cycle or forward reference",
+            DiagCode::DanglingParent => "dependency on an undefined dataset",
+            DiagCode::ZeroPartitions => "dataset declares zero partitions",
+            DiagCode::NarrowPartitionMismatch => "narrow dependency partition-count mismatch",
+            DiagCode::PartitionerMismatch => "partitioner disagrees with partition count",
+            DiagCode::InvalidCostSpec => "negative or non-finite cost component",
+            DiagCode::ComputeShapeMismatch => "compute kind and dependency shape disagree",
+            DiagCode::RecomputeBomb => "multi-consumer dataset not cache-annotated",
+            DiagCode::UnreachableCache => "cache-annotated dataset is never read back",
+            DiagCode::CacheOvercommit => "annotated bytes exceed memory capacity",
+            DiagCode::LineageMismatch => "cost lineage diverged from the logical plan",
+            DiagCode::UnrecoverableLineage => "lineage too deep for bounded retries",
+            DiagCode::TraceSpanNesting => "event-trace span nesting violation",
+            DiagCode::TraceAggregateMismatch => "trace aggregates disagree with metrics",
+            DiagCode::TraceUnpairedCacheEvent => "unpaired cache admit/evict event",
+            DiagCode::InfeasibleIncumbent => "certificate incumbent infeasible or mispriced",
+            DiagCode::UnsoundPruneBound => "certificate prune bound not justified",
+            DiagCode::UncoveredBranchLeaf => "certificate tree misses part of the search space",
+            DiagCode::GreedyGapExceeded => "greedy gap to LP relaxation exceeds declared bound",
+            DiagCode::UnderApproximatedDirtyClosure => "dirty closure missed an affected entry",
+        }
+    }
+
+    /// A paragraph-length explanation for `blaze-audit --explain`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            DiagCode::CycleOrForwardRef => {
+                "A dependency points at an id not defined before its child. In an id-ordered \
+                 DAG this is the only way a cycle can exist, so the plan is structurally \
+                 invalid and execution would never terminate."
+            }
+            DiagCode::DanglingParent => {
+                "A dependency references a dataset id that is absent from the plan entirely. \
+                 The lineage cannot be replayed through a dataset that does not exist."
+            }
+            DiagCode::ZeroPartitions => {
+                "A dataset declares zero partitions. Every dataset must materialize at least \
+                 one block; zero-partition datasets break scheduling and cost accounting."
+            }
+            DiagCode::NarrowPartitionMismatch => {
+                "A narrow dependency joins datasets with differing partition counts. Narrow \
+                 dependencies are index-aligned by definition, so the counts must match."
+            }
+            DiagCode::PartitionerMismatch => {
+                "A dataset's declared partitioner disagrees with its partition count, so \
+                 co-partitioning claims at shuffle boundaries would be wrong."
+            }
+            DiagCode::InvalidCostSpec => {
+                "A cost spec contains a negative or non-finite component. The optimizer's \
+                 objective would be meaningless over such costs."
+            }
+            DiagCode::ComputeShapeMismatch => {
+                "A dataset's compute kind and its dependency shape disagree — e.g. a source \
+                 with parents, an operator without parents, or a narrow compute fed by a \
+                 shuffle dependency."
+            }
+            DiagCode::RecomputeBomb => {
+                "A dataset is consumed by two or more downstream stages but is not \
+                 cache-annotated, so every consuming stage recomputes its whole lineage — \
+                 the classic recompute bomb LRC-style reference counting exists to prevent."
+            }
+            DiagCode::UnreachableCache => {
+                "A dataset is cache-annotated but nothing consumes it and it is not a job \
+                 target, so the cache entry can never be read back and only wastes capacity."
+            }
+            DiagCode::CacheOvercommit => {
+                "The estimated bytes of all cache-annotated datasets exceed the memory-store \
+                 capacity, so admissions will thrash instead of helping."
+            }
+            DiagCode::LineageMismatch => {
+                "A CostLineage node disagrees with the logical plan it mirrors (parents or \
+                 partition counts diverged) — decisions would be made against a stale graph."
+            }
+            DiagCode::UnrecoverableLineage => {
+                "Under the configured fault plan, some dataset's uncached lineage is deeper \
+                 than bounded task retries can replay, so one injected failure could make \
+                 the job unrecoverable."
+            }
+            DiagCode::TraceSpanNesting => {
+                "The event trace violates span nesting: a task span ends before it starts, \
+                 spans overlap on one executor slot, or a task commits outside an open job."
+            }
+            DiagCode::TraceAggregateMismatch => {
+                "Summing the trace's event durations and counts does not reproduce the \
+                 run's Metrics aggregates; the trace and the metrics cannot both be right."
+            }
+            DiagCode::TraceUnpairedCacheEvent => {
+                "A cache event is unpaired: an eviction, spill or unpersist of a block with \
+                 no earlier admission, or a double admission without an intervening removal."
+            }
+            DiagCode::InfeasibleIncumbent => {
+                "The solution a decision certificate claims to prove violates its own \
+                 constraints (capacity, fixed variables) or its recorded objective does not \
+                 match the value recomputed from the instance. The decision cannot be \
+                 trusted regardless of how the search ran."
+            }
+            DiagCode::UnsoundPruneBound => {
+                "A branch-and-bound prune recorded in a decision certificate is not \
+                 justified: the recorded relaxation bound is not dominated by the final \
+                 answer, its dual evidence fails weak-duality validation, or a warm-start \
+                 prune's evidence does not actually bound the optimum. An unsound prune \
+                 could have cut the true optimum."
+            }
+            DiagCode::UncoveredBranchLeaf => {
+                "The branch-and-bound tree in a decision certificate does not cover the \
+                 search space: a branched node is missing a child, a recorded node is \
+                 unreachable from the root, a take-branch was skipped without static \
+                 justification, or the proven-optimal flag disagrees with tree \
+                 completeness. The claimed optimum might live in the uncovered region."
+            }
+            DiagCode::GreedyGapExceeded => {
+                "A greedy solution's distance to the LP relaxation optimum exceeds the \
+                 approximation gap its certificate declares, so the solution is worse than \
+                 the declared quality bound."
+            }
+            DiagCode::UnderApproximatedDirtyClosure => {
+                "The incremental optimizer retained a memoized cost entry that is reachable \
+                 from a dirty lineage node, i.e. the dirty closure under-approximated the \
+                 truly affected set. Stale costs would silently steer future decisions."
+            }
         }
     }
 
@@ -127,7 +308,12 @@ impl DiagCode {
             | DiagCode::UnrecoverableLineage
             | DiagCode::TraceSpanNesting
             | DiagCode::TraceAggregateMismatch
-            | DiagCode::TraceUnpairedCacheEvent => Severity::Error,
+            | DiagCode::TraceUnpairedCacheEvent
+            | DiagCode::InfeasibleIncumbent
+            | DiagCode::UnsoundPruneBound
+            | DiagCode::UncoveredBranchLeaf
+            | DiagCode::GreedyGapExceeded
+            | DiagCode::UnderApproximatedDirtyClosure => Severity::Error,
             DiagCode::RecomputeBomb | DiagCode::UnreachableCache | DiagCode::CacheOvercommit => {
                 Severity::Warning
             }
@@ -237,27 +423,34 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        let all = [
-            DiagCode::CycleOrForwardRef,
-            DiagCode::DanglingParent,
-            DiagCode::ZeroPartitions,
-            DiagCode::NarrowPartitionMismatch,
-            DiagCode::PartitionerMismatch,
-            DiagCode::InvalidCostSpec,
-            DiagCode::ComputeShapeMismatch,
-            DiagCode::RecomputeBomb,
-            DiagCode::UnreachableCache,
-            DiagCode::CacheOvercommit,
-            DiagCode::LineageMismatch,
-            DiagCode::UnrecoverableLineage,
-            DiagCode::TraceSpanNesting,
-            DiagCode::TraceAggregateMismatch,
-            DiagCode::TraceUnpairedCacheEvent,
-        ];
-        let mut codes: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        let mut codes: Vec<&str> = DiagCode::ALL.iter().map(|c| c.as_str()).collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), all.len(), "duplicate diagnostic code strings");
+        assert_eq!(codes.len(), DiagCode::ALL.len(), "duplicate diagnostic code strings");
+    }
+
+    #[test]
+    fn registry_roundtrips_and_documents_every_code() {
+        for code in DiagCode::ALL {
+            assert_eq!(DiagCode::parse(code.as_str()), Some(code));
+            assert!(!code.title().is_empty());
+            assert!(code.explain().len() > 40, "{code} explanation too short");
+        }
+        assert_eq!(DiagCode::parse("ba505"), Some(DiagCode::UnderApproximatedDirtyClosure));
+        assert_eq!(DiagCode::parse("BA999"), None);
+    }
+
+    #[test]
+    fn certificate_codes_are_errors() {
+        for code in [
+            DiagCode::InfeasibleIncumbent,
+            DiagCode::UnsoundPruneBound,
+            DiagCode::UncoveredBranchLeaf,
+            DiagCode::GreedyGapExceeded,
+            DiagCode::UnderApproximatedDirtyClosure,
+        ] {
+            assert_eq!(code.default_severity(), Severity::Error);
+        }
     }
 
     #[test]

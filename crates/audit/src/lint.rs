@@ -19,6 +19,17 @@
 //!   `BlazeError`, not aborts.
 //! - `thread-rng` — `thread_rng` anywhere: OS-seeded randomness breaks
 //!   replay. Use the seeded generators in `blaze-common`.
+//! - `decision-hash` — *any* hash container (`HashMap`/`HashSet`, including
+//!   the Fx variants) in the decision-path modules (`core/src/optimize.rs`,
+//!   `core/src/incremental.rs`, `solver/src/*`): certified decisions must
+//!   be byte-identical functions of their inputs, and hash iteration order
+//!   — even fixed-seed — depends on insertion history, which incremental
+//!   reuse deliberately perturbs. Keyed lookups need an explicit
+//!   justification; ordered iteration belongs in `BTreeMap`/sorted vecs.
+//! - `float-cast` — bare `as f64` / `as f32` casts in the decision-path
+//!   modules: silent precision loss in a cost or weight changes solver
+//!   tie-breaks. Each cast site must carry a justification that the value
+//!   is exactly representable (or the loss is intended).
 //!
 //! A finding on line `n` is suppressed by `// audit: allow(<code>)` on line
 //! `n` or `n - 1`. Doc comments, comment text and `#[cfg(test)]` modules
@@ -40,6 +51,9 @@ const PAT_UNWRAP: &str = concat!(".unw", "rap()");
 const PAT_EXPECT: &str = concat!(".exp", "ect(");
 const PAT_THREAD_RNG: &str = concat!("thread", "_rng");
 const PAT_CFG_TEST: &str = concat!("#[cfg(", "test)]");
+// Leading space keeps `.as_secs_f64()` and friends from matching.
+const PAT_AS_F64: &str = concat!(" as ", "f64");
+const PAT_AS_F32: &str = concat!(" as ", "f32");
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +84,10 @@ struct Scope {
     wall_clock: bool,
     /// Bare `.unwrap()`/`.expect()` banned (`crates/engine`).
     unwrap: bool,
+    /// Decision-path hardening: hash containers and bare float casts
+    /// banned (`core/src/optimize.rs`, `core/src/incremental.rs`,
+    /// `solver/src/*`).
+    decision: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
@@ -87,6 +105,9 @@ fn scope_of(path: &str) -> Scope {
         std_hash: in_crate("engine") || in_crate("policies") || in_crate("core"),
         wall_clock: !in_crate("bench") || fault_file,
         unwrap: in_crate("engine"),
+        decision: p.ends_with("core/src/optimize.rs")
+            || p.ends_with("core/src/incremental.rs")
+            || p.contains("solver/src/"),
     }
 }
 
@@ -164,6 +185,35 @@ pub fn lint_source(path: &str, content: &str) -> Vec<LintViolation> {
                 code: "unwrap",
                 message: "engine code must surface failures as BlazeError; convert to a typed \
                           result or justify with `// audit: allow(unwrap)`"
+                    .into(),
+            });
+        }
+        if scope.decision
+            && (code_match(line, PAT_HASH_MAP).is_some()
+                || code_match(line, PAT_HASH_SET).is_some())
+            && !allowed(line, prev, "decision-hash")
+        {
+            out.push(LintViolation {
+                file: path.into(),
+                line: n,
+                code: "decision-hash",
+                message: "hash iteration order depends on insertion history; decision-path \
+                          code must use BTreeMap/sorted vecs or justify a keyed lookup with \
+                          `// audit: allow(decision-hash)`"
+                    .into(),
+            });
+        }
+        if scope.decision
+            && (code_match(line, PAT_AS_F64).is_some() || code_match(line, PAT_AS_F32).is_some())
+            && !allowed(line, prev, "float-cast")
+        {
+            out.push(LintViolation {
+                file: path.into(),
+                line: n,
+                code: "float-cast",
+                message: "bare float casts silently lose precision and change solver \
+                          tie-breaks; justify exact representability with \
+                          `// audit: allow(float-cast)`"
                     .into(),
             });
         }
@@ -321,6 +371,40 @@ mod tests {
         assert!(lint_source("crates/engine/src/x.rs", &src).is_empty());
         let els = join(&["fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }"]);
         assert!(lint_source("crates/engine/src/x.rs", &els).is_empty());
+    }
+
+    #[test]
+    fn flags_hash_containers_in_decision_paths_only() {
+        // Fx variants are banned too: fixed-seed hashing still iterates in
+        // insertion-history order.
+        let src = join(&["use rustc_hash::FxHashMap;", "fn f() {}"]);
+        assert_eq!(lint_source("crates/core/src/optimize.rs", &src)[0].code, "decision-hash");
+        assert_eq!(lint_source("crates/core/src/incremental.rs", &src).len(), 1);
+        assert_eq!(lint_source("crates/solver/src/knapsack.rs", &src).len(), 1);
+        // Elsewhere in core the std-hash rule governs, not decision-hash.
+        assert!(lint_source("crates/core/src/controller.rs", &src).is_empty());
+        let set = join(&["fn f() { let s: FxHashSet<u32> = FxHashSet::default(); }"]);
+        assert_eq!(lint_source("crates/solver/src/ilp.rs", &set).len(), 1);
+        let allowed = join(&[
+            "// audit: allow(decision-hash) keyed lookup only, never iterated",
+            "use rustc_hash::FxHashMap;",
+        ]);
+        assert!(lint_source("crates/core/src/optimize.rs", &allowed).is_empty());
+    }
+
+    #[test]
+    fn flags_bare_float_casts_in_decision_paths() {
+        let src = join(&["fn f(x: u64) -> f64 { x as f64 }"]);
+        assert_eq!(lint_source("crates/solver/src/lp.rs", &src)[0].code, "float-cast");
+        assert_eq!(lint_source("crates/core/src/optimize.rs", &src).len(), 1);
+        assert!(lint_source("crates/core/src/controller.rs", &src).is_empty());
+        let f32_cast = join(&["fn f(x: u32) -> f32 { x as f32 }"]);
+        assert_eq!(lint_source("crates/core/src/incremental.rs", &f32_cast).len(), 1);
+        // Method names containing the type are not casts.
+        let secs = join(&["fn f(d: std::time::Duration) -> f64 { d.as_secs_f64() }"]);
+        assert!(lint_source("crates/solver/src/lp.rs", &secs).is_empty());
+        let allowed = join(&["let v = x as f64; // audit: allow(float-cast) x < 2^53"]);
+        assert!(lint_source("crates/solver/src/knapsack.rs", &allowed).is_empty());
     }
 
     #[test]

@@ -23,11 +23,18 @@
 //! `BENCH_decision.json` at the repository root.
 //!
 //! Flags: `--quick` (CI-sized run, no JSON), `--check` (exit non-zero if
-//! the stress speedups regress below [`CHECK_MIN_SPEEDUP`]), `--shadow`
-//! (additionally run one workload with `shadow_compare` asserting
+//! the stress speedups regress below [`CHECK_MIN_SPEEDUP`] or certificate
+//! verification costs more than [`CHECK_MAX_VERIFY_RATIO`] of solving),
+//! `--shadow` (additionally run one workload with `shadow_compare` asserting
 //! command-stream equality inside the controller).
+//!
+//! A third section measures the **certify** overhead (see `blaze-certify`):
+//! per strategy, how much certificate *emission* adds to a solve and what
+//! *verification* costs relative to solving. The headline workload/stress
+//! speedup columns are measured with certification off, exactly as before.
 
 use blaze_bench::json::nz;
+use blaze_certify::{verify_greedy, verify_ilp, verify_knapsack};
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
 use blaze_common::{ByteSize, SimDuration};
 use blaze_core::costlineage::CostLineage;
@@ -41,6 +48,11 @@ use blaze_engine::{
     Admission, BlockInfo, CacheController, CtrlCtx, HardwareModel, PartitionEvent, StateCommand,
     VictimAction,
 };
+use blaze_solver::ilp::{solve_binary, solve_binary_certified, IlpProblem};
+use blaze_solver::knapsack::{
+    greedy_certificate, solve_knapsack, solve_knapsack_certified, KnapsackItem,
+};
+use blaze_solver::lp::Constraint;
 use blaze_workloads::{run_blaze_instrumented, App, AppSpec};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,6 +62,11 @@ use std::time::Instant;
 /// mode requires on the `deep` and `churn` shapes. The committed full-mode
 /// results sit far above this; the margin absorbs CI machine noise.
 const CHECK_MIN_SPEEDUP: f64 = 2.0;
+
+/// Maximum aggregate `verify_s / solve_s` ratio `--check` tolerates across
+/// the certify section: checking proofs must stay a small fraction of
+/// producing answers, or the certificates are not cheaper than re-solving.
+const CHECK_MAX_VERIFY_RATIO: f64 = 0.2;
 
 /// Wraps the Blaze controller and attributes the real time spent in the
 /// decision path (job submission + stage completion hooks) to shared
@@ -464,6 +481,234 @@ fn stress_churn(rounds: usize) -> StressSample {
     rig.finish("churn", rounds)
 }
 
+/// One strategy's certificate-overhead measurement: plain solve time vs
+/// certificate-emitting solve time vs verification time over the same
+/// deterministic instance set.
+struct CertifySample {
+    strategy: &'static str,
+    instances: usize,
+    solve_s: f64,
+    certify_solve_s: f64,
+    verify_s: f64,
+}
+
+impl CertifySample {
+    /// Fractional slowdown of a solve when it also emits its certificate.
+    fn emit_overhead(&self) -> f64 {
+        if self.solve_s > 0.0 {
+            self.certify_solve_s / self.solve_s - 1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Cost of *checking* a proof relative to *producing* the answer.
+    fn verify_ratio(&self) -> f64 {
+        if self.solve_s > 0.0 {
+            self.verify_s / self.solve_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Deterministic pseudo-random knapsack items (LCG; no OS entropy — the
+/// instance set is identical on every run and machine).
+fn certify_items(n: usize, seed: u64) -> Vec<KnapsackItem> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let weight = 20 + (state >> 33) % 80;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // audit: allow(float-cast) value in [1, 101), exactly representable
+            let value = 1.0 + ((state >> 33) % 100) as f64;
+            KnapsackItem { value, weight }
+        })
+        .collect()
+}
+
+/// The knapsack instance as a 0/1 minimization program (one weight row).
+fn certify_ilp(items: &[KnapsackItem], capacity: u64) -> IlpProblem {
+    let objective: Vec<f64> = items.iter().map(|i| -i.value).collect();
+    // audit: allow(float-cast) weights/capacity are small integers
+    let weights: Vec<f64> = items.iter().map(|i| i.weight as f64).collect();
+    // audit: allow(float-cast) see above
+    let cap = capacity as f64;
+    IlpProblem {
+        objective,
+        constraints: vec![Constraint::le(weights, cap)],
+        node_budget: 0,
+        warm: None,
+    }
+}
+
+/// Measures certificate emission + verification overhead per strategy. Every
+/// certificate produced here is also asserted to verify clean, so the bench
+/// doubles as a property sweep.
+fn bench_certify(quick: bool) -> Vec<CertifySample> {
+    // Sizes are chosen so the measured regime matches the asymptotics:
+    // branch-and-bound spends O(n) per node computing bounds while the
+    // replay verifier spends O(log n) per recorded prune, so the instances
+    // must be large enough for per-node work (not fixed setup cost) to
+    // dominate both sides.
+    let (kn_count, kn_n) = if quick { (16, 768) } else { (20, 1536) };
+    let (gr_count, gr_n) = if quick { (16, 512) } else { (24, 768) };
+    let (ilp_count, ilp_n) = if quick { (8, 24) } else { (10, 28) };
+    let mut samples = Vec::new();
+
+    // Untimed warmup so first-touch page faults and lazy allocator growth
+    // land outside the measured loops.
+    {
+        let items = certify_items(kn_n, 1);
+        let capacity = items.iter().map(|i| i.weight).sum::<u64>() * 3 / 4;
+        let _ = solve_knapsack_certified(&items, capacity, 0, None);
+    }
+
+    // Knapsack: branch-and-bound with a preorder replay certificate.
+    let (mut solve_s, mut cert_s, mut verify_s) = (0.0, 0.0, 0.0);
+    for seed in 0..kn_count as u64 {
+        let items = certify_items(kn_n, seed + 1);
+        let capacity = items.iter().map(|i| i.weight).sum::<u64>() * 3 / 4;
+        // Alternate which variant runs first: the second identical solve
+        // on the same instance sees warmed caches, so a fixed order would
+        // bias the emission-overhead column.
+        let mut plain = None;
+        let mut certified = None;
+        for which in [seed % 2, 1 - seed % 2] {
+            if which == 0 {
+                // audit: allow(wall-clock)
+                let t = Instant::now();
+                plain = Some(solve_knapsack(&items, capacity, 0));
+                solve_s += t.elapsed().as_secs_f64();
+            } else {
+                // audit: allow(wall-clock)
+                let t = Instant::now();
+                certified = Some(solve_knapsack_certified(&items, capacity, 0, None));
+                cert_s += t.elapsed().as_secs_f64();
+            }
+        }
+        let (plain, (sol, cert)) = (plain.unwrap(), certified.unwrap());
+        assert_eq!(plain.selected, sol.selected, "certification changed the solution");
+        // audit: allow(wall-clock)
+        let t = Instant::now();
+        let findings = verify_knapsack(&items, capacity, &sol, &cert);
+        verify_s += t.elapsed().as_secs_f64();
+        assert!(findings.is_empty(), "seed {seed}: {findings:?}");
+    }
+    samples.push(CertifySample {
+        strategy: "knapsack",
+        instances: kn_count,
+        solve_s,
+        certify_solve_s: cert_s,
+        verify_s,
+    });
+
+    // Greedy: node-budget-1 solve certified against the LP relaxation.
+    let (mut solve_s, mut cert_s, mut verify_s) = (0.0, 0.0, 0.0);
+    for seed in 0..gr_count as u64 {
+        let items = certify_items(gr_n, seed + 1);
+        let capacity = items.iter().map(|i| i.weight).sum::<u64>() * 3 / 4;
+        // Same first-runner alternation as the knapsack section above.
+        let mut plain = None;
+        let mut certified = None;
+        for which in [seed % 2, 1 - seed % 2] {
+            if which == 0 {
+                // audit: allow(wall-clock)
+                let t = Instant::now();
+                plain = Some(solve_knapsack(&items, capacity, 1));
+                solve_s += t.elapsed().as_secs_f64();
+            } else {
+                // audit: allow(wall-clock)
+                let t = Instant::now();
+                let sol = solve_knapsack(&items, capacity, 1);
+                let cert = greedy_certificate(&items, capacity, &sol);
+                cert_s += t.elapsed().as_secs_f64();
+                certified = Some((sol, cert));
+            }
+        }
+        let (plain, (sol, cert)) = (plain.unwrap(), certified.unwrap());
+        assert_eq!(plain.selected, sol.selected);
+        // audit: allow(wall-clock)
+        let t = Instant::now();
+        let findings = verify_greedy(&items, capacity, &sol, &cert);
+        verify_s += t.elapsed().as_secs_f64();
+        assert!(findings.is_empty(), "seed {seed}: {findings:?}");
+    }
+    samples.push(CertifySample {
+        strategy: "greedy",
+        instances: gr_count,
+        solve_s,
+        certify_solve_s: cert_s,
+        verify_s,
+    });
+
+    // Exact ILP: LP-based branch-and-bound with dual/Farkas evidence.
+    let (mut solve_s, mut cert_s, mut verify_s) = (0.0, 0.0, 0.0);
+    for seed in 0..ilp_count as u64 {
+        let items = certify_items(ilp_n, seed + 101);
+        let capacity = items.iter().map(|i| i.weight).sum::<u64>() * 3 / 4;
+        let problem = certify_ilp(&items, capacity);
+        // Same first-runner alternation as the knapsack section above.
+        let mut plain = None;
+        let mut certified = None;
+        for which in [seed % 2, 1 - seed % 2] {
+            if which == 0 {
+                // audit: allow(wall-clock)
+                let t = Instant::now();
+                plain = Some(solve_binary(&problem).expect("ilp solve"));
+                solve_s += t.elapsed().as_secs_f64();
+            } else {
+                // audit: allow(wall-clock)
+                let t = Instant::now();
+                certified = Some(solve_binary_certified(&problem).expect("ilp solve"));
+                cert_s += t.elapsed().as_secs_f64();
+            }
+        }
+        let (plain, (outcome, cert)) = (plain.unwrap(), certified.unwrap());
+        assert_eq!(format!("{plain:?}"), format!("{outcome:?}"), "certification changed outcome");
+        // audit: allow(wall-clock)
+        let t = Instant::now();
+        let findings = verify_ilp(&problem, &outcome, &cert);
+        verify_s += t.elapsed().as_secs_f64();
+        assert!(findings.is_empty(), "seed {seed}: {findings:?}");
+    }
+    samples.push(CertifySample {
+        strategy: "exact-ilp",
+        instances: ilp_count,
+        solve_s,
+        certify_solve_s: cert_s,
+        verify_s,
+    });
+
+    for s in &samples {
+        eprintln!(
+            "certify {:9} instances={:3} solve={:.4}s certified={:.4}s ({:+.1}%) \
+             verify={:.4}s (ratio {:.3})",
+            s.strategy,
+            s.instances,
+            s.solve_s,
+            s.certify_solve_s,
+            s.emit_overhead() * 100.0,
+            s.verify_s,
+            s.verify_ratio(),
+        );
+    }
+    samples
+}
+
+/// Aggregate `verify / solve` across the certify section (what `--check`
+/// bounds): total proof-checking time over total answer-producing time.
+fn aggregate_verify_ratio(certify: &[CertifySample]) -> f64 {
+    let solve: f64 = certify.iter().map(|s| s.solve_s).sum();
+    let verify: f64 = certify.iter().map(|s| s.verify_s).sum();
+    if solve > 0.0 {
+        verify / solve
+    } else {
+        0.0
+    }
+}
+
 /// Runs one workload with `shadow_compare`: the controller itself asserts,
 /// at every job submission, that the incremental and from-scratch command
 /// streams are identical (active in release builds).
@@ -480,7 +725,12 @@ fn run_shadow(app: App) {
     );
 }
 
-fn render_json(host_cpus: usize, workloads: &[WorkloadSample], stress: &[StressSample]) -> String {
+fn render_json(
+    host_cpus: usize,
+    workloads: &[WorkloadSample],
+    stress: &[StressSample],
+    certify: &[CertifySample],
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     s.push_str("  \"workloads\": [\n");
@@ -523,7 +773,29 @@ fn render_json(host_cpus: usize, workloads: &[WorkloadSample], stress: &[StressS
             if i + 1 < stress.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"certify\": [\n");
+    for (i, c) in certify.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"instances\": {}, \"solve_s\": {:.6}, \
+             \"certify_solve_s\": {:.6}, \"verify_s\": {:.6}, \"emit_overhead\": {:.3}, \
+             \"verify_ratio\": {:.3}}}{}\n",
+            c.strategy,
+            c.instances,
+            nz(c.solve_s),
+            nz(c.certify_solve_s),
+            nz(c.verify_s),
+            nz(c.emit_overhead()),
+            nz(c.verify_ratio()),
+            if i + 1 < certify.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"certify_verify_ratio\": {:.3}\n",
+        nz(aggregate_verify_ratio(certify))
+    ));
+    s.push_str("}\n");
     s
 }
 
@@ -540,6 +812,7 @@ fn main() {
     let workloads = bench_workloads(&apps);
     let stress =
         vec![stress_wide(wide_rounds), stress_deep(deep_rounds), stress_churn(churn_rounds)];
+    let certify = bench_certify(quick);
     if shadow {
         run_shadow(if quick { App::KMeans } else { App::PageRank });
     }
@@ -553,12 +826,21 @@ fn main() {
                 r.speedup()
             );
         }
-        eprintln!("check passed: deep/churn speedups above {CHECK_MIN_SPEEDUP}x");
+        let ratio = aggregate_verify_ratio(&certify);
+        assert!(
+            ratio < CHECK_MAX_VERIFY_RATIO,
+            "certificate verification cost {ratio:.3} of solve time exceeds the \
+             {CHECK_MAX_VERIFY_RATIO} ceiling"
+        );
+        eprintln!(
+            "check passed: deep/churn speedups above {CHECK_MIN_SPEEDUP}x, verify ratio \
+             {ratio:.3} below {CHECK_MAX_VERIFY_RATIO}"
+        );
     }
 
     if !quick {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decision.json");
-        let json = render_json(default_worker_threads(), &workloads, &stress);
+        let json = render_json(default_worker_threads(), &workloads, &stress, &certify);
         std::fs::write(path, &json).expect("write BENCH_decision.json");
         println!("wrote {} workload + {} stress samples to {path}", workloads.len(), stress.len());
     }

@@ -1,0 +1,475 @@
+//! Verification of exact-ILP branch-and-bound certificates.
+//!
+//! A certificate records every node the solver popped: its fixed-variable
+//! pattern and how it terminated (infeasible, pruned with a bound, integral,
+//! or branched). The verifier checks three independent things:
+//!
+//! 1. **Coverage** (`BA503`) — the recorded nodes form exactly the tree
+//!    rooted at the all-free pattern: both children of every branch are
+//!    present, every node is reachable from the root, and nothing dangles.
+//! 2. **Bound soundness** (`BA502`) — every cut is justified: dual evidence
+//!    (validated through weak duality / Farkas, *not* trusted) supports the
+//!    recorded bound, and the bound dominates the final objective (or the
+//!    warm bound, whose feasibility is itself checked). Nodes whose dual
+//!    extraction failed at emission fall back to a single LP re-solve —
+//!    still no tree search.
+//! 3. **Incumbent integrity** (`BA501`) — the returned assignment is
+//!    feasible and correctly priced.
+//!
+//! Together these imply the reported objective is the true optimum: every
+//! feasible binary point lives in some leaf's subtree, and every leaf either
+//! contains no feasible point (Farkas), only points at least as expensive as
+//! the answer (prune bounds), or integral candidates the answer already
+//! beats.
+
+use blaze_audit::diagnostic::{DiagCode, Diagnostic};
+use blaze_solver::cert::{IlpCertificate, IlpNodeKind};
+use blaze_solver::ilp::{
+    build_relaxation, check_feasible, objective_of, IlpOutcome, IlpProblem, WARM_EPS,
+};
+use blaze_solver::lp::{dual_bound, farkas_valid, solve as solve_lp, LinearProgram, LpOutcome};
+
+fn tol(scale: f64) -> f64 {
+    1e-6 * (1.0 + scale.abs())
+}
+
+fn diag(code: DiagCode, message: String) -> Diagnostic {
+    Diagnostic::new(code, None, message, "re-run the solve uncertified and compare".into())
+}
+
+/// Fixed-pattern helpers: certificates store `-1` free / `0` / `1`.
+fn to_options(fixed: &[i8]) -> Option<Vec<Option<bool>>> {
+    fixed
+        .iter()
+        .map(|&f| match f {
+            -1 => Some(None),
+            0 => Some(Some(false)),
+            1 => Some(Some(true)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A verified lower bound on the node's relaxation: through dual evidence
+/// when present (cheap, no solve), by re-solving the single LP otherwise.
+/// `None` means the claimed bound cannot be supported at all.
+fn verified_bound(lp: &LinearProgram, duals: &Option<Vec<f64>>, claimed: f64) -> Option<f64> {
+    if let Some(y) = duals {
+        let yb = dual_bound(lp, y)?;
+        // The dual bound must actually support the claimed value.
+        (yb >= claimed - tol(claimed)).then_some(yb)
+    } else {
+        match solve_lp(lp) {
+            Ok(LpOutcome::Optimal { objective, .. }) => {
+                (objective >= claimed - tol(claimed)).then_some(objective)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Verifies an ILP outcome against its branch-and-bound certificate.
+pub fn verify_ilp(
+    problem: &IlpProblem,
+    outcome: &IlpOutcome,
+    cert: &IlpCertificate,
+) -> Vec<Diagnostic> {
+    let n = problem.objective.len();
+    let mut findings = Vec::new();
+
+    // Incumbent integrity first: whatever the tree says, the returned
+    // assignment must be real.
+    let final_obj = match outcome {
+        IlpOutcome::Solved { x, objective, proven_optimal } => {
+            if x.len() != n {
+                findings.push(diag(
+                    DiagCode::InfeasibleIncumbent,
+                    format!("solution has {} variables, problem has {n}", x.len()),
+                ));
+                return findings;
+            }
+            if !check_feasible(problem, x) {
+                findings.push(diag(
+                    DiagCode::InfeasibleIncumbent,
+                    "returned assignment violates the constraints".into(),
+                ));
+            }
+            let recomputed = objective_of(&problem.objective, x);
+            if (recomputed - objective).abs() > tol(recomputed) {
+                findings.push(diag(
+                    DiagCode::InfeasibleIncumbent,
+                    format!("assignment prices to {recomputed}, certificate claims {objective}"),
+                ));
+            }
+            if *proven_optimal != cert.complete {
+                findings.push(diag(
+                    DiagCode::UncoveredBranchLeaf,
+                    format!(
+                        "proven_optimal={proven_optimal} disagrees with certificate \
+                         complete={}",
+                        cert.complete
+                    ),
+                ));
+            }
+            if !findings.is_empty() {
+                return findings;
+            }
+            Some(*objective)
+        }
+        IlpOutcome::Infeasible => None,
+    };
+
+    if !cert.complete {
+        // Budget exhausted: the tree was dropped (it proves nothing). The
+        // incumbent checks above are all that can be said. A budget-
+        // exhausted search that found no incumbent reports `Infeasible`;
+        // that latent misreport predates certificates and is out of scope.
+        return findings;
+    }
+
+    // Warm evidence: feasibility and pricing, plus dominance by the final
+    // answer (minimization: the optimum is at most the warm objective).
+    let mut warm_obj = None;
+    if let Some(w) = &cert.warm {
+        if w.x.len() != n || !check_feasible(problem, &w.x) {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                "warm evidence is not a feasible assignment".into(),
+            ));
+            return findings;
+        }
+        let recomputed = objective_of(&problem.objective, &w.x);
+        if (recomputed - w.objective).abs() > tol(recomputed) {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                format!("warm evidence prices to {recomputed}, recorded {}", w.objective),
+            ));
+            return findings;
+        }
+        match final_obj {
+            Some(f) if f > w.objective + tol(w.objective) => {
+                findings.push(diag(
+                    DiagCode::UnsoundPruneBound,
+                    format!(
+                        "final objective {f} is above the warm upper bound {} — warm prunes \
+                         could have cut the optimum",
+                        w.objective
+                    ),
+                ));
+                return findings;
+            }
+            None => {
+                // A feasible warm assignment contradicts a complete
+                // infeasibility claim outright.
+                findings.push(diag(
+                    DiagCode::InfeasibleIncumbent,
+                    "outcome claims infeasibility but the certificate carries a feasible \
+                     warm assignment"
+                        .into(),
+                ));
+                return findings;
+            }
+            _ => {}
+        }
+        warm_obj = Some(w.objective);
+    }
+
+    // Coverage: the recorded nodes must form exactly the tree rooted at the
+    // all-free pattern.
+    if cert.nodes.is_empty() {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            "complete certificate carries no tree nodes".into(),
+        ));
+        return findings;
+    }
+    let mut index: std::collections::BTreeMap<Vec<i8>, usize> = std::collections::BTreeMap::new();
+    for (i, node) in cert.nodes.iter().enumerate() {
+        if node.fixed.len() != n || to_options(&node.fixed).is_none() {
+            findings.push(diag(
+                DiagCode::UncoveredBranchLeaf,
+                format!("node {i} has a malformed fixed pattern"),
+            ));
+            return findings;
+        }
+        if index.insert(node.fixed.clone(), i).is_some() {
+            findings.push(diag(
+                DiagCode::UncoveredBranchLeaf,
+                format!("node {i} duplicates another node's subproblem"),
+            ));
+            return findings;
+        }
+    }
+    let root: Vec<i8> = vec![-1; n];
+    let Some(&root_idx) = index.get(&root) else {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            "certificate tree has no root (all-free) node".into(),
+        ));
+        return findings;
+    };
+    // BFS from the root over Branched edges; every node must be visited.
+    let mut seen = vec![false; cert.nodes.len()];
+    let mut queue = std::collections::VecDeque::from([root_idx]);
+    seen[root_idx] = true;
+    while let Some(i) = queue.pop_front() {
+        let node = &cert.nodes[i];
+        if let IlpNodeKind::Branched { var } = node.kind {
+            if var >= n || node.fixed[var] != -1 {
+                findings.push(diag(
+                    DiagCode::UncoveredBranchLeaf,
+                    format!("node {i} branches on a non-free variable {var}"),
+                ));
+                return findings;
+            }
+            for v in [0i8, 1i8] {
+                let mut child = node.fixed.clone();
+                child[var] = v;
+                match index.get(&child) {
+                    Some(&c) if !seen[c] => {
+                        seen[c] = true;
+                        queue.push_back(c);
+                    }
+                    Some(_) => {} // Already reached (cannot happen in a tree).
+                    None => {
+                        findings.push(diag(
+                            DiagCode::UncoveredBranchLeaf,
+                            format!(
+                                "node {i} branched on {var} but its x{var}={v} child is \
+                                     missing"
+                            ),
+                        ));
+                        return findings;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(stray) = seen.iter().position(|&s| !s) {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            format!("node {stray} is not reachable from the root"),
+        ));
+        return findings;
+    }
+
+    // Terminal checks: every cut must be justified against the final
+    // objective (or the warm bound), through validated evidence.
+    for (i, node) in cert.nodes.iter().enumerate() {
+        let fixed = to_options(&node.fixed).unwrap_or_default();
+        let lp = build_relaxation(problem, &fixed);
+        match &node.kind {
+            IlpNodeKind::Branched { .. } => {}
+            IlpNodeKind::Infeasible { farkas } => {
+                let ok = match farkas {
+                    Some(y) => farkas_valid(&lp, y),
+                    None => matches!(solve_lp(&lp), Ok(LpOutcome::Infeasible)),
+                };
+                if !ok {
+                    findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!("node {i} claims an infeasible relaxation without proof"),
+                    ));
+                    return findings;
+                }
+            }
+            IlpNodeKind::Pruned { bound, duals } => {
+                let Some(vb) = verified_bound(&lp, duals, *bound) else {
+                    findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "node {i}'s prune bound {bound} is not supported by its \
+                                 evidence"
+                        ),
+                    ));
+                    return findings;
+                };
+                match final_obj {
+                    // Sound iff the subtree provably cannot beat the answer.
+                    Some(f) if vb >= f - tol(f) => {}
+                    Some(f) => {
+                        findings.push(diag(
+                            DiagCode::UnsoundPruneBound,
+                            format!(
+                                "node {i} was pruned at bound {vb} below the final objective \
+                                 {f} — the cut subtree could hold a better assignment"
+                            ),
+                        ));
+                        return findings;
+                    }
+                    None => {
+                        findings.push(diag(
+                            DiagCode::UncoveredBranchLeaf,
+                            format!(
+                                "node {i} records an incumbent prune but the outcome claims \
+                                 infeasibility (no incumbent can have existed)"
+                            ),
+                        ));
+                        return findings;
+                    }
+                }
+            }
+            IlpNodeKind::PrunedWarm { bound, duals } => {
+                let Some(vb) = verified_bound(&lp, duals, *bound) else {
+                    findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "node {i}'s warm-prune bound {bound} is not supported by its \
+                                 evidence"
+                        ),
+                    ));
+                    return findings;
+                };
+                match warm_obj {
+                    Some(wb) if vb > wb + WARM_EPS - tol(wb) => {}
+                    Some(wb) => {
+                        findings.push(diag(
+                            DiagCode::UnsoundPruneBound,
+                            format!(
+                                "node {i}'s warm prune bound {vb} does not exceed the warm \
+                                 objective {wb} by the required margin"
+                            ),
+                        ));
+                        return findings;
+                    }
+                    None => {
+                        findings.push(diag(
+                            DiagCode::UnsoundPruneBound,
+                            format!("node {i} records a warm prune without warm evidence"),
+                        ));
+                        return findings;
+                    }
+                }
+            }
+            IlpNodeKind::Integral { objective, duals } => {
+                let Some(vb) = verified_bound(&lp, duals, *objective) else {
+                    findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "node {i}'s integral objective {objective} is not supported \
+                                 by its evidence"
+                        ),
+                    ));
+                    return findings;
+                };
+                match final_obj {
+                    // The integral candidate's subtree is covered by its LP
+                    // bound; the answer must be at least as good.
+                    Some(f) if vb >= f - tol(f) => {}
+                    Some(f) => {
+                        findings.push(diag(
+                            DiagCode::UnsoundPruneBound,
+                            format!(
+                                "node {i}'s integral candidate is bounded at {vb}, better \
+                                 than the final objective {f} that was returned"
+                            ),
+                        ));
+                        return findings;
+                    }
+                    None => {
+                        findings.push(diag(
+                            DiagCode::InfeasibleIncumbent,
+                            format!(
+                                "node {i} found an integral candidate but the outcome claims \
+                                 infeasibility"
+                            ),
+                        ));
+                        return findings;
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_solver::ilp::solve_binary_certified;
+    use blaze_solver::lp::Constraint;
+
+    fn knapsack_as_ilp(values: &[f64], weights: &[f64], cap: f64) -> IlpProblem {
+        IlpProblem {
+            objective: values.iter().map(|v| -v).collect(),
+            constraints: vec![Constraint::le(weights.to_vec(), cap)],
+            node_budget: 0,
+            warm: None,
+        }
+    }
+
+    #[test]
+    fn clean_certificates_verify() {
+        let p = knapsack_as_ilp(&[10.0, 6.0, 5.0], &[5.0, 4.0, 3.0], 7.0);
+        let (outcome, cert) = solve_binary_certified(&p).unwrap();
+        assert!(cert.complete && !cert.nodes.is_empty());
+        let findings = verify_ilp(&p, &outcome, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn warm_certificates_verify() {
+        let mut p = knapsack_as_ilp(&[10.0, 6.0, 5.0, 4.0], &[5.0, 4.0, 3.0, 2.0], 8.0);
+        let (cold, _) = solve_binary_certified(&p).unwrap();
+        let IlpOutcome::Solved { x, .. } = cold.clone() else { panic!() };
+        p.warm = Some(x);
+        let (outcome, cert) = solve_binary_certified(&p).unwrap();
+        assert_eq!(outcome, cold);
+        assert!(cert.warm.is_some());
+        let findings = verify_ilp(&p, &outcome, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn infeasible_certificates_verify() {
+        let p = IlpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![Constraint::eq(vec![1.0, 1.0], 3.0)],
+            node_budget: 0,
+            warm: None,
+        };
+        let (outcome, cert) = solve_binary_certified(&p).unwrap();
+        assert_eq!(outcome, IlpOutcome::Infeasible);
+        let findings = verify_ilp(&p, &outcome, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn corrupted_objective_fires_ba501() {
+        let p = knapsack_as_ilp(&[10.0, 6.0, 5.0], &[5.0, 4.0, 3.0], 7.0);
+        let (outcome, cert) = solve_binary_certified(&p).unwrap();
+        let IlpOutcome::Solved { x, objective, proven_optimal } = outcome else { panic!() };
+        let bad = IlpOutcome::Solved { x, objective: objective - 3.0, proven_optimal };
+        let findings = verify_ilp(&p, &bad, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::InfeasibleIncumbent), "{findings:?}");
+    }
+
+    #[test]
+    fn corrupted_prune_bound_fires_ba502() {
+        let p = knapsack_as_ilp(&[10.0, 6.0, 5.0, 4.0], &[5.0, 4.0, 3.0, 2.0], 8.0);
+        let (outcome, mut cert) = solve_binary_certified(&p).unwrap();
+        let bound = cert.nodes.iter_mut().find_map(|nd| match &mut nd.kind {
+            IlpNodeKind::Pruned { bound, .. } => Some(bound),
+            _ => None,
+        });
+        let bound = bound.expect("instance produces at least one prune");
+        // Claim a much stronger bound than the node's LP supports: neither
+        // the dual evidence nor a re-solve can justify it.
+        *bound += 100.0;
+        let findings = verify_ilp(&p, &outcome, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UnsoundPruneBound), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_child_fires_ba503() {
+        let p = knapsack_as_ilp(&[10.0, 6.0, 5.0, 4.0], &[5.0, 4.0, 3.0, 2.0], 8.0);
+        let (outcome, mut cert) = solve_binary_certified(&p).unwrap();
+        // Drop a non-root node: its parent's Branched coverage breaks.
+        let victim = (0..cert.nodes.len())
+            .find(|&i| cert.nodes[i].fixed.iter().any(|&f| f != -1))
+            .expect("tree has a non-root node");
+        cert.nodes.remove(victim);
+        let findings = verify_ilp(&p, &outcome, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UncoveredBranchLeaf), "{findings:?}");
+    }
+}

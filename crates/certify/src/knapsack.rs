@@ -1,0 +1,730 @@
+//! Verification of knapsack branch-and-bound and greedy certificates.
+//!
+//! The optimality proof is a replay of the recorded DFS preorder tree: the
+//! verifier walks the tree with its own weight/value accumulators, checks
+//! that every cut is justified by a Dantzig bound it recomputes itself
+//! (compressed prefix sums over the density order, `O(log n)` per node),
+//! that every skipped take-branch was statically impossible, and that the
+//! claimed optimum equals the best value any replayed node reached. Greedy
+//! answers are instead certified against the LP-relaxation optimum with an
+//! explicit approximation gap: the per-certificate check recomputes the
+//! bound through this crate's own Dantzig oracle (for fractional knapsack
+//! the Dantzig bound *is* the LP optimum), and
+//! [`verify_greedy_relaxation`] cross-checks that theorem's implementation
+//! by actually solving the relaxation with `blaze_solver::lp`.
+
+use blaze_audit::diagnostic::{DiagCode, Diagnostic};
+use blaze_solver::cert::{GreedyCertificate, KnapNode, KnapsackCertificate};
+use blaze_solver::knapsack::{KnapsackItem, KnapsackSolution, PRUNE_EPS, WARM_EPS};
+use blaze_solver::lp::{solve as solve_lp, Constraint, LinearProgram, LpOutcome};
+
+/// Scaled comparison tolerance for recomputed float quantities.
+fn tol(scale: f64) -> f64 {
+    1e-6 * (1.0 + scale.abs())
+}
+
+fn diag(code: DiagCode, message: String) -> Diagnostic {
+    Diagnostic::new(code, None, message, "re-run the solve uncertified and compare".into())
+}
+
+/// Density comparator the solver sorts under (strict total order:
+/// value/weight descending, then index ascending).
+fn density(item: &KnapsackItem) -> f64 {
+    if item.weight == 0 {
+        if item.value > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        item.value / item.weight as f64
+    }
+}
+
+fn order_is_sorted(items: &[KnapsackItem], order: &[usize]) -> bool {
+    order.windows(2).all(|w| {
+        let (a, b) = (w[0], w[1]);
+        let da = density(&items[a]);
+        let db = density(&items[b]);
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            != std::cmp::Ordering::Greater
+    })
+}
+
+fn is_permutation(n: usize, order: &[usize]) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    order.iter().all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+}
+
+/// Value and weight of a selection, recomputed from the items.
+fn selection_totals(items: &[KnapsackItem], selected: &[bool]) -> (f64, u64) {
+    let mut v = 0.0f64;
+    let mut w = 0u64;
+    for (it, &s) in items.iter().zip(selected) {
+        if s {
+            v += it.value;
+            w = w.saturating_add(it.weight);
+        }
+    }
+    (v, w)
+}
+
+/// Greedy fill over the density order (the solver's initial incumbent).
+fn greedy_fill_value(items: &[KnapsackItem], order: &[usize], capacity: u64) -> f64 {
+    let mut w = 0u64;
+    let mut v = 0.0f64;
+    for &i in order {
+        if items[i].value > 0.0 && w + items[i].weight <= capacity {
+            w += items[i].weight;
+            v += items[i].value;
+        }
+    }
+    v
+}
+
+/// Dantzig-bound oracle over a fixed density order: compressed prefix sums
+/// over the positive-value items let any `(pos, weight, value)` query be
+/// answered in `O(log n)` instead of the solver's `O(n)` scan.
+struct BoundOracle<'a> {
+    items: &'a [KnapsackItem],
+    order: &'a [usize],
+    capacity: u64,
+    /// Positions (indices into `order`) of positive-value items.
+    positions: Vec<usize>,
+    /// `cum_w[k]` = total weight of the first `k` positive items.
+    cum_w: Vec<u128>,
+    /// `cum_v[k]` = total value of the first `k` positive items.
+    cum_v: Vec<f64>,
+}
+
+impl<'a> BoundOracle<'a> {
+    fn new(items: &'a [KnapsackItem], order: &'a [usize], capacity: u64) -> Self {
+        let mut positions = Vec::new();
+        let mut cum_w = vec![0u128];
+        let mut cum_v = vec![0.0f64];
+        for (pos, &i) in order.iter().enumerate() {
+            if items[i].value > 0.0 {
+                positions.push(pos);
+                cum_w.push(cum_w.last().unwrap_or(&0) + u128::from(items[i].weight));
+                cum_v.push(cum_v.last().copied().unwrap_or(0.0) + items[i].value);
+            }
+        }
+        Self { items, order, capacity, positions, cum_w, cum_v }
+    }
+
+    /// The fractional (Dantzig) upper bound at `(pos, weight, value)`:
+    /// greedily take the remaining positive items in density order until
+    /// the first one that no longer fits, which contributes fractionally.
+    ///
+    /// This mirrors the solver's `upper_bound` exactly: consecutive fill
+    /// (no skipping past the break item), zero-weight positives always fit.
+    fn bound(&self, pos: usize, weight: u64, value: f64) -> f64 {
+        let s = self.positions.partition_point(|&p| p < pos);
+        let remaining = u128::from(self.capacity - weight);
+        // Largest t >= s with cum_w[t] - cum_w[s] <= remaining; the prefix
+        // is consecutive, so this is exactly the solver's fill loop.
+        let (mut lo, mut hi) = (s, self.positions.len());
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.cum_w[mid] - self.cum_w[s] <= remaining {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let t = lo;
+        let mut v = value + (self.cum_v[t] - self.cum_v[s]);
+        if t < self.positions.len() {
+            let it = &self.items[self.order[self.positions[t]]];
+            let room = remaining - (self.cum_w[t] - self.cum_w[s]);
+            if it.weight > 0 {
+                v += it.value * (room as f64) / it.weight as f64;
+            }
+        }
+        v
+    }
+}
+
+/// State of the preorder tree replay.
+struct Replay<'a> {
+    nodes: &'a [KnapNode],
+    items: &'a [KnapsackItem],
+    order: &'a [usize],
+    capacity: u64,
+    oracle: BoundOracle<'a>,
+    warm_value: Option<f64>,
+    final_value: f64,
+    cursor: usize,
+    /// Best entry value any replayed node reached.
+    max_entry: f64,
+    findings: Vec<Diagnostic>,
+}
+
+impl Replay<'_> {
+    /// Replays the preorder tree from `(pos, weight, value)` with an
+    /// explicit stack (trees reach depth `n`, and the per-node work is
+    /// small enough that call-frame overhead would dominate). Stops once a
+    /// finding is recorded (one finding pinpoints the failure; a corrupt
+    /// tree would otherwise cascade).
+    fn walk(&mut self, pos: usize, weight: u64, value: f64) {
+        let mut stack = vec![(pos, weight, value)];
+        while let Some((pos, weight, value)) = stack.pop() {
+            if !self.findings.is_empty() {
+                return;
+            }
+            self.step(&mut stack, pos, weight, value);
+        }
+    }
+
+    /// Consumes one recorded node against the replayed `(pos, weight,
+    /// value)` state, pushing children of branch nodes in preorder (take
+    /// subtree replayed before skip subtree, matching the solver's DFS).
+    fn step(&mut self, stack: &mut Vec<(usize, u64, f64)>, pos: usize, weight: u64, value: f64) {
+        let Some(node) = self.nodes.get(self.cursor) else {
+            self.findings.push(diag(
+                DiagCode::UncoveredBranchLeaf,
+                format!("certificate tree ends early at node {}", self.cursor),
+            ));
+            return;
+        };
+        self.cursor += 1;
+        self.max_entry = self.max_entry.max(value);
+        if pos >= self.order.len() {
+            if *node != KnapNode::Leaf {
+                self.findings.push(diag(
+                    DiagCode::UncoveredBranchLeaf,
+                    format!("expected a leaf at exhausted position {pos}, found {node:?}"),
+                ));
+            }
+            return;
+        }
+        match *node {
+            KnapNode::Leaf => {
+                // A leaf above the last position leaves items undecided.
+                self.findings.push(diag(
+                    DiagCode::UncoveredBranchLeaf,
+                    format!(
+                        "leaf at position {pos} leaves {} items undecided",
+                        self.order.len() - pos
+                    ),
+                ));
+            }
+            KnapNode::Pruned { bound } => {
+                let recomputed = self.oracle.bound(pos, weight, value);
+                if (recomputed - bound).abs() > tol(bound) {
+                    self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "recorded prune bound {bound} != recomputed Dantzig bound \
+                             {recomputed} at position {pos}"
+                        ),
+                    ));
+                } else if recomputed > self.final_value + PRUNE_EPS + tol(self.final_value) {
+                    self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "prune bound {recomputed} exceeds the final value {} — the cut \
+                             subtree could hold a better selection",
+                            self.final_value
+                        ),
+                    ));
+                }
+            }
+            KnapNode::PrunedWarm { bound } => {
+                let recomputed = self.oracle.bound(pos, weight, value);
+                if (recomputed - bound).abs() > tol(bound) {
+                    self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "recorded warm-prune bound {bound} != recomputed Dantzig bound \
+                             {recomputed} at position {pos}"
+                        ),
+                    ));
+                    return;
+                }
+                match self.warm_value {
+                    Some(wv) if recomputed <= wv - WARM_EPS + tol(wv) => {}
+                    Some(wv) => self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "warm prune bound {recomputed} is not below the warm value {wv} \
+                             by the required margin"
+                        ),
+                    )),
+                    None => self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        "warm prune recorded but the certificate carries no warm evidence".into(),
+                    )),
+                }
+            }
+            KnapNode::Branch => {
+                let i = self.order[pos];
+                let it = self.items[i];
+                if !(it.value > 0.0 && weight + it.weight <= self.capacity) {
+                    self.findings.push(diag(
+                        DiagCode::UncoveredBranchLeaf,
+                        format!(
+                            "take branch of item {i} at position {pos} is statically \
+                             impossible yet the tree claims to explore it"
+                        ),
+                    ));
+                    return;
+                }
+                stack.push((pos + 1, weight, value));
+                stack.push((pos + 1, weight + it.weight, value + it.value));
+            }
+            KnapNode::SkipOnly => {
+                let i = self.order[pos];
+                let it = self.items[i];
+                if it.value > 0.0 && weight + it.weight <= self.capacity {
+                    self.findings.push(diag(
+                        DiagCode::UncoveredBranchLeaf,
+                        format!(
+                            "take branch of item {i} at position {pos} is feasible and \
+                             valuable but the tree never explores it"
+                        ),
+                    ));
+                    return;
+                }
+                stack.push((pos + 1, weight, value));
+            }
+        }
+    }
+}
+
+/// Verifies a knapsack solution against its branch-and-bound certificate.
+///
+/// Checks, in order: solution feasibility and pricing (`BA501`), density
+/// order validity and warm-evidence soundness (`BA502`), and — for complete
+/// searches — a full preorder replay of the recorded tree: coverage of the
+/// search space (`BA503`), recomputed-bound justification of every cut
+/// (`BA502`), and agreement of the claimed optimum with the best replayed
+/// value (`BA501`). Incomplete (budget-exhausted) solves carry no tree and
+/// are checked for greedy dominance only.
+pub fn verify_knapsack(
+    items: &[KnapsackItem],
+    capacity: u64,
+    solution: &KnapsackSolution,
+    cert: &KnapsackCertificate,
+) -> Vec<Diagnostic> {
+    let n = items.len();
+    let mut findings = Vec::new();
+
+    // BA501: the claimed solution must be real before anything else.
+    if solution.selected.len() != n {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!("solution has {} flags for {n} items", solution.selected.len()),
+        ));
+        return findings;
+    }
+    let (value, weight) = selection_totals(items, &solution.selected);
+    if weight > capacity {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!("selection weighs {weight} bytes, over the {capacity}-byte capacity"),
+        ));
+    }
+    if weight != solution.weight || (value - solution.value).abs() > tol(value) {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!(
+                "selection recomputes to value {value} / weight {weight}, certificate claims \
+                 {} / {}",
+                solution.value, solution.weight
+            ),
+        ));
+    }
+    if !findings.is_empty() {
+        return findings;
+    }
+
+    // BA502: the density order underpins every Dantzig bound.
+    if !is_permutation(n, &solution.order) || !order_is_sorted(items, &solution.order) {
+        findings.push(diag(
+            DiagCode::UnsoundPruneBound,
+            "solution order is not the density-sorted permutation; every recorded bound \
+             would be computed over the wrong item sequence"
+                .into(),
+        ));
+        return findings;
+    }
+
+    // BA502: warm evidence must itself be feasible and correctly priced,
+    // and (for complete solves) dominated by the final answer.
+    let mut warm_value = None;
+    if let Some(w) = &cert.warm {
+        if w.selection.len() != n {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                format!("warm evidence has {} flags for {n} items", w.selection.len()),
+            ));
+            return findings;
+        }
+        let (wv, ww) = selection_totals(items, &w.selection);
+        if ww > capacity || (wv - w.value).abs() > tol(wv) {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                format!(
+                    "warm evidence recomputes to value {wv} / weight {ww} (capacity \
+                     {capacity}), recorded value {}",
+                    w.value
+                ),
+            ));
+            return findings;
+        }
+        if cert.complete && solution.value < w.value - WARM_EPS - tol(w.value) {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                format!(
+                    "final value {} is below the warm lower bound {} — warm prunes could \
+                     have cut the optimum",
+                    solution.value, w.value
+                ),
+            ));
+            return findings;
+        }
+        warm_value = Some(w.value);
+    }
+
+    // BA503: the proven flag must match tree completeness.
+    if solution.proven_optimal != cert.complete {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            format!(
+                "proven_optimal={} disagrees with certificate complete={}",
+                solution.proven_optimal, cert.complete
+            ),
+        ));
+        return findings;
+    }
+
+    let greedy = greedy_fill_value(items, &solution.order, capacity);
+    if !cert.complete {
+        // No tree to replay: the solution must still dominate greedy.
+        if solution.value < greedy - tol(greedy) {
+            findings.push(diag(
+                DiagCode::InfeasibleIncumbent,
+                format!(
+                    "budget-exhausted solution {} is worse than the greedy fill {greedy}",
+                    solution.value
+                ),
+            ));
+        }
+        return findings;
+    }
+
+    // Full preorder replay of the search tree.
+    if cert.nodes.is_empty() {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            "complete certificate carries no tree nodes".into(),
+        ));
+        return findings;
+    }
+    let oracle = BoundOracle::new(items, &solution.order, capacity);
+    let mut replay = Replay {
+        nodes: &cert.nodes,
+        items,
+        order: &solution.order,
+        capacity,
+        oracle,
+        warm_value,
+        final_value: solution.value,
+        cursor: 0,
+        max_entry: f64::NEG_INFINITY,
+        findings,
+    };
+    replay.walk(0, 0, 0.0);
+    let mut findings = replay.findings;
+    if !findings.is_empty() {
+        return findings;
+    }
+    if replay.cursor != cert.nodes.len() {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            format!(
+                "certificate records {} nodes but the replay consumed {}",
+                cert.nodes.len(),
+                replay.cursor
+            ),
+        ));
+        return findings;
+    }
+    // Closure of the optimality proof: the claimed value must equal the
+    // best value any explored node (or the greedy incumbent) reached.
+    let best_seen = replay.max_entry.max(greedy);
+    if (best_seen - solution.value).abs() > tol(solution.value) {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!(
+                "claimed optimum {} differs from the best replayed value {best_seen}",
+                solution.value
+            ),
+        ));
+    }
+    findings
+}
+
+/// Verifies a greedy solution against its LP-relaxation certificate.
+///
+/// The verifier recomputes the fractional-relaxation optimum with its own
+/// [`BoundOracle`] (for fractional knapsack the Dantzig bound over the
+/// verified density order *is* the LP optimum), checks the certificate's
+/// `relaxation_bound` against it (`BA502`), and checks that the greedy
+/// value is within the declared gap of that bound (`BA504`). Solution
+/// feasibility and pricing are checked as for any incumbent (`BA501`).
+/// `O(n log n)` total; [`verify_greedy_relaxation`] is the slow
+/// cross-check that validates the Dantzig-equals-LP shortcut itself.
+pub fn verify_greedy(
+    items: &[KnapsackItem],
+    capacity: u64,
+    solution: &KnapsackSolution,
+    cert: &GreedyCertificate,
+) -> Vec<Diagnostic> {
+    let n = items.len();
+    let mut findings = Vec::new();
+    if solution.selected.len() != n {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!("solution has {} flags for {n} items", solution.selected.len()),
+        ));
+        return findings;
+    }
+    let (value, weight) = selection_totals(items, &solution.selected);
+    if weight > capacity || weight != solution.weight || (value - solution.value).abs() > tol(value)
+    {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!(
+                "greedy selection recomputes to value {value} / weight {weight} (capacity \
+                 {capacity}), claimed {} / {}",
+                solution.value, solution.weight
+            ),
+        ));
+        return findings;
+    }
+    if !is_permutation(n, &solution.order) || !order_is_sorted(items, &solution.order) {
+        findings.push(diag(
+            DiagCode::UnsoundPruneBound,
+            "greedy order is not the density-sorted permutation".into(),
+        ));
+        return findings;
+    }
+
+    // The certificate's relaxation bound must equal the optimum of
+    //   max Σ v_i x_i  s.t.  Σ w_i x_i <= capacity, 0 <= x <= 1,
+    // which over a verified density order is exactly the root Dantzig
+    // bound (consecutive fill, fractional break item).
+    let oracle = BoundOracle::new(items, &solution.order, capacity);
+    let lp_opt = oracle.bound(0, 0, 0.0);
+    if (lp_opt - cert.relaxation_bound).abs() > tol(lp_opt) {
+        findings.push(diag(
+            DiagCode::UnsoundPruneBound,
+            format!(
+                "declared relaxation bound {} differs from the recomputed relaxation \
+                 optimum {lp_opt}",
+                cert.relaxation_bound
+            ),
+        ));
+        return findings;
+    }
+    if cert.declared_gap < -tol(cert.declared_gap) {
+        findings.push(diag(
+            DiagCode::GreedyGapExceeded,
+            format!("declared gap {} is negative", cert.declared_gap),
+        ));
+        return findings;
+    }
+    if solution.value < cert.relaxation_bound - cert.declared_gap - tol(cert.relaxation_bound) {
+        findings.push(diag(
+            DiagCode::GreedyGapExceeded,
+            format!(
+                "greedy value {} is more than the declared gap {} below the relaxation \
+                 bound {}",
+                solution.value, cert.declared_gap, cert.relaxation_bound
+            ),
+        ));
+    }
+    findings
+}
+
+/// Cross-checks a greedy certificate's `relaxation_bound` by actually
+/// solving the fractional relaxation with `blaze_solver::lp` (`BA502` on
+/// disagreement).
+///
+/// [`verify_greedy`] recomputes the bound through the Dantzig oracle, which
+/// equals the LP optimum *by theorem*; this function validates that the two
+/// independent implementations (simplex in `blaze-solver`, prefix-sum fill
+/// here) agree on concrete instances. It costs a full LP solve, so it backs
+/// the `blaze-certify` mutation harness and the property tests rather than
+/// the per-certificate hot path.
+pub fn verify_greedy_relaxation(
+    items: &[KnapsackItem],
+    capacity: u64,
+    cert: &GreedyCertificate,
+) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let relaxation = relaxation_lp(items, capacity);
+    let lp_opt = match solve_lp(&relaxation) {
+        Ok(LpOutcome::Optimal { objective, .. }) => -objective,
+        other => {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                format!("fractional relaxation failed to solve: {other:?}"),
+            ));
+            return findings;
+        }
+    };
+    if (lp_opt - cert.relaxation_bound).abs() > tol(lp_opt) {
+        findings.push(diag(
+            DiagCode::UnsoundPruneBound,
+            format!(
+                "declared relaxation bound {} differs from the LP optimum {lp_opt}",
+                cert.relaxation_bound
+            ),
+        ));
+    }
+    findings
+}
+
+/// The fractional knapsack relaxation as a [`LinearProgram`] (minimization
+/// of the negated value).
+fn relaxation_lp(items: &[KnapsackItem], capacity: u64) -> LinearProgram {
+    let n = items.len();
+    let mut constraints = Vec::with_capacity(n + 1);
+    constraints
+        .push(Constraint::le(items.iter().map(|it| it.weight as f64).collect(), capacity as f64));
+    for i in 0..n {
+        let mut row = vec![0.0; n];
+        row[i] = 1.0;
+        constraints.push(Constraint::le(row, 1.0));
+    }
+    LinearProgram { objective: items.iter().map(|it| -it.value).collect(), constraints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_solver::knapsack::{greedy_certificate, solve_knapsack_certified, WarmStart};
+
+    fn it(value: f64, weight: u64) -> KnapsackItem {
+        KnapsackItem { value, weight }
+    }
+
+    #[test]
+    fn clean_certificates_verify() {
+        let items = [it(60.0, 10), it(100.0, 20), it(120.0, 30), it(-3.0, 5), it(7.0, 0)];
+        let (sol, cert) = solve_knapsack_certified(&items, 50, 0, None);
+        assert!(sol.proven_optimal);
+        let findings = verify_knapsack(&items, 50, &sol, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn warm_certificates_verify() {
+        let items = [it(60.0, 10), it(50.0, 9), it(50.0, 9)];
+        let (cold, _) = solve_knapsack_certified(&items, 18, 0, None);
+        let warm = WarmStart { order: cold.order.clone(), selection: cold.selected.clone() };
+        let (sol, cert) = solve_knapsack_certified(&items, 18, 0, Some(&warm));
+        assert_eq!(sol.selected, cold.selected);
+        assert!(cert.warm.is_some());
+        let findings = verify_knapsack(&items, 18, &sol, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn corrupted_value_fires_ba501() {
+        let items = [it(60.0, 10), it(100.0, 20), it(120.0, 30)];
+        let (mut sol, cert) = solve_knapsack_certified(&items, 50, 0, None);
+        sol.value += 5.0;
+        let findings = verify_knapsack(&items, 50, &sol, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::InfeasibleIncumbent), "{findings:?}");
+    }
+
+    #[test]
+    fn corrupted_prune_bound_fires_ba502() {
+        let items = [it(60.0, 10), it(50.0, 9), it(50.0, 9), it(20.0, 4)];
+        let (sol, mut cert) = solve_knapsack_certified(&items, 18, 0, None);
+        let pruned = cert.nodes.iter_mut().find_map(|n| match n {
+            KnapNode::Pruned { bound } => Some(bound),
+            _ => None,
+        });
+        let bound = pruned.expect("instance produces at least one prune");
+        *bound += 100.0;
+        let findings = verify_knapsack(&items, 18, &sol, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UnsoundPruneBound), "{findings:?}");
+    }
+
+    #[test]
+    fn truncated_tree_fires_ba503() {
+        let items = [it(60.0, 10), it(100.0, 20), it(120.0, 30)];
+        let (sol, mut cert) = solve_knapsack_certified(&items, 50, 0, None);
+        cert.nodes.pop();
+        let findings = verify_knapsack(&items, 50, &sol, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UncoveredBranchLeaf), "{findings:?}");
+    }
+
+    #[test]
+    fn greedy_certificates_verify_and_mutations_fire_ba504() {
+        let items = [it(60.0, 10), it(50.0, 9), it(50.0, 9), it(3.0, 1)];
+        let (sol, _) = solve_knapsack_certified(&items, 18, 1, None);
+        assert!(!sol.proven_optimal);
+        let cert = greedy_certificate(&items, 18, &sol);
+        let findings = verify_greedy(&items, 18, &sol, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        // Understating the gap must fire BA504.
+        let mut bad = cert.clone();
+        bad.declared_gap = 0.0;
+        let findings = verify_greedy(&items, 18, &sol, &bad);
+        assert!(findings.iter().any(|d| d.code == DiagCode::GreedyGapExceeded), "{findings:?}");
+        // Corrupting the bound must fire BA502.
+        let mut bad = cert.clone();
+        bad.relaxation_bound += 50.0;
+        let findings = verify_greedy(&items, 18, &sol, &bad);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UnsoundPruneBound), "{findings:?}");
+    }
+
+    #[test]
+    fn lp_cross_check_agrees_with_dantzig_shortcut() {
+        // verify_greedy trusts Dantzig == LP optimum; this exercises the
+        // slow path that proves the two implementations agree.
+        let items = [it(60.0, 10), it(50.0, 9), it(50.0, 9), it(3.0, 1), it(7.0, 0), it(-2.0, 4)];
+        let (sol, _) = solve_knapsack_certified(&items, 18, 1, None);
+        let cert = greedy_certificate(&items, 18, &sol);
+        let findings = verify_greedy_relaxation(&items, 18, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        let mut bad = cert.clone();
+        bad.relaxation_bound += 50.0;
+        let findings = verify_greedy_relaxation(&items, 18, &bad);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UnsoundPruneBound), "{findings:?}");
+    }
+
+    #[test]
+    fn oracle_matches_solver_bound_exactly_at_root() {
+        // The oracle's root query must equal the greedy certificate's
+        // relaxation bound (same Dantzig computation).
+        let items =
+            [it(60.0, 10), it(100.0, 20), it(120.0, 30), it(7.0, 0), it(-3.0, 5), it(9.0, 2)];
+        let (sol, _) = solve_knapsack_certified(&items, 37, 0, None);
+        let oracle = BoundOracle::new(&items, &sol.order, 37);
+        let cert = greedy_certificate(&items, 37, &sol);
+        assert!((oracle.bound(0, 0, 0.0) - cert.relaxation_bound).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_exhausted_solutions_check_greedy_dominance_only() {
+        let items: Vec<KnapsackItem> =
+            (0..40).map(|i| it(((i * 37) % 97) as f64 + 1.0, ((i * 53) % 41) as u64 + 1)).collect();
+        let cap = items.iter().map(|i| i.weight).sum::<u64>() / 2;
+        let (sol, cert) = solve_knapsack_certified(&items, cap, 50, None);
+        assert!(!sol.proven_optimal && !cert.complete && cert.nodes.is_empty());
+        let findings = verify_knapsack(&items, cap, &sol, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

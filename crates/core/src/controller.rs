@@ -18,7 +18,7 @@
 use crate::cost::CostModel;
 use crate::costlineage::{CostLineage, PartitionState};
 use crate::incremental::{DecisionStats, IncrementalOptimizer};
-use crate::optimize::{optimize_states, OptimizerConfig};
+use crate::optimize::{optimize_states, optimize_states_with_certificates, OptimizerConfig};
 use crate::pattern::{detect, IterationPattern};
 use crate::profiler::ProfileResult;
 use crate::refs::JobRefs;
@@ -55,6 +55,13 @@ pub struct BlazeConfig {
     /// assert that their command streams are identical (active in release
     /// builds too). A correctness harness, not a production setting.
     pub shadow_compare: bool,
+    /// Certify mode: every solver emits a machine-checkable decision
+    /// certificate, verified inline by `blaze-certify` at each job
+    /// submission (BA501–BA505; any finding panics). Decision-identical by
+    /// construction — certified solvers only append to side vectors — so
+    /// this is a debugging harness like `shadow_compare`, not a production
+    /// setting.
+    pub certify: bool,
 }
 
 impl BlazeConfig {
@@ -69,6 +76,7 @@ impl BlazeConfig {
             induce_horizon: 4,
             incremental: true,
             shadow_compare: false,
+            certify: false,
         }
     }
 
@@ -114,12 +122,18 @@ pub struct BlazeController {
     /// scratch; a bump means the target sequence was truncated and the
     /// append-only reference extension is no longer sound.
     refs_seq_rev: u64,
+    /// Certificates emitted and verified by the *from-scratch* path under
+    /// certify mode (the incremental path counts its own in
+    /// [`DecisionStats::certified`]).
+    certified_scratch: u64,
 }
 
 impl BlazeController {
     /// Creates a controller, optionally seeded by a dependency-extraction
     /// run ([`crate::profiler::extract_dependencies`]).
     pub fn new(cfg: BlazeConfig, profile: Option<ProfileResult>) -> Self {
+        let mut incr = IncrementalOptimizer::new();
+        incr.set_certify(cfg.certify);
         match profile {
             Some(p) => Self {
                 cfg,
@@ -132,8 +146,9 @@ impl BlazeController {
                 consumed_by_stage: FxHashMap::default(),
                 tick: 0,
                 recency: FxHashMap::default(),
-                incr: IncrementalOptimizer::new(),
+                incr,
                 refs_seq_rev: u64::MAX,
+                certified_scratch: 0,
             },
             None => Self {
                 cfg,
@@ -146,8 +161,9 @@ impl BlazeController {
                 consumed_by_stage: FxHashMap::default(),
                 tick: 0,
                 recency: FxHashMap::default(),
-                incr: IncrementalOptimizer::new(),
+                incr,
                 refs_seq_rev: u64::MAX,
+                certified_scratch: 0,
             },
         }
     }
@@ -246,9 +262,12 @@ impl BlazeController {
         }
     }
 
-    /// Work-avoidance counters of the incremental decision path.
+    /// Work-avoidance counters of the incremental decision path, plus the
+    /// certificates verified by whichever path ran.
     pub fn decision_stats(&self) -> DecisionStats {
-        self.incr.stats()
+        let mut stats = self.incr.stats();
+        stats.certified += self.certified_scratch;
+        stats
     }
 }
 
@@ -333,6 +352,27 @@ impl CacheController for BlazeController {
                     "residency index diverged from the per-partition states"
                 );
             }
+            commands
+        } else if self.cfg.certify {
+            let (commands, certs) = optimize_states_with_certificates(
+                &self.lineage,
+                &self.refs,
+                self.pattern,
+                &ctx.hardware,
+                ctx.memory_capacity,
+                self.current_idx,
+                &self.cfg.optimizer,
+            );
+            for cert in &certs {
+                let findings = blaze_certify::verify_instance(cert);
+                assert!(
+                    findings.is_empty(),
+                    "decision certificate for {:?} failed verification at job {job:?}: \
+                     {findings:?}",
+                    cert.executor
+                );
+            }
+            self.certified_scratch += certs.len() as u64;
             commands
         } else {
             optimize_states(

@@ -37,16 +37,23 @@
 use crate::cost::{CostMemo, CostModel};
 use crate::costlineage::CostLineage;
 use crate::optimize::{
-    emit_commands, gather_candidates, knapsack_items, solve_exact, Candidate, OptimizerConfig,
-    SolveStrategy,
+    emit_commands, gather_candidates, knapsack_items, solve_exact, solve_exact_certified,
+    Candidate, OptimizerConfig, SolveStrategy,
 };
 use crate::pattern::IterationPattern;
 use crate::refs::JobRefs;
+use blaze_certify::{
+    check_dirty_closure, verify_instance, InstanceCertificate, InstancePayload, LineageNodeView,
+    LineageView,
+};
+// audit: allow(decision-hash) keyed lookups only; every iteration below sorts keys first
 use blaze_common::fxhash::{FxHashMap, FxHashSet};
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::ByteSize;
 use blaze_engine::{HardwareModel, StateCommand};
-use blaze_solver::knapsack::{solve_knapsack_warm, WarmStart};
+use blaze_solver::knapsack::{
+    greedy_certificate, solve_knapsack_certified, solve_knapsack_warm, WarmStart,
+};
 
 /// Counters describing how much work the incremental path avoided; exported
 /// by the decision benchmark.
@@ -60,6 +67,8 @@ pub struct DecisionStats {
     pub dirty_drained: u64,
     /// Memo entries invalidated by dirty-set propagation.
     pub invalidated: u64,
+    /// Decision certificates emitted and inline-verified (certify mode).
+    pub certified: u64,
 }
 
 /// One executor's retained solve: the instance it answered and the answer.
@@ -86,8 +95,15 @@ pub struct IncrementalOptimizer {
     /// under (see [`crate::cost::CostMemo`]).
     pattern: Option<IterationPattern>,
     metrics_rev: u64,
+    // audit: allow(decision-hash) keyed per-executor lookup, retained/drained by sorted key
     prev: FxHashMap<ExecutorId, PrevSolve>,
     stats: DecisionStats,
+    /// Certify mode: emit a decision certificate for every actual solve,
+    /// verify it inline (panicking on any finding), and check every dirty
+    /// invalidation's closure for BA505 soundness. A debugging harness like
+    /// `shadow_compare` — certified solvers return byte-identical answers,
+    /// so flipping this cannot change decisions, only validate them.
+    certify: bool,
 }
 
 impl IncrementalOptimizer {
@@ -108,9 +124,15 @@ impl IncrementalOptimizer {
         self.prev.clear();
     }
 
+    /// Enables or disables certify mode (see the `certify` field).
+    pub fn set_certify(&mut self, on: bool) {
+        self.certify = on;
+    }
+
     /// Removes memo entries that a dirty block could have contributed to:
     /// the block itself and its narrow descendants on the same partition.
     fn invalidate_dirty(&mut self, lineage: &CostLineage, dirty: &[BlockId]) {
+        // audit: allow(decision-hash) membership set only; traversal order comes from the stack
         let mut visited: FxHashSet<BlockId> = FxHashSet::default();
         let mut stack: Vec<BlockId> = Vec::new();
         for &b in dirty {
@@ -129,6 +151,28 @@ impl IncrementalOptimizer {
                 }
             }
         }
+    }
+
+    /// BA505: after [`Self::invalidate_dirty`], no retained memo entry may
+    /// be narrow-reachable from a dirty block. The closure is recomputed by
+    /// `blaze-certify` from a plain-data lineage snapshot (independent of
+    /// [`CostLineage::narrow_children`]), so an under-approximating
+    /// invalidation cannot vouch for itself.
+    fn check_invalidation_soundness(&self, lineage: &CostLineage, dirty: &[BlockId]) {
+        let view = LineageView {
+            nodes: lineage
+                .iter()
+                .map(|n| LineageNodeView {
+                    rdd: n.rdd,
+                    parents: n.parents.clone(),
+                    is_shuffle: n.is_shuffle,
+                })
+                .collect(),
+        };
+        let mut retained: Vec<BlockId> = self.memo.keys().copied().collect();
+        retained.sort();
+        let findings = check_dirty_closure(&view, dirty, &retained);
+        assert!(findings.is_empty(), "dirty-closure certification failed (BA505): {findings:?}");
     }
 
     /// The incremental counterpart of [`crate::optimize::optimize_states`]:
@@ -154,6 +198,9 @@ impl IncrementalOptimizer {
         let dirty = lineage.take_dirty();
         self.stats.dirty_drained += dirty.len() as u64;
         self.invalidate_dirty(lineage, &dirty);
+        if self.certify {
+            self.check_invalidation_soundness(lineage, &dirty);
+        }
 
         let mut model =
             CostModel::with_memo(lineage, hardware, pattern, std::mem::take(&mut self.memo));
@@ -197,6 +244,7 @@ impl IncrementalOptimizer {
         }
         self.stats.solves += 1;
         let warm = self.prev.get(&exec);
+        // audit: allow(decision-hash) keyed index, never iterated
         let index_of: FxHashMap<BlockId, usize> =
             candidates.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
         let (keep, order) = match strategy {
@@ -215,8 +263,34 @@ impl IncrementalOptimizer {
                     WarmStart { order, selection }
                 });
                 let budget = if strategy == SolveStrategy::Greedy { 1 } else { 0 };
-                let sol =
-                    solve_knapsack_warm(&items, capacity.as_bytes(), budget, warm_start.as_ref());
+                let sol = if self.certify {
+                    let (sol, cert) = solve_knapsack_certified(
+                        &items,
+                        capacity.as_bytes(),
+                        budget,
+                        warm_start.as_ref(),
+                    );
+                    let payload = if strategy == SolveStrategy::Greedy {
+                        let cert = greedy_certificate(&items, capacity.as_bytes(), &sol);
+                        InstancePayload::Greedy {
+                            items,
+                            capacity: capacity.as_bytes(),
+                            solution: sol.clone(),
+                            cert,
+                        }
+                    } else {
+                        InstancePayload::Knapsack {
+                            items,
+                            capacity: capacity.as_bytes(),
+                            solution: sol.clone(),
+                            cert,
+                        }
+                    };
+                    self.verify_inline(exec, payload);
+                    sol
+                } else {
+                    solve_knapsack_warm(&items, capacity.as_bytes(), budget, warm_start.as_ref())
+                };
                 let order = sol.order.iter().map(|&i| candidates[i].id).collect();
                 (sol.selected, order)
             }
@@ -233,12 +307,33 @@ impl IncrementalOptimizer {
                     }
                     flags
                 });
-                (solve_exact(&candidates, capacity, warm_keep.as_deref()), Vec::new())
+                let keep = if self.certify && !candidates.is_empty() {
+                    let (keep, payload) =
+                        solve_exact_certified(&candidates, capacity, warm_keep.as_deref());
+                    self.verify_inline(exec, payload);
+                    keep
+                } else {
+                    solve_exact(&candidates, capacity, warm_keep.as_deref())
+                };
+                (keep, Vec::new())
             }
         };
         self.prev
             .insert(exec, PrevSolve { capacity, strategy, candidates, keep: keep.clone(), order });
         keep
+    }
+
+    /// Certify-mode enforcement: verifies one emitted certificate and
+    /// panics with the findings on any failure (a debugging harness — the
+    /// solver's own answer never depends on this running).
+    fn verify_inline(&mut self, executor: ExecutorId, payload: InstancePayload) {
+        let cert = InstanceCertificate { executor, payload };
+        let findings = verify_instance(&cert);
+        assert!(
+            findings.is_empty(),
+            "decision certificate for {executor:?} failed verification: {findings:?}"
+        );
+        self.stats.certified += 1;
     }
 }
 

@@ -26,12 +26,16 @@ use crate::cost::CostModel;
 use crate::costlineage::{CostLineage, PartitionState};
 use crate::pattern::IterationPattern;
 use crate::refs::JobRefs;
+use blaze_certify::{InstanceCertificate, InstancePayload};
+// audit: allow(decision-hash) keyed buckets only; callers sort executor ids before draining
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::{ByteSize, SimDuration};
 use blaze_engine::{HardwareModel, StateCommand};
-use blaze_solver::ilp::{solve_binary, IlpOutcome, IlpProblem};
-use blaze_solver::knapsack::{solve_knapsack, KnapsackItem};
+use blaze_solver::ilp::{solve_binary, solve_binary_certified, IlpOutcome, IlpProblem};
+use blaze_solver::knapsack::{
+    greedy_certificate, solve_knapsack, solve_knapsack_certified, KnapsackItem,
+};
 use blaze_solver::lp::Constraint;
 
 /// How the per-executor state program is solved.
@@ -99,7 +103,9 @@ pub(crate) fn gather_candidates(
     current_job: usize,
     config: &OptimizerConfig,
     model: &mut CostModel<'_>,
+    // audit: allow(decision-hash) per-executor buckets, drained in sorted key order
 ) -> FxHashMap<ExecutorId, Vec<Candidate>> {
+    // audit: allow(decision-hash) entry/remove by key; bucket contents sorted before use
     let mut per_exec: FxHashMap<ExecutorId, Vec<Candidate>> = FxHashMap::default();
     let cached: Vec<(BlockId, PartitionState)> = lineage
         .blocks_in_memory()
@@ -237,6 +243,42 @@ pub fn optimize_states(
     emit_commands(&solved, refs, current_job, config)
 }
 
+/// [`optimize_states`], additionally returning the decision certificate of
+/// every per-executor solve (one per executor, in ascending executor order).
+///
+/// The command stream is byte-identical to the plain path: certified solvers
+/// only append to side vectors and never influence the search (see
+/// `blaze_solver::knapsack::solve_knapsack_certified` /
+/// `blaze_solver::ilp::solve_binary_certified`). Certificates are checked by
+/// `blaze_certify::verify_instance` — inline under `BlazeConfig::certify`,
+/// offline by the `blaze-certify` binary.
+#[allow(clippy::too_many_arguments)] // Mirrors optimize_states.
+pub fn optimize_states_with_certificates(
+    lineage: &CostLineage,
+    refs: &JobRefs,
+    pattern: Option<IterationPattern>,
+    hardware: &HardwareModel,
+    memory_capacity: ByteSize,
+    current_job: usize,
+    config: &OptimizerConfig,
+) -> (Vec<StateCommand>, Vec<InstanceCertificate>) {
+    let mut model = CostModel::new(lineage, hardware, pattern);
+    let mut per_exec = gather_candidates(lineage, refs, hardware, current_job, config, &mut model);
+
+    let mut execs: Vec<ExecutorId> = per_exec.keys().copied().collect();
+    execs.sort();
+    let mut solved = Vec::with_capacity(execs.len());
+    let mut certs = Vec::with_capacity(execs.len());
+    for exec in execs {
+        let candidates = per_exec.remove(&exec).unwrap_or_default();
+        let (keep, cert) =
+            solve_instance_certified(exec, &candidates, memory_capacity, config.strategy);
+        certs.push(cert);
+        solved.push((exec, candidates, keep));
+    }
+    (emit_commands(&solved, refs, current_job, config), certs)
+}
+
 /// The knapsack encoding of one executor's instance (saved recovery cost as
 /// value, partition size as weight). Shared by the cold and warm solves so
 /// both price items identically.
@@ -276,21 +318,62 @@ pub(crate) fn solve_instance(
     }
 }
 
-/// The literal Eq. 5–6 encoding: variables `[m_0, d_0, u_0, m_1, ...]`.
+/// [`solve_instance`] with certificate emission: same keep flags, plus the
+/// instance/answer/proof bundle the verifier checks.
 ///
-/// `warm_keep` (previous keep flags over the same candidate slots) is
-/// expanded to a full `(m, d, u)` assignment and passed to the solver as a
-/// pruning bound; see [`IlpProblem::warm`] for why this cannot change the
-/// returned assignment.
-pub(crate) fn solve_exact(
+/// An empty `ExactIlp` instance has no program to encode, so it is certified
+/// through the (trivially equivalent) knapsack payload.
+pub(crate) fn solve_instance_certified(
+    executor: ExecutorId,
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    strategy: SolveStrategy,
+) -> (Vec<bool>, InstanceCertificate) {
+    let payload = match strategy {
+        SolveStrategy::Greedy => {
+            let items = knapsack_items(candidates);
+            let solution = solve_knapsack(&items, capacity.as_bytes(), 1);
+            let cert = greedy_certificate(&items, capacity.as_bytes(), &solution);
+            InstancePayload::Greedy { items, capacity: capacity.as_bytes(), solution, cert }
+        }
+        SolveStrategy::Knapsack => {
+            let items = knapsack_items(candidates);
+            let (solution, cert) = solve_knapsack_certified(&items, capacity.as_bytes(), 0, None);
+            InstancePayload::Knapsack { items, capacity: capacity.as_bytes(), solution, cert }
+        }
+        SolveStrategy::ExactIlp if !candidates.is_empty() => {
+            let (_, payload) = solve_exact_certified(candidates, capacity, None);
+            payload
+        }
+        SolveStrategy::ExactIlp => {
+            let (solution, cert) = solve_knapsack_certified(&[], capacity.as_bytes(), 0, None);
+            InstancePayload::Knapsack {
+                items: Vec::new(),
+                capacity: capacity.as_bytes(),
+                solution,
+                cert,
+            }
+        }
+    };
+    let keep = match &payload {
+        InstancePayload::Knapsack { solution, .. } | InstancePayload::Greedy { solution, .. } => {
+            solution.selected.clone()
+        }
+        InstancePayload::Ilp { outcome, .. } => match outcome {
+            IlpOutcome::Solved { x, .. } => (0..candidates.len()).map(|i| x[3 * i]).collect(),
+            _ => vec![false; candidates.len()],
+        },
+    };
+    (keep, InstanceCertificate { executor, payload })
+}
+
+/// The literal Eq. 5–6 program over `[m_0, d_0, u_0, m_1, ...]` binaries.
+fn eq56_problem(
     candidates: &[Candidate],
     capacity: ByteSize,
     warm_keep: Option<&[bool]>,
-) -> Vec<bool> {
+) -> IlpProblem {
     let n = candidates.len();
-    if n == 0 {
-        return Vec::new();
-    }
     let nv = 3 * n;
     let mut objective = vec![0.0; nv];
     let mut constraints = Vec::with_capacity(n + 1);
@@ -320,8 +403,10 @@ pub(crate) fn solve_exact(
         row[3 * i + 1] = 1.0;
         row[3 * i + 2] = 1.0;
         constraints.push(Constraint::eq(row, 1.0));
+        // audit: allow(float-cast) byte sizes are < 2^53 and exactly representable
         cap_row[3 * i] = c.size.as_bytes() as f64;
     }
+    // audit: allow(float-cast) byte sizes are < 2^53 and exactly representable
     constraints.push(Constraint::le(cap_row, capacity.as_bytes() as f64));
     // Expand previous keep flags to (m, d, u): kept partitions take m; the
     // rest take whichever of d/u has the lower objective coefficient (a
@@ -339,13 +424,54 @@ pub(crate) fn solve_exact(
         }
         x
     });
-    let problem = IlpProblem { objective, constraints, node_budget: 200_000, warm };
+    IlpProblem { objective, constraints, node_budget: 200_000, warm }
+}
+
+/// Solves the Eq. 5–6 encoding; returns keep-in-memory flags.
+///
+/// `warm_keep` (previous keep flags over the same candidate slots) is
+/// expanded to a full `(m, d, u)` assignment and passed to the solver as a
+/// pruning bound; see [`IlpProblem::warm`] for why this cannot change the
+/// returned assignment.
+pub(crate) fn solve_exact(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    warm_keep: Option<&[bool]>,
+) -> Vec<bool> {
+    let n = candidates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let problem = eq56_problem(candidates, capacity, warm_keep);
     match solve_binary(&problem) {
         Ok(IlpOutcome::Solved { x, .. }) => (0..n).map(|i| x[3 * i]).collect(),
         // Infeasibility cannot happen (u_i = 1 for all i is feasible), but
         // degrade to "evict everything" rather than panic.
         _ => vec![false; n],
     }
+}
+
+/// [`solve_exact`] with certificate emission: same keep flags, plus the
+/// program/outcome/proof payload. `candidates` must be non-empty.
+pub(crate) fn solve_exact_certified(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    warm_keep: Option<&[bool]>,
+) -> (Vec<bool>, InstancePayload) {
+    let n = candidates.len();
+    let problem = eq56_problem(candidates, capacity, warm_keep);
+    let (outcome, cert) = match solve_binary_certified(&problem) {
+        Ok(pair) => pair,
+        // Unreachable for well-formed Eq. 5–6 programs; mirror the plain
+        // path's "evict everything" degradation with an empty (and thus
+        // failing-to-verify) certificate rather than panic.
+        Err(_) => (IlpOutcome::Infeasible, Default::default()),
+    };
+    let keep = match &outcome {
+        IlpOutcome::Solved { x, .. } => (0..n).map(|i| x[3 * i]).collect(),
+        _ => vec![false; n],
+    };
+    (keep, InstancePayload::Ilp { problem, outcome, cert })
 }
 
 #[cfg(test)]

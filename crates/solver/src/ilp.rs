@@ -8,7 +8,8 @@
 //! and flagged, mirroring how one would run Gurobi with a time limit
 //! (the paper bounds ILP latency at 5 s, §5.5).
 
-use crate::lp::{solve as solve_lp, Constraint, LinearProgram, LpOutcome};
+use crate::cert::{IlpCertificate, IlpNode, IlpNodeKind, IlpWarmEvidence};
+use crate::lp::{solve as solve_lp, solve_with_evidence, Constraint, LinearProgram, LpOutcome};
 use blaze_common::error::Result;
 
 /// A 0/1 integer program `min c·x  s.t.  constraints, x ∈ {0,1}`.
@@ -30,8 +31,13 @@ pub struct IlpProblem {
 
 /// Margin above the warm bound at which subtrees are pruned; wide enough
 /// that float noise in the warm objective cannot prune the subtree holding
-/// the cold search's answer.
-const WARM_EPS: f64 = 1e-9;
+/// the cold search's answer. Public so the certificate verifier replays
+/// prune checks with the same margin.
+pub const WARM_EPS: f64 = 1e-9;
+
+/// Margin the incumbent prune uses (`bound >= incumbent - PRUNE_EPS`).
+/// Public for the certificate verifier.
+pub const PRUNE_EPS: f64 = 1e-12;
 
 /// Outcome of a 0/1 ILP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +63,27 @@ const INT_EPS: f64 = 1e-6;
 ///
 /// Propagates malformed-program errors from the LP layer.
 pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
+    Ok(solve_binary_inner(problem, false)?.0)
+}
+
+/// [`solve_binary`], additionally recording an [`IlpCertificate`] of the
+/// branch-and-bound tree: every popped node with its fixed-variable pattern,
+/// terminal kind, and (where extraction succeeds) LP dual evidence backing
+/// its bound. The outcome is byte-identical to the uncertified solve —
+/// recording only appends to a side vector.
+///
+/// # Errors
+///
+/// Propagates malformed-program errors from the LP layer.
+pub fn solve_binary_certified(problem: &IlpProblem) -> Result<(IlpOutcome, IlpCertificate)> {
+    let (outcome, cert) = solve_binary_inner(problem, true)?;
+    Ok((outcome, cert.unwrap_or_default()))
+}
+
+fn solve_binary_inner(
+    problem: &IlpProblem,
+    record: bool,
+) -> Result<(IlpOutcome, Option<IlpCertificate>)> {
     let n = problem.objective.len();
     let budget = if problem.node_budget == 0 { 100_000 } else { problem.node_budget };
 
@@ -68,6 +95,17 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
     let mut best: Option<(Vec<bool>, f64)> = None;
     let mut nodes = 0usize;
     let mut proven = true;
+    let mut rec: Option<Vec<IlpNode>> = record.then(Vec::new);
+    let as_fixed = |fixed: &[Option<bool>]| -> Vec<i8> {
+        fixed
+            .iter()
+            .map(|f| match f {
+                None => -1,
+                Some(false) => 0,
+                Some(true) => 1,
+            })
+            .collect()
+    };
 
     // Each frame fixes a prefix of decisions: `fixed[i] = Some(v)`.
     let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; n]];
@@ -80,14 +118,39 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
         nodes += 1;
 
         let relax = build_relaxation(problem, &fixed);
-        let (x, bound) = match solve_lp(&relax)? {
-            LpOutcome::Optimal { x, objective } => (x, objective),
-            LpOutcome::Infeasible => continue,
-            // A boxed 0/1 relaxation cannot be unbounded unless empty.
-            LpOutcome::Unbounded => continue,
+        let (x, bound, duals) = if rec.is_some() {
+            // Certified path: extract dual evidence alongside the outcome.
+            // `solve_with_evidence` returns the byte-identical outcome.
+            let (outcome, ev) = solve_with_evidence(&relax)?;
+            match outcome {
+                LpOutcome::Optimal { x, objective } => (x, objective, ev.map(|e| e.y)),
+                LpOutcome::Infeasible => {
+                    if let Some(r) = rec.as_mut() {
+                        r.push(IlpNode {
+                            fixed: as_fixed(&fixed),
+                            kind: IlpNodeKind::Infeasible { farkas: ev.map(|e| e.y) },
+                        });
+                    }
+                    continue;
+                }
+                // A boxed 0/1 relaxation cannot be unbounded unless empty.
+                LpOutcome::Unbounded => continue,
+            }
+        } else {
+            match solve_lp(&relax)? {
+                LpOutcome::Optimal { x, objective } => (x, objective, None),
+                LpOutcome::Infeasible => continue,
+                LpOutcome::Unbounded => continue,
+            }
         };
         if let Some((_, incumbent)) = &best {
-            if bound >= *incumbent - 1e-12 {
+            if bound >= *incumbent - PRUNE_EPS {
+                if let Some(r) = rec.as_mut() {
+                    r.push(IlpNode {
+                        fixed: as_fixed(&fixed),
+                        kind: IlpNodeKind::Pruned { bound, duals },
+                    });
+                }
                 continue; // Prune: the relaxation cannot beat the incumbent.
             }
         }
@@ -95,6 +158,12 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
         // relaxation is strictly (by more than WARM_EPS) above it contains
         // neither the final answer nor any incumbent the cold search keeps.
         if warm_bound.is_some_and(|wb| bound > wb + WARM_EPS) {
+            if let Some(r) = rec.as_mut() {
+                r.push(IlpNode {
+                    fixed: as_fixed(&fixed),
+                    kind: IlpNodeKind::PrunedWarm { bound, duals },
+                });
+            }
             continue;
         }
 
@@ -117,6 +186,12 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
                 let assignment: Vec<bool> =
                     (0..n).map(|i| fixed[i].unwrap_or(x[i] > 0.5)).collect();
                 let obj = objective_of(&problem.objective, &assignment);
+                if let Some(r) = rec.as_mut() {
+                    r.push(IlpNode {
+                        fixed: as_fixed(&fixed),
+                        kind: IlpNodeKind::Integral { objective: obj, duals },
+                    });
+                }
                 if check_feasible(problem, &assignment)
                     && best.as_ref().is_none_or(|(_, b)| obj < *b)
                 {
@@ -124,6 +199,12 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
                 }
             }
             Some(i) => {
+                if let Some(r) = rec.as_mut() {
+                    r.push(IlpNode {
+                        fixed: as_fixed(&fixed),
+                        kind: IlpNodeKind::Branched { var: i },
+                    });
+                }
                 // Branch: explore the rounded-toward branch last so it pops
                 // first (DFS stack) — a cheap primal heuristic.
                 let mut zero = fixed.clone();
@@ -141,7 +222,18 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
         }
     }
 
-    Ok(match best {
+    let cert = rec.map(|r| IlpCertificate {
+        // An exhausted tree proves nothing — drop it rather than let the
+        // verifier chase an incomplete frontier.
+        nodes: if proven { r } else { vec![] },
+        warm: problem
+            .warm
+            .as_ref()
+            .zip(warm_bound)
+            .map(|(w, objective)| IlpWarmEvidence { x: w.clone(), objective }),
+        complete: proven,
+    });
+    let outcome = match best {
         Some((x, objective)) => IlpOutcome::Solved { x, objective, proven_optimal: proven },
         // Budget exhausted before any incumbent was found: fall back to the
         // (feasible) warm assignment rather than misreporting infeasibility.
@@ -151,11 +243,14 @@ pub fn solve_binary(problem: &IlpProblem) -> Result<IlpOutcome> {
             IlpOutcome::Solved { x, objective, proven_optimal: false }
         }
         None => IlpOutcome::Infeasible,
-    })
+    };
+    Ok((outcome, cert))
 }
 
 /// Builds the LP relaxation with fixed variables substituted via bounds.
-fn build_relaxation(problem: &IlpProblem, fixed: &[Option<bool>]) -> LinearProgram {
+/// Public so the certificate verifier can reconstruct exactly the LP each
+/// branch-and-bound node solved.
+pub fn build_relaxation(problem: &IlpProblem, fixed: &[Option<bool>]) -> LinearProgram {
     let n = problem.objective.len();
     let mut constraints = problem.constraints.clone();
     for (i, f) in fixed.iter().enumerate() {
@@ -172,12 +267,13 @@ fn build_relaxation(problem: &IlpProblem, fixed: &[Option<bool>]) -> LinearProgr
     LinearProgram { objective: problem.objective.clone(), constraints }
 }
 
-fn objective_of(c: &[f64], x: &[bool]) -> f64 {
+/// Objective value of a binary assignment.
+pub fn objective_of(c: &[f64], x: &[bool]) -> f64 {
     c.iter().zip(x).map(|(ci, &xi)| if xi { *ci } else { 0.0 }).sum()
 }
 
 /// Verifies a binary assignment against all constraints.
-fn check_feasible(problem: &IlpProblem, x: &[bool]) -> bool {
+pub fn check_feasible(problem: &IlpProblem, x: &[bool]) -> bool {
     problem.constraints.iter().all(|c| {
         let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, &xi)| if xi { *a } else { 0.0 }).sum();
         match c.rel {

@@ -52,11 +52,18 @@ pub struct WarmStart {
     pub selection: Vec<bool>,
 }
 
+use crate::cert::{GreedyCertificate, KnapNode, KnapsackCertificate, KnapsackWarmEvidence};
+
 /// Margin below a warm lower bound at which subtrees are pruned. Wider than
 /// the incumbent epsilon (1e-12) so that the warm bound — computed as a flat
 /// sum, not along the DFS accumulation order — can never prune a subtree the
-/// cold search would have taken its final answer from.
-const WARM_EPS: f64 = 1e-9;
+/// cold search would have taken its final answer from. Public so the
+/// certificate verifier can replay prune checks with the same margin.
+pub const WARM_EPS: f64 = 1e-9;
+
+/// Margin the incumbent prune uses (`ub <= best + PRUNE_EPS`). Public for
+/// the certificate verifier.
+pub const PRUNE_EPS: f64 = 1e-12;
 
 /// Solves the 0/1 knapsack over `items` with the given `capacity`.
 ///
@@ -100,16 +107,46 @@ pub fn solve_knapsack_warm(
     node_budget: usize,
     warm: Option<&WarmStart>,
 ) -> KnapsackSolution {
+    solve_knapsack_inner(items, capacity, node_budget, warm, false).0
+}
+
+/// [`solve_knapsack_warm`], additionally recording a [`KnapsackCertificate`]
+/// of the explored branch-and-bound tree. The solution is byte-identical to
+/// the uncertified solve — recording only appends to a side vector and never
+/// influences which nodes the search visits.
+pub fn solve_knapsack_certified(
+    items: &[KnapsackItem],
+    capacity: u64,
+    node_budget: usize,
+    warm: Option<&WarmStart>,
+) -> (KnapsackSolution, KnapsackCertificate) {
+    let (sol, cert) = solve_knapsack_inner(items, capacity, node_budget, warm, true);
+    (sol, cert.unwrap_or_default())
+}
+
+fn solve_knapsack_inner(
+    items: &[KnapsackItem],
+    capacity: u64,
+    node_budget: usize,
+    warm: Option<&WarmStart>,
+    record: bool,
+) -> (KnapsackSolution, Option<KnapsackCertificate>) {
     let n = items.len();
     let budget = if node_budget == 0 { 200_000 } else { node_budget };
     if n == 0 {
-        return KnapsackSolution {
+        let sol = KnapsackSolution {
             selected: vec![],
             value: 0.0,
             weight: 0,
             proven_optimal: true,
             order: vec![],
         };
+        let cert = record.then(|| KnapsackCertificate {
+            nodes: vec![KnapNode::Leaf],
+            warm: None,
+            complete: true,
+        });
+        return (sol, cert);
     }
 
     // Sort by value density, descending; zero-weight positive-value items
@@ -148,6 +185,16 @@ pub fn solve_knapsack_warm(
         }
         (!w.selection.is_empty() && wt <= capacity).then_some(v)
     });
+    // Certificate evidence for the warm bound: the selection it was valued
+    // from, in the current item index space.
+    let warm_evidence = record
+        .then(|| {
+            warm.zip(warm_bound).map(|(w, value)| KnapsackWarmEvidence {
+                selection: (0..n).map(|i| w.selection.get(i).copied().unwrap_or(false)).collect(),
+                value,
+            })
+        })
+        .flatten();
 
     // Greedy incumbent.
     let mut greedy = vec![false; n];
@@ -174,6 +221,9 @@ pub fn solve_knapsack_warm(
         nodes: usize,
         budget: usize,
         exhausted: bool,
+        /// DFS-preorder certificate recording (`None` = off). Append-only:
+        /// never consulted by the search itself.
+        rec: Option<Vec<KnapNode>>,
     }
 
     impl Search<'_> {
@@ -190,14 +240,21 @@ pub fn solve_knapsack_warm(
                     w += it.weight;
                     v += it.value;
                 } else {
-                    let room = (self.capacity - w) as f64;
+                    let room = (self.capacity - w) as f64; // audit: allow(float-cast)
                     if it.weight > 0 {
-                        v += it.value * room / it.weight as f64;
+                        v += it.value * room / it.weight as f64; // audit: allow(float-cast)
                     }
                     break;
                 }
             }
             v
+        }
+
+        /// Overwrites the certificate slot pushed for the current node.
+        fn set_node(&mut self, slot: Option<usize>, kind: KnapNode) {
+            if let (Some(rec), Some(s)) = (self.rec.as_mut(), slot) {
+                rec[s] = kind;
+            }
         }
 
         fn dfs(&mut self, pos: usize, weight: u64, value: f64, sel: &mut Vec<bool>) {
@@ -206,15 +263,21 @@ pub fn solve_knapsack_warm(
                 self.exhausted = true;
                 return;
             }
+            // Preorder slot; overwritten with the node's terminal kind below.
+            let slot = self.rec.as_mut().map(|r| {
+                r.push(KnapNode::Leaf);
+                r.len() - 1
+            });
             if value > self.best_value {
                 self.best_value = value;
                 self.best_sel = sel.clone();
             }
             if pos >= self.order.len() || self.exhausted {
-                return;
+                return; // The preorder slot stays `Leaf`.
             }
             let ub = self.upper_bound(pos, weight, value);
-            if ub <= self.best_value + 1e-12 {
+            if ub <= self.best_value + PRUNE_EPS {
+                self.set_node(slot, KnapNode::Pruned { bound: ub });
                 return; // Prune.
             }
             // Warm prune: the optimum is at least `warm_bound`, so subtrees
@@ -222,12 +285,15 @@ pub fn solve_knapsack_warm(
             // contain the final answer nor an incumbent the cold search
             // would keep — skipping them cannot change the result.
             if self.warm_bound.is_some_and(|wb| ub <= wb - WARM_EPS) {
+                self.set_node(slot, KnapNode::PrunedWarm { bound: ub });
                 return;
             }
             let i = self.order[pos];
             let it = self.items[i];
             // Take first (density order makes this the promising branch).
-            if it.value > 0.0 && weight + it.weight <= self.capacity {
+            let take = it.value > 0.0 && weight + it.weight <= self.capacity;
+            self.set_node(slot, if take { KnapNode::Branch } else { KnapNode::SkipOnly });
+            if take {
                 sel[i] = true;
                 self.dfs(pos + 1, weight + it.weight, value + it.value, sel);
                 sel[i] = false;
@@ -246,19 +312,60 @@ pub fn solve_knapsack_warm(
         nodes: 0,
         budget,
         exhausted: false,
+        rec: record.then(Vec::new),
     };
     let mut sel = vec![false; n];
     search.dfs(0, 0, 0.0, &mut sel);
 
+    let cert = search.rec.take().map(|nodes| KnapsackCertificate {
+        // An exhausted tree proves nothing — drop it rather than let the
+        // verifier chase a truncated replay.
+        nodes: if search.exhausted { vec![] } else { nodes },
+        warm: warm_evidence,
+        complete: !search.exhausted,
+    });
     let selected = search.best_sel;
     let weight = selected.iter().zip(items).filter(|(s, _)| **s).map(|(_, it)| it.weight).sum();
-    KnapsackSolution {
+    let sol = KnapsackSolution {
         value: search.best_value,
         weight,
         selected,
         proven_optimal: !search.exhausted,
         order,
+    };
+    (sol, cert)
+}
+
+/// Builds the [`GreedyCertificate`] for a greedy (budget-1) solution: the
+/// root Dantzig bound over the solution's density order — which equals the
+/// LP-relaxation optimum — and the fractional break-item value as the
+/// declared approximation gap (`greedy value >= bound - gap` always holds:
+/// the greedy prefix up to the break item is exactly `bound - gap`).
+pub fn greedy_certificate(
+    items: &[KnapsackItem],
+    capacity: u64,
+    solution: &KnapsackSolution,
+) -> GreedyCertificate {
+    let mut w = 0u64;
+    let mut v = 0.0f64;
+    let mut frac = 0.0f64;
+    for &i in &solution.order {
+        let it = &items[i];
+        if it.value <= 0.0 {
+            continue;
+        }
+        if w + it.weight <= capacity {
+            w += it.weight;
+            v += it.value;
+        } else {
+            let room = (capacity - w) as f64; // audit: allow(float-cast)
+            if it.weight > 0 {
+                frac = it.value * room / it.weight as f64; // audit: allow(float-cast)
+            }
+            break;
+        }
     }
+    GreedyCertificate { relaxation_bound: v + frac, declared_gap: frac }
 }
 
 fn density(item: &KnapsackItem) -> f64 {
@@ -269,7 +376,7 @@ fn density(item: &KnapsackItem) -> f64 {
             0.0
         }
     } else {
-        item.value / item.weight as f64
+        item.value / item.weight as f64 // audit: allow(float-cast)
     }
 }
 

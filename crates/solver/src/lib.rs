@@ -7,13 +7,25 @@
 //!   bounds) used on Blaze's hot path: with recovery costs frozen at time
 //!   `t`, the paper's Eq. 5–6 reduce per executor to a knapsack over the
 //!   partitions' saved recovery costs.
+//! - [`cert`] — decision-certificate formats: branch-and-bound tree traces
+//!   with dual evidence that `blaze-certify` checks without re-solving.
 
 #![warn(missing_docs)]
 
+pub mod cert;
 pub mod ilp;
 pub mod knapsack;
 pub mod lp;
 
-pub use ilp::{solve_binary, IlpOutcome, IlpProblem};
-pub use knapsack::{solve_knapsack, KnapsackItem, KnapsackSolution};
-pub use lp::{solve as solve_lp, Constraint, LinearProgram, LpOutcome, Relation};
+pub use cert::{
+    GreedyCertificate, IlpCertificate, IlpNode, IlpNodeKind, IlpWarmEvidence, KnapNode,
+    KnapsackCertificate, KnapsackWarmEvidence,
+};
+pub use ilp::{solve_binary, solve_binary_certified, IlpOutcome, IlpProblem};
+pub use knapsack::{
+    greedy_certificate, solve_knapsack, solve_knapsack_certified, KnapsackItem, KnapsackSolution,
+};
+pub use lp::{
+    dual_bound, farkas_valid, solve as solve_lp, solve_with_evidence, Constraint, LinearProgram,
+    LpEvidence, LpOutcome, Relation,
+};

@@ -101,6 +101,40 @@ const EPS: f64 = 1e-9;
 /// Returns an error if the program is malformed (constraint arity mismatch
 /// or non-finite coefficients).
 pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
+    Ok(solve_inner(lp, false)?.0)
+}
+
+/// Dual evidence accompanying an LP outcome, in the *original* constraint
+/// orientation (one multiplier per input constraint).
+///
+/// - For [`LpOutcome::Optimal`], `y` is a dual-feasible vector: sign-valid
+///   (`y_i <= 0` for `<=` rows, `y_i >= 0` for `>=` rows, free for `=`),
+///   with `Aᵀy <= c` componentwise, so by weak duality `y·b` lower-bounds
+///   `c·x` over the entire feasible region — a machine-checkable proof of
+///   the reported objective that needs no re-solve.
+/// - For [`LpOutcome::Infeasible`], `y` is a Farkas ray: sign-valid with
+///   `Aᵀy <= 0` and `y·b > 0`, which no feasible `x >= 0` can coexist with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpEvidence {
+    /// One dual multiplier per constraint of the input program.
+    pub y: Vec<f64>,
+}
+
+/// [`solve`], additionally extracting [`LpEvidence`] from the final simplex
+/// basis. The extraction is self-checked; if the recovered multipliers fail
+/// the weak-duality (or Farkas) conditions numerically, `None` is returned
+/// and callers fall back to whatever re-check they prefer. The *outcome* is
+/// byte-identical to [`solve`] — evidence extraction happens after the
+/// pivoting has finished.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with_evidence(lp: &LinearProgram) -> Result<(LpOutcome, Option<LpEvidence>)> {
+    solve_inner(lp, true)
+}
+
+fn solve_inner(lp: &LinearProgram, want_evidence: bool) -> Result<(LpOutcome, Option<LpEvidence>)> {
     let n = lp.objective.len();
     if lp.objective.iter().any(|v| !v.is_finite()) {
         return Err(BlazeError::Solver("non-finite objective coefficient".into()));
@@ -117,7 +151,7 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
         }
     }
     if n == 0 {
-        return Ok(LpOutcome::Optimal { x: vec![], objective: 0.0 });
+        return Ok((LpOutcome::Optimal { x: vec![], objective: 0.0 }, None));
     }
 
     // Normalize to rhs >= 0, flipping relations as needed, then add slack
@@ -126,9 +160,11 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
     let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut rels: Vec<Relation> = Vec::with_capacity(m);
     let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    let mut flipped: Vec<bool> = Vec::with_capacity(m);
     for c in &lp.constraints {
         let (mut coeffs, mut rel, mut b) = (c.coeffs.clone(), c.rel, c.rhs);
-        if b < 0.0 {
+        let flip = b < 0.0;
+        if flip {
             for v in &mut coeffs {
                 *v = -*v;
             }
@@ -142,6 +178,7 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
         rows.push(coeffs);
         rels.push(rel);
         rhs.push(b);
+        flipped.push(flip);
     }
 
     let num_slack = rels.iter().filter(|r| **r != Relation::Eq).count();
@@ -154,6 +191,10 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
     let mut slack_idx = n;
     let mut art_idx = n + num_slack;
     let mut artificials: Vec<usize> = Vec::new();
+    // Initial-column bookkeeping for dual extraction: each slack/surplus
+    // column is `coef * e_row`, each artificial column is `e_row`.
+    let mut slack_owner: Vec<(usize, f64)> = Vec::with_capacity(num_slack);
+    let mut art_owner: Vec<usize> = Vec::with_capacity(num_art);
     for i in 0..m {
         tableau[i][..n].copy_from_slice(&rows[i]);
         tableau[i][total] = rhs[i];
@@ -161,20 +202,24 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
             Relation::Le => {
                 tableau[i][slack_idx] = 1.0;
                 basis[i] = slack_idx;
+                slack_owner.push((i, 1.0));
                 slack_idx += 1;
             }
             Relation::Ge => {
                 tableau[i][slack_idx] = -1.0;
+                slack_owner.push((i, -1.0));
                 slack_idx += 1;
                 tableau[i][art_idx] = 1.0;
                 basis[i] = art_idx;
                 artificials.push(art_idx);
+                art_owner.push(i);
                 art_idx += 1;
             }
             Relation::Eq => {
                 tableau[i][art_idx] = 1.0;
                 basis[i] = art_idx;
                 artificials.push(art_idx);
+                art_owner.push(i);
                 art_idx += 1;
             }
         }
@@ -201,7 +246,17 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
         let phase1: f64 =
             (0..m).filter(|&i| artificials.contains(&basis[i])).map(|i| tableau[i][total]).sum();
         if phase1 > 1e-7 {
-            return Ok(LpOutcome::Infeasible);
+            // Farkas ray: the phase-1 optimal duals certify emptiness.
+            let evidence = want_evidence
+                .then(|| {
+                    let c_b = |j: usize| if j >= n + num_slack { 1.0 } else { 0.0 };
+                    let y =
+                        basis_duals(&rows, &slack_owner, &art_owner, &basis, n, num_slack, c_b)?;
+                    let y = unflip(&y, &flipped);
+                    farkas_valid(lp, &y).then_some(LpEvidence { y })
+                })
+                .flatten();
+            return Ok((LpOutcome::Infeasible, evidence));
         }
         // Drive any artificial still in the basis out (degenerate rows).
         for i in 0..m {
@@ -237,7 +292,7 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
         *red = if cost[j].is_finite() { cost[j] - zj } else { f64::INFINITY };
     }
     if run_simplex(&mut tableau, &mut basis, &mut reduced, total)?.is_none() {
-        return Ok(LpOutcome::Unbounded);
+        return Ok((LpOutcome::Unbounded, None));
     }
 
     let mut x = vec![0.0; n];
@@ -246,8 +301,146 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
             x[basis[i]] = tableau[i][total];
         }
     }
-    let objective = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    Ok(LpOutcome::Optimal { x, objective })
+    let objective: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+    // Optimal duals: solve Bᵀy = c_B over the *initial* columns of the final
+    // basis. Basic degenerate artificials (value 0, redundant rows) get cost
+    // 0 here, not the +inf used for phase-2 pricing.
+    let evidence = want_evidence
+        .then(|| {
+            let c_b = |j: usize| if j < n { lp.objective[j] } else { 0.0 };
+            let y = basis_duals(&rows, &slack_owner, &art_owner, &basis, n, num_slack, c_b)?;
+            let y = unflip(&y, &flipped);
+            duals_valid(lp, &y, objective).then_some(LpEvidence { y })
+        })
+        .flatten();
+    Ok((LpOutcome::Optimal { x, objective }, evidence))
+}
+
+/// Recovers the dual vector of the final basis by solving `Bᵀ y = c_B`,
+/// where `B` is the matrix of *initial* (unpivoted) columns of the basic
+/// variables and `c_B` their costs. Gaussian elimination with partial
+/// pivoting; `None` on a (numerically) singular basis. The result is in the
+/// *normalized* row orientation — callers undo rhs-flips via [`unflip`].
+fn basis_duals(
+    rows: &[Vec<f64>],
+    slack_owner: &[(usize, f64)],
+    art_owner: &[usize],
+    basis: &[usize],
+    n: usize,
+    num_slack: usize,
+    c_b: impl Fn(usize) -> f64,
+) -> Option<Vec<f64>> {
+    let m = rows.len();
+    // Build the transposed system: row k of `a` is the initial column of
+    // basic variable k (length m), with rhs c_B(k).
+    let mut a = vec![vec![0.0f64; m + 1]; m];
+    for (k, &j) in basis.iter().enumerate() {
+        if j < n {
+            for i in 0..m {
+                a[k][i] = rows[i][j];
+            }
+        } else if j < n + num_slack {
+            let (row, coef) = slack_owner[j - n];
+            a[k][row] = coef;
+        } else {
+            a[k][art_owner[j - n - num_slack]] = 1.0;
+        }
+        a[k][m] = c_b(j);
+    }
+    // Forward elimination with partial pivoting.
+    for col in 0..m {
+        let piv = (col..m).max_by(|&r1, &r2| {
+            a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[piv][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, piv);
+        for r in col + 1..m {
+            let (top, bottom) = a.split_at_mut(r);
+            let (src, dst) = (&top[col], &mut bottom[0]);
+            let f = dst[col] / src[col];
+            if f != 0.0 {
+                for (d, s) in dst[col..=m].iter_mut().zip(&src[col..=m]) {
+                    *d -= f * s;
+                }
+            }
+        }
+    }
+    // Back substitution.
+    let mut y = vec![0.0f64; m];
+    for col in (0..m).rev() {
+        let mut v = a[col][m];
+        for cc in col + 1..m {
+            v -= a[col][cc] * y[cc];
+        }
+        y[col] = v / a[col][col];
+    }
+    y.iter().all(|v| v.is_finite()).then_some(y)
+}
+
+/// Maps duals from the normalized (rhs >= 0) rows back to the original
+/// constraint orientation: a flipped row's multiplier changes sign.
+fn unflip(y: &[f64], flipped: &[bool]) -> Vec<f64> {
+    y.iter().zip(flipped).map(|(&v, &f)| if f { -v } else { v }).collect()
+}
+
+/// Dual sign condition against the *original* relations: `y_i <= tol` for
+/// `<=` rows, `y_i >= -tol` for `>=` rows, free for `=`.
+fn signs_valid(lp: &LinearProgram, y: &[f64], tol: f64) -> bool {
+    lp.constraints.iter().zip(y).all(|(c, &yi)| match c.rel {
+        Relation::Le => yi <= tol,
+        Relation::Ge => yi >= -tol,
+        Relation::Eq => true,
+    })
+}
+
+/// `(Aᵀy)_j` for structural variable `j` over the original constraints.
+fn aty(lp: &LinearProgram, y: &[f64], j: usize) -> f64 {
+    lp.constraints.iter().zip(y).map(|(c, &yi)| c.coeffs[j] * yi).sum()
+}
+
+/// If `y` is dual-feasible for `lp` (sign-valid with `Aᵀy <= c`), returns
+/// the weak-duality lower bound `y·b` on the optimal objective; otherwise
+/// `None`. This is the primitive independent verifiers use to check a
+/// claimed LP bound without re-solving.
+pub fn dual_bound(lp: &LinearProgram, y: &[f64]) -> Option<f64> {
+    const TOL: f64 = 1e-6;
+    if y.len() != lp.constraints.len() || y.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    if !signs_valid(lp, y, TOL) {
+        return None;
+    }
+    let n = lp.objective.len();
+    if (0..n).any(|j| aty(lp, y, j) > lp.objective[j] + TOL) {
+        return None;
+    }
+    Some(lp.constraints.iter().zip(y).map(|(c, &yi)| c.rhs * yi).sum())
+}
+
+/// Checks the weak-duality certificate: sign-valid, `Aᵀy <= c`, and
+/// `y·b` matching the claimed optimum.
+fn duals_valid(lp: &LinearProgram, y: &[f64], objective: f64) -> bool {
+    dual_bound(lp, y).is_some_and(|yb| (yb - objective).abs() <= 1e-6 * (1.0 + objective.abs()))
+}
+
+/// Checks a Farkas infeasibility certificate: sign-valid, `Aᵀy <= 0`,
+/// `y·b > 0` — conditions no feasible `x >= 0` can coexist with.
+pub fn farkas_valid(lp: &LinearProgram, y: &[f64]) -> bool {
+    const TOL: f64 = 1e-7;
+    if y.len() != lp.constraints.len() || y.iter().any(|v| !v.is_finite()) {
+        return false;
+    }
+    if !signs_valid(lp, y, TOL) {
+        return false;
+    }
+    let n = lp.objective.len();
+    if (0..n).any(|j| aty(lp, y, j) > TOL) {
+        return false;
+    }
+    let yb: f64 = lp.constraints.iter().zip(y).map(|(c, &yi)| c.rhs * yi).sum();
+    yb > TOL
 }
 
 /// Runs simplex iterations with Bland's rule.
@@ -417,6 +610,52 @@ mod tests {
         assert!(solve(&lp).is_err());
         let lp = LinearProgram { objective: vec![f64::NAN], constraints: vec![] };
         assert!(solve(&lp).is_err());
+    }
+
+    #[test]
+    fn evidence_outcome_matches_solve() {
+        let lp = LinearProgram {
+            objective: vec![-3.0, -5.0],
+            constraints: vec![
+                Constraint::le(vec![1.0, 0.0], 4.0),
+                Constraint::le(vec![0.0, 2.0], 12.0),
+                Constraint::le(vec![3.0, 2.0], 18.0),
+            ],
+        };
+        let (outcome, evidence) = solve_with_evidence(&lp).unwrap();
+        assert_eq!(outcome, solve(&lp).unwrap());
+        let ev = evidence.expect("duals extracted");
+        assert!(duals_valid(&lp, &ev.y, -36.0));
+    }
+
+    #[test]
+    fn evidence_duals_with_eq_ge_and_flips() {
+        // min 2x + 3y s.t. x + y = 10, x >= 2, -y <= -3 (flipped row).
+        let lp = LinearProgram {
+            objective: vec![2.0, 3.0],
+            constraints: vec![
+                Constraint::eq(vec![1.0, 1.0], 10.0),
+                Constraint::ge(vec![1.0, 0.0], 2.0),
+                Constraint::le(vec![0.0, -1.0], -3.0),
+            ],
+        };
+        let (outcome, evidence) = solve_with_evidence(&lp).unwrap();
+        let LpOutcome::Optimal { objective, .. } = outcome else { panic!() };
+        assert!((objective - 23.0).abs() < 1e-6);
+        let ev = evidence.expect("duals extracted");
+        assert!(duals_valid(&lp, &ev.y, objective));
+    }
+
+    #[test]
+    fn evidence_farkas_on_infeasible() {
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![Constraint::le(vec![1.0], 1.0), Constraint::ge(vec![1.0], 2.0)],
+        };
+        let (outcome, evidence) = solve_with_evidence(&lp).unwrap();
+        assert_eq!(outcome, LpOutcome::Infeasible);
+        let ev = evidence.expect("farkas ray extracted");
+        assert!(farkas_valid(&lp, &ev.y));
     }
 
     #[test]

@@ -41,7 +41,14 @@ run cargo run -q $OFFLINE --release -p blaze-bench --bin blaze-trace -- \
 # deep/churn stress speedups must stay above the committed floor (--check).
 run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_decision -- \
     --quick --check --shadow
-# Layer-2 static analysis: the determinism source lint must be clean before
+# Decision certificates: every workload x strategy x decision-path combo
+# must emit certificates that verify clean (--all, implied), and each seeded
+# corruption must trip its BA5xx check (--mutate) — proving the verifier has
+# teeth, not just that the solvers are honest.
+run cargo run -q $OFFLINE --release -p blaze-bench --bin blaze-certify -- \
+    --quick --mutate --all
+# Layer-2 static analysis: the determinism source lint (including the
+# decision-path hash-container and float-cast rules) must be clean before
 # the (slower) clippy pass runs.
 run cargo run -q $OFFLINE -p blaze-audit --bin blaze-lint
 run cargo clippy $OFFLINE --workspace --all-targets -- -D warnings

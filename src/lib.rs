@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub use blaze_audit as audit;
+pub use blaze_certify as certify;
 pub use blaze_common as common;
 pub use blaze_core as core;
 pub use blaze_dataflow as dataflow;
