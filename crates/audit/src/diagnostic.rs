@@ -60,6 +60,10 @@ pub enum DiagCode {
     /// BA007: compute kind and dependency shape disagree (source with
     /// deps, operator without deps, narrow compute with shuffle dep, ...).
     ComputeShapeMismatch,
+    /// BA008: a keyed dataset asserted via `assume_partitioned` holds a key
+    /// in a partition its claimed hash partitioner would not have placed it
+    /// in (detected by the debug-build verification wrapper at runtime).
+    PartitionerHoldViolation,
     /// BA101: a dataset is consumed by two or more downstream stages but is
     /// not cache-annotated — every consuming stage recomputes its lineage
     /// (the "recompute bomb" of LRC-style reference-count analysis).
@@ -77,6 +81,18 @@ pub enum DiagCode {
     /// lineage is deeper than bounded task retries can replay — a single
     /// injected failure could make the job unrecoverable.
     UnrecoverableLineage,
+    /// BA302: the fault plan injects stragglers with a large slowdown but
+    /// speculative execution is disabled — tail latency grows linearly with
+    /// the slowdown and nothing in the schedule can claw it back.
+    StragglerBudgetExceeded,
+    /// BA303: the fault plan injects spill corruption but the disk tier has
+    /// zero capacity — no block can ever be spilled, so the corruption
+    /// (and the quarantine path it exercises) cannot occur.
+    CorruptionWithoutDiskTier,
+    /// BA304: the configured solver deadline is below the cost of the
+    /// cheapest degradation-ladder rung — every decision solve would be
+    /// skipped (LRU passthrough), silently disabling the optimizer.
+    SolveDeadlineTooSmall,
     /// BA401: the event trace violates span nesting — a task span with
     /// `end < start`, overlapping spans on one executor slot, or a task
     /// committed outside an open job span.
@@ -114,7 +130,7 @@ impl DiagCode {
     /// Every diagnostic code, in code order. This is the single registry the
     /// `blaze-audit` CLI lists and explains from; adding a variant without
     /// extending it fails the registry unit test.
-    pub const ALL: [DiagCode; 20] = [
+    pub const ALL: [DiagCode; 24] = [
         DiagCode::CycleOrForwardRef,
         DiagCode::DanglingParent,
         DiagCode::ZeroPartitions,
@@ -122,11 +138,15 @@ impl DiagCode {
         DiagCode::PartitionerMismatch,
         DiagCode::InvalidCostSpec,
         DiagCode::ComputeShapeMismatch,
+        DiagCode::PartitionerHoldViolation,
         DiagCode::RecomputeBomb,
         DiagCode::UnreachableCache,
         DiagCode::CacheOvercommit,
         DiagCode::LineageMismatch,
         DiagCode::UnrecoverableLineage,
+        DiagCode::StragglerBudgetExceeded,
+        DiagCode::CorruptionWithoutDiskTier,
+        DiagCode::SolveDeadlineTooSmall,
         DiagCode::TraceSpanNesting,
         DiagCode::TraceAggregateMismatch,
         DiagCode::TraceUnpairedCacheEvent,
@@ -147,11 +167,15 @@ impl DiagCode {
             DiagCode::PartitionerMismatch => "BA005",
             DiagCode::InvalidCostSpec => "BA006",
             DiagCode::ComputeShapeMismatch => "BA007",
+            DiagCode::PartitionerHoldViolation => "BA008",
             DiagCode::RecomputeBomb => "BA101",
             DiagCode::UnreachableCache => "BA102",
             DiagCode::CacheOvercommit => "BA103",
             DiagCode::LineageMismatch => "BA201",
             DiagCode::UnrecoverableLineage => "BA301",
+            DiagCode::StragglerBudgetExceeded => "BA302",
+            DiagCode::CorruptionWithoutDiskTier => "BA303",
+            DiagCode::SolveDeadlineTooSmall => "BA304",
             DiagCode::TraceSpanNesting => "BA401",
             DiagCode::TraceAggregateMismatch => "BA402",
             DiagCode::TraceUnpairedCacheEvent => "BA403",
@@ -178,11 +202,15 @@ impl DiagCode {
             DiagCode::PartitionerMismatch => "partitioner disagrees with partition count",
             DiagCode::InvalidCostSpec => "negative or non-finite cost component",
             DiagCode::ComputeShapeMismatch => "compute kind and dependency shape disagree",
+            DiagCode::PartitionerHoldViolation => "assumed partitioner does not hold for the data",
             DiagCode::RecomputeBomb => "multi-consumer dataset not cache-annotated",
             DiagCode::UnreachableCache => "cache-annotated dataset is never read back",
             DiagCode::CacheOvercommit => "annotated bytes exceed memory capacity",
             DiagCode::LineageMismatch => "cost lineage diverged from the logical plan",
             DiagCode::UnrecoverableLineage => "lineage too deep for bounded retries",
+            DiagCode::StragglerBudgetExceeded => "large straggler slowdown without speculation",
+            DiagCode::CorruptionWithoutDiskTier => "spill corruption injected with no disk tier",
+            DiagCode::SolveDeadlineTooSmall => "solver deadline below the cheapest ladder rung",
             DiagCode::TraceSpanNesting => "event-trace span nesting violation",
             DiagCode::TraceAggregateMismatch => "trace aggregates disagree with metrics",
             DiagCode::TraceUnpairedCacheEvent => "unpaired cache admit/evict event",
@@ -227,6 +255,12 @@ impl DiagCode {
                  with parents, an operator without parents, or a narrow compute fed by a \
                  shuffle dependency."
             }
+            DiagCode::PartitionerHoldViolation => {
+                "A keyed dataset asserted via assume_partitioned holds a key in a partition \
+                 its claimed hash partitioner would not have placed it in. Every downstream \
+                 co-partitioned join or aggregation would silently drop or misgroup that \
+                 key; the debug-build verification wrapper fails the task instead."
+            }
             DiagCode::RecomputeBomb => {
                 "A dataset is consumed by two or more downstream stages but is not \
                  cache-annotated, so every consuming stage recomputes its whole lineage — \
@@ -248,6 +282,24 @@ impl DiagCode {
                 "Under the configured fault plan, some dataset's uncached lineage is deeper \
                  than bounded task retries can replay, so one injected failure could make \
                  the job unrecoverable."
+            }
+            DiagCode::StragglerBudgetExceeded => {
+                "The fault plan injects stragglers with a slowdown beyond the speculation \
+                 budget while speculative execution is disabled. Tail latency grows \
+                 linearly with the slowdown and nothing in the schedule can claw it back; \
+                 enable speculation or lower the slowdown."
+            }
+            DiagCode::CorruptionWithoutDiskTier => {
+                "The fault plan injects spill corruption but the disk tier has zero \
+                 capacity, so no block can ever be spilled and the corruption (and the \
+                 quarantine path it is meant to exercise) cannot occur. The knob is dead \
+                 configuration."
+            }
+            DiagCode::SolveDeadlineTooSmall => {
+                "The configured solver deadline is below the estimated cost of the \
+                 cheapest degradation-ladder rung, so every decision solve would step all \
+                 the way down to LRU passthrough — the optimizer is silently disabled \
+                 rather than gracefully degraded."
             }
             DiagCode::TraceSpanNesting => {
                 "The event trace violates span nesting: a task span ends before it starts, \
@@ -304,6 +356,7 @@ impl DiagCode {
             | DiagCode::PartitionerMismatch
             | DiagCode::InvalidCostSpec
             | DiagCode::ComputeShapeMismatch
+            | DiagCode::PartitionerHoldViolation
             | DiagCode::LineageMismatch
             | DiagCode::UnrecoverableLineage
             | DiagCode::TraceSpanNesting
@@ -314,9 +367,12 @@ impl DiagCode {
             | DiagCode::UncoveredBranchLeaf
             | DiagCode::GreedyGapExceeded
             | DiagCode::UnderApproximatedDirtyClosure => Severity::Error,
-            DiagCode::RecomputeBomb | DiagCode::UnreachableCache | DiagCode::CacheOvercommit => {
-                Severity::Warning
-            }
+            DiagCode::RecomputeBomb
+            | DiagCode::UnreachableCache
+            | DiagCode::CacheOvercommit
+            | DiagCode::StragglerBudgetExceeded
+            | DiagCode::CorruptionWithoutDiskTier
+            | DiagCode::SolveDeadlineTooSmall => Severity::Warning,
         }
     }
 }

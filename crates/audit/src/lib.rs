@@ -30,8 +30,8 @@ pub mod plan_audit;
 
 pub use diagnostic::{AuditReport, DiagCode, Diagnostic, Severity};
 pub use plan_audit::{
-    audit_application, audit_caching, audit_job, audit_recovery, audit_structure, extract,
-    AuditConfig, AuditDep, AuditNode, ComputeKind,
+    audit_application, audit_caching, audit_degradation, audit_job, audit_recovery,
+    audit_structure, extract, AuditConfig, AuditDep, AuditNode, ComputeKind, DegradationAuditInput,
 };
 
 use blaze_common::error::BlazeError;

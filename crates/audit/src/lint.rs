@@ -97,10 +97,13 @@ fn scope_of(path: &str) -> Scope {
     // where wall-clock measurement is otherwise allowed (the bench
     // harness): a fault schedule or event trace keyed to the host clock
     // would never replay byte-identically.
-    let fault_file = p
-        .rsplit('/')
-        .next()
-        .is_some_and(|f| f.contains("fault") || f.contains("failure") || f.contains("trace"));
+    let fault_file = p.rsplit('/').next().is_some_and(|f| {
+        f.contains("fault")
+            || f.contains("failure")
+            || f.contains("trace")
+            || f.contains("chaos")
+            || f.contains("degrad")
+    });
     Scope {
         std_hash: in_crate("engine") || in_crate("policies") || in_crate("core"),
         wall_clock: !in_crate("bench") || fault_file,
@@ -316,6 +319,9 @@ mod tests {
         assert_eq!(lint_source("crates/bench/src/fault_schedule.rs", &src)[0].code, "wall-clock");
         // Trace tooling must replay deterministically too.
         assert_eq!(lint_source("crates/bench/src/bin/blaze-trace.rs", &src)[0].code, "wall-clock");
+        // Chaos harnesses and degradation benches are fault-injection code.
+        assert_eq!(lint_source("crates/bench/src/bin/bench_chaos.rs", &src)[0].code, "wall-clock");
+        assert_eq!(lint_source("crates/bench/src/degradation.rs", &src)[0].code, "wall-clock");
         // Non-fault bench files keep their wall-clock exemption.
         assert!(lint_source("crates/bench/src/bin/bench_engine.rs", &src).is_empty());
     }

@@ -113,6 +113,64 @@ pub struct AuditConfig {
     /// stage). With the default `false`, shuffle outputs persist and sever
     /// the replayed lineage.
     pub lineage_through_shuffles: bool,
+    /// Graceful-degradation knobs of the configured fault plan, when one is
+    /// active (`BA302`/`BA303` checks). `None` skips those checks.
+    pub degradation: Option<DegradationAuditInput>,
+}
+
+/// The slice of an engine fault plan the degradation checks look at
+/// (mirrored here so `blaze-audit` does not depend on `blaze-engine`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DegradationAuditInput {
+    /// Per-task straggler probability.
+    pub straggler_rate: f64,
+    /// Charge multiplier applied to straggling tasks.
+    pub straggler_slowdown: f64,
+    /// Slowdown beyond which a plan without speculation is flagged.
+    pub straggler_slowdown_budget: f64,
+    /// Whether speculative execution is enabled.
+    pub speculation: bool,
+    /// Per-spill corruption probability.
+    pub spill_corruption_rate: f64,
+}
+
+/// Checks the fault plan's degradation knobs for dead or foot-gun
+/// configurations (`BA302`, `BA303` — warnings).
+pub fn audit_degradation(config: &AuditConfig) -> AuditReport {
+    let Some(deg) = &config.degradation else {
+        return AuditReport::default();
+    };
+    let mut diags = Vec::new();
+    if deg.straggler_rate > 0.0
+        && !deg.speculation
+        && deg.straggler_slowdown > deg.straggler_slowdown_budget
+    {
+        diags.push(Diagnostic::new(
+            DiagCode::StragglerBudgetExceeded,
+            None,
+            format!(
+                "stragglers are injected with a {}x slowdown (budget without speculation: \
+                 {}x) but speculative execution is disabled",
+                deg.straggler_slowdown, deg.straggler_slowdown_budget
+            ),
+            "enable FaultPlan::speculation or lower straggler_slowdown; tail latency grows \
+             linearly with the slowdown"
+                .into(),
+        ));
+    }
+    if deg.spill_corruption_rate > 0.0 && config.total_disk == Some(ByteSize::ZERO) {
+        diags.push(Diagnostic::new(
+            DiagCode::CorruptionWithoutDiskTier,
+            None,
+            format!(
+                "spill_corruption_rate = {} but the disk tier has zero capacity, so nothing \
+                 can ever be spilled or corrupted",
+                deg.spill_corruption_rate
+            ),
+            "raise disk_capacity or drop the corruption knob; it is dead configuration".into(),
+        ));
+    }
+    AuditReport::new(diags)
 }
 
 /// Verifies the structural invariants of a node list (`BA0xx`).
@@ -493,6 +551,7 @@ pub fn audit_job(
     let mut diags = audit_structure(&nodes).diagnostics;
     diags.extend(audit_caching(&nodes, target, job_targets, config).diagnostics);
     diags.extend(audit_recovery(&nodes, target, config).diagnostics);
+    diags.extend(audit_degradation(config).diagnostics);
     let report = AuditReport::new(diags);
     if config.strict {
         report.promoted()

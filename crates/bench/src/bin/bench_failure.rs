@@ -1,22 +1,49 @@
 //! Recovery-cost benchmark under deterministic fault injection.
 //!
-//! Replays the *same* seeded fault schedule — transient task failures, one
-//! mid-run executor crash, and shuffle-output loss (no external shuffle
-//! service) — against every headline system on PageRank and KMeans, and
-//! records what each system spent recovering. Because holistic caching
-//! keeps hot iterative state resident (and re-admits it after loss), Blaze
-//! is expected to replay less lineage than the LRU baselines after the
-//! same crash.
+//! Four sections, all on the simulated clock:
+//!
+//! 1. **Recovery** — replays the *same* seeded duress schedule — transient
+//!    task failures, one mid-run executor crash, shuffle-output loss (no
+//!    external shuffle service), stragglers with speculation, corrupted
+//!    spills and flaky fetches — against every headline system on PageRank
+//!    and KMeans, and records what each system spent recovering. Because
+//!    holistic caching keeps hot iterative state resident (and re-admits it
+//!    after loss), Blaze is expected to replay less lineage than the LRU
+//!    baselines after the same crash.
+//! 2. **Speculation** — a straggler-heavy schedule run twice, speculation
+//!    on and off. Speculative copies must win races against slowed
+//!    originals and bring the simulated makespan down.
+//! 3. **Quarantine** — a corrupted-spill schedule on the memory+disk
+//!    baseline: checksum verification must quarantine bad reads and the
+//!    run must complete through lineage recompute.
+//! 4. **Degradation** — full Blaze with a `solve_deadline` budget: the
+//!    solver must step down its ladder (and the run still complete) when
+//!    the exact rungs no longer fit.
 //!
 //! Everything here runs on the simulated clock: this file is fault-
 //! injection code, so `blaze-lint`'s wall-clock rule applies to it even
 //! though it lives in the bench crate. Results go to `BENCH_failure.json`
 //! at the repository root.
+//!
+//! Flags: `--quick` (CI-sized run: KMeans only, no JSON), `--check` (exit
+//! non-zero unless speculation wins races and shortens the makespan on
+//! every sample, at least one spill is quarantined, and the capped solver
+//! actually degrades).
 
 use blaze_bench::json::nz;
-use blaze_common::SimTime;
-use blaze_engine::{ExecutorCrash, FaultPlan};
-use blaze_workloads::{run_spec, run_spec_with_fault, App, AppSpec, SystemKind};
+use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::{ByteSize, SimDuration, SimTime};
+use blaze_core::{BlazeConfig, BlazeController};
+use blaze_dataflow::{JobPlan, Plan};
+use blaze_engine::{
+    Admission, BlockInfo, CacheController, CtrlCtx, DegradationNote, ExecutorCrash, FaultPlan,
+    PartitionEvent, StateCommand, VictimAction,
+};
+use blaze_workloads::{
+    run_blaze_instrumented, run_spec, run_spec_with_fault, App, AppSpec, SystemKind,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One (workload, system) comparison: the clean run and the faulted run.
 struct Sample {
@@ -39,40 +66,214 @@ struct Sample {
     /// under pressure are what the crash later turns into recomputation).
     evictions_to_disk: u64,
     evictions_discard: u64,
+    // Graceful-degradation columns (same faulted run).
+    stragglers: u64,
+    spec_launched: u64,
+    spec_wins: u64,
+    spec_wasted_s: f64,
+    spills_quarantined: u64,
+    fetch_retries: u64,
+    fetch_backoff_s: f64,
+    fetch_escalations: u64,
 }
 
-/// The shared fault schedule for one workload: a modest transient-failure
-/// rate, one executor crash at a fixed simulated time, and no external
-/// shuffle service, so the crash also destroys that executor's shuffle
-/// outputs (forcing lineage-driven parent-stage resubmission).
+/// One speculation on/off comparison under a straggler-heavy schedule.
+struct SpecSample {
+    workload: &'static str,
+    system: String,
+    act_off: f64,
+    act_on: f64,
+    stragglers: u64,
+    launched: u64,
+    wins: u64,
+    wasted_s: f64,
+}
+
+/// One corrupted-spill run (memory+disk baseline).
+struct QuarSample {
+    workload: &'static str,
+    act: f64,
+    spills_quarantined: u64,
+    lineage_replay_s: f64,
+}
+
+/// One solver-degradation run (full Blaze, capped solve budget).
+struct DegradSample {
+    workload: &'static str,
+    deadline_ns: u64,
+    act_full: f64,
+    act_capped: f64,
+    degraded: u64,
+    passthrough: u64,
+}
+
+/// The shared duress schedule for one workload: a modest transient-failure
+/// rate, one executor crash at a fixed simulated time, no external shuffle
+/// service (so the crash also destroys that executor's shuffle outputs,
+/// forcing lineage-driven parent-stage resubmission), plus light
+/// stragglers, spill corruption and fetch flakiness.
 fn fault_plan(crash_at_s: f64) -> FaultPlan {
     FaultPlan {
         seed: 0xB1A2E,
         task_failure_rate: 0.02,
         max_task_retries: 3,
         crashes: vec![ExecutorCrash {
-            at: SimTime::ZERO + blaze_common::SimDuration::from_secs_f64(crash_at_s),
+            at: SimTime::ZERO + SimDuration::from_secs_f64(crash_at_s),
             executor: 1,
         }],
         map_output_loss_rate: 0.0,
         external_shuffle_service: false,
+        straggler_rate: 0.15,
+        straggler_slowdown: 4.0,
+        speculation: true,
+        spill_corruption_rate: 0.1,
+        fetch_failure_rate: 0.05,
+        ..Default::default()
     }
 }
 
+/// A stragglers-only schedule for the speculation comparison.
+fn straggler_plan(speculation: bool) -> FaultPlan {
+    FaultPlan {
+        seed: 0x57A6,
+        straggler_rate: 0.3,
+        straggler_slowdown: 6.0,
+        speculation,
+        ..Default::default()
+    }
+}
+
+/// Delegating controller wrapper mirroring the ladder counters into shared
+/// cells after every submission (the controller itself is moved into the
+/// cluster, so the counts must escape through the shim). Every method
+/// delegates; instrumentation never changes simulated behaviour.
+struct LadderCounting {
+    inner: BlazeController,
+    degraded: Arc<AtomicU64>,
+    passthrough: Arc<AtomicU64>,
+}
+
+impl CacheController for LadderCounting {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn should_cache(&mut self, ctx: &CtrlCtx, block: &BlockInfo, annotated: bool) -> bool {
+        self.inner.should_cache(ctx, block, annotated)
+    }
+
+    fn admit(&mut self, ctx: &CtrlCtx, block: &BlockInfo) -> Admission {
+        self.inner.admit(ctx, block)
+    }
+
+    fn choose_victims(
+        &mut self,
+        ctx: &CtrlCtx,
+        exec: ExecutorId,
+        needed: ByteSize,
+        incoming: &BlockInfo,
+        resident: &[BlockInfo],
+    ) -> Vec<(BlockId, VictimAction)> {
+        self.inner.choose_victims(ctx, exec, needed, incoming, resident)
+    }
+
+    fn on_admission_failure(&mut self, ctx: &CtrlCtx, block: &BlockInfo) -> Admission {
+        self.inner.on_admission_failure(ctx, block)
+    }
+
+    fn readmit_after_disk_read(&mut self, ctx: &CtrlCtx, block: &BlockInfo) -> Admission {
+        self.inner.readmit_after_disk_read(ctx, block)
+    }
+
+    fn serialized_in_memory(&self) -> bool {
+        self.inner.serialized_in_memory()
+    }
+
+    fn memory_footprint_factor(&self) -> f64 {
+        self.inner.memory_footprint_factor()
+    }
+
+    fn on_access(&mut self, ctx: &CtrlCtx, id: BlockId) {
+        self.inner.on_access(ctx, id);
+    }
+
+    fn explain_block(&self, id: BlockId) -> Option<String> {
+        self.inner.explain_block(id)
+    }
+
+    fn on_inserted(&mut self, ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
+        self.inner.on_inserted(ctx, info, to_disk);
+    }
+
+    fn on_evicted(&mut self, ctx: &CtrlCtx, id: BlockId) {
+        self.inner.on_evicted(ctx, id);
+    }
+
+    fn on_partition_computed(&mut self, ctx: &CtrlCtx, event: &PartitionEvent) {
+        self.inner.on_partition_computed(ctx, event);
+    }
+
+    fn on_job_submit(
+        &mut self,
+        ctx: &CtrlCtx,
+        job: JobId,
+        job_plan: &JobPlan,
+        plan: &Plan,
+    ) -> Vec<StateCommand> {
+        let out = self.inner.on_job_submit(ctx, job, job_plan, plan);
+        let stats = self.inner.decision_stats();
+        self.degraded.store(stats.degraded, Ordering::Relaxed);
+        self.passthrough.store(stats.passthrough, Ordering::Relaxed);
+        out
+    }
+
+    fn on_stage_complete(
+        &mut self,
+        ctx: &CtrlCtx,
+        stage_output: RddId,
+        job: JobId,
+        plan: &Plan,
+    ) -> Vec<StateCommand> {
+        self.inner.on_stage_complete(ctx, stage_output, job, plan)
+    }
+
+    fn take_degradation(&mut self) -> Option<DegradationNote> {
+        self.inner.take_degradation()
+    }
+
+    fn preflight_diagnostics(&self) -> Vec<blaze_audit::Diagnostic> {
+        self.inner.preflight_diagnostics()
+    }
+}
+
+/// The capped solve budget for the degradation section: below the knapsack
+/// rung's fixed cost, so every per-executor instance steps down to greedy
+/// (and, once the budget drains, to LRU passthrough) on each submission.
+const SOLVE_DEADLINE_NS: u64 = 8_000;
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
     // Crash times sit inside every system's simulated run for the workload
     // (clean ACTs: PageRank ~0.7–2.3 s across systems, KMeans ~0.10–0.32 s),
     // early enough that every system is still in its iteration ramp-up.
-    let cases = [(App::PageRank, "pagerank", 0.15), (App::KMeans, "kmeans", 0.05)];
+    let cases: &[(App, &'static str, f64)] = if quick {
+        &[(App::KMeans, "kmeans", 0.05)]
+    } else {
+        &[(App::PageRank, "pagerank", 0.15), (App::KMeans, "kmeans", 0.05)]
+    };
 
     let mut samples: Vec<Sample> = Vec::new();
-    for (app, label, crash_at_s) in cases {
+    for &(app, label, crash_at_s) in cases {
         for system in SystemKind::headline() {
             let spec = AppSpec::evaluation(app);
             let clean = run_spec(&spec, system).expect("clean run failed");
             let faulted =
                 run_spec_with_fault(&spec, system, fault_plan(crash_at_s)).expect("faulted run");
             let rec = &faulted.metrics.recovery;
+            let spec_m = &faulted.metrics.speculation;
             let sample = Sample {
                 workload: label,
                 system: format!("{system:?}"),
@@ -91,10 +292,18 @@ fn main() {
                 stages_resubmitted: rec.stages_resubmitted,
                 evictions_to_disk: faulted.metrics.evictions_to_disk,
                 evictions_discard: faulted.metrics.evictions_discard,
+                stragglers: spec_m.stragglers,
+                spec_launched: spec_m.launched,
+                spec_wins: spec_m.wins,
+                spec_wasted_s: spec_m.wasted.as_secs_f64(),
+                spills_quarantined: rec.spills_quarantined,
+                fetch_retries: rec.fetch_retries,
+                fetch_backoff_s: rec.fetch_backoff_time.as_secs_f64(),
+                fetch_escalations: rec.fetch_escalations,
             };
             eprintln!(
                 "{label:9} {:14} act {:.4}s -> {:.4}s  recovery {:.4}s \
-                 (retries {}, lost tasks {}, blocks {}, map outputs {})",
+                 (retries {}, lost tasks {}, blocks {}, spec wins {}, quarantined {})",
                 sample.system,
                 sample.act_clean,
                 sample.act_faulted,
@@ -102,23 +311,151 @@ fn main() {
                 sample.task_retries,
                 sample.tasks_lost_to_crash,
                 sample.blocks_lost,
-                sample.map_outputs_lost,
+                sample.spec_wins,
+                sample.spills_quarantined,
             );
             samples.push(sample);
         }
     }
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_failure.json");
-    std::fs::write(path, render_json(&samples)).expect("write BENCH_failure.json");
-    println!("wrote {} samples to {path}", samples.len());
+    // Section 2: speculation on/off under a straggler-heavy schedule.
+    let mut spec_samples: Vec<SpecSample> = Vec::new();
+    for &(app, label, _) in cases {
+        for system in [SystemKind::SparkMemDisk, SystemKind::Blaze] {
+            let spec = AppSpec::evaluation(app);
+            let off = run_spec_with_fault(&spec, system, straggler_plan(false))
+                .expect("speculation-off run");
+            let on = run_spec_with_fault(&spec, system, straggler_plan(true))
+                .expect("speculation-on run");
+            let m = &on.metrics.speculation;
+            let s = SpecSample {
+                workload: label,
+                system: format!("{system:?}"),
+                act_off: off.metrics.completion_time.as_secs_f64(),
+                act_on: on.metrics.completion_time.as_secs_f64(),
+                stragglers: m.stragglers,
+                launched: m.launched,
+                wins: m.wins,
+                wasted_s: m.wasted.as_secs_f64(),
+            };
+            eprintln!(
+                "{label:9} {:14} speculation act {:.4}s -> {:.4}s  \
+                 (stragglers {}, launched {}, wins {})",
+                s.system, s.act_off, s.act_on, s.stragglers, s.launched, s.wins,
+            );
+            spec_samples.push(s);
+        }
+    }
+
+    // Section 3: corrupted spills on the memory+disk baseline.
+    let mut quar_samples: Vec<QuarSample> = Vec::new();
+    for &(app, label, _) in cases {
+        let spec = AppSpec::evaluation(app);
+        let plan = FaultPlan { seed: 0xC0DE, spill_corruption_rate: 0.7, ..Default::default() };
+        let out =
+            run_spec_with_fault(&spec, SystemKind::SparkMemDisk, plan).expect("quarantine run");
+        let s = QuarSample {
+            workload: label,
+            act: out.metrics.completion_time.as_secs_f64(),
+            spills_quarantined: out.metrics.recovery.spills_quarantined,
+            lineage_replay_s: out.metrics.recovery.lineage_replay_time.as_secs_f64(),
+        };
+        eprintln!(
+            "{label:9} quarantine act {:.4}s  (quarantined {}, replay {:.4}s)",
+            s.act, s.spills_quarantined, s.lineage_replay_s,
+        );
+        quar_samples.push(s);
+    }
+
+    // Section 4: solver degradation ladder under a capped solve budget.
+    let mut degrad_samples: Vec<DegradSample> = Vec::new();
+    for &(app, label, _) in cases {
+        let spec = AppSpec::evaluation(app);
+        let full =
+            blaze_workloads::run_blaze_with(&spec, BlazeConfig::full()).expect("uncapped run");
+        let degraded = Arc::new(AtomicU64::new(0));
+        let passthrough = Arc::new(AtomicU64::new(0));
+        let (d, p) = (Arc::clone(&degraded), Arc::clone(&passthrough));
+        let cfg = BlazeConfig {
+            solve_deadline: Some(SimDuration::from_nanos(SOLVE_DEADLINE_NS)),
+            ..BlazeConfig::full()
+        };
+        let capped = run_blaze_instrumented(&spec, cfg, Default::default(), false, move |inner| {
+            Box::new(LadderCounting { inner, degraded: d, passthrough: p })
+        })
+        .expect("capped Blaze run");
+        let s = DegradSample {
+            workload: label,
+            deadline_ns: SOLVE_DEADLINE_NS,
+            act_full: full.metrics.completion_time.as_secs_f64(),
+            act_capped: capped.metrics.completion_time.as_secs_f64(),
+            degraded: degraded.load(Ordering::Relaxed),
+            passthrough: passthrough.load(Ordering::Relaxed),
+        };
+        eprintln!(
+            "{label:9} degradation act {:.4}s -> {:.4}s  (degraded {}, passthrough {})",
+            s.act_full, s.act_capped, s.degraded, s.passthrough,
+        );
+        degrad_samples.push(s);
+    }
+
+    if !quick {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_failure.json");
+        std::fs::write(path, render_json(&samples, &spec_samples, &quar_samples, &degrad_samples))
+            .expect("write BENCH_failure.json");
+        println!("wrote {} samples to {path}", samples.len());
+    }
+
+    if check {
+        let mut failures: Vec<String> = Vec::new();
+        for s in &spec_samples {
+            if s.wins == 0 {
+                failures.push(format!(
+                    "{}/{}: speculation won no races under a 0.3-rate straggler plan",
+                    s.workload, s.system
+                ));
+            }
+            if s.act_on > s.act_off {
+                failures.push(format!(
+                    "{}/{}: speculation lengthened the makespan ({:.4}s -> {:.4}s)",
+                    s.workload, s.system, s.act_off, s.act_on
+                ));
+            }
+        }
+        if quar_samples.iter().all(|s| s.spills_quarantined == 0) {
+            failures.push("quarantine: no corrupted spill was ever caught".into());
+        }
+        for s in &degrad_samples {
+            if s.degraded == 0 && s.passthrough == 0 {
+                failures.push(format!(
+                    "{}: a {} ns solve deadline never degraded the solver",
+                    s.workload, s.deadline_ns
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench_failure --check: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("bench_failure --check: all degradation floors hold");
+    }
 }
 
 /// Hand-rolled JSON writer (the workspace deliberately has no serde).
-fn render_json(samples: &[Sample]) -> String {
+fn render_json(
+    samples: &[Sample],
+    spec_samples: &[SpecSample],
+    quar_samples: &[QuarSample],
+    degrad_samples: &[DegradSample],
+) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"fault_plan\": {\"seed\": 725550, \"task_failure_rate\": 0.02, ");
     s.push_str("\"max_task_retries\": 3, \"executor_crashes\": 1, ");
-    s.push_str("\"external_shuffle_service\": false},\n");
+    s.push_str("\"external_shuffle_service\": false, \"straggler_rate\": 0.15, ");
+    s.push_str("\"straggler_slowdown\": 4.0, \"speculation\": true, ");
+    s.push_str("\"spill_corruption_rate\": 0.1, \"fetch_failure_rate\": 0.05},\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in samples.iter().enumerate() {
         s.push_str(&format!(
@@ -128,7 +465,10 @@ fn render_json(samples: &[Sample]) -> String {
              \"executor_crashes\": {}, \"blocks_lost\": {}, \"blocks_recovered\": {}, \
              \"map_outputs_lost\": {}, \"map_outputs_recovered\": {}, \
              \"stages_resubmitted\": {}, \"evictions_to_disk\": {}, \
-             \"evictions_discard\": {}}}{}\n",
+             \"evictions_discard\": {}, \"stragglers\": {}, \"spec_launched\": {}, \
+             \"spec_wins\": {}, \"spec_wasted_s\": {:.6}, \"spills_quarantined\": {}, \
+             \"fetch_retries\": {}, \"fetch_backoff_s\": {:.6}, \
+             \"fetch_escalations\": {}}}{}\n",
             r.workload,
             r.system,
             nz(r.act_clean),
@@ -146,7 +486,61 @@ fn render_json(samples: &[Sample]) -> String {
             r.stages_resubmitted,
             r.evictions_to_disk,
             r.evictions_discard,
+            r.stragglers,
+            r.spec_launched,
+            r.spec_wins,
+            nz(r.spec_wasted_s),
+            r.spills_quarantined,
+            r.fetch_retries,
+            nz(r.fetch_backoff_s),
+            r.fetch_escalations,
             if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"speculation\": [\n");
+    for (i, r) in spec_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"system\": \"{}\", \"act_off\": {:.6}, \
+             \"act_on\": {:.6}, \"stragglers\": {}, \"launched\": {}, \"wins\": {}, \
+             \"wasted_s\": {:.6}}}{}\n",
+            r.workload,
+            r.system,
+            nz(r.act_off),
+            nz(r.act_on),
+            r.stragglers,
+            r.launched,
+            r.wins,
+            nz(r.wasted_s),
+            if i + 1 < spec_samples.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"quarantine\": [\n");
+    for (i, r) in quar_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"act\": {:.6}, \"spills_quarantined\": {}, \
+             \"lineage_replay_s\": {:.6}}}{}\n",
+            r.workload,
+            nz(r.act),
+            r.spills_quarantined,
+            nz(r.lineage_replay_s),
+            if i + 1 < quar_samples.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"degradation\": [\n");
+    for (i, r) in degrad_samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"deadline_ns\": {}, \"act_full\": {:.6}, \
+             \"act_capped\": {:.6}, \"degraded\": {}, \"passthrough\": {}}}{}\n",
+            r.workload,
+            r.deadline_ns,
+            nz(r.act_full),
+            nz(r.act_capped),
+            r.degraded,
+            r.passthrough,
+            if i + 1 < degrad_samples.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

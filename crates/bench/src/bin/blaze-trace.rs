@@ -149,6 +149,7 @@ fn fault_plan() -> FaultPlan {
         }],
         map_output_loss_rate: 0.0,
         external_shuffle_service: false,
+        ..Default::default()
     }
 }
 

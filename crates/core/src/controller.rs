@@ -18,16 +18,20 @@
 use crate::cost::CostModel;
 use crate::costlineage::{CostLineage, PartitionState};
 use crate::incremental::{DecisionStats, IncrementalOptimizer};
-use crate::optimize::{optimize_states, optimize_states_with_certificates, OptimizerConfig};
+use crate::optimize::{
+    min_ladder_cost_ns, optimize_states_report, optimize_states_with_certificates, LadderReport,
+    OptimizerConfig,
+};
 use crate::pattern::{detect, IterationPattern};
 use crate::profiler::ProfileResult;
 use crate::refs::JobRefs;
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
-use blaze_common::ByteSize;
+use blaze_common::{ByteSize, SimDuration};
 use blaze_dataflow::{JobPlan, Plan};
 use blaze_engine::{
-    Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, VictimAction,
+    Admission, BlockInfo, CacheController, CtrlCtx, DegradationNote, PartitionEvent, StateCommand,
+    VictimAction,
 };
 
 /// Feature switches of the Blaze controller.
@@ -62,6 +66,13 @@ pub struct BlazeConfig {
     /// this is a debugging harness like `shadow_compare`, not a production
     /// setting.
     pub certify: bool,
+    /// Simulated-time budget for each job's decision solve. When the modeled
+    /// solver cost would blow the budget, the degradation ladder steps down
+    /// `ExactIlp -> Knapsack -> Greedy -> LRU passthrough` per executor
+    /// instance (see [`OptimizerConfig::solve_deadline`], which this field
+    /// seeds at controller construction). `None` (the default) never
+    /// degrades.
+    pub solve_deadline: Option<SimDuration>,
 }
 
 impl BlazeConfig {
@@ -77,6 +88,7 @@ impl BlazeConfig {
             incremental: true,
             shadow_compare: false,
             certify: false,
+            solve_deadline: None,
         }
     }
 
@@ -126,12 +138,25 @@ pub struct BlazeController {
     /// certify mode (the incremental path counts its own in
     /// [`DecisionStats::certified`]).
     certified_scratch: u64,
+    /// Ladder counters accumulated by the *from-scratch* paths (the
+    /// incremental path counts its own in [`DecisionStats`]).
+    ladder_scratch: LadderReport,
+    /// Degradation note of the most recent job submit, drained by the
+    /// engine via [`CacheController::take_degradation`].
+    pending_degradation: Option<DegradationNote>,
 }
 
 impl BlazeController {
     /// Creates a controller, optionally seeded by a dependency-extraction
     /// run ([`crate::profiler::extract_dependencies`]).
     pub fn new(cfg: BlazeConfig, profile: Option<ProfileResult>) -> Self {
+        let mut cfg = cfg;
+        // The user-facing deadline seeds the optimizer's; an explicitly set
+        // optimizer deadline (tests, benches) wins only when the user-facing
+        // field is unset.
+        if cfg.solve_deadline.is_some() {
+            cfg.optimizer.solve_deadline = cfg.solve_deadline;
+        }
         let mut incr = IncrementalOptimizer::new();
         incr.set_certify(cfg.certify);
         match profile {
@@ -149,6 +174,8 @@ impl BlazeController {
                 incr,
                 refs_seq_rev: u64::MAX,
                 certified_scratch: 0,
+                ladder_scratch: LadderReport::default(),
+                pending_degradation: None,
             },
             None => Self {
                 cfg,
@@ -164,6 +191,8 @@ impl BlazeController {
                 incr,
                 refs_seq_rev: u64::MAX,
                 certified_scratch: 0,
+                ladder_scratch: LadderReport::default(),
+                pending_degradation: None,
             },
         }
     }
@@ -263,10 +292,12 @@ impl BlazeController {
     }
 
     /// Work-avoidance counters of the incremental decision path, plus the
-    /// certificates verified by whichever path ran.
+    /// certificates verified and ladder steps taken by whichever path ran.
     pub fn decision_stats(&self) -> DecisionStats {
         let mut stats = self.incr.stats();
         stats.certified += self.certified_scratch;
+        stats.degraded += self.ladder_scratch.degraded;
+        stats.passthrough += self.ladder_scratch.passthrough;
         stats
     }
 }
@@ -323,7 +354,7 @@ impl CacheController for BlazeController {
             return Vec::new();
         }
         // The ILP trigger (§5.6): restate cached partitions for the window.
-        let mut commands = if self.cfg.incremental {
+        let (mut commands, ladder) = if self.cfg.incremental {
             let commands = self.incr.optimize(
                 &mut self.lineage,
                 &self.refs,
@@ -333,8 +364,9 @@ impl CacheController for BlazeController {
                 self.current_idx,
                 &self.cfg.optimizer,
             );
+            let ladder = self.incr.last_ladder_report();
             if self.cfg.shadow_compare {
-                let scratch = optimize_states(
+                let (scratch, scratch_ladder) = optimize_states_report(
                     &self.lineage,
                     &self.refs,
                     self.pattern,
@@ -347,14 +379,18 @@ impl CacheController for BlazeController {
                     commands, scratch,
                     "incremental decision path diverged from from-scratch at job {job:?}"
                 );
+                assert_eq!(
+                    ladder, scratch_ladder,
+                    "degradation ladder diverged between decision paths at job {job:?}"
+                );
                 assert!(
                     self.lineage.residency_consistent(),
                     "residency index diverged from the per-partition states"
                 );
             }
-            commands
+            (commands, ladder)
         } else if self.cfg.certify {
-            let (commands, certs) = optimize_states_with_certificates(
+            let (commands, certs, ladder) = optimize_states_with_certificates(
                 &self.lineage,
                 &self.refs,
                 self.pattern,
@@ -373,9 +409,11 @@ impl CacheController for BlazeController {
                 );
             }
             self.certified_scratch += certs.len() as u64;
-            commands
+            self.ladder_scratch.degraded += ladder.degraded;
+            self.ladder_scratch.passthrough += ladder.passthrough;
+            (commands, ladder)
         } else {
-            optimize_states(
+            let (commands, ladder) = optimize_states_report(
                 &self.lineage,
                 &self.refs,
                 self.pattern,
@@ -383,8 +421,18 @@ impl CacheController for BlazeController {
                 ctx.memory_capacity,
                 self.current_idx,
                 &self.cfg.optimizer,
-            )
+            );
+            self.ladder_scratch.degraded += ladder.degraded;
+            self.ladder_scratch.passthrough += ladder.passthrough;
+            (commands, ladder)
         };
+        if ladder.any() {
+            self.pending_degradation = Some(DegradationNote {
+                rung: ladder.lowest.map_or("lru-passthrough", |r| r.label()),
+                degraded: ladder.degraded,
+                passthrough: ladder.passthrough,
+            });
+        }
         if !self.cfg.use_disk {
             // Memory-only Blaze: spills degrade to unpersists.
             for cmd in &mut commands {
@@ -575,6 +623,31 @@ impl CacheController for BlazeController {
     fn on_partition_computed(&mut self, _ctx: &CtrlCtx, event: &PartitionEvent) {
         // The profiling feed (§5.3): sizes and edge-compute times.
         self.lineage.record_metrics(event.info.id, event.info.bytes, event.edge_compute);
+    }
+
+    fn take_degradation(&mut self) -> Option<DegradationNote> {
+        self.pending_degradation.take()
+    }
+
+    fn preflight_diagnostics(&self) -> Vec<blaze_audit::Diagnostic> {
+        // BA304: a deadline below the cheapest rung's modeled cost cannot
+        // run *any* solver — every job becomes an LRU passthrough, which is
+        // almost never what a configured deadline intends.
+        let Some(deadline) = self.cfg.optimizer.solve_deadline else { return Vec::new() };
+        let floor = min_ladder_cost_ns();
+        if deadline.as_nanos() >= floor {
+            return Vec::new();
+        }
+        vec![blaze_audit::Diagnostic::new(
+            blaze_audit::DiagCode::SolveDeadlineTooSmall,
+            None,
+            format!(
+                "solve_deadline of {} ns is below the cheapest ladder rung (~{floor} ns): every \
+                 decision solve will degrade straight to LRU passthrough",
+                deadline.as_nanos()
+            ),
+            "raise solve_deadline above the greedy rung's cost, or unset it".into(),
+        )]
     }
 }
 

@@ -38,7 +38,7 @@ use crate::cost::{CostMemo, CostModel};
 use crate::costlineage::CostLineage;
 use crate::optimize::{
     emit_commands, gather_candidates, knapsack_items, solve_exact, solve_exact_certified,
-    Candidate, OptimizerConfig, SolveStrategy,
+    Candidate, LadderReport, OptimizerConfig, SolveLadder, SolveStrategy,
 };
 use crate::pattern::IterationPattern;
 use crate::refs::JobRefs;
@@ -69,6 +69,11 @@ pub struct DecisionStats {
     pub invalidated: u64,
     /// Decision certificates emitted and inline-verified (certify mode).
     pub certified: u64,
+    /// Instances the degradation ladder stepped down to a cheaper rung
+    /// (see [`OptimizerConfig::solve_deadline`]).
+    pub degraded: u64,
+    /// Instances the ladder skipped entirely (LRU passthrough).
+    pub passthrough: u64,
 }
 
 /// One executor's retained solve: the instance it answered and the answer.
@@ -98,6 +103,8 @@ pub struct IncrementalOptimizer {
     // audit: allow(decision-hash) keyed per-executor lookup, retained/drained by sorted key
     prev: FxHashMap<ExecutorId, PrevSolve>,
     stats: DecisionStats,
+    /// Ladder report of the most recent [`Self::optimize`] call.
+    last_ladder: LadderReport,
     /// Certify mode: emit a decision certificate for every actual solve,
     /// verify it inline (panicking on any finding), and check every dirty
     /// invalidation's closure for BA505 soundness. A debugging harness like
@@ -116,6 +123,12 @@ impl IncrementalOptimizer {
     /// Work-avoidance counters accumulated so far.
     pub fn stats(&self) -> DecisionStats {
         self.stats
+    }
+
+    /// What the degradation ladder did during the most recent
+    /// [`Self::optimize`] call (all-zero when no deadline is configured).
+    pub fn last_ladder_report(&self) -> LadderReport {
+        self.last_ladder
     }
 
     /// Drops all retained state; the next call solves from scratch.
@@ -215,11 +228,20 @@ impl IncrementalOptimizer {
         self.prev.retain(|e, _| per_exec.contains_key(e));
 
         let mut solved = Vec::with_capacity(execs.len());
+        let mut ladder = SolveLadder::new(config);
         for exec in execs {
             let candidates = per_exec.remove(&exec).unwrap_or_default();
-            let keep = self.solve_with_reuse(exec, candidates.clone(), memory_capacity, config);
+            // The ladder deducts its estimate *before* the reuse check so
+            // that the from-scratch shadow (which never reuses) walks the
+            // budget identically and picks the same rungs.
+            let Some(strategy) = ladder.pick(candidates.len()) else { continue };
+            let keep = self.solve_with_reuse(exec, candidates.clone(), memory_capacity, strategy);
             solved.push((exec, candidates, keep));
         }
+        let report = ladder.report();
+        self.stats.degraded += report.degraded;
+        self.stats.passthrough += report.passthrough;
+        self.last_ladder = report;
         emit_commands(&solved, refs, current_job, config)
     }
 
@@ -230,9 +252,8 @@ impl IncrementalOptimizer {
         exec: ExecutorId,
         candidates: Vec<Candidate>,
         capacity: ByteSize,
-        config: &OptimizerConfig,
+        strategy: SolveStrategy,
     ) -> Vec<bool> {
-        let strategy = config.strategy;
         if let Some(p) = self.prev.get(&exec) {
             if p.capacity == capacity && p.strategy == strategy && p.candidates == candidates {
                 // Identical instance: the solver is a deterministic function
@@ -415,6 +436,44 @@ mod tests {
         let b = inc.optimize(&mut cl, &refs, None, &hw, cap, 0, &cfg);
         assert_eq!(a, b);
         assert!(inc.stats().reused > 0, "second solve should reuse: {:?}", inc.stats());
+    }
+
+    #[test]
+    fn degraded_ladder_matches_from_scratch() {
+        let (mut cl, refs) = world(6);
+        let hw = HardwareModel::default();
+        let cap = blaze_common::ByteSize::from_kib(200);
+        // Each executor instance has 7 candidates: the exact rung
+        // (~1.51e6 units) never fits, the first knapsack (59k) does, the
+        // second steps down to greedy (3.4k) on the drained budget.
+        let cfg = OptimizerConfig {
+            strategy: SolveStrategy::ExactIlp,
+            solve_deadline: Some(SimDuration::from_nanos(100_000)),
+            ..Default::default()
+        };
+        let mut inc = IncrementalOptimizer::new();
+        for job in 0..4 {
+            cl.set_state(BlockId::new(RddId(job as u32), 0), PartitionState::Disk(ExecutorId(0)));
+            let fast = inc.optimize(&mut cl, &refs, None, &hw, cap, job, &cfg);
+            let slow = optimize_states(&cl, &refs, None, &hw, cap, job, &cfg);
+            assert_eq!(fast, slow, "degraded ladder diverged at job {job}");
+        }
+        assert!(inc.stats().degraded > 0, "ladder never degraded: {:?}", inc.stats());
+        assert!(inc.last_ladder_report().any());
+    }
+
+    #[test]
+    fn passthrough_ladder_emits_nothing_on_both_paths() {
+        let (mut cl, refs) = world(4);
+        let hw = HardwareModel::default();
+        let cap = blaze_common::ByteSize::from_kib(100);
+        let cfg = OptimizerConfig { solve_deadline: Some(SimDuration::ZERO), ..Default::default() };
+        let mut inc = IncrementalOptimizer::new();
+        let fast = inc.optimize(&mut cl, &refs, None, &hw, cap, 0, &cfg);
+        let slow = optimize_states(&cl, &refs, None, &hw, cap, 0, &cfg);
+        assert_eq!(fast, slow);
+        assert!(fast.is_empty());
+        assert_eq!(inc.stats().passthrough, 2, "both executors pass through");
     }
 
     #[test]

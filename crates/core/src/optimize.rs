@@ -62,11 +62,159 @@ pub struct OptimizerConfig {
     /// (`Σ size·d ≤ capacity_disk`). `None` = abundant disk (the paper's
     /// default setup).
     pub disk_capacity: Option<ByteSize>,
+    /// Simulated-time budget for one job's decision solve (all per-executor
+    /// instances together). When the modeled cost of the requested strategy
+    /// would blow the remaining budget, the ladder steps down
+    /// `ExactIlp -> Knapsack -> Greedy -> LRU passthrough` per instance.
+    /// `None` (the default) never degrades.
+    pub solve_deadline: Option<SimDuration>,
 }
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
-        Self { horizon_jobs: 2, strategy: SolveStrategy::Knapsack, disk_capacity: None }
+        Self {
+            horizon_jobs: 2,
+            strategy: SolveStrategy::Knapsack,
+            disk_capacity: None,
+            solve_deadline: None,
+        }
+    }
+}
+
+/// One rung of the solver degradation ladder, ordered from least to most
+/// degraded. `Passthrough` means the instance was not solved at all: the
+/// executor keeps its current state and the engine's recency eviction acts
+/// as the fallback policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SolveRung {
+    /// The literal Eq. 5–6 ILP ran.
+    ExactIlp,
+    /// The knapsack reduction ran.
+    Knapsack,
+    /// The greedy density heuristic ran.
+    Greedy,
+    /// Nothing ran; LRU passthrough.
+    Passthrough,
+}
+
+impl SolveRung {
+    /// Short label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveRung::ExactIlp => "exact",
+            SolveRung::Knapsack => "knapsack",
+            SolveRung::Greedy => "greedy",
+            SolveRung::Passthrough => "lru-passthrough",
+        }
+    }
+
+    fn of(strategy: SolveStrategy) -> Self {
+        match strategy {
+            SolveStrategy::ExactIlp => SolveRung::ExactIlp,
+            SolveStrategy::Knapsack => SolveRung::Knapsack,
+            SolveStrategy::Greedy => SolveRung::Greedy,
+        }
+    }
+}
+
+/// What the degradation ladder did across one job's per-executor solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LadderReport {
+    /// Instances solved on a lower rung than the requested strategy.
+    pub degraded: u64,
+    /// Instances skipped entirely (LRU passthrough).
+    pub passthrough: u64,
+    /// Most degraded rung observed, `None` when no instance was solved.
+    pub lowest: Option<SolveRung>,
+}
+
+impl LadderReport {
+    /// True when at least one instance was stepped down or skipped.
+    pub fn any(&self) -> bool {
+        self.degraded + self.passthrough > 0
+    }
+}
+
+/// Modeled solve cost of one instance, in deadline nanoseconds. Integer-only
+/// coefficients fitted to the relative orders of the three solvers (the ILP
+/// branches over `3n` binaries; the knapsack DP is `O(n · capacity-classes)`;
+/// greedy is a sort). The absolute scale only matters relative to
+/// [`OptimizerConfig::solve_deadline`], which is expressed in the same units.
+pub fn estimate_solve_ns(strategy: SolveStrategy, n: usize) -> u64 {
+    let n = n as u64;
+    match strategy {
+        SolveStrategy::ExactIlp => 40_000 + 30_000 * n * n,
+        SolveStrategy::Knapsack => 10_000 + 1_000 * n * n,
+        SolveStrategy::Greedy => 2_000 + 200 * n,
+    }
+}
+
+/// Cheapest possible modeled cost of any non-passthrough rung (a one-item
+/// greedy solve). Deadlines below this cannot run anything — the BA304
+/// preflight warns about them.
+pub fn min_ladder_cost_ns() -> u64 {
+    estimate_solve_ns(SolveStrategy::Greedy, 1)
+}
+
+/// The per-job degradation ladder: tracks the remaining deadline budget
+/// across an ascending-executor sequence of solves and picks, for each
+/// instance, the highest rung whose modeled cost still fits.
+///
+/// Estimates are deducted unconditionally — independently of whether the
+/// incremental path later reuses a previous solution — so the from-scratch
+/// and incremental paths pick identical rungs for identical inputs (the
+/// shadow-compare invariant).
+pub(crate) struct SolveLadder {
+    requested: SolveStrategy,
+    /// Remaining budget in estimate units; `None` = no deadline.
+    remaining: Option<u64>,
+    report: LadderReport,
+}
+
+impl SolveLadder {
+    pub(crate) fn new(config: &OptimizerConfig) -> Self {
+        Self {
+            requested: config.strategy,
+            remaining: config.solve_deadline.map(|d| d.as_nanos()),
+            report: LadderReport::default(),
+        }
+    }
+
+    /// Picks the strategy for an instance of `n` candidates and deducts its
+    /// modeled cost. `None` means LRU passthrough: skip the solve entirely.
+    pub(crate) fn pick(&mut self, n: usize) -> Option<SolveStrategy> {
+        let note = |report: &mut LadderReport, rung: SolveRung| {
+            report.lowest = Some(report.lowest.map_or(rung, |l| l.max(rung)));
+        };
+        let Some(remaining) = &mut self.remaining else {
+            note(&mut self.report, SolveRung::of(self.requested));
+            return Some(self.requested);
+        };
+        let rungs: &[SolveStrategy] = match self.requested {
+            SolveStrategy::ExactIlp => {
+                &[SolveStrategy::ExactIlp, SolveStrategy::Knapsack, SolveStrategy::Greedy]
+            }
+            SolveStrategy::Knapsack => &[SolveStrategy::Knapsack, SolveStrategy::Greedy],
+            SolveStrategy::Greedy => &[SolveStrategy::Greedy],
+        };
+        for (step, &strategy) in rungs.iter().enumerate() {
+            let cost = estimate_solve_ns(strategy, n);
+            if cost <= *remaining {
+                *remaining -= cost;
+                if step > 0 {
+                    self.report.degraded += 1;
+                }
+                note(&mut self.report, SolveRung::of(strategy));
+                return Some(strategy);
+            }
+        }
+        self.report.passthrough += 1;
+        note(&mut self.report, SolveRung::Passthrough);
+        None
+    }
+
+    pub(crate) fn report(&self) -> LadderReport {
+        self.report
     }
 }
 
@@ -229,18 +377,37 @@ pub fn optimize_states(
     current_job: usize,
     config: &OptimizerConfig,
 ) -> Vec<StateCommand> {
+    optimize_states_report(lineage, refs, pattern, hardware, memory_capacity, current_job, config).0
+}
+
+/// [`optimize_states`], additionally reporting what the degradation ladder
+/// did (always `LadderReport::default()`-like when no deadline is set).
+pub fn optimize_states_report(
+    lineage: &CostLineage,
+    refs: &JobRefs,
+    pattern: Option<IterationPattern>,
+    hardware: &HardwareModel,
+    memory_capacity: ByteSize,
+    current_job: usize,
+    config: &OptimizerConfig,
+) -> (Vec<StateCommand>, LadderReport) {
     let mut model = CostModel::new(lineage, hardware, pattern);
     let mut per_exec = gather_candidates(lineage, refs, hardware, current_job, config, &mut model);
 
     let mut execs: Vec<ExecutorId> = per_exec.keys().copied().collect();
     execs.sort();
     let mut solved = Vec::with_capacity(execs.len());
+    let mut ladder = SolveLadder::new(config);
     for exec in execs {
         let candidates = per_exec.remove(&exec).unwrap_or_default();
-        let keep = solve_instance(&candidates, memory_capacity, config.strategy);
+        // Passthrough: the instance is skipped, no commands are emitted for
+        // this executor, and its blocks stay where they are (the engine's
+        // recency eviction is the fallback policy under pressure).
+        let Some(strategy) = ladder.pick(candidates.len()) else { continue };
+        let keep = solve_instance(&candidates, memory_capacity, strategy);
         solved.push((exec, candidates, keep));
     }
-    emit_commands(&solved, refs, current_job, config)
+    (emit_commands(&solved, refs, current_job, config), ladder.report())
 }
 
 /// [`optimize_states`], additionally returning the decision certificate of
@@ -261,7 +428,7 @@ pub fn optimize_states_with_certificates(
     memory_capacity: ByteSize,
     current_job: usize,
     config: &OptimizerConfig,
-) -> (Vec<StateCommand>, Vec<InstanceCertificate>) {
+) -> (Vec<StateCommand>, Vec<InstanceCertificate>, LadderReport) {
     let mut model = CostModel::new(lineage, hardware, pattern);
     let mut per_exec = gather_candidates(lineage, refs, hardware, current_job, config, &mut model);
 
@@ -269,14 +436,17 @@ pub fn optimize_states_with_certificates(
     execs.sort();
     let mut solved = Vec::with_capacity(execs.len());
     let mut certs = Vec::with_capacity(execs.len());
+    let mut ladder = SolveLadder::new(config);
     for exec in execs {
         let candidates = per_exec.remove(&exec).unwrap_or_default();
-        let (keep, cert) =
-            solve_instance_certified(exec, &candidates, memory_capacity, config.strategy);
+        // Passthrough instances emit neither commands nor a certificate —
+        // there was no solve to certify.
+        let Some(strategy) = ladder.pick(candidates.len()) else { continue };
+        let (keep, cert) = solve_instance_certified(exec, &candidates, memory_capacity, strategy);
         certs.push(cert);
         solved.push((exec, candidates, keep));
     }
-    (emit_commands(&solved, refs, current_job, config), certs)
+    (emit_commands(&solved, refs, current_job, config), certs, ladder.report())
 }
 
 /// The knapsack encoding of one executor's instance (saved recovery cost as
@@ -623,6 +793,65 @@ mod tests {
             &OptimizerConfig::default(),
         );
         assert!(cmds.is_empty(), "no pressure, no commands: {cmds:?}");
+    }
+
+    #[test]
+    fn ladder_without_deadline_never_degrades() {
+        let cfg = OptimizerConfig { strategy: SolveStrategy::ExactIlp, ..Default::default() };
+        let mut ladder = SolveLadder::new(&cfg);
+        for _ in 0..100 {
+            assert_eq!(ladder.pick(50), Some(SolveStrategy::ExactIlp));
+        }
+        let report = ladder.report();
+        assert!(!report.any());
+        assert_eq!(report.lowest, Some(SolveRung::ExactIlp));
+    }
+
+    #[test]
+    fn ladder_steps_down_and_then_passes_through() {
+        // Budget fits exactly one knapsack solve of 4 candidates; the exact
+        // ILP is over budget from the start.
+        let budget = estimate_solve_ns(SolveStrategy::Knapsack, 4);
+        let cfg = OptimizerConfig {
+            strategy: SolveStrategy::ExactIlp,
+            solve_deadline: Some(SimDuration::from_nanos(budget)),
+            ..Default::default()
+        };
+        let mut ladder = SolveLadder::new(&cfg);
+        assert_eq!(ladder.pick(4), Some(SolveStrategy::Knapsack));
+        // Budget drained: not even greedy fits now.
+        assert_eq!(ladder.pick(4), None);
+        let report = ladder.report();
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.passthrough, 1);
+        assert_eq!(report.lowest, Some(SolveRung::Passthrough));
+    }
+
+    #[test]
+    fn estimate_orders_the_rungs() {
+        for n in [1usize, 4, 16, 64] {
+            assert!(
+                estimate_solve_ns(SolveStrategy::ExactIlp, n)
+                    > estimate_solve_ns(SolveStrategy::Knapsack, n)
+            );
+            assert!(
+                estimate_solve_ns(SolveStrategy::Knapsack, n)
+                    > estimate_solve_ns(SolveStrategy::Greedy, n)
+            );
+        }
+        assert_eq!(min_ladder_cost_ns(), estimate_solve_ns(SolveStrategy::Greedy, 1));
+    }
+
+    #[test]
+    fn zero_deadline_emits_no_commands() {
+        let (cl, refs, _a, _b) = small_world();
+        let hw = blaze_engine::HardwareModel::default();
+        let cfg = OptimizerConfig { solve_deadline: Some(SimDuration::ZERO), ..Default::default() };
+        let (cmds, report) =
+            optimize_states_report(&cl, &refs, None, &hw, ByteSize::from_kib(64), 1, &cfg);
+        assert!(cmds.is_empty(), "passthrough must not emit commands: {cmds:?}");
+        assert_eq!(report.passthrough, 1);
+        assert_eq!(report.lowest, Some(SolveRung::Passthrough));
     }
 
     #[test]

@@ -70,19 +70,6 @@ impl<T: Data> Dataset<T> {
         self
     }
 
-    /// Declares that this dataset's records are hash-partitioned by key
-    /// over `num_partitions` partitions (advanced API).
-    ///
-    /// Used by key-preserving operators whose construction guarantees the
-    /// layout (e.g. the zip stage of a co-partitioned join), so downstream
-    /// `partition_by` calls become no-ops. Declaring a layout that does not
-    /// hold silently corrupts keyed results — it does not fail loudly.
-    pub fn assume_partitioned(self, num_partitions: usize) -> Self {
-        self.ctx.plan().write().node_mut(self.id).expect("own id").partitioner =
-            Some(crate::partitioner::HashPartitioner::new(num_partitions));
-        self
-    }
-
     /// Annotates this dataset to be cached (the Spark `cache()` user API).
     ///
     /// Baseline systems obey the annotation; Blaze treats it as advisory and
@@ -299,6 +286,88 @@ impl<T: Data> Dataset<T> {
         all.truncate(n);
         Ok(all)
     }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Data + std::hash::Hash + Eq,
+    V: Data,
+{
+    /// Declares that this dataset's records are hash-partitioned by key
+    /// over `num_partitions` partitions (advanced API).
+    ///
+    /// Used by key-preserving operators whose construction guarantees the
+    /// layout (e.g. the zip stage of a co-partitioned join), so downstream
+    /// `partition_by` calls become no-ops. In debug builds every computed
+    /// partition is verified against the declared layout: a key hashing to
+    /// a different partition fails the task loudly with BA008 instead of
+    /// silently corrupting keyed results. Release builds skip the check
+    /// entirely (the declaration is trusted).
+    pub fn assume_partitioned(self, num_partitions: usize) -> Self {
+        let plan = self.ctx.plan();
+        let mut guard = plan.write();
+        let node = guard.node_mut(self.id).expect("own id");
+        node.partitioner = Some(crate::partitioner::HashPartitioner::new(num_partitions));
+        #[cfg(debug_assertions)]
+        {
+            let name = node.name.clone();
+            let check = move |p: usize, block: &Block| -> Result<()> {
+                verify_keyed_layout::<K, V>(&name, p, num_partitions, block)
+            };
+            node.compute = match node.compute.clone() {
+                Compute::Source(f) => Compute::Source(Arc::new(move |p| {
+                    let b = f(p)?;
+                    check(p, &b)?;
+                    Ok(b)
+                })),
+                Compute::Narrow(f) => Compute::Narrow(Arc::new(move |p, inputs| {
+                    let b = f(p, inputs)?;
+                    check(p, &b)?;
+                    Ok(b)
+                })),
+                Compute::ShuffleAgg(f) => Compute::ShuffleAgg(Arc::new(move |p, buckets| {
+                    let b = f(p, buckets)?;
+                    check(p, &b)?;
+                    Ok(b)
+                })),
+            };
+        }
+        drop(guard);
+        self
+    }
+}
+
+/// Debug-build enforcement of [`Dataset::assume_partitioned`]: every key in
+/// the computed partition must hash to that partition under the declared
+/// layout. A violation is the BA008 audit failure — an assumed partitioner
+/// that does not hold silently corrupts every downstream keyed operator
+/// that skips its shuffle on the strength of the declaration.
+#[cfg(debug_assertions)]
+fn verify_keyed_layout<K, V>(
+    name: &str,
+    part: usize,
+    num_partitions: usize,
+    block: &Block,
+) -> Result<()>
+where
+    K: Data + std::hash::Hash + Eq,
+    V: Data,
+{
+    let partitioner = crate::partitioner::HashPartitioner::new(num_partitions);
+    let pairs = block.as_slice::<(K, V)>(&format!("assume_partitioned '{name}'@{part}"))?;
+    for (k, _) in pairs {
+        let want = partitioner.partition(k);
+        if want != part {
+            return Err(blaze_common::error::BlazeError::Audit {
+                code: "BA008".into(),
+                message: format!(
+                    "assume_partitioned({num_partitions}) on '{name}' does not hold: partition \
+                     {part} holds a key that hashes to partition {want}"
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 impl<T: Data> std::fmt::Debug for Dataset<T> {

@@ -43,10 +43,10 @@ use crate::config::ClusterConfig;
 use crate::controller::{
     Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, VictimAction,
 };
-use crate::fault::FaultCause;
+use crate::fault::{FaultCause, SPECULATION_QUANTILE, SPECULATION_SLACK};
 use crate::metrics::{Metrics, TaskCharge};
 use crate::shuffle::{ShuffleId, ShuffleStore};
-use crate::storage::{BlockStore, StoredBlock};
+use crate::storage::{spill_checksum, BlockStore, StoredBlock};
 use crate::tracing::{CacheDecision, CacheRecord, TraceEvent, TraceLog};
 use blaze_common::error::{BlazeError, Result};
 use blaze_common::fxhash::{FxHashMap, FxHashSet};
@@ -177,6 +177,11 @@ struct ClusterState {
     /// Index of the next scheduled crash in `config.fault.crashes` (they
     /// are validated to be time-ordered and fire exactly once).
     next_crash: usize,
+    /// Per-block spill sequence numbers for the corruption coin stream
+    /// ([`crate::fault::FaultPlan::spill_corruption_rate`]); only populated
+    /// while corruption injection is on, so a respilled block draws a
+    /// fresh coin. Bumped exclusively in the serial commit phase.
+    spill_seq: FxHashMap<BlockId, u64>,
     /// Structured event trace, present only when
     /// [`ClusterConfig::tracing`] is on. Every record happens in a serial
     /// engine phase, so the log is byte-identical across `worker_threads`.
@@ -226,6 +231,16 @@ enum TaskEvent {
     },
     /// Produced map-side shuffle buckets not present in the snapshot.
     MapOutput { shuffle: ShuffleId, map_part: usize, buckets: Vec<Block> },
+    /// A disk-tier block failed checksum verification: the read was charged
+    /// but the data is unusable. Commit quarantines the block (drops it
+    /// from the disk store) and the task fell back to the next replica or
+    /// to lineage recompute.
+    CorruptSpill { info: BlockInfo },
+    /// A shuffle-fetch attempt failed; the task backed off and retried.
+    FetchRetry { shuffle: ShuffleId, reduce_part: u32, attempt: u32, backoff: SimDuration },
+    /// Every fetch attempt failed: the parent's map outputs were
+    /// regenerated through lineage (inline parent-stage resubmission).
+    FetchEscalated { shuffle: ShuffleId, reduce_part: u32 },
 }
 
 /// Everything a finished task hands to the commit phase.
@@ -333,7 +348,8 @@ impl<'a> TaskCtx<'a> {
         }
 
         // 2. Disk hit (local first, then home).
-        for &cand in [Some(exec), home].iter().flatten() {
+        let mut corrupt_hits = 0u32;
+        for &cand in [Some(exec), home.filter(|&h| h != exec)].iter().flatten() {
             let ce = cand.raw() as usize;
             if let Some(sb) = view.stores.disk[ce].get(id) {
                 self.charge.disk_cache_read +=
@@ -342,23 +358,37 @@ impl<'a> TaskCtx<'a> {
                     self.charge.shuffle_fetch +=
                         view.config.hardware.network_time(sb.logical_bytes);
                 }
-                // Promotion back into memory (paper §2.3) is a commit-side
-                // decision: record where the block was found.
                 let info = BlockInfo {
                     id,
                     bytes: sb.logical_bytes,
                     ser_factor: sb.ser_factor,
                     executor: cand,
                 };
+                // Verify the spill checksum (stamped only while corruption
+                // injection is on, so the fault-free path never pays this).
+                // A mismatch means the read was wasted: record it for the
+                // commit-side quarantine and fall through to the next
+                // replica or to lineage recompute.
+                if sb
+                    .checksum
+                    .is_some_and(|ck| ck != spill_checksum(id, sb.logical_bytes, sb.ser_factor))
+                {
+                    self.events.push(TaskEvent::CorruptSpill { info });
+                    corrupt_hits += 1;
+                    continue;
+                }
+                // Promotion back into memory (paper §2.3) is a commit-side
+                // decision: record where the block was found.
                 self.events.push(TaskEvent::DiskHit { info, block: sb.block.clone() });
                 return Ok(sb.block.clone());
             }
         }
 
-        // 3. Recompute from lineage. A block destroyed by executor loss
-        // marks everything materialized beneath it as recovery work (the
-        // depth counter survives the recursion below).
-        let lost = view.stores.lost_blocks.contains(&id);
+        // 3. Recompute from lineage. A block destroyed by executor loss —
+        // or quarantined above as a corrupt spill — marks everything
+        // materialized beneath it as recovery work (the depth counter
+        // survives the recursion below).
+        let lost = view.stores.lost_blocks.contains(&id) || corrupt_hits > 0;
         if lost {
             self.recovery_depth += 1;
         }
@@ -407,6 +437,58 @@ impl<'a> TaskCtx<'a> {
                             self.write_map_output(plan, rdd, dep_idx, m, &parent_block)?;
                             if replaying {
                                 self.recovery_depth -= 1;
+                            }
+                        }
+                    }
+                    // Injected shuffle-fetch failures: every attempt flips
+                    // a seeded coin; each failure charges a capped
+                    // exponential backoff on the simulated clock, and an
+                    // exhausted retry budget escalates to regenerating the
+                    // parent's map outputs through lineage — the inline
+                    // form of Spark's parent-stage resubmission. The
+                    // regenerated buckets shadow the (unreachable) snapshot
+                    // ones via the task's shuffle overlay.
+                    if let Some((job, _)) = view.fault_coords {
+                        let fault = &view.config.fault;
+                        if fault.fetch_failure_rate > 0.0 {
+                            let budget = fault.max_fetch_retries + 1;
+                            let mut failed = 0u32;
+                            while failed < budget
+                                && fault.fetch_attempt_fails(
+                                    job.raw(),
+                                    rdd.raw(),
+                                    dep_idx,
+                                    part as u32,
+                                    failed,
+                                )
+                            {
+                                let backoff = fault.fetch_backoff(failed);
+                                self.charge.fetch_backoff += backoff;
+                                self.events.push(TaskEvent::FetchRetry {
+                                    shuffle: (rdd, dep_idx),
+                                    reduce_part: part as u32,
+                                    attempt: failed,
+                                    backoff,
+                                });
+                                failed += 1;
+                            }
+                            if failed == budget {
+                                self.recovery_depth += 1;
+                                for m in 0..num_maps {
+                                    let parent_block = self.materialize(plan, *parent, m)?;
+                                    self.force_write_map_output(
+                                        plan,
+                                        rdd,
+                                        dep_idx,
+                                        m,
+                                        &parent_block,
+                                    )?;
+                                }
+                                self.recovery_depth -= 1;
+                                self.events.push(TaskEvent::FetchEscalated {
+                                    shuffle: (rdd, dep_idx),
+                                    reduce_part: part as u32,
+                                });
                             }
                         }
                     }
@@ -468,10 +550,25 @@ impl<'a> TaskCtx<'a> {
         map_part: usize,
         input: &Block,
     ) -> Result<()> {
-        let shuffle: ShuffleId = (child, dep_idx);
-        if self.has_map_output(shuffle, map_part) {
+        if self.has_map_output((child, dep_idx), map_part) {
             return Ok(());
         }
+        self.force_write_map_output(plan, child, dep_idx, map_part, input)
+    }
+
+    /// Re-produces map-side buckets unconditionally (fetch-failure
+    /// escalation: the outputs exist in the snapshot but are unreachable,
+    /// so the parent's map side re-runs and the fresh buckets shadow the
+    /// snapshot's through the task overlay).
+    fn force_write_map_output(
+        &mut self,
+        plan: &Plan,
+        child: RddId,
+        dep_idx: usize,
+        map_part: usize,
+        input: &Block,
+    ) -> Result<()> {
+        let shuffle: ShuffleId = (child, dep_idx);
         let child_node = plan.node(child)?;
         let Dep::Shuffle { parent, map_side } = &child_node.deps[dep_idx] else {
             return Err(BlazeError::InvalidPlan(format!(
@@ -633,6 +730,7 @@ impl ClusterState {
             job_targets: Vec::new(),
             seen_audit: FxHashSet::default(),
             next_crash: 0,
+            spill_seq: FxHashMap::default(),
             trace: config.tracing.then(TraceLog::new),
             config,
             controller,
@@ -668,15 +766,35 @@ impl ClusterState {
                 *size_estimates.entry(id.rdd).or_insert(ByteSize::ZERO) += sb.logical_bytes;
             }
         }
+        let fault = &self.config.fault;
         let audit_config = blaze_audit::AuditConfig {
             total_memory: Some(self.config.total_memory()),
             total_disk: Some(self.config.disk_capacity * self.config.executors as u64),
             size_estimates,
             strict: self.config.strict_audit,
-            recovery_depth_limit: self.config.fault.max_recoverable_depth(),
-            lineage_through_shuffles: !self.config.fault.external_shuffle_service,
+            recovery_depth_limit: fault.max_recoverable_depth(),
+            lineage_through_shuffles: !fault.external_shuffle_service,
+            degradation: fault.enabled().then_some(blaze_audit::DegradationAuditInput {
+                straggler_rate: fault.straggler_rate,
+                straggler_slowdown: fault.straggler_slowdown,
+                straggler_slowdown_budget: crate::fault::STRAGGLER_SLOWDOWN_BUDGET,
+                speculation: fault.speculation,
+                spill_corruption_rate: fault.spill_corruption_rate,
+            }),
         };
-        let report = blaze_audit::audit_job(plan, target, &self.job_targets, &audit_config);
+        let mut report = blaze_audit::audit_job(plan, target, &self.job_targets, &audit_config);
+        // Controllers contribute their own preflight findings (e.g. BA304
+        // when a solve deadline cannot fit even the cheapest ladder rung),
+        // subject to the same strict-mode promotion.
+        let extra = self.controller.preflight_diagnostics();
+        if !extra.is_empty() {
+            let mut diags = report.diagnostics;
+            diags.extend(extra);
+            report = blaze_audit::AuditReport::new(diags);
+            if self.config.strict_audit {
+                report = report.promoted();
+            }
+        }
         if let Some(d) = report.errors().next() {
             return Err(BlazeError::Audit {
                 code: d.code.as_str().into(),
@@ -740,6 +858,25 @@ impl ClusterState {
         let ctx = self.ctrl_ctx(self.clock_floor);
         let cmds = self.controller.on_job_submit(&ctx, job, &job_plan, plan);
         self.apply_commands(plan, self.clock_floor, cmds);
+        // If the controller's decision path stepped down its solver
+        // degradation ladder during this submit, ledger the rung: "why did
+        // the solver not run at full strength here?" must be answerable
+        // from the trace alone.
+        if let Some(note) = self.controller.take_degradation() {
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(TraceEvent::Cache(CacheRecord {
+                    at: self.clock_floor,
+                    executor: ExecutorId(0),
+                    id: BlockId::new(RddId(u32::MAX), 0),
+                    bytes: ByteSize::ZERO,
+                    decision: CacheDecision::SolverDegrade,
+                    rationale: Some(format!(
+                        "ladder: {} ({} degraded, {} passthrough)",
+                        note.rung, note.degraded, note.passthrough
+                    )),
+                }));
+            }
+        }
 
         let mut stage_done = vec![self.clock_floor; job_plan.stages.len()];
         let last_stage = job_plan.stages.len() - 1;
@@ -823,6 +960,39 @@ impl ClusterState {
                 .collect()
             };
 
+            // Straggler injection: seeded per-task slowdowns plus a
+            // quantile-based speculation deadline (the shape of Spark's
+            // `spark.speculation.{quantile,multiplier}`), all decided in
+            // the serial commit phase from pre-commit execute charges so
+            // traces stay thread-count invariant.
+            let straggle_on = fault_on && self.config.fault.straggler_rate > 0.0;
+            let mut stragglers: Vec<bool> = Vec::new();
+            let mut deadline = SimDuration::ZERO;
+            if straggle_on && !outputs.is_empty() {
+                let fault = &self.config.fault;
+                stragglers = (0..outputs.len())
+                    .map(|p| fault.task_straggles(job.raw(), stage.index as u32, p as u32))
+                    .collect();
+                let mut observed: Vec<SimDuration> = outputs
+                    .iter()
+                    .enumerate()
+                    .map(|(p, o)| {
+                        let base = o
+                            .as_ref()
+                            .and_then(|r| r.as_ref().ok())
+                            .map_or(SimDuration::ZERO, |out| out.charge.total());
+                        if stragglers[p] {
+                            base * fault.straggler_slowdown
+                        } else {
+                            base
+                        }
+                    })
+                    .collect();
+                observed.sort_unstable();
+                let q_idx = (SPECULATION_QUANTILE * (observed.len() - 1) as f64) as usize;
+                deadline = observed[q_idx] * SPECULATION_SLACK;
+            }
+
             // -- Commit: serial, partition-index order. The first failed
             //    task aborts the job (deterministically, independent of
             //    which worker observed it first). Scheduled crashes fire at
@@ -846,7 +1016,19 @@ impl ClusterState {
                     BlazeError::Execution(format!("partition {p} missing at commit"))
                 })??;
                 let block = output.block.clone();
-                let end = self.commit_task(job, stage.output, p, placements[p], start, output);
+                let end = if straggle_on && stragglers[p] {
+                    self.commit_straggler(
+                        job,
+                        stage.output,
+                        p,
+                        placements[p],
+                        start,
+                        output,
+                        deadline,
+                    )
+                } else {
+                    self.commit_task(job, stage.output, p, placements[p], start, output)
+                };
                 stage_end = stage_end.max(end);
                 if is_result {
                     results.push(block);
@@ -887,9 +1069,26 @@ impl ClusterState {
         start: SimTime,
         output: TaskOutput,
     ) -> SimTime {
+        self.commit_task_at(job, stage_output, part, exec, start, output, None)
+    }
+
+    /// [`Self::commit_task`] with an extra launch floor: a speculative copy
+    /// cannot start before the original has provably blown the stage
+    /// deadline, even if the copy executor has an idle slot earlier.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_task_at(
+        &mut self,
+        job: JobId,
+        stage_output: RddId,
+        part: usize,
+        exec: ExecutorId,
+        start: SimTime,
+        output: TaskOutput,
+        min_start: Option<SimTime>,
+    ) -> SimTime {
         let e = exec.raw() as usize;
         let slot = Self::earliest_slot(&self.slots[e]);
-        let t0 = self.slots[e][slot].max(start);
+        let t0 = self.slots[e][slot].max(start).max(min_start.unwrap_or(SimTime::ZERO));
         let mut charge = output.charge;
         let recovery = output.recovery;
         let mut next_attempt = 0u32;
@@ -1059,6 +1258,39 @@ impl ClusterState {
                         }
                     }
                 }
+                TaskEvent::CorruptSpill { info } => {
+                    // Quarantine: drop the corrupt block from the disk tier
+                    // (the remove-guard deduplicates detections by several
+                    // tasks of one stage). Lineage re-produces the data.
+                    self.quarantine_spill(info.executor, info.id, info.bytes, t0);
+                }
+                TaskEvent::FetchRetry { shuffle, reduce_part, attempt, backoff } => {
+                    self.metrics.recovery.fetch_retries += 1;
+                    self.metrics.recovery.fetch_backoff_time += backoff;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceEvent::FetchRetry {
+                            at: t0,
+                            job,
+                            child: shuffle.0,
+                            dep_idx: shuffle.1 as u32,
+                            reduce_part,
+                            attempt,
+                            backoff,
+                        });
+                    }
+                }
+                TaskEvent::FetchEscalated { shuffle, reduce_part } => {
+                    self.metrics.recovery.fetch_escalations += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceEvent::FetchEscalated {
+                            at: t0,
+                            job,
+                            child: shuffle.0,
+                            dep_idx: shuffle.1 as u32,
+                            reduce_part,
+                        });
+                    }
+                }
             }
         }
 
@@ -1100,6 +1332,140 @@ impl ClusterState {
         }
         self.slots[e][slot] = end;
         end
+    }
+
+    /// Commits a task the fault plan marked as a straggler: its execute
+    /// charge is inflated by the plan's slowdown, and — when speculative
+    /// execution is on and the slowed duration blows the stage `deadline` —
+    /// a speculative copy on the next executor races the original.
+    ///
+    /// The race is decided analytically on the simulated clock: the copy
+    /// re-runs nothing (the task's computed output is identical; its event
+    /// log is reused, with `Computed` ownership rewritten to the copy
+    /// executor). Whichever attempt finishes first commits; the loser's
+    /// slot stays busy until the winner's end, and that burn is charged to
+    /// [`crate::metrics::SpeculationMetrics`] — not to any task span, so
+    /// the BA402 busy-time reconciliation stays exact.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_straggler(
+        &mut self,
+        job: JobId,
+        stage_output: RddId,
+        part: usize,
+        exec: ExecutorId,
+        start: SimTime,
+        mut output: TaskOutput,
+        deadline: SimDuration,
+    ) -> SimTime {
+        let slowdown = self.config.fault.straggler_slowdown;
+        let speculate = self.config.fault.speculation;
+        let base = output.charge.total();
+        let slowed = base * slowdown;
+        let delay = slowed.saturating_sub(base);
+        self.metrics.speculation.stragglers += 1;
+
+        // Decide the race before committing anything: both launch times are
+        // pure functions of the current slot clocks.
+        let e = exec.raw() as usize;
+        let orig_slot = Self::earliest_slot(&self.slots[e]);
+        let t0_orig = self.slots[e][orig_slot].max(start);
+        let orig_end = t0_orig + slowed;
+        let spec = if speculate && self.config.executors >= 2 && slowed > deadline {
+            let se = (e + 1) % self.config.executors;
+            let spec_slot = Self::earliest_slot(&self.slots[se]);
+            // The copy launches once the original has provably blown the
+            // deadline, on the copy executor's earliest slot.
+            let spec_start = self.slots[se][spec_slot].max(start).max(t0_orig + deadline);
+            Some((se, spec_slot, spec_start, spec_start + base))
+        } else {
+            None
+        };
+
+        match spec {
+            Some((se, _, spec_start, spec_end)) if spec_end < orig_end => {
+                // The copy wins: it commits (at full speed, floored at its
+                // launch time) and the original is cancelled, having burned
+                // its slot from launch to the winner's end.
+                let copy_exec = ExecutorId(se as u32);
+                for ev in &mut output.events {
+                    if let TaskEvent::Computed { info, .. } = ev {
+                        if info.executor == exec {
+                            info.executor = copy_exec;
+                        }
+                    }
+                }
+                let end = self.commit_task_at(
+                    job,
+                    stage_output,
+                    part,
+                    copy_exec,
+                    start,
+                    output,
+                    Some(spec_start),
+                );
+                let wasted = end.since(t0_orig);
+                self.slots[e][orig_slot] = self.slots[e][orig_slot].max(end);
+                self.metrics.speculation.launched += 1;
+                self.metrics.speculation.wins += 1;
+                self.metrics.speculation.wasted += wasted;
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceEvent::Straggler {
+                        at: t0_orig,
+                        job,
+                        stage_output,
+                        partition: part as u32,
+                        delay: SimDuration::ZERO,
+                    });
+                    tr.record(TraceEvent::Speculation {
+                        at: t0_orig,
+                        job,
+                        stage_output,
+                        partition: part as u32,
+                        copy_executor: copy_exec,
+                        copy_won: true,
+                        wasted,
+                    });
+                }
+                end
+            }
+            _ => {
+                // The original commits, carrying the straggler delay in its
+                // charge (so its span and the busy clock agree); a launched
+                // but losing copy burns its slot until the original's end.
+                output.charge.straggler_delay = delay;
+                self.metrics.speculation.straggler_delay += delay;
+                let end = self.commit_task(job, stage_output, part, exec, start, output);
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceEvent::Straggler {
+                        at: t0_orig,
+                        job,
+                        stage_output,
+                        partition: part as u32,
+                        delay,
+                    });
+                }
+                if let Some((se, spec_slot, spec_start, _)) = spec {
+                    if spec_start < end {
+                        let wasted = end.since(spec_start);
+                        self.metrics.speculation.launched += 1;
+                        self.metrics.speculation.wasted += wasted;
+                        self.slots[se][spec_slot] = self.slots[se][spec_slot].max(end);
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.record(TraceEvent::Speculation {
+                                at: t0_orig,
+                                job,
+                                stage_output,
+                                partition: part as u32,
+                                copy_executor: ExecutorId(se as u32),
+                                copy_won: false,
+                                wasted,
+                            });
+                        }
+                    }
+                }
+                end
+            }
+        }
     }
 
     fn earliest_slot(slots: &[SimTime]) -> usize {
@@ -1204,6 +1570,7 @@ impl ClusterState {
                     logical_bytes: info.bytes,
                     stored_bytes: footprint,
                     ser_factor: info.ser_factor,
+                    checksum: None,
                 },
             );
             debug_assert!(ok);
@@ -1270,8 +1637,9 @@ impl ClusterState {
             charge.disk_cache_write +=
                 self.config.hardware.spill_time(sb.logical_bytes, sb.ser_factor);
             let logical = sb.logical_bytes;
-            let inserted =
-                self.stores.disk[e].insert(vid, StoredBlock { stored_bytes: logical, ..sb });
+            let checksum = self.stamp_spill(vid, logical, sb.ser_factor);
+            let inserted = self.stores.disk[e]
+                .insert(vid, StoredBlock { stored_bytes: logical, checksum, ..sb });
             if inserted {
                 self.metrics.disk_bytes_written += logical;
                 let info = BlockInfo { id: vid, bytes: logical, ser_factor: 1.0, executor: exec };
@@ -1299,6 +1667,7 @@ impl ClusterState {
             logical_bytes: info.bytes,
             stored_bytes: info.bytes,
             ser_factor: info.ser_factor,
+            checksum: self.stamp_spill(info.id, info.bytes, info.ser_factor),
         };
         if self.stores.disk[e].insert(info.id, stored) {
             charge.disk_cache_write += self.config.hardware.spill_time(info.bytes, info.ser_factor);
@@ -1316,6 +1685,45 @@ impl ClusterState {
                     rationale: None,
                 }));
             }
+        }
+    }
+
+    /// Integrity checksum for a block being written to the disk tier, with
+    /// the seeded corruption injection applied: the coin of
+    /// [`crate::fault::FaultPlan::spill_corrupted`] flips one checksum bit,
+    /// which the next read detects and quarantines. Returns `None` (stamp
+    /// nothing, verify nothing) while corruption injection is off, keeping
+    /// the fault-free path byte-identical. Only called from the serial
+    /// commit phase, so the per-block sequence stream is deterministic.
+    fn stamp_spill(&mut self, id: BlockId, logical: ByteSize, ser_factor: f64) -> Option<u64> {
+        let fault = &self.config.fault;
+        if fault.spill_corruption_rate <= 0.0 {
+            return None;
+        }
+        let seq = {
+            let counter = self.spill_seq.entry(id).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            seq
+        };
+        let mut ck = spill_checksum(id, logical, ser_factor);
+        if self.config.fault.spill_corrupted(id.rdd.raw(), id.partition, seq) {
+            ck ^= 1u64 << self.config.fault.corruption_bit(id.rdd.raw(), id.partition, seq);
+        }
+        Some(ck)
+    }
+
+    /// Drops a corrupt disk-tier block detected by checksum mismatch and
+    /// attributes the quarantine. A no-op if the block is already gone
+    /// (several tasks of one stage may detect the same corruption).
+    fn quarantine_spill(&mut self, exec: ExecutorId, id: BlockId, bytes: ByteSize, at: SimTime) {
+        let e = exec.raw() as usize;
+        if self.stores.disk[e].remove(id).is_none() {
+            return;
+        }
+        self.metrics.recovery.spills_quarantined += 1;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::SpillQuarantined { at, executor: exec, id, bytes });
         }
     }
 
@@ -1369,6 +1777,15 @@ impl ClusterState {
                         continue;
                     };
                     let Some(sb) = self.stores.disk[e].get(id).cloned() else { continue };
+                    // A corrupt spill must not be laundered into memory:
+                    // quarantine it here and let lineage re-produce it.
+                    if sb
+                        .checksum
+                        .is_some_and(|ck| ck != spill_checksum(id, sb.logical_bytes, sb.ser_factor))
+                    {
+                        self.quarantine_spill(ExecutorId(e as u32), id, sb.logical_bytes, at);
+                        continue;
+                    }
                     if !self.stores.mem[e].fits(sb.stored_bytes) {
                         continue; // Best effort: promotion only into free space.
                     }
@@ -1383,7 +1800,7 @@ impl ClusterState {
                         executor: ExecutorId(e as u32),
                     };
                     let fresh = !self.stores.mem[e].contains(id);
-                    let ok = self.stores.mem[e].insert(id, sb);
+                    let ok = self.stores.mem[e].insert(id, StoredBlock { checksum: None, ..sb });
                     debug_assert!(ok);
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_inserted(&ctx, &info, false);

@@ -76,6 +76,21 @@ pub enum StateCommand {
     PromoteToMemory(BlockId),
 }
 
+/// What the solver degradation ladder did for one job's decision solve
+/// (see `BlazeConfig::solve_deadline` in `blaze-core`): which rung actually
+/// ran and how many per-executor instances were stepped down or skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationNote {
+    /// Short label of the most degraded rung that ran (e.g. `"greedy"`,
+    /// `"lru-passthrough"`).
+    pub rung: &'static str,
+    /// Per-executor instances solved on a lower rung than requested.
+    pub degraded: u64,
+    /// Per-executor instances skipped entirely (LRU passthrough: the
+    /// engine's recency eviction is the fallback policy).
+    pub passthrough: u64,
+}
+
 /// Read-only context handed to controller callbacks.
 #[derive(Debug, Clone, Copy)]
 pub struct CtrlCtx {
@@ -206,6 +221,23 @@ pub trait CacheController: Send {
     ) -> Vec<StateCommand> {
         Vec::new()
     }
+
+    /// Drained by the engine right after [`CacheController::on_job_submit`]:
+    /// when the controller's decision path stepped down its solver
+    /// degradation ladder during that submit, the note is recorded into the
+    /// trace ledger as a `solver-degrade` cache decision. Controllers
+    /// without a deadline (the default) never degrade.
+    fn take_degradation(&mut self) -> Option<DegradationNote> {
+        None
+    }
+
+    /// Extra preflight diagnostics contributed by the controller, merged
+    /// into the engine's plan audit before the first job runs (e.g. BA304
+    /// when the configured solve deadline cannot fit even the cheapest
+    /// rung). The default contributes nothing.
+    fn preflight_diagnostics(&self) -> Vec<blaze_audit::Diagnostic> {
+        Vec::new()
+    }
 }
 
 /// A controller that never caches anything (for engine tests and as the
@@ -253,5 +285,7 @@ mod tests {
         assert!(c
             .choose_victims(&ctx, ExecutorId(0), ByteSize::from_kib(1), &info, &[])
             .is_empty());
+        assert!(c.take_degradation().is_none());
+        assert!(c.preflight_diagnostics().is_empty());
     }
 }

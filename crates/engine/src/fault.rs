@@ -17,18 +17,34 @@
 //! - **Map-output loss**: with `external_shuffle_service` disabled, a
 //!   seeded coin keyed by `(job, shuffle, map task)` drops map outputs at
 //!   job start; consumers recover them through lineage, Spark-style.
+//! - **Stragglers**: a seeded coin keyed by `(job, stage, partition)` marks
+//!   tasks whose execution time is multiplied by
+//!   [`FaultPlan::straggler_slowdown`]; the scheduler launches a speculative
+//!   copy when the slowed task blows the stage's quantile-based deadline and
+//!   commits whichever attempt finishes first.
+//! - **Corrupted spills**: each block written to the disk tier carries an
+//!   FxHash-based checksum; a seeded coin keyed by `(rdd, partition, nth
+//!   spill)` flips a checksum bit so the next read detects the corruption,
+//!   quarantines the block and falls back to lineage recompute.
+//! - **Fetch failures**: each shuffle-fetch attempt flips a seeded coin;
+//!   failed attempts wait out a capped exponential backoff on the sim clock
+//!   and, once the retry budget is spent, escalate to regenerating the
+//!   parent's map outputs through lineage.
 //!
 //! The default plan is fully disabled and adds zero cost: the engine takes
 //! no fault path at all when [`FaultPlan::enabled`] is false.
 
 use blaze_common::error::{BlazeError, Result};
-use blaze_common::rng::coord_coin;
-use blaze_common::SimTime;
+use blaze_common::rng::{coord_coin, hash_coords};
+use blaze_common::{SimDuration, SimTime};
 
 /// Distinct coin streams, so the same coordinates never reuse a draw
 /// across failure classes.
 const STREAM_TASK: u64 = 1;
 const STREAM_MAP_OUTPUT: u64 = 2;
+const STREAM_STRAGGLER: u64 = 3;
+const STREAM_SPILL_CORRUPTION: u64 = 4;
+const STREAM_FETCH: u64 = 5;
 
 /// Heuristic uncached-lineage depth a single retry budget can be expected
 /// to replay: each retry re-executes the whole uncached chain inline, so
@@ -36,6 +52,20 @@ const STREAM_MAP_OUTPUT: u64 = 2;
 /// exposure window. The BA301 preflight rule rejects plans whose uncached
 /// depth exceeds `DEPTH_PER_ATTEMPT * max_attempts`.
 pub const DEPTH_PER_ATTEMPT: usize = 32;
+
+/// Quantile of a stage's observed (post-slowdown) task durations that
+/// anchors the speculation deadline: a task is speculated upon once its
+/// projected duration exceeds `quantile * SPECULATION_SLACK` — the same
+/// shape as Spark's `spark.speculation.{quantile,multiplier}`.
+pub const SPECULATION_QUANTILE: f64 = 0.75;
+
+/// Multiplier applied to the quantile duration to form the deadline.
+pub const SPECULATION_SLACK: f64 = 1.5;
+
+/// Straggler slowdown beyond which a plan without speculative execution is
+/// flagged by the BA302 preflight rule: tail latency grows linearly with
+/// the slowdown and nothing in the schedule can claw it back.
+pub const STRAGGLER_SLOWDOWN_BUDGET: f64 = 8.0;
 
 /// Why an injected task attempt was lost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +114,34 @@ pub struct FaultPlan {
     /// crash drops the outputs the dead executor produced and
     /// `map_output_loss_rate` applies.
     pub external_shuffle_service: bool,
+    /// Probability that any single task is a straggler (seeded per task).
+    /// Must be in `[0, 1)`.
+    pub straggler_rate: f64,
+    /// Execution-time multiplier applied to straggling tasks. Must be
+    /// finite and `>= 1`.
+    pub straggler_slowdown: f64,
+    /// Launch a speculative copy on another executor when a straggler blows
+    /// the stage's quantile deadline (see [`SPECULATION_QUANTILE`]); the
+    /// earlier finisher commits, the loser's slot time is charged to
+    /// `Metrics::speculation`. On by default — only reachable when
+    /// `straggler_rate > 0`.
+    pub speculation: bool,
+    /// Probability that a block spilled to the disk tier is corrupted
+    /// (seeded per spill). Must be in `[0, 1)`. Reads detect the checksum
+    /// mismatch, quarantine the block and recompute through lineage.
+    pub spill_corruption_rate: f64,
+    /// Probability that one shuffle-fetch attempt fails (seeded per
+    /// attempt). Must be in `[0, 1)`.
+    pub fetch_failure_rate: f64,
+    /// Failed-fetch retries before escalating to regenerating the parent
+    /// stage's map outputs through lineage. Must be `>= 1` when
+    /// `fetch_failure_rate > 0`.
+    pub max_fetch_retries: u32,
+    /// Backoff wait after the first failed fetch attempt; doubles per
+    /// retry. Must be positive when `fetch_failure_rate > 0`.
+    pub fetch_backoff_base: SimDuration,
+    /// Cap on a single backoff wait. Must be `>= fetch_backoff_base`.
+    pub fetch_backoff_cap: SimDuration,
 }
 
 impl Default for FaultPlan {
@@ -95,6 +153,14 @@ impl Default for FaultPlan {
             crashes: Vec::new(),
             map_output_loss_rate: 0.0,
             external_shuffle_service: true,
+            straggler_rate: 0.0,
+            straggler_slowdown: 4.0,
+            speculation: true,
+            spill_corruption_rate: 0.0,
+            fetch_failure_rate: 0.0,
+            max_fetch_retries: 4,
+            fetch_backoff_base: SimDuration::from_millis(10),
+            fetch_backoff_cap: SimDuration::from_millis(200),
         }
     }
 }
@@ -106,6 +172,9 @@ impl FaultPlan {
         self.task_failure_rate > 0.0
             || !self.crashes.is_empty()
             || (!self.external_shuffle_service && self.map_output_loss_rate > 0.0)
+            || self.straggler_rate > 0.0
+            || self.spill_corruption_rate > 0.0
+            || self.fetch_failure_rate > 0.0
     }
 
     /// Total attempts a task may consume (first run + retries).
@@ -134,6 +203,71 @@ impl FaultPlan {
             &[STREAM_MAP_OUTPUT, u64::from(job), u64::from(child), dep_idx as u64, map_part as u64],
             self.map_output_loss_rate,
         )
+    }
+
+    /// Seeded coin: is task `(job, stage, part)` a straggler? Stragglers
+    /// are a property of the task, not the attempt: every attempt on the
+    /// originally scheduled executor is slowed (the machine is slow), while
+    /// a speculative copy elsewhere runs at full speed.
+    pub fn task_straggles(&self, job: u32, stage: u32, part: u32) -> bool {
+        coord_coin(
+            self.seed,
+            &[STREAM_STRAGGLER, u64::from(job), u64::from(stage), u64::from(part)],
+            self.straggler_rate,
+        )
+    }
+
+    /// Seeded coin: is the `seq`-th spill of block `(rdd, part)` to the
+    /// disk tier corrupted? Keyed by a per-block spill sequence number so a
+    /// quarantined-and-respilled block draws a fresh coin.
+    pub fn spill_corrupted(&self, rdd: u32, part: u32, seq: u64) -> bool {
+        coord_coin(
+            self.seed,
+            &[STREAM_SPILL_CORRUPTION, u64::from(rdd), u64::from(part), seq],
+            self.spill_corruption_rate,
+        )
+    }
+
+    /// Which checksum bit the corruption of [`Self::spill_corrupted`] flips
+    /// (a deterministic function of the same coordinates).
+    pub fn corruption_bit(&self, rdd: u32, part: u32, seq: u64) -> u32 {
+        (hash_coords(
+            self.seed,
+            &[STREAM_SPILL_CORRUPTION, u64::from(rdd), u64::from(part), seq, u64::MAX],
+        ) % 64) as u32
+    }
+
+    /// Seeded coin: does attempt `attempt` of fetching reduce partition
+    /// `reduce_part` of the shuffle feeding `(child, dep_idx)` in `job`
+    /// fail?
+    pub fn fetch_attempt_fails(
+        &self,
+        job: u32,
+        child: u32,
+        dep_idx: usize,
+        reduce_part: u32,
+        attempt: u32,
+    ) -> bool {
+        coord_coin(
+            self.seed,
+            &[
+                STREAM_FETCH,
+                u64::from(job),
+                u64::from(child),
+                dep_idx as u64,
+                u64::from(reduce_part),
+                u64::from(attempt),
+            ],
+            self.fetch_failure_rate,
+        )
+    }
+
+    /// Deterministic backoff wait after failed fetch attempt `attempt`
+    /// (0-based): `min(base << attempt, cap)`, saturating.
+    pub fn fetch_backoff(&self, attempt: u32) -> SimDuration {
+        let base = self.fetch_backoff_base.as_nanos();
+        let scaled = base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        SimDuration::from_nanos(scaled.min(self.fetch_backoff_cap.as_nanos()))
     }
 
     /// The deepest uncached lineage chain the retry budget can be expected
@@ -196,6 +330,52 @@ impl FaultPlan {
                  rescheduled onto a survivor"
                     .into(),
             ));
+        }
+        let rate = self.straggler_rate;
+        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+            return Err(BlazeError::Config(format!(
+                "fault plan: straggler_rate must be in [0, 1) (got {rate})"
+            )));
+        }
+        if !self.straggler_slowdown.is_finite() || self.straggler_slowdown < 1.0 {
+            return Err(BlazeError::Config(format!(
+                "fault plan: straggler_slowdown must be finite and >= 1 (got {}); a \
+                 multiplier below 1 would speed tasks up",
+                self.straggler_slowdown
+            )));
+        }
+        let rate = self.spill_corruption_rate;
+        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+            return Err(BlazeError::Config(format!(
+                "fault plan: spill_corruption_rate must be in [0, 1) (got {rate}); at 1 \
+                 every respill would corrupt again and reads could never succeed"
+            )));
+        }
+        let rate = self.fetch_failure_rate;
+        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+            return Err(BlazeError::Config(format!(
+                "fault plan: fetch_failure_rate must be in [0, 1) (got {rate}); at 1 \
+                 every retry would fail and escalation would loop forever"
+            )));
+        }
+        if self.fetch_failure_rate > 0.0 {
+            if self.max_fetch_retries == 0 {
+                return Err(BlazeError::Config(
+                    "fault plan: max_fetch_retries must be >= 1 when fetch_failure_rate > 0".into(),
+                ));
+            }
+            if self.fetch_backoff_base <= SimDuration::ZERO {
+                return Err(BlazeError::Config(
+                    "fault plan: fetch_backoff_base must be positive when fetch_failure_rate > 0"
+                        .into(),
+                ));
+            }
+            if self.fetch_backoff_cap < self.fetch_backoff_base {
+                return Err(BlazeError::Config(format!(
+                    "fault plan: fetch_backoff_cap ({}) must be >= fetch_backoff_base ({})",
+                    self.fetch_backoff_cap, self.fetch_backoff_base
+                )));
+            }
         }
         Ok(())
     }
@@ -269,5 +449,98 @@ mod tests {
     fn recoverable_depth_scales_with_the_retry_budget() {
         let plan = FaultPlan { task_failure_rate: 0.1, max_task_retries: 2, ..Default::default() };
         assert_eq!(plan.max_recoverable_depth(), Some(DEPTH_PER_ATTEMPT * 3));
+    }
+
+    #[test]
+    fn degradation_fields_enable_the_plan() {
+        let straggle = FaultPlan { straggler_rate: 0.2, ..Default::default() };
+        assert!(straggle.enabled());
+        let corrupt = FaultPlan { spill_corruption_rate: 0.2, ..Default::default() };
+        assert!(corrupt.enabled());
+        let fetch = FaultPlan { fetch_failure_rate: 0.2, ..Default::default() };
+        assert!(fetch.enabled());
+    }
+
+    #[test]
+    fn degradation_coins_are_deterministic() {
+        let plan = FaultPlan {
+            seed: 13,
+            straggler_rate: 0.5,
+            spill_corruption_rate: 0.5,
+            fetch_failure_rate: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(plan.task_straggles(1, 2, 3), plan.task_straggles(1, 2, 3));
+        assert_eq!(plan.spill_corrupted(4, 5, 0), plan.spill_corrupted(4, 5, 0));
+        assert_eq!(plan.corruption_bit(4, 5, 0), plan.corruption_bit(4, 5, 0));
+        assert!(plan.corruption_bit(4, 5, 0) < 64);
+        assert_eq!(
+            plan.fetch_attempt_fails(0, 7, 0, 2, 1),
+            plan.fetch_attempt_fails(0, 7, 0, 2, 1)
+        );
+        // Coordinates matter: at rate 0.5 some of 64 neighbours must differ.
+        let flips: Vec<bool> = (0..64).map(|p| plan.task_straggles(0, 0, p)).collect();
+        assert!(flips.iter().any(|&f| f) && flips.iter().any(|&f| !f));
+        let flips: Vec<bool> = (0..64).map(|s| plan.spill_corrupted(0, 0, s)).collect();
+        assert!(flips.iter().any(|&f| f) && flips.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn fetch_backoff_doubles_and_caps() {
+        let plan = FaultPlan {
+            fetch_backoff_base: SimDuration::from_millis(10),
+            fetch_backoff_cap: SimDuration::from_millis(50),
+            ..Default::default()
+        };
+        assert_eq!(plan.fetch_backoff(0), SimDuration::from_millis(10));
+        assert_eq!(plan.fetch_backoff(1), SimDuration::from_millis(20));
+        assert_eq!(plan.fetch_backoff(2), SimDuration::from_millis(40));
+        assert_eq!(plan.fetch_backoff(3), SimDuration::from_millis(50));
+        assert_eq!(plan.fetch_backoff(63), SimDuration::from_millis(50));
+        assert_eq!(plan.fetch_backoff(64), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn validation_rejects_bad_degradation_plans() {
+        let bad = FaultPlan { straggler_rate: 1.0, ..Default::default() };
+        assert!(bad.validate(4).is_err());
+        let bad = FaultPlan { straggler_rate: 0.1, straggler_slowdown: 0.5, ..Default::default() };
+        assert!(bad.validate(4).is_err());
+        let bad = FaultPlan { straggler_slowdown: f64::INFINITY, ..Default::default() };
+        assert!(bad.validate(4).is_err());
+        let bad = FaultPlan { spill_corruption_rate: 1.0, ..Default::default() };
+        assert!(bad.validate(4).is_err());
+        let bad = FaultPlan { fetch_failure_rate: f64::NAN, ..Default::default() };
+        assert!(bad.validate(4).is_err());
+        let bad = FaultPlan { fetch_failure_rate: 0.1, max_fetch_retries: 0, ..Default::default() };
+        assert!(bad.validate(4).is_err());
+        let bad = FaultPlan {
+            fetch_failure_rate: 0.1,
+            fetch_backoff_base: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(bad.validate(4).is_err());
+        let bad = FaultPlan {
+            fetch_failure_rate: 0.1,
+            fetch_backoff_base: SimDuration::from_millis(10),
+            fetch_backoff_cap: SimDuration::from_millis(5),
+            ..Default::default()
+        };
+        assert!(bad.validate(4).is_err());
+        // A cap below base is fine while fetch failures are off.
+        let ok = FaultPlan {
+            fetch_backoff_base: SimDuration::from_millis(10),
+            fetch_backoff_cap: SimDuration::from_millis(5),
+            ..Default::default()
+        };
+        assert!(ok.validate(4).is_ok());
+        let ok = FaultPlan {
+            straggler_rate: 0.3,
+            straggler_slowdown: 6.0,
+            spill_corruption_rate: 0.2,
+            fetch_failure_rate: 0.2,
+            ..Default::default()
+        };
+        assert!(ok.validate(4).is_ok());
     }
 }

@@ -44,9 +44,9 @@ pub mod tracing;
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, HardwareModel};
 pub use controller::{
-    Admission, BlockInfo, CacheController, CtrlCtx, NoCacheController, PartitionEvent,
-    StateCommand, VictimAction,
+    Admission, BlockInfo, CacheController, CtrlCtx, DegradationNote, NoCacheController,
+    PartitionEvent, StateCommand, VictimAction,
 };
 pub use fault::{ExecutorCrash, FaultCause, FaultPlan};
-pub use metrics::{Metrics, RecoveryMetrics, TaskCharge, TaskTrace};
+pub use metrics::{Metrics, RecoveryMetrics, SpeculationMetrics, TaskCharge, TaskTrace};
 pub use tracing::{CacheDecision, CacheRecord, TraceEvent, TraceLog};

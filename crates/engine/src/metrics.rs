@@ -65,6 +65,12 @@ pub struct TaskCharge {
     /// attempts ran and died, so the slot was occupied, but no category
     /// above received their work. Zero when no faults are injected.
     pub fault_wasted: SimDuration,
+    /// Extra slot time a straggling task spent over its fair duration
+    /// (the injected slowdown, fault injection). Zero without stragglers.
+    pub straggler_delay: SimDuration,
+    /// Backoff waits charged by failed shuffle-fetch attempts (fault
+    /// injection). Zero without fetch failures.
+    pub fetch_backoff: SimDuration,
 }
 
 impl TaskCharge {
@@ -78,6 +84,8 @@ impl TaskCharge {
             + self.disk_cache_read
             + self.external_store_io
             + self.fault_wasted
+            + self.straggler_delay
+            + self.fetch_backoff
     }
 
     /// The "Disk I/O for Caching" component of the paper's breakdown.
@@ -100,7 +108,30 @@ impl TaskCharge {
         self.disk_cache_read += other.disk_cache_read;
         self.external_store_io += other.external_store_io;
         self.fault_wasted += other.fault_wasted;
+        self.straggler_delay += other.straggler_delay;
+        self.fetch_backoff += other.fetch_backoff;
     }
+}
+
+/// Speculative-execution attribution under straggler injection (see
+/// [`crate::fault::FaultPlan::straggler_rate`]). All zero on a
+/// straggler-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpeculationMetrics {
+    /// Tasks the fault plan marked as stragglers.
+    pub stragglers: u64,
+    /// Total injected slowdown charged to committed straggling attempts
+    /// (matches the sum of `TaskCharge::straggler_delay`).
+    pub straggler_delay: SimDuration,
+    /// Speculative copies launched because a straggler blew the stage's
+    /// quantile deadline.
+    pub launched: u64,
+    /// Speculative copies that finished before the original attempt and
+    /// were committed in its place.
+    pub wins: u64,
+    /// Slot time burned by whichever attempt lost the race (the original
+    /// after a win, the copy after a loss).
+    pub wasted: SimDuration,
 }
 
 /// Recovery-work attribution under fault injection (see
@@ -130,6 +161,17 @@ pub struct RecoveryMetrics {
     /// Map stages re-run because their registered shuffle outputs were
     /// lost (Spark's fetch-failure stage resubmission).
     pub stages_resubmitted: u64,
+    /// Spilled blocks whose checksum failed verification on read; the block
+    /// was dropped from the disk tier and recomputed through lineage.
+    pub spills_quarantined: u64,
+    /// Shuffle-fetch attempts that failed and were retried after a backoff.
+    pub fetch_retries: u64,
+    /// Total backoff time charged by failed fetch attempts (matches the sum
+    /// of `TaskCharge::fetch_backoff`).
+    pub fetch_backoff_time: SimDuration,
+    /// Fetches whose whole retry budget failed, escalating to regenerating
+    /// the parent stage's map outputs through lineage.
+    pub fetch_escalations: u64,
     /// Slot time burned by attempts that failed (transient or crash-lost).
     pub wasted_time: SimDuration,
     /// Simulated time spent replaying lineage to re-produce lost data
@@ -140,9 +182,10 @@ pub struct RecoveryMetrics {
 }
 
 impl RecoveryMetrics {
-    /// Total simulated time the run spent on failure recovery.
+    /// Total simulated time the run spent on failure recovery (wasted
+    /// attempt time, lineage replay, and fetch backoff waits).
     pub fn total_recovery_time(&self) -> SimDuration {
-        self.wasted_time + self.lineage_replay_time
+        self.wasted_time + self.lineage_replay_time + self.fetch_backoff_time
     }
 
     /// Recovery time per job, sorted by job id.
@@ -215,6 +258,9 @@ pub struct Metrics {
     /// Recovery-work attribution under fault injection (all zero on a
     /// failure-free run).
     pub recovery: RecoveryMetrics,
+    /// Straggler and speculative-execution attribution (all zero without
+    /// injected stragglers).
+    pub speculation: SpeculationMetrics,
     /// The simulated application completion time (Fig. 9's ACT).
     pub completion_time: SimTime,
     /// Every executed task, in execution order (timeline reconstruction).
@@ -500,5 +546,41 @@ mod tests {
         // But not into either paper-breakdown component.
         assert_eq!(c.computation_and_shuffle(), SimDuration::from_millis(10));
         assert_eq!(c.disk_io_for_caching(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn degradation_charges_count_into_the_total_but_not_the_breakdown() {
+        let mut c = charge(10, 0);
+        c.straggler_delay = SimDuration::from_millis(30);
+        c.fetch_backoff = SimDuration::from_millis(5);
+        assert_eq!(c.total(), SimDuration::from_millis(45));
+        // Like fault_wasted: slot time, not useful work in either paper
+        // breakdown component.
+        assert_eq!(c.computation_and_shuffle(), SimDuration::from_millis(10));
+        assert_eq!(c.disk_io_for_caching(), SimDuration::ZERO);
+        let mut sum = TaskCharge::default();
+        sum.merge(&c);
+        sum.merge(&c);
+        assert_eq!(sum.straggler_delay, SimDuration::from_millis(60));
+        assert_eq!(sum.fetch_backoff, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn fetch_backoff_counts_into_total_recovery_time() {
+        let r = RecoveryMetrics {
+            wasted_time: SimDuration::from_secs(1),
+            lineage_replay_time: SimDuration::from_secs(2),
+            fetch_backoff_time: SimDuration::from_secs(4),
+            ..Default::default()
+        };
+        assert_eq!(r.total_recovery_time(), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn speculation_metrics_default_to_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.speculation, SpeculationMetrics::default());
+        assert_eq!(m.speculation.stragglers, 0);
+        assert_eq!(m.speculation.wasted, SimDuration::ZERO);
     }
 }

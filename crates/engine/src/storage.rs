@@ -7,6 +7,7 @@
 //! charges the corresponding simulated I/O time.
 
 use blaze_common::ids::{BlockId, RddId};
+use blaze_common::rng::hash_coords;
 use blaze_common::{fxhash::FxHashMap, ByteSize};
 use blaze_dataflow::Block;
 use std::collections::BTreeSet;
@@ -23,6 +24,31 @@ pub struct StoredBlock {
     pub stored_bytes: ByteSize,
     /// Serialization cost factor of the element type.
     pub ser_factor: f64,
+    /// Integrity checksum stamped when the block was written to the disk
+    /// tier (see [`spill_checksum`]). `None` for memory-resident blocks and
+    /// whenever spill-corruption injection is off — reads only verify
+    /// stamped blocks, keeping the fault-free path zero-cost.
+    pub checksum: Option<u64>,
+}
+
+/// The FxHash-based integrity checksum stamped on every block written to
+/// the disk tier while spill-corruption injection is on.
+///
+/// Blocks are type-erased at this layer, so the checksum covers the block's
+/// identity and pricing metadata — a simulated content hash: any seeded
+/// bit-flip ([`crate::fault::FaultPlan::corruption_bit`]) is detected on
+/// the next read exactly as a real content checksum would detect real disk
+/// corruption.
+pub fn spill_checksum(id: BlockId, logical_bytes: ByteSize, ser_factor: f64) -> u64 {
+    hash_coords(
+        0x5_b111_c4ec,
+        &[
+            u64::from(id.rdd.raw()),
+            u64::from(id.partition),
+            logical_bytes.as_bytes(),
+            ser_factor.to_bits(),
+        ],
+    )
 }
 
 /// A bounded store of blocks (used for both the memory and disk tiers).
@@ -172,6 +198,7 @@ mod tests {
             logical_bytes: ByteSize::from_kib(kib),
             stored_bytes: ByteSize::from_kib(kib),
             ser_factor: 1.0,
+            checksum: None,
         }
     }
 
@@ -250,6 +277,20 @@ mod tests {
         assert!(s.remove_rdd(RddId(3)).is_empty(), "second removal finds nothing");
         assert!(s.is_empty());
         assert!(s.accounting_consistent());
+    }
+
+    #[test]
+    fn spill_checksum_is_deterministic_and_metadata_sensitive() {
+        let a = spill_checksum(id(1, 0), ByteSize::from_kib(4), 1.0);
+        assert_eq!(a, spill_checksum(id(1, 0), ByteSize::from_kib(4), 1.0));
+        assert_ne!(a, spill_checksum(id(1, 1), ByteSize::from_kib(4), 1.0));
+        assert_ne!(a, spill_checksum(id(2, 0), ByteSize::from_kib(4), 1.0));
+        assert_ne!(a, spill_checksum(id(1, 0), ByteSize::from_kib(8), 1.0));
+        assert_ne!(a, spill_checksum(id(1, 0), ByteSize::from_kib(4), 2.0));
+        // A single flipped bit is always detected.
+        for bit in 0..64 {
+            assert_ne!(a, a ^ (1u64 << bit));
+        }
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub enum CacheDecision {
     LostMemory,
     /// Destroyed in a disk store by an executor loss.
     LostDisk,
+    /// The decision path overran its `solve_deadline` budget and stepped
+    /// down the solver degradation ladder for this job (no block moved;
+    /// the record's id is a synthetic marker and its rationale names the
+    /// rung that actually ran).
+    SolverDegrade,
 }
 
 impl CacheDecision {
@@ -82,6 +87,7 @@ impl CacheDecision {
             CacheDecision::UnpersistDisk => "unpersist-disk",
             CacheDecision::LostMemory => "lost-mem",
             CacheDecision::LostDisk => "lost-disk",
+            CacheDecision::SolverDegrade => "solver-degrade",
         }
     }
 
@@ -276,6 +282,84 @@ pub enum TraceEvent {
         /// The stage's output RDD.
         stage_output: RddId,
     },
+    /// A task the fault plan marked as a straggler committed. `delay` is
+    /// the extra slot time the injected slowdown cost the committed attempt
+    /// (zero when a speculative copy won the race instead).
+    Straggler {
+        /// Commit time of the task.
+        at: SimTime,
+        /// Job the task belongs to.
+        job: JobId,
+        /// The RDD the task's stage materializes.
+        stage_output: RddId,
+        /// Partition index.
+        partition: u32,
+        /// Slowdown charged to the committed attempt.
+        delay: SimDuration,
+    },
+    /// A speculative copy raced a straggling task; whichever attempt
+    /// finished first committed, the loser's slot time was wasted.
+    Speculation {
+        /// Commit time of the winning attempt.
+        at: SimTime,
+        /// Job the task belongs to.
+        job: JobId,
+        /// The RDD the task's stage materializes.
+        stage_output: RddId,
+        /// Partition index.
+        partition: u32,
+        /// Executor the speculative copy ran on.
+        copy_executor: ExecutorId,
+        /// True when the copy finished first and was committed.
+        copy_won: bool,
+        /// Slot time burned by the losing attempt.
+        wasted: SimDuration,
+    },
+    /// A spilled block failed checksum verification on read; it was
+    /// dropped from the disk tier and re-produced through lineage.
+    SpillQuarantined {
+        /// Commit time of the detecting task.
+        at: SimTime,
+        /// Executor whose disk tier held the corrupt block.
+        executor: ExecutorId,
+        /// The quarantined block.
+        id: BlockId,
+        /// Logical bytes dropped.
+        bytes: ByteSize,
+    },
+    /// A shuffle-fetch attempt failed and was retried after a deterministic
+    /// backoff wait on the sim clock.
+    FetchRetry {
+        /// Commit time of the fetching task.
+        at: SimTime,
+        /// Job the fetch belongs to.
+        job: JobId,
+        /// Consuming RDD of the shuffle.
+        child: RddId,
+        /// Shuffle-dependency index within the consumer.
+        dep_idx: u32,
+        /// The fetching reduce task's partition index.
+        reduce_part: u32,
+        /// Zero-based attempt index that failed.
+        attempt: u32,
+        /// Backoff wait charged before the next attempt.
+        backoff: SimDuration,
+    },
+    /// Every fetch attempt in the retry budget failed; the parent stage's
+    /// map outputs were regenerated through lineage (the engine's inline
+    /// form of parent-stage resubmission).
+    FetchEscalated {
+        /// Commit time of the fetching task.
+        at: SimTime,
+        /// Job the fetch belongs to.
+        job: JobId,
+        /// Consuming RDD of the shuffle.
+        child: RddId,
+        /// Shuffle-dependency index within the consumer.
+        dep_idx: u32,
+        /// The fetching reduce task's partition index.
+        reduce_part: u32,
+    },
 }
 
 impl TraceEvent {
@@ -292,7 +376,12 @@ impl TraceEvent {
             | TraceEvent::MapOutputLost { at, .. }
             | TraceEvent::MapOutputRecovered { at, .. }
             | TraceEvent::BlockRecovered { at, .. }
-            | TraceEvent::StageResubmitted { at, .. } => *at,
+            | TraceEvent::StageResubmitted { at, .. }
+            | TraceEvent::Straggler { at, .. }
+            | TraceEvent::Speculation { at, .. }
+            | TraceEvent::SpillQuarantined { at, .. }
+            | TraceEvent::FetchRetry { at, .. }
+            | TraceEvent::FetchEscalated { at, .. } => *at,
             TraceEvent::TaskCommitted { start, .. } => *start,
             TraceEvent::Cache(r) => r.at,
         }
@@ -604,6 +693,15 @@ impl TraceLog {
         let mut map_recovered = 0u64;
         let mut blocks_recovered = 0u64;
         let mut resubmitted = 0u64;
+        let mut stragglers = 0u64;
+        let mut straggler_delay = SimDuration::ZERO;
+        let mut spec_launched = 0u64;
+        let mut spec_wins = 0u64;
+        let mut spec_wasted = SimDuration::ZERO;
+        let mut quarantined = 0u64;
+        let mut fetch_retries = 0u64;
+        let mut fetch_backoff = SimDuration::ZERO;
+        let mut escalations = 0u64;
         for ev in &self.events {
             match ev {
                 TraceEvent::JobCompleted { at, .. } => {
@@ -657,6 +755,23 @@ impl TraceLog {
                 TraceEvent::MapOutputRecovered { .. } => map_recovered += 1,
                 TraceEvent::BlockRecovered { .. } => blocks_recovered += 1,
                 TraceEvent::StageResubmitted { .. } => resubmitted += 1,
+                TraceEvent::Straggler { delay, .. } => {
+                    stragglers += 1;
+                    straggler_delay += *delay;
+                }
+                TraceEvent::Speculation { copy_won, wasted: w, .. } => {
+                    spec_launched += 1;
+                    if *copy_won {
+                        spec_wins += 1;
+                    }
+                    spec_wasted += *w;
+                }
+                TraceEvent::SpillQuarantined { .. } => quarantined += 1,
+                TraceEvent::FetchRetry { backoff, .. } => {
+                    fetch_retries += 1;
+                    fetch_backoff += *backoff;
+                }
+                TraceEvent::FetchEscalated { .. } => escalations += 1,
                 _ => {}
             }
         }
@@ -734,6 +849,16 @@ impl TraceLog {
         );
         check("blocks recovered", blocks_recovered.to_string(), rec.blocks_recovered.to_string());
         check("stages resubmitted", resubmitted.to_string(), rec.stages_resubmitted.to_string());
+        check("spills quarantined", quarantined.to_string(), rec.spills_quarantined.to_string());
+        check("fetch retries", fetch_retries.to_string(), rec.fetch_retries.to_string());
+        check("fetch backoff time", fetch_backoff.to_string(), rec.fetch_backoff_time.to_string());
+        check("fetch escalations", escalations.to_string(), rec.fetch_escalations.to_string());
+        let spec = &metrics.speculation;
+        check("stragglers", stragglers.to_string(), spec.stragglers.to_string());
+        check("straggler delay", straggler_delay.to_string(), spec.straggler_delay.to_string());
+        check("speculative copies", spec_launched.to_string(), spec.launched.to_string());
+        check("speculation wins", spec_wins.to_string(), spec.wins.to_string());
+        check("speculation wasted time", spec_wasted.to_string(), spec.wasted.to_string());
     }
 
     fn check_pairing(&self, ds: &mut Vec<Diagnostic>) {
@@ -833,6 +958,11 @@ fn event_name(ev: &TraceEvent) -> &'static str {
         TraceEvent::MapOutputRecovered { .. } => "map-output-recovered",
         TraceEvent::BlockRecovered { .. } => "block-recovered",
         TraceEvent::StageResubmitted { .. } => "stage-resubmitted",
+        TraceEvent::Straggler { .. } => "straggler",
+        TraceEvent::Speculation { .. } => "speculation",
+        TraceEvent::SpillQuarantined { .. } => "spill-quarantined",
+        TraceEvent::FetchRetry { .. } => "fetch-retry",
+        TraceEvent::FetchEscalated { .. } => "fetch-escalated",
         TraceEvent::TaskCommitted { .. } => "task",
         TraceEvent::Cache(_) => "cache",
     }
@@ -872,6 +1002,39 @@ fn event_detail(ev: &TraceEvent) -> String {
         TraceEvent::BlockRecovered { id, .. } => id.to_string(),
         TraceEvent::StageResubmitted { job, stage_output, .. } => {
             format!("{stage_output} of {job}")
+        }
+        TraceEvent::Straggler { job, stage_output, partition, delay, .. } => {
+            format!("{stage_output}[{partition}] of {job} delayed {delay}")
+        }
+        TraceEvent::Speculation {
+            job,
+            stage_output,
+            partition,
+            copy_executor,
+            copy_won,
+            wasted,
+            ..
+        } => {
+            let outcome = if *copy_won { "copy won" } else { "copy lost" };
+            format!(
+                "{stage_output}[{partition}] of {job}: copy on {copy_executor} {outcome}, \
+                 wasted {wasted}"
+            )
+        }
+        TraceEvent::SpillQuarantined { executor, id, bytes, .. } => {
+            format!("{id} on {executor} ({bytes})")
+        }
+        TraceEvent::FetchRetry { job, child, dep_idx, reduce_part, attempt, backoff, .. } => {
+            format!(
+                "shuffle ({child}, {dep_idx}) reduce {reduce_part} of {job} attempt {attempt} \
+                 failed, backing off {backoff}"
+            )
+        }
+        TraceEvent::FetchEscalated { job, child, dep_idx, reduce_part, .. } => {
+            format!(
+                "shuffle ({child}, {dep_idx}) reduce {reduce_part} of {job} exhausted its \
+                 retry budget; parent map outputs regenerated"
+            )
         }
         TraceEvent::TaskCommitted { .. } | TraceEvent::Cache(_) => String::new(),
     }

@@ -36,6 +36,12 @@ run env BLAZE_CHAOS_SEEDS="${BLAZE_CHAOS_SEEDS:-11,23,37,41,53}" \
 # `--validate` with no --apps filter.
 run cargo run -q $OFFLINE --release -p blaze-bench --bin blaze-trace -- \
     --validate --apps pagerank,kmeans --threads 1,2,4
+# Graceful-degradation smoke: under duress (stragglers, corrupted spills,
+# capped solver) speculation must win races and shorten the makespan, at
+# least one corrupted spill must be caught and quarantined, and the capped
+# solver must actually step down its ladder (--check floors).
+run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_failure -- \
+    --quick --check
 # Decision-path smoke: the incremental optimizer must stay decision-identical
 # to from-scratch (--shadow runs one workload with shadow compare on) and its
 # deep/churn stress speedups must stay above the committed floor (--check).

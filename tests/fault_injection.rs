@@ -106,6 +106,7 @@ fn fixed_seed_schedule_replays_identically() {
         crashes: vec![ExecutorCrash { at: crash_at, executor: 1 }],
         map_output_loss_rate: 0.1,
         external_shuffle_service: false,
+        ..FaultPlan::default()
     };
     for system in [SystemKind::SparkMemDisk, SystemKind::Blaze] {
         let runs: Vec<Metrics> = [1usize, 4, 1]
@@ -164,6 +165,7 @@ fn chaos_seed_matrix_preserves_results() {
                 crashes: vec![ExecutorCrash { at: crash_at, executor: 1 }],
                 map_output_loss_rate: 0.2,
                 external_shuffle_service: false,
+                ..FaultPlan::default()
             };
             let (got, metrics) = run_chaos(system, plan);
             assert_eq!(got, want, "seed {seed} under {system:?} corrupted results");
@@ -209,6 +211,7 @@ proptest! {
             crashes,
             map_output_loss_rate: loss,
             external_shuffle_service: ess_pick == 1,
+            ..FaultPlan::default()
         };
         let (got, _) = run_chaos(system, plan);
         prop_assert_eq!(got, reference());
@@ -282,4 +285,307 @@ fn deep_uncached_lineage_fails_the_ba301_preflight() {
         }
     }
     anchored.count().expect("a cache() anchor inside the budget must clear BA301");
+}
+
+// ---------------------------------------------------------------------------
+// 5. Graceful degradation under duress: stragglers + speculation, corrupted
+//    spills, flaky fetches, and the solver degradation ladder.
+// ---------------------------------------------------------------------------
+
+use blaze::core::{BlazeConfig, BlazeController};
+
+/// Runs [`pipeline`] with tracing on, returning results, metrics and the
+/// rendered Chrome trace (the byte-identity witness across thread counts).
+fn run_chaos_traced(
+    system: SystemKind,
+    fault: FaultPlan,
+    threads: usize,
+) -> (Vec<(u64, u64)>, Metrics, String) {
+    let cluster = Cluster::new(
+        ClusterConfig { worker_threads: threads, tracing: true, ..cluster_config(fault) },
+        system.make_controller(None),
+    )
+    .expect("valid chaos config");
+    let ctx = Context::new(cluster.clone());
+    let out = pipeline(&ctx);
+    let trace = cluster.trace().expect("tracing was enabled");
+    (out, cluster.metrics(), trace.chrome_json())
+}
+
+/// Everything at once: transient failures, a mid-run crash, stragglers with
+/// speculation, corrupted spills and flaky fetches. The run must still
+/// compute the reference answer, and metrics *and* the full event trace
+/// must be byte-identical across `worker_threads` ∈ {1, 2, 4}.
+#[test]
+fn duress_schedule_replays_identically_across_thread_counts() {
+    let want = reference();
+    for system in [SystemKind::SparkMemDisk, SystemKind::BlazeNoProfile] {
+        let crash_at = crash_mid_run(system, 0.4);
+        let plan = FaultPlan {
+            seed: 0xD0_5E,
+            task_failure_rate: 0.03,
+            max_task_retries: 6,
+            crashes: vec![ExecutorCrash { at: crash_at, executor: 1 }],
+            map_output_loss_rate: 0.1,
+            external_shuffle_service: false,
+            straggler_rate: 0.3,
+            straggler_slowdown: 6.0,
+            spill_corruption_rate: 0.4,
+            fetch_failure_rate: 0.4,
+            max_fetch_retries: 3,
+            ..FaultPlan::default()
+        };
+        let (r1, m1, t1) = run_chaos_traced(system, plan.clone(), 1);
+        let (r2, m2, t2) = run_chaos_traced(system, plan.clone(), 2);
+        let (r4, m4, t4) = run_chaos_traced(system, plan, 4);
+        assert_eq!(r1, want, "{system:?}: duress run corrupted results");
+        assert_eq!(r2, want);
+        assert_eq!(r4, want);
+        assert_eq!(m1, m2, "{system:?}: metrics diverged between 1 and 2 threads");
+        assert_eq!(m1, m4, "{system:?}: metrics diverged between 1 and 4 threads");
+        assert_eq!(t1, t2, "{system:?}: trace diverged between 1 and 2 threads");
+        assert_eq!(t1, t4, "{system:?}: trace diverged between 1 and 4 threads");
+        // The duress actually happened.
+        assert!(m1.speculation.stragglers > 0, "{system:?}: straggler coins must fire at 0.3");
+        assert!(m1.recovery.fetch_retries > 0, "{system:?}: fetch coins must fire at 0.4");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Random *degraded* plans — stragglers (with or without speculation),
+    /// spill corruption and flaky fetches in any combination — stay
+    /// semantically transparent and replay byte-identical traces across
+    /// `worker_threads` ∈ {1, 2, 4}.
+    #[test]
+    fn random_degraded_plans_replay_identically(
+        seed in 0u64..u64::MAX,
+        straggler_rate in 0.0f64..0.4,
+        slowdown in 1.0f64..7.0,
+        spec_pick in 0u8..2,
+        corruption in 0.0f64..0.5,
+        fetch_rate in 0.0f64..0.5,
+        fetch_retries in 2u32..5,
+        system_pick in 0usize..2,
+    ) {
+        let system = [SystemKind::SparkMemDisk, SystemKind::BlazeNoProfile][system_pick];
+        let speculation = spec_pick == 1;
+        let plan = FaultPlan {
+            seed,
+            straggler_rate,
+            straggler_slowdown: slowdown,
+            speculation,
+            spill_corruption_rate: corruption,
+            fetch_failure_rate: fetch_rate,
+            max_fetch_retries: fetch_retries,
+            ..FaultPlan::default()
+        };
+        let (r1, m1, t1) = run_chaos_traced(system, plan.clone(), 1);
+        let (r2, _, t2) = run_chaos_traced(system, plan.clone(), 2);
+        let (r4, _, t4) = run_chaos_traced(system, plan, 4);
+        prop_assert_eq!(&r1, &reference());
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(r2, r4);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(t1, t4);
+        // Without speculation no copy may ever launch.
+        if !speculation {
+            prop_assert_eq!(m1.speculation.launched, 0);
+        }
+    }
+}
+
+/// Speculative execution earns its keep: under a straggler-heavy schedule
+/// it wins races against slowed originals and brings the simulated
+/// completion time down versus the same schedule with speculation off.
+#[test]
+fn speculation_reduces_straggler_inflated_makespan() {
+    let want = reference();
+    let base = FaultPlan {
+        seed: 77,
+        straggler_rate: 0.35,
+        straggler_slowdown: 6.0,
+        ..FaultPlan::default()
+    };
+    let (got_on, on) =
+        run_chaos(SystemKind::SparkMemDisk, FaultPlan { speculation: true, ..base.clone() });
+    let (got_off, off) =
+        run_chaos(SystemKind::SparkMemDisk, FaultPlan { speculation: false, ..base });
+    assert_eq!(got_on, want);
+    assert_eq!(got_off, want);
+    assert_eq!(on.speculation.stragglers, off.speculation.stragglers, "same straggler coins");
+    assert!(on.speculation.launched > 0, "a 6x straggler must blow the quantile deadline");
+    assert!(on.speculation.wins > 0, "a full-speed copy must beat a 6x-slowed original");
+    assert!(on.speculation.wasted > SimDuration::ZERO, "the losing attempt is charged");
+    assert_eq!(off.speculation.launched, 0, "speculation off may never launch a copy");
+    assert!(
+        on.completion_time < off.completion_time,
+        "speculation must shorten the makespan: on = {}, off = {}",
+        on.completion_time,
+        off.completion_time
+    );
+}
+
+/// A pipeline that caches far more than the memory tier holds, so blocks
+/// spill to disk and a later job must read them back (the corruption
+/// injection point). [`pipeline`]'s cached reductions are too small to
+/// ever spill.
+fn spill_pipeline(ctx: &Context) -> Vec<(u64, u64)> {
+    let data = ctx.parallelize((0..20_000u64).map(|i| (i % 1_000, i)).collect::<Vec<_>>(), 8);
+    let mapped = data.map_values(|v| v.wrapping_mul(3));
+    mapped.cache();
+    mapped.count().expect("materializing job");
+    let mut out = mapped.collect().expect("re-reading job");
+    out.sort();
+    out
+}
+
+/// Corrupted disk spills are caught by checksum verification on read,
+/// quarantined, and transparently recomputed through lineage — the answer
+/// never changes.
+#[test]
+fn corrupted_spills_are_quarantined_and_recomputed() {
+    let want = spill_pipeline(&Context::new(LocalRunner::new()));
+    let plan = FaultPlan { seed: 5, spill_corruption_rate: 0.8, ..FaultPlan::default() };
+    let cluster =
+        Cluster::new(cluster_config(plan), SystemKind::SparkMemDisk.make_controller(None))
+            .expect("valid config");
+    let ctx = Context::new(cluster.clone());
+    let got = spill_pipeline(&ctx);
+    assert_eq!(got, want, "a corrupted spill must never surface in results");
+    let m = cluster.metrics();
+    assert!(m.recovery.spills_quarantined > 0, "corruption coins at 0.8 must hit a disk read");
+    assert!(
+        m.recovery.lineage_replay_time > SimDuration::ZERO,
+        "quarantined blocks are recomputed through lineage, which must be attributed"
+    );
+}
+
+/// Failed shuffle fetches retry with deterministic exponential backoff on
+/// the simulated clock; once the retry budget is spent the fetch escalates
+/// to regenerating the parent stage's map outputs.
+#[test]
+fn fetch_retries_back_off_then_escalate() {
+    let want = reference();
+    let plan = FaultPlan {
+        seed: 3,
+        fetch_failure_rate: 0.6,
+        max_fetch_retries: 1,
+        ..FaultPlan::default()
+    };
+    let (got, m) = run_chaos(SystemKind::SparkMemDisk, plan);
+    assert_eq!(got, want, "fetch failures must stay invisible in results");
+    assert!(m.recovery.fetch_retries > 0, "fetch coins at 0.6 must force retries");
+    assert!(
+        m.recovery.fetch_backoff_time > SimDuration::ZERO,
+        "every retry waits a deterministic backoff first"
+    );
+    assert!(
+        m.recovery.fetch_escalations > 0,
+        "with a budget of 1 retry, a 0.6 rate must exhaust some fetch's budget"
+    );
+}
+
+/// A tight (but not absurd) solve deadline steps the Blaze solver down the
+/// degradation ladder. The run still computes the right answer, and the
+/// degradation is visible in the event trace as a `solver-degrade` record.
+#[test]
+fn solver_deadline_degrades_and_traces_the_ladder() {
+    // Exact ILP costs >= 70 us per instance under the ladder's estimates;
+    // 5 us fits only greedy rungs, and only a few of them.
+    let cfg =
+        BlazeConfig { solve_deadline: Some(SimDuration::from_nanos(5_000)), ..BlazeConfig::full() };
+    let cluster = Cluster::new(
+        ClusterConfig { tracing: true, ..cluster_config(FaultPlan::default()) },
+        Box::new(BlazeController::new(cfg, None)),
+    )
+    .expect("valid config");
+    let ctx = Context::new(cluster.clone());
+    let out = pipeline(&ctx);
+    assert_eq!(out, reference(), "a degraded solver must not change results");
+    let trace = cluster.trace().expect("tracing was enabled").chrome_json();
+    assert!(
+        trace.contains("solver-degrade"),
+        "a 5 us deadline must degrade the exact solver and be recorded in the trace"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 6. Mutation checks: each degradation diagnostic actually fires.
+// ---------------------------------------------------------------------------
+
+/// BA302: stragglers beyond the slowdown budget with speculation disabled
+/// abort a strict-audit run; enabling speculation clears the diagnostic.
+#[test]
+fn over_budget_stragglers_without_speculation_fire_ba302() {
+    let plan = FaultPlan {
+        seed: 1,
+        straggler_rate: 0.2,
+        straggler_slowdown: 9.0, // > STRAGGLER_SLOWDOWN_BUDGET (8.0)
+        speculation: false,
+        ..FaultPlan::default()
+    };
+    let config = ClusterConfig { strict_audit: true, ..cluster_config(plan.clone()) };
+    let cluster =
+        Cluster::new(config, SystemKind::SparkMemOnly.make_controller(None)).expect("valid config");
+    let ctx = Context::new(cluster);
+    let err = ctx.range(0..100, 2).count().expect_err("BA302 must abort under strict audit");
+    assert!(err.to_string().contains("BA302"), "expected BA302, got: {err}");
+
+    let cleared = FaultPlan { speculation: true, ..plan };
+    let config = ClusterConfig { strict_audit: true, ..cluster_config(cleared) };
+    let cluster =
+        Cluster::new(config, SystemKind::SparkMemOnly.make_controller(None)).expect("valid config");
+    let ctx = Context::new(cluster);
+    ctx.range(0..100, 2).count().expect("speculation clears BA302");
+}
+
+/// BA303: a spill-corruption rate alongside a zero-capacity disk tier is
+/// dead configuration and aborts a strict-audit run.
+#[test]
+fn corruption_without_a_disk_tier_fires_ba303() {
+    let plan = FaultPlan { seed: 1, spill_corruption_rate: 0.3, ..FaultPlan::default() };
+    let config =
+        ClusterConfig { strict_audit: true, disk_capacity: ByteSize::ZERO, ..cluster_config(plan) };
+    let cluster =
+        Cluster::new(config, SystemKind::SparkMemOnly.make_controller(None)).expect("valid config");
+    let ctx = Context::new(cluster);
+    let err = ctx.range(0..100, 2).count().expect_err("BA303 must abort under strict audit");
+    assert!(err.to_string().contains("BA303"), "expected BA303, got: {err}");
+}
+
+/// BA304: a solve deadline below the cheapest ladder rung means every
+/// solve passes through; strict audit refuses to run such a config.
+#[test]
+fn sub_floor_solve_deadline_fires_ba304() {
+    let cfg =
+        BlazeConfig { solve_deadline: Some(SimDuration::from_nanos(1)), ..BlazeConfig::full() };
+    let config = ClusterConfig { strict_audit: true, ..cluster_config(FaultPlan::default()) };
+    let cluster =
+        Cluster::new(config, Box::new(BlazeController::new(cfg, None))).expect("valid config");
+    let ctx = Context::new(cluster);
+    let err = ctx.range(0..100, 2).count().expect_err("BA304 must abort under strict audit");
+    assert!(err.to_string().contains("BA304"), "expected BA304, got: {err}");
+}
+
+/// BA008: `assume_partitioned` with a layout that does not hold fails
+/// loudly (debug builds verify every produced block) instead of silently
+/// corrupting keyed results; a layout that does hold passes.
+#[test]
+#[cfg(debug_assertions)]
+fn false_assume_partitioned_fires_ba008() {
+    let ctx = Context::new(LocalRunner::new());
+    // Four copies of the same key across two partitions: whichever
+    // partition the key does *not* hash to violates the claim.
+    let data = vec![(7u64, 1u64), (7, 2), (7, 3), (7, 4)];
+    let err = ctx
+        .parallelize(data.clone(), 2)
+        .assume_partitioned(2)
+        .collect()
+        .expect_err("a false partitioning claim must fail loudly");
+    assert!(err.to_string().contains("BA008"), "expected BA008, got: {err}");
+    // With a single partition every key trivially hashes to partition 0.
+    let ok = ctx.parallelize(data, 1).assume_partitioned(1).collect().expect("claim holds");
+    assert_eq!(ok.len(), 4);
 }
