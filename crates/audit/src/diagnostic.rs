@@ -64,6 +64,11 @@ pub enum DiagCode {
     /// in a partition its claimed hash partitioner would not have placed it
     /// in (detected by the debug-build verification wrapper at runtime).
     PartitionerHoldViolation,
+    /// BA009: a dataset declares a negative or non-finite serialization
+    /// factor. Serialization times scale linearly with the factor, so a
+    /// negative value would produce negative (de)serialization costs and an
+    /// s-state footprint below zero; clamping it silently would hide the bug.
+    NegativeSerFactor,
     /// BA101: a dataset is consumed by two or more downstream stages but is
     /// not cache-annotated — every consuming stage recomputes its lineage
     /// (the "recompute bomb" of LRC-style reference-count analysis).
@@ -130,7 +135,7 @@ impl DiagCode {
     /// Every diagnostic code, in code order. This is the single registry the
     /// `blaze-audit` CLI lists and explains from; adding a variant without
     /// extending it fails the registry unit test.
-    pub const ALL: [DiagCode; 24] = [
+    pub const ALL: [DiagCode; 25] = [
         DiagCode::CycleOrForwardRef,
         DiagCode::DanglingParent,
         DiagCode::ZeroPartitions,
@@ -139,6 +144,7 @@ impl DiagCode {
         DiagCode::InvalidCostSpec,
         DiagCode::ComputeShapeMismatch,
         DiagCode::PartitionerHoldViolation,
+        DiagCode::NegativeSerFactor,
         DiagCode::RecomputeBomb,
         DiagCode::UnreachableCache,
         DiagCode::CacheOvercommit,
@@ -168,6 +174,7 @@ impl DiagCode {
             DiagCode::InvalidCostSpec => "BA006",
             DiagCode::ComputeShapeMismatch => "BA007",
             DiagCode::PartitionerHoldViolation => "BA008",
+            DiagCode::NegativeSerFactor => "BA009",
             DiagCode::RecomputeBomb => "BA101",
             DiagCode::UnreachableCache => "BA102",
             DiagCode::CacheOvercommit => "BA103",
@@ -203,6 +210,7 @@ impl DiagCode {
             DiagCode::InvalidCostSpec => "negative or non-finite cost component",
             DiagCode::ComputeShapeMismatch => "compute kind and dependency shape disagree",
             DiagCode::PartitionerHoldViolation => "assumed partitioner does not hold for the data",
+            DiagCode::NegativeSerFactor => "negative or non-finite serialization factor",
             DiagCode::RecomputeBomb => "multi-consumer dataset not cache-annotated",
             DiagCode::UnreachableCache => "cache-annotated dataset is never read back",
             DiagCode::CacheOvercommit => "annotated bytes exceed memory capacity",
@@ -260,6 +268,13 @@ impl DiagCode {
                  its claimed hash partitioner would not have placed it in. Every downstream \
                  co-partitioned join or aggregation would silently drop or misgroup that \
                  key; the debug-build verification wrapper fails the task instead."
+            }
+            DiagCode::NegativeSerFactor => {
+                "A dataset declares a negative or non-finite serialization factor. Every \
+                 (de)serialization time scales linearly with this factor, so a negative \
+                 value would make spill and recovery costs negative and the optimizer \
+                 would happily spill everything; the engine used to clamp it silently, \
+                 which only hid the broken plan."
             }
             DiagCode::RecomputeBomb => {
                 "A dataset is consumed by two or more downstream stages but is not \
@@ -357,6 +372,7 @@ impl DiagCode {
             | DiagCode::InvalidCostSpec
             | DiagCode::ComputeShapeMismatch
             | DiagCode::PartitionerHoldViolation
+            | DiagCode::NegativeSerFactor
             | DiagCode::LineageMismatch
             | DiagCode::UnrecoverableLineage
             | DiagCode::TraceSpanNesting

@@ -21,7 +21,8 @@
 //!   replay. Use the seeded generators in `blaze-common`.
 //! - `decision-hash` — *any* hash container (`HashMap`/`HashSet`, including
 //!   the Fx variants) in the decision-path modules (`core/src/optimize.rs`,
-//!   `core/src/incremental.rs`, `solver/src/*`): certified decisions must
+//!   `core/src/incremental.rs`, `solver/src/*`, `certify/src/*`): certified
+//!   decisions must
 //!   be byte-identical functions of their inputs, and hash iteration order
 //!   — even fixed-seed — depends on insertion history, which incremental
 //!   reuse deliberately perturbs. Keyed lookups need an explicit
@@ -86,7 +87,8 @@ struct Scope {
     unwrap: bool,
     /// Decision-path hardening: hash containers and bare float casts
     /// banned (`core/src/optimize.rs`, `core/src/incremental.rs`,
-    /// `solver/src/*`).
+    /// `solver/src/*`, `certify/src/*` — the verifiers must be exactly as
+    /// deterministic as the solvers they check).
     decision: bool,
 }
 
@@ -110,7 +112,8 @@ fn scope_of(path: &str) -> Scope {
         unwrap: in_crate("engine"),
         decision: p.ends_with("core/src/optimize.rs")
             || p.ends_with("core/src/incremental.rs")
-            || p.contains("solver/src/"),
+            || p.contains("solver/src/")
+            || p.contains("certify/src/"),
     }
 }
 
@@ -411,6 +414,17 @@ mod tests {
         assert!(lint_source("crates/solver/src/lp.rs", &secs).is_empty());
         let allowed = join(&["let v = x as f64; // audit: allow(float-cast) x < 2^53"]);
         assert!(lint_source("crates/solver/src/knapsack.rs", &allowed).is_empty());
+    }
+
+    #[test]
+    fn certify_modules_are_decision_scoped() {
+        // The certificate verifiers (including the multi-choice one added
+        // with the serialized tier) are held to the same determinism rules
+        // as the solvers they check.
+        let cast = join(&["fn f(x: u64) -> f64 { x as f64 }"]);
+        assert_eq!(lint_source("crates/certify/src/mckp.rs", &cast)[0].code, "float-cast");
+        let map = join(&["use rustc_hash::FxHashMap;"]);
+        assert_eq!(lint_source("crates/certify/src/knapsack.rs", &map)[0].code, "decision-hash");
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub struct AuditNode {
     pub kind: ComputeKind,
     /// Compute-time model.
     pub cost: CostSpec,
+    /// Declared serialization factor of the element type.
+    pub ser_factor: f64,
     /// Declared output partitioner bucket count, if any.
     pub partitioner_partitions: Option<usize>,
     /// True if the user annotated the dataset with `cache()`.
@@ -85,6 +87,7 @@ pub fn extract(plan: &Plan) -> Vec<AuditNode> {
                 Compute::ShuffleAgg(_) => ComputeKind::ShuffleAgg,
             },
             cost: n.cost,
+            ser_factor: n.ser_factor,
             partitioner_partitions: n.partitioner.as_ref().map(|p| p.num_partitions()),
             cache_annotated: n.cache_annotated,
             unpersist_requested: n.unpersist_requested,
@@ -222,6 +225,17 @@ pub fn audit_structure(nodes: &[AuditNode]) -> AuditReport {
                         .into(),
                 ));
             }
+        }
+
+        if !node.ser_factor.is_finite() || node.ser_factor < 0.0 {
+            diags.push(Diagnostic::new(
+                DiagCode::NegativeSerFactor,
+                Some(node.id),
+                format!("dataset '{}' has ser_factor = {}", node.name, node.ser_factor),
+                "serialization factors must be finite and non-negative; (de)serialization \
+                 times scale linearly with the factor and would go negative"
+                    .into(),
+            ));
         }
 
         match (node.kind, node.deps.is_empty()) {

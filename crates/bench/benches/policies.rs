@@ -3,7 +3,7 @@
 
 use blaze_common::ids::{BlockId, ExecutorId, RddId};
 use blaze_common::{ByteSize, SimTime};
-use blaze_engine::{BlockInfo, CacheController, CtrlCtx, HardwareModel};
+use blaze_engine::{BlockInfo, CacheController, CtrlCtx, HardwareModel, StoreTier};
 use blaze_policies::{EvictMode, LfuController, LruController, TinyLfuController};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -36,7 +36,7 @@ fn bench_policy<C: CacheController>(
 ) {
     let c = ctx();
     for b in blocks {
-        ctl.on_inserted(&c, b, false);
+        ctl.on_inserted(&c, b, StoreTier::Memory);
         ctl.on_access(&c, b.id);
     }
     let incoming = BlockInfo {
@@ -74,7 +74,7 @@ fn bench_access_path(c: &mut Criterion) {
     let cctx = ctx();
     let mut lru = LruController::new(EvictMode::MemDisk);
     for b in &blocks {
-        lru.on_inserted(&cctx, b, false);
+        lru.on_inserted(&cctx, b, StoreTier::Memory);
     }
     c.bench_function("lru_on_access_1k", |b| {
         b.iter(|| {

@@ -46,7 +46,7 @@ use blaze_dataflow::{runner::LocalRunner, Context, Dataset, JobPlan, Plan};
 use blaze_engine::config::default_worker_threads;
 use blaze_engine::{
     Admission, BlockInfo, CacheController, CtrlCtx, HardwareModel, PartitionEvent, StateCommand,
-    VictimAction,
+    StoreTier, VictimAction,
 };
 use blaze_solver::ilp::{solve_binary, solve_binary_certified, IlpProblem};
 use blaze_solver::knapsack::{
@@ -126,8 +126,8 @@ impl CacheController for TimedController {
         self.inner.explain_block(id)
     }
 
-    fn on_inserted(&mut self, ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        self.inner.on_inserted(ctx, info, to_disk);
+    fn on_inserted(&mut self, ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        self.inner.on_inserted(ctx, info, tier);
     }
 
     fn on_evicted(&mut self, ctx: &CtrlCtx, id: BlockId) {

@@ -1,12 +1,23 @@
-//! Wall-clock benchmark of the parallel stage executor.
+//! Wall-clock benchmark of the parallel stage executor, plus the
+//! serialized-tier engagement columns.
 //!
 //! Runs evaluation-scale workloads at several `worker_threads` settings and
 //! records, for each run, the *real* elapsed time next to the *simulated*
 //! ACT. The simulated ACT must be identical across thread counts (that is
 //! the determinism contract pinned by `tests/parallel_determinism.rs`);
 //! wall-clock time is what the thread pool improves, and scales with the
-//! host's core count. Results are written to `BENCH_engine.json` at the
-//! repository root.
+//! host's core count.
+//!
+//! The ser-tier section runs the paper's high-`ser_factor` workloads
+//! (SVD++ and LogisticRegression, §7.2) under tightened memory with the
+//! serialized in-memory tier off (`blaze`) and on (`blaze_ser_tier`), and
+//! records the s-state engagement counters next to the simulated ACT. With
+//! `--check` the run fails unless the solver actually picked s-states for
+//! at least one workload (`ser_transitions > 0`) and the tier-off runs kept
+//! their ser counters at exactly zero. `--quick` skips the thread sweep
+//! (CI runs `--quick --check`; the full run writes both sections).
+//!
+//! Results are written to `BENCH_engine.json` at the repository root.
 
 use blaze_bench::json::{nz, oversubscribed};
 use blaze_engine::config::default_worker_threads;
@@ -34,6 +45,12 @@ struct Sample {
     evictions_discard: u64,
     spilled_mib: f64,
     discarded_mib: f64,
+    /// Memory hits served from serialized-in-memory blocks (each paid one
+    /// deserialization) — zero whenever `ser_tier` is off.
+    ser_mem_hits: u64,
+    /// State transitions into/out of the serialized tier (m->s, s->m,
+    /// d->s) — zero whenever `ser_tier` is off.
+    ser_transitions: u64,
 }
 
 /// Runs `f` and measures its real elapsed time in seconds.
@@ -49,60 +66,120 @@ fn measure_wall_clock<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
-fn main() {
-    let host_cpus = default_worker_threads();
-    let mut threads = vec![1usize, 2, 4];
-    if !threads.contains(&host_cpus) {
-        threads.push(host_cpus);
+fn run_sample(
+    spec: &AppSpec,
+    app_label: &'static str,
+    system: SystemKind,
+    sys_label: &'static str,
+    host_cpus: usize,
+) -> Sample {
+    let t = spec.worker_threads.unwrap_or(host_cpus);
+    let (out, wall) = measure_wall_clock(|| run_spec(spec, system).expect("benchmark run failed"));
+    let m = &out.metrics;
+    let act = m.completion_time.as_secs_f64();
+    eprintln!(
+        "{app_label:9} {sys_label:14} threads={t:2} wall={wall:7.3}s sim_act={act:.4}s \
+         ser_hits={} ser_trans={}",
+        m.ser_mem_hits, m.ser_transitions
+    );
+    let rec = &m.recovery;
+    Sample {
+        workload: app_label,
+        system: sys_label,
+        worker_threads: t,
+        oversubscribed: oversubscribed(t, host_cpus),
+        wall_s: wall,
+        sim_act: act,
+        recovery_s: rec.total_recovery_time().as_secs_f64(),
+        task_retries: rec.task_retries,
+        blocks_lost: rec.blocks_lost,
+        stages_resubmitted: rec.stages_resubmitted,
+        evictions_to_disk: m.evictions_to_disk,
+        evictions_discard: m.evictions_discard,
+        spilled_mib: m.spilled_bytes_per_executor.values().map(|b| b.as_mib_f64()).sum(),
+        discarded_mib: m.discarded_bytes_per_executor.values().map(|b| b.as_mib_f64()).sum(),
+        ser_mem_hits: m.ser_mem_hits,
+        ser_transitions: m.ser_transitions,
     }
+}
 
+/// The high-`ser_factor` workloads of §7.2 under tightened memory: the
+/// regime where packing a block (0.6x footprint) keeps a working set
+/// memory-resident that would otherwise thrash to disk.
+fn ser_tier_specs() -> Vec<(&'static str, AppSpec)> {
+    [(App::Svdpp, "svdpp", 0.55), (App::LogisticRegression, "logreg", 0.4)]
+        .into_iter()
+        .map(|(app, label, squeeze)| {
+            let mut spec = AppSpec::evaluation(app).with_worker_threads(2);
+            spec.memory_capacity = spec.memory_capacity.scale(squeeze);
+            (label, spec)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    let host_cpus = default_worker_threads();
     let mut samples = Vec::new();
-    for (app, app_label) in [(App::PageRank, "pagerank"), (App::KMeans, "kmeans")] {
-        for (system, sys_label) in
-            [(SystemKind::Blaze, "blaze"), (SystemKind::SparkMemDisk, "spark_mem_disk")]
-        {
-            for &t in &threads {
-                let spec = AppSpec::evaluation(app).with_worker_threads(t);
-                let (out, wall) =
-                    measure_wall_clock(|| run_spec(&spec, system).expect("benchmark run failed"));
-                let act = out.metrics.completion_time.as_secs_f64();
-                eprintln!(
-                    "{app_label:9} {sys_label:14} threads={t:2} wall={wall:7.3}s sim_act={act:.4}s"
-                );
-                let rec = &out.metrics.recovery;
-                let m = &out.metrics;
-                samples.push(Sample {
-                    workload: app_label,
-                    system: sys_label,
-                    worker_threads: t,
-                    oversubscribed: oversubscribed(t, host_cpus),
-                    wall_s: wall,
-                    sim_act: act,
-                    recovery_s: rec.total_recovery_time().as_secs_f64(),
-                    task_retries: rec.task_retries,
-                    blocks_lost: rec.blocks_lost,
-                    stages_resubmitted: rec.stages_resubmitted,
-                    evictions_to_disk: m.evictions_to_disk,
-                    evictions_discard: m.evictions_discard,
-                    spilled_mib: m
-                        .spilled_bytes_per_executor
-                        .values()
-                        .map(|b| b.as_mib_f64())
-                        .sum(),
-                    discarded_mib: m
-                        .discarded_bytes_per_executor
-                        .values()
-                        .map(|b| b.as_mib_f64())
-                        .sum(),
-                });
+
+    if !quick {
+        let mut threads = vec![1usize, 2, 4];
+        if !threads.contains(&host_cpus) {
+            threads.push(host_cpus);
+        }
+        for (app, app_label) in [(App::PageRank, "pagerank"), (App::KMeans, "kmeans")] {
+            for (system, sys_label) in
+                [(SystemKind::Blaze, "blaze"), (SystemKind::SparkMemDisk, "spark_mem_disk")]
+            {
+                for &t in &threads {
+                    let spec = AppSpec::evaluation(app).with_worker_threads(t);
+                    samples.push(run_sample(&spec, app_label, system, sys_label, host_cpus));
+                }
             }
         }
     }
 
+    // Ser-tier section: tier off vs on, same spec, same seed.
+    let mut engaged = 0usize;
+    for (app_label, spec) in ser_tier_specs() {
+        let off = run_sample(&spec, app_label, SystemKind::Blaze, "blaze", host_cpus);
+        let on =
+            run_sample(&spec, app_label, SystemKind::BlazeSerTier, "blaze_ser_tier", host_cpus);
+        if check {
+            assert_eq!(
+                (off.ser_mem_hits, off.ser_transitions),
+                (0, 0),
+                "{app_label}: ser counters must stay zero with the tier off"
+            );
+        }
+        if on.ser_transitions > 0 {
+            engaged += 1;
+        }
+        samples.push(off);
+        samples.push(on);
+    }
+    if check {
+        assert!(
+            engaged > 0,
+            "--check floor: no high-ser_factor workload produced s-state picks \
+             (ser_transitions == 0 everywhere with the tier on)"
+        );
+        eprintln!("bench_engine --check: ser tier engaged on {engaged}/2 workloads; floors hold");
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let json = render_json(host_cpus, &samples);
-    std::fs::write(path, &json).expect("write BENCH_engine.json");
-    println!("wrote {} samples to {path}", samples.len());
+    if quick {
+        // CI's --quick pass is a floor check, not a measurement: don't
+        // clobber the full benchmark artifact with a partial one.
+        eprintln!("quick mode: not rewriting {path}");
+    } else {
+        std::fs::write(path, &json).expect("write BENCH_engine.json");
+        println!("wrote {} samples to {path}", samples.len());
+    }
 }
 
 /// Hand-rolled JSON writer (the workspace deliberately has no serde).
@@ -117,7 +194,8 @@ fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
              \"wall_s\": {:.6}, \"sim_act\": {:.6}, \"recovery_s\": {:.6}, \
              \"task_retries\": {}, \"blocks_lost\": {}, \"stages_resubmitted\": {}, \
              \"evictions_to_disk\": {}, \"evictions_discard\": {}, \
-             \"spilled_mib\": {:.3}, \"discarded_mib\": {:.3}}}{}\n",
+             \"spilled_mib\": {:.3}, \"discarded_mib\": {:.3}, \
+             \"ser_mem_hits\": {}, \"ser_transitions\": {}}}{}\n",
             r.workload,
             r.system,
             r.worker_threads,
@@ -132,6 +210,8 @@ fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
             r.evictions_discard,
             nz(r.spilled_mib),
             nz(r.discarded_mib),
+            r.ser_mem_hits,
+            r.ser_transitions,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }

@@ -37,7 +37,7 @@ use blaze_core::{BlazeConfig, BlazeController};
 use blaze_dataflow::{JobPlan, Plan};
 use blaze_engine::{
     Admission, BlockInfo, CacheController, CtrlCtx, DegradationNote, ExecutorCrash, FaultPlan,
-    PartitionEvent, StateCommand, VictimAction,
+    PartitionEvent, StateCommand, StoreTier, VictimAction,
 };
 use blaze_workloads::{
     run_blaze_instrumented, run_spec, run_spec_with_fault, App, AppSpec, SystemKind,
@@ -201,8 +201,8 @@ impl CacheController for LadderCounting {
         self.inner.explain_block(id)
     }
 
-    fn on_inserted(&mut self, ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        self.inner.on_inserted(ctx, info, to_disk);
+    fn on_inserted(&mut self, ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        self.inner.on_inserted(ctx, info, tier);
     }
 
     fn on_evicted(&mut self, ctx: &CtrlCtx, id: BlockId) {

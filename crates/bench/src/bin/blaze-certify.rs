@@ -4,7 +4,10 @@
 //!
 //! - `--all` (default): runs every evaluation workload under full Blaze with
 //!   `BlazeConfig::certify` on, across all three [`SolveStrategy`] variants
-//!   and both decision paths (incremental on/off). Certify mode makes every
+//!   and both decision paths (incremental on/off), plus a serialized-tier
+//!   leg (the high-`ser_factor` workloads under tightened memory with
+//!   `ser_tier` on, so multi-choice certificates with real s-state picks
+//!   are emitted and verified). Certify mode makes every
 //!   per-executor solve emit a machine-checkable certificate and verifies it
 //!   inline (BA501–BA505), panicking on any finding — so a clean exit *is*
 //!   the proof that every decision taken across the sweep verified. Use
@@ -18,18 +21,20 @@
 
 use blaze_certify::{
     check_dirty_closure, verify_greedy, verify_greedy_relaxation, verify_ilp, verify_knapsack,
-    LineageNodeView, LineageView,
+    verify_mckp, verify_mckp_greedy, LineageNodeView, LineageView,
 };
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
 use blaze_common::ByteSize;
 use blaze_core::{BlazeConfig, BlazeController, SolveStrategy};
 use blaze_dataflow::{JobPlan, Plan};
 use blaze_engine::{
-    Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, VictimAction,
+    Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, StoreTier,
+    VictimAction,
 };
 use blaze_solver::cert::KnapNode;
 use blaze_solver::ilp::{solve_binary_certified, IlpProblem};
 use blaze_solver::knapsack::{greedy_certificate, solve_knapsack_certified, KnapsackItem};
+use blaze_solver::mckp::{greedy_mckp_certificate, solve_mckp_certified, MckpGroup, MckpOption};
 use blaze_workloads::{run_blaze_instrumented, App, AppSpec};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,8 +95,8 @@ impl CacheController for CertCounting {
         self.inner.explain_block(id)
     }
 
-    fn on_inserted(&mut self, ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        self.inner.on_inserted(ctx, info, to_disk);
+    fn on_inserted(&mut self, ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        self.inner.on_inserted(ctx, info, tier);
     }
 
     fn on_evicted(&mut self, ctx: &CtrlCtx, id: BlockId) {
@@ -163,7 +168,69 @@ fn check_all(scale: f64) {
             }
         }
     }
+    // Serialized-tier leg: the high-ser_factor workloads under tightened
+    // memory, so the multi-choice certificates actually contain s-state
+    // picks (not just degenerate three-option groups).
+    for app in [App::Svdpp, App::LogisticRegression] {
+        let mut spec = AppSpec::evaluation(app).scaled(scale);
+        spec.memory_capacity =
+            spec.memory_capacity.scale(if app == App::Svdpp { 0.55 } else { 0.4 });
+        for strategy in strategies {
+            for incremental in [true, false] {
+                let mut cfg =
+                    BlazeConfig { incremental, certify: true, ..BlazeConfig::full_ser_tier() };
+                cfg.optimizer.strategy = strategy;
+                let certified = Arc::new(AtomicU64::new(0));
+                let mirror = Arc::clone(&certified);
+                let out =
+                    run_blaze_instrumented(&spec, cfg, Default::default(), false, move |inner| {
+                        Box::new(CertCounting { inner, certified: mirror })
+                    })
+                    .expect("certified ser-tier run failed");
+                let n = certified.load(Ordering::Relaxed);
+                total += n;
+                eprintln!(
+                    "{:7} strategy={:9} incremental={:5} jobs={:3} certificates={n} [ser-tier]",
+                    app.label(),
+                    strategy_label(strategy),
+                    incremental,
+                    out.metrics.jobs,
+                );
+                assert!(n > 0, "{app:?}/{strategy:?} [ser-tier]: no certificates were emitted");
+            }
+        }
+    }
     println!("blaze-certify: {total} certificates emitted and verified clean across the sweep");
+}
+
+/// A deterministic multi-choice instance (zero option + three sized
+/// options per group, hull-shaped values) for the MCKP mutations.
+fn mutation_groups() -> Vec<MckpGroup> {
+    let mut state = 0x5e12_ca5eu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..10)
+        .map(|_| {
+            let full_w = 40 + next() % 60;
+            // audit: allow(float-cast) value in [1, 101), exactly representable
+            let full_v = 1.0 + (next() % 100) as f64;
+            // The serialized option: ~60% of the footprint for ~70% of the
+            // value, mirroring the cost-model shape of the s-state.
+            let ser_w = full_w * 3 / 5;
+            let ser_v = full_v * 0.7;
+            let disk_v = full_v * 0.3;
+            MckpGroup {
+                options: vec![
+                    MckpOption { value: 0.0, weight: 0 },
+                    MckpOption { value: disk_v, weight: 0 },
+                    MckpOption { value: ser_v, weight: ser_w },
+                    MckpOption { value: full_v, weight: full_w },
+                ],
+            }
+        })
+        .collect()
 }
 
 /// A deterministic instance with enough structure that its branch-and-bound
@@ -261,6 +328,50 @@ fn check_mutations() {
     } else {
         println!("blaze-certify: ILP tree had no pruned nodes; knapsack BA502 covers the bound");
     }
+
+    // Multi-choice flavours: the enlarged m/s/d/u choice space must be
+    // covered by the same negative controls as the 0/1 path.
+    let groups = mutation_groups();
+    // The odd offset keeps the capacity off every hull-increment boundary
+    // so the greedy fill ends on a fractional break item (declared_gap > 0).
+    let mc_capacity: u64 =
+        groups.iter().map(|g| g.options.iter().map(|o| o.weight).max().unwrap_or(0)).sum::<u64>()
+            / 3
+            + 7;
+
+    // BA501 (MCKP) — mispriced multi-choice incumbent.
+    let (mut msol, mcert) = solve_mckp_certified(&groups, mc_capacity, 0, None);
+    assert!(verify_mckp(&groups, mc_capacity, &msol, &mcert).is_empty(), "MCKP baseline verifies");
+    msol.value += 1.0;
+    assert_fires(
+        &verify_mckp(&groups, mc_capacity, &msol, &mcert),
+        "BA501",
+        "a mispriced multi-choice incumbent",
+    );
+
+    // BA503 (MCKP) — truncated multi-choice search tree.
+    let (msol, mut mcert) = solve_mckp_certified(&groups, mc_capacity, 0, None);
+    mcert.nodes.pop();
+    assert_fires(
+        &verify_mckp(&groups, mc_capacity, &msol, &mcert),
+        "BA503",
+        "a truncated multi-choice tree",
+    );
+
+    // BA504 (MCKP) — understated greedy hull gap.
+    let (gmsol, _) = solve_mckp_certified(&groups, mc_capacity, 1, None);
+    let mut gmcert = greedy_mckp_certificate(&groups, mc_capacity, &gmsol);
+    assert!(
+        verify_mckp_greedy(&groups, mc_capacity, &gmsol, &gmcert).is_empty(),
+        "MCKP greedy baseline verifies"
+    );
+    assert!(gmcert.declared_gap > 0.0, "instance must have a fractional hull break");
+    gmcert.declared_gap = 0.0;
+    assert_fires(
+        &verify_mckp_greedy(&groups, mc_capacity, &gmsol, &gmcert),
+        "BA504",
+        "an understated multi-choice greedy gap",
+    );
 
     // BA505 — memo entry retained inside the dirty closure.
     let view = LineageView {

@@ -37,7 +37,7 @@ fn density(item: &KnapsackItem) -> f64 {
             0.0
         }
     } else {
-        item.value / item.weight as f64
+        item.value / item.weight as f64 // audit: allow(float-cast) weights are byte counts < 2^53
     }
 }
 
@@ -141,6 +141,7 @@ impl<'a> BoundOracle<'a> {
             let it = &self.items[self.order[self.positions[t]]];
             let room = remaining - (self.cum_w[t] - self.cum_w[s]);
             if it.weight > 0 {
+                // audit: allow(float-cast) room/weight are byte counts < 2^53
                 v += it.value * (room as f64) / it.weight as f64;
             }
         }
@@ -597,6 +598,7 @@ fn relaxation_lp(items: &[KnapsackItem], capacity: u64) -> LinearProgram {
     let n = items.len();
     let mut constraints = Vec::with_capacity(n + 1);
     constraints
+        // audit: allow(float-cast) weights/capacity are byte counts < 2^53
         .push(Constraint::le(items.iter().map(|it| it.weight as f64).collect(), capacity as f64));
     for i in 0..n {
         let mut row = vec![0.0; n];

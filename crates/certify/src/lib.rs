@@ -30,16 +30,19 @@
 pub mod ilp;
 pub mod knapsack;
 pub mod lineage;
+pub mod mckp;
 
 pub use ilp::verify_ilp;
 pub use knapsack::{verify_greedy, verify_greedy_relaxation, verify_knapsack};
 pub use lineage::{check_dirty_closure, LineageNodeView, LineageView};
+pub use mckp::{verify_mckp, verify_mckp_greedy};
 
 use blaze_audit::diagnostic::Diagnostic;
 use blaze_common::ids::ExecutorId;
-use blaze_solver::cert::{GreedyCertificate, IlpCertificate, KnapsackCertificate};
+use blaze_solver::cert::{GreedyCertificate, IlpCertificate, KnapsackCertificate, MckpCertificate};
 use blaze_solver::ilp::{IlpOutcome, IlpProblem};
 use blaze_solver::knapsack::{KnapsackItem, KnapsackSolution};
+use blaze_solver::mckp::{MckpGroup, MckpSolution};
 
 /// One per-executor solver instance together with its answer and proof, as
 /// captured by the decision path at submission time.
@@ -76,6 +79,31 @@ pub enum InstancePayload {
         /// The branch-and-bound certificate emitted alongside it.
         cert: IlpCertificate,
     },
+    /// A branch-and-bound multi-choice knapsack solve
+    /// ([`blaze_solver::mckp`]), used when the serialized in-memory tier
+    /// turns the per-executor instance into an m/s/d/u choice per candidate.
+    MultiChoice {
+        /// The option groups of the instance (one per candidate).
+        groups: Vec<MckpGroup>,
+        /// The memory capacity (bytes).
+        capacity: u64,
+        /// The solution returned to the decision path.
+        solution: MckpSolution,
+        /// The certificate emitted alongside it.
+        cert: MckpCertificate,
+    },
+    /// A greedy (node-budget-1) multi-choice solve certified against the
+    /// hull relaxation.
+    MultiChoiceGreedy {
+        /// The option groups of the instance (one per candidate).
+        groups: Vec<MckpGroup>,
+        /// The memory capacity (bytes).
+        capacity: u64,
+        /// The greedy solution returned to the decision path.
+        solution: MckpSolution,
+        /// The relaxation-gap certificate emitted alongside it.
+        cert: GreedyCertificate,
+    },
 }
 
 /// A decision certificate for one per-executor solve.
@@ -98,5 +126,11 @@ pub fn verify_instance(cert: &InstanceCertificate) -> Vec<Diagnostic> {
             verify_greedy(items, *capacity, solution, cert)
         }
         InstancePayload::Ilp { problem, outcome, cert } => verify_ilp(problem, outcome, cert),
+        InstancePayload::MultiChoice { groups, capacity, solution, cert } => {
+            verify_mckp(groups, *capacity, solution, cert)
+        }
+        InstancePayload::MultiChoiceGreedy { groups, capacity, solution, cert } => {
+            verify_mckp_greedy(groups, *capacity, solution, cert)
+        }
     }
 }

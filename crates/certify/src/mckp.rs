@@ -1,0 +1,724 @@
+//! Verification of multi-choice knapsack branch-and-bound and greedy
+//! certificates.
+//!
+//! The serialized-memory decision path solves a multi-choice knapsack per
+//! executor (each candidate picks one of out / serialized / deserialized);
+//! its optimality proof is, like the 0/1 case, a DFS-preorder replay of the
+//! recorded tree. The verifier re-derives everything the bound depends on
+//! from the raw groups — per-group LP-dominance frontiers, upper convex
+//! hulls, the global density order over hull increments, and the canonical
+//! child order — and then walks the tree with its own weight/value
+//! accumulators, checking that every cut is justified by a hull
+//! (Zemel/Dantzig) bound it recomputes itself, that every skipped child was
+//! statically excluded under the solver's published rule, and that the
+//! claimed optimum equals the best value any replayed node (or the greedy
+//! hull fill) reached. Greedy answers are certified against the hull
+//! relaxation optimum with an explicit gap, exactly as in
+//! [`crate::knapsack`].
+
+use blaze_audit::diagnostic::{DiagCode, Diagnostic};
+use blaze_solver::cert::{GreedyCertificate, McNode, MckpCertificate};
+use blaze_solver::knapsack::{PRUNE_EPS, WARM_EPS};
+use blaze_solver::mckp::{MckpGroup, MckpOption, MckpSolution};
+
+/// Scaled comparison tolerance for recomputed float quantities.
+fn tol(scale: f64) -> f64 {
+    1e-6 * (1.0 + scale.abs())
+}
+
+fn diag(code: DiagCode, message: String) -> Diagnostic {
+    Diagnostic::new(code, None, message, "re-run the solve uncertified and compare".into())
+}
+
+/// Value and weight of a per-group choice, recomputed from the groups.
+/// `None` if any index is out of range.
+fn choice_totals(groups: &[MckpGroup], choice: &[usize]) -> Option<(f64, u64)> {
+    let mut v = 0.0f64;
+    let mut w = 0u64;
+    for (g, &c) in groups.iter().zip(choice) {
+        let opt = g.options.get(c)?;
+        v += opt.value;
+        w = w.saturating_add(opt.weight);
+    }
+    Some((v, w))
+}
+
+/// Independent re-derivation of a group's upper convex hull over its
+/// LP-dominance frontier, anchored at the zero option `(0, 0)`.
+fn hull_points(options: &[MckpOption]) -> Vec<(u64, f64)> {
+    let mut pts: Vec<(u64, f64)> = options.iter().map(|o| (o.weight, o.value)).collect();
+    pts.sort_by(|a, b| {
+        a.0.cmp(&b.0).then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    // The (0, 0) anchor is never popped: a weight-0 option with positive
+    // value becomes a `dw = 0` infinite-density increment instead of
+    // shifting the hull's base value.
+    let mut frontier: Vec<(u64, f64)> = vec![(0, 0.0)];
+    for (w, v) in pts {
+        let &(_, lv) = frontier.last().expect("anchored");
+        if v > lv {
+            frontier.push((w, v));
+        }
+    }
+    let mut hull: Vec<(u64, f64)> = Vec::with_capacity(frontier.len());
+    for (w, v) in frontier {
+        while hull.len() >= 2 {
+            let (w1, v1) = hull[hull.len() - 1];
+            let (w2, v2) = hull[hull.len() - 2];
+            let keeps = (v1 - v2) * (w - w1) as f64 > (v - v1) * (w1 - w2) as f64; // audit: allow(float-cast)
+            if keeps {
+                break;
+            }
+            hull.pop();
+        }
+        hull.push((w, v));
+    }
+    hull
+}
+
+/// One hull increment (group moved up one hull level).
+#[derive(Clone, Copy)]
+struct Inc {
+    group: usize,
+    dw: u64,
+    dv: f64,
+}
+
+/// The global density-ordered increment list (density descending, ties by
+/// group then level ascending — the solver's strict total order).
+fn global_increments(groups: &[MckpGroup]) -> Vec<Inc> {
+    let mut incs: Vec<(f64, usize, usize, Inc)> = Vec::new();
+    for (g, group) in groups.iter().enumerate() {
+        let hull = hull_points(&group.options);
+        for level in 1..hull.len() {
+            let (w0, v0) = hull[level - 1];
+            let (w1, v1) = hull[level];
+            let dw = w1 - w0;
+            let dv = v1 - v0;
+            let density = if dw == 0 { f64::INFINITY } else { dv / dw as f64 }; // audit: allow(float-cast)
+            incs.push((density, g, level, Inc { group: g, dw, dv }));
+        }
+    }
+    incs.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    incs.into_iter().map(|(_, _, _, inc)| inc).collect()
+}
+
+/// The canonical child order of one group (value descending, then option
+/// index ascending), re-derived rather than imported so the verifier does
+/// not trust the solver's implementation of its own spec.
+fn child_order(options: &[MckpOption]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..options.len()).collect();
+    order.sort_by(|&a, &b| {
+        options[b]
+            .value
+            .partial_cmp(&options[a].value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// The greedy integer hull fill over the global density order (the solver's
+/// initial incumbent): an increment is taken only when its group's previous
+/// level was and it fits.
+fn greedy_fill_value(groups: &[MckpGroup], incs: &[Inc], capacity: u64) -> f64 {
+    let mut taken = vec![0usize; groups.len()];
+    let mut seen = vec![0usize; groups.len()];
+    let mut w = 0u64;
+    let mut v = 0.0f64;
+    for inc in incs {
+        seen[inc.group] += 1;
+        let level = seen[inc.group];
+        if taken[inc.group] == level - 1 && inc.dv > 0.0 && w + inc.dw <= capacity {
+            taken[inc.group] = level;
+            w += inc.dw;
+            v += inc.dv;
+        }
+    }
+    v
+}
+
+/// The hull (Zemel/Dantzig) upper bound at `(pos, weight, value)`: greedy
+/// fractional fill over the increments of the still-free groups, breaking
+/// at the first increment that no longer fits (which contributes
+/// fractionally). Mirrors the solver's `upper_bound` exactly.
+fn hull_bound(incs: &[Inc], capacity: u64, pos: usize, weight: u64, value: f64) -> f64 {
+    let mut w = weight;
+    let mut v = value;
+    for inc in incs {
+        if inc.group < pos || inc.dv <= 0.0 {
+            continue;
+        }
+        if w + inc.dw <= capacity {
+            w += inc.dw;
+            v += inc.dv;
+        } else {
+            let room = (capacity - w) as f64; // audit: allow(float-cast)
+            if inc.dw > 0 {
+                v += inc.dv * room / inc.dw as f64; // audit: allow(float-cast)
+            }
+            break;
+        }
+    }
+    v
+}
+
+/// State of the preorder tree replay.
+struct Replay<'a> {
+    nodes: &'a [McNode],
+    groups: &'a [MckpGroup],
+    orders: &'a [Vec<usize>],
+    incs: &'a [Inc],
+    capacity: u64,
+    warm_value: Option<f64>,
+    final_value: f64,
+    cursor: usize,
+    /// Best entry value any replayed node reached.
+    max_entry: f64,
+    findings: Vec<Diagnostic>,
+}
+
+impl Replay<'_> {
+    /// Replays the preorder tree with an explicit stack, stopping at the
+    /// first finding (one finding pinpoints the failure; a corrupt tree
+    /// would otherwise cascade).
+    fn walk(&mut self) {
+        let mut stack = vec![(0usize, 0u64, 0.0f64)];
+        while let Some((pos, weight, value)) = stack.pop() {
+            if !self.findings.is_empty() {
+                return;
+            }
+            self.step(&mut stack, pos, weight, value);
+        }
+    }
+
+    /// Consumes one recorded node against the replayed `(pos, weight,
+    /// value)` state, pushing the children of branch nodes so the first
+    /// canonical child is replayed next (DFS preorder).
+    fn step(&mut self, stack: &mut Vec<(usize, u64, f64)>, pos: usize, weight: u64, value: f64) {
+        let Some(node) = self.nodes.get(self.cursor) else {
+            self.findings.push(diag(
+                DiagCode::UncoveredBranchLeaf,
+                format!("certificate tree ends early at node {}", self.cursor),
+            ));
+            return;
+        };
+        self.cursor += 1;
+        // Every partial assignment is feasible (still-free groups complete
+        // with their zero options), so entry values are candidate incumbents.
+        self.max_entry = self.max_entry.max(value);
+        if pos >= self.groups.len() {
+            if *node != McNode::Leaf {
+                self.findings.push(diag(
+                    DiagCode::UncoveredBranchLeaf,
+                    format!("expected a leaf at exhausted position {pos}, found {node:?}"),
+                ));
+            }
+            return;
+        }
+        match *node {
+            McNode::Leaf => {
+                self.findings.push(diag(
+                    DiagCode::UncoveredBranchLeaf,
+                    format!(
+                        "leaf at position {pos} leaves {} groups undecided",
+                        self.groups.len() - pos
+                    ),
+                ));
+            }
+            McNode::Pruned { bound } => {
+                let recomputed = hull_bound(self.incs, self.capacity, pos, weight, value);
+                if (recomputed - bound).abs() > tol(bound) {
+                    self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "recorded prune bound {bound} != recomputed hull bound \
+                             {recomputed} at position {pos}"
+                        ),
+                    ));
+                } else if recomputed > self.final_value + PRUNE_EPS + tol(self.final_value) {
+                    self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "prune bound {recomputed} exceeds the final value {} — the cut \
+                             subtree could hold a better choice",
+                            self.final_value
+                        ),
+                    ));
+                }
+            }
+            McNode::PrunedWarm { bound } => {
+                let recomputed = hull_bound(self.incs, self.capacity, pos, weight, value);
+                if (recomputed - bound).abs() > tol(bound) {
+                    self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "recorded warm-prune bound {bound} != recomputed hull bound \
+                             {recomputed} at position {pos}"
+                        ),
+                    ));
+                    return;
+                }
+                match self.warm_value {
+                    Some(wv) if recomputed <= wv - WARM_EPS + tol(wv) => {}
+                    Some(wv) => self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        format!(
+                            "warm prune bound {recomputed} is not below the warm value {wv} \
+                             by the required margin"
+                        ),
+                    )),
+                    None => self.findings.push(diag(
+                        DiagCode::UnsoundPruneBound,
+                        "warm prune recorded but the certificate carries no warm evidence".into(),
+                    )),
+                }
+            }
+            McNode::Branch => {
+                // Children are every option that fits and is not statically
+                // excluded (non-zero index with non-positive value can never
+                // beat the always-feasible zero option), in canonical order.
+                // The zero option always fits, so a branch has >= 1 child.
+                let opts = &self.groups[pos].options;
+                for &oi in self.orders[pos].iter().rev() {
+                    let opt = opts[oi];
+                    if weight + opt.weight > self.capacity || (oi != 0 && opt.value <= 0.0) {
+                        continue;
+                    }
+                    stack.push((pos + 1, weight + opt.weight, value + opt.value));
+                }
+            }
+        }
+    }
+}
+
+/// Verifies a multi-choice knapsack solution against its branch-and-bound
+/// certificate.
+///
+/// Checks, in order: group well-formedness (each leads with the zero
+/// option, `BA503` — the zero-completion feasibility argument underpins the
+/// whole replay), solution feasibility and pricing (`BA501`), warm-evidence
+/// soundness (`BA502`), and — for complete searches — a full preorder
+/// replay of the recorded tree: coverage of the search space (`BA503`),
+/// recomputed hull-bound justification of every cut (`BA502`), and
+/// agreement of the claimed optimum with the best replayed value (`BA501`).
+/// Incomplete (budget-exhausted) solves carry no tree and are checked for
+/// greedy dominance only.
+pub fn verify_mckp(
+    groups: &[MckpGroup],
+    capacity: u64,
+    solution: &MckpSolution,
+    cert: &MckpCertificate,
+) -> Vec<Diagnostic> {
+    let n = groups.len();
+    let mut findings = Vec::new();
+
+    // BA503: every group must lead with the zero option — otherwise partial
+    // assignments are not guaranteed completable and the replay's incumbent
+    // and coverage arguments are void.
+    for (g, group) in groups.iter().enumerate() {
+        if group.options.first() != Some(&MckpOption { value: 0.0, weight: 0 }) {
+            findings.push(diag(
+                DiagCode::UncoveredBranchLeaf,
+                format!("group {g} does not lead with the zero option"),
+            ));
+            return findings;
+        }
+    }
+
+    // BA501: the claimed solution must be real before anything else.
+    if solution.choice.len() != n {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!("solution has {} choices for {n} groups", solution.choice.len()),
+        ));
+        return findings;
+    }
+    let Some((value, weight)) = choice_totals(groups, &solution.choice) else {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            "solution chooses an option index outside its group".into(),
+        ));
+        return findings;
+    };
+    if weight > capacity {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!("choice weighs {weight} bytes, over the {capacity}-byte capacity"),
+        ));
+    }
+    if weight != solution.weight || (value - solution.value).abs() > tol(value) {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!(
+                "choice recomputes to value {value} / weight {weight}, certificate claims \
+                 {} / {}",
+                solution.value, solution.weight
+            ),
+        ));
+    }
+    if !findings.is_empty() {
+        return findings;
+    }
+
+    // BA502: warm evidence must itself be feasible and correctly priced,
+    // and (for complete solves) dominated by the final answer.
+    let mut warm_value = None;
+    if let Some(w) = &cert.warm {
+        if w.choice.len() != n {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                format!("warm evidence has {} choices for {n} groups", w.choice.len()),
+            ));
+            return findings;
+        }
+        let Some((wv, ww)) = choice_totals(groups, &w.choice) else {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                "warm evidence chooses an option index outside its group".into(),
+            ));
+            return findings;
+        };
+        if ww > capacity || (wv - w.value).abs() > tol(wv) {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                format!(
+                    "warm evidence recomputes to value {wv} / weight {ww} (capacity \
+                     {capacity}), recorded value {}",
+                    w.value
+                ),
+            ));
+            return findings;
+        }
+        if cert.complete && solution.value < w.value - WARM_EPS - tol(w.value) {
+            findings.push(diag(
+                DiagCode::UnsoundPruneBound,
+                format!(
+                    "final value {} is below the warm lower bound {} — warm prunes could \
+                     have cut the optimum",
+                    solution.value, w.value
+                ),
+            ));
+            return findings;
+        }
+        warm_value = Some(w.value);
+    }
+
+    // BA503: the proven flag must match tree completeness.
+    if solution.proven_optimal != cert.complete {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            format!(
+                "proven_optimal={} disagrees with certificate complete={}",
+                solution.proven_optimal, cert.complete
+            ),
+        ));
+        return findings;
+    }
+
+    let incs = global_increments(groups);
+    let greedy = greedy_fill_value(groups, &incs, capacity);
+    if !cert.complete {
+        // No tree to replay: the solution must still dominate greedy.
+        if solution.value < greedy - tol(greedy) {
+            findings.push(diag(
+                DiagCode::InfeasibleIncumbent,
+                format!(
+                    "budget-exhausted solution {} is worse than the greedy hull fill {greedy}",
+                    solution.value
+                ),
+            ));
+        }
+        return findings;
+    }
+
+    // Full preorder replay of the search tree.
+    if cert.nodes.is_empty() {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            "complete certificate carries no tree nodes".into(),
+        ));
+        return findings;
+    }
+    let orders: Vec<Vec<usize>> = groups.iter().map(|g| child_order(&g.options)).collect();
+    let mut replay = Replay {
+        nodes: &cert.nodes,
+        groups,
+        orders: &orders,
+        incs: &incs,
+        capacity,
+        warm_value,
+        final_value: solution.value,
+        cursor: 0,
+        max_entry: f64::NEG_INFINITY,
+        findings,
+    };
+    replay.walk();
+    let mut findings = replay.findings;
+    if !findings.is_empty() {
+        return findings;
+    }
+    if replay.cursor != cert.nodes.len() {
+        findings.push(diag(
+            DiagCode::UncoveredBranchLeaf,
+            format!(
+                "certificate records {} nodes but the replay consumed {}",
+                cert.nodes.len(),
+                replay.cursor
+            ),
+        ));
+        return findings;
+    }
+    // Closure of the optimality proof: the claimed value must equal the
+    // best value any explored node (or the greedy incumbent) reached.
+    let best_seen = replay.max_entry.max(greedy);
+    if (best_seen - solution.value).abs() > tol(solution.value) {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!(
+                "claimed optimum {} differs from the best replayed value {best_seen}",
+                solution.value
+            ),
+        ));
+    }
+    findings
+}
+
+/// Verifies a greedy multi-choice solution against its hull-relaxation
+/// certificate.
+///
+/// Recomputes the root hull bound — the optimum of the LP relaxation of the
+/// multi-choice knapsack (Zemel) — from its own hulls and increments,
+/// checks the certificate's `relaxation_bound` against it (`BA502`), and
+/// checks that the greedy value is within the declared gap of that bound
+/// (`BA504`). Solution feasibility and pricing are checked as for any
+/// incumbent (`BA501`).
+pub fn verify_mckp_greedy(
+    groups: &[MckpGroup],
+    capacity: u64,
+    solution: &MckpSolution,
+    cert: &GreedyCertificate,
+) -> Vec<Diagnostic> {
+    let n = groups.len();
+    let mut findings = Vec::new();
+    if solution.choice.len() != n {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!("solution has {} choices for {n} groups", solution.choice.len()),
+        ));
+        return findings;
+    }
+    let Some((value, weight)) = choice_totals(groups, &solution.choice) else {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            "solution chooses an option index outside its group".into(),
+        ));
+        return findings;
+    };
+    if weight > capacity || weight != solution.weight || (value - solution.value).abs() > tol(value)
+    {
+        findings.push(diag(
+            DiagCode::InfeasibleIncumbent,
+            format!(
+                "greedy choice recomputes to value {value} / weight {weight} (capacity \
+                 {capacity}), claimed {} / {}",
+                solution.value, solution.weight
+            ),
+        ));
+        return findings;
+    }
+
+    // The relaxation optimum of the multi-choice knapsack over the group
+    // hulls is the root fractional fill (Zemel's reduction: LP-dominated
+    // options take value zero in every optimal LP solution).
+    let incs = global_increments(groups);
+    let lp_opt = hull_bound(&incs, capacity, 0, 0, 0.0);
+    if (lp_opt - cert.relaxation_bound).abs() > tol(lp_opt) {
+        findings.push(diag(
+            DiagCode::UnsoundPruneBound,
+            format!(
+                "declared relaxation bound {} differs from the recomputed hull relaxation \
+                 optimum {lp_opt}",
+                cert.relaxation_bound
+            ),
+        ));
+        return findings;
+    }
+    if cert.declared_gap < -tol(cert.declared_gap) {
+        findings.push(diag(
+            DiagCode::GreedyGapExceeded,
+            format!("declared gap {} is negative", cert.declared_gap),
+        ));
+        return findings;
+    }
+    if solution.value < cert.relaxation_bound - cert.declared_gap - tol(cert.relaxation_bound) {
+        findings.push(diag(
+            DiagCode::GreedyGapExceeded,
+            format!(
+                "greedy value {} is more than the declared gap {} below the relaxation \
+                 bound {}",
+                solution.value, cert.declared_gap, cert.relaxation_bound
+            ),
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_solver::mckp::{greedy_mckp_certificate, solve_mckp, solve_mckp_certified, MckpWarm};
+
+    fn zero() -> MckpOption {
+        MckpOption { value: 0.0, weight: 0 }
+    }
+
+    fn group(opts: &[(f64, u64)]) -> MckpGroup {
+        let mut options = vec![zero()];
+        options.extend(opts.iter().map(|&(value, weight)| MckpOption { value, weight }));
+        MckpGroup { options }
+    }
+
+    fn tiers() -> Vec<MckpGroup> {
+        vec![
+            group(&[(8.0, 6), (10.0, 10)]),
+            group(&[(5.0, 6), (9.0, 10)]),
+            group(&[(2.0, 3), (3.0, 5)]),
+            group(&[(-4.0, 2), (7.0, 4)]),
+        ]
+    }
+
+    #[test]
+    fn clean_certificates_verify() {
+        let groups = tiers();
+        let (sol, cert) = solve_mckp_certified(&groups, 16, 0, None);
+        assert!(sol.proven_optimal);
+        let findings = verify_mckp(&groups, 16, &sol, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn warm_certificates_verify() {
+        let groups = tiers();
+        let cold = solve_mckp(&groups, 16, 0);
+        let warm = MckpWarm { choice: cold.choice.clone() };
+        let (sol, cert) = solve_mckp_certified(&groups, 16, 0, Some(&warm));
+        assert_eq!(sol.choice, cold.choice);
+        assert!(cert.warm.is_some());
+        let findings = verify_mckp(&groups, 16, &sol, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn corrupted_value_fires_ba501() {
+        let groups = tiers();
+        let (mut sol, cert) = solve_mckp_certified(&groups, 16, 0, None);
+        sol.value += 5.0;
+        let findings = verify_mckp(&groups, 16, &sol, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::InfeasibleIncumbent), "{findings:?}");
+    }
+
+    #[test]
+    fn corrupted_prune_bound_fires_ba502() {
+        // Tight capacity forces at least one prune on this instance.
+        let groups = tiers();
+        let (sol, mut cert) = solve_mckp_certified(&groups, 12, 0, None);
+        let pruned = cert.nodes.iter_mut().find_map(|n| match n {
+            McNode::Pruned { bound } => Some(bound),
+            _ => None,
+        });
+        let bound = pruned.expect("instance produces at least one prune");
+        *bound += 100.0;
+        let findings = verify_mckp(&groups, 12, &sol, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UnsoundPruneBound), "{findings:?}");
+    }
+
+    #[test]
+    fn truncated_tree_fires_ba503() {
+        let groups = tiers();
+        let (sol, mut cert) = solve_mckp_certified(&groups, 16, 0, None);
+        cert.nodes.pop();
+        let findings = verify_mckp(&groups, 16, &sol, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UncoveredBranchLeaf), "{findings:?}");
+    }
+
+    #[test]
+    fn malformed_group_fires_ba503() {
+        let mut groups = tiers();
+        let (sol, cert) = solve_mckp_certified(&groups, 16, 0, None);
+        groups[1].options[0] = MckpOption { value: 1.0, weight: 1 };
+        let findings = verify_mckp(&groups, 16, &sol, &cert);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UncoveredBranchLeaf), "{findings:?}");
+    }
+
+    #[test]
+    fn budget_exhausted_solutions_check_greedy_dominance_only() {
+        let groups: Vec<MckpGroup> = (0..30)
+            .map(|i: u64| {
+                group(&[
+                    (((i * 37) % 97) as f64 * 0.6 + 1.0, ((i * 53) % 41) / 2 + 1),
+                    (((i * 37) % 97) as f64 + 1.0, ((i * 53) % 41) + 2),
+                ])
+            })
+            .collect();
+        let cap: u64 =
+            groups.iter().flat_map(|g| g.options.iter().map(|o| o.weight)).sum::<u64>() / 5;
+        let (sol, cert) = solve_mckp_certified(&groups, cap, 40, None);
+        assert!(!sol.proven_optimal && !cert.complete && cert.nodes.is_empty());
+        let findings = verify_mckp(&groups, cap, &sol, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn greedy_certificates_verify_and_mutations_fire() {
+        let groups = tiers();
+        let sol = solve_mckp(&groups, 13, 1); // Budget 1 = greedy only.
+        assert!(!sol.proven_optimal);
+        let cert = greedy_mckp_certificate(&groups, 13, &sol);
+        let findings = verify_mckp_greedy(&groups, 13, &sol, &cert);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        // Understating the gap must fire BA504.
+        let mut bad = cert.clone();
+        bad.declared_gap = -1.0;
+        let findings = verify_mckp_greedy(&groups, 13, &sol, &bad);
+        assert!(findings.iter().any(|d| d.code == DiagCode::GreedyGapExceeded), "{findings:?}");
+        // Corrupting the bound must fire BA502.
+        let mut bad = cert.clone();
+        bad.relaxation_bound += 50.0;
+        let findings = verify_mckp_greedy(&groups, 13, &sol, &bad);
+        assert!(findings.iter().any(|d| d.code == DiagCode::UnsoundPruneBound), "{findings:?}");
+    }
+
+    #[test]
+    fn random_instances_roundtrip_through_the_verifier() {
+        let mut seed = 0xC0FF_EE11_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..25 {
+            let groups: Vec<MckpGroup> = (0..5)
+                .map(|_| {
+                    let full_w = next() % 40 + 2;
+                    let full_v = (next() % 90) as f64 + 1.0;
+                    let ser_w = full_w * (next() % 60 + 20) / 100;
+                    let ser_v = full_v * ((next() % 80 + 10) as f64) / 100.0;
+                    group(&[(ser_v, ser_w), (full_v, full_w)])
+                })
+                .collect();
+            let cap: u64 =
+                groups.iter().flat_map(|g| g.options.iter().map(|o| o.weight)).sum::<u64>() / 4;
+            let (sol, cert) = solve_mckp_certified(&groups, cap, 0, None);
+            let findings = verify_mckp(&groups, cap, &sol, &cert);
+            assert!(findings.is_empty(), "{findings:?}");
+        }
+    }
+}

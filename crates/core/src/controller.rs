@@ -31,7 +31,7 @@ use blaze_common::{ByteSize, SimDuration};
 use blaze_dataflow::{JobPlan, Plan};
 use blaze_engine::{
     Admission, BlockInfo, CacheController, CtrlCtx, DegradationNote, PartitionEvent, StateCommand,
-    VictimAction,
+    StoreTier, VictimAction,
 };
 
 /// Feature switches of the Blaze controller.
@@ -73,6 +73,14 @@ pub struct BlazeConfig {
     /// seeds at controller construction). `None` (the default) never
     /// degrades.
     pub solve_deadline: Option<SimDuration>,
+    /// Enables the serialized in-memory tier as a first-class decision state:
+    /// the solver chooses one of m/s/d/u per candidate (seeding
+    /// [`OptimizerConfig::ser_tier`] at controller construction) and the
+    /// engine executes the resulting `SerializeInMemory` /
+    /// `DeserializeInMemory` / `PromoteToSerializedMemory` commands. With the
+    /// flag off (the default) the decision path, metrics, and traces are
+    /// byte-identical to the pre-s-tier system.
+    pub ser_tier: bool,
 }
 
 impl BlazeConfig {
@@ -89,7 +97,13 @@ impl BlazeConfig {
             shadow_compare: false,
             certify: false,
             solve_deadline: None,
+            ser_tier: false,
         }
+    }
+
+    /// Full Blaze with the serialized in-memory tier enabled.
+    pub fn full_ser_tier() -> Self {
+        Self { ser_tier: true, ..Self::full() }
     }
 
     /// Full Blaze without disk support (the Fig. 12 configuration).
@@ -156,6 +170,11 @@ impl BlazeController {
         // field is unset.
         if cfg.solve_deadline.is_some() {
             cfg.optimizer.solve_deadline = cfg.solve_deadline;
+        }
+        // The user-facing s-tier switch seeds the optimizer's; tests and
+        // benches may still set the optimizer flag directly.
+        if cfg.ser_tier {
+            cfg.optimizer.ser_tier = true;
         }
         let mut incr = IncrementalOptimizer::new();
         incr.set_certify(cfg.certify);
@@ -440,7 +459,12 @@ impl CacheController for BlazeController {
                     *cmd = StateCommand::UnpersistBlock(id);
                 }
             }
-            commands.retain(|c| !matches!(c, StateCommand::PromoteToMemory(_)));
+            commands.retain(|c| {
+                !matches!(
+                    c,
+                    StateCommand::PromoteToMemory(_) | StateCommand::PromoteToSerializedMemory(_)
+                )
+            });
         }
         commands
     }
@@ -593,12 +617,19 @@ impl CacheController for BlazeController {
         self.touch(id);
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        let state = if to_disk {
-            PartitionState::Disk(info.executor)
-        } else {
-            self.touch(info.id);
-            PartitionState::Memory(info.executor)
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        let state = match tier {
+            StoreTier::Disk => PartitionState::Disk(info.executor),
+            // Both memory tiers count as memory residency and refresh
+            // recency — a serialized block is still a (cheaper) memory hit.
+            StoreTier::Memory => {
+                self.touch(info.id);
+                PartitionState::Memory(info.executor)
+            }
+            StoreTier::SerializedMemory => {
+                self.touch(info.id);
+                PartitionState::SerializedMemory(info.executor)
+            }
         };
         self.lineage.set_state(info.id, state);
     }
@@ -774,7 +805,7 @@ mod tests {
                 recomputed: false,
             },
         );
-        ctl.on_inserted(&ctx, &resident, false);
+        ctl.on_inserted(&ctx, &resident, StoreTier::Memory);
         let incoming = info(cheap.id().raw(), 0, 64);
         ctl.on_partition_computed(
             &ctx,
@@ -819,7 +850,7 @@ mod tests {
                 recomputed: false,
             },
         );
-        ctl.on_inserted(&ctx, &binfo, false);
+        ctl.on_inserted(&ctx, &binfo, StoreTier::Memory);
         let cmds = ctl.on_stage_complete(&ctx, b.id(), JobId(0), &plan);
         assert!(
             cmds.contains(&StateCommand::UnpersistRdd(b.id())),

@@ -118,6 +118,18 @@ impl<'a> CostModel<'a> {
         self.cost_r_inner(id, 0).0
     }
 
+    /// The per-access cost of keeping `p_i` serialized in memory (the
+    /// s-state of the enlarged m/s/d/u space, §7.2's Alluxio regime): every
+    /// read deserializes the packed bytes. The footprint side of the
+    /// trade-off — the block occupies only `size × ser_footprint` of the
+    /// memory store — enters the decision as the s-option's knapsack weight,
+    /// not as a time charge here.
+    pub fn cost_s(&self, id: BlockId) -> SimDuration {
+        let size = self.size(id);
+        let ser = self.lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0);
+        self.hardware.deser_time(size, ser)
+    }
+
     fn cost_r_inner(&mut self, id: BlockId, depth: usize) -> (SimDuration, bool) {
         let Some(node) = self.lineage.node(id.rdd) else {
             return (SimDuration::ZERO, false);
@@ -161,6 +173,12 @@ impl<'a> CostModel<'a> {
         }
         let c = match self.lineage.state(id) {
             crate::costlineage::PartitionState::Memory(_) => (SimDuration::ZERO, false),
+            crate::costlineage::PartitionState::SerializedMemory(_) => {
+                // Resident but packed: using it costs one deserialization.
+                let (size, inducted) = self.size_tracked(id);
+                let ser = self.lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0);
+                (self.hardware.deser_time(size, ser), inducted)
+            }
             crate::costlineage::PartitionState::Disk(_) => {
                 let (size, inducted) = self.size_tracked(id);
                 let ser = self.lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0);
@@ -329,6 +347,25 @@ mod tests {
         // nowhere near the 100 s source.
         assert!(c < SimDuration::from_secs(1), "got {c}");
         assert!(c >= SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn serialized_memory_ancestor_costs_a_deserialization() {
+        let mut cl = chain_lineage();
+        for rdd in 0..4 {
+            record(&mut cl, rdd, 10_000, 1);
+        }
+        cl.set_state(BlockId::new(RddId(2), 0), PartitionState::SerializedMemory(ExecutorId(0)));
+        let hw = HardwareModel::default();
+        let mut m = CostModel::new(&cl, &hw, None);
+        // Recomputing m3 reads m2 from the serialized tier: one deser + edge.
+        let c3 = m.cost_r(BlockId::new(RddId(3), 0));
+        let deser = hw.deser_time(ByteSize::from_kib(10_000), 1.0);
+        let edge = SimDuration::from_millis(1);
+        assert_eq!(c3, deser + edge);
+        assert_eq!(m.cost_s(BlockId::new(RddId(2), 0)), deser);
+        // A deser charge is strictly cheaper than the full disk round trip.
+        assert!(m.cost_s(BlockId::new(RddId(2), 0)) < m.cost_d(BlockId::new(RddId(2), 0)));
     }
 
     #[test]

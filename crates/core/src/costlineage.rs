@@ -32,14 +32,24 @@ pub enum PartitionState {
     None,
     /// Cached in an executor's memory store.
     Memory(ExecutorId),
+    /// Cached in an executor's memory store in serialized (packed) form:
+    /// smaller footprint, but every access pays a deserialization charge
+    /// (the `s_i = 1` state of the enlarged m/s/d/u decision space).
+    SerializedMemory(ExecutorId),
     /// Spilled to an executor's disk store.
     Disk(ExecutorId),
 }
 
 impl PartitionState {
-    /// True if the partition is in a memory store (the `m_i = 1` state).
+    /// True if the partition occupies a memory store (deserialized `m_i = 1`
+    /// or serialized `s_i = 1` — both consume memory-store capacity).
     pub fn in_memory(self) -> bool {
-        matches!(self, PartitionState::Memory(_))
+        matches!(self, PartitionState::Memory(_) | PartitionState::SerializedMemory(_))
+    }
+
+    /// True if the partition is in the serialized in-memory tier only.
+    pub fn serialized(self) -> bool {
+        matches!(self, PartitionState::SerializedMemory(_))
     }
 
     /// True if the partition is on disk (the `d_i = 1` state).
@@ -51,7 +61,9 @@ impl PartitionState {
     pub fn executor(self) -> Option<ExecutorId> {
         match self {
             PartitionState::None => None,
-            PartitionState::Memory(e) | PartitionState::Disk(e) => Some(e),
+            PartitionState::Memory(e)
+            | PartitionState::SerializedMemory(e)
+            | PartitionState::Disk(e) => Some(e),
         }
     }
 }
@@ -448,6 +460,25 @@ mod tests {
         cl.record_metrics(id, ByteSize::from_kib(1), SimDuration::ZERO);
         assert_eq!(cl.blocks_on_disk(), vec![(id, ByteSize::from_kib(1))]);
         assert!(cl.blocks_in_memory().is_empty());
+    }
+
+    #[test]
+    fn serialized_memory_counts_as_memory_residency() {
+        let (ctx, a, _b) = small_plan();
+        let mut cl = CostLineage::new();
+        cl.merge_plan(&ctx.plan().read());
+        let id = BlockId::new(a, 0);
+        cl.record_metrics(id, ByteSize::from_kib(2), SimDuration::ZERO);
+        cl.set_state(id, PartitionState::SerializedMemory(ExecutorId(1)));
+        assert!(cl.state(id).in_memory());
+        assert!(cl.state(id).serialized());
+        assert!(!cl.state(id).on_disk());
+        assert_eq!(cl.state(id).executor(), Some(ExecutorId(1)));
+        assert_eq!(cl.blocks_in_memory(), vec![(id, ByteSize::from_kib(2))]);
+        assert!(cl.residency_consistent());
+        cl.set_state(id, PartitionState::Memory(ExecutorId(1)));
+        assert!(!cl.state(id).serialized());
+        assert!(cl.residency_consistent());
     }
 
     #[test]

@@ -38,7 +38,8 @@ use crate::cost::{CostMemo, CostModel};
 use crate::costlineage::CostLineage;
 use crate::optimize::{
     emit_commands, gather_candidates, knapsack_items, solve_exact, solve_exact_certified,
-    Candidate, LadderReport, OptimizerConfig, SolveLadder, SolveStrategy,
+    solve_instance_mc_certified_warm, solve_instance_mc_warm, to_picks, Candidate, LadderReport,
+    OptimizerConfig, Pick, SolveLadder, SolveStrategy,
 };
 use crate::pattern::IterationPattern;
 use crate::refs::JobRefs;
@@ -81,10 +82,14 @@ pub struct DecisionStats {
 struct PrevSolve {
     capacity: ByteSize,
     strategy: SolveStrategy,
+    /// Whether the solve ran in the enlarged m/s/d/u space — a 0/1 answer
+    /// must never be reused for a multi-choice instance or vice versa.
+    ser_tier: bool,
     candidates: Vec<Candidate>,
-    keep: Vec<bool>,
-    /// Density order of the last knapsack solve, as block ids (stable across
-    /// candidate-set changes; translated to indices per solve).
+    picks: Vec<Pick>,
+    /// Density order of the last 0/1 knapsack solve, as block ids (stable
+    /// across candidate-set changes; translated to indices per solve).
+    /// Empty for ILP and multi-choice solves.
     order: Vec<BlockId>,
 }
 
@@ -235,8 +240,14 @@ impl IncrementalOptimizer {
             // that the from-scratch shadow (which never reuses) walks the
             // budget identically and picks the same rungs.
             let Some(strategy) = ladder.pick(candidates.len()) else { continue };
-            let keep = self.solve_with_reuse(exec, candidates.clone(), memory_capacity, strategy);
-            solved.push((exec, candidates, keep));
+            let picks = self.solve_with_reuse(
+                exec,
+                candidates.clone(),
+                memory_capacity,
+                strategy,
+                config.ser_tier,
+            );
+            solved.push((exec, candidates, picks));
         }
         let report = ladder.report();
         self.stats.degraded += report.degraded;
@@ -253,29 +264,85 @@ impl IncrementalOptimizer {
         candidates: Vec<Candidate>,
         capacity: ByteSize,
         strategy: SolveStrategy,
-    ) -> Vec<bool> {
+        ser_tier: bool,
+    ) -> Vec<Pick> {
         if let Some(p) = self.prev.get(&exec) {
-            if p.capacity == capacity && p.strategy == strategy && p.candidates == candidates {
+            if p.capacity == capacity
+                && p.strategy == strategy
+                && p.ser_tier == ser_tier
+                && p.candidates == candidates
+            {
                 // Identical instance: the solver is a deterministic function
                 // of (candidates, capacity, strategy), so the previous
                 // answer *is* the answer.
                 self.stats.reused += 1;
-                return p.keep.clone();
+                return p.picks.clone();
             }
         }
         self.stats.solves += 1;
-        let warm = self.prev.get(&exec);
+        // Take the entry out (it is unconditionally re-inserted below) so
+        // the warm hint does not hold a borrow across the solve.
+        let warm = self.prev.remove(&exec).filter(|p| p.ser_tier == ser_tier);
+        let warm = warm.as_ref();
         // audit: allow(decision-hash) keyed index, never iterated
         let index_of: FxHashMap<BlockId, usize> =
             candidates.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
+        let (picks, order) = if ser_tier {
+            // Multi-choice path: re-align the previous picks to the current
+            // slots (vanished blocks drop out, new blocks default to Out —
+            // a feasible completion, so the bound stays valid).
+            let warm_picks = warm.map(|p| {
+                let mut picks = vec![Pick::Out; candidates.len()];
+                for (c, &pick) in p.candidates.iter().zip(&p.picks) {
+                    if let Some(&i) = index_of.get(&c.id) {
+                        picks[i] = pick;
+                    }
+                }
+                picks
+            });
+            let picks = if self.certify {
+                let (picks, payload) = solve_instance_mc_certified_warm(
+                    &candidates,
+                    capacity,
+                    strategy,
+                    warm_picks.as_deref(),
+                );
+                self.verify_inline(exec, payload);
+                picks
+            } else {
+                solve_instance_mc_warm(&candidates, capacity, strategy, warm_picks.as_deref())
+            };
+            (picks, Vec::new())
+        } else {
+            self.solve_binary_with_warm(exec, &candidates, capacity, strategy, warm, &index_of)
+        };
+        self.prev.insert(
+            exec,
+            PrevSolve { capacity, strategy, ser_tier, candidates, picks: picks.clone(), order },
+        );
+        picks
+    }
+
+    /// The legacy 0/1 solve with warm start, byte-identical to the
+    /// pre-s-tier incremental path.
+    fn solve_binary_with_warm(
+        &mut self,
+        exec: ExecutorId,
+        candidates: &[Candidate],
+        capacity: ByteSize,
+        strategy: SolveStrategy,
+        warm: Option<&PrevSolve>,
+        // audit: allow(decision-hash) keyed index, never iterated
+        index_of: &FxHashMap<BlockId, usize>,
+    ) -> (Vec<Pick>, Vec<BlockId>) {
         let (keep, order) = match strategy {
             SolveStrategy::Knapsack | SolveStrategy::Greedy => {
-                let items = knapsack_items(&candidates);
+                let items = knapsack_items(candidates);
                 let warm_start = warm.map(|p| {
                     let order = p.order.iter().filter_map(|id| index_of.get(id).copied()).collect();
                     let mut selection = vec![false; candidates.len()];
-                    for (c, &kept) in p.candidates.iter().zip(&p.keep) {
-                        if kept {
+                    for (c, &pick) in p.candidates.iter().zip(&p.picks) {
+                        if pick == Pick::Mem {
                             if let Some(&i) = index_of.get(&c.id) {
                                 selection[i] = true;
                             }
@@ -319,8 +386,8 @@ impl IncrementalOptimizer {
                 // Previous keep flags, re-aligned to the current slots.
                 let warm_keep = warm.map(|p| {
                     let mut flags = vec![false; candidates.len()];
-                    for (c, &kept) in p.candidates.iter().zip(&p.keep) {
-                        if kept {
+                    for (c, &pick) in p.candidates.iter().zip(&p.picks) {
+                        if pick == Pick::Mem {
                             if let Some(&i) = index_of.get(&c.id) {
                                 flags[i] = true;
                             }
@@ -330,18 +397,16 @@ impl IncrementalOptimizer {
                 });
                 let keep = if self.certify && !candidates.is_empty() {
                     let (keep, payload) =
-                        solve_exact_certified(&candidates, capacity, warm_keep.as_deref());
+                        solve_exact_certified(candidates, capacity, warm_keep.as_deref());
                     self.verify_inline(exec, payload);
                     keep
                 } else {
-                    solve_exact(&candidates, capacity, warm_keep.as_deref())
+                    solve_exact(candidates, capacity, warm_keep.as_deref())
                 };
                 (keep, Vec::new())
             }
         };
-        self.prev
-            .insert(exec, PrevSolve { capacity, strategy, candidates, keep: keep.clone(), order });
-        keep
+        (to_picks(&keep), order)
     }
 
     /// Certify-mode enforcement: verifies one emitted certificate and

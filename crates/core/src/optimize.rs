@@ -37,6 +37,10 @@ use blaze_solver::knapsack::{
     greedy_certificate, solve_knapsack, solve_knapsack_certified, KnapsackItem,
 };
 use blaze_solver::lp::Constraint;
+use blaze_solver::mckp::{
+    greedy_mckp_certificate, solve_mckp, solve_mckp_certified, solve_mckp_warm, MckpGroup,
+    MckpOption, MckpWarm,
+};
 
 /// How the per-executor state program is solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +72,12 @@ pub struct OptimizerConfig {
     /// `ExactIlp -> Knapsack -> Greedy -> LRU passthrough` per instance.
     /// `None` (the default) never degrades.
     pub solve_deadline: Option<SimDuration>,
+    /// Enables the serialized in-memory tier as a first-class decision
+    /// state: each candidate picks one of m/s/d/u via a multi-choice
+    /// knapsack (or the 4-variable Eq. 5–6 ILP) instead of the 0/1
+    /// keep-in-memory reduction. With the flag off (the default) the
+    /// decision path is byte-identical to the pre-s-tier solver.
+    pub ser_tier: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -77,6 +87,7 @@ impl Default for OptimizerConfig {
             strategy: SolveStrategy::Knapsack,
             disk_capacity: None,
             solve_deadline: None,
+            ser_tier: false,
         }
     }
 }
@@ -235,7 +246,26 @@ pub(crate) struct Candidate {
     /// transition costs the solver oscillates between equal-value subsets,
     /// paying real I/O every job (§4.3's chain reactions, in miniature).
     pub(crate) transition: SimDuration,
+    /// Full m/s/d transition row from the current state (`trans_to_<x>` is
+    /// the one-off cost of moving there now). Deterministic functions of
+    /// the fields above plus the hardware model, so `PartialEq`-based
+    /// incremental reuse stays sound; only consulted when
+    /// [`OptimizerConfig::ser_tier`] is on.
+    pub(crate) trans_to_m: SimDuration,
+    pub(crate) trans_to_s: SimDuration,
+    pub(crate) trans_to_d: SimDuration,
+    /// Per-access deserialization charge the s state pays on every read
+    /// within the window ([`CostModel::cost_s`]).
+    pub(crate) deser_access: SimDuration,
+    /// Footprint-scaled stored size the s state charges against memory.
+    pub(crate) ser_size: ByteSize,
     pub(crate) referenced: bool,
+    /// Number of references to this block within the decision window.
+    /// The multi-choice pricing multiplies per-access costs (deser for s,
+    /// recovery for d/u) by this count — what makes the s state's
+    /// pay-per-read trade-off visible at all. The legacy 0/1 path keeps
+    /// its historical binary `referenced` weighting.
+    pub(crate) window_refs: u32,
     pub(crate) state: PartitionState,
 }
 
@@ -263,13 +293,35 @@ pub(crate) fn gather_candidates(
         .collect();
     for (id, state) in cached {
         let Some(exec) = state.executor() else { continue };
-        let referenced = refs.refs_in_window(id.rdd, current_job, config.horizon_jobs) > 0;
+        let window_refs = refs.refs_in_window(id.rdd, current_job, config.horizon_jobs);
+        let referenced = window_refs > 0;
         let size = model.size(id);
         let ser = 1.0f64.max(lineage.node(id.rdd).map(|n| n.ser_factor).unwrap_or(1.0));
+        // Transition row from the current state. m->s and s->m convert in
+        // place; s<->d moves already-serialized bytes, so those legs skip
+        // the (de)serialization half of spill/fetch.
+        let (trans_to_m, trans_to_s, trans_to_d) = match state {
+            PartitionState::Memory(_) => {
+                (SimDuration::ZERO, hardware.ser_time(size, ser), hardware.spill_time(size, ser))
+            }
+            PartitionState::SerializedMemory(_) => {
+                (hardware.deser_time(size, ser), SimDuration::ZERO, hardware.disk_write_time(size))
+            }
+            PartitionState::Disk(_) => (
+                hardware.fetch_from_disk_time(size, ser),
+                hardware.disk_read_time(size),
+                SimDuration::ZERO,
+            ),
+            PartitionState::None => (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO),
+        };
+        // The legacy scalar keeps its historical form (the 0/1 path must
+        // stay byte-identical): leaving memory pays the spill, leaving disk
+        // pays the promotion read. SerializedMemory cannot occur with the
+        // s tier off; its scalar is the deserialization leg.
         let transition = match state {
-            PartitionState::Memory(_) => hardware.spill_time(size, ser),
-            PartitionState::Disk(_) => hardware.fetch_from_disk_time(size, ser),
-            PartitionState::None => blaze_common::SimDuration::ZERO,
+            PartitionState::Memory(_) => trans_to_d,
+            PartitionState::SerializedMemory(_) | PartitionState::Disk(_) => trans_to_m,
+            PartitionState::None => SimDuration::ZERO,
         };
         let candidate = Candidate {
             id,
@@ -277,7 +329,13 @@ pub(crate) fn gather_candidates(
             cost_d: model.cost_d(id),
             cost_r: model.cost_r(id),
             transition,
+            trans_to_m,
+            trans_to_s,
+            trans_to_d,
+            deser_access: model.cost_s(id),
+            ser_size: size.scale(hardware.ser_footprint),
             referenced,
+            window_refs,
             state,
         };
         per_exec.entry(exec).or_default().push(candidate);
@@ -288,22 +346,41 @@ pub(crate) fn gather_candidates(
     per_exec
 }
 
-/// Translates per-executor keep flags into state commands. Shared verbatim
-/// by the from-scratch and incremental paths, so identical keep-sets yield
+/// The solver's verdict for one candidate: deserialized in memory (m),
+/// serialized in memory (s), or out of memory (d/u — [`emit_commands`]
+/// picks between disk and unpersist per §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pick {
+    /// Keep (or promote) deserialized in memory.
+    Mem,
+    /// Keep (or move) serialized in memory.
+    Ser,
+    /// Out of memory: spill, leave on disk, or unpersist.
+    Out,
+}
+
+/// Lifts legacy 0/1 keep flags into the pick space (`true` -> m,
+/// `false` -> out), so both solve paths share one command emitter.
+pub(crate) fn to_picks(keep: &[bool]) -> Vec<Pick> {
+    keep.iter().map(|&k| if k { Pick::Mem } else { Pick::Out }).collect()
+}
+
+/// Translates per-executor picks into state commands. Shared verbatim
+/// by the from-scratch and incremental paths, so identical pick-sets yield
 /// identical command streams.
 ///
 /// `solved` must be in ascending executor order, each candidate vector
-/// sorted by id with `keep` aligned. Commands free space (spills and
-/// unpersists) before promotions consume it.
+/// sorted by id with `picks` aligned. Commands free space (spills,
+/// unpersists, and in-place serializations) before promotions consume it.
 pub(crate) fn emit_commands(
-    solved: &[(ExecutorId, Vec<Candidate>, Vec<bool>)],
+    solved: &[(ExecutorId, Vec<Candidate>, Vec<Pick>)],
     refs: &JobRefs,
     current_job: usize,
     config: &OptimizerConfig,
 ) -> Vec<StateCommand> {
     let mut commands = Vec::new();
     let mut promotions = Vec::new();
-    for (_exec, candidates, keep) in solved {
+    for (_exec, candidates, picks) in solved {
         // Eq. 6 extension: track the executor's disk budget while emitting
         // spills; once exhausted, further m->d transitions degrade to m->u
         // (the cheapest-saving spills are dropped first via ordering below).
@@ -321,11 +398,18 @@ pub(crate) fn emit_commands(
             bb.cmp(&ba).then(candidates[a].id.cmp(&candidates[b].id))
         });
         for i in spill_order {
-            let (c, keep_in_mem) = (&candidates[i], keep[i]);
-            match (c.state, keep_in_mem) {
-                (PartitionState::Memory(_), true) | (PartitionState::None, _) => {}
-                (PartitionState::Memory(_), false) => {
-                    // m -> d or m -> u: pick the cheaper recovery (§4.2),
+            let (c, pick) = (&candidates[i], picks[i]);
+            match (c.state, pick) {
+                (PartitionState::Memory(_), Pick::Mem)
+                | (PartitionState::SerializedMemory(_), Pick::Ser)
+                | (PartitionState::None, _) => {}
+                (PartitionState::Memory(_), Pick::Ser) => {
+                    // m -> s in place: shrinks the stored footprint without
+                    // disk I/O, so it goes with the space-freeing commands.
+                    commands.push(StateCommand::SerializeInMemory(c.id));
+                }
+                (PartitionState::Memory(_) | PartitionState::SerializedMemory(_), Pick::Out) => {
+                    // m/s -> d or -> u: pick the cheaper recovery (§4.2),
                     // considering any reference later in the application.
                     let used_later = refs.future_refs(c.id.rdd, current_job) > 0;
                     let fits_disk = match &mut disk_budget {
@@ -345,10 +429,18 @@ pub(crate) fn emit_commands(
                         commands.push(StateCommand::UnpersistBlock(c.id));
                     }
                 }
-                (PartitionState::Disk(_), true) => {
+                (PartitionState::SerializedMemory(_), Pick::Mem) => {
+                    // s -> m grows the stored footprint; run it with the
+                    // space-consuming promotions.
+                    promotions.push(StateCommand::DeserializeInMemory(c.id));
+                }
+                (PartitionState::Disk(_), Pick::Mem) => {
                     promotions.push(StateCommand::PromoteToMemory(c.id));
                 }
-                (PartitionState::Disk(_), false) => {
+                (PartitionState::Disk(_), Pick::Ser) => {
+                    promotions.push(StateCommand::PromoteToSerializedMemory(c.id));
+                }
+                (PartitionState::Disk(_), Pick::Out) => {
                     // d -> u when recomputing beats re-reading, or when the
                     // data has no references in the window and none later.
                     if !c.referenced && refs.future_refs(c.id.rdd, current_job) == 0 {
@@ -404,8 +496,12 @@ pub fn optimize_states_report(
         // this executor, and its blocks stay where they are (the engine's
         // recency eviction is the fallback policy under pressure).
         let Some(strategy) = ladder.pick(candidates.len()) else { continue };
-        let keep = solve_instance(&candidates, memory_capacity, strategy);
-        solved.push((exec, candidates, keep));
+        let picks = if config.ser_tier {
+            solve_instance_mc(&candidates, memory_capacity, strategy)
+        } else {
+            to_picks(&solve_instance(&candidates, memory_capacity, strategy))
+        };
+        solved.push((exec, candidates, picks));
     }
     (emit_commands(&solved, refs, current_job, config), ladder.report())
 }
@@ -442,9 +538,15 @@ pub fn optimize_states_with_certificates(
         // Passthrough instances emit neither commands nor a certificate —
         // there was no solve to certify.
         let Some(strategy) = ladder.pick(candidates.len()) else { continue };
-        let (keep, cert) = solve_instance_certified(exec, &candidates, memory_capacity, strategy);
+        let (picks, cert) = if config.ser_tier {
+            solve_instance_mc_certified(exec, &candidates, memory_capacity, strategy)
+        } else {
+            let (keep, cert) =
+                solve_instance_certified(exec, &candidates, memory_capacity, strategy);
+            (to_picks(&keep), cert)
+        };
         certs.push(cert);
-        solved.push((exec, candidates, keep));
+        solved.push((exec, candidates, picks));
     }
     (emit_commands(&solved, refs, current_job, config), certs, ladder.report())
 }
@@ -462,7 +564,12 @@ pub(crate) fn knapsack_items(candidates: &[Candidate]) -> Vec<KnapsackItem> {
             // Transition costs: a memory resident avoids a spill by
             // staying; a disk resident pays a read to be promoted.
             match c.state {
-                PartitionState::Memory(_) => value += c.transition.as_secs_f64(),
+                // SerializedMemory is unreachable with the s tier off (the
+                // only mode this 0/1 encoding runs in); like a memory
+                // resident, staying in memory avoids its exit transition.
+                PartitionState::Memory(_) | PartitionState::SerializedMemory(_) => {
+                    value += c.transition.as_secs_f64()
+                }
                 PartitionState::Disk(_) => value -= c.transition.as_secs_f64(),
                 PartitionState::None => {}
             }
@@ -533,8 +640,188 @@ pub(crate) fn solve_instance_certified(
             IlpOutcome::Solved { x, .. } => (0..candidates.len()).map(|i| x[3 * i]).collect(),
             _ => vec![false; candidates.len()],
         },
+        InstancePayload::MultiChoice { .. } | InstancePayload::MultiChoiceGreedy { .. } => {
+            unreachable!("the 0/1 certified solve never builds a multi-choice payload")
+        }
     };
     (keep, InstanceCertificate { executor, payload })
+}
+
+/// The multi-choice encoding of one executor's instance with the s tier
+/// enabled. Each candidate becomes one group `[zero, ser, mem]`:
+///
+/// - option 0 (zero) — out of memory, the feasibility anchor;
+/// - option 1 (ser) — serialized in memory at footprint-scaled weight,
+///   valued at `out_best - (ref·deser_access + trans_to_s)`;
+/// - option 2 (mem) — deserialized in memory at full weight, valued at
+///   `out_best - trans_to_m`;
+///
+/// where `out_best = min(ref·cost_d + trans_to_d, ref·cost_r)` is the
+/// cheapest out-of-memory objective. Maximizing summed savings under the
+/// memory capacity is then exactly the Eq. 5–6 minimization enlarged to
+/// m/s/d/u (see [`eq56_problem_mc`] — the two encodings differ by the
+/// constant `Σ out_best`), so all three strategies price states
+/// identically.
+pub(crate) fn mckp_groups(candidates: &[Candidate]) -> Vec<MckpGroup> {
+    candidates
+        .iter()
+        .map(|c| {
+            // Per-access costs are paid on every read in the window:
+            // without the multiplier, the s state's recurring deser charge
+            // would tie with the one-off s -> m deserialization and a
+            // packed block could never profitably be unpacked again.
+            let per_access = |cost: SimDuration| f64::from(c.window_refs) * cost.as_secs_f64();
+            let obj_m = c.trans_to_m.as_secs_f64();
+            let obj_s = per_access(c.deser_access) + c.trans_to_s.as_secs_f64();
+            let obj_d = per_access(c.cost_d) + c.trans_to_d.as_secs_f64();
+            let obj_u = per_access(c.cost_r);
+            let out_best = obj_d.min(obj_u);
+            MckpGroup {
+                options: vec![
+                    MckpOption { value: 0.0, weight: 0 },
+                    MckpOption { value: out_best - obj_s, weight: c.ser_size.as_bytes() },
+                    MckpOption { value: out_best - obj_m, weight: c.size.as_bytes() },
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Maps an MCKP per-group choice (0 = zero, 1 = ser, 2 = mem — the
+/// [`mckp_groups`] option layout) to picks.
+pub(crate) fn picks_of_choice(choice: &[usize]) -> Vec<Pick> {
+    choice
+        .iter()
+        .map(|&c| match c {
+            2 => Pick::Mem,
+            1 => Pick::Ser,
+            _ => Pick::Out,
+        })
+        .collect()
+}
+
+/// The inverse of [`picks_of_choice`], used to re-price a previous solve as
+/// a warm bound.
+pub(crate) fn choice_of_picks(picks: &[Pick]) -> Vec<usize> {
+    picks
+        .iter()
+        .map(|&p| match p {
+            Pick::Mem => 2,
+            Pick::Ser => 1,
+            Pick::Out => 0,
+        })
+        .collect()
+}
+
+/// Solves one executor's instance over the enlarged m/s/d/u space; returns
+/// one pick per candidate, aligned with `candidates`.
+pub(crate) fn solve_instance_mc(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    strategy: SolveStrategy,
+) -> Vec<Pick> {
+    match strategy {
+        SolveStrategy::Knapsack | SolveStrategy::Greedy => {
+            let groups = mckp_groups(candidates);
+            let budget = if strategy == SolveStrategy::Greedy { 1 } else { 0 };
+            picks_of_choice(&solve_mckp(&groups, capacity.as_bytes(), budget).choice)
+        }
+        SolveStrategy::ExactIlp => solve_exact_mc(candidates, capacity, None),
+    }
+}
+
+/// [`solve_instance_mc`] with a warm-start hint (a previous pick vector
+/// re-aligned to the current slots). Decision-identical to the cold solve:
+/// warm bounds only prune (see [`MckpWarm`] / [`IlpProblem::warm`]).
+pub(crate) fn solve_instance_mc_warm(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    strategy: SolveStrategy,
+    warm_picks: Option<&[Pick]>,
+) -> Vec<Pick> {
+    match strategy {
+        SolveStrategy::Knapsack | SolveStrategy::Greedy => {
+            let groups = mckp_groups(candidates);
+            let budget = if strategy == SolveStrategy::Greedy { 1 } else { 0 };
+            let warm = warm_picks.map(|p| MckpWarm { choice: choice_of_picks(p) });
+            let sol = solve_mckp_warm(&groups, capacity.as_bytes(), budget, warm.as_ref());
+            picks_of_choice(&sol.choice)
+        }
+        SolveStrategy::ExactIlp => solve_exact_mc(candidates, capacity, warm_picks),
+    }
+}
+
+/// [`solve_instance_mc`] with certificate emission: same picks, plus the
+/// instance/answer/proof bundle `blaze_certify::verify_instance` checks.
+///
+/// An empty `ExactIlp` instance has no program to encode, so it is
+/// certified through the (trivially equivalent) multi-choice payload.
+pub(crate) fn solve_instance_mc_certified(
+    executor: ExecutorId,
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    strategy: SolveStrategy,
+) -> (Vec<Pick>, InstanceCertificate) {
+    let (picks, payload) = solve_instance_mc_certified_warm(candidates, capacity, strategy, None);
+    (picks, InstanceCertificate { executor, payload })
+}
+
+/// Certified multi-choice solve with an optional warm hint; shared by the
+/// from-scratch and incremental certify paths.
+pub(crate) fn solve_instance_mc_certified_warm(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    strategy: SolveStrategy,
+    warm_picks: Option<&[Pick]>,
+) -> (Vec<Pick>, InstancePayload) {
+    match strategy {
+        SolveStrategy::Greedy => {
+            let groups = mckp_groups(candidates);
+            let solution = solve_mckp(&groups, capacity.as_bytes(), 1);
+            let cert = greedy_mckp_certificate(&groups, capacity.as_bytes(), &solution);
+            let picks = picks_of_choice(&solution.choice);
+            (
+                picks,
+                InstancePayload::MultiChoiceGreedy {
+                    groups,
+                    capacity: capacity.as_bytes(),
+                    solution,
+                    cert,
+                },
+            )
+        }
+        SolveStrategy::Knapsack => {
+            let groups = mckp_groups(candidates);
+            let warm = warm_picks.map(|p| MckpWarm { choice: choice_of_picks(p) });
+            let (solution, cert) =
+                solve_mckp_certified(&groups, capacity.as_bytes(), 0, warm.as_ref());
+            let picks = picks_of_choice(&solution.choice);
+            (
+                picks,
+                InstancePayload::MultiChoice {
+                    groups,
+                    capacity: capacity.as_bytes(),
+                    solution,
+                    cert,
+                },
+            )
+        }
+        SolveStrategy::ExactIlp if !candidates.is_empty() => {
+            solve_exact_mc_certified(candidates, capacity, warm_picks)
+        }
+        SolveStrategy::ExactIlp => {
+            let (solution, cert) = solve_mckp_certified(&[], capacity.as_bytes(), 0, None);
+            (
+                Vec::new(),
+                InstancePayload::MultiChoice {
+                    groups: Vec::new(),
+                    capacity: capacity.as_bytes(),
+                    solution,
+                    cert,
+                },
+            )
+        }
+    }
 }
 
 /// The literal Eq. 5–6 program over `[m_0, d_0, u_0, m_1, ...]` binaries.
@@ -559,6 +846,12 @@ fn eq56_problem(
                 // Leaving memory pays the spill either way (d writes it,
                 // u at least wastes the already-spent... no: u is free to
                 // drop, d pays the spill). Model: d pays the spill.
+                objective[3 * i + 1] += c.transition.as_secs_f64();
+            }
+            PartitionState::SerializedMemory(_) => {
+                // Unreachable with the s tier off — the only mode this
+                // 3-state encoding runs in; priced like a memory resident
+                // for totality.
                 objective[3 * i + 1] += c.transition.as_secs_f64();
             }
             PartitionState::Disk(_) => {
@@ -644,6 +937,122 @@ pub(crate) fn solve_exact_certified(
     (keep, InstancePayload::Ilp { problem, outcome, cert })
 }
 
+/// The Eq. 5–6 program enlarged to the m/s/d/u space, over
+/// `[m_0, s_0, d_0, u_0, m_1, ...]` binaries: the s column pays the
+/// windowed deserialization charge plus its transition, and occupies only
+/// the footprint-scaled size in the capacity row.
+fn eq56_problem_mc(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    warm_picks: Option<&[Pick]>,
+) -> IlpProblem {
+    let n = candidates.len();
+    let nv = 4 * n;
+    let mut objective = vec![0.0; nv];
+    let mut constraints = Vec::with_capacity(n + 1);
+    let mut cap_row = vec![0.0; nv];
+    for (i, c) in candidates.iter().enumerate() {
+        // Per-access costs scale with the window reference count, exactly
+        // as in [`mckp_groups`] (the two encodings must price identically
+        // for the exact and B&B strategies to agree).
+        let accesses = f64::from(c.window_refs);
+        objective[4 * i] = c.trans_to_m.as_secs_f64();
+        objective[4 * i + 1] = accesses * c.deser_access.as_secs_f64() + c.trans_to_s.as_secs_f64();
+        objective[4 * i + 2] = accesses * c.cost_d.as_secs_f64() + c.trans_to_d.as_secs_f64();
+        objective[4 * i + 3] = accesses * c.cost_r.as_secs_f64();
+        // m_i + s_i + d_i + u_i = 1.
+        let mut row = vec![0.0; nv];
+        for k in 0..4 {
+            row[4 * i + k] = 1.0;
+        }
+        constraints.push(Constraint::eq(row, 1.0));
+        // audit: allow(float-cast) byte sizes are < 2^53 and exactly representable
+        cap_row[4 * i] = c.size.as_bytes() as f64;
+        // audit: allow(float-cast) byte sizes are < 2^53 and exactly representable
+        cap_row[4 * i + 1] = c.ser_size.as_bytes() as f64;
+    }
+    // audit: allow(float-cast) byte sizes are < 2^53 and exactly representable
+    constraints.push(Constraint::le(cap_row, capacity.as_bytes() as f64));
+    // Expand previous picks to (m, s, d, u): in-memory picks take their
+    // column; out picks take whichever of d/u has the lower objective
+    // coefficient (a feasible completion — the bound only has to be valid).
+    let warm = warm_picks.filter(|w| w.len() == n).map(|w| {
+        let mut x = vec![false; nv];
+        for (i, &pick) in w.iter().enumerate() {
+            match pick {
+                Pick::Mem => x[4 * i] = true,
+                Pick::Ser => x[4 * i + 1] = true,
+                Pick::Out => {
+                    if objective[4 * i + 2] <= objective[4 * i + 3] {
+                        x[4 * i + 2] = true;
+                    } else {
+                        x[4 * i + 3] = true;
+                    }
+                }
+            }
+        }
+        x
+    });
+    IlpProblem { objective, constraints, node_budget: 200_000, warm }
+}
+
+/// Solves the enlarged Eq. 5–6 encoding; returns one pick per candidate.
+pub(crate) fn solve_exact_mc(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    warm_picks: Option<&[Pick]>,
+) -> Vec<Pick> {
+    let n = candidates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let problem = eq56_problem_mc(candidates, capacity, warm_picks);
+    match solve_binary(&problem) {
+        Ok(IlpOutcome::Solved { x, .. }) => picks_of_x(&x, n),
+        // Infeasibility cannot happen (u_i = 1 for all i is feasible), but
+        // degrade to "evict everything" rather than panic.
+        _ => vec![Pick::Out; n],
+    }
+}
+
+/// [`solve_exact_mc`] with certificate emission. `candidates` must be
+/// non-empty.
+pub(crate) fn solve_exact_mc_certified(
+    candidates: &[Candidate],
+    capacity: ByteSize,
+    warm_picks: Option<&[Pick]>,
+) -> (Vec<Pick>, InstancePayload) {
+    let n = candidates.len();
+    let problem = eq56_problem_mc(candidates, capacity, warm_picks);
+    let (outcome, cert) = match solve_binary_certified(&problem) {
+        Ok(pair) => pair,
+        // Unreachable for well-formed programs; mirror the plain path's
+        // "evict everything" degradation with an empty (and thus
+        // failing-to-verify) certificate rather than panic.
+        Err(_) => (IlpOutcome::Infeasible, Default::default()),
+    };
+    let picks = match &outcome {
+        IlpOutcome::Solved { x, .. } => picks_of_x(x, n),
+        _ => vec![Pick::Out; n],
+    };
+    (picks, InstancePayload::Ilp { problem, outcome, cert })
+}
+
+/// Reads picks out of a 4-variable-per-candidate ILP assignment.
+fn picks_of_x(x: &[bool], n: usize) -> Vec<Pick> {
+    (0..n)
+        .map(|i| {
+            if x[4 * i] {
+                Pick::Mem
+            } else if x[4 * i + 1] {
+                Pick::Ser
+            } else {
+                Pick::Out
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -664,7 +1073,13 @@ mod tests {
             cost_d: SimDuration::from_millis(cost_d_ms),
             cost_r: SimDuration::from_millis(cost_r_ms),
             transition: SimDuration::ZERO,
+            trans_to_m: SimDuration::ZERO,
+            trans_to_s: SimDuration::ZERO,
+            trans_to_d: SimDuration::ZERO,
+            deser_access: SimDuration::ZERO,
+            ser_size: ByteSize::from_kib(size_kib).scale(0.6),
             referenced,
+            window_refs: u32::from(referenced),
             state: if in_memory {
                 PartitionState::Memory(ExecutorId(exec))
             } else {
@@ -715,6 +1130,144 @@ mod tests {
                 assert!(w <= cap.as_bytes());
             }
         }
+    }
+
+    /// An mc-space candidate with explicit s-state pricing.
+    #[allow(clippy::too_many_arguments)]
+    fn cand_mc(
+        rdd: u32,
+        size_kib: u64,
+        ser_kib: u64,
+        cost_d_ms: u64,
+        cost_r_ms: u64,
+        deser_ms: u64,
+        state: PartitionState,
+    ) -> Candidate {
+        Candidate {
+            id: BlockId::new(RddId(rdd), 0),
+            size: ByteSize::from_kib(size_kib),
+            cost_d: SimDuration::from_millis(cost_d_ms),
+            cost_r: SimDuration::from_millis(cost_r_ms),
+            transition: SimDuration::ZERO,
+            trans_to_m: SimDuration::ZERO,
+            trans_to_s: SimDuration::ZERO,
+            trans_to_d: SimDuration::ZERO,
+            deser_access: SimDuration::from_millis(deser_ms),
+            ser_size: ByteSize::from_kib(ser_kib),
+            referenced: true,
+            window_refs: 1,
+            state,
+        }
+    }
+
+    /// Objective value of a pick vector under the mc group pricing.
+    fn mc_value(candidates: &[Candidate], picks: &[Pick]) -> f64 {
+        let groups = mckp_groups(candidates);
+        picks
+            .iter()
+            .zip(&groups)
+            .map(|(&p, g)| match p {
+                Pick::Mem => g.options[2].value,
+                Pick::Ser => g.options[1].value,
+                Pick::Out => 0.0,
+            })
+            .sum()
+    }
+
+    fn mc_weight(candidates: &[Candidate], picks: &[Pick]) -> u64 {
+        picks
+            .iter()
+            .zip(candidates)
+            .map(|(&p, c)| match p {
+                Pick::Mem => c.size.as_bytes(),
+                Pick::Ser => c.ser_size.as_bytes(),
+                Pick::Out => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn mc_knapsack_and_exact_ilp_agree() {
+        let m = PartitionState::Memory(ExecutorId(0));
+        let candidates = vec![
+            cand_mc(1, 100, 60, 50, 200, 5, m),
+            cand_mc(2, 80, 30, 300, 100, 40, m),
+            cand_mc(3, 60, 50, 20, 10, 1, m),
+            cand_mc(4, 50, 20, 400, 500, 2, PartitionState::Disk(ExecutorId(0))),
+        ];
+        for cap_kib in [40u64, 90, 150, 300] {
+            let cap = ByteSize::from_kib(cap_kib);
+            let k = solve_instance_mc(&candidates, cap, SolveStrategy::Knapsack);
+            let e = solve_instance_mc(&candidates, cap, SolveStrategy::ExactIlp);
+            assert!(
+                (mc_value(&candidates, &k) - mc_value(&candidates, &e)).abs() < 1e-9,
+                "mc strategies disagree at cap {cap_kib}: knapsack {k:?} vs exact {e:?}"
+            );
+            for picks in [&k, &e] {
+                assert!(mc_weight(&candidates, picks) <= cap.as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn mc_picks_serialized_when_only_the_packed_form_fits() {
+        // Full size 100 KiB, packed 50 KiB, capacity 60 KiB: m does not fit,
+        // and the deser charge (5 ms) is far below recompute (500 ms) and
+        // disk (400 ms), so s wins over out.
+        let candidates =
+            vec![cand_mc(1, 100, 50, 400, 500, 5, PartitionState::Memory(ExecutorId(0)))];
+        for strategy in [SolveStrategy::Knapsack, SolveStrategy::ExactIlp, SolveStrategy::Greedy] {
+            let picks = solve_instance_mc(&candidates, ByteSize::from_kib(60), strategy);
+            assert_eq!(picks, vec![Pick::Ser], "{strategy:?} must choose the s state");
+        }
+    }
+
+    #[test]
+    fn mc_warm_start_is_decision_identical() {
+        let m = PartitionState::Memory(ExecutorId(0));
+        let candidates = vec![
+            cand_mc(1, 100, 60, 50, 200, 5, m),
+            cand_mc(2, 80, 30, 300, 100, 40, m),
+            cand_mc(3, 60, 50, 20, 10, 1, PartitionState::SerializedMemory(ExecutorId(0))),
+        ];
+        let cap = ByteSize::from_kib(120);
+        for strategy in [SolveStrategy::Knapsack, SolveStrategy::ExactIlp] {
+            let cold = solve_instance_mc(&candidates, cap, strategy);
+            for warm in [vec![Pick::Out; 3], vec![Pick::Ser; 3], cold.clone()] {
+                let warmed = solve_instance_mc_warm(&candidates, cap, strategy, Some(&warm));
+                assert_eq!(cold, warmed, "{strategy:?} warm start changed the answer");
+            }
+        }
+    }
+
+    #[test]
+    fn emit_commands_maps_mc_picks_to_tier_transitions() {
+        let e = ExecutorId(0);
+        let candidates = vec![
+            cand_mc(1, 10, 6, 10, 500, 1, PartitionState::Memory(e)),
+            cand_mc(2, 10, 6, 10, 500, 1, PartitionState::SerializedMemory(e)),
+            cand_mc(3, 10, 6, 10, 500, 1, PartitionState::Disk(e)),
+            cand_mc(4, 10, 6, 10, 500, 1, PartitionState::SerializedMemory(e)),
+        ];
+        let picks = vec![Pick::Ser, Pick::Mem, Pick::Ser, Pick::Ser];
+        let solved = vec![(e, candidates.clone(), picks)];
+        // References are irrelevant for these arms; an empty plan yields
+        // zero refs everywhere.
+        let ctx = blaze_dataflow::Context::new(blaze_dataflow::runner::LocalRunner::new());
+        let refs = crate::refs::JobRefs::build(&ctx.plan().read(), &[]);
+        let cmds = emit_commands(&solved, &refs, 0, &OptimizerConfig::default());
+        let a = candidates[0].id;
+        let b = candidates[1].id;
+        let c = candidates[2].id;
+        assert!(cmds.contains(&StateCommand::SerializeInMemory(a)), "m->s missing: {cmds:?}");
+        assert!(cmds.contains(&StateCommand::DeserializeInMemory(b)), "s->m missing: {cmds:?}");
+        assert!(
+            cmds.contains(&StateCommand::PromoteToSerializedMemory(c)),
+            "d->s missing: {cmds:?}"
+        );
+        // s->s is a no-op; 3 commands total, space-freeing before promotions.
+        assert_eq!(cmds.len(), 3);
+        assert_eq!(cmds[0], StateCommand::SerializeInMemory(a));
     }
 
     #[test]

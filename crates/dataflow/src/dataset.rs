@@ -65,8 +65,12 @@ impl<T: Data> Dataset<T> {
     }
 
     /// Sets the relative serialization cost of this dataset's element type.
+    ///
+    /// The value is stored verbatim: a negative or non-finite factor is a
+    /// construction bug that the preflight audit rejects (`BA009`) instead of
+    /// being silently clamped here.
     pub fn with_ser_factor(self, factor: f64) -> Self {
-        self.ctx.plan().write().node_mut(self.id).expect("own id").ser_factor = factor.max(0.0);
+        self.ctx.plan().write().node_mut(self.id).expect("own id").ser_factor = factor;
         self
     }
 

@@ -41,7 +41,8 @@
 
 use crate::config::ClusterConfig;
 use crate::controller::{
-    Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, VictimAction,
+    Admission, BlockInfo, CacheController, CtrlCtx, PartitionEvent, StateCommand, StoreTier,
+    VictimAction,
 };
 use crate::fault::{FaultCause, SPECULATION_QUANTILE, SPECULATION_SLACK};
 use crate::metrics::{Metrics, TaskCharge};
@@ -215,8 +216,11 @@ enum TaskEvent {
     /// in index order through the deterministic commit.
     Failed { attempt: u32, cause: FaultCause, wasted: SimDuration },
     /// Served from a memory store (local or remote); `bytes` is the
-    /// block's logical size (trace reporting).
-    MemHit { id: BlockId, bytes: ByteSize },
+    /// block's logical size (trace reporting). `serialized` marks a hit on
+    /// an s-state block (the reader paid a deserialization); always false
+    /// under the store-global Alluxio mode, which prices hits without
+    /// per-block state.
+    MemHit { id: BlockId, bytes: ByteSize, serialized: bool },
     /// Served from a disk store; `info.executor` is where it was found.
     DiskHit { info: BlockInfo, block: Block },
     /// Computed (or recomputed) from lineage; `depth` is how deep below
@@ -324,13 +328,18 @@ impl<'a> TaskCtx<'a> {
         let e = exec.raw() as usize;
         let view = self.view;
 
-        // 1. Local memory hit.
+        // 1. Local memory hit. An s-state block (or any block under the
+        // store-global Alluxio mode) is read through a deserialization.
         if let Some(sb) = view.stores.mem[e].get(id) {
-            if view.serialized_in_memory {
+            if view.serialized_in_memory || sb.serialized {
                 self.charge.external_store_io +=
                     view.config.hardware.deser_time(sb.logical_bytes, sb.ser_factor);
             }
-            self.events.push(TaskEvent::MemHit { id, bytes: sb.logical_bytes });
+            self.events.push(TaskEvent::MemHit {
+                id,
+                bytes: sb.logical_bytes,
+                serialized: sb.serialized,
+            });
             return Ok(sb.block.clone());
         }
 
@@ -341,7 +350,15 @@ impl<'a> TaskCtx<'a> {
                 if let Some(sb) = view.stores.mem[h.raw() as usize].get(id) {
                     self.charge.shuffle_fetch +=
                         view.config.hardware.network_time(sb.logical_bytes);
-                    self.events.push(TaskEvent::MemHit { id, bytes: sb.logical_bytes });
+                    if sb.serialized {
+                        self.charge.external_store_io +=
+                            view.config.hardware.deser_time(sb.logical_bytes, sb.ser_factor);
+                    }
+                    self.events.push(TaskEvent::MemHit {
+                        id,
+                        bytes: sb.logical_bytes,
+                        serialized: sb.serialized,
+                    });
                     return Ok(sb.block.clone());
                 }
             }
@@ -1122,17 +1139,24 @@ impl ClusterState {
                         });
                     }
                 }
-                TaskEvent::MemHit { id, bytes } => {
+                TaskEvent::MemHit { id, bytes, serialized } => {
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_access(&ctx, id);
                     self.metrics.mem_hits += 1;
+                    if serialized {
+                        self.metrics.ser_mem_hits += 1;
+                    }
                     if let Some(tr) = self.trace.as_mut() {
                         tr.record(TraceEvent::Cache(CacheRecord {
                             at: t0,
                             executor: exec,
                             id,
                             bytes,
-                            decision: CacheDecision::HitMemory,
+                            decision: if serialized {
+                                CacheDecision::HitSerializedMemory
+                            } else {
+                                CacheDecision::HitMemory
+                            },
                             rationale: None,
                         }));
                     }
@@ -1570,13 +1594,16 @@ impl ClusterState {
                     logical_bytes: info.bytes,
                     stored_bytes: footprint,
                     ser_factor: info.ser_factor,
+                    // Fresh productions always land deserialized (state m);
+                    // state s is entered only via solver commands.
+                    serialized: false,
                     checksum: None,
                 },
             );
             debug_assert!(ok);
             self.stores.block_home.insert(info.id, exec);
             let ctx = self.ctrl_ctx(self.clock_floor);
-            self.controller.on_inserted(&ctx, info, false);
+            self.controller.on_inserted(&ctx, info, StoreTier::Memory);
             if fresh && self.trace.is_some() {
                 let why = self.controller.explain_block(info.id);
                 if let Some(tr) = self.trace.as_mut() {
@@ -1634,17 +1661,24 @@ impl ClusterState {
         let ctx = self.ctrl_ctx(self.clock_floor);
         self.controller.on_evicted(&ctx, vid);
         if action == VictimAction::ToDisk {
-            charge.disk_cache_write +=
-                self.config.hardware.spill_time(sb.logical_bytes, sb.ser_factor);
+            // An s-state victim is already in serialized form: spilling it
+            // pays only the raw disk write, not a second serialization.
+            charge.disk_cache_write += if sb.serialized {
+                self.config.hardware.disk_write_time(sb.logical_bytes)
+            } else {
+                self.config.hardware.spill_time(sb.logical_bytes, sb.ser_factor)
+            };
             let logical = sb.logical_bytes;
             let checksum = self.stamp_spill(vid, logical, sb.ser_factor);
-            let inserted = self.stores.disk[e]
-                .insert(vid, StoredBlock { stored_bytes: logical, checksum, ..sb });
+            let inserted = self.stores.disk[e].insert(
+                vid,
+                StoredBlock { stored_bytes: logical, serialized: false, checksum, ..sb },
+            );
             if inserted {
                 self.metrics.disk_bytes_written += logical;
                 let info = BlockInfo { id: vid, bytes: logical, ser_factor: 1.0, executor: exec };
                 let ctx = self.ctrl_ctx(self.clock_floor);
-                self.controller.on_inserted(&ctx, &info, true);
+                self.controller.on_inserted(&ctx, &info, StoreTier::Disk);
             }
         }
     }
@@ -1667,6 +1701,7 @@ impl ClusterState {
             logical_bytes: info.bytes,
             stored_bytes: info.bytes,
             ser_factor: info.ser_factor,
+            serialized: false,
             checksum: self.stamp_spill(info.id, info.bytes, info.ser_factor),
         };
         if self.stores.disk[e].insert(info.id, stored) {
@@ -1674,7 +1709,7 @@ impl ClusterState {
             self.metrics.disk_bytes_written += info.bytes;
             self.stores.block_home.insert(info.id, exec);
             let ctx = self.ctrl_ctx(self.clock_floor);
-            self.controller.on_inserted(&ctx, info, true);
+            self.controller.on_inserted(&ctx, info, StoreTier::Disk);
             if let Some(tr) = self.trace.as_mut() {
                 tr.record(TraceEvent::Cache(CacheRecord {
                     at: trace_at,
@@ -1803,7 +1838,7 @@ impl ClusterState {
                     let ok = self.stores.mem[e].insert(id, StoredBlock { checksum: None, ..sb });
                     debug_assert!(ok);
                     let ctx = self.ctrl_ctx(self.clock_floor);
-                    self.controller.on_inserted(&ctx, &info, false);
+                    self.controller.on_inserted(&ctx, &info, StoreTier::Memory);
                     if fresh {
                         if let Some(tr) = self.trace.as_mut() {
                             tr.record(TraceEvent::Cache(CacheRecord {
@@ -1818,6 +1853,132 @@ impl ClusterState {
                     }
                     // Prefetch overlaps with computation (MRD's design):
                     // record the I/O but do not block a slot.
+                    self.metrics.accumulated.disk_cache_read += charge.disk_cache_read;
+                }
+                StateCommand::SerializeInMemory(id) => {
+                    let Some(e) =
+                        (0..self.config.executors).find(|&e| self.stores.mem[e].contains(id))
+                    else {
+                        continue;
+                    };
+                    let Some(sb) = self.stores.mem[e].get(id).cloned() else { continue };
+                    if sb.serialized {
+                        continue;
+                    }
+                    let scaled = sb.logical_bytes.scale(self.config.hardware.ser_footprint);
+                    let mut charge = TaskCharge::default();
+                    charge.external_store_io +=
+                        self.config.hardware.ser_time(sb.logical_bytes, sb.ser_factor);
+                    let logical = sb.logical_bytes;
+                    // In-place compaction m -> s: shrinking never fails the
+                    // capacity check, and the replacement re-accounts.
+                    let ok = self.stores.mem[e]
+                        .insert(id, StoredBlock { stored_bytes: scaled, serialized: true, ..sb });
+                    debug_assert!(ok);
+                    self.metrics.ser_transitions += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceEvent::Cache(CacheRecord {
+                            at,
+                            executor: ExecutorId(e as u32),
+                            id,
+                            bytes: logical,
+                            decision: CacheDecision::SerializeInMemory,
+                            rationale: None,
+                        }));
+                    }
+                    self.charge_migration(ExecutorId(e as u32), &charge);
+                }
+                StateCommand::DeserializeInMemory(id) => {
+                    let Some(e) =
+                        (0..self.config.executors).find(|&e| self.stores.mem[e].contains(id))
+                    else {
+                        continue;
+                    };
+                    let Some(sb) = self.stores.mem[e].get(id).cloned() else { continue };
+                    if !sb.serialized {
+                        continue;
+                    }
+                    let logical = sb.logical_bytes;
+                    // Best effort: expanding back to the full footprint must
+                    // fit (the replacement frees the scaled bytes first).
+                    if self.stores.mem[e].free() + sb.stored_bytes < logical {
+                        continue;
+                    }
+                    let mut charge = TaskCharge::default();
+                    charge.external_store_io +=
+                        self.config.hardware.deser_time(logical, sb.ser_factor);
+                    let ok = self.stores.mem[e]
+                        .insert(id, StoredBlock { stored_bytes: logical, serialized: false, ..sb });
+                    debug_assert!(ok);
+                    self.metrics.ser_transitions += 1;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.record(TraceEvent::Cache(CacheRecord {
+                            at,
+                            executor: ExecutorId(e as u32),
+                            id,
+                            bytes: logical,
+                            decision: CacheDecision::DeserializeInMemory,
+                            rationale: None,
+                        }));
+                    }
+                    self.charge_migration(ExecutorId(e as u32), &charge);
+                }
+                StateCommand::PromoteToSerializedMemory(id) => {
+                    let Some(e) =
+                        (0..self.config.executors).find(|&e| self.stores.disk[e].contains(id))
+                    else {
+                        continue;
+                    };
+                    let Some(sb) = self.stores.disk[e].get(id).cloned() else { continue };
+                    // Same corruption gate as PromoteToMemory.
+                    if sb
+                        .checksum
+                        .is_some_and(|ck| ck != spill_checksum(id, sb.logical_bytes, sb.ser_factor))
+                    {
+                        self.quarantine_spill(ExecutorId(e as u32), id, sb.logical_bytes, at);
+                        continue;
+                    }
+                    let scaled = sb.logical_bytes.scale(self.config.hardware.ser_footprint);
+                    if !self.stores.mem[e].fits(scaled) {
+                        continue; // Best effort, like PromoteToMemory.
+                    }
+                    self.stores.disk[e].remove(id);
+                    // d -> s moves the already-serialized bytes: a raw disk
+                    // read, no deserialization leg.
+                    let mut charge = TaskCharge::default();
+                    charge.disk_cache_read += self.config.hardware.disk_read_time(sb.logical_bytes);
+                    let info = BlockInfo {
+                        id,
+                        bytes: sb.logical_bytes,
+                        ser_factor: sb.ser_factor,
+                        executor: ExecutorId(e as u32),
+                    };
+                    let fresh = !self.stores.mem[e].contains(id);
+                    let ok = self.stores.mem[e].insert(
+                        id,
+                        StoredBlock {
+                            stored_bytes: scaled,
+                            serialized: true,
+                            checksum: None,
+                            ..sb
+                        },
+                    );
+                    debug_assert!(ok);
+                    let ctx = self.ctrl_ctx(self.clock_floor);
+                    self.controller.on_inserted(&ctx, &info, StoreTier::SerializedMemory);
+                    self.metrics.ser_transitions += 1;
+                    if fresh {
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.record(TraceEvent::Cache(CacheRecord {
+                                at,
+                                executor: info.executor,
+                                id,
+                                bytes: info.bytes,
+                                decision: CacheDecision::PromoteToSerializedMemory,
+                                rationale: None,
+                            }));
+                        }
+                    }
                     self.metrics.accumulated.disk_cache_read += charge.disk_cache_read;
                 }
             }
@@ -2141,8 +2302,8 @@ mod tests {
         fn explain_block(&self, id: BlockId) -> Option<String> {
             self.order.iter().position(|o| *o == id).map(|p| format!("lru: position {p}"))
         }
-        fn on_inserted(&mut self, _: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-            if !to_disk && !self.order.contains(&info.id) {
+        fn on_inserted(&mut self, _: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+            if tier.in_memory() && !self.order.contains(&info.id) {
                 self.order.push(info.id);
             }
         }

@@ -26,6 +26,10 @@ pub struct HardwareModel {
     pub deser_bps: f64,
     /// Per-executor effective network throughput in bytes/second.
     pub network_bps: f64,
+    /// Footprint factor of the serialized in-memory representation: an
+    /// s-state block occupies `logical_bytes × ser_footprint` in the memory
+    /// store (Alluxio-style packed bytes, §7.2). Must be in (0, 1].
+    pub ser_footprint: f64,
 }
 
 impl Default for HardwareModel {
@@ -39,19 +43,30 @@ impl Default for HardwareModel {
             ser_bps: 120.0e6,
             deser_bps: 160.0e6,
             network_bps: 1.0e9,
+            // Packed serialized rows are ~40% smaller than the object graph
+            // (§7.2's Alluxio regime).
+            ser_footprint: 0.6,
         }
     }
 }
 
 impl HardwareModel {
     /// Time to serialize `bytes` of data with the given type factor.
+    ///
+    /// A negative `ser_factor` is a plan-construction bug: it is rejected at
+    /// preflight by the `BA009` audit, so it must never reach cost math,
+    /// where it would produce negative durations.
     pub fn ser_time(&self, bytes: ByteSize, ser_factor: f64) -> SimDuration {
-        SimDuration::from_secs_f64(bytes.as_bytes() as f64 * ser_factor.max(0.0) / self.ser_bps)
+        debug_assert!(ser_factor >= 0.0, "negative ser_factor {ser_factor} reached ser_time");
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 * ser_factor / self.ser_bps)
     }
 
     /// Time to deserialize `bytes` of data with the given type factor.
+    ///
+    /// See [`Self::ser_time`] on why `ser_factor` is not clamped here.
     pub fn deser_time(&self, bytes: ByteSize, ser_factor: f64) -> SimDuration {
-        SimDuration::from_secs_f64(bytes.as_bytes() as f64 * ser_factor.max(0.0) / self.deser_bps)
+        debug_assert!(ser_factor >= 0.0, "negative ser_factor {ser_factor} reached deser_time");
+        SimDuration::from_secs_f64(bytes.as_bytes() as f64 * ser_factor / self.deser_bps)
     }
 
     /// Time to write `bytes` to disk (raw I/O, excluding serialization).
@@ -168,6 +183,10 @@ impl ClusterConfig {
                 return Err(BlazeError::Config(format!("{name} must be positive, got {v}")));
             }
         }
+        let fp = hw.ser_footprint;
+        if !fp.is_finite() || fp <= 0.0 || fp > 1.0 {
+            return Err(BlazeError::Config(format!("ser_footprint must be in (0, 1], got {fp}")));
+        }
         self.fault.validate(self.executors)?;
         Ok(())
     }
@@ -205,6 +224,13 @@ mod tests {
         assert!(c.validate().is_err());
         let c = ClusterConfig { worker_threads: 0, ..Default::default() };
         assert!(c.validate().is_err());
+        for bad in [0.0, -0.3, 1.5, f64::NAN] {
+            let c = ClusterConfig {
+                hardware: HardwareModel { ser_footprint: bad, ..Default::default() },
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "ser_footprint {bad} must be rejected");
+        }
     }
 
     #[test]

@@ -74,6 +74,37 @@ pub enum StateCommand {
     SpillToDisk(BlockId),
     /// Move one disk-resident block into memory if it fits (d -> m).
     PromoteToMemory(BlockId),
+    /// Serialize a memory-resident block in place (m -> s): the block stays
+    /// in the memory store at its footprint-scaled size, and later accesses
+    /// pay a deserialization. Emitted only by serialized-tier decision
+    /// paths (`ser_tier`).
+    SerializeInMemory(BlockId),
+    /// Deserialize a serialized-memory block in place if the full size fits
+    /// (s -> m).
+    DeserializeInMemory(BlockId),
+    /// Move one disk-resident block into memory in serialized form if its
+    /// footprint fits (d -> s); pays a disk read but no deserialization.
+    PromoteToSerializedMemory(BlockId),
+}
+
+/// Which tier of an executor's store a block entered, as reported to
+/// [`CacheController::on_inserted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreTier {
+    /// The memory store, deserialized (full logical footprint).
+    Memory,
+    /// The memory store, serialized (footprint-scaled size; accesses pay a
+    /// deserialization).
+    SerializedMemory,
+    /// The disk store.
+    Disk,
+}
+
+impl StoreTier {
+    /// True for both memory tiers (they share the memory store's capacity).
+    pub fn in_memory(self) -> bool {
+        matches!(self, StoreTier::Memory | StoreTier::SerializedMemory)
+    }
 }
 
 /// What the solver degradation ladder did for one job's decision solve
@@ -187,8 +218,8 @@ pub trait CacheController: Send {
         None
     }
 
-    /// A block entered a store (`to_disk` false = memory tier).
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, _info: &BlockInfo, _to_disk: bool) {}
+    /// A block entered a store at the given tier.
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, _info: &BlockInfo, _tier: StoreTier) {}
 
     /// A block left the memory store (evicted, spilled or unpersisted).
     fn on_evicted(&mut self, _ctx: &CtrlCtx, _id: BlockId) {}

@@ -45,7 +45,7 @@ pub use cluster::Cluster;
 pub use config::{ClusterConfig, HardwareModel};
 pub use controller::{
     Admission, BlockInfo, CacheController, CtrlCtx, DegradationNote, NoCacheController,
-    PartitionEvent, StateCommand, VictimAction,
+    PartitionEvent, StateCommand, StoreTier, VictimAction,
 };
 pub use fault::{ExecutorCrash, FaultCause, FaultPlan};
 pub use metrics::{Metrics, RecoveryMetrics, SpeculationMetrics, TaskCharge, TaskTrace};

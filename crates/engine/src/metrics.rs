@@ -247,6 +247,14 @@ pub struct Metrics {
     pub recompute_by_job_rdd: FxHashMap<(JobId, RddId), SimDuration>,
     /// Cache hits served from memory.
     pub mem_hits: u64,
+    /// Memory hits served from a serialized-in-memory block (the decision
+    /// layer's s-state, `ser_tier`; a subset of `mem_hits`). Always zero
+    /// when the serialized tier is disabled.
+    pub ser_mem_hits: u64,
+    /// In-place serialized-tier transitions applied (m -> s serializations,
+    /// s -> m deserializations and d -> s promotions together). Always zero
+    /// when the serialized tier is disabled.
+    pub ser_transitions: u64,
     /// Cache hits served from disk.
     pub disk_hits: u64,
     /// Lookups of previously materialized blocks that found nothing and

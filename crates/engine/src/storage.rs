@@ -24,6 +24,13 @@ pub struct StoredBlock {
     pub stored_bytes: ByteSize,
     /// Serialization cost factor of the element type.
     pub ser_factor: f64,
+    /// True when this memory-resident block is individually held in
+    /// serialized form (the decision layer's s-state, `ser_tier`):
+    /// `stored_bytes` is the footprint-scaled size and every access pays a
+    /// deserialization. Distinct from store-global serialized-in-memory
+    /// modes (Alluxio), which keep this `false` and shrink footprints via
+    /// the controller's `memory_footprint_factor`. Always `false` on disk.
+    pub serialized: bool,
     /// Integrity checksum stamped when the block was written to the disk
     /// tier (see [`spill_checksum`]). `None` for memory-resident blocks and
     /// whenever spill-corruption injection is off — reads only verify
@@ -198,6 +205,7 @@ mod tests {
             logical_bytes: ByteSize::from_kib(kib),
             stored_bytes: ByteSize::from_kib(kib),
             ser_factor: 1.0,
+            serialized: false,
             checksum: None,
         }
     }

@@ -45,6 +45,11 @@ pub enum CacheDecision {
     AdmitDisk,
     /// Served from a memory store.
     HitMemory,
+    /// Served from a memory store where the block was held in serialized
+    /// form (state s); the reader paid a deserialization charge. Counted
+    /// as a memory hit in the aggregates, with `ser_mem_hits` as the
+    /// serialized subset. Never emitted unless the serialized tier is on.
+    HitSerializedMemory,
     /// Served from a disk store.
     HitDisk,
     /// A previously materialized block was found nowhere and fell back to
@@ -56,6 +61,18 @@ pub enum CacheDecision {
     EvictDiscard,
     /// Moved from disk into memory (promotion / prefetch, d -> m).
     PromoteToMemory,
+    /// Compacted in place from deserialized to serialized memory form
+    /// (state m -> s). The block stays memory-resident; only its stored
+    /// footprint changes, so this neither inserts nor removes for the
+    /// residency replay. Never emitted unless the serialized tier is on.
+    SerializeInMemory,
+    /// Expanded in place from serialized to deserialized memory form
+    /// (state s -> m). Residency no-op, like [`Self::SerializeInMemory`].
+    DeserializeInMemory,
+    /// Moved from disk into memory in serialized form (d -> s): a disk
+    /// read without the deserialization leg. Never emitted unless the
+    /// serialized tier is on.
+    PromoteToSerializedMemory,
     /// Removed from a memory store by an unpersist (user or controller).
     UnpersistMemory,
     /// Removed from a disk store by an unpersist (user or controller).
@@ -78,11 +95,15 @@ impl CacheDecision {
             CacheDecision::AdmitMemory => "admit-mem",
             CacheDecision::AdmitDisk => "admit-disk",
             CacheDecision::HitMemory => "hit-mem",
+            CacheDecision::HitSerializedMemory => "hit-ser-mem",
             CacheDecision::HitDisk => "hit-disk",
             CacheDecision::MissRecompute => "miss-recompute",
             CacheDecision::EvictToDisk => "evict-to-disk",
             CacheDecision::EvictDiscard => "evict-discard",
             CacheDecision::PromoteToMemory => "promote-to-mem",
+            CacheDecision::SerializeInMemory => "ser-in-mem",
+            CacheDecision::DeserializeInMemory => "deser-in-mem",
+            CacheDecision::PromoteToSerializedMemory => "promote-to-ser",
             CacheDecision::UnpersistMemory => "unpersist-mem",
             CacheDecision::UnpersistDisk => "unpersist-disk",
             CacheDecision::LostMemory => "lost-mem",
@@ -93,7 +114,12 @@ impl CacheDecision {
 
     /// True for decisions that insert the block into a *memory* store.
     fn inserts_memory(self) -> bool {
-        matches!(self, CacheDecision::AdmitMemory | CacheDecision::PromoteToMemory)
+        matches!(
+            self,
+            CacheDecision::AdmitMemory
+                | CacheDecision::PromoteToMemory
+                | CacheDecision::PromoteToSerializedMemory
+        )
     }
 
     /// True for decisions that remove the block from a *memory* store.
@@ -551,6 +577,7 @@ impl TraceLog {
             match r.decision {
                 CacheDecision::AdmitDisk | CacheDecision::EvictToDisk => disk = Some(r.executor),
                 CacheDecision::PromoteToMemory
+                | CacheDecision::PromoteToSerializedMemory
                 | CacheDecision::UnpersistDisk
                 | CacheDecision::LostDisk => disk = None,
                 _ => {}
@@ -673,6 +700,8 @@ impl TraceLog {
         let mut last_completed = SimTime::ZERO;
         let mut busy: FxHashMap<ExecutorId, SimDuration> = FxHashMap::default();
         let mut mem_hits = 0u64;
+        let mut ser_mem_hits = 0u64;
+        let mut ser_transitions = 0u64;
         let mut disk_hits = 0u64;
         let mut misses = 0u64;
         let mut recomputes = 0u64;
@@ -714,6 +743,15 @@ impl TraceLog {
                 }
                 TraceEvent::Cache(r) => match r.decision {
                     CacheDecision::HitMemory => mem_hits += 1,
+                    CacheDecision::HitSerializedMemory => {
+                        // Serialized hits are memory hits; `ser_mem_hits`
+                        // is the serialized subset of `mem_hits`.
+                        mem_hits += 1;
+                        ser_mem_hits += 1;
+                    }
+                    CacheDecision::SerializeInMemory
+                    | CacheDecision::DeserializeInMemory
+                    | CacheDecision::PromoteToSerializedMemory => ser_transitions += 1,
                     CacheDecision::HitDisk => disk_hits += 1,
                     CacheDecision::MissRecompute => misses += 1,
                     CacheDecision::EvictToDisk => {
@@ -799,6 +837,12 @@ impl TraceLog {
             );
         }
         check("memory hits", mem_hits.to_string(), metrics.mem_hits.to_string());
+        check("serialized memory hits", ser_mem_hits.to_string(), metrics.ser_mem_hits.to_string());
+        check(
+            "serialized-tier transitions",
+            ser_transitions.to_string(),
+            metrics.ser_transitions.to_string(),
+        );
         check("disk hits", disk_hits.to_string(), metrics.disk_hits.to_string());
         check("recompute misses", misses.to_string(), metrics.recompute_misses.to_string());
         check("recompute spans", recomputes.to_string(), metrics.recompute_misses.to_string());

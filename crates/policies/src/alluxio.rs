@@ -11,7 +11,7 @@ use crate::mode::take_until_covered;
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::ByteSize;
-use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, VictimAction};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StoreTier, VictimAction};
 
 /// Default in-memory footprint ratio of serialized vs deserialized data.
 pub const DEFAULT_SER_FOOTPRINT: f64 = 0.6;
@@ -69,9 +69,20 @@ impl CacheController for AlluxioController {
         _incoming: &BlockInfo,
         resident: &[BlockInfo],
     ) -> Vec<(BlockId, VictimAction)> {
+        // `needed` is a *stored-bytes* shortfall: the engine charges the
+        // memory store footprint-scaled sizes under `serialized_in_memory`.
+        // Victims therefore free `bytes × footprint`, not their logical
+        // size — covering with logical bytes under-evicts whenever the
+        // footprint is < 1 and the admission still fails.
         let mut candidates: Vec<(u64, BlockId, ByteSize)> = resident
             .iter()
-            .map(|b| (self.last_access.get(&b.id).copied().unwrap_or(0), b.id, b.bytes))
+            .map(|b| {
+                (
+                    self.last_access.get(&b.id).copied().unwrap_or(0),
+                    b.id,
+                    b.bytes.scale(self.footprint),
+                )
+            })
             .collect();
         candidates.sort_by_key(|&(t, id, _)| (t, id));
         take_until_covered(needed, candidates.into_iter().map(|(_, id, b)| (id, b)))
@@ -88,8 +99,8 @@ impl CacheController for AlluxioController {
         self.touch(id);
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        if !to_disk {
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        if tier.in_memory() {
             self.touch(info.id);
         }
     }
@@ -146,7 +157,7 @@ mod tests {
             ser_factor: 1.0,
             executor: ExecutorId(0),
         };
-        a.on_inserted(&c, &b, false);
+        a.on_inserted(&c, &b, StoreTier::Memory);
         let victims = a.choose_victims(
             &c,
             ExecutorId(0),
@@ -156,5 +167,36 @@ mod tests {
         );
         assert_eq!(victims, vec![(b.id, VictimAction::ToDisk)]);
         assert_eq!(a.on_admission_failure(&c, &b), Admission::Disk);
+    }
+
+    #[test]
+    fn victim_coverage_uses_stored_not_logical_bytes() {
+        // Three 10-KiB blocks at footprint 0.5 each free only 5 KiB of
+        // stored space. To cover a 12-KiB stored shortfall the controller
+        // must pick three victims (15 KiB stored); counting logical bytes
+        // would stop after two (20 KiB logical but only 10 KiB stored) and
+        // leave the admission failing — the pre-fix under-eviction.
+        let c = ctx();
+        let mut a = AlluxioController::with_footprint(0.5);
+        let resident: Vec<BlockInfo> = (0..3)
+            .map(|p| BlockInfo {
+                id: BlockId::new(RddId(1), p),
+                bytes: ByteSize::from_kib(10),
+                ser_factor: 1.0,
+                executor: ExecutorId(0),
+            })
+            .collect();
+        for b in &resident {
+            a.on_inserted(&c, b, StoreTier::Memory);
+        }
+        let incoming = BlockInfo { id: BlockId::new(RddId(2), 0), ..resident[0] };
+        let victims =
+            a.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(12), &incoming, &resident);
+        let freed: ByteSize = victims
+            .iter()
+            .map(|(id, _)| resident.iter().find(|b| b.id == *id).unwrap().bytes.scale(0.5))
+            .sum();
+        assert_eq!(victims.len(), 3, "footprint-scaled coverage needs all three victims");
+        assert!(freed >= ByteSize::from_kib(12), "victims must cover the stored shortfall");
     }
 }

@@ -7,7 +7,7 @@ use crate::mode::{take_until_covered, EvictMode};
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::ByteSize;
-use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, VictimAction};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StoreTier, VictimAction};
 
 /// FIFO cache controller, obeying user cache annotations.
 #[derive(Debug)]
@@ -53,8 +53,8 @@ impl CacheController for FifoController {
         self.mode.admission_fallback()
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        if !to_disk {
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        if tier.in_memory() {
             self.counter += 1;
             self.inserted_at.insert(info.id, self.counter);
         }
@@ -101,8 +101,8 @@ mod tests {
         let mut fifo = FifoController::new(EvictMode::MemOnly);
         let a = info(1, 4);
         let b = info(2, 4);
-        fifo.on_inserted(&c, &a, false);
-        fifo.on_inserted(&c, &b, false);
+        fifo.on_inserted(&c, &a, StoreTier::Memory);
+        fifo.on_inserted(&c, &b, StoreTier::Memory);
         fifo.on_access(&c, a.id); // FIFO ignores this
         let victims =
             fifo.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(4), &info(9, 4), &[a, b]);

@@ -13,7 +13,7 @@ use crate::mode::{take_until_covered, EvictMode};
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::ByteSize;
-use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, VictimAction};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StoreTier, VictimAction};
 
 /// GreedyDual-Size-Frequency cache controller (GDWheel-style), obeying user
 /// cache annotations.
@@ -80,8 +80,8 @@ impl CacheController for GdWheelController {
         *self.freq.entry(id).or_insert(0) += 1;
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        if !to_disk {
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        if tier.in_memory() {
             self.freq.insert(info.id, 1);
             self.base.insert(info.id, self.inflation);
         }
@@ -132,8 +132,8 @@ mod tests {
         // Same size, but one serializes 4x slower (dearer to refetch).
         let cheap = info(1, 64, 1.0);
         let dear = info(2, 64, 4.0);
-        gd.on_inserted(&c, &cheap, false);
-        gd.on_inserted(&c, &dear, false);
+        gd.on_inserted(&c, &cheap, StoreTier::Memory);
+        gd.on_inserted(&c, &dear, StoreTier::Memory);
         let victims = gd.choose_victims(
             &c,
             ExecutorId(0),
@@ -150,8 +150,8 @@ mod tests {
         let mut gd = GdWheelController::new(EvictMode::MemOnly);
         let hot = info(1, 64, 1.0);
         let cold = info(2, 64, 1.0);
-        gd.on_inserted(&c, &hot, false);
-        gd.on_inserted(&c, &cold, false);
+        gd.on_inserted(&c, &hot, StoreTier::Memory);
+        gd.on_inserted(&c, &cold, StoreTier::Memory);
         for _ in 0..5 {
             gd.on_access(&c, hot.id);
         }
@@ -171,14 +171,14 @@ mod tests {
         let c = ctx();
         let mut gd = GdWheelController::new(EvictMode::MemOnly);
         let old_hot = info(1, 64, 1.0);
-        gd.on_inserted(&c, &old_hot, false);
+        gd.on_inserted(&c, &old_hot, StoreTier::Memory);
         for _ in 0..10 {
             gd.on_access(&c, old_hot.id);
         }
         // Several eviction rounds of newcomers raise the inflation clock.
         for round in 0..20u32 {
             let newcomer = info(100 + round, 64, 1.0);
-            gd.on_inserted(&c, &newcomer, false);
+            gd.on_inserted(&c, &newcomer, StoreTier::Memory);
             let victims = gd.choose_victims(
                 &c,
                 ExecutorId(0),
@@ -193,7 +193,7 @@ mod tests {
         // Eventually the stale hot block's fixed priority falls below the
         // inflated base of fresh blocks.
         let fresh = info(200, 64, 1.0);
-        gd.on_inserted(&c, &fresh, false);
+        gd.on_inserted(&c, &fresh, StoreTier::Memory);
         let victims = gd.choose_victims(
             &c,
             ExecutorId(0),

@@ -12,7 +12,7 @@ use crate::mode::{take_until_covered, EvictMode};
 use blaze_common::fxhash::{hash_one, FxHashMap, FxHashSet};
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::ByteSize;
-use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, VictimAction};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StoreTier, VictimAction};
 use std::collections::VecDeque;
 
 const GHOST_CAPACITY: usize = 256;
@@ -161,8 +161,8 @@ impl CacheController for LeCaRController {
         self.touch(id);
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        if !to_disk {
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        if tier.in_memory() {
             self.touch(info.id);
         }
     }
@@ -222,7 +222,7 @@ mod tests {
         let c = ctx();
         let mut lecar = LeCaRController::new(EvictMode::MemOnly);
         let a = info(1, 4);
-        lecar.on_inserted(&c, &a, false);
+        lecar.on_inserted(&c, &a, StoreTier::Memory);
         // Force an LRU-expert eviction by monkeying with weights.
         lecar.w_lru = 1.0;
         lecar.w_lfu = 1e-9;

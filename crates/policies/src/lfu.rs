@@ -10,7 +10,7 @@ use crate::mode::{take_until_covered, EvictMode};
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::ByteSize;
-use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, VictimAction};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StoreTier, VictimAction};
 
 /// LFU / LFUDA cache controller, obeying user cache annotations.
 #[derive(Debug)]
@@ -81,8 +81,8 @@ impl CacheController for LfuController {
         self.bump(id);
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        if !to_disk {
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        if tier.in_memory() {
             self.bump(info.id);
         }
     }
@@ -128,8 +128,8 @@ mod tests {
         let mut lfu = LfuController::new(EvictMode::MemOnly);
         let a = info(1, 4);
         let b = info(2, 4);
-        lfu.on_inserted(&c, &a, false);
-        lfu.on_inserted(&c, &b, false);
+        lfu.on_inserted(&c, &a, StoreTier::Memory);
+        lfu.on_inserted(&c, &b, StoreTier::Memory);
         lfu.on_access(&c, a.id);
         lfu.on_access(&c, a.id);
         lfu.on_access(&c, b.id);
@@ -143,14 +143,14 @@ mod tests {
         let c = ctx();
         let mut lfuda = LfuController::with_dynamic_aging(EvictMode::MemOnly);
         let old = info(1, 4);
-        lfuda.on_inserted(&c, &old, false);
+        lfuda.on_inserted(&c, &old, StoreTier::Memory);
         for _ in 0..10 {
             lfuda.on_access(&c, old.id);
         }
         // Evicting something with priority p sets age = p; newcomers then
         // start at age + 1 and are no longer auto-victims.
         let mid = info(2, 4);
-        lfuda.on_inserted(&c, &mid, false);
+        lfuda.on_inserted(&c, &mid, StoreTier::Memory);
         let victims = lfuda.choose_victims(
             &c,
             ExecutorId(0),
@@ -163,7 +163,7 @@ mod tests {
         // age bumped to mid's priority (1)... newcomers keep climbing with
         // repeated evictions; after evicting `old`'s rivals the age rises.
         let newcomer = info(3, 4);
-        lfuda.on_inserted(&c, &newcomer, false);
+        lfuda.on_inserted(&c, &newcomer, StoreTier::Memory);
         assert!(lfuda.priority[&newcomer.id] >= 2, "aging should lift new priorities");
     }
 }

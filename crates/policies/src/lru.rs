@@ -7,7 +7,7 @@ use crate::mode::{take_until_covered, EvictMode};
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::ByteSize;
-use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, VictimAction};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StoreTier, VictimAction};
 
 /// LRU cache controller, obeying user cache annotations.
 #[derive(Debug)]
@@ -63,8 +63,8 @@ impl CacheController for LruController {
         self.touch(id);
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        if !to_disk {
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        if tier.in_memory() {
             self.touch(info.id);
         }
     }
@@ -111,9 +111,9 @@ mod tests {
         let a = info(1, 0, 4);
         let b = info(2, 0, 4);
         let d = info(3, 0, 4);
-        lru.on_inserted(&c, &a, false);
-        lru.on_inserted(&c, &b, false);
-        lru.on_inserted(&c, &d, false);
+        lru.on_inserted(&c, &a, StoreTier::Memory);
+        lru.on_inserted(&c, &b, StoreTier::Memory);
+        lru.on_inserted(&c, &d, StoreTier::Memory);
         lru.on_access(&c, a.id); // a becomes most recent
         let victims = lru.choose_victims(
             &c,
@@ -131,7 +131,7 @@ mod tests {
         let mut lru = LruController::new(EvictMode::MemDisk);
         let blocks: Vec<BlockInfo> = (0..4).map(|i| info(i, 0, 4)).collect();
         for b in &blocks {
-            lru.on_inserted(&c, b, false);
+            lru.on_inserted(&c, b, StoreTier::Memory);
         }
         let victims =
             lru.choose_victims(&c, ExecutorId(0), ByteSize::from_kib(10), &info(9, 0, 10), &blocks);
@@ -156,7 +156,7 @@ mod tests {
         let c = ctx();
         let mut lru = LruController::new(EvictMode::MemOnly);
         let a = info(1, 0, 4);
-        lru.on_inserted(&c, &a, false);
+        lru.on_inserted(&c, &a, StoreTier::Memory);
         lru.on_access(&c, a.id);
         lru.on_evicted(&c, a.id);
         assert!(lru.last_access.is_empty());

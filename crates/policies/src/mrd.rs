@@ -11,7 +11,9 @@ use blaze_common::fxhash::{FxHashMap, FxHashSet};
 use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
 use blaze_common::ByteSize;
 use blaze_dataflow::{JobPlan, Plan};
-use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StateCommand, VictimAction};
+use blaze_engine::{
+    Admission, BlockInfo, CacheController, CtrlCtx, StateCommand, StoreTier, VictimAction,
+};
 
 const INFINITE_DISTANCE: i64 = i64::MAX / 2;
 
@@ -147,8 +149,8 @@ impl CacheController for MrdController {
         })
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        if to_disk {
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        if !tier.in_memory() {
             self.on_disk.insert(info.id);
         } else {
             // A promotion moved it off disk.
@@ -243,7 +245,7 @@ mod tests {
         let mut mrd = MrdController::new(EvictMode::MemDisk);
         mrd.on_job_submit(&c, JobId(0), &job_plan, &plan);
         // Pretend r1 was spilled.
-        mrd.on_inserted(&c, &info(r1, 4), true);
+        mrd.on_inserted(&c, &info(r1, 4), StoreTier::Disk);
         let first_output = job_plan.stages[0].output;
         let cmds = mrd.on_stage_complete(&c, first_output, JobId(0), &plan);
         assert!(

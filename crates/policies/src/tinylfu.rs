@@ -11,7 +11,7 @@ use crate::mode::{take_until_covered, EvictMode};
 use blaze_common::fxhash::FxHashMap;
 use blaze_common::ids::{BlockId, ExecutorId};
 use blaze_common::ByteSize;
-use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, VictimAction};
+use blaze_engine::{Admission, BlockInfo, CacheController, CtrlCtx, StoreTier, VictimAction};
 
 /// A count-min sketch over block ids with periodic halving.
 #[derive(Debug, Clone)]
@@ -146,8 +146,8 @@ impl CacheController for TinyLfuController {
         self.touch(id);
     }
 
-    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, to_disk: bool) {
-        if !to_disk {
+    fn on_inserted(&mut self, _ctx: &CtrlCtx, info: &BlockInfo, tier: StoreTier) {
+        if tier.in_memory() {
             self.touch(info.id);
         }
     }
@@ -223,7 +223,7 @@ mod tests {
         let c = ctx();
         let mut tl = TinyLfuController::new(EvictMode::MemOnly);
         let hot = info(1, 4);
-        tl.on_inserted(&c, &hot, false);
+        tl.on_inserted(&c, &hot, StoreTier::Memory);
         for _ in 0..5 {
             tl.on_access(&c, hot.id);
         }
@@ -237,7 +237,7 @@ mod tests {
         let c = ctx();
         let mut tl = TinyLfuController::new(EvictMode::MemOnly);
         let cold = info(1, 4);
-        tl.on_inserted(&c, &cold, false);
+        tl.on_inserted(&c, &cold, StoreTier::Memory);
         let hot = info(2, 4);
         for _ in 0..5 {
             tl.sketch.increment(hot.id);

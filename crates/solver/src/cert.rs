@@ -70,6 +70,56 @@ pub struct GreedyCertificate {
     pub declared_gap: f64,
 }
 
+/// One node of the multi-choice knapsack branch-and-bound tree, recorded in
+/// DFS preorder (children in the group's canonical option order: value
+/// descending, then option index ascending).
+#[derive(Debug, Clone, PartialEq)]
+pub enum McNode {
+    /// The node branched on its group: every option that fits the remaining
+    /// capacity and is not statically excluded (non-zero index with
+    /// non-positive value — never better than the zero option) produces a
+    /// child subtree, in canonical order.
+    Branch,
+    /// The subtree was cut because its hull (Dantzig/Zemel) upper bound
+    /// cannot beat the incumbent: `bound <= best_at_prune + PRUNE_EPS`,
+    /// which the verifier checks against the *final* value.
+    Pruned {
+        /// The fractional hull upper bound computed at this node.
+        bound: f64,
+    },
+    /// The subtree was cut against the warm-start bound: `bound <= warm
+    /// value - WARM_EPS`. Sound because the warm choice is feasible, so the
+    /// true optimum is at least its value.
+    PrunedWarm {
+        /// The fractional hull upper bound computed at this node.
+        bound: f64,
+    },
+    /// Every group was decided (or the position ran past the end).
+    Leaf,
+}
+
+/// Feasibility evidence for a warm-start bound used by multi-choice
+/// `PrunedWarm` cuts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MckpWarmEvidence {
+    /// The warm per-group option choice, aligned with the current groups.
+    pub choice: Vec<usize>,
+    /// Total value of the warm choice (the bound warm prunes cut against).
+    pub value: f64,
+}
+
+/// Certificate of one multi-choice knapsack branch-and-bound solve.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MckpCertificate {
+    /// The explored tree in DFS preorder. Empty when the node budget was
+    /// exhausted (the tree is then not a proof of anything).
+    pub nodes: Vec<McNode>,
+    /// Evidence for the warm bound, present iff warm pruning was armed.
+    pub warm: Option<MckpWarmEvidence>,
+    /// True iff the search ran to completion within its node budget.
+    pub complete: bool,
+}
+
 /// How one popped branch-and-bound node of the ILP search terminated.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IlpNodeKind {

@@ -7,6 +7,9 @@
 //!   bounds) used on Blaze's hot path: with recovery costs frozen at time
 //!   `t`, the paper's Eq. 5–6 reduce per executor to a knapsack over the
 //!   partitions' saved recovery costs.
+//! - [`mckp`] — the multi-choice generalization used when the serialized
+//!   in-memory tier is enabled: each candidate picks one of {out,
+//!   serialized, deserialized} with convex-hull (Zemel) fractional bounds.
 //! - [`cert`] — decision-certificate formats: branch-and-bound tree traces
 //!   with dual evidence that `blaze-certify` checks without re-solving.
 
@@ -16,10 +19,11 @@ pub mod cert;
 pub mod ilp;
 pub mod knapsack;
 pub mod lp;
+pub mod mckp;
 
 pub use cert::{
     GreedyCertificate, IlpCertificate, IlpNode, IlpNodeKind, IlpWarmEvidence, KnapNode,
-    KnapsackCertificate, KnapsackWarmEvidence,
+    KnapsackCertificate, KnapsackWarmEvidence, McNode, MckpCertificate, MckpWarmEvidence,
 };
 pub use ilp::{solve_binary, solve_binary_certified, IlpOutcome, IlpProblem};
 pub use knapsack::{
@@ -28,4 +32,8 @@ pub use knapsack::{
 pub use lp::{
     dual_bound, farkas_valid, solve as solve_lp, solve_with_evidence, Constraint, LinearProgram,
     LpEvidence, LpOutcome, Relation,
+};
+pub use mckp::{
+    greedy_mckp_certificate, solve_mckp, solve_mckp_certified, solve_mckp_warm, MckpGroup,
+    MckpOption, MckpSolution, MckpWarm,
 };

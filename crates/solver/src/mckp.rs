@@ -1,0 +1,654 @@
+//! Exact multi-choice knapsack (MCKP) with convex-hull fractional bounds.
+//!
+//! With the serialized in-memory tier enabled, the paper's per-executor
+//! decision (Eq. 5–6 enlarged to m/s/d/u) is no longer a 0/1 knapsack:
+//! every candidate partition picks exactly one option from its group —
+//! out of memory (weight 0), serialized in memory (footprint-scaled
+//! weight), or deserialized in memory (full weight) — subject to one
+//! capacity constraint. This module solves that multi-choice knapsack
+//! exactly by depth-first branch and bound with the classic Zemel/Dantzig
+//! bound: LP-dominated options are removed per group, the surviving convex
+//! hull is split into incremental items of strictly decreasing density, and
+//! a greedy fractional fill over the global density order upper-bounds
+//! every completion. The search mirrors [`crate::knapsack`]: greedy
+//! incumbent, node budget with greedy fallback, warm starts that only
+//! prune, and an optional DFS-preorder certificate.
+
+use crate::cert::{GreedyCertificate, McNode, MckpCertificate, MckpWarmEvidence};
+use crate::knapsack::{PRUNE_EPS, WARM_EPS};
+
+/// One option of a group (one state the candidate partition could take).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MckpOption {
+    /// Value gained if this option is chosen (saved recovery cost, seconds).
+    pub value: f64,
+    /// Weight charged against the shared capacity (bytes in the memory
+    /// store; zero for options that do not occupy memory).
+    pub weight: u64,
+}
+
+/// One group: the mutually exclusive options of one candidate. Exactly one
+/// option is chosen per group. Option 0 must be the zero option
+/// `(value 0, weight 0)` — "keep nothing in memory" — which guarantees
+/// every instance is feasible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MckpGroup {
+    /// The candidate's options; index 0 is the zero option.
+    pub options: Vec<MckpOption>,
+}
+
+/// The result of a multi-choice knapsack solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MckpSolution {
+    /// Chosen option index per group, aligned with the input groups.
+    pub choice: Vec<usize>,
+    /// Total value of the choice.
+    pub value: f64,
+    /// Total weight of the choice.
+    pub weight: u64,
+    /// True if the solution is provably optimal.
+    pub proven_optimal: bool,
+}
+
+/// Warm-start hint from a previous solve of a perturbed instance: the
+/// previous per-group choice, re-priced against the current groups. If it
+/// is still feasible, its value is a proven lower bound on the optimum,
+/// used purely as an extra pruning bound — never installed as an incumbent,
+/// so the returned choice is the one the cold search would find.
+#[derive(Debug, Clone, Default)]
+pub struct MckpWarm {
+    /// A previously chosen option index per group.
+    pub choice: Vec<usize>,
+}
+
+/// One incremental hull item: moving a group from hull level `level - 1`
+/// to `level` costs `dw` weight and gains `dv` value.
+#[derive(Debug, Clone, Copy)]
+struct HullInc {
+    group: usize,
+    dw: u64,
+    dv: f64,
+}
+
+/// Per-group preprocessing shared by the solver and (re-derived
+/// independently) by the certificate verifier.
+fn hull_of(options: &[MckpOption]) -> Vec<(u64, f64)> {
+    // Dominance sweep: sort by (weight asc, value desc), keep strictly
+    // increasing values. The hull is anchored at (0, 0) — the zero option —
+    // and the anchor is never popped: a weight-0 option with positive value
+    // becomes a `dw = 0` increment of infinite density (always taken), so
+    // its free value flows through the increment accounting instead of
+    // silently shifting the hull's base.
+    let mut pts: Vec<(u64, f64, usize)> =
+        options.iter().enumerate().map(|(i, o)| (o.weight, o.value, i)).collect();
+    pts.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut frontier: Vec<(u64, f64)> = vec![(0, 0.0)];
+    for (w, v, _) in pts {
+        let &(_, lv) = frontier.last().expect("non-empty");
+        if v > lv {
+            frontier.push((w, v));
+        }
+    }
+    // Upper convex hull: incremental densities must strictly decrease.
+    let mut hull: Vec<(u64, f64)> = Vec::with_capacity(frontier.len());
+    for (w, v) in frontier {
+        while hull.len() >= 2 {
+            let (w1, v1) = hull[hull.len() - 1];
+            let (w2, v2) = hull[hull.len() - 2];
+            // Keep (w1, v1) only if density(w2->w1) > density(w1->w).
+            let lhs = (v1 - v2) * (w - w1) as f64; // audit: allow(float-cast)
+            let rhs = (v - v1) * (w1 - w2) as f64; // audit: allow(float-cast)
+            if lhs > rhs {
+                break;
+            }
+            hull.pop();
+        }
+        hull.push((w, v));
+    }
+    hull
+}
+
+/// Builds the global density-ordered increment list over `groups`,
+/// restricted to nothing (all groups). Within a group the increments keep
+/// level order (their densities strictly decrease by hull construction);
+/// the global sort is a strict total order so the solve is deterministic.
+fn global_increments(groups: &[MckpGroup]) -> Vec<HullInc> {
+    let mut incs: Vec<(f64, usize, usize, HullInc)> = Vec::new();
+    for (g, group) in groups.iter().enumerate() {
+        let hull = hull_of(&group.options);
+        for level in 1..hull.len() {
+            let (w0, v0) = hull[level - 1];
+            let (w1, v1) = hull[level];
+            let dw = w1 - w0;
+            let dv = v1 - v0;
+            let density = if dw == 0 { f64::INFINITY } else { dv / dw as f64 }; // audit: allow(float-cast)
+            incs.push((density, g, level, HullInc { group: g, dw, dv }));
+        }
+    }
+    incs.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    incs.into_iter().map(|(_, _, _, inc)| inc).collect()
+}
+
+/// Solves the multi-choice knapsack over `groups` with the given
+/// `capacity`. `node_budget` bounds the branch-and-bound search (0 =
+/// default 200 000); exhausting it returns the best solution found (at
+/// least as good as greedy), flagged `proven_optimal = false`.
+///
+/// # Examples
+///
+/// ```
+/// use blaze_solver::mckp::{solve_mckp, MckpGroup, MckpOption};
+///
+/// let zero = MckpOption { value: 0.0, weight: 0 };
+/// let groups = [
+///     MckpGroup { options: vec![zero, MckpOption { value: 6.0, weight: 6 },
+///                               MckpOption { value: 10.0, weight: 10 }] },
+///     MckpGroup { options: vec![zero, MckpOption { value: 9.0, weight: 10 }] },
+/// ];
+/// let s = solve_mckp(&groups, 16, 0);
+/// assert_eq!(s.choice, vec![1, 1]);
+/// assert_eq!(s.value, 15.0);
+/// ```
+pub fn solve_mckp(groups: &[MckpGroup], capacity: u64, node_budget: usize) -> MckpSolution {
+    solve_mckp_warm(groups, capacity, node_budget, None)
+}
+
+/// [`solve_mckp`] with a warm-start hint from a previous solve.
+/// Decision-identical to the cold solve: the warm value only prunes
+/// subtrees strictly below the optimum.
+pub fn solve_mckp_warm(
+    groups: &[MckpGroup],
+    capacity: u64,
+    node_budget: usize,
+    warm: Option<&MckpWarm>,
+) -> MckpSolution {
+    solve_mckp_inner(groups, capacity, node_budget, warm, false).0
+}
+
+/// [`solve_mckp_warm`], additionally recording a [`MckpCertificate`] of the
+/// explored tree. The solution is byte-identical to the uncertified solve.
+pub fn solve_mckp_certified(
+    groups: &[MckpGroup],
+    capacity: u64,
+    node_budget: usize,
+    warm: Option<&MckpWarm>,
+) -> (MckpSolution, MckpCertificate) {
+    let (sol, cert) = solve_mckp_inner(groups, capacity, node_budget, warm, true);
+    (sol, cert.unwrap_or_default())
+}
+
+/// The canonical order children of one group are explored in (and the
+/// verifier replays in): value descending, then option index ascending.
+pub fn child_order(options: &[MckpOption]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..options.len()).collect();
+    order.sort_by(|&a, &b| {
+        options[b]
+            .value
+            .partial_cmp(&options[a].value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+fn solve_mckp_inner(
+    groups: &[MckpGroup],
+    capacity: u64,
+    node_budget: usize,
+    warm: Option<&MckpWarm>,
+    record: bool,
+) -> (MckpSolution, Option<MckpCertificate>) {
+    let n = groups.len();
+    let budget = if node_budget == 0 { 200_000 } else { node_budget };
+    debug_assert!(
+        groups.iter().all(|g| g.options.first() == Some(&MckpOption { value: 0.0, weight: 0 })),
+        "every MCKP group must lead with the zero option"
+    );
+    if n == 0 {
+        let sol = MckpSolution { choice: vec![], value: 0.0, weight: 0, proven_optimal: true };
+        let cert = record.then(|| MckpCertificate {
+            nodes: vec![McNode::Leaf],
+            warm: None,
+            complete: true,
+        });
+        return (sol, cert);
+    }
+
+    let incs = global_increments(groups);
+    let orders: Vec<Vec<usize>> = groups.iter().map(|g| child_order(&g.options)).collect();
+
+    // A still-feasible previous choice, valued at current prices, lower
+    // bounds the optimum.
+    let warm_bound = warm.and_then(|w| {
+        if w.choice.len() != n {
+            return None;
+        }
+        let (mut v, mut wt) = (0.0f64, 0u64);
+        for (g, &c) in w.choice.iter().enumerate() {
+            let opt = groups[g].options.get(c)?;
+            v += opt.value;
+            wt = wt.saturating_add(opt.weight);
+        }
+        (wt <= capacity).then_some(v)
+    });
+    let warm_evidence = record
+        .then(|| {
+            warm.zip(warm_bound)
+                .map(|(w, value)| MckpWarmEvidence { choice: w.choice.clone(), value })
+        })
+        .flatten();
+
+    // Greedy incumbent: integer hull fill over the global density order.
+    // An increment is taken only when its predecessor level was (the hull
+    // walk is monotone per group) and it fits the remaining capacity.
+    let mut greedy_level = vec![0usize; n];
+    let mut gw = 0u64;
+    let mut gv = 0.0f64;
+    {
+        let mut taken = vec![0usize; n];
+        let mut seen = vec![0usize; n];
+        for inc in &incs {
+            seen[inc.group] += 1;
+            let level = seen[inc.group];
+            if taken[inc.group] == level - 1 && inc.dv > 0.0 && gw + inc.dw <= capacity {
+                taken[inc.group] = level;
+                gw += inc.dw;
+                gv += inc.dv;
+            }
+        }
+        greedy_level.copy_from_slice(&taken);
+    }
+    let greedy_choice: Vec<usize> = greedy_level
+        .iter()
+        .enumerate()
+        .map(|(g, &lvl)| {
+            if lvl == 0 {
+                return 0;
+            }
+            let hull = hull_of(&groups[g].options);
+            let (w, v) = hull[lvl];
+            // Map the hull point back to the first option matching it.
+            groups[g].options.iter().position(|o| o.weight == w && o.value == v).unwrap_or(0)
+        })
+        .collect();
+
+    struct Search<'a> {
+        groups: &'a [MckpGroup],
+        orders: &'a [Vec<usize>],
+        incs: &'a [HullInc],
+        capacity: u64,
+        best_value: f64,
+        best_choice: Vec<usize>,
+        warm_bound: Option<f64>,
+        nodes: usize,
+        budget: usize,
+        exhausted: bool,
+        rec: Option<Vec<McNode>>,
+    }
+
+    impl Search<'_> {
+        /// Zemel/Dantzig bound: fixed-prefix value plus a greedy fractional
+        /// fill over the hull increments of the still-free groups.
+        fn upper_bound(&self, pos: usize, weight: u64, value: f64) -> f64 {
+            let mut w = weight;
+            let mut v = value;
+            for inc in self.incs {
+                if inc.group < pos || inc.dv <= 0.0 {
+                    continue;
+                }
+                if w + inc.dw <= self.capacity {
+                    w += inc.dw;
+                    v += inc.dv;
+                } else {
+                    let room = (self.capacity - w) as f64; // audit: allow(float-cast)
+                    if inc.dw > 0 {
+                        v += inc.dv * room / inc.dw as f64; // audit: allow(float-cast)
+                    }
+                    break;
+                }
+            }
+            v
+        }
+
+        fn set_node(&mut self, slot: Option<usize>, kind: McNode) {
+            if let (Some(rec), Some(s)) = (self.rec.as_mut(), slot) {
+                rec[s] = kind;
+            }
+        }
+
+        fn dfs(&mut self, pos: usize, weight: u64, value: f64, choice: &mut Vec<usize>) {
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                self.exhausted = true;
+                return;
+            }
+            let slot = self.rec.as_mut().map(|r| {
+                r.push(McNode::Leaf);
+                r.len() - 1
+            });
+            // A partial assignment is feasible: every still-free group can
+            // complete with its zero option at no weight or value.
+            if value > self.best_value {
+                self.best_value = value;
+                self.best_choice = choice.clone();
+            }
+            if pos >= self.groups.len() || self.exhausted {
+                return; // The preorder slot stays `Leaf`.
+            }
+            let ub = self.upper_bound(pos, weight, value);
+            if ub <= self.best_value + PRUNE_EPS {
+                self.set_node(slot, McNode::Pruned { bound: ub });
+                return;
+            }
+            if self.warm_bound.is_some_and(|wb| ub <= wb - WARM_EPS) {
+                self.set_node(slot, McNode::PrunedWarm { bound: ub });
+                return;
+            }
+            self.set_node(slot, McNode::Branch);
+            for o in 0..self.orders[pos].len() {
+                let oi = self.orders[pos][o];
+                let opt = self.groups[pos].options[oi];
+                // Statically excluded: does not fit, or can never beat the
+                // always-feasible zero option.
+                if weight + opt.weight > self.capacity || (oi != 0 && opt.value <= 0.0) {
+                    continue;
+                }
+                choice[pos] = oi;
+                self.dfs(pos + 1, weight + opt.weight, value + opt.value, choice);
+                choice[pos] = 0;
+                if self.exhausted {
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        groups,
+        orders: &orders,
+        incs: &incs,
+        capacity,
+        best_value: gv,
+        best_choice: greedy_choice,
+        warm_bound,
+        nodes: 0,
+        budget,
+        exhausted: false,
+        rec: record.then(Vec::new),
+    };
+    let mut choice = vec![0usize; n];
+    search.dfs(0, 0, 0.0, &mut choice);
+
+    let cert = search.rec.take().map(|nodes| MckpCertificate {
+        nodes: if search.exhausted { vec![] } else { nodes },
+        warm: warm_evidence,
+        complete: !search.exhausted,
+    });
+    let best_choice = search.best_choice;
+    let weight = best_choice.iter().zip(groups).map(|(&c, g)| g.options[c].weight).sum();
+    let sol = MckpSolution {
+        value: search.best_value,
+        weight,
+        choice: best_choice,
+        proven_optimal: !search.exhausted,
+    };
+    (sol, cert)
+}
+
+/// Builds the [`GreedyCertificate`] for a greedy (budget-1) multi-choice
+/// solve: the root hull bound — the LP-relaxation optimum — and the
+/// fractional part the integer fill leaves behind as the declared gap.
+pub fn greedy_mckp_certificate(
+    groups: &[MckpGroup],
+    capacity: u64,
+    solution: &MckpSolution,
+) -> GreedyCertificate {
+    let incs = global_increments(groups);
+    let mut w = 0u64;
+    let mut v = 0.0f64;
+    let mut frac = 0.0f64;
+    for inc in &incs {
+        if inc.dv <= 0.0 {
+            continue;
+        }
+        if w + inc.dw <= capacity {
+            w += inc.dw;
+            v += inc.dv;
+        } else {
+            let room = (capacity - w) as f64; // audit: allow(float-cast)
+            if inc.dw > 0 {
+                frac = inc.dv * room / inc.dw as f64; // audit: allow(float-cast)
+            }
+            break;
+        }
+    }
+    let bound = v + frac;
+    GreedyCertificate { relaxation_bound: bound, declared_gap: bound - solution.value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero() -> MckpOption {
+        MckpOption { value: 0.0, weight: 0 }
+    }
+
+    fn group(opts: &[(f64, u64)]) -> MckpGroup {
+        let mut options = vec![zero()];
+        options.extend(opts.iter().map(|&(value, weight)| MckpOption { value, weight }));
+        MckpGroup { options }
+    }
+
+    fn brute_force(groups: &[MckpGroup], capacity: u64) -> f64 {
+        fn rec(groups: &[MckpGroup], g: usize, w: u64, v: f64, cap: u64, best: &mut f64) {
+            if g == groups.len() {
+                *best = best.max(v);
+                return;
+            }
+            for opt in &groups[g].options {
+                if w + opt.weight <= cap {
+                    rec(groups, g + 1, w + opt.weight, v + opt.value, cap, best);
+                }
+            }
+        }
+        let mut best = 0.0f64;
+        rec(groups, 0, 0, 0.0, capacity, &mut best);
+        best
+    }
+
+    #[test]
+    fn solves_three_tier_instance() {
+        // Each group models one candidate's {out, ser, mem} options.
+        let groups = [
+            group(&[(8.0, 6), (10.0, 10)]),
+            group(&[(5.0, 6), (9.0, 10)]),
+            group(&[(2.0, 3), (3.0, 5)]),
+        ];
+        let s = solve_mckp(&groups, 16, 0);
+        assert!(s.proven_optimal);
+        assert!((s.value - brute_force(&groups, 16)).abs() < 1e-9);
+        assert!(s.weight <= 16);
+        // One option chosen per group, indices valid.
+        assert_eq!(s.choice.len(), 3);
+        for (c, g) in s.choice.iter().zip(&groups) {
+            assert!(*c < g.options.len());
+        }
+    }
+
+    #[test]
+    fn serialized_option_wins_under_tight_capacity() {
+        // Memory is worth 10 at weight 10; serialized is worth 8 at
+        // weight 6. With capacity for only one full-weight block, taking
+        // two serialized copies beats one deserialized one.
+        let groups = [group(&[(8.0, 6), (10.0, 10)]), group(&[(8.0, 6), (10.0, 10)])];
+        let s = solve_mckp(&groups, 12, 0);
+        assert_eq!(s.choice, vec![1, 1]);
+        assert!((s.value - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_everything_out() {
+        let groups = [group(&[(8.0, 6)]), group(&[(5.0, 3)])];
+        let s = solve_mckp(&groups, 0, 0);
+        assert_eq!(s.choice, vec![0, 0]);
+        assert_eq!(s.value, 0.0);
+        assert_eq!(s.weight, 0);
+    }
+
+    #[test]
+    fn negative_value_options_are_never_chosen() {
+        let mut g = group(&[(-5.0, 1)]);
+        g.options.push(MckpOption { value: 3.0, weight: 2 });
+        let s = solve_mckp(&[g], 10, 0);
+        assert_eq!(s.choice, vec![2]);
+        assert!((s.value - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_optimal() {
+        let s = solve_mckp(&[], 100, 0);
+        assert!(s.proven_optimal);
+        assert_eq!(s.value, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut seed = 0xFEED_F00D_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..40 {
+            let n = 6;
+            let groups: Vec<MckpGroup> = (0..n)
+                .map(|_| {
+                    let full_w = next() % 40 + 2;
+                    let full_v = (next() % 90) as f64 + 1.0;
+                    // A serialized option: smaller weight, smaller value.
+                    let ser_w = full_w * (next() % 60 + 20) / 100;
+                    let ser_v = full_v * ((next() % 80 + 10) as f64) / 100.0;
+                    group(&[(ser_v, ser_w), (full_v, full_w)])
+                })
+                .collect();
+            let cap: u64 =
+                groups.iter().flat_map(|g| g.options.iter().map(|o| o.weight)).sum::<u64>() / 4;
+            let s = solve_mckp(&groups, cap, 0);
+            assert!(s.proven_optimal);
+            let best = brute_force(&groups, cap);
+            assert!((s.value - best).abs() < 1e-9, "got {}, brute force {best}", s.value);
+        }
+    }
+
+    #[test]
+    fn warm_start_is_decision_identical() {
+        let groups = [
+            group(&[(8.0, 6), (10.0, 10)]),
+            group(&[(5.0, 6), (9.0, 10)]),
+            group(&[(2.0, 3), (3.0, 5)]),
+        ];
+        let cold = solve_mckp(&groups, 16, 0);
+        let warm = solve_mckp_warm(&groups, 16, 0, Some(&MckpWarm { choice: cold.choice.clone() }));
+        assert_eq!(cold, warm);
+        // A garbage warm hint is ignored, not trusted.
+        let junk = solve_mckp_warm(&groups, 16, 0, Some(&MckpWarm { choice: vec![9, 9, 9] }));
+        assert_eq!(cold, junk);
+    }
+
+    #[test]
+    fn budget_exhaustion_still_beats_or_matches_greedy() {
+        let groups: Vec<MckpGroup> = (0..30)
+            .map(|i: u64| {
+                group(&[
+                    (((i * 37) % 97) as f64 * 0.6 + 1.0, ((i * 53) % 41) / 2 + 1),
+                    (((i * 37) % 97) as f64 + 1.0, ((i * 53) % 41) + 2),
+                ])
+            })
+            .collect();
+        let cap: u64 =
+            groups.iter().flat_map(|g| g.options.iter().map(|o| o.weight)).sum::<u64>() / 5;
+        let tight = solve_mckp(&groups, cap, 40);
+        let full = solve_mckp(&groups, cap, 0);
+        assert!(!tight.proven_optimal);
+        assert!(tight.value <= full.value + 1e-9);
+        assert!(tight.value > 0.0);
+    }
+
+    #[test]
+    fn greedy_certificate_gap_holds() {
+        let groups = [
+            group(&[(8.0, 6), (10.0, 10)]),
+            group(&[(5.0, 6), (9.0, 10)]),
+            group(&[(2.0, 3), (3.0, 5)]),
+        ];
+        let s = solve_mckp(&groups, 13, 1); // Budget 1 = greedy only.
+        let cert = greedy_mckp_certificate(&groups, 13, &s);
+        assert!(s.value >= cert.relaxation_bound - cert.declared_gap - 1e-9);
+        // The relaxation bound dominates the true optimum.
+        let full = solve_mckp(&groups, 13, 0);
+        assert!(cert.relaxation_bound >= full.value - 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_positive_option_keeps_value_and_choice_consistent() {
+        // Regression: a weight-0 option with positive value used to pop the
+        // (0, 0) hull anchor, shifting the hull base so the greedy fill's
+        // value missed the free value while its mapped choice included it —
+        // `solution.value` then disagreed with re-pricing `solution.choice`.
+        let groups = [
+            group(&[(11.73, 0), (17.0, 3)]),
+            group(&[(56.58, 6), (82.0, 16)]),
+            group(&[(7.37, 6), (67.0, 8)]),
+        ];
+        for cap in [0u64, 3, 11, 27] {
+            let s = solve_mckp(&groups, cap, 0);
+            let repriced: f64 =
+                s.choice.iter().zip(&groups).map(|(&c, g)| g.options[c].value).sum();
+            assert!((repriced - s.value).abs() < 1e-9, "cap {cap}: {} vs {repriced}", s.value);
+            assert!((s.value - brute_force(&groups, cap)).abs() < 1e-9);
+        }
+        // The free option is always worth taking, even at zero capacity.
+        let s = solve_mckp(&groups, 0, 0);
+        assert_eq!(s.choice, vec![1, 0, 0]);
+        assert!((s.value - 11.73).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_keeps_the_anchor_under_zero_weight_options() {
+        let hull = hull_of(&[
+            MckpOption { value: 0.0, weight: 0 },
+            MckpOption { value: 11.73, weight: 0 },
+            MckpOption { value: 17.0, weight: 3 },
+        ]);
+        assert_eq!(hull, vec![(0, 0.0), (0, 11.73), (3, 17.0)]);
+    }
+
+    #[test]
+    fn hull_removes_lp_dominated_options() {
+        // Option (5.0, 9) is LP-dominated by mixing (0,0) and (10.0, 10).
+        let hull = hull_of(&[
+            MckpOption { value: 0.0, weight: 0 },
+            MckpOption { value: 5.0, weight: 9 },
+            MckpOption { value: 10.0, weight: 10 },
+        ]);
+        assert_eq!(hull, vec![(0, 0.0), (10, 10.0)]);
+        // A genuinely useful middle option survives.
+        let hull = hull_of(&[
+            MckpOption { value: 0.0, weight: 0 },
+            MckpOption { value: 8.0, weight: 6 },
+            MckpOption { value: 10.0, weight: 10 },
+        ]);
+        assert_eq!(hull, vec![(0, 0.0), (6, 8.0), (10, 10.0)]);
+    }
+}

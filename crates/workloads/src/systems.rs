@@ -22,6 +22,10 @@ pub enum SystemKind {
     Mrd,
     /// Full Blaze (profiled).
     Blaze,
+    /// Full Blaze with the serialized in-memory tier enabled: the decision
+    /// layer picks per partition among m/s/d/u instead of m/d/u (the §7.2
+    /// serialized-memory regime as a solver-visible state).
+    BlazeSerTier,
     /// Full Blaze without the dependency-extraction phase (Fig. 13).
     BlazeNoProfile,
     /// The +AutoCache ablation (Fig. 11).
@@ -81,6 +85,7 @@ impl SystemKind {
         matches!(
             self,
             SystemKind::Blaze
+                | SystemKind::BlazeSerTier
                 | SystemKind::AutoCache
                 | SystemKind::CostAware
                 | SystemKind::BlazeMemOnly
@@ -96,6 +101,9 @@ impl SystemKind {
             SystemKind::Lrc => Box::new(LrcController::new(EvictMode::MemDisk)),
             SystemKind::Mrd => Box::new(MrdController::new(EvictMode::MemDisk)),
             SystemKind::Blaze => Box::new(BlazeController::new(BlazeConfig::full(), profile)),
+            SystemKind::BlazeSerTier => {
+                Box::new(BlazeController::new(BlazeConfig::full_ser_tier(), profile))
+            }
             SystemKind::BlazeNoProfile => Box::new(BlazeController::new(BlazeConfig::full(), None)),
             SystemKind::AutoCache => {
                 Box::new(BlazeController::new(BlazeConfig::auto_cache_only(), profile))
@@ -128,6 +136,7 @@ impl SystemKind {
             SystemKind::Lrc => "LRC",
             SystemKind::Mrd => "MRD",
             SystemKind::Blaze => "Blaze",
+            SystemKind::BlazeSerTier => "Blaze (SER)",
             SystemKind::BlazeNoProfile => "Blaze w/o Profiling",
             SystemKind::AutoCache => "+AutoCache",
             SystemKind::CostAware => "+CostAware",
@@ -157,6 +166,7 @@ mod tests {
             SystemKind::Lrc,
             SystemKind::Mrd,
             SystemKind::Blaze,
+            SystemKind::BlazeSerTier,
             SystemKind::BlazeNoProfile,
             SystemKind::AutoCache,
             SystemKind::CostAware,

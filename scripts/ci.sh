@@ -47,6 +47,12 @@ run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_failure -- \
 # deep/churn stress speedups must stay above the committed floor (--check).
 run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_decision -- \
     --quick --check --shadow
+# Serialized-tier smoke: on the high-ser_factor workloads (SVD++/LR) under
+# tightened memory the multi-choice solver must actually pick s-states
+# (ser_transitions > 0 somewhere), and tier-off runs must keep their ser
+# counters at exactly zero (--quick skips the wall-clock thread sweep).
+run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_engine -- \
+    --quick --check
 # Decision certificates: every workload x strategy x decision-path combo
 # must emit certificates that verify clean (--all, implied), and each seeded
 # corruption must trip its BA5xx check (--mutate) — proving the verifier has

@@ -24,6 +24,7 @@ fn node(id: u32, parts: usize, deps: Vec<AuditDep>, kind: ComputeKind) -> AuditN
         deps,
         kind,
         cost: CostSpec::FREE,
+        ser_factor: 1.0,
         partitioner_partitions: None,
         cache_annotated: false,
         unpersist_requested: false,
@@ -226,6 +227,38 @@ fn drive_bomb(ctx: &Context, cache: bool) -> blaze::common::Result<u64> {
     let s = m.reduce_by_key(2, |a, b| a + b);
     let t = m.zip_partitions(&s, |a, b| vec![(a.len() as u64, b.len() as u64)]);
     t.count()
+}
+
+#[test]
+fn ba009_negative_ser_factor() {
+    for bad in [-1.0, -0.001, f64::NAN, f64::NEG_INFINITY] {
+        let mut n = node(0, 1, vec![], ComputeKind::Source);
+        n.ser_factor = bad;
+        assert!(
+            audit_structure(&[n]).has(DiagCode::NegativeSerFactor),
+            "ser_factor {bad} not flagged"
+        );
+    }
+    let mut ok = node(0, 1, vec![], ComputeKind::Source);
+    ok.ser_factor = 0.0;
+    assert!(audit_structure(&[ok]).is_clean());
+}
+
+/// Mutation test for the old silent clamp: a negative `ser_factor` set via
+/// the user API must reach the plan verbatim and be rejected at preflight
+/// with `BA009` (error severity, so it aborts even without strict mode),
+/// not be quietly rounded up to zero.
+#[test]
+fn ba009_fires_through_engine_preflight() {
+    let config = ClusterConfig { executors: 2, ..Default::default() };
+    let cluster = Cluster::new(config, SystemKind::SparkMemOnly.make_controller(None)).unwrap();
+    let ctx = Context::new(cluster);
+    let ds = ctx.parallelize((0..16u64).collect::<Vec<_>>(), 2).with_ser_factor(-2.0);
+    let err = ds.count().unwrap_err();
+    match err {
+        BlazeError::Audit { code, .. } => assert_eq!(code, "BA009"),
+        other => panic!("expected a BA009 audit error, got {other}"),
+    }
 }
 
 #[test]
