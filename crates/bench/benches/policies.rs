@@ -1,7 +1,7 @@
 //! Policy microbenches: per-operation overhead of the baseline eviction
 //! policies with large resident sets (the decision-layer hot path).
 
-use blaze_common::ids::{BlockId, ExecutorId, RddId};
+use blaze_common::ids::{AppId, BlockId, ExecutorId, RddId};
 use blaze_common::{ByteSize, SimTime};
 use blaze_engine::{BlockInfo, CacheController, CtrlCtx, HardwareModel, StoreTier};
 use blaze_policies::{EvictMode, LfuController, LruController, TinyLfuController};
@@ -14,6 +14,7 @@ fn ctx() -> CtrlCtx {
         memory_capacity: ByteSize::from_mib(64),
         disk_capacity: ByteSize::from_gib(1),
         executors: 4,
+        app: AppId(0),
     }
 }
 

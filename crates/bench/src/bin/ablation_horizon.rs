@@ -4,7 +4,7 @@
 
 use blaze_bench::table::{secs, Table};
 use blaze_core::{BlazeConfig, OptimizerConfig};
-use blaze_workloads::{runner::run_blaze_with, App, AppSpec};
+use blaze_workloads::{App, AppSpec, Session};
 
 fn main() {
     println!("== Ablation: ILP horizon (jobs ahead considered by Eq. 5) ==\n");
@@ -19,7 +19,8 @@ fn main() {
                 optimizer: OptimizerConfig { horizon_jobs: horizon, ..Default::default() },
                 ..BlazeConfig::full()
             };
-            let out = run_blaze_with(&spec, cfg).expect("run failed");
+            let out =
+                Session::builder().app(spec).blaze(cfg).run().expect("run failed").into_outcome();
             t.row([
                 app.label().to_string(),
                 horizon.to_string(),

@@ -7,7 +7,7 @@
 
 use blaze_bench::table::{secs, Table};
 use blaze_core::{BlazeConfig, OptimizerConfig, SolveStrategy};
-use blaze_workloads::{runner::run_blaze_with, App, AppSpec};
+use blaze_workloads::{App, AppSpec, Session};
 
 fn main() {
     println!("== Ablation: ILP solve strategy (full Blaze) ==\n");
@@ -27,7 +27,8 @@ fn main() {
                 optimizer: OptimizerConfig { strategy, ..OptimizerConfig::default() },
                 ..BlazeConfig::full()
             };
-            let out = run_blaze_with(&spec, cfg).expect("run failed");
+            let out =
+                Session::builder().app(spec).blaze(cfg).run().expect("run failed").into_outcome();
             t.row([
                 app.label().to_string(),
                 name.to_string(),

@@ -53,7 +53,7 @@ use blaze_solver::knapsack::{
     greedy_certificate, solve_knapsack, solve_knapsack_certified, KnapsackItem,
 };
 use blaze_solver::lp::Constraint;
-use blaze_workloads::{run_blaze_instrumented, App, AppSpec};
+use blaze_workloads::{App, AppSpec, Session};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -210,10 +210,15 @@ fn run_timed(spec: &AppSpec, incremental: bool) -> (f64, u64, f64, u64) {
     let calls = Arc::new(AtomicU64::new(0));
     let (n2, c2) = (Arc::clone(&nanos), Arc::clone(&calls));
     let cfg = BlazeConfig { incremental, ..BlazeConfig::full() };
-    let out = run_blaze_instrumented(spec, cfg, Default::default(), false, move |inner| {
-        Box::new(TimedController { inner, decision_nanos: n2, decision_calls: c2 })
-    })
-    .expect("workload run failed");
+    let out = Session::builder()
+        .app(*spec)
+        .blaze(cfg)
+        .instrument(move |inner| {
+            Box::new(TimedController { inner, decision_nanos: n2, decision_calls: c2 })
+        })
+        .run()
+        .expect("workload run failed")
+        .into_outcome();
     (
         out.metrics.completion_time.as_secs_f64(),
         out.metrics.jobs,
@@ -715,8 +720,8 @@ fn aggregate_verify_ratio(certify: &[CertifySample]) -> f64 {
 fn run_shadow(app: App) {
     let spec = AppSpec::evaluation(app);
     let cfg = BlazeConfig { shadow_compare: true, ..BlazeConfig::full() };
-    let out = run_blaze_instrumented(&spec, cfg, Default::default(), false, |c| Box::new(c))
-        .expect("shadow run failed");
+    let out =
+        Session::builder().app(spec).blaze(cfg).run().expect("shadow run failed").into_outcome();
     eprintln!(
         "shadow  {:7} jobs={:3} act={:.4}s (all submissions compared equal)",
         app.label(),

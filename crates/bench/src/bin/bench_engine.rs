@@ -17,11 +17,19 @@
 //! their ser counters at exactly zero. `--quick` skips the thread sweep
 //! (CI runs `--quick --check`; the full run writes both sections).
 //!
+//! The multi-app section co-runs PageRank and KMeans in one session over
+//! the shared store, once under shared-cache Blaze and once under the
+//! isolated per-app LRU partition baseline, for both scheduler policies.
+//! With `--check` the run fails unless shared-cache Blaze spends strictly
+//! less total recompute time than the isolated partitions under every
+//! policy — the holistic-cache dividend the tentpole claims.
+//!
 //! Results are written to `BENCH_engine.json` at the repository root.
 
 use blaze_bench::json::{nz, oversubscribed};
 use blaze_engine::config::default_worker_threads;
-use blaze_workloads::{run_spec, App, AppSpec, SystemKind};
+use blaze_engine::{SchedPolicy, SchedulerConfig};
+use blaze_workloads::{App, AppSpec, Session, SessionOutcome, SystemKind};
 use std::time::Instant;
 
 struct Sample {
@@ -74,7 +82,14 @@ fn run_sample(
     host_cpus: usize,
 ) -> Sample {
     let t = spec.worker_threads.unwrap_or(host_cpus);
-    let (out, wall) = measure_wall_clock(|| run_spec(spec, system).expect("benchmark run failed"));
+    let (out, wall) = measure_wall_clock(|| {
+        Session::builder()
+            .app(*spec)
+            .system(system)
+            .run()
+            .expect("benchmark run failed")
+            .into_outcome()
+    });
     let m = &out.metrics;
     let act = m.completion_time.as_secs_f64();
     eprintln!(
@@ -170,8 +185,10 @@ fn main() {
         eprintln!("bench_engine --check: ser tier engaged on {engaged}/2 workloads; floors hold");
     }
 
+    let multi = run_multi_app_section(check);
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    let json = render_json(host_cpus, &samples);
+    let json = render_json(host_cpus, &samples, &multi);
     if quick {
         // CI's --quick pass is a floor check, not a measurement: don't
         // clobber the full benchmark artifact with a partial one.
@@ -182,8 +199,92 @@ fn main() {
     }
 }
 
+/// One co-run of the multi-app session (two apps, one shared store).
+struct MultiSample {
+    system: &'static str,
+    policy: &'static str,
+    apps: usize,
+    wall_s: f64,
+    sim_act: f64,
+    recompute_s: f64,
+    cross_mem_hits: u64,
+    cross_disk_hits: u64,
+    evictions: u64,
+}
+
+/// Co-runs PageRank and KMeans in one session under `system`/`policy`.
+fn co_run(system: SystemKind, policy: SchedPolicy) -> (SessionOutcome, f64) {
+    let (out, wall) = measure_wall_clock(|| {
+        Session::builder()
+            .app(AppSpec::evaluation(App::PageRank).with_worker_threads(2))
+            .app(AppSpec::evaluation(App::KMeans).with_worker_threads(2))
+            .system(system)
+            .scheduler(SchedulerConfig { policy, seed: 0xA11 })
+            .run()
+            .expect("multi-app run failed")
+    });
+    (out, wall)
+}
+
+/// The multi-app comparison: shared-cache Blaze vs isolated per-app LRU
+/// partitions, both over the *same* total store capacity. Runs in quick
+/// mode too — it carries the `--check` floor.
+fn run_multi_app_section(check: bool) -> Vec<MultiSample> {
+    let mut multi = Vec::new();
+    for policy in [SchedPolicy::RoundRobin, SchedPolicy::FairShare] {
+        let policy_label = match policy {
+            SchedPolicy::RoundRobin => "round_robin",
+            SchedPolicy::FairShare => "fair_share",
+        };
+        let mut recompute = Vec::new();
+        for (system, sys_label) in
+            [(SystemKind::Blaze, "blaze_shared"), (SystemKind::IsolatedLru, "isolated_lru")]
+        {
+            let (out, wall) = co_run(system, policy);
+            let m = &out.metrics;
+            let per_app = m.per_app_sorted();
+            let (cross_mem, cross_disk) = per_app
+                .iter()
+                .fold((0, 0), |(a, b), (_, pm)| (a + pm.cross_mem_hits, b + pm.cross_disk_hits));
+            let rec = m.total_recompute_time().as_secs_f64();
+            eprintln!(
+                "multi-app {sys_label:12} {policy_label:11} apps={} sim_act={:.4}s \
+                 recompute={rec:.4}s evictions={}",
+                per_app.len(),
+                m.completion_time.as_secs_f64(),
+                m.evictions,
+            );
+            recompute.push(rec);
+            multi.push(MultiSample {
+                system: sys_label,
+                policy: policy_label,
+                apps: per_app.len(),
+                wall_s: wall,
+                sim_act: m.completion_time.as_secs_f64(),
+                recompute_s: rec,
+                cross_mem_hits: cross_mem,
+                cross_disk_hits: cross_disk,
+                evictions: m.evictions,
+            });
+        }
+        if check {
+            assert!(
+                recompute[0] < recompute[1],
+                "--check floor [{policy_label}]: shared-cache Blaze must recompute less \
+                 ({:.4}s) than isolated per-app LRU partitions ({:.4}s)",
+                recompute[0],
+                recompute[1],
+            );
+        }
+    }
+    if check {
+        eprintln!("bench_engine --check: shared cache beats isolated partitions; floors hold");
+    }
+    multi
+}
+
 /// Hand-rolled JSON writer (the workspace deliberately has no serde).
-fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
+fn render_json(host_cpus: usize, samples: &[Sample], multi: &[MultiSample]) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     s.push_str("  \"runs\": [\n");
@@ -213,6 +314,25 @@ fn render_json(host_cpus: usize, samples: &[Sample]) -> String {
             r.ser_mem_hits,
             r.ser_transitions,
             if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"multi_app\": [\n");
+    for (i, r) in multi.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"system\": \"{}\", \"policy\": \"{}\", \"apps\": {}, \
+             \"wall_s\": {:.6}, \"sim_act\": {:.6}, \"recompute_s\": {:.6}, \
+             \"cross_mem_hits\": {}, \"cross_disk_hits\": {}, \"evictions\": {}}}{}\n",
+            r.system,
+            r.policy,
+            r.apps,
+            nz(r.wall_s),
+            nz(r.sim_act),
+            nz(r.recompute_s),
+            r.cross_mem_hits,
+            r.cross_disk_hits,
+            r.evictions,
+            if i + 1 < multi.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

@@ -39,11 +39,20 @@ use blaze_engine::{
     Admission, BlockInfo, CacheController, CtrlCtx, DegradationNote, ExecutorCrash, FaultPlan,
     PartitionEvent, StateCommand, StoreTier, VictimAction,
 };
-use blaze_workloads::{
-    run_blaze_instrumented, run_spec, run_spec_with_fault, App, AppSpec, SystemKind,
-};
+use blaze_workloads::{App, AppSpec, RunOutcome, Session, SystemKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One faulted (or clean, with the default plan) run through the session API.
+fn run_one(spec: &AppSpec, system: SystemKind, fault: FaultPlan) -> RunOutcome {
+    Session::builder()
+        .app(*spec)
+        .system(system)
+        .fault(fault)
+        .run()
+        .expect("run failed")
+        .into_outcome()
+}
 
 /// One (workload, system) comparison: the clean run and the faulted run.
 struct Sample {
@@ -269,9 +278,8 @@ fn main() {
     for &(app, label, crash_at_s) in cases {
         for system in SystemKind::headline() {
             let spec = AppSpec::evaluation(app);
-            let clean = run_spec(&spec, system).expect("clean run failed");
-            let faulted =
-                run_spec_with_fault(&spec, system, fault_plan(crash_at_s)).expect("faulted run");
+            let clean = run_one(&spec, system, FaultPlan::default());
+            let faulted = run_one(&spec, system, fault_plan(crash_at_s));
             let rec = &faulted.metrics.recovery;
             let spec_m = &faulted.metrics.speculation;
             let sample = Sample {
@@ -323,10 +331,8 @@ fn main() {
     for &(app, label, _) in cases {
         for system in [SystemKind::SparkMemDisk, SystemKind::Blaze] {
             let spec = AppSpec::evaluation(app);
-            let off = run_spec_with_fault(&spec, system, straggler_plan(false))
-                .expect("speculation-off run");
-            let on = run_spec_with_fault(&spec, system, straggler_plan(true))
-                .expect("speculation-on run");
+            let off = run_one(&spec, system, straggler_plan(false));
+            let on = run_one(&spec, system, straggler_plan(true));
             let m = &on.metrics.speculation;
             let s = SpecSample {
                 workload: label,
@@ -352,8 +358,7 @@ fn main() {
     for &(app, label, _) in cases {
         let spec = AppSpec::evaluation(app);
         let plan = FaultPlan { seed: 0xC0DE, spill_corruption_rate: 0.7, ..Default::default() };
-        let out =
-            run_spec_with_fault(&spec, SystemKind::SparkMemDisk, plan).expect("quarantine run");
+        let out = run_one(&spec, SystemKind::SparkMemDisk, plan);
         let s = QuarSample {
             workload: label,
             act: out.metrics.completion_time.as_secs_f64(),
@@ -371,8 +376,12 @@ fn main() {
     let mut degrad_samples: Vec<DegradSample> = Vec::new();
     for &(app, label, _) in cases {
         let spec = AppSpec::evaluation(app);
-        let full =
-            blaze_workloads::run_blaze_with(&spec, BlazeConfig::full()).expect("uncapped run");
+        let full = Session::builder()
+            .app(spec)
+            .blaze(BlazeConfig::full())
+            .run()
+            .expect("uncapped run")
+            .into_outcome();
         let degraded = Arc::new(AtomicU64::new(0));
         let passthrough = Arc::new(AtomicU64::new(0));
         let (d, p) = (Arc::clone(&degraded), Arc::clone(&passthrough));
@@ -380,10 +389,15 @@ fn main() {
             solve_deadline: Some(SimDuration::from_nanos(SOLVE_DEADLINE_NS)),
             ..BlazeConfig::full()
         };
-        let capped = run_blaze_instrumented(&spec, cfg, Default::default(), false, move |inner| {
-            Box::new(LadderCounting { inner, degraded: d, passthrough: p })
-        })
-        .expect("capped Blaze run");
+        let capped = Session::builder()
+            .app(spec)
+            .blaze(cfg)
+            .instrument(move |inner| {
+                Box::new(LadderCounting { inner, degraded: d, passthrough: p })
+            })
+            .run()
+            .expect("capped Blaze run")
+            .into_outcome();
         let s = DegradSample {
             workload: label,
             deadline_ns: SOLVE_DEADLINE_NS,

@@ -35,7 +35,7 @@ use blaze_solver::cert::KnapNode;
 use blaze_solver::ilp::{solve_binary_certified, IlpProblem};
 use blaze_solver::knapsack::{greedy_certificate, solve_knapsack_certified, KnapsackItem};
 use blaze_solver::mckp::{greedy_mckp_certificate, solve_mckp_certified, MckpGroup, MckpOption};
-use blaze_workloads::{run_blaze_instrumented, App, AppSpec};
+use blaze_workloads::{App, AppSpec, Session};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -150,11 +150,13 @@ fn check_all(scale: f64) {
                 cfg.optimizer.strategy = strategy;
                 let certified = Arc::new(AtomicU64::new(0));
                 let mirror = Arc::clone(&certified);
-                let out =
-                    run_blaze_instrumented(&spec, cfg, Default::default(), false, move |inner| {
-                        Box::new(CertCounting { inner, certified: mirror })
-                    })
-                    .expect("certified workload run failed");
+                let out = Session::builder()
+                    .app(spec)
+                    .blaze(cfg)
+                    .instrument(move |inner| Box::new(CertCounting { inner, certified: mirror }))
+                    .run()
+                    .expect("certified workload run failed")
+                    .into_outcome();
                 let n = certified.load(Ordering::Relaxed);
                 total += n;
                 eprintln!(
@@ -182,11 +184,13 @@ fn check_all(scale: f64) {
                 cfg.optimizer.strategy = strategy;
                 let certified = Arc::new(AtomicU64::new(0));
                 let mirror = Arc::clone(&certified);
-                let out =
-                    run_blaze_instrumented(&spec, cfg, Default::default(), false, move |inner| {
-                        Box::new(CertCounting { inner, certified: mirror })
-                    })
-                    .expect("certified ser-tier run failed");
+                let out = Session::builder()
+                    .app(spec)
+                    .blaze(cfg)
+                    .instrument(move |inner| Box::new(CertCounting { inner, certified: mirror }))
+                    .run()
+                    .expect("certified ser-tier run failed")
+                    .into_outcome();
                 let n = certified.load(Ordering::Relaxed);
                 total += n;
                 eprintln!(

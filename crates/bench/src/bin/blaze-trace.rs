@@ -24,7 +24,7 @@
 use blaze_common::ids::{BlockId, RddId};
 use blaze_common::{SimDuration, SimTime};
 use blaze_engine::{ExecutorCrash, FaultPlan, TraceLog};
-use blaze_workloads::{run_spec_traced, App, AppSpec, RunOutcome, SystemKind};
+use blaze_workloads::{App, AppSpec, RunOutcome, Session, SystemKind};
 use std::process::ExitCode;
 
 /// Parsed command line.
@@ -167,7 +167,14 @@ fn app_key(app: App) -> &'static str {
 fn run_traced(opts: &Options, app: App, system: SystemKind, threads: usize) -> RunOutcome {
     let spec = AppSpec::evaluation(app).with_worker_threads(threads);
     let fault = if opts.faults { fault_plan() } else { FaultPlan::default() };
-    match run_spec_traced(&spec, system, fault) {
+    let run = Session::builder()
+        .app(spec)
+        .system(system)
+        .fault(fault)
+        .tracing(true)
+        .run()
+        .map(|o| o.into_outcome());
+    match run {
         Ok(out) => out,
         Err(e) => {
             eprintln!("blaze-trace: {} under {system:?} failed: {e}", app_key(app));

@@ -4,7 +4,11 @@
 //! premise behind reproducing a cluster-scale evaluation at laptop scale.
 
 use blaze_bench::table::{secs, speedup, Table};
-use blaze_workloads::{runner::run_spec, App, AppSpec, SystemKind};
+use blaze_workloads::{App, AppSpec, RunOutcome, Session, SystemKind};
+
+fn run_one(spec: &AppSpec, system: SystemKind) -> RunOutcome {
+    Session::builder().app(*spec).system(system).run().expect("run failed").into_outcome()
+}
 
 fn main() {
     println!("== Extension: scale sweep (PageRank, SVD++) ==\n");
@@ -20,9 +24,9 @@ fn main() {
         for factor in [0.5, 1.0, 2.0] {
             eprintln!("running {} at {factor}x ...", app.label());
             let spec = AppSpec::evaluation(app).scaled(factor);
-            let mem = run_spec(&spec, SystemKind::SparkMemOnly).unwrap();
-            let disk = run_spec(&spec, SystemKind::SparkMemDisk).unwrap();
-            let blaze = run_spec(&spec, SystemKind::Blaze).unwrap();
+            let mem = run_one(&spec, SystemKind::SparkMemOnly);
+            let disk = run_one(&spec, SystemKind::SparkMemDisk);
+            let blaze = run_one(&spec, SystemKind::Blaze);
             let (m, d, b) = (
                 mem.metrics.completion_time.as_secs_f64(),
                 disk.metrics.completion_time.as_secs_f64(),

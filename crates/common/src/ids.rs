@@ -50,6 +50,16 @@ define_id!(
     "job"
 );
 define_id!(
+    /// Identifier of one application admitted to a multi-app session.
+    ///
+    /// Jobs are numbered per application (each driver owns its own counter,
+    /// like a `SparkContext`), so a bare [`JobId`] collides as soon as two
+    /// applications run concurrently; per-job accounting is keyed by
+    /// `(AppId, JobId)`.
+    AppId,
+    "app"
+);
+define_id!(
     /// Identifier of a stage (a shuffle-free pipeline of operators within a job).
     StageId,
     "stage"
@@ -99,6 +109,7 @@ mod tests {
     fn display_forms_are_stable() {
         assert_eq!(RddId(12).to_string(), "rdd-12");
         assert_eq!(JobId(3).to_string(), "job-3");
+        assert_eq!(AppId(2).to_string(), "app-2");
         assert_eq!(StageId(0).to_string(), "stage-0");
         assert_eq!(TaskId(7).to_string(), "task-7");
         assert_eq!(ExecutorId(1).to_string(), "exec-1");

@@ -25,8 +25,9 @@ use crate::optimize::{
 use crate::pattern::{detect, IterationPattern};
 use crate::profiler::ProfileResult;
 use crate::refs::JobRefs;
+use blaze_common::error::{BlazeError, Result};
 use blaze_common::fxhash::FxHashMap;
-use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::ids::{AppId, BlockId, ExecutorId, JobId, RddId};
 use blaze_common::{ByteSize, SimDuration};
 use blaze_dataflow::{JobPlan, Plan};
 use blaze_engine::{
@@ -120,6 +121,139 @@ impl BlazeConfig {
     pub fn cost_aware() -> Self {
         Self { unified: false, ..Self::full() }
     }
+
+    /// Starts a typed builder seeded with the full-Blaze preset.
+    pub fn builder() -> BlazeConfigBuilder {
+        BlazeConfigBuilder { cfg: Self::full() }
+    }
+
+    /// Runs the controller's preflight checks eagerly, turning every
+    /// error-or-warning finding the engine would otherwise surface at job
+    /// submission into a construction-time [`BlazeError::Audit`].
+    ///
+    /// This mirrors [`CacheController::preflight_diagnostics`] (BA304): a
+    /// solver deadline below the cheapest ladder rung silently disables the
+    /// optimizer, which a deliberately configured deadline never intends.
+    pub fn validate(&self) -> Result<()> {
+        if self.optimizer.horizon_jobs == 0 {
+            return Err(BlazeError::Config(
+                "optimizer.horizon_jobs must be at least 1 (the window always \
+                 includes the submitted job)"
+                    .into(),
+            ));
+        }
+        let deadline = self.solve_deadline.or(self.optimizer.solve_deadline);
+        if let Some(deadline) = deadline {
+            let floor = min_ladder_cost_ns();
+            if deadline.as_nanos() < floor {
+                return Err(BlazeError::Audit {
+                    code: "BA304".into(),
+                    message: format!(
+                        "solve_deadline of {} ns is below the cheapest ladder rung \
+                         (~{floor} ns): every decision solve would degrade straight \
+                         to LRU passthrough",
+                        deadline.as_nanos()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed builder for [`BlazeConfig`], running the controller's preflight
+/// validations at [`BlazeConfigBuilder::build`] time so misconfigurations
+/// surface as an early [`BlazeError::Audit`] instead of a per-job warning.
+///
+/// Starts from [`BlazeConfig::full`]; every method overrides one field.
+#[derive(Debug, Clone)]
+pub struct BlazeConfigBuilder {
+    cfg: BlazeConfig,
+}
+
+impl BlazeConfigBuilder {
+    /// Automatic caching / unpersisting by future references (§5.6).
+    #[must_use]
+    pub fn auto_cache(mut self, on: bool) -> Self {
+        self.cfg.auto_cache = on;
+        self
+    }
+
+    /// Cost-aware victim selection (§4.2).
+    #[must_use]
+    pub fn cost_aware(mut self, on: bool) -> Self {
+        self.cfg.cost_aware = on;
+        self
+    }
+
+    /// The full unified decision layer (§4.1, §5.5).
+    #[must_use]
+    pub fn unified(mut self, on: bool) -> Self {
+        self.cfg.unified = on;
+        self
+    }
+
+    /// Whether disk states are allowed at all.
+    #[must_use]
+    pub fn use_disk(mut self, on: bool) -> Self {
+        self.cfg.use_disk = on;
+        self
+    }
+
+    /// ILP configuration.
+    #[must_use]
+    pub fn optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.cfg.optimizer = optimizer;
+        self
+    }
+
+    /// How many future jobs to induce when running without profiling.
+    #[must_use]
+    pub fn induce_horizon(mut self, jobs: usize) -> Self {
+        self.cfg.induce_horizon = jobs;
+        self
+    }
+
+    /// The O(changed) incremental decision path.
+    #[must_use]
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.cfg.incremental = on;
+        self
+    }
+
+    /// Shadow-compare both decision paths (correctness harness).
+    #[must_use]
+    pub fn shadow_compare(mut self, on: bool) -> Self {
+        self.cfg.shadow_compare = on;
+        self
+    }
+
+    /// Emit and verify decision certificates (debugging harness).
+    #[must_use]
+    pub fn certify(mut self, on: bool) -> Self {
+        self.cfg.certify = on;
+        self
+    }
+
+    /// Simulated-time budget for each job's decision solve.
+    #[must_use]
+    pub fn solve_deadline(mut self, deadline: SimDuration) -> Self {
+        self.cfg.solve_deadline = Some(deadline);
+        self
+    }
+
+    /// The serialized in-memory tier as a first-class decision state.
+    #[must_use]
+    pub fn ser_tier(mut self, on: bool) -> Self {
+        self.cfg.ser_tier = on;
+        self
+    }
+
+    /// Validates and returns the configuration (see [`BlazeConfig::validate`]).
+    pub fn build(self) -> Result<BlazeConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 /// The Blaze cache controller.
@@ -158,6 +292,11 @@ pub struct BlazeController {
     /// Degradation note of the most recent job submit, drained by the
     /// engine via [`CacheController::take_degradation`].
     pending_degradation: Option<DegradationNote>,
+    /// Per-application job-target sequences. Under a multi-app session the
+    /// *global* sequence interleaves several drivers' iterations and has no
+    /// constant stride; each app's own sequence keeps the §5.3 pattern
+    /// intact, so detection runs on the submitting app's slice.
+    targets_by_app: FxHashMap<AppId, Vec<RddId>>,
 }
 
 impl BlazeController {
@@ -195,6 +334,7 @@ impl BlazeController {
                 certified_scratch: 0,
                 ladder_scratch: LadderReport::default(),
                 pending_degradation: None,
+                targets_by_app: FxHashMap::default(),
             },
             None => Self {
                 cfg,
@@ -212,6 +352,7 @@ impl BlazeController {
                 certified_scratch: 0,
                 ladder_scratch: LadderReport::default(),
                 pending_degradation: None,
+                targets_by_app: FxHashMap::default(),
             },
         }
     }
@@ -291,9 +432,19 @@ impl BlazeController {
     /// tail is re-derived. A [`CostLineage::sequence_rev`] bump (target
     /// truncation) invalidates the append-only assumption and forces the
     /// from-scratch build.
-    fn relearn_refs(&mut self, plan: &Plan) {
+    fn relearn_refs(&mut self, plan: &Plan, app: AppId) {
         let targets = self.lineage.job_targets().to_vec();
-        self.pattern = detect(&targets);
+        // Pattern detection is per application. With one app the global
+        // sequence *is* that app's sequence (the legacy path, byte for
+        // byte); with several, the interleaved global sequence garbles the
+        // per-driver stride, so detect on the submitting app's own targets.
+        // References still build over the global sequence: the Eq. 5–6
+        // window spans every live app's jobs against the shared store.
+        self.pattern = if self.targets_by_app.len() > 1 {
+            self.targets_by_app.get(&app).and_then(|t| detect(t))
+        } else {
+            detect(&targets)
+        };
         let seq = self.lineage.sequence_rev();
         if self.cfg.incremental
             && seq == self.refs_seq_rev
@@ -349,11 +500,12 @@ impl CacheController for BlazeController {
             self.lineage.check_consistency(plan).diagnostics
         );
         self.current_idx = self.lineage.observe_job(job, job_plan.target);
+        self.targets_by_app.entry(ctx.app).or_default().push(job_plan.target);
         if self.profiled && self.lineage.diverged() {
             self.profiled = false;
         }
         if !self.profiled {
-            self.relearn_refs(plan);
+            self.relearn_refs(plan, ctx.app);
         }
         // Reference budget of this job: every dependency edge of every stage
         // counts once and is consumed when its stage completes.
@@ -706,12 +858,17 @@ mod tests {
     use blaze_engine::HardwareModel;
 
     fn ctrl_ctx() -> CtrlCtx {
+        ctrl_ctx_for(AppId(0))
+    }
+
+    fn ctrl_ctx_for(app: AppId) -> CtrlCtx {
         CtrlCtx {
             now: SimTime::ZERO,
             hardware: HardwareModel::default(),
             memory_capacity: ByteSize::from_mib(4),
             disk_capacity: ByteSize::from_gib(1),
             executors: 2,
+            app,
         }
     }
 
@@ -923,5 +1080,60 @@ mod tests {
         let mut ctl = BlazeController::new(BlazeConfig::full_mem_only(), None);
         let ctx = ctrl_ctx();
         assert_eq!(ctl.on_admission_failure(&ctx, &info(1, 0, 1)), Admission::Skip);
+    }
+
+    #[test]
+    fn builder_validates_at_build_time() {
+        let cfg = BlazeConfig::builder().ser_tier(true).use_disk(false).build().unwrap();
+        assert!(cfg.ser_tier && !cfg.use_disk);
+
+        // BA304 at construction time instead of a per-job warning.
+        let err = BlazeConfig::builder().solve_deadline(SimDuration::from_nanos(1)).build();
+        assert!(
+            matches!(err, Err(BlazeError::Audit { ref code, .. }) if code == "BA304"),
+            "{err:?}"
+        );
+
+        let opt = OptimizerConfig { horizon_jobs: 0, ..OptimizerConfig::default() };
+        let err = BlazeConfig::builder().optimizer(opt).build();
+        assert!(matches!(err, Err(BlazeError::Config(_))), "{err:?}");
+    }
+
+    #[test]
+    fn multi_app_pattern_detection_survives_interleaving() {
+        use blaze_dataflow::{planner::plan_job, runner::LocalRunner, Context};
+        // Two drivers grow one shared plan: app 0 allocates one RDD per
+        // iteration, app 1 two, so the *global* interleaved target sequence
+        // alternates strides (aperiodic) while each app's own slice has a
+        // constant stride of 3.
+        let dctx = Context::new(LocalRunner::new());
+        let a0 = dctx.parallelize((0..8u64).collect::<Vec<_>>(), 1);
+        let b0 = dctx.parallelize((0..8u64).collect::<Vec<_>>(), 1);
+        let mut a = a0.map(|x| x + 1);
+        let mut b = b0.map(|x| x + 1).map(|x| x + 1);
+        let (mut a_targets, mut b_targets) = (Vec::new(), Vec::new());
+        for _ in 0..3 {
+            a_targets.push(a.id());
+            b_targets.push(b.id());
+            a = a.map(|x| x + 1);
+            b = b.map(|x| x + 1).map(|x| x + 1);
+        }
+
+        let mut ctl = BlazeController::new(BlazeConfig::full(), None);
+        let plan_lock = dctx.plan();
+        let plan = plan_lock.read();
+        for (i, (&ta, &tb)) in a_targets.iter().zip(&b_targets).enumerate() {
+            let jp = plan_job(&plan, ta).unwrap();
+            ctl.on_job_submit(&ctrl_ctx_for(AppId(0)), JobId(i as u32), &jp, &plan);
+            let jp = plan_job(&plan, tb).unwrap();
+            ctl.on_job_submit(&ctrl_ctx_for(AppId(1)), JobId(i as u32), &jp, &plan);
+        }
+
+        assert!(detect(ctl.lineage.job_targets()).is_none(), "interleave must look aperiodic");
+        let p = ctl.pattern.expect("per-app slice must still carry the stride");
+        assert_eq!(p.stride, 3);
+        // The induced tail (predicting app 1's next iterations) was appended
+        // on top of the six captured jobs.
+        assert_eq!(ctl.refs.num_jobs(), 6 + BlazeConfig::full().induce_horizon);
     }
 }

@@ -51,7 +51,7 @@ use crate::storage::{spill_checksum, BlockStore, StoredBlock};
 use crate::tracing::{CacheDecision, CacheRecord, TraceEvent, TraceLog};
 use blaze_common::error::{BlazeError, Result};
 use blaze_common::fxhash::{FxHashMap, FxHashSet};
-use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::ids::{AppId, BlockId, ExecutorId, JobId, RddId};
 use blaze_common::{ByteSize, SimDuration, SimTime};
 use blaze_dataflow::plan::{Compute, Dep};
 use blaze_dataflow::runner::JobRunner;
@@ -130,6 +130,35 @@ impl Cluster {
         st.wipe_executor(e, at);
         Ok(())
     }
+
+    /// Admits one job on behalf of `app` and returns its ticket. Session
+    /// layer only: the legacy [`JobRunner`] path stays on `run_job`.
+    pub(crate) fn begin_job_for(
+        &self,
+        app: AppId,
+        plan: &Plan,
+        target: RddId,
+    ) -> Result<JobTicket> {
+        self.state.lock().begin_job(app, plan, target)
+    }
+
+    /// Runs the ticket's next stage. The lock is held only for the stage,
+    /// so a session scheduler can interleave stages of different apps.
+    pub(crate) fn run_next_stage_for(&self, ticket: &mut JobTicket, plan: &Plan) -> Result<()> {
+        self.state.lock().run_next_stage(ticket, plan)
+    }
+
+    /// Completes a ticket whose stages have all run.
+    pub(crate) fn finish_job_for(&self, ticket: JobTicket) -> Result<Vec<Block>> {
+        self.state.lock().finish_job(ticket)
+    }
+
+    /// Unpersist on behalf of a specific app (owner attribution).
+    pub(crate) fn unpersist_for(&self, app: AppId, rdd: RddId) {
+        let mut st = self.state.lock();
+        st.current_app = app;
+        st.user_unpersist(rdd);
+    }
 }
 
 impl JobRunner for Cluster {
@@ -168,7 +197,19 @@ struct ClusterState {
     /// Per-executor, per-slot simulated clocks.
     slots: Vec<Vec<SimTime>>,
     metrics: Metrics,
-    job_counter: u32,
+    /// Per-application job counters: each admitted app numbers its own
+    /// jobs from zero (like a `SparkContext` does), so all per-job
+    /// accounting downstream is keyed by `(AppId, JobId)`.
+    job_counters: FxHashMap<AppId, u32>,
+    /// The application the engine is currently executing on behalf of.
+    /// Always `app-0` on the legacy single-app path; the multi-app
+    /// session layer sets it at every job/stage/unpersist entry point
+    /// (all of which run under the scheduler turnstile, so the field is
+    /// never observed concurrently).
+    current_app: AppId,
+    /// First application that materialized each block, for cross-app
+    /// hit/eviction attribution against the shared stores.
+    block_app: FxHashMap<BlockId, AppId>,
     /// Simulated time at which the next job may start.
     clock_floor: SimTime,
     /// Every action target submitted so far (preflight audit context).
@@ -187,6 +228,46 @@ struct ClusterState {
     /// [`ClusterConfig::tracing`] is on. Every record happens in a serial
     /// engine phase, so the log is byte-identical across `worker_threads`.
     trace: Option<TraceLog>,
+}
+
+/// One admitted job's in-flight execution state, detached from the engine
+/// so the session scheduler can interleave stages of different apps.
+///
+/// Produced by [`ClusterState::begin_job`]; each [`ClusterState::run_next_stage`]
+/// call advances it by one stage; [`ClusterState::finish_job`] consumes it.
+/// The ticket owns its stage plan and dependency clocks (`stage_done` floors
+/// at `job_floor`, the global clock floor at admission), so interleaving
+/// never perturbs a job's internal timing — N=1 runs are byte-identical to
+/// the legacy serial path.
+pub(crate) struct JobTicket {
+    app: AppId,
+    job: JobId,
+    job_plan: blaze_dataflow::planner::JobPlan,
+    /// Which shuffles each map stage feeds within this job.
+    consumers: FxHashMap<RddId, Vec<(RddId, usize)>>,
+    /// Per-stage completion times, seeded with `job_floor`.
+    stage_done: Vec<SimTime>,
+    /// Global clock floor snapshotted at admission; all stage starts fold
+    /// from here, never from the live (cross-app) clock floor.
+    job_floor: SimTime,
+    /// Result-stage blocks accumulated so far.
+    results: Vec<Block>,
+    next_stage: usize,
+    fault_on: bool,
+}
+
+impl JobTicket {
+    pub(crate) fn done(&self) -> bool {
+        self.next_stage >= self.job_plan.stages.len()
+    }
+
+    /// Simulated time this job has consumed so far (latest stage completion
+    /// relative to the job's admission floor). The fair-share scheduler
+    /// charges the per-stage delta of this to the owning app.
+    pub(crate) fn sim_cost(&self) -> SimDuration {
+        let latest = self.stage_done.iter().copied().max().unwrap_or(self.job_floor);
+        latest.since(self.job_floor)
+    }
 }
 
 /// Frozen, read-only view of the cluster a stage's tasks execute against.
@@ -742,7 +823,9 @@ impl ClusterState {
             },
             slots: (0..execs).map(|_| vec![SimTime::ZERO; config.slots_per_executor]).collect(),
             metrics: Metrics::new(),
-            job_counter: 0,
+            job_counters: FxHashMap::default(),
+            current_app: AppId(0),
+            block_app: FxHashMap::default(),
             clock_floor: SimTime::ZERO,
             job_targets: Vec::new(),
             seen_audit: FxHashSet::default(),
@@ -757,6 +840,7 @@ impl ClusterState {
     fn ctrl_ctx(&self, now: SimTime) -> CtrlCtx {
         CtrlCtx {
             now,
+            app: self.current_app,
             hardware: self.config.hardware,
             memory_capacity: self.config.memory_capacity,
             disk_capacity: self.config.disk_capacity,
@@ -842,9 +926,28 @@ impl ClusterState {
     }
 
     fn run_job(&mut self, plan: &Plan, target: RddId) -> Result<Vec<Block>> {
+        // The legacy serial path is the scheduler path degenerated to one
+        // app: begin, run every stage back-to-back, finish. Keeping it as
+        // this exact composition is what makes N=1 session traces
+        // byte-identical to historical single-app runs.
+        let mut ticket = self.begin_job(AppId(0), plan, target)?;
+        while !ticket.done() {
+            self.run_next_stage(&mut ticket, plan)?;
+        }
+        self.finish_job(ticket)
+    }
+
+    /// Admits one job of `app`: preflight audit, per-app job numbering,
+    /// fault housekeeping, controller submit hook, and stage planning.
+    /// The returned [`JobTicket`] carries everything the per-stage
+    /// execution needs, so the session layer can interleave stages of
+    /// different apps between calls.
+    fn begin_job(&mut self, app: AppId, plan: &Plan, target: RddId) -> Result<JobTicket> {
+        self.current_app = app;
         self.preflight_audit(plan, target)?;
-        let job = JobId(self.job_counter);
-        self.job_counter += 1;
+        let counter = self.job_counters.entry(app).or_insert(0);
+        let job = JobId(*counter);
+        *counter += 1;
         let job_plan = blaze_dataflow::planner::plan_job(plan, target)?;
 
         // All fault paths hang off this one gate: with the default
@@ -855,7 +958,7 @@ impl ClusterState {
             self.inject_map_output_loss(job);
         }
         if let Some(tr) = self.trace.as_mut() {
-            tr.record(TraceEvent::JobStarted { at: self.clock_floor, job, target });
+            tr.record(TraceEvent::JobStarted { at: self.clock_floor, app, job, target });
         }
 
         // Which shuffles does each map stage feed within this job?
@@ -883,6 +986,7 @@ impl ClusterState {
             if let Some(tr) = self.trace.as_mut() {
                 tr.record(TraceEvent::Cache(CacheRecord {
                     at: self.clock_floor,
+                    app,
                     executor: ExecutorId(0),
                     id: BlockId::new(RddId(u32::MAX), 0),
                     bytes: ByteSize::ZERO,
@@ -895,182 +999,211 @@ impl ClusterState {
             }
         }
 
-        let mut stage_done = vec![self.clock_floor; job_plan.stages.len()];
-        let last_stage = job_plan.stages.len() - 1;
-        let mut results: Vec<Block> = Vec::new();
+        let stage_done = vec![self.clock_floor; job_plan.stages.len()];
+        Ok(JobTicket {
+            app,
+            job,
+            job_floor: self.clock_floor,
+            job_plan,
+            consumers,
+            stage_done,
+            results: Vec::new(),
+            next_stage: 0,
+            fault_on,
+        })
+    }
 
-        for stage in &job_plan.stages {
-            let is_result = stage.index == last_stage;
-            let start =
-                stage.parent_stages.iter().fold(self.clock_floor, |t, &p| t.max(stage_done[p]));
+    /// Runs the ticket's next stage end to end (plan / execute / commit).
+    /// Stage starts floor at the ticket's own `job_floor`, not the global
+    /// clock floor, so another app finishing a job mid-flight never shifts
+    /// this job's dependency-driven stage times.
+    #[allow(clippy::too_many_lines)]
+    fn run_next_stage(&mut self, ticket: &mut JobTicket, plan: &Plan) -> Result<()> {
+        self.current_app = ticket.app;
+        let job = ticket.job;
+        let fault_on = ticket.fault_on;
+        let last_stage = ticket.job_plan.stages.len() - 1;
+        let idx = ticket.next_stage;
+        ticket.next_stage += 1;
+        let stage = &ticket.job_plan.stages[idx];
+        let is_result = stage.index == last_stage;
+        let start =
+            stage.parent_stages.iter().fold(ticket.job_floor, |t, &p| t.max(ticket.stage_done[p]));
 
-            // Skip map stages whose shuffle outputs all exist already.
-            let stage_consumers = consumers.get(&stage.output).cloned().unwrap_or_default();
-            if !is_result {
-                let num_maps = stage.num_partitions;
-                let all_done = stage_consumers.iter().all(|&(child, dep_idx)| {
-                    self.stores.shuffle.is_complete((child, dep_idx), num_maps)
-                });
-                if all_done {
-                    stage_done[stage.index] = start;
-                    self.metrics.stages_skipped += 1;
-                    // Skipped stages still "complete": dependency-aware
-                    // controllers must see their references consumed.
-                    let ctx = self.ctrl_ctx(start);
-                    let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
-                    self.apply_commands(plan, start, cmds);
-                    continue;
-                } else if fault_on
-                    && stage_consumers.iter().any(|&(c, d)| self.stores.shuffle.any_lost((c, d)))
-                {
-                    // This map stage would have been skipped but for lost
-                    // shuffle outputs: lineage-driven parent-stage
-                    // resubmission (Spark's fetch-failure handling).
-                    self.metrics.recovery.stages_resubmitted += 1;
-                    if let Some(tr) = self.trace.as_mut() {
-                        tr.record(TraceEvent::StageResubmitted {
-                            at: start,
-                            job,
-                            stage_output: stage.output,
-                        });
-                    }
-                }
-            }
-
-            // -- Plan: deterministic locality placement, partition order,
-            //    against the pre-stage state. Mutable because an injected
-            //    executor crash reschedules uncommitted tasks.
-            let mut placements: Vec<ExecutorId> = (0..stage.num_partitions)
-                .map(|p| self.pick_executor(plan, stage.output, p))
-                .collect::<Result<_>>()?;
-            if let Some(tr) = self.trace.as_mut() {
-                for (p, &executor) in placements.iter().enumerate() {
-                    tr.record(TraceEvent::TaskPlanned {
+        // Skip map stages whose shuffle outputs all exist already.
+        let stage_consumers = ticket.consumers.get(&stage.output).cloned().unwrap_or_default();
+        if !is_result {
+            let num_maps = stage.num_partitions;
+            let all_done = stage_consumers.iter().all(|&(child, dep_idx)| {
+                self.stores.shuffle.is_complete((child, dep_idx), num_maps)
+            });
+            if all_done {
+                ticket.stage_done[stage.index] = start;
+                self.metrics.stages_skipped += 1;
+                // Skipped stages still "complete": dependency-aware
+                // controllers must see their references consumed.
+                let ctx = self.ctrl_ctx(start);
+                let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
+                self.apply_commands(plan, start, cmds);
+                return Ok(());
+            } else if fault_on
+                && stage_consumers.iter().any(|&(c, d)| self.stores.shuffle.any_lost((c, d)))
+            {
+                // This map stage would have been skipped but for lost
+                // shuffle outputs: lineage-driven parent-stage
+                // resubmission (Spark's fetch-failure handling).
+                self.metrics.recovery.stages_resubmitted += 1;
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(TraceEvent::StageResubmitted {
                         at: start,
+                        app: ticket.app,
                         job,
                         stage_output: stage.output,
-                        partition: p as u32,
-                        executor,
                     });
                 }
             }
-
-            // -- Execute: all tasks run against a frozen snapshot of the
-            //    stores; shared state is only read.
-            let mut outputs: Vec<Option<Result<TaskOutput>>> = {
-                let view = ExecView {
-                    stores: &self.stores,
-                    config: &self.config,
-                    serialized_in_memory: self.controller.serialized_in_memory(),
-                    fault_coords: fault_on.then_some((job, stage.index as u32)),
-                };
-                execute_stage(
-                    &view,
-                    plan,
-                    stage.output,
-                    &placements,
-                    &stage_consumers,
-                    self.config.worker_threads,
-                )
-                .into_iter()
-                .map(Some)
-                .collect()
-            };
-
-            // Straggler injection: seeded per-task slowdowns plus a
-            // quantile-based speculation deadline (the shape of Spark's
-            // `spark.speculation.{quantile,multiplier}`), all decided in
-            // the serial commit phase from pre-commit execute charges so
-            // traces stay thread-count invariant.
-            let straggle_on = fault_on && self.config.fault.straggler_rate > 0.0;
-            let mut stragglers: Vec<bool> = Vec::new();
-            let mut deadline = SimDuration::ZERO;
-            if straggle_on && !outputs.is_empty() {
-                let fault = &self.config.fault;
-                stragglers = (0..outputs.len())
-                    .map(|p| fault.task_straggles(job.raw(), stage.index as u32, p as u32))
-                    .collect();
-                let mut observed: Vec<SimDuration> = outputs
-                    .iter()
-                    .enumerate()
-                    .map(|(p, o)| {
-                        let base = o
-                            .as_ref()
-                            .and_then(|r| r.as_ref().ok())
-                            .map_or(SimDuration::ZERO, |out| out.charge.total());
-                        if stragglers[p] {
-                            base * fault.straggler_slowdown
-                        } else {
-                            base
-                        }
-                    })
-                    .collect();
-                observed.sort_unstable();
-                let q_idx = (SPECULATION_QUANTILE * (observed.len() - 1) as f64) as usize;
-                deadline = observed[q_idx] * SPECULATION_SLACK;
-            }
-
-            // -- Commit: serial, partition-index order. The first failed
-            //    task aborts the job (deterministically, independent of
-            //    which worker observed it first). Scheduled crashes fire at
-            //    commit boundaries on the simulated clock.
-            let mut stage_end = start;
-            for p in 0..outputs.len() {
-                if fault_on {
-                    self.handle_due_crashes(
-                        plan,
-                        job,
-                        stage.output,
-                        stage.index as u32,
-                        &stage_consumers,
-                        &mut placements,
-                        &mut outputs,
-                        p,
-                        stage_end.max(start),
-                    );
-                }
-                let output = outputs[p].take().ok_or_else(|| {
-                    BlazeError::Execution(format!("partition {p} missing at commit"))
-                })??;
-                let block = output.block.clone();
-                let end = if straggle_on && stragglers[p] {
-                    self.commit_straggler(
-                        job,
-                        stage.output,
-                        p,
-                        placements[p],
-                        start,
-                        output,
-                        deadline,
-                    )
-                } else {
-                    self.commit_task(job, stage.output, p, placements[p], start, output)
-                };
-                stage_end = stage_end.max(end);
-                if is_result {
-                    results.push(block);
-                }
-            }
-            stage_done[stage.index] = stage_end;
-
-            self.debug_check_store_accounting();
-
-            // Stage-completion hook (auto-caching / prefetch).
-            let ctx = self.ctrl_ctx(stage_end);
-            let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
-            self.apply_commands(plan, stage_end, cmds);
-            self.metrics.stages_run += 1;
-            let disk_resident: ByteSize = self.stores.disk.iter().map(BlockStore::used).sum();
-            self.metrics.sample_disk_residency(disk_resident);
         }
 
-        self.clock_floor = stage_done[last_stage];
+        // -- Plan: deterministic locality placement, partition order,
+        //    against the pre-stage state. Mutable because an injected
+        //    executor crash reschedules uncommitted tasks.
+        let mut placements: Vec<ExecutorId> = (0..stage.num_partitions)
+            .map(|p| self.pick_executor(plan, stage.output, p))
+            .collect::<Result<_>>()?;
+        if let Some(tr) = self.trace.as_mut() {
+            for (p, &executor) in placements.iter().enumerate() {
+                tr.record(TraceEvent::TaskPlanned {
+                    at: start,
+                    app: ticket.app,
+                    job,
+                    stage_output: stage.output,
+                    partition: p as u32,
+                    executor,
+                });
+            }
+        }
+
+        // -- Execute: all tasks run against a frozen snapshot of the
+        //    stores; shared state is only read.
+        let mut outputs: Vec<Option<Result<TaskOutput>>> = {
+            let view = ExecView {
+                stores: &self.stores,
+                config: &self.config,
+                serialized_in_memory: self.controller.serialized_in_memory(),
+                fault_coords: fault_on.then_some((job, stage.index as u32)),
+            };
+            execute_stage(
+                &view,
+                plan,
+                stage.output,
+                &placements,
+                &stage_consumers,
+                self.config.worker_threads,
+            )
+            .into_iter()
+            .map(Some)
+            .collect()
+        };
+
+        // Straggler injection: seeded per-task slowdowns plus a
+        // quantile-based speculation deadline (the shape of Spark's
+        // `spark.speculation.{quantile,multiplier}`), all decided in
+        // the serial commit phase from pre-commit execute charges so
+        // traces stay thread-count invariant.
+        let straggle_on = fault_on && self.config.fault.straggler_rate > 0.0;
+        let mut stragglers: Vec<bool> = Vec::new();
+        let mut deadline = SimDuration::ZERO;
+        if straggle_on && !outputs.is_empty() {
+            let fault = &self.config.fault;
+            stragglers = (0..outputs.len())
+                .map(|p| fault.task_straggles(job.raw(), stage.index as u32, p as u32))
+                .collect();
+            let mut observed: Vec<SimDuration> = outputs
+                .iter()
+                .enumerate()
+                .map(|(p, o)| {
+                    let base = o
+                        .as_ref()
+                        .and_then(|r| r.as_ref().ok())
+                        .map_or(SimDuration::ZERO, |out| out.charge.total());
+                    if stragglers[p] {
+                        base * fault.straggler_slowdown
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            observed.sort_unstable();
+            let q_idx = (SPECULATION_QUANTILE * (observed.len() - 1) as f64) as usize;
+            deadline = observed[q_idx] * SPECULATION_SLACK;
+        }
+
+        // -- Commit: serial, partition-index order. The first failed
+        //    task aborts the job (deterministically, independent of
+        //    which worker observed it first). Scheduled crashes fire at
+        //    commit boundaries on the simulated clock.
+        let mut stage_end = start;
+        for p in 0..outputs.len() {
+            if fault_on {
+                self.handle_due_crashes(
+                    plan,
+                    job,
+                    stage.output,
+                    stage.index as u32,
+                    &stage_consumers,
+                    &mut placements,
+                    &mut outputs,
+                    p,
+                    stage_end.max(start),
+                );
+            }
+            let output = outputs[p].take().ok_or_else(|| {
+                BlazeError::Execution(format!("partition {p} missing at commit"))
+            })??;
+            let block = output.block.clone();
+            let end = if straggle_on && stragglers[p] {
+                self.commit_straggler(job, stage.output, p, placements[p], start, output, deadline)
+            } else {
+                self.commit_task(job, stage.output, p, placements[p], start, output)
+            };
+            stage_end = stage_end.max(end);
+            if is_result {
+                ticket.results.push(block);
+            }
+        }
+        ticket.stage_done[stage.index] = stage_end;
+
+        self.debug_check_store_accounting();
+
+        // Stage-completion hook (auto-caching / prefetch).
+        let ctx = self.ctrl_ctx(stage_end);
+        let cmds = self.controller.on_stage_complete(&ctx, stage.output, job, plan);
+        self.apply_commands(plan, stage_end, cmds);
+        self.metrics.stages_run += 1;
+        let disk_resident: ByteSize = self.stores.disk.iter().map(BlockStore::used).sum();
+        self.metrics.sample_disk_residency(disk_resident);
+        Ok(())
+    }
+
+    /// Completes a job whose stages have all run: advances the global
+    /// clock floor (monotonically — another app may already have pushed
+    /// it past this job's end), attributes per-app metrics, and returns
+    /// the result blocks.
+    fn finish_job(&mut self, ticket: JobTicket) -> Result<Vec<Block>> {
+        debug_assert!(ticket.done(), "finish_job called with stages still pending");
+        self.current_app = ticket.app;
+        let last_stage = ticket.job_plan.stages.len() - 1;
+        let end = ticket.stage_done[last_stage];
+        self.clock_floor = self.clock_floor.max(end);
         self.metrics.jobs += 1;
         self.metrics.completion_time = self.clock_floor;
+        let app_metrics = self.metrics.app_metrics(ticket.app);
+        app_metrics.jobs += 1;
+        app_metrics.completion_time = end;
         if let Some(tr) = self.trace.as_mut() {
-            tr.record(TraceEvent::JobCompleted { at: self.clock_floor, job });
+            tr.record(TraceEvent::JobCompleted { at: end, app: ticket.app, job: ticket.job });
         }
-        Ok(results)
+        Ok(ticket.results)
     }
 
     /// Commits one executed task: assigns it the earliest slot of its
@@ -1103,6 +1236,7 @@ impl ClusterState {
         output: TaskOutput,
         min_start: Option<SimTime>,
     ) -> SimTime {
+        let app = self.current_app;
         let e = exec.raw() as usize;
         let slot = Self::earliest_slot(&self.slots[e]);
         let t0 = self.slots[e][slot].max(start).max(min_start.unwrap_or(SimTime::ZERO));
@@ -1126,10 +1260,11 @@ impl ClusterState {
                     }
                     charge.fault_wasted += wasted;
                     self.metrics.recovery.wasted_time += wasted;
-                    self.metrics.recovery.record_job_recovery(job, wasted);
+                    self.metrics.recovery.record_job_recovery(app, job, wasted);
                     if let Some(tr) = self.trace.as_mut() {
                         tr.record(TraceEvent::TaskRetry {
                             at: t0,
+                            app,
                             job,
                             stage_output,
                             partition: part as u32,
@@ -1143,12 +1278,22 @@ impl ClusterState {
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_access(&ctx, id);
                     self.metrics.mem_hits += 1;
+                    // Cross-app attribution: a hit on a block another app
+                    // materialized is the shared cache paying off.
+                    let owner = self.block_app.get(&id).copied().unwrap_or(app);
+                    let app_metrics = self.metrics.app_metrics(app);
+                    app_metrics.mem_hits += 1;
+                    if owner != app {
+                        app_metrics.cross_mem_hits += 1;
+                    }
                     if serialized {
                         self.metrics.ser_mem_hits += 1;
+                        *self.metrics.ser_mem_hits_by_job.entry((app, job)).or_default() += 1;
                     }
                     if let Some(tr) = self.trace.as_mut() {
                         tr.record(TraceEvent::Cache(CacheRecord {
                             at: t0,
+                            app,
                             executor: exec,
                             id,
                             bytes,
@@ -1165,9 +1310,16 @@ impl ClusterState {
                     let ctx = self.ctrl_ctx(self.clock_floor);
                     self.controller.on_access(&ctx, info.id);
                     self.metrics.disk_hits += 1;
+                    let owner = self.block_app.get(&info.id).copied().unwrap_or(app);
+                    let app_metrics = self.metrics.app_metrics(app);
+                    app_metrics.disk_hits += 1;
+                    if owner != app {
+                        app_metrics.cross_disk_hits += 1;
+                    }
                     if let Some(tr) = self.trace.as_mut() {
                         tr.record(TraceEvent::Cache(CacheRecord {
                             at: t0,
+                            app,
                             executor: info.executor,
                             id: info.id,
                             bytes: info.bytes,
@@ -1206,10 +1358,11 @@ impl ClusterState {
                 TaskEvent::Computed { info, edge, recomputed, annotated, depth, block } => {
                     if recomputed {
                         self.metrics.recompute_misses += 1;
-                        self.metrics.record_recompute(job, info.id.rdd, edge);
+                        self.metrics.record_recompute(app, job, info.id.rdd, edge);
                         if let Some(tr) = self.trace.as_mut() {
                             tr.record(TraceEvent::Cache(CacheRecord {
                                 at: t0,
+                                app,
                                 executor: info.executor,
                                 id: info.id,
                                 bytes: info.bytes,
@@ -1218,6 +1371,7 @@ impl ClusterState {
                             }));
                             tr.record(TraceEvent::Recompute {
                                 at: t0,
+                                app,
                                 job,
                                 id: info.id,
                                 executor: info.executor,
@@ -1262,6 +1416,8 @@ impl ClusterState {
                     // producing executor is where recomputation is cheapest
                     // next time.
                     self.stores.block_home.entry(info.id).or_insert(info.executor);
+                    // First producer owns the block for cross-app attribution.
+                    self.block_app.entry(info.id).or_insert(app);
                 }
                 TaskEvent::MapOutput { shuffle, map_part, buckets } => {
                     // First writer wins; duplicate regenerations (possible
@@ -1294,6 +1450,7 @@ impl ClusterState {
                     if let Some(tr) = self.trace.as_mut() {
                         tr.record(TraceEvent::FetchRetry {
                             at: t0,
+                            app,
                             job,
                             child: shuffle.0,
                             dep_idx: shuffle.1 as u32,
@@ -1308,6 +1465,7 @@ impl ClusterState {
                     if let Some(tr) = self.trace.as_mut() {
                         tr.record(TraceEvent::FetchEscalated {
                             at: t0,
+                            app,
                             job,
                             child: shuffle.0,
                             dep_idx: shuffle.1 as u32,
@@ -1320,10 +1478,11 @@ impl ClusterState {
 
         if recovery > SimDuration::ZERO {
             self.metrics.recovery.lineage_replay_time += recovery;
-            self.metrics.recovery.record_job_recovery(job, recovery);
+            self.metrics.recovery.record_job_recovery(app, job, recovery);
             if let Some(tr) = self.trace.as_mut() {
                 tr.record(TraceEvent::RecoveryReplay {
                     at: t0,
+                    app,
                     job,
                     stage_output,
                     partition: part as u32,
@@ -1334,6 +1493,7 @@ impl ClusterState {
         self.metrics.record_task(&charge);
         let end = t0 + charge.total();
         self.metrics.record_trace(crate::metrics::TaskTrace {
+            app,
             job,
             stage_output,
             partition: part as u32,
@@ -1345,6 +1505,7 @@ impl ClusterState {
         });
         if let Some(tr) = self.trace.as_mut() {
             tr.record(TraceEvent::TaskCommitted {
+                app,
                 job,
                 stage_output,
                 partition: part as u32,
@@ -1430,11 +1591,13 @@ impl ClusterState {
                 let wasted = end.since(t0_orig);
                 self.slots[e][orig_slot] = self.slots[e][orig_slot].max(end);
                 self.metrics.speculation.launched += 1;
+                *self.metrics.speculation_by_job.entry((self.current_app, job)).or_default() += 1;
                 self.metrics.speculation.wins += 1;
                 self.metrics.speculation.wasted += wasted;
                 if let Some(tr) = self.trace.as_mut() {
                     tr.record(TraceEvent::Straggler {
                         at: t0_orig,
+                        app: self.current_app,
                         job,
                         stage_output,
                         partition: part as u32,
@@ -1442,6 +1605,7 @@ impl ClusterState {
                     });
                     tr.record(TraceEvent::Speculation {
                         at: t0_orig,
+                        app: self.current_app,
                         job,
                         stage_output,
                         partition: part as u32,
@@ -1462,6 +1626,7 @@ impl ClusterState {
                 if let Some(tr) = self.trace.as_mut() {
                     tr.record(TraceEvent::Straggler {
                         at: t0_orig,
+                        app: self.current_app,
                         job,
                         stage_output,
                         partition: part as u32,
@@ -1472,11 +1637,17 @@ impl ClusterState {
                     if spec_start < end {
                         let wasted = end.since(spec_start);
                         self.metrics.speculation.launched += 1;
+                        *self
+                            .metrics
+                            .speculation_by_job
+                            .entry((self.current_app, job))
+                            .or_default() += 1;
                         self.metrics.speculation.wasted += wasted;
                         self.slots[se][spec_slot] = self.slots[se][spec_slot].max(end);
                         if let Some(tr) = self.trace.as_mut() {
                             tr.record(TraceEvent::Speculation {
                                 at: t0_orig,
+                                app: self.current_app,
                                 job,
                                 stage_output,
                                 partition: part as u32,
@@ -1609,6 +1780,7 @@ impl ClusterState {
                 if let Some(tr) = self.trace.as_mut() {
                     tr.record(TraceEvent::Cache(CacheRecord {
                         at: trace_at,
+                        app: self.current_app,
                         executor: exec,
                         id: info.id,
                         bytes: info.bytes,
@@ -1644,9 +1816,14 @@ impl ClusterState {
         let why = if self.trace.is_some() { self.controller.explain_block(vid) } else { None };
         let Some(sb) = self.stores.mem[e].remove(vid) else { return };
         self.metrics.record_eviction(exec, sb.logical_bytes, action == VictimAction::ToDisk);
+        // An eviction is charged against the app that owns the victim, not
+        // the app whose admission forced it out.
+        let owner = self.block_app.get(&vid).copied().unwrap_or(self.current_app);
+        self.metrics.app_metrics(owner).evictions += 1;
         if let Some(tr) = self.trace.as_mut() {
             tr.record(TraceEvent::Cache(CacheRecord {
                 at: trace_at,
+                app: self.current_app,
                 executor: exec,
                 id: vid,
                 bytes: sb.logical_bytes,
@@ -1713,6 +1890,7 @@ impl ClusterState {
             if let Some(tr) = self.trace.as_mut() {
                 tr.record(TraceEvent::Cache(CacheRecord {
                     at: trace_at,
+                    app: self.current_app,
                     executor: exec,
                     id: info.id,
                     bytes: info.bytes,
@@ -1843,6 +2021,7 @@ impl ClusterState {
                         if let Some(tr) = self.trace.as_mut() {
                             tr.record(TraceEvent::Cache(CacheRecord {
                                 at,
+                                app: self.current_app,
                                 executor: info.executor,
                                 id,
                                 bytes: info.bytes,
@@ -1879,6 +2058,7 @@ impl ClusterState {
                     if let Some(tr) = self.trace.as_mut() {
                         tr.record(TraceEvent::Cache(CacheRecord {
                             at,
+                            app: self.current_app,
                             executor: ExecutorId(e as u32),
                             id,
                             bytes: logical,
@@ -1914,6 +2094,7 @@ impl ClusterState {
                     if let Some(tr) = self.trace.as_mut() {
                         tr.record(TraceEvent::Cache(CacheRecord {
                             at,
+                            app: self.current_app,
                             executor: ExecutorId(e as u32),
                             id,
                             bytes: logical,
@@ -1971,6 +2152,7 @@ impl ClusterState {
                         if let Some(tr) = self.trace.as_mut() {
                             tr.record(TraceEvent::Cache(CacheRecord {
                                 at,
+                                app: self.current_app,
                                 executor: info.executor,
                                 id,
                                 bytes: info.bytes,
@@ -2009,11 +2191,16 @@ impl ClusterState {
         }
     }
 
-    /// Records one unpersist decision (memory or disk tier) when tracing.
+    /// Records one unpersist decision (memory or disk tier) when tracing,
+    /// and attributes it to the app that owns the block (one count per
+    /// tier removal, mirroring the trace records).
     fn trace_unpersist(&mut self, at: SimTime, e: usize, id: BlockId, bytes: ByteSize, disk: bool) {
+        let owner = self.block_app.get(&id).copied().unwrap_or(self.current_app);
+        self.metrics.app_metrics(owner).unpersists += 1;
         if let Some(tr) = self.trace.as_mut() {
             tr.record(TraceEvent::Cache(CacheRecord {
                 at,
+                app: self.current_app,
                 executor: ExecutorId(e as u32),
                 id,
                 bytes,
@@ -2046,6 +2233,7 @@ impl ClusterState {
             if let Some(tr) = st.trace.as_mut() {
                 tr.record(TraceEvent::Cache(CacheRecord {
                     at,
+                    app: st.current_app,
                     executor: exec,
                     id,
                     bytes,

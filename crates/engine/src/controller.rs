@@ -8,7 +8,7 @@
 //! decision layer, §5.6) plug into the same engine.
 
 use crate::config::HardwareModel;
-use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::ids::{AppId, BlockId, ExecutorId, JobId, RddId};
 use blaze_common::{ByteSize, SimDuration, SimTime};
 use blaze_dataflow::{JobPlan, Plan};
 
@@ -127,6 +127,11 @@ pub struct DegradationNote {
 pub struct CtrlCtx {
     /// Current simulated time.
     pub now: SimTime,
+    /// The application the engine is currently executing on behalf of.
+    /// Always `app-0` outside a multi-app session, so single-app
+    /// controllers can ignore it; partition-aware policies use it to
+    /// attribute accesses and scope victim choice per application.
+    pub app: AppId,
     /// Hardware model (for disk-cost estimation, Eq. 3).
     pub hardware: HardwareModel,
     /// Per-executor memory-store capacity.
@@ -296,6 +301,7 @@ mod tests {
         let hw = HardwareModel::default();
         let ctx = CtrlCtx {
             now: SimTime::ZERO,
+            app: AppId(0),
             hardware: hw,
             memory_capacity: ByteSize::from_mib(1),
             disk_capacity: ByteSize::from_gib(1),

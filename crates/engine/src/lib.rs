@@ -37,16 +37,22 @@ pub mod config;
 pub mod controller;
 pub mod fault;
 pub mod metrics;
+pub mod session;
 pub mod shuffle;
 pub mod storage;
 pub mod tracing;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, HardwareModel};
+pub use config::{
+    ClusterConfig, ClusterConfigBuilder, HardwareModel, SchedPolicy, SchedulerConfig,
+};
 pub use controller::{
     Admission, BlockInfo, CacheController, CtrlCtx, DegradationNote, NoCacheController,
     PartitionEvent, StateCommand, StoreTier, VictimAction,
 };
 pub use fault::{ExecutorCrash, FaultCause, FaultPlan};
-pub use metrics::{Metrics, RecoveryMetrics, SpeculationMetrics, TaskCharge, TaskTrace};
+pub use metrics::{
+    AppMetrics, Metrics, RecoveryMetrics, SpeculationMetrics, TaskCharge, TaskTrace,
+};
+pub use session::{AppSession, Turnstile};
 pub use tracing::{CacheDecision, CacheRecord, TraceEvent, TraceLog};

@@ -7,13 +7,16 @@
 //! inline statistics) and the application completion time (Fig. 9).
 
 use blaze_common::fxhash::FxHashMap;
-use blaze_common::ids::{ExecutorId, JobId, RddId};
+use blaze_common::ids::{AppId, ExecutorId, JobId, RddId};
 use blaze_common::{ByteSize, SimDuration, SimTime};
 
 /// One executed task, for timeline reconstruction and skew analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskTrace {
-    /// Job the task belonged to.
+    /// Application the task belonged to (`app-0` outside multi-app runs).
+    pub app: AppId,
+    /// Job the task belonged to. Job ids are numbered per application, so
+    /// only the `(app, job)` pair is unique within a run.
     pub job: JobId,
     /// The RDD the task's stage materialized.
     pub stage_output: RddId,
@@ -177,8 +180,10 @@ pub struct RecoveryMetrics {
     /// Simulated time spent replaying lineage to re-produce lost data
     /// (recompute edges below a lost block, plus map-output regeneration).
     pub lineage_replay_time: SimDuration,
-    /// Total recovery time (wasted + replay) attributed per job.
-    pub recovery_time_by_job: FxHashMap<JobId, SimDuration>,
+    /// Total recovery time (wasted + replay) attributed per `(app, job)`.
+    /// Job ids are per-application counters, so keying by bare [`JobId`]
+    /// would collide as soon as two applications run concurrently.
+    pub recovery_time_by_job: FxHashMap<(AppId, JobId), SimDuration>,
 }
 
 impl RecoveryMetrics {
@@ -188,19 +193,46 @@ impl RecoveryMetrics {
         self.wasted_time + self.lineage_replay_time + self.fetch_backoff_time
     }
 
-    /// Recovery time per job, sorted by job id.
-    pub fn recovery_by_job(&self) -> Vec<(JobId, SimDuration)> {
-        let mut v: Vec<_> = self.recovery_time_by_job.iter().map(|(&j, &t)| (j, t)).collect();
-        v.sort_by_key(|(j, _)| *j);
+    /// Recovery time per `(app, job)`, sorted by key.
+    pub fn recovery_by_job(&self) -> Vec<((AppId, JobId), SimDuration)> {
+        let mut v: Vec<_> = self.recovery_time_by_job.iter().map(|(&k, &t)| (k, t)).collect();
+        v.sort_by_key(|(k, _)| *k);
         v
     }
 
-    /// Records recovery time attributed to `job`.
-    pub fn record_job_recovery(&mut self, job: JobId, time: SimDuration) {
+    /// Records recovery time attributed to `job` of `app`.
+    pub fn record_job_recovery(&mut self, app: AppId, job: JobId, time: SimDuration) {
         if time > SimDuration::ZERO {
-            *self.recovery_time_by_job.entry(job).or_default() += time;
+            *self.recovery_time_by_job.entry((app, job)).or_default() += time;
         }
     }
+}
+
+/// Per-application attribution of shared-cluster activity. All zero outside
+/// multi-app sessions except the `app-0` entry, which then mirrors the
+/// single application's share of the global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AppMetrics {
+    /// Jobs this application submitted.
+    pub jobs: u64,
+    /// Memory hits served to this application's tasks.
+    pub mem_hits: u64,
+    /// Disk hits served to this application's tasks.
+    pub disk_hits: u64,
+    /// Memory hits this application served from a block *produced by
+    /// another application* (the shared-cache dividend: zero under
+    /// isolated per-app partitions).
+    pub cross_mem_hits: u64,
+    /// Disk hits served from another application's block.
+    pub cross_disk_hits: u64,
+    /// Memory evictions of blocks this application produced.
+    pub evictions: u64,
+    /// Unpersists (automatic or user) of blocks this application produced.
+    pub unpersists: u64,
+    /// Recomputation time charged to this application's jobs.
+    pub recompute_time: SimDuration,
+    /// Completion time of this application's last job.
+    pub completion_time: SimTime,
 }
 
 /// Aggregated metrics of one application run.
@@ -243,14 +275,18 @@ pub struct Metrics {
     pub disk_samples: u64,
     /// Peak bytes resident in memory stores (cluster-wide).
     pub memory_bytes_peak: ByteSize,
-    /// Recomputation time per (job, RDD) (Figs. 5 and 12b).
-    pub recompute_by_job_rdd: FxHashMap<(JobId, RddId), SimDuration>,
+    /// Recomputation time per (app, job, RDD) (Figs. 5 and 12b). Job ids
+    /// are per-application, so the app id is part of the key.
+    pub recompute_by_job_rdd: FxHashMap<(AppId, JobId, RddId), SimDuration>,
     /// Cache hits served from memory.
     pub mem_hits: u64,
     /// Memory hits served from a serialized-in-memory block (the decision
     /// layer's s-state, `ser_tier`; a subset of `mem_hits`). Always zero
     /// when the serialized tier is disabled.
     pub ser_mem_hits: u64,
+    /// Serialized-memory hits attributed per `(app, job)` (empty whenever
+    /// `ser_mem_hits` is zero).
+    pub ser_mem_hits_by_job: FxHashMap<(AppId, JobId), u64>,
     /// In-place serialized-tier transitions applied (m -> s serializations,
     /// s -> m deserializations and d -> s promotions together). Always zero
     /// when the serialized tier is disabled.
@@ -269,6 +305,12 @@ pub struct Metrics {
     /// Straggler and speculative-execution attribution (all zero without
     /// injected stragglers).
     pub speculation: SpeculationMetrics,
+    /// Speculative copies launched, attributed per `(app, job)` (empty
+    /// whenever `speculation.launched` is zero).
+    pub speculation_by_job: FxHashMap<(AppId, JobId), u64>,
+    /// Per-application attribution of the shared cluster's activity. Keyed
+    /// by application; single-app runs have exactly the `app-0` entry.
+    pub per_app: FxHashMap<AppId, AppMetrics>,
     /// The simulated application completion time (Fig. 9's ACT).
     pub completion_time: SimTime,
     /// Every executed task, in execution order (timeline reconstruction).
@@ -302,12 +344,13 @@ impl Metrics {
     }
 
     /// The `n` longest tasks (stragglers), longest first. Ties are ordered
-    /// by (job, stage output, partition) ascending — a total order, so the
+    /// by (app, job, stage output, partition) ascending — a total order, so the
     /// answer does not depend on trace recording order. Only the selected
     /// `n` traces are copied out, not the whole trace vector.
     pub fn slowest_tasks(&self, n: usize) -> Vec<TaskTrace> {
-        let key =
-            |t: &TaskTrace| (std::cmp::Reverse(t.duration()), t.job, t.stage_output, t.partition);
+        let key = |t: &TaskTrace| {
+            (std::cmp::Reverse(t.duration()), t.app, t.job, t.stage_output, t.partition)
+        };
         let mut idx: Vec<usize> = (0..self.task_traces.len()).collect();
         if n == 0 {
             return Vec::new();
@@ -342,9 +385,22 @@ impl Metrics {
         out
     }
 
-    /// Records recomputation time attributed to `rdd` during `job`.
-    pub fn record_recompute(&mut self, job: JobId, rdd: RddId, time: SimDuration) {
-        *self.recompute_by_job_rdd.entry((job, rdd)).or_default() += time;
+    /// Records recomputation time attributed to `rdd` during `job` of `app`.
+    pub fn record_recompute(&mut self, app: AppId, job: JobId, rdd: RddId, time: SimDuration) {
+        *self.recompute_by_job_rdd.entry((app, job, rdd)).or_default() += time;
+        self.app_metrics(app).recompute_time += time;
+    }
+
+    /// The per-application attribution entry for `app`, created on first use.
+    pub fn app_metrics(&mut self, app: AppId) -> &mut AppMetrics {
+        self.per_app.entry(app).or_default()
+    }
+
+    /// Per-application attribution entries, sorted by application id.
+    pub fn per_app_sorted(&self) -> Vec<(AppId, AppMetrics)> {
+        let mut v: Vec<_> = self.per_app.iter().map(|(&a, &m)| (a, m)).collect();
+        v.sort_by_key(|(a, _)| *a);
+        v
     }
 
     /// Samples the current disk residency (called at stage completion).
@@ -367,25 +423,25 @@ impl Metrics {
         self.recompute_by_job_rdd.values().copied().sum()
     }
 
-    /// Recomputation time aggregated per job (iteration), sorted by job id.
-    pub fn recompute_by_job(&self) -> Vec<(JobId, SimDuration)> {
-        let mut per_job: FxHashMap<JobId, SimDuration> = FxHashMap::default();
-        for (&(job, _), &t) in &self.recompute_by_job_rdd {
-            *per_job.entry(job).or_default() += t;
+    /// Recomputation time aggregated per `(app, job)`, sorted by key.
+    pub fn recompute_by_job(&self) -> Vec<((AppId, JobId), SimDuration)> {
+        let mut per_job: FxHashMap<(AppId, JobId), SimDuration> = FxHashMap::default();
+        for (&(app, job, _), &t) in &self.recompute_by_job_rdd {
+            *per_job.entry((app, job)).or_default() += t;
         }
         let mut v: Vec<_> = per_job.into_iter().collect();
-        v.sort_by_key(|(j, _)| *j);
+        v.sort_by_key(|(k, _)| *k);
         v
     }
 
-    /// The RDD with the highest recomputation time within `job`, if any.
-    /// Ties break toward the smallest `RddId` — a total order, so the
-    /// answer never depends on hash-map iteration order.
-    pub fn top_recompute_rdd(&self, job: JobId) -> Option<(RddId, SimDuration)> {
+    /// The RDD with the highest recomputation time within `job` of `app`,
+    /// if any. Ties break toward the smallest `RddId` — a total order, so
+    /// the answer never depends on hash-map iteration order.
+    pub fn top_recompute_rdd(&self, app: AppId, job: JobId) -> Option<(RddId, SimDuration)> {
         self.recompute_by_job_rdd
             .iter()
-            .filter(|((j, _), _)| *j == job)
-            .map(|((_, r), t)| (*r, *t))
+            .filter(|((a, j, _), _)| *a == app && *j == job)
+            .map(|((_, _, r), t)| (*r, *t))
             .max_by_key(|&(r, t)| (t, std::cmp::Reverse(r)))
     }
 }
@@ -437,17 +493,52 @@ mod tests {
 
     #[test]
     fn recompute_attribution_per_job_and_rdd() {
+        let a = AppId(0);
         let mut m = Metrics::new();
-        m.record_recompute(JobId(1), RddId(7), SimDuration::from_secs(2));
-        m.record_recompute(JobId(1), RddId(9), SimDuration::from_secs(5));
-        m.record_recompute(JobId(2), RddId(9), SimDuration::from_secs(1));
+        m.record_recompute(a, JobId(1), RddId(7), SimDuration::from_secs(2));
+        m.record_recompute(a, JobId(1), RddId(9), SimDuration::from_secs(5));
+        m.record_recompute(a, JobId(2), RddId(9), SimDuration::from_secs(1));
         assert_eq!(m.total_recompute_time(), SimDuration::from_secs(8));
         assert_eq!(
             m.recompute_by_job(),
-            vec![(JobId(1), SimDuration::from_secs(7)), (JobId(2), SimDuration::from_secs(1)),]
+            vec![
+                ((a, JobId(1)), SimDuration::from_secs(7)),
+                ((a, JobId(2)), SimDuration::from_secs(1)),
+            ]
         );
-        assert_eq!(m.top_recompute_rdd(JobId(1)), Some((RddId(9), SimDuration::from_secs(5))));
-        assert_eq!(m.top_recompute_rdd(JobId(3)), None);
+        assert_eq!(m.top_recompute_rdd(a, JobId(1)), Some((RddId(9), SimDuration::from_secs(5))));
+        assert_eq!(m.top_recompute_rdd(a, JobId(3)), None);
+        assert_eq!(m.per_app[&a].recompute_time, SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn job_keys_do_not_collide_across_apps() {
+        // Two applications both submit job-1; per-job attribution must keep
+        // them apart (job ids are per-application counters).
+        let mut m = Metrics::new();
+        m.record_recompute(AppId(0), JobId(1), RddId(7), SimDuration::from_secs(2));
+        m.record_recompute(AppId(1), JobId(1), RddId(7), SimDuration::from_secs(5));
+        assert_eq!(
+            m.recompute_by_job(),
+            vec![
+                ((AppId(0), JobId(1)), SimDuration::from_secs(2)),
+                ((AppId(1), JobId(1)), SimDuration::from_secs(5)),
+            ]
+        );
+        assert_eq!(
+            m.top_recompute_rdd(AppId(1), JobId(1)),
+            Some((RddId(7), SimDuration::from_secs(5)))
+        );
+        let mut r = RecoveryMetrics::default();
+        r.record_job_recovery(AppId(0), JobId(0), SimDuration::from_secs(1));
+        r.record_job_recovery(AppId(1), JobId(0), SimDuration::from_secs(3));
+        assert_eq!(
+            r.recovery_by_job(),
+            vec![
+                ((AppId(0), JobId(0)), SimDuration::from_secs(1)),
+                ((AppId(1), JobId(0)), SimDuration::from_secs(3)),
+            ]
+        );
     }
 
     #[test]
@@ -471,14 +562,18 @@ mod tests {
 
     #[test]
     fn recovery_time_aggregates_per_job() {
+        let a = AppId(0);
         let mut r = RecoveryMetrics::default();
-        r.record_job_recovery(JobId(2), SimDuration::from_secs(1));
-        r.record_job_recovery(JobId(0), SimDuration::from_secs(2));
-        r.record_job_recovery(JobId(2), SimDuration::from_secs(3));
-        r.record_job_recovery(JobId(1), SimDuration::ZERO); // no-op
+        r.record_job_recovery(a, JobId(2), SimDuration::from_secs(1));
+        r.record_job_recovery(a, JobId(0), SimDuration::from_secs(2));
+        r.record_job_recovery(a, JobId(2), SimDuration::from_secs(3));
+        r.record_job_recovery(a, JobId(1), SimDuration::ZERO); // no-op
         assert_eq!(
             r.recovery_by_job(),
-            vec![(JobId(0), SimDuration::from_secs(2)), (JobId(2), SimDuration::from_secs(4))]
+            vec![
+                ((a, JobId(0)), SimDuration::from_secs(2)),
+                ((a, JobId(2)), SimDuration::from_secs(4))
+            ]
         );
         r.wasted_time = SimDuration::from_secs(1);
         r.lineage_replay_time = SimDuration::from_secs(2);
@@ -491,27 +586,29 @@ mod tests {
         // which is a function of the hash — not of anything meaningful.
         // With many equal-time RDDs the winner must be the smallest id,
         // whatever order the entries were recorded in.
+        let a = AppId(0);
         let t = SimDuration::from_secs(3);
         let mut forward = Metrics::new();
         for r in 1..=16 {
-            forward.record_recompute(JobId(0), RddId(r), t);
+            forward.record_recompute(a, JobId(0), RddId(r), t);
         }
         let mut backward = Metrics::new();
         for r in (1..=16).rev() {
-            backward.record_recompute(JobId(0), RddId(r), t);
+            backward.record_recompute(a, JobId(0), RddId(r), t);
         }
-        assert_eq!(forward.top_recompute_rdd(JobId(0)), Some((RddId(1), t)));
-        assert_eq!(backward.top_recompute_rdd(JobId(0)), Some((RddId(1), t)));
+        assert_eq!(forward.top_recompute_rdd(a, JobId(0)), Some((RddId(1), t)));
+        assert_eq!(backward.top_recompute_rdd(a, JobId(0)), Some((RddId(1), t)));
         // A strictly larger time still wins regardless of id.
-        forward.record_recompute(JobId(0), RddId(9), SimDuration::from_secs(1));
+        forward.record_recompute(a, JobId(0), RddId(9), SimDuration::from_secs(1));
         assert_eq!(
-            forward.top_recompute_rdd(JobId(0)),
+            forward.top_recompute_rdd(a, JobId(0)),
             Some((RddId(9), SimDuration::from_secs(4)))
         );
     }
 
     fn trace_at(job: u32, stage: u32, part: u32, dur_ms: u64) -> TaskTrace {
         TaskTrace {
+            app: AppId(0),
             job: JobId(job),
             stage_output: RddId(stage),
             partition: part,

@@ -1,0 +1,329 @@
+//! Deterministic multi-application scheduling over one shared cluster.
+//!
+//! A [`Turnstile`] admits N application driver threads against a single
+//! [`Cluster`] and interleaves their work at *stage and job boundaries*:
+//! exactly one app holds the turn at any moment, so every engine mutation
+//! (plan growth, stage commit, controller hook) happens in one globally
+//! serial, deterministic order. Real threads provide the programming model
+//! (each app is an ordinary driver function); the turnstile provides the
+//! schedule.
+//!
+//! # Determinism
+//!
+//! The schedule is a pure function of the [`SchedulerConfig`] and the
+//! simulated clock — never of host thread timing:
+//!
+//! - [`SchedPolicy::RoundRobin`] cycles through a seeded permutation of the
+//!   admission order (the same seeded-coin discipline as
+//!   [`crate::fault::FaultPlan`]).
+//! - [`SchedPolicy::FairShare`] hands the turn to the live app with the
+//!   least accumulated simulated stage time, ties toward the smallest
+//!   [`AppId`].
+//!
+//! The turn is granted by policy among *live* apps regardless of which
+//! threads the OS happens to have scheduled; a granted app that has not yet
+//! reached its wait point simply picks the turn up when it arrives. Because
+//! only the turn holder executes, traces and metrics are byte-identical
+//! across `worker_threads`, host load and repeated runs — and with one app
+//! the turnstile degenerates to the legacy serial path exactly.
+
+use crate::cluster::Cluster;
+use crate::config::{SchedPolicy, SchedulerConfig};
+use blaze_common::error::Result;
+use blaze_common::ids::{AppId, RddId};
+use blaze_common::rng::derive_seed;
+use blaze_common::SimDuration;
+use blaze_dataflow::runner::JobRunner;
+use blaze_dataflow::{Block, Plan};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::Arc;
+
+/// Which app may currently mutate the shared engine, and the accounting the
+/// next grant decision needs. Guarded by [`Turnstile::state`].
+struct TurnstileState {
+    /// The app currently holding the turn, if any.
+    holder: Option<AppId>,
+    /// Liveness per app index; an app leaves the rotation when it finishes.
+    live: Vec<bool>,
+    /// Accumulated simulated stage time per app (fair-share signal).
+    charged: Vec<SimDuration>,
+    /// Seeded permutation of the admission order (round-robin rotation).
+    order: Vec<u32>,
+    /// Next position in `order` to consider for a round-robin grant.
+    cursor: usize,
+}
+
+impl TurnstileState {
+    /// Picks the next turn holder, or `None` when every app has finished.
+    /// Pure function of policy state — host thread timing never enters.
+    fn grant_next(&mut self, policy: SchedPolicy) -> Option<AppId> {
+        let n = self.live.len();
+        if !self.live.iter().any(|&l| l) {
+            return None;
+        }
+        let app = match policy {
+            SchedPolicy::RoundRobin => loop {
+                let candidate = self.order[self.cursor % n];
+                self.cursor = (self.cursor + 1) % n;
+                if self.live[candidate as usize] {
+                    break AppId(candidate);
+                }
+            },
+            SchedPolicy::FairShare => {
+                let mut best: Option<u32> = None;
+                for (i, &is_live) in self.live.iter().enumerate() {
+                    if !is_live {
+                        continue;
+                    }
+                    // Strict `<` keeps ties on the smallest app id.
+                    let better = best.is_none_or(|b| self.charged[i] < self.charged[b as usize]);
+                    if better {
+                        best = Some(i as u32);
+                    }
+                }
+                // audit: allow(unwrap) guarded above: at least one app is live
+                AppId(best.expect("a live app exists"))
+            }
+        };
+        self.holder = Some(app);
+        Some(app)
+    }
+}
+
+/// The multi-app scheduler: a turn-taking gate over one shared [`Cluster`].
+///
+/// Construct with [`Turnstile::new`], then give each application driver an
+/// [`AppSession`] (via [`Turnstile::session`]) to back its
+/// [`blaze_dataflow::Context`]. Each driver thread must call
+/// [`Turnstile::start`] before touching the plan and
+/// [`Turnstile::finish`] when done (use a guard so panics release the turn).
+pub struct Turnstile {
+    state: Mutex<TurnstileState>,
+    turn: Condvar,
+    policy: SchedPolicy,
+}
+
+impl Turnstile {
+    /// Creates a turnstile admitting `apps` applications (`app-0` ..
+    /// `app-(apps-1)`), interleaved per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is zero (admission is audited upstream, BA010).
+    #[must_use]
+    pub fn new(config: SchedulerConfig, apps: usize) -> Arc<Self> {
+        assert!(apps > 0, "turnstile requires at least one application");
+        // Seeded Fisher-Yates over the admission order: the rotation order
+        // is a pure function of the scheduler seed.
+        let mut order: Vec<u32> = (0..apps as u32).collect();
+        for i in (1..apps).rev() {
+            let j = (derive_seed(config.seed, i as u64) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        Arc::new(Self {
+            state: Mutex::new(TurnstileState {
+                holder: None,
+                live: vec![true; apps],
+                charged: vec![SimDuration::ZERO; apps],
+                order,
+                cursor: 0,
+            }),
+            turn: Condvar::new(),
+            policy: config.policy,
+        })
+    }
+
+    /// Binds one application to this turnstile and the shared cluster,
+    /// producing the [`JobRunner`] its driver's `Context` should use.
+    #[must_use]
+    pub fn session(self: &Arc<Self>, app: AppId, cluster: Cluster) -> AppSession {
+        AppSession { turnstile: Arc::clone(self), cluster, app }
+    }
+
+    /// Blocks until `app` is granted its first turn. Every driver thread
+    /// must call this before any plan construction or job submission.
+    pub fn start(&self, app: AppId) {
+        let mut st = self.state.lock();
+        if st.holder.is_none() {
+            st.grant_next(self.policy);
+        }
+        while st.holder != Some(app) {
+            st = self.turn.wait(st);
+        }
+    }
+
+    /// Releases the turn at a stage/job boundary and blocks until the
+    /// scheduler hands it back. With a single live app this returns
+    /// immediately — the legacy serial path in disguise.
+    pub fn yield_point(&self, app: AppId) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.holder, Some(app), "yield without holding the turn");
+        st.holder = None;
+        st.grant_next(self.policy);
+        if st.holder != Some(app) {
+            self.turn.notify_all();
+            while st.holder != Some(app) {
+                st = self.turn.wait(st);
+            }
+        }
+    }
+
+    /// Adds simulated stage time to `app`'s fair-share account.
+    pub fn charge(&self, app: AppId, delta: SimDuration) {
+        self.state.lock().charged[app.raw() as usize] += delta;
+    }
+
+    /// Marks `app` finished: it leaves the rotation and the turn moves on.
+    /// Idempotent, so a completion guard may call it after a normal finish.
+    pub fn finish(&self, app: AppId) {
+        let mut st = self.state.lock();
+        st.live[app.raw() as usize] = false;
+        if st.holder == Some(app) {
+            st.holder = None;
+        }
+        if st.holder.is_none() {
+            st.grant_next(self.policy);
+        }
+        self.turn.notify_all();
+    }
+}
+
+/// One application's handle onto the shared cluster: a [`JobRunner`] that
+/// splits each job into stages and passes through the [`Turnstile`] between
+/// them, so co-running apps interleave deterministically.
+///
+/// The plan read-guard is dropped before every yield — another app may need
+/// `plan.write()` (its driver grows the same shared [`Plan`]) while this
+/// one waits, and holding the guard across the wait would deadlock.
+#[derive(Clone)]
+pub struct AppSession {
+    turnstile: Arc<Turnstile>,
+    cluster: Cluster,
+    app: AppId,
+}
+
+impl AppSession {
+    /// The application this session schedules for.
+    #[must_use]
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The shared cluster backing every session of this turnstile.
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Declares this app's driver started (see [`Turnstile::start`]).
+    pub fn start(&self) {
+        self.turnstile.start(self.app);
+    }
+
+    /// Declares this app finished (see [`Turnstile::finish`]).
+    pub fn finish(&self) {
+        self.turnstile.finish(self.app);
+    }
+}
+
+impl JobRunner for AppSession {
+    fn run_job(&self, plan: &Arc<RwLock<Plan>>, target: RddId) -> Result<Vec<Block>> {
+        // The turn is already held: drivers run only while holding it, and
+        // the loop below re-acquires it after every yield. Each stage takes
+        // a fresh read-guard (the plan is append-only, so the job's view is
+        // stable) and drops it before yielding.
+        let mut ticket = {
+            let plan = plan.read();
+            self.cluster.begin_job_for(self.app, &plan, target)?
+        };
+        let mut charged = SimDuration::ZERO;
+        while !ticket.done() {
+            {
+                let plan = plan.read();
+                self.cluster.run_next_stage_for(&mut ticket, &plan)?;
+            }
+            let total = ticket.sim_cost();
+            self.turnstile.charge(self.app, total.saturating_sub(charged));
+            charged = total;
+            self.turnstile.yield_point(self.app);
+        }
+        let blocks = self.cluster.finish_job_for(ticket)?;
+        self.turnstile.yield_point(self.app);
+        Ok(blocks)
+    }
+
+    fn on_unpersist(&self, rdd: RddId) {
+        // Runs under the turn (drivers only execute while holding it); the
+        // removal is attributed to this app.
+        self.cluster.unpersist_for(self.app, rdd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SchedPolicy, SchedulerConfig};
+
+    fn grant_sequence(t: &Turnstile, n: usize) -> Vec<u32> {
+        let mut st = t.state.lock();
+        (0..n)
+            .map(|_| {
+                st.holder = None;
+                st.grant_next(t.policy).unwrap().raw()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_a_seeded_permutation() {
+        let t = Turnstile::new(SchedulerConfig { policy: SchedPolicy::RoundRobin, seed: 7 }, 3);
+        let seq = grant_sequence(&t, 6);
+        // One full rotation repeats exactly.
+        assert_eq!(seq[0..3], seq[3..6]);
+        let mut first: Vec<u32> = seq[0..3].to_vec();
+        first.sort_unstable();
+        assert_eq!(first, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_order_is_a_pure_function_of_the_seed() {
+        let a = Turnstile::new(SchedulerConfig { policy: SchedPolicy::RoundRobin, seed: 9 }, 4);
+        let b = Turnstile::new(SchedulerConfig { policy: SchedPolicy::RoundRobin, seed: 9 }, 4);
+        assert_eq!(grant_sequence(&a, 8), grant_sequence(&b, 8));
+    }
+
+    #[test]
+    fn round_robin_skips_finished_apps() {
+        let t = Turnstile::new(SchedulerConfig::default(), 3);
+        t.state.lock().live[1] = false;
+        let seq = grant_sequence(&t, 4);
+        assert!(!seq.contains(&1));
+    }
+
+    #[test]
+    fn fair_share_prefers_the_least_charged_live_app() {
+        let t = Turnstile::new(SchedulerConfig { policy: SchedPolicy::FairShare, seed: 0 }, 3);
+        t.charge(AppId(0), SimDuration::from_millis(50));
+        t.charge(AppId(2), SimDuration::from_millis(10));
+        assert_eq!(grant_sequence(&t, 1), vec![1]);
+        t.charge(AppId(1), SimDuration::from_millis(100));
+        assert_eq!(grant_sequence(&t, 1), vec![2]);
+    }
+
+    #[test]
+    fn fair_share_breaks_ties_toward_the_smallest_app_id() {
+        let t = Turnstile::new(SchedulerConfig { policy: SchedPolicy::FairShare, seed: 0 }, 3);
+        assert_eq!(grant_sequence(&t, 1), vec![0]);
+    }
+
+    #[test]
+    fn finish_releases_a_held_turn() {
+        let t = Turnstile::new(SchedulerConfig::default(), 2);
+        let first = AppId(t.state.lock().order[0]);
+        t.start(first);
+        assert_eq!(t.state.lock().holder, Some(first));
+        t.finish(first);
+        let holder = t.state.lock().holder.unwrap();
+        assert_ne!(holder, first);
+    }
+}

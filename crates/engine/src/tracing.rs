@@ -32,7 +32,7 @@ use crate::fault::FaultCause;
 use crate::metrics::Metrics;
 use blaze_audit::{AuditReport, DiagCode, Diagnostic};
 use blaze_common::fxhash::FxHashMap;
-use blaze_common::ids::{BlockId, ExecutorId, JobId, RddId};
+use blaze_common::ids::{AppId, BlockId, ExecutorId, JobId, RddId};
 use blaze_common::{ByteSize, SimDuration, SimTime};
 use std::fmt::Write as _;
 
@@ -141,6 +141,11 @@ impl CacheDecision {
 pub struct CacheRecord {
     /// Simulated time of the decision.
     pub at: SimTime,
+    /// The application on whose behalf the engine was executing when the
+    /// decision was made (`app-0` outside multi-app sessions). For hits
+    /// this is the *reader*, so a hit recorded under a different app than
+    /// the one that produced the block is a cross-app hit.
+    pub app: AppId,
     /// Executor whose store the decision concerns (for hits: the reader).
     pub executor: ExecutorId,
     /// The block decided about.
@@ -164,6 +169,8 @@ pub enum TraceEvent {
     JobStarted {
         /// Simulated start time (the job's clock floor).
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// The job.
         job: JobId,
         /// The action's target dataset.
@@ -173,6 +180,8 @@ pub enum TraceEvent {
     JobCompleted {
         /// Simulated completion time.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// The job.
         job: JobId,
     },
@@ -180,6 +189,8 @@ pub enum TraceEvent {
     TaskPlanned {
         /// Time of the placement decision (the stage's earliest start).
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the task belongs to.
         job: JobId,
         /// The RDD the task's stage materializes.
@@ -194,6 +205,8 @@ pub enum TraceEvent {
     TaskRetry {
         /// Commit time of the surviving task that replays this attempt.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the task belongs to.
         job: JobId,
         /// The RDD the task's stage materializes.
@@ -209,6 +222,8 @@ pub enum TraceEvent {
     },
     /// A task committed: its simulated span on an executor slot.
     TaskCommitted {
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the task belonged to.
         job: JobId,
         /// The RDD the task's stage materialized.
@@ -230,6 +245,8 @@ pub enum TraceEvent {
     Recompute {
         /// Commit time of the recomputing task.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job during which the recomputation ran.
         job: JobId,
         /// The recomputed block.
@@ -247,6 +264,8 @@ pub enum TraceEvent {
     RecoveryReplay {
         /// Commit time of the task.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the task belonged to.
         job: JobId,
         /// The RDD the task's stage materialized.
@@ -303,6 +322,8 @@ pub enum TraceEvent {
     StageResubmitted {
         /// The stage's start time.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the stage belongs to.
         job: JobId,
         /// The stage's output RDD.
@@ -314,6 +335,8 @@ pub enum TraceEvent {
     Straggler {
         /// Commit time of the task.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the task belongs to.
         job: JobId,
         /// The RDD the task's stage materializes.
@@ -328,6 +351,8 @@ pub enum TraceEvent {
     Speculation {
         /// Commit time of the winning attempt.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the task belongs to.
         job: JobId,
         /// The RDD the task's stage materializes.
@@ -358,6 +383,8 @@ pub enum TraceEvent {
     FetchRetry {
         /// Commit time of the fetching task.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the fetch belongs to.
         job: JobId,
         /// Consuming RDD of the shuffle.
@@ -377,6 +404,8 @@ pub enum TraceEvent {
     FetchEscalated {
         /// Commit time of the fetching task.
         at: SimTime,
+        /// The application the job belongs to.
+        app: AppId,
         /// Job the fetch belongs to.
         job: JobId,
         /// Consuming RDD of the shuffle.
@@ -453,6 +482,7 @@ impl TraceLog {
             first = false;
             match ev {
                 TraceEvent::TaskCommitted {
+                    app,
                     job,
                     stage_output,
                     partition,
@@ -464,12 +494,13 @@ impl TraceLog {
                     let _ = write!(
                         out,
                         "{{\"name\":{},\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                         \"pid\":{},\"tid\":{},\"args\":{{\"job\":{}}}}}",
+                         \"pid\":{},\"tid\":{},\"args\":{{\"app\":{},\"job\":{}}}}}",
                         json_string(&format!("{stage_output}[{partition}]")),
                         micros(start.as_nanos()),
                         micros(end.since(*start).as_nanos()),
                         executor.raw(),
                         slot,
+                        app.raw(),
                         job.raw(),
                     );
                 }
@@ -477,10 +508,12 @@ impl TraceLog {
                     let _ = write!(
                         out,
                         "{{\"name\":{},\"cat\":\"cache\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\
-                         \"pid\":{},\"tid\":0,\"args\":{{\"block\":{},\"bytes\":{},\"why\":{}}}}}",
+                         \"pid\":{},\"tid\":0,\"args\":{{\"app\":{},\"block\":{},\"bytes\":{},\
+                         \"why\":{}}}}}",
                         json_string(r.decision.as_str()),
                         micros(r.at.as_nanos()),
                         r.executor.raw(),
+                        r.app.raw(),
                         json_string(&r.id.to_string()),
                         r.bytes.as_bytes(),
                         json_string(r.rationale.as_deref().unwrap_or("")),
@@ -503,25 +536,27 @@ impl TraceLog {
     }
 
     /// Renders the per-job cache-decision ledger: one line per decision,
-    /// grouped under the job that was running when it was made (decisions
-    /// between jobs are attributed to the preceding job boundary).
+    /// grouped under the job of the app that was running when it was made
+    /// (decisions outside any of that app's jobs are attributed to the
+    /// preceding job boundary). With co-running apps each app has its own
+    /// open job, so attribution follows the record's `app` field.
     pub fn ledger(&self) -> String {
         let mut out = String::new();
-        let mut current: Option<JobId> = None;
+        let mut open: FxHashMap<AppId, JobId> = FxHashMap::default();
         for ev in &self.events {
             match ev {
-                TraceEvent::JobStarted { at, job, target } => {
-                    current = Some(*job);
-                    let _ = writeln!(out, "{job} (target {target}) started at {at}:");
+                TraceEvent::JobStarted { at, app, job, target } => {
+                    open.insert(*app, *job);
+                    let _ = writeln!(out, "{app}/{job} (target {target}) started at {at}:");
                 }
-                TraceEvent::JobCompleted { at, job } => {
-                    let _ = writeln!(out, "{job} completed at {at}");
-                    current = None;
+                TraceEvent::JobCompleted { at, app, job } => {
+                    let _ = writeln!(out, "{app}/{job} completed at {at}");
+                    open.remove(app);
                 }
                 TraceEvent::Cache(r) => {
-                    let scope = match current {
-                        Some(j) => j.to_string(),
-                        None => "between-jobs".to_string(),
+                    let scope = match open.get(&r.app) {
+                        Some(j) => format!("{}/{j}", r.app),
+                        None => format!("{}/between-jobs", r.app),
                     };
                     let _ = write!(
                         out,
@@ -632,7 +667,9 @@ impl TraceLog {
     }
 
     fn check_spans(&self, ds: &mut Vec<Diagnostic>) {
-        let mut open_job: Option<JobId> = None;
+        // Each app has at most one open job at a time; co-running apps may
+        // overlap, so the open set is keyed by app rather than a scalar.
+        let mut open_jobs: FxHashMap<AppId, JobId> = FxHashMap::default();
         let mut slot_frontier: FxHashMap<(ExecutorId, u32), SimTime> = FxHashMap::default();
         let err = |msg: String| {
             Diagnostic::new(
@@ -645,19 +682,24 @@ impl TraceLog {
         };
         for ev in &self.events {
             match ev {
-                TraceEvent::JobStarted { job, .. } => {
-                    if let Some(open) = open_job {
-                        ds.push(err(format!("{job} started while {open} is still open")));
+                TraceEvent::JobStarted { app, job, .. } => {
+                    if let Some(open) = open_jobs.get(app) {
+                        ds.push(err(format!(
+                            "{app}/{job} started while {app}/{open} is still open"
+                        )));
                     }
-                    open_job = Some(*job);
+                    open_jobs.insert(*app, *job);
                 }
-                TraceEvent::JobCompleted { job, .. } => {
-                    if open_job != Some(*job) {
-                        ds.push(err(format!("{job} completed but was not the open job")));
+                TraceEvent::JobCompleted { app, job, .. } => {
+                    if open_jobs.get(app) != Some(job) {
+                        ds.push(err(format!(
+                            "{app}/{job} completed but was not the app's open job"
+                        )));
                     }
-                    open_job = None;
+                    open_jobs.remove(app);
                 }
                 TraceEvent::TaskCommitted {
+                    app,
                     job,
                     stage_output,
                     partition,
@@ -666,13 +708,13 @@ impl TraceLog {
                     start,
                     end,
                 } => {
-                    let task = format!("{stage_output}[{partition}] of {job}");
+                    let task = format!("{stage_output}[{partition}] of {app}/{job}");
                     if end < start {
                         ds.push(err(format!(
                             "task {task} ends at {end}, before its start {start}"
                         )));
                     }
-                    if open_job != Some(*job) {
+                    if open_jobs.get(app) != Some(job) {
                         ds.push(err(format!("task {task} committed outside its job span")));
                     }
                     let frontier = slot_frontier.entry((*executor, *slot)).or_default();
@@ -687,8 +729,10 @@ impl TraceLog {
                 _ => {}
             }
         }
-        if let Some(open) = open_job {
-            ds.push(err(format!("{open} never completed")));
+        let mut still_open: Vec<_> = open_jobs.into_iter().collect();
+        still_open.sort_unstable();
+        for (app, open) in still_open {
+            ds.push(err(format!("{app}/{open} never completed")));
         }
     }
 
@@ -705,7 +749,10 @@ impl TraceLog {
         let mut disk_hits = 0u64;
         let mut misses = 0u64;
         let mut recomputes = 0u64;
-        let mut recompute_by: FxHashMap<(JobId, RddId), SimDuration> = FxHashMap::default();
+        let mut recompute_by: FxHashMap<(AppId, JobId, RddId), SimDuration> = FxHashMap::default();
+        let mut ser_hits_by_job: FxHashMap<(AppId, JobId), u64> = FxHashMap::default();
+        let mut spec_by_job: FxHashMap<(AppId, JobId), u64> = FxHashMap::default();
+        let mut open: FxHashMap<AppId, JobId> = FxHashMap::default();
         let mut evictions_to_disk = 0u64;
         let mut evictions_discard = 0u64;
         let mut spilled: FxHashMap<ExecutorId, ByteSize> = FxHashMap::default();
@@ -714,7 +761,7 @@ impl TraceLog {
         let mut tasks_lost = 0u64;
         let mut wasted = SimDuration::ZERO;
         let mut replay = SimDuration::ZERO;
-        let mut recovery_by_job: FxHashMap<JobId, SimDuration> = FxHashMap::default();
+        let mut recovery_by_job: FxHashMap<(AppId, JobId), SimDuration> = FxHashMap::default();
         let mut crashes = 0u64;
         let mut blocks_lost = 0u64;
         let mut bytes_lost = ByteSize::ZERO;
@@ -733,9 +780,15 @@ impl TraceLog {
         let mut escalations = 0u64;
         for ev in &self.events {
             match ev {
-                TraceEvent::JobCompleted { at, .. } => {
+                TraceEvent::JobStarted { app, job, .. } => {
+                    open.insert(*app, *job);
+                }
+                TraceEvent::JobCompleted { at, app, .. } => {
                     jobs += 1;
-                    last_completed = *at;
+                    // With co-running apps the last *recorded* completion
+                    // need not be the latest on the sim clock.
+                    last_completed = last_completed.max(*at);
+                    open.remove(app);
                 }
                 TraceEvent::TaskCommitted { executor, start, end, .. } => {
                     tasks += 1;
@@ -745,9 +798,14 @@ impl TraceLog {
                     CacheDecision::HitMemory => mem_hits += 1,
                     CacheDecision::HitSerializedMemory => {
                         // Serialized hits are memory hits; `ser_mem_hits`
-                        // is the serialized subset of `mem_hits`.
+                        // is the serialized subset of `mem_hits`. Hits only
+                        // happen while the reading app has a job open, so
+                        // the open-job map attributes the per-job counter.
                         mem_hits += 1;
                         ser_mem_hits += 1;
+                        if let Some(job) = open.get(&r.app) {
+                            *ser_hits_by_job.entry((r.app, *job)).or_default() += 1;
+                        }
                     }
                     CacheDecision::SerializeInMemory
                     | CacheDecision::DeserializeInMemory
@@ -764,21 +822,21 @@ impl TraceLog {
                     }
                     _ => {}
                 },
-                TraceEvent::Recompute { job, id, duration, .. } => {
+                TraceEvent::Recompute { app, job, id, duration, .. } => {
                     recomputes += 1;
-                    *recompute_by.entry((*job, id.rdd)).or_default() += *duration;
+                    *recompute_by.entry((*app, *job, id.rdd)).or_default() += *duration;
                 }
-                TraceEvent::TaskRetry { job, cause, wasted: w, .. } => {
+                TraceEvent::TaskRetry { app, job, cause, wasted: w, .. } => {
                     match cause {
                         FaultCause::Transient => task_retries += 1,
                         FaultCause::ExecutorLost => tasks_lost += 1,
                     }
                     wasted += *w;
-                    *recovery_by_job.entry(*job).or_default() += *w;
+                    *recovery_by_job.entry((*app, *job)).or_default() += *w;
                 }
-                TraceEvent::RecoveryReplay { job, duration, .. } => {
+                TraceEvent::RecoveryReplay { app, job, duration, .. } => {
                     replay += *duration;
-                    *recovery_by_job.entry(*job).or_default() += *duration;
+                    *recovery_by_job.entry((*app, *job)).or_default() += *duration;
                 }
                 TraceEvent::ExecutorCrashed { blocks_lost: b, bytes_lost: by, .. } => {
                     // Map-output losses are counted from the per-output
@@ -797,12 +855,13 @@ impl TraceLog {
                     stragglers += 1;
                     straggler_delay += *delay;
                 }
-                TraceEvent::Speculation { copy_won, wasted: w, .. } => {
+                TraceEvent::Speculation { app, job, copy_won, wasted: w, .. } => {
                     spec_launched += 1;
                     if *copy_won {
                         spec_wins += 1;
                     }
                     spec_wasted += *w;
+                    *spec_by_job.entry((*app, *job)).or_default() += 1;
                 }
                 TraceEvent::SpillQuarantined { .. } => quarantined += 1,
                 TraceEvent::FetchRetry { backoff, .. } => {
@@ -839,6 +898,11 @@ impl TraceLog {
         check("memory hits", mem_hits.to_string(), metrics.mem_hits.to_string());
         check("serialized memory hits", ser_mem_hits.to_string(), metrics.ser_mem_hits.to_string());
         check(
+            "serialized memory hits by (app, job)",
+            fmt_map(&ser_hits_by_job),
+            fmt_map(&metrics.ser_mem_hits_by_job),
+        );
+        check(
             "serialized-tier transitions",
             ser_transitions.to_string(),
             metrics.ser_transitions.to_string(),
@@ -868,7 +932,7 @@ impl TraceLog {
             fmt_map(&metrics.discarded_bytes_per_executor),
         );
         check(
-            "recompute time by (job, rdd)",
+            "recompute time by (app, job, rdd)",
             fmt_map(&recompute_by),
             fmt_map(&metrics.recompute_by_job_rdd),
         );
@@ -903,6 +967,11 @@ impl TraceLog {
         check("speculative copies", spec_launched.to_string(), spec.launched.to_string());
         check("speculation wins", spec_wins.to_string(), spec.wins.to_string());
         check("speculation wasted time", spec_wasted.to_string(), spec.wasted.to_string());
+        check(
+            "speculative copies by (app, job)",
+            fmt_map(&spec_by_job),
+            fmt_map(&metrics.speculation_by_job),
+        );
     }
 
     fn check_pairing(&self, ds: &mut Vec<Diagnostic>) {
@@ -1014,22 +1083,24 @@ fn event_name(ev: &TraceEvent) -> &'static str {
 
 fn event_detail(ev: &TraceEvent) -> String {
     match ev {
-        TraceEvent::JobStarted { job, target, .. } => format!("{job} -> {target}"),
-        TraceEvent::JobCompleted { job, .. } => job.to_string(),
-        TraceEvent::TaskPlanned { job, stage_output, partition, executor, .. } => {
-            format!("{stage_output}[{partition}] of {job} on {executor}")
+        TraceEvent::JobStarted { app, job, target, .. } => format!("{app}/{job} -> {target}"),
+        TraceEvent::JobCompleted { app, job, .. } => format!("{app}/{job}"),
+        TraceEvent::TaskPlanned { app, job, stage_output, partition, executor, .. } => {
+            format!("{stage_output}[{partition}] of {app}/{job} on {executor}")
         }
-        TraceEvent::TaskRetry { job, stage_output, partition, attempt, cause, wasted, .. } => {
+        TraceEvent::TaskRetry {
+            app, job, stage_output, partition, attempt, cause, wasted, ..
+        } => {
             format!(
-                "{stage_output}[{partition}] of {job} attempt {attempt} died ({cause:?}), \
+                "{stage_output}[{partition}] of {app}/{job} attempt {attempt} died ({cause:?}), \
                  wasted {wasted}"
             )
         }
-        TraceEvent::Recompute { job, id, executor, depth, duration, .. } => {
-            format!("{id} in {job} on {executor}, depth {depth}, {duration}")
+        TraceEvent::Recompute { app, job, id, executor, depth, duration, .. } => {
+            format!("{id} in {app}/{job} on {executor}, depth {depth}, {duration}")
         }
-        TraceEvent::RecoveryReplay { job, stage_output, partition, duration, .. } => {
-            format!("{stage_output}[{partition}] of {job} replayed {duration}")
+        TraceEvent::RecoveryReplay { app, job, stage_output, partition, duration, .. } => {
+            format!("{stage_output}[{partition}] of {app}/{job} replayed {duration}")
         }
         TraceEvent::ExecutorCrashed {
             executor, blocks_lost, bytes_lost, map_outputs_lost, ..
@@ -1044,13 +1115,14 @@ fn event_detail(ev: &TraceEvent) -> String {
             format!("shuffle ({child}, {dep_idx}) map {map_part}")
         }
         TraceEvent::BlockRecovered { id, .. } => id.to_string(),
-        TraceEvent::StageResubmitted { job, stage_output, .. } => {
-            format!("{stage_output} of {job}")
+        TraceEvent::StageResubmitted { app, job, stage_output, .. } => {
+            format!("{stage_output} of {app}/{job}")
         }
-        TraceEvent::Straggler { job, stage_output, partition, delay, .. } => {
-            format!("{stage_output}[{partition}] of {job} delayed {delay}")
+        TraceEvent::Straggler { app, job, stage_output, partition, delay, .. } => {
+            format!("{stage_output}[{partition}] of {app}/{job} delayed {delay}")
         }
         TraceEvent::Speculation {
+            app,
             job,
             stage_output,
             partition,
@@ -1061,23 +1133,25 @@ fn event_detail(ev: &TraceEvent) -> String {
         } => {
             let outcome = if *copy_won { "copy won" } else { "copy lost" };
             format!(
-                "{stage_output}[{partition}] of {job}: copy on {copy_executor} {outcome}, \
+                "{stage_output}[{partition}] of {app}/{job}: copy on {copy_executor} {outcome}, \
                  wasted {wasted}"
             )
         }
         TraceEvent::SpillQuarantined { executor, id, bytes, .. } => {
             format!("{id} on {executor} ({bytes})")
         }
-        TraceEvent::FetchRetry { job, child, dep_idx, reduce_part, attempt, backoff, .. } => {
+        TraceEvent::FetchRetry {
+            app, job, child, dep_idx, reduce_part, attempt, backoff, ..
+        } => {
             format!(
-                "shuffle ({child}, {dep_idx}) reduce {reduce_part} of {job} attempt {attempt} \
-                 failed, backing off {backoff}"
+                "shuffle ({child}, {dep_idx}) reduce {reduce_part} of {app}/{job} attempt \
+                 {attempt} failed, backing off {backoff}"
             )
         }
-        TraceEvent::FetchEscalated { job, child, dep_idx, reduce_part, .. } => {
+        TraceEvent::FetchEscalated { app, job, child, dep_idx, reduce_part, .. } => {
             format!(
-                "shuffle ({child}, {dep_idx}) reduce {reduce_part} of {job} exhausted its \
-                 retry budget; parent map outputs regenerated"
+                "shuffle ({child}, {dep_idx}) reduce {reduce_part} of {app}/{job} exhausted \
+                 its retry budget; parent map outputs regenerated"
             )
         }
         TraceEvent::TaskCommitted { .. } | TraceEvent::Cache(_) => String::new(),
@@ -1091,6 +1165,7 @@ mod tests {
     fn cache(at_ms: u64, exec: u32, rdd: u32, part: u32, decision: CacheDecision) -> TraceEvent {
         TraceEvent::Cache(CacheRecord {
             at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            app: AppId(0),
             executor: ExecutorId(exec),
             id: BlockId::new(RddId(rdd), part),
             bytes: ByteSize::from_kib(4),
@@ -1100,7 +1175,21 @@ mod tests {
     }
 
     fn task(job: u32, part: u32, exec: u32, slot: u32, start_ms: u64, end_ms: u64) -> TraceEvent {
+        task_of(0, job, part, exec, slot, start_ms, end_ms)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn task_of(
+        app: u32,
+        job: u32,
+        part: u32,
+        exec: u32,
+        slot: u32,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> TraceEvent {
         TraceEvent::TaskCommitted {
+            app: AppId(app),
             job: JobId(job),
             stage_output: RddId(1),
             partition: part,
@@ -1111,21 +1200,36 @@ mod tests {
         }
     }
 
+    fn job_started(at_ms: u64, app: u32, job: u32) -> TraceEvent {
+        TraceEvent::JobStarted {
+            at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            app: AppId(app),
+            job: JobId(job),
+            target: RddId(1),
+        }
+    }
+
+    fn job_completed(at_ms: u64, app: u32, job: u32) -> TraceEvent {
+        TraceEvent::JobCompleted {
+            at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            app: AppId(app),
+            job: JobId(job),
+        }
+    }
+
     fn minimal_log() -> (TraceLog, Metrics) {
         let mut log = TraceLog::new();
-        log.record(TraceEvent::JobStarted { at: SimTime::ZERO, job: JobId(0), target: RddId(1) });
+        log.record(job_started(0, 0, 0));
         log.record(task(0, 0, 0, 0, 0, 10));
         log.record(task(0, 1, 0, 0, 10, 25));
-        log.record(TraceEvent::JobCompleted {
-            at: SimTime::ZERO + SimDuration::from_millis(25),
-            job: JobId(0),
-        });
+        log.record(job_completed(25, 0, 0));
         let mut m = Metrics::new();
         m.tasks = 2;
         m.jobs = 1;
         m.completion_time = SimTime::ZERO + SimDuration::from_millis(25);
         m.task_traces = vec![
             crate::metrics::TaskTrace {
+                app: AppId(0),
                 job: JobId(0),
                 stage_output: RddId(1),
                 partition: 0,
@@ -1136,6 +1240,7 @@ mod tests {
                 charge: crate::metrics::TaskCharge::default(),
             },
             crate::metrics::TaskTrace {
+                app: AppId(0),
                 job: JobId(0),
                 stage_output: RddId(1),
                 partition: 1,
@@ -1166,14 +1271,52 @@ mod tests {
 
         // Overlapping spans on the same slot.
         let mut log = TraceLog::new();
-        log.record(TraceEvent::JobStarted { at: SimTime::ZERO, job: JobId(0), target: RddId(1) });
+        log.record(job_started(0, 0, 0));
         log.record(task(0, 0, 0, 0, 0, 10));
         log.record(task(0, 1, 0, 0, 5, 15)); // starts before the previous ends
-        log.record(TraceEvent::JobCompleted {
-            at: SimTime::ZERO + SimDuration::from_millis(15),
-            job: JobId(0),
-        });
+        log.record(job_completed(15, 0, 0));
         assert!(log.validate(&Metrics::new()).has(DiagCode::TraceSpanNesting));
+    }
+
+    #[test]
+    fn interleaved_app_jobs_validate_cleanly() {
+        // Two apps with concurrently open jobs: legal under the per-app
+        // open-job set, and each app's tasks attribute to its own job.
+        let mut log = TraceLog::new();
+        log.record(job_started(0, 0, 0));
+        log.record(job_started(0, 1, 0));
+        log.record(task_of(0, 0, 0, 0, 0, 0, 10));
+        log.record(task_of(1, 0, 0, 0, 0, 10, 30));
+        log.record(job_completed(10, 0, 0));
+        log.record(job_completed(30, 1, 0));
+        let mut m = Metrics::new();
+        m.tasks = 2;
+        m.jobs = 2;
+        m.completion_time = SimTime::ZERO + SimDuration::from_millis(30);
+        m.task_traces = vec![];
+        let report = log.validate(&m);
+        assert!(!report.has(DiagCode::TraceSpanNesting), "{:?}", report.diagnostics);
+
+        // A second job from an app whose first is still open stays a BA401.
+        let mut bad = TraceLog::new();
+        bad.record(job_started(0, 0, 0));
+        bad.record(job_started(5, 0, 1));
+        assert!(bad.validate(&Metrics::new()).has(DiagCode::TraceSpanNesting));
+    }
+
+    #[test]
+    fn multi_app_completion_is_the_max_not_the_last() {
+        // App 1 finishes before app 0 but its completion is recorded
+        // later; the aggregate check must compare against the max.
+        let mut log = TraceLog::new();
+        log.record(job_started(0, 0, 0));
+        log.record(job_started(0, 1, 0));
+        log.record(job_completed(40, 0, 0));
+        log.record(job_completed(20, 1, 0));
+        let mut m = Metrics::new();
+        m.jobs = 2;
+        m.completion_time = SimTime::ZERO + SimDuration::from_millis(40);
+        assert!(!log.validate(&m).has(DiagCode::TraceAggregateMismatch));
     }
 
     #[test]
@@ -1222,27 +1365,44 @@ mod tests {
     #[test]
     fn ledger_groups_by_job_and_shows_rationale() {
         let (mut log, _) = minimal_log();
-        log.record(TraceEvent::JobStarted {
-            at: SimTime::ZERO + SimDuration::from_millis(25),
-            job: JobId(1),
-            target: RddId(1),
-        });
+        log.record(job_started(25, 0, 1));
         log.record(TraceEvent::Cache(CacheRecord {
             at: SimTime::ZERO + SimDuration::from_millis(26),
+            app: AppId(0),
             executor: ExecutorId(1),
             id: BlockId::new(RddId(5), 2),
             bytes: ByteSize::from_kib(8),
             decision: CacheDecision::EvictDiscard,
             rationale: Some("refcount=0".into()),
         }));
-        log.record(TraceEvent::JobCompleted {
-            at: SimTime::ZERO + SimDuration::from_millis(30),
-            job: JobId(1),
-        });
+        log.record(job_completed(30, 0, 1));
         let ledger = log.ledger();
-        assert!(ledger.contains("[job-1]"));
+        assert!(ledger.contains("[app-0/job-1]"));
         assert!(ledger.contains("evict-discard"));
         assert!(ledger.contains("why: refcount=0"));
+    }
+
+    #[test]
+    fn ledger_attributes_by_the_records_app() {
+        // App 1 has no open job when app 0's decision lands; attribution
+        // follows the record's app, not whichever job opened last.
+        let mut log = TraceLog::new();
+        log.record(job_started(0, 0, 0));
+        log.record(job_started(1, 1, 0));
+        log.record(TraceEvent::Cache(CacheRecord {
+            at: SimTime::ZERO + SimDuration::from_millis(2),
+            app: AppId(0),
+            executor: ExecutorId(0),
+            id: BlockId::new(RddId(5), 0),
+            bytes: ByteSize::from_kib(4),
+            decision: CacheDecision::AdmitMemory,
+            rationale: None,
+        }));
+        log.record(job_completed(3, 1, 0));
+        log.record(job_completed(4, 0, 0));
+        let ledger = log.ledger();
+        assert!(ledger.contains("[app-0/job-0]"));
+        assert!(!ledger.contains("[app-1/job-0]"));
     }
 
     #[test]
@@ -1267,7 +1427,7 @@ mod tests {
         b.record(cache(30, 0, 5, 0, CacheDecision::AdmitMemory));
         assert!(a.diff(&b).contains("lengths diverge"));
         let mut c = TraceLog::new();
-        c.record(TraceEvent::JobStarted { at: SimTime::ZERO, job: JobId(7), target: RddId(1) });
+        c.record(job_started(0, 0, 7));
         c.record(task(0, 0, 0, 0, 0, 10));
         assert!(a.diff(&c).contains("diverge at event 0"));
     }

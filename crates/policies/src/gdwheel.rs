@@ -102,7 +102,7 @@ impl CacheController for GdWheelController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blaze_common::ids::RddId;
+    use blaze_common::ids::{AppId, RddId};
     use blaze_common::SimTime;
     use blaze_engine::HardwareModel;
 
@@ -113,6 +113,7 @@ mod tests {
             memory_capacity: ByteSize::from_mib(1),
             disk_capacity: ByteSize::from_gib(1),
             executors: 1,
+            app: AppId(0),
         }
     }
 

@@ -99,7 +99,7 @@ impl CacheController for LfuController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blaze_common::ids::RddId;
+    use blaze_common::ids::{AppId, RddId};
     use blaze_common::SimTime;
     use blaze_engine::HardwareModel;
 
@@ -110,6 +110,7 @@ mod tests {
             memory_capacity: ByteSize::from_mib(1),
             disk_capacity: ByteSize::from_gib(1),
             executors: 1,
+            app: AppId(0),
         }
     }
 

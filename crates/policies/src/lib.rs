@@ -37,6 +37,7 @@ pub mod lrc;
 pub mod lru;
 pub mod mode;
 pub mod mrd;
+pub mod partitioned;
 pub mod tinylfu;
 
 pub use alluxio::AlluxioController;
@@ -48,4 +49,5 @@ pub use lrc::LrcController;
 pub use lru::LruController;
 pub use mode::EvictMode;
 pub use mrd::MrdController;
+pub use partitioned::IsolatedLruController;
 pub use tinylfu::TinyLfuController;

@@ -162,6 +162,7 @@ impl CacheController for MrdController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blaze_common::ids::AppId;
     use blaze_common::SimTime;
     use blaze_dataflow::{runner::LocalRunner, Context};
     use blaze_engine::HardwareModel;
@@ -173,6 +174,7 @@ mod tests {
             memory_capacity: ByteSize::from_mib(1),
             disk_capacity: ByteSize::from_gib(1),
             executors: 1,
+            app: AppId(0),
         }
     }
 

@@ -13,11 +13,14 @@
 
 pub mod apps;
 pub mod runner;
+pub mod session;
 pub mod systems;
 
 pub use apps::{App, AppSpec};
+#[allow(deprecated)]
 pub use runner::{
-    run_app, run_blaze_instrumented, run_blaze_with, run_spec, run_spec_traced,
+    run_app, run_blaze_instrumented, run_blaze_with, run_spec, run_spec_serial, run_spec_traced,
     run_spec_with_fault, RunOutcome,
 };
+pub use session::{RunOptions, Session, SessionBuilder, SessionOutcome};
 pub use systems::SystemKind;

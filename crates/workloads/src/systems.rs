@@ -3,8 +3,8 @@
 use blaze_core::{BlazeConfig, BlazeController, ProfileResult};
 use blaze_engine::CacheController;
 use blaze_policies::{
-    AlluxioController, EvictMode, FifoController, LeCaRController, LfuController, LrcController,
-    LruController, MrdController, TinyLfuController,
+    AlluxioController, EvictMode, FifoController, IsolatedLruController, LeCaRController,
+    LfuController, LrcController, LruController, MrdController, TinyLfuController,
 };
 
 /// One of the systems compared in the evaluation.
@@ -50,6 +50,12 @@ pub enum SystemKind {
     LeCaR,
     /// GDWheel-style cost-aware baseline.
     GdWheel,
+    /// Statically partitioned per-app LRU (MEM_ONLY, so every miss is paid
+    /// in recomputation — the paper's recompute currency): the multi-app
+    /// *isolation* baseline the shared holistic cache is compared against.
+    /// The store is split evenly across the admitted apps and no app may
+    /// evict (or reuse) another's blocks.
+    IsolatedLru,
 }
 
 impl SystemKind {
@@ -92,8 +98,21 @@ impl SystemKind {
         )
     }
 
-    /// Builds the controller (a fresh instance per run).
+    /// Builds the controller (a fresh instance per run). Partitioned
+    /// systems default to a two-way split; sessions that know their app
+    /// count use [`SystemKind::make_controller_scaled`].
     pub fn make_controller(&self, profile: Option<ProfileResult>) -> Box<dyn CacheController> {
+        self.make_controller_scaled(profile, 2)
+    }
+
+    /// Builds the controller for a session admitting `apps` applications.
+    /// Only partitioned systems ([`SystemKind::IsolatedLru`]) depend on the
+    /// count; every other system ignores it.
+    pub fn make_controller_scaled(
+        &self,
+        profile: Option<ProfileResult>,
+        apps: u32,
+    ) -> Box<dyn CacheController> {
         match self {
             SystemKind::SparkMemOnly => Box::new(LruController::new(EvictMode::MemOnly)),
             SystemKind::SparkMemDisk => Box::new(LruController::new(EvictMode::MemDisk)),
@@ -124,6 +143,9 @@ impl SystemKind {
             SystemKind::GdWheel => {
                 Box::new(blaze_policies::GdWheelController::new(EvictMode::MemDisk))
             }
+            SystemKind::IsolatedLru => {
+                Box::new(IsolatedLruController::new(EvictMode::MemOnly, apps.max(1)))
+            }
         }
     }
 
@@ -149,6 +171,7 @@ impl SystemKind {
             SystemKind::TinyLfu => "TinyLFU",
             SystemKind::LeCaR => "LeCaR",
             SystemKind::GdWheel => "GDWheel",
+            SystemKind::IsolatedLru => "Isolated LRU",
         }
     }
 }
@@ -179,11 +202,18 @@ mod tests {
             SystemKind::TinyLfu,
             SystemKind::LeCaR,
             SystemKind::GdWheel,
+            SystemKind::IsolatedLru,
         ];
         for kind in all {
             let c = kind.make_controller(None);
             assert!(!c.name().is_empty());
         }
+    }
+
+    #[test]
+    fn isolated_lru_scales_its_partition_count() {
+        let c = SystemKind::IsolatedLru.make_controller_scaled(None, 3);
+        assert_eq!(c.name(), "IsolatedLRU/3 (MEM_ONLY)");
     }
 
     #[test]

@@ -47,10 +47,13 @@ run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_failure -- \
 # deep/churn stress speedups must stay above the committed floor (--check).
 run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_decision -- \
     --quick --check --shadow
-# Serialized-tier smoke: on the high-ser_factor workloads (SVD++/LR) under
-# tightened memory the multi-choice solver must actually pick s-states
-# (ser_transitions > 0 somewhere), and tier-off runs must keep their ser
-# counters at exactly zero (--quick skips the wall-clock thread sweep).
+# Serialized-tier and multi-app smoke: on the high-ser_factor workloads
+# (SVD++/LR) under tightened memory the multi-choice solver must actually
+# pick s-states (ser_transitions > 0 somewhere), tier-off runs must keep
+# their ser counters at exactly zero, and the co-run session (PageRank +
+# KMeans, both scheduler policies) must show shared-cache Blaze spending
+# strictly less total recompute than isolated per-app LRU partitions
+# (--quick skips the wall-clock thread sweep, keeps both floors).
 run cargo run -q $OFFLINE --release -p blaze-bench --bin bench_engine -- \
     --quick --check
 # Decision certificates: every workload x strategy x decision-path combo

@@ -23,7 +23,7 @@ use blaze::solver::knapsack::{
     greedy_certificate, solve_knapsack, solve_knapsack_certified, KnapsackItem, WarmStart,
 };
 use blaze::solver::lp::Constraint;
-use blaze::workloads::{run_blaze_instrumented, App, AppSpec};
+use blaze::workloads::{App, AppSpec, Session};
 use proptest::prelude::*;
 
 fn items_from(values: &[f64], weights: &[u64]) -> Vec<KnapsackItem> {
@@ -269,7 +269,10 @@ fn inline_certify_mode_accepts_every_strategy() {
         for incremental in [true, false] {
             let mut cfg = BlazeConfig { incremental, certify: true, ..BlazeConfig::full() };
             cfg.optimizer.strategy = strategy;
-            run_blaze_instrumented(&spec, cfg, Default::default(), false, |inner| Box::new(inner))
+            Session::builder()
+                .app(spec)
+                .blaze(cfg)
+                .run()
                 .unwrap_or_else(|e| panic!("{strategy:?}/incremental={incremental}: {e:?}"));
         }
     }

@@ -28,7 +28,7 @@ use blaze::dataflow::{runner::LocalRunner, Context, Dataset};
 use blaze::engine::{
     Cluster, ClusterConfig, ExecutorCrash, FaultPlan, HardwareModel, Metrics, TraceLog,
 };
-use blaze::workloads::{run_blaze_instrumented, App, AppSpec};
+use blaze::workloads::{App, AppSpec, Session};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -292,8 +292,14 @@ proptest! {
 fn trace_workload(app: App, threads: usize, incremental: bool, fault: FaultPlan) -> String {
     let spec = AppSpec::evaluation(app).with_worker_threads(threads);
     let cfg = BlazeConfig { incremental, ..BlazeConfig::full() };
-    let out = run_blaze_instrumented(&spec, cfg, fault, true, |c| Box::new(c))
-        .expect("workload run failed");
+    let out = Session::builder()
+        .app(spec)
+        .blaze(cfg)
+        .fault(fault)
+        .tracing(true)
+        .run()
+        .expect("workload run failed")
+        .into_outcome();
     out.trace.expect("tracing was enabled").chrome_json()
 }
 
@@ -341,7 +347,7 @@ fn golden_traces_are_byte_identical_under_fault_injection() {
 fn shadow_compare_mode_passes_on_a_full_workload() {
     let spec = AppSpec::evaluation(App::KMeans);
     let cfg = BlazeConfig { shadow_compare: true, ..BlazeConfig::full() };
-    let out = run_blaze_instrumented(&spec, cfg, FaultPlan::default(), false, |c| Box::new(c))
-        .expect("shadow run failed");
+    let out =
+        Session::builder().app(spec).blaze(cfg).run().expect("shadow run failed").into_outcome();
     assert!(out.metrics.jobs >= 10);
 }

@@ -19,7 +19,7 @@
 use blaze::common::{ByteSize, SimDuration, SimTime};
 use blaze::dataflow::{runner::LocalRunner, Context};
 use blaze::engine::{Cluster, ClusterConfig, ExecutorCrash, FaultPlan, Metrics, RecoveryMetrics};
-use blaze::workloads::{run_spec, run_spec_with_fault, App, AppSpec, SystemKind};
+use blaze::workloads::{App, AppSpec, Session, SystemKind};
 use proptest::prelude::*;
 
 /// A small iterative pipeline (cache-and-reuse per round, like the
@@ -78,11 +78,21 @@ fn crash_mid_run(system: SystemKind, frac: f64) -> SimTime {
 #[test]
 fn disabled_fault_plan_changes_nothing() {
     let spec = AppSpec::evaluation(App::KMeans);
-    let clean = run_spec(&spec, SystemKind::SparkMemDisk).expect("clean run");
+    let clean = Session::builder()
+        .app(spec)
+        .system(SystemKind::SparkMemDisk)
+        .run()
+        .expect("clean run")
+        .into_outcome();
     let seeded_but_off = FaultPlan { seed: 0xFEED, ..FaultPlan::default() };
     assert!(!seeded_but_off.enabled());
-    let with_plan =
-        run_spec_with_fault(&spec, SystemKind::SparkMemDisk, seeded_but_off).expect("seeded run");
+    let with_plan = Session::builder()
+        .app(spec)
+        .system(SystemKind::SparkMemDisk)
+        .fault(seeded_but_off)
+        .run()
+        .expect("seeded run")
+        .into_outcome();
     assert_eq!(clean.metrics, with_plan.metrics, "a disabled plan must be invisible");
     assert_eq!(with_plan.metrics.recovery, RecoveryMetrics::default());
 }
@@ -113,7 +123,13 @@ fn fixed_seed_schedule_replays_identically() {
             .iter()
             .map(|&threads| {
                 let spec = AppSpec::evaluation(App::KMeans).with_worker_threads(threads);
-                run_spec_with_fault(&spec, system, plan.clone()).expect("chaos run").metrics
+                Session::builder()
+                    .app(spec)
+                    .system(system)
+                    .fault(plan.clone())
+                    .run()
+                    .expect("chaos run")
+                    .metrics
             })
             .collect();
         assert_eq!(

@@ -10,7 +10,7 @@
 use blaze::common::ByteSize;
 use blaze::dataflow::{runner::LocalRunner, Context};
 use blaze::engine::{Cluster, ClusterConfig};
-use blaze::workloads::{run_spec, App, AppSpec, SystemKind};
+use blaze::workloads::{App, AppSpec, Session, SystemKind};
 
 /// Full applications, profiled (Blaze) and unprofiled (LRU) controllers:
 /// the entire `Metrics` struct must match between 1 and 4 worker threads.
@@ -18,10 +18,18 @@ use blaze::workloads::{run_spec, App, AppSpec, SystemKind};
 fn worker_threads_do_not_change_any_metric() {
     for app in [App::PageRank, App::KMeans] {
         for system in [SystemKind::Blaze, SystemKind::SparkMemOnly] {
-            let serial = run_spec(&AppSpec::evaluation(app).with_worker_threads(1), system)
-                .expect("serial run");
-            let parallel = run_spec(&AppSpec::evaluation(app).with_worker_threads(4), system)
-                .expect("parallel run");
+            let serial = Session::builder()
+                .app(AppSpec::evaluation(app).with_worker_threads(1))
+                .system(system)
+                .run()
+                .expect("serial run")
+                .into_outcome();
+            let parallel = Session::builder()
+                .app(AppSpec::evaluation(app).with_worker_threads(4))
+                .system(system)
+                .run()
+                .expect("parallel run")
+                .into_outcome();
             assert_eq!(
                 serial.metrics, parallel.metrics,
                 "{app:?} under {system:?}: metrics diverged between 1 and 4 threads"

@@ -226,7 +226,7 @@ fn top_recompute_rdd_is_thread_count_invariant() {
         let tops: Vec<Option<(u32, u64)>> = (0..metrics.jobs as u32)
             .map(|j| {
                 metrics
-                    .top_recompute_rdd(blaze::common::ids::JobId(j))
+                    .top_recompute_rdd(blaze::common::ids::AppId(0), blaze::common::ids::JobId(j))
                     .map(|(r, t)| (r.raw(), t.as_nanos()))
             })
             .collect();

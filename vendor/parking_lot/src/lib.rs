@@ -1,9 +1,13 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Implements the subset of the API this workspace uses — [`Mutex`] and
-//! [`RwLock`] with poison-free guards — as thin wrappers over `std::sync`.
-//! A poisoned std lock (a panic while holding the guard) is recovered
-//! rather than propagated, matching `parking_lot`'s no-poisoning semantics.
+//! Implements the subset of the API this workspace uses — [`Mutex`],
+//! [`RwLock`] and [`Condvar`] with poison-free guards — as thin wrappers
+//! over `std::sync`. A poisoned std lock (a panic while holding the guard)
+//! is recovered rather than propagated, matching `parking_lot`'s
+//! no-poisoning semantics. One divergence: [`Condvar::wait`] keeps std's
+//! move-the-guard signature (take and return) instead of `parking_lot`'s
+//! `&mut` re-borrow, which cannot be expressed over a std guard without
+//! `unsafe`.
 
 use std::sync::PoisonError;
 
@@ -85,6 +89,33 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable whose waits never surface poison errors.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// re-acquires the lock and returns the new guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +133,25 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 }
